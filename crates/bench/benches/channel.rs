@@ -1,0 +1,34 @@
+//! Bench for the faulty-channel substrate: send/recv throughput across
+//! fault configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kpt_channel::{FaultConfig, FaultyChannel};
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+    for (name, cfg) in [
+        ("reliable", FaultConfig::reliable()),
+        ("lossy_30", FaultConfig::lossy(0.3, 32)),
+        ("paper_full", FaultConfig::paper(0.3, 0.15, 0.15, 32)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut ch = FaultyChannel::new(*cfg, 42);
+                let mut delivered = 0u64;
+                for i in 0..n {
+                    ch.send(i);
+                    if ch.recv().and_then(|d| d.intact()).is_some() {
+                        delivered += 1;
+                    }
+                }
+                delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

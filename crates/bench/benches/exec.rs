@@ -1,0 +1,90 @@
+//! E10 bench: fair execution throughput and BFS reachability vs the sst
+//! fixpoint (the two sides of the SI identity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kpt_state::{Predicate, StateSpace};
+use kpt_unity::{execute, reachable, Program, RandomFair, RoundRobin, Statement};
+
+fn grid_program(side: u64) -> kpt_unity::CompiledProgram {
+    let space = StateSpace::builder()
+        .nat_var("x", side)
+        .unwrap()
+        .nat_var("y", side)
+        .unwrap()
+        .build()
+        .unwrap();
+    Program::builder("grid", &space)
+        .init_str("x = 0 /\\ y = 0")
+        .unwrap()
+        .statement(
+            Statement::new("right")
+                .guard_formula(kpt_logic::parse_formula(&format!("x < {}", side - 1)).unwrap())
+                .assign_str("x", "x + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("up")
+                .guard_formula(kpt_logic::parse_formula(&format!("y < {}", side - 1)).unwrap())
+                .assign_str("y", "y + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("wrap")
+                .guard_formula(
+                    kpt_logic::parse_formula(&format!("x = {0} /\\ y = {0}", side - 1)).unwrap(),
+                )
+                .assign_str("x", "0")
+                .unwrap()
+                .assign_str("y", "0")
+                .unwrap(),
+        )
+        .build()
+        .unwrap()
+        .compile()
+        .unwrap()
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec/steps");
+    let program = grid_program(64);
+    let steps = 100_000usize;
+    group.throughput(Throughput::Elements(steps as u64));
+    group.bench_function("round_robin", |b| {
+        b.iter(|| {
+            let mut s = RoundRobin::new();
+            execute(&program, 0, steps, &mut s).final_state()
+        })
+    });
+    group.bench_function("random_fair", |b| {
+        b.iter(|| {
+            let mut s = RandomFair::seeded(7);
+            execute(&program, 0, steps, &mut s).final_state()
+        })
+    });
+    group.finish();
+}
+
+fn bench_reachability_vs_si(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec/reachability_vs_si");
+    group.sample_size(10);
+    for side in [32u64, 64, 128] {
+        let program = grid_program(side);
+        group.bench_with_input(BenchmarkId::new("bfs", side * side), &(), |b, ()| {
+            b.iter(|| reachable(&program))
+        });
+        group.bench_with_input(BenchmarkId::new("sst", side * side), &(), |b, ()| {
+            b.iter(|| {
+                // Recompute from scratch (si() caches, so rebuild the sp).
+                use kpt_transformers::{sp_union, strongest_invariant, FnTransformer};
+                let sp = FnTransformer::new(program.space(), "SP", |p: &Predicate| {
+                    sp_union(program.transitions(), p)
+                });
+                strongest_invariant(&sp, program.init())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution, bench_reachability_vs_si);
+criterion_main!(benches);

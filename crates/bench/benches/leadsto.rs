@@ -1,0 +1,103 @@
+//! Bench for the leads-to model checker (SCC analysis under unconditional
+//! fairness), scaling with avoid-region size and statement count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpt_state::{Predicate, StateSpace};
+use kpt_unity::{Program, Statement};
+
+fn token_ring(n_procs: usize, counter: u64) -> kpt_unity::CompiledProgram {
+    // A ring: token hops; each holder bumps a shared counter.
+    let mut b = StateSpace::builder().nat_var("tok", n_procs as u64).unwrap();
+    b = b.nat_var("cnt", counter).unwrap();
+    let space = b.build().unwrap();
+    let mut builder = Program::builder("ring", &space)
+        .init_str("tok = 0 /\\ cnt = 0")
+        .unwrap();
+    for p in 0..n_procs as u64 {
+        let np = n_procs as u64;
+        let sp2 = std::sync::Arc::clone(&space);
+        builder = builder.statement(
+            Statement::new(format!("hop{p}"))
+                .guard_pred(Predicate::from_fn(&space, move |s| {
+                    sp2.value(s, sp2.var("tok").unwrap()) == p
+                }))
+                .update_with(move |sp, st| {
+                    let tok = sp.var("tok").unwrap();
+                    let cnt = sp.var("cnt").unwrap();
+                    let c = sp.value(st, cnt);
+                    let st = sp.with_value(st, tok, (p + 1) % np);
+                    sp.with_value(st, cnt, (c + 1).min(counter - 1))
+                }),
+        );
+    }
+    builder.build().unwrap().compile().unwrap()
+}
+
+fn bench_leads_to(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leads_to");
+    group.sample_size(20);
+    for (procs, cnt) in [(4usize, 64u64), (8, 256), (8, 1024)] {
+        let program = token_ring(procs, cnt);
+        let space = program.space().clone();
+        let sp2 = std::sync::Arc::clone(&space);
+        let goal = Predicate::from_fn(&space, move |s| {
+            sp2.value(s, sp2.var("cnt").unwrap()) == cnt - 1
+        });
+        let tt = Predicate::tt(program.space());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{procs}procs_{cnt}cnt")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let r = program.leads_to(&tt, &goal);
+                    assert!(r.holds());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_leads_to_failure(c: &mut Criterion) {
+    // Failing queries exercise the trap search + counterexample path.
+    let mut group = c.benchmark_group("leads_to/counterexample");
+    group.sample_size(20);
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .bool_var("y")
+        .unwrap()
+        .nat_var("pad", 512)
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("dodge", &space)
+        .init_str("~x /\\ ~y /\\ pad = 0")
+        .unwrap()
+        .statement(Statement::new("up").guard_str("~x").unwrap().assign_str("x", "1").unwrap())
+        .statement(Statement::new("dn").guard_str("x").unwrap().assign_str("x", "0").unwrap())
+        .statement(Statement::new("lat").guard_str("x").unwrap().assign_str("y", "1").unwrap())
+        .statement(
+            Statement::new("pad")
+                .guard_str("pad < 511")
+                .unwrap()
+                .assign_str("pad", "pad + 1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap()
+        .compile()
+        .unwrap();
+    let y = Predicate::var_is_true(&space, space.var("y").unwrap());
+    let tt = Predicate::tt(&space);
+    group.bench_function("dodger_512pad", |b| {
+        b.iter(|| {
+            let r = program.leads_to(&tt, &y);
+            assert!(!r.holds());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_leads_to, bench_leads_to_failure);
+criterion_main!(benches);

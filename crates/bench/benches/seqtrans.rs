@@ -1,0 +1,116 @@
+//! E6/E7/E8/E11 bench: the sequence-transmission pipeline — model
+//! construction, SI computation, full verification, proof replay, KBP
+//! instantiation, and the protocol simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kpt_seqtrans::altbit::{abp_config, run_altbit};
+use kpt_seqtrans::knowledge_preds::{validate_completeness, validate_soundness};
+use kpt_seqtrans::proof_replay::replay_liveness_for_k;
+use kpt_seqtrans::sim::{run_standard, SimConfig};
+use kpt_seqtrans::stenning::{run_stenning, StenningPolicy};
+use kpt_seqtrans::{figure3_kbp, ModelOptions, StandardModel};
+
+fn bench_model_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seqtrans/model");
+    group.sample_size(10);
+    for (a, l) in [(2usize, 2usize), (3, 2)] {
+        let model = StandardModel::build(a, l, ModelOptions::default()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("compile_and_si", format!("a{a}_l{l}")),
+            &model,
+            |b, m| {
+                b.iter(|| {
+                    let c = m.compile().unwrap();
+                    c.si().count()
+                })
+            },
+        );
+        let compiled = model.compile().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("spec_check", format!("a{a}_l{l}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    assert!(compiled.invariant(&model.w_prefix_of_x()));
+                    for k in 0..l as u64 {
+                        assert!(compiled.leads_to_holds(&model.j_eq(k), &model.j_gt(k)));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("knowledge_validation", format!("a{a}_l{l}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    assert!(validate_soundness(&model, &compiled).all_hold());
+                    assert!(validate_completeness(&model, &compiled).all_hold());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_proof_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seqtrans/proof_replay");
+    group.sample_size(10);
+    let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+    let compiled = model.compile().unwrap();
+    group.bench_function("liveness_k0", |b| {
+        b.iter(|| replay_liveness_for_k(&model, &compiled, 0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_kbp_instantiation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seqtrans/kbp");
+    group.sample_size(10);
+    let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+    let compiled = model.compile().unwrap();
+    let kbp = figure3_kbp(&model).unwrap();
+    group.bench_function("is_solution_standard_si", |b| {
+        b.iter(|| assert!(kbp.is_solution(compiled.si()).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seqtrans/sim");
+    let n = 200usize;
+    let x: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    for rate in [0.0, 0.3] {
+        let cfg = if rate == 0.0 {
+            SimConfig::reliable(x.clone())
+        } else {
+            SimConfig::faulty(x.clone(), rate, 7)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("figure4", format!("loss{rate}")),
+            &cfg,
+            |b, cfg| b.iter(|| run_standard(cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stenning", format!("loss{rate}")),
+            &cfg,
+            |b, cfg| b.iter(|| run_stenning(cfg, StenningPolicy::default())),
+        );
+        let abp = abp_config(x.clone(), rate, 7);
+        group.bench_with_input(
+            BenchmarkId::new("altbit", format!("loss{rate}")),
+            &abp,
+            |b, cfg| b.iter(|| run_altbit(cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_checking,
+    bench_proof_replay,
+    bench_kbp_instantiation,
+    bench_simulators
+);
+criterion_main!(benches);

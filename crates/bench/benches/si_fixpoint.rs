@@ -1,0 +1,60 @@
+//! E3 bench: the `sst`/strongest-invariant fixpoint of eqs. (1)/(3),
+//! scaling with state-space size and with the chain length (number of
+//! Kleene iterations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpt_state::{Predicate, StateSpace};
+use kpt_transformers::{sp_union, sst_with_stats, DetTransition, FnTransformer};
+
+fn counter_space(n: u64) -> std::sync::Arc<StateSpace> {
+    StateSpace::builder().nat_var("i", n).unwrap().build().unwrap()
+}
+
+/// A long-chain program: i := i + 1 (long fixpoint chain, one state/step).
+fn bench_long_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("si_fixpoint/long_chain");
+    group.sample_size(20);
+    for n in [1u64 << 8, 1 << 10, 1 << 12] {
+        let space = counter_space(n);
+        let t = DetTransition::from_fn(&space, move |i| if i + 1 < n { i + 1 } else { i });
+        let sp = FnTransformer::new(&space, "SP", move |p: &Predicate| {
+            sp_union(std::slice::from_ref(&t), p)
+        });
+        let init = Predicate::from_indices(&space, [0]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sst_with_stats(&sp, &init))
+        });
+    }
+    group.finish();
+}
+
+/// A wide program: 8 statements over a product space, short chain.
+fn bench_wide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("si_fixpoint/wide");
+    group.sample_size(20);
+    for bits in [10u32, 14, 16] {
+        let mut b = StateSpace::builder();
+        for i in 0..bits {
+            b = b.bool_var(&format!("b{i}")).unwrap();
+        }
+        let space = b.build().unwrap();
+        let stmts: Vec<DetTransition> = (0..8u64)
+            .map(|k| {
+                let v = space.var(&format!("b{k}")).unwrap();
+                let sp2 = std::sync::Arc::clone(&space);
+                DetTransition::from_fn(&space, move |s| sp2.with_value(s, v, 1))
+            })
+            .collect();
+        let sp = FnTransformer::new(&space, "SP", move |p: &Predicate| sp_union(&stmts, p));
+        let init = Predicate::from_indices(&space, [0]);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}states", space.num_states())),
+            &bits,
+            |b, _| b.iter(|| sst_with_stats(&sp, &init)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_long_chain, bench_wide);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E1 bench: the weakest-cylinder operator `wcyl` (eq. 6) and the
+//! underlying quantifier sweeps, across state-space sizes and view sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpt_core::wcyl;
+use kpt_state::{forall_set, Predicate, StateSpace, VarSet};
+
+fn space_with_vars(nvars: usize, dom: u64) -> std::sync::Arc<StateSpace> {
+    let mut b = StateSpace::builder();
+    for i in 0..nvars {
+        b = b.nat_var(&format!("v{i}"), dom).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn bench_wcyl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcyl");
+    for nvars in [4usize, 6, 8] {
+        let space = space_with_vars(nvars, 4); // 4^n states
+        let p = Predicate::from_fn(&space, |s| s % 3 == 0);
+        // Half the variables visible.
+        let view = VarSet::from_vars(space.vars().take(nvars / 2));
+        group.bench_with_input(
+            BenchmarkId::new("half_view", format!("{}states", space.num_states())),
+            &(&p, view),
+            |b, (p, view)| b.iter(|| wcyl(view, p)),
+        );
+        let empty = VarSet::EMPTY;
+        group.bench_with_input(
+            BenchmarkId::new("empty_view", format!("{}states", space.num_states())),
+            &(&p, empty),
+            |b, (p, view)| b.iter(|| wcyl(view, p)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_quantifier_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forall_set");
+    for nvars in [4usize, 6, 8] {
+        let space = space_with_vars(nvars, 4);
+        let p = Predicate::from_fn(&space, |s| s % 5 != 0);
+        let all = space.all_vars();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}states_allvars", space.num_states())),
+            &(&p, all),
+            |b, (p, all)| b.iter(|| forall_set(p, *all)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wcyl, bench_quantifier_sweep);
+criterion_main!(benches);

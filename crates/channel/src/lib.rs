@@ -1,0 +1,403 @@
+//! # kpt-channel: faulty communication channels
+//!
+//! The sequence-transmission problem (§6 of the paper) runs over a channel
+//! that "allows loss, duplication, and detectable corruption of messages",
+//! subject to the liveness assumption that a message *sent repeatedly* is
+//! eventually delivered (properties (St-3)/(St-4)). This crate provides
+//! that channel for the simulation experiments:
+//!
+//! * [`FaultyChannel`] — a unidirectional channel with seeded, configurable
+//!   loss / duplication / detectable-corruption / reordering, plus a
+//!   fairness bound guaranteeing the paper's liveness assumption;
+//! * [`Delivery`] — what a receive returns: an intact message or the
+//!   detectably-corrupt `⊥` of the paper ("var receives the value denoted
+//!   ⊥, which is different from any legal value");
+//! * [`ChannelStats`] — exact accounting (sent / delivered / lost /
+//!   duplicated / corrupted), used by the message-count experiments.
+//!
+//! The *model-checked* channel of the bounded UNITY instances lives in
+//! `kpt-seqtrans` as environment statements; this crate is the
+//! simulation-level counterpart.
+//!
+//! ## Example
+//!
+//! ```
+//! use kpt_channel::{Delivery, FaultConfig, FaultyChannel};
+//! let mut ch = FaultyChannel::new(FaultConfig::lossy(0.5, 8), 42);
+//! // Send repeatedly; the fairness bound guarantees eventual delivery.
+//! let mut got = None;
+//! for _ in 0..100 {
+//!     ch.send(7u32);
+//!     if let Some(Delivery::Intact(v)) = ch.recv() {
+//!         got = Some(v);
+//!         break;
+//!     }
+//! }
+//! assert_eq!(got, Some(7));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a receive attempt yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Delivery<M> {
+    /// The message arrived intact.
+    Intact(M),
+    /// A message arrived but was detectably corrupted — the paper's `⊥`.
+    Corrupted,
+}
+
+impl<M> Delivery<M> {
+    /// The intact message, if any.
+    pub fn intact(self) -> Option<M> {
+        match self {
+            Delivery::Intact(m) => Some(m),
+            Delivery::Corrupted => None,
+        }
+    }
+}
+
+/// Fault model of a [`FaultyChannel`]. Probabilities are per-message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a sent message is dropped.
+    pub loss: f64,
+    /// Probability a sent message is enqueued twice.
+    pub duplication: f64,
+    /// Probability a delivered message arrives as `⊥`.
+    pub corruption: f64,
+    /// Probability a newly sent message jumps the queue (reordering).
+    pub reorder: f64,
+    /// Fairness bound: after this many consecutive loss-or-corruption
+    /// events the next message is delivered intact. This realises the
+    /// paper's channel-liveness assumption — "a communication channel that
+    /// will eventually correctly deliver any message that is sent
+    /// repeatedly". `0` disables faults entirely.
+    pub fairness_bound: u32,
+}
+
+impl FaultConfig {
+    /// A perfectly reliable FIFO channel.
+    pub fn reliable() -> Self {
+        FaultConfig {
+            loss: 0.0,
+            duplication: 0.0,
+            corruption: 0.0,
+            reorder: 0.0,
+            fairness_bound: 0,
+        }
+    }
+
+    /// A channel that only loses messages.
+    pub fn lossy(loss: f64, fairness_bound: u32) -> Self {
+        FaultConfig {
+            loss,
+            duplication: 0.0,
+            corruption: 0.0,
+            reorder: 0.0,
+            fairness_bound,
+        }
+    }
+
+    /// The §6.3 channel: loss, duplication and detectable corruption (no
+    /// reordering), with a fairness bound.
+    pub fn paper(loss: f64, duplication: f64, corruption: f64, fairness_bound: u32) -> Self {
+        FaultConfig {
+            loss,
+            duplication,
+            corruption,
+            reorder: 0.0,
+            fairness_bound,
+        }
+    }
+
+    /// # Panics
+    /// Panics if any probability is outside `[0, 1]`.
+    fn validate(&self) {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("duplication", self.duplication),
+            ("corruption", self.corruption),
+            ("reorder", self.reorder),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} probability {p} not in [0, 1]");
+        }
+    }
+}
+
+/// Exact accounting of channel behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages passed to [`FaultyChannel::send`].
+    pub sent: u64,
+    /// Messages returned intact from [`FaultyChannel::recv`].
+    pub delivered_intact: u64,
+    /// Messages returned as `⊥`.
+    pub delivered_corrupted: u64,
+    /// Messages dropped at send time.
+    pub lost: u64,
+    /// Extra copies enqueued by duplication.
+    pub duplicated: u64,
+    /// Messages that jumped the queue.
+    pub reordered: u64,
+}
+
+/// A unidirectional, seeded, faulty FIFO channel.
+///
+/// Determinism: two channels constructed with the same config and seed and
+/// driven by the same call sequence behave identically — all experiments
+/// are reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultyChannel<M> {
+    queue: VecDeque<M>,
+    config: FaultConfig,
+    rng: StdRng,
+    stats: ChannelStats,
+    consecutive_faults: u32,
+}
+
+impl<M: Clone> FaultyChannel<M> {
+    /// A channel with the given fault model and RNG seed.
+    ///
+    /// # Panics
+    /// Panics if a probability in `config` is outside `[0, 1]`.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        config.validate();
+        FaultyChannel {
+            queue: VecDeque::new(),
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            stats: ChannelStats::default(),
+            consecutive_faults: 0,
+        }
+    }
+
+    /// The fault model.
+    pub fn config(&self) -> FaultConfig {
+        self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn fault_allowed(&self) -> bool {
+        self.config.fairness_bound > 0
+            && self.consecutive_faults < self.config.fairness_bound
+    }
+
+    /// Transmit a message (the paper's `transmit(m)` command). The message
+    /// may be lost, duplicated or reordered according to the fault model.
+    pub fn send(&mut self, msg: M) {
+        self.stats.sent += 1;
+        if self.fault_allowed() && self.rng.gen_bool(self.config.loss) {
+            self.stats.lost += 1;
+            self.consecutive_faults += 1;
+            return;
+        }
+        let dup = self.fault_allowed() && self.rng.gen_bool(self.config.duplication);
+        let reorder = self.config.reorder > 0.0
+            && !self.queue.is_empty()
+            && self.rng.gen_bool(self.config.reorder);
+        if reorder {
+            self.stats.reordered += 1;
+            let pos = self.rng.gen_range(0..self.queue.len());
+            self.queue.insert(pos, msg.clone());
+        } else {
+            self.queue.push_back(msg.clone());
+        }
+        if dup {
+            self.stats.duplicated += 1;
+            self.queue.push_back(msg);
+        }
+    }
+
+    /// Attempt to receive (the paper's `receive(var)` command): `None` if
+    /// no message is available; otherwise an intact or detectably-corrupt
+    /// delivery.
+    pub fn recv(&mut self) -> Option<Delivery<M>> {
+        let msg = self.queue.pop_front()?;
+        if self.fault_allowed() && self.rng.gen_bool(self.config.corruption) {
+            self.stats.delivered_corrupted += 1;
+            self.consecutive_faults += 1;
+            return Some(Delivery::Corrupted);
+        }
+        self.stats.delivered_intact += 1;
+        self.consecutive_faults = 0;
+        Some(Delivery::Intact(msg))
+    }
+
+    /// Drop everything in flight (used between experiment phases).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_channel_is_fifo() {
+        let mut ch = FaultyChannel::new(FaultConfig::reliable(), 1);
+        for i in 0..10u32 {
+            ch.send(i);
+        }
+        for i in 0..10u32 {
+            assert_eq!(ch.recv(), Some(Delivery::Intact(i)));
+        }
+        assert_eq!(ch.recv(), None);
+        let s = ch.stats();
+        assert_eq!(s.sent, 10);
+        assert_eq!(s.delivered_intact, 10);
+        assert_eq!(s.lost + s.duplicated + s.delivered_corrupted, 0);
+    }
+
+    #[test]
+    fn loss_actually_loses() {
+        let mut ch = FaultyChannel::new(FaultConfig::lossy(0.5, 1000), 7);
+        for i in 0..1000u32 {
+            ch.send(i);
+        }
+        let s = ch.stats();
+        assert!(s.lost > 300 && s.lost < 700, "lost = {}", s.lost);
+        assert_eq!(ch.in_flight() as u64, s.sent - s.lost);
+    }
+
+    #[test]
+    fn fairness_bound_forces_progress() {
+        // With loss = 1.0 but a fairness bound, sends eventually get through.
+        let mut ch = FaultyChannel::new(FaultConfig::lossy(1.0, 4), 3);
+        let mut delivered = 0;
+        for i in 0..20u32 {
+            ch.send(i);
+            if let Some(Delivery::Intact(_)) = ch.recv() {
+                delivered += 1;
+            }
+        }
+        assert!(delivered >= 20 / 5, "delivered = {delivered}");
+        assert!(ch.stats().delivered_intact >= 4);
+    }
+
+    #[test]
+    fn corruption_is_detectable() {
+        let cfg = FaultConfig::paper(0.0, 0.0, 1.0, 3);
+        let mut ch = FaultyChannel::new(cfg, 11);
+        let mut outcomes = Vec::new();
+        for i in 0..8u32 {
+            ch.send(i);
+            outcomes.push(ch.recv().unwrap());
+        }
+        assert!(outcomes.iter().any(|d| matches!(d, Delivery::Corrupted)));
+        assert!(outcomes.iter().any(|d| matches!(d, Delivery::Intact(_))));
+        assert_eq!(
+            ch.stats().delivered_corrupted + ch.stats().delivered_intact,
+            8
+        );
+    }
+
+    #[test]
+    fn duplication_enqueues_twice() {
+        let cfg = FaultConfig {
+            loss: 0.0,
+            duplication: 1.0,
+            corruption: 0.0,
+            reorder: 0.0,
+            fairness_bound: 100,
+        };
+        let mut ch = FaultyChannel::new(cfg, 5);
+        ch.send(1u32);
+        assert_eq!(ch.in_flight(), 2);
+        assert_eq!(ch.recv(), Some(Delivery::Intact(1)));
+        assert_eq!(ch.recv(), Some(Delivery::Intact(1)));
+        assert_eq!(ch.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reordering_changes_order_sometimes() {
+        let cfg = FaultConfig {
+            loss: 0.0,
+            duplication: 0.0,
+            corruption: 0.0,
+            reorder: 1.0,
+            fairness_bound: 0,
+        };
+        let mut ch = FaultyChannel::new(cfg, 9);
+        for i in 0..10u32 {
+            ch.send(i);
+        }
+        let mut got = Vec::new();
+        while let Some(Delivery::Intact(v)) = ch.recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 10);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        assert_ne!(got, sorted, "with reorder = 1.0 order must change");
+        assert!(ch.stats().reordered > 0);
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let cfg = FaultConfig::paper(0.3, 0.2, 0.1, 16);
+        let run = |seed| {
+            let mut ch = FaultyChannel::new(cfg, seed);
+            let mut log = Vec::new();
+            for i in 0..200u32 {
+                ch.send(i);
+                log.push(ch.recv());
+            }
+            (log, ch.stats())
+        };
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123).0, run(124).0);
+    }
+
+    #[test]
+    fn recv_on_empty_is_none() {
+        let mut ch = FaultyChannel::<u32>::new(FaultConfig::reliable(), 0);
+        assert_eq!(ch.recv(), None);
+        ch.send(1);
+        ch.clear();
+        assert_eq!(ch.recv(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = FaultyChannel::<u32>::new(FaultConfig::lossy(1.5, 4), 0);
+    }
+
+    #[test]
+    fn delivery_intact_accessor() {
+        assert_eq!(Delivery::Intact(3u8).intact(), Some(3));
+        assert_eq!(Delivery::<u8>::Corrupted.intact(), None);
+    }
+
+    #[test]
+    fn zero_fairness_bound_disables_faults() {
+        let cfg = FaultConfig {
+            loss: 1.0,
+            duplication: 1.0,
+            corruption: 1.0,
+            reorder: 0.0,
+            fairness_bound: 0,
+        };
+        let mut ch = FaultyChannel::new(cfg, 2);
+        ch.send(9u32);
+        assert_eq!(ch.recv(), Some(Delivery::Intact(9)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Errors for the knowledge and knowledge-based-protocol layers.
+
+use std::error::Error;
+use std::fmt;
+
+use kpt_logic::EvalError;
+use kpt_unity::UnityError;
+
+/// Errors from knowledge operators and KBP solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying UNITY-level error (compilation, evaluation, ...).
+    Unity(UnityError),
+    /// A knowledge query named an undeclared process.
+    UnknownProcess(String),
+    /// The exhaustive KBP solver was asked to enumerate more candidates
+    /// than its limit allows.
+    SearchTooLarge {
+        /// Number of free (non-init) states that would have to be
+        /// enumerated over.
+        free_states: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Unity(e) => write!(f, "{e}"),
+            CoreError::UnknownProcess(name) => write!(f, "unknown process `{name}`"),
+            CoreError::SearchTooLarge { free_states, limit } => write!(
+                f,
+                "exhaustive search over 2^{free_states} candidates exceeds limit 2^{limit}"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Unity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnityError> for CoreError {
+    fn from(e: UnityError) -> Self {
+        CoreError::Unity(e)
+    }
+}
+
+impl From<EvalError> for CoreError {
+    fn from(e: EvalError) -> Self {
+        CoreError::Unity(UnityError::Eval(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: CoreError = UnityError::NoStatements.into();
+        assert!(e.to_string().contains("statement"));
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::SearchTooLarge {
+            free_states: 30,
+            limit: 20,
+        };
+        assert!(e.to_string().contains("2^30"));
+    }
+}

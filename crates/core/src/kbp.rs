@@ -1,0 +1,431 @@
+//! Knowledge-based protocols (§4): the non-monotone fixpoint equation (25)
+//! and its solvers.
+//!
+//! A knowledge-based protocol is a UNITY program whose guards may mention
+//! `K{i}`. Because `K_i` is defined from `SI` (eq. 13) while `SI` is
+//! defined from the program's transitions (eq. 1), a KBP denotes a
+//! *fixpoint equation* rather than a program:
+//!
+//! ```text
+//! SI  ≝  strongest x : [ŜP.x ⇒ x] ∧ [init ⇒ x]          (25)
+//! ```
+//!
+//! where `ŜP` is `SP` with every knowledge guard evaluated against the
+//! candidate `x`. On a finite space, `x` *solves* the KBP exactly when `x`
+//! equals the strongest invariant of the standard program obtained by
+//! substituting `x` for `SI` in the knowledge guards. Since `ŜP` is not
+//! monotone, a solution may not exist (Figure 1), and when solutions exist
+//! the set need not have a strongest element, nor behave monotonically in
+//! `init` (Figure 2). This module provides:
+//!
+//! * [`Kbp::is_solution`] — the verification predicate;
+//! * [`Kbp::solve_exhaustive`] — complete enumeration over candidate
+//!   invariants `x ⊇ init` (small spaces): finds **all** solutions or
+//!   proves there are none;
+//! * [`Kbp::solve_iterative`] — the scalable iteration
+//!   `x_{k+1} = SI(program[K @ x_k])` with cycle detection; sound when it
+//!   converges (the result is verified), inconclusive otherwise.
+
+use kpt_state::Predicate;
+use kpt_unity::{CompiledProgram, Program};
+
+use crate::error::CoreError;
+use crate::knowledge::KnowledgeOperator;
+
+/// A knowledge-based protocol: a UNITY [`Program`] whose guards may mention
+/// knowledge, together with the eq. (25) solution machinery.
+#[derive(Debug, Clone)]
+pub struct Kbp {
+    program: Program,
+}
+
+impl Kbp {
+    /// Wrap a program (knowledge guards allowed but not required — a
+    /// standard program is the degenerate KBP whose solution is its own
+    /// `SI`).
+    pub fn new(program: Program) -> Self {
+        Kbp { program }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The same KBP with a different initial condition (for studying the
+    /// Figure-2 non-monotonicity).
+    #[must_use]
+    pub fn with_init(&self, init: Predicate) -> Kbp {
+        Kbp {
+            program: self.program.with_init(init),
+        }
+    }
+
+    /// Compile the *standard* program obtained by evaluating every
+    /// knowledge guard against the candidate invariant `x` (the paper's
+    /// "replacing all the knowledge predicates with the corresponding
+    /// standard predicate obtained using SI").
+    ///
+    /// # Errors
+    /// Compilation errors from the underlying program.
+    pub fn compile_at(&self, x: &Predicate) -> Result<CompiledProgram, CoreError> {
+        let views = self
+            .program
+            .processes()
+            .iter()
+            .map(|p| (p.name().to_owned(), p.view()))
+            .collect();
+        let op = KnowledgeOperator::with_si(self.program.space(), views, x.clone());
+        let f = op.knowledge_fn();
+        Ok(self.program.compile_with_knowledge(f.as_ref())?)
+    }
+
+    /// The eq. (25) verification: `x` solves the KBP iff `x` is exactly the
+    /// strongest invariant of the standard program obtained at `x`.
+    ///
+    /// # Errors
+    /// Compilation errors.
+    pub fn is_solution(&self, x: &Predicate) -> Result<bool, CoreError> {
+        let compiled = self.compile_at(x)?;
+        Ok(compiled.si() == x)
+    }
+
+    /// One step of the solution iteration: the strongest invariant of the
+    /// standard program obtained at `x`.
+    ///
+    /// # Errors
+    /// Compilation errors.
+    pub fn iterate(&self, x: &Predicate) -> Result<Predicate, CoreError> {
+        Ok(self.compile_at(x)?.si().clone())
+    }
+
+    /// Complete enumeration of all solutions, over candidates
+    /// `x = init ∪ S` for every subset `S` of the non-init states.
+    ///
+    /// # Errors
+    /// [`CoreError::SearchTooLarge`] if there are more than
+    /// `max_free_states` non-init states (the search is `2^free`);
+    /// compilation errors otherwise.
+    pub fn solve_exhaustive(&self, max_free_states: u64) -> Result<SolutionSet, CoreError> {
+        let space = self.program.space();
+        let init = self.program.init();
+        let free: Vec<u64> = init.negate().iter().collect();
+        let nfree = free.len() as u64;
+        if nfree > max_free_states {
+            return Err(CoreError::SearchTooLarge {
+                free_states: nfree,
+                limit: max_free_states,
+            });
+        }
+        let mut solutions = Vec::new();
+        let total = 1u64 << nfree;
+        for mask in 0..total {
+            let candidate = Predicate::from_indices(
+                space,
+                init.iter().chain(
+                    free.iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask >> i & 1 == 1)
+                        .map(|(_, &s)| s),
+                ),
+            );
+            if self.is_solution(&candidate)? {
+                solutions.push(candidate);
+            }
+        }
+        Ok(SolutionSet {
+            solutions,
+            candidates_checked: total,
+        })
+    }
+
+    /// The iteration `x_{k+1} = SI(program[K @ x_k])` from `x_0 = init`,
+    /// with cycle detection. Any claimed solution is verified before being
+    /// returned.
+    ///
+    /// # Errors
+    /// Compilation errors.
+    pub fn solve_iterative(&self, max_iterations: usize) -> Result<IterativeOutcome, CoreError> {
+        let mut x = self.program.init().clone();
+        let mut seen: Vec<Predicate> = vec![x.clone()];
+        for k in 0..max_iterations {
+            let next = self.iterate(&x)?;
+            if next == x {
+                // Fixpoint of the iteration — i.e. a genuine solution.
+                return Ok(IterativeOutcome::Converged {
+                    solution: x,
+                    iterations: k + 1,
+                });
+            }
+            if let Some(pos) = seen.iter().position(|p| p == &next) {
+                return Ok(IterativeOutcome::Cycle {
+                    period: seen.len() - pos,
+                    entered_after: pos,
+                });
+            }
+            seen.push(next.clone());
+            x = next;
+        }
+        Ok(IterativeOutcome::Inconclusive {
+            iterations: max_iterations,
+        })
+    }
+}
+
+/// The outcome of [`Kbp::solve_iterative`].
+#[derive(Debug, Clone)]
+pub enum IterativeOutcome {
+    /// The iteration reached a fixpoint, which is a verified solution of
+    /// eq. (25).
+    Converged {
+        /// The solution.
+        solution: Predicate,
+        /// Iterations used.
+        iterations: usize,
+    },
+    /// The iteration entered a cycle of the given period — strong evidence
+    /// (though not proof) of Figure-1-style ill-posedness; use
+    /// [`Kbp::solve_exhaustive`] on small spaces to decide.
+    Cycle {
+        /// Length of the cycle.
+        period: usize,
+        /// Iterations before entering the cycle.
+        entered_after: usize,
+    },
+    /// The iteration budget ran out.
+    Inconclusive {
+        /// Iterations used.
+        iterations: usize,
+    },
+}
+
+impl IterativeOutcome {
+    /// The solution, if the iteration converged.
+    pub fn solution(&self) -> Option<&Predicate> {
+        match self {
+            IterativeOutcome::Converged { solution, .. } => Some(solution),
+            _ => None,
+        }
+    }
+}
+
+/// The complete set of eq. (25) solutions found by exhaustive search.
+#[derive(Debug, Clone)]
+pub struct SolutionSet {
+    solutions: Vec<Predicate>,
+    candidates_checked: u64,
+}
+
+impl SolutionSet {
+    /// All solutions (in candidate enumeration order).
+    pub fn solutions(&self) -> &[Predicate] {
+        &self.solutions
+    }
+
+    /// Whether the KBP has no solution at all (the Figure 1 phenomenon:
+    /// "there is no possible choice for SI").
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// How many candidates the search verified.
+    pub fn candidates_checked(&self) -> u64 {
+        self.candidates_checked
+    }
+
+    /// The *strongest* solution — the `SI` that eq. (25) asks for — if the
+    /// solution set has a least element; `None` if there is no solution or
+    /// no unique strongest one (both possible for non-monotone `ŜP`).
+    pub fn strongest(&self) -> Option<&Predicate> {
+        self.solutions
+            .iter()
+            .find(|s| self.solutions.iter().all(|o| s.entails(o)))
+    }
+
+    /// The minimal solutions (those with no strictly stronger solution).
+    pub fn minimal(&self) -> Vec<&Predicate> {
+        self.solutions
+            .iter()
+            .filter(|s| {
+                !self
+                    .solutions
+                    .iter()
+                    .any(|o| o != *s && o.entails(s))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_state::StateSpace;
+    use kpt_unity::{Program, Statement};
+
+    /// A standard program viewed as a KBP: its unique minimal solution
+    /// containing behaviour is its own SI... in fact *any* superset-closed
+    /// candidate works only if it equals sst(init) of the (constant)
+    /// program — exactly one solution.
+    #[test]
+    fn standard_program_has_exactly_one_solution() {
+        let space = StateSpace::builder()
+            .nat_var("i", 3)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("std", &space)
+            .init_str("i = 0")
+            .unwrap()
+            .statement(
+                Statement::new("inc")
+                    .guard_str("i < 2")
+                    .unwrap()
+                    .assign_str("i", "i + 1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program.clone());
+        let sols = kbp.solve_exhaustive(16).unwrap();
+        assert_eq!(sols.len(), 1);
+        let expected = program.compile().unwrap().si().clone();
+        assert_eq!(sols.solutions()[0], expected);
+        assert_eq!(sols.strongest(), Some(&expected));
+        assert_eq!(sols.minimal(), vec![&expected]);
+        assert_eq!(sols.candidates_checked(), 4); // 2 free states (i=1,2 free... init fixes i=0, free = {1,2})
+        // The iterative solver agrees.
+        match kbp.solve_iterative(10).unwrap() {
+            IterativeOutcome::Converged { solution, .. } => assert_eq!(solution, expected),
+            other => panic!("expected convergence, got {other:?}"),
+        }
+    }
+
+    /// A self-fulfilling knowledge guard with several solutions: process P
+    /// sees everything; statement `b := true if K{P}(b)`. Candidate
+    /// x = {init} works (K(b) false at init, b stays false). Candidate
+    /// including b-states... K{P}(b) with full view = b on x-states; the
+    /// statement then sets b:=true where b already true — no new states.
+    /// So x = {¬b-init} is a solution; is {¬b, b} also one? SI of the
+    /// induced program from init = {¬b} is just {¬b} ≠ x. So unique again.
+    /// To get multiple solutions we need init to *contain* the self-
+    /// fulfilling region: init = true.
+    #[test]
+    fn self_fulfilling_guard_solution_structure() {
+        let space = StateSpace::builder().bool_var("b").unwrap().build().unwrap();
+        let program = Program::builder("self", &space)
+            .init_str("~b")
+            .unwrap()
+            .process("P", ["b"])
+            .unwrap()
+            .statement(
+                Statement::new("s")
+                    .guard_str("K{P}(b)")
+                    .unwrap()
+                    .assign_str("b", "1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program);
+        let sols = kbp.solve_exhaustive(16).unwrap();
+        // From init ¬b: guard K(b) requires b, which is false at the init
+        // state; so nothing happens and SI = {¬b} for any candidate that
+        // doesn't add b-states gratuitously. Exactly one solution: {¬b}.
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols.solutions()[0].iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    /// A KBP with NO solution, simpler than Figure 1: process P sees
+    /// nothing (empty view); statement `b := true if ~K{P}(b)`.
+    /// - Candidate x = {¬b}: K(b) on x: at ¬b-state, b false ⇒ K(b) false
+    ///   ⇒ guard true ⇒ b becomes true ⇒ SI(x) ⊋ x. Not a solution.
+    /// - Candidate x = {¬b, b}: K(b) = b ∧ wcyl.∅.(x⇒b) = b ∧ [x⇒b] = false
+    ///   (x has a ¬b state) ⇒ guard true everywhere ⇒ SI = both states =
+    ///   x. Wait — that IS a solution. So this has a solution; assert so.
+    #[test]
+    fn blind_process_negative_guard() {
+        let space = StateSpace::builder().bool_var("b").unwrap().build().unwrap();
+        let program = Program::builder("blind", &space)
+            .init_str("~b")
+            .unwrap()
+            .process("P", [] as [&str; 0])
+            .unwrap()
+            .statement(
+                Statement::new("s")
+                    .guard_str("~K{P}(b)")
+                    .unwrap()
+                    .assign_str("b", "1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program);
+        let sols = kbp.solve_exhaustive(16).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert!(sols.solutions()[0].everywhere());
+        // And the iterative solver finds it from below.
+        assert!(kbp.solve_iterative(10).unwrap().solution().is_some());
+    }
+
+    #[test]
+    fn search_limit_is_enforced() {
+        let space = StateSpace::builder()
+            .nat_var("i", 64)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("big", &space)
+            .init_str("i = 0")
+            .unwrap()
+            .statement(Statement::new("skip"))
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program);
+        assert!(matches!(
+            kbp.solve_exhaustive(16),
+            Err(CoreError::SearchTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn with_init_changes_the_equation() {
+        let space = StateSpace::builder()
+            .nat_var("i", 3)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("p", &space)
+            .init_str("i = 0")
+            .unwrap()
+            .statement(
+                Statement::new("inc")
+                    .guard_str("i < 2")
+                    .unwrap()
+                    .assign_str("i", "i + 1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program);
+        let stronger = Kbp::new(kbp.program().with_init(
+            kpt_logic::EvalContext::new(&space)
+                .eval(&kpt_logic::parse_formula("i = 2").unwrap())
+                .unwrap(),
+        ));
+        let s1 = kbp.solve_exhaustive(16).unwrap();
+        let s2 = stronger.solve_exhaustive(16).unwrap();
+        assert_eq!(s1.solutions()[0].count(), 3);
+        assert_eq!(s2.solutions()[0].count(), 1);
+        // with_init on the Kbp wrapper does the same thing.
+        let s3 = kbp
+            .with_init(stronger.program().init().clone())
+            .solve_exhaustive(16)
+            .unwrap();
+        assert_eq!(s2.solutions()[0], s3.solutions()[0]);
+    }
+}

@@ -1,0 +1,253 @@
+//! The weakest cylinder `wcyl` (eq. 6) and its properties (7)–(12).
+//!
+//! `wcyl.V.p` is the weakest predicate *as strong as* `p` that depends only
+//! on the variables in `V`:
+//!
+//! ```text
+//! wcyl.V.p  ≝  (∀ V̄ :: p)          (6)
+//! ```
+//!
+//! where `V̄` is the complement of `V` in the program variables. Knowledge
+//! (eq. 13) is built directly on it. The paper's properties:
+//!
+//! * (7)  `[wcyl.V.p ⇒ p]`
+//! * (8)  `wcyl` exists and is monotonic in both arguments
+//! * (9)  if `p` depends only on `V`, then `p ≡ wcyl.V.p`
+//! * (10) if `[q ⇒ p]` and `q` depends only on `V`, then `[q ⇒ wcyl.V.p]`
+//!   (wcyl is the *weakest* such cylinder)
+//! * (11) `wcyl` is universally conjunctive
+//! * (12) `wcyl` is **not** disjunctive
+//!
+//! All are unit-tested below; (12) is reproduced with the paper's own
+//! `x > 0 ∧ y > 0` counterexample in this crate's integration tests.
+
+use std::sync::Arc;
+
+use kpt_state::{forall_set, Predicate, StateSpace, VarSet};
+use kpt_transformers::Transformer;
+
+/// `wcyl.V.p` (eq. 6): the weakest predicate stronger than `p` that depends
+/// only on the variables in `view`.
+///
+/// # Examples
+/// ```
+/// use kpt_core::wcyl;
+/// use kpt_state::{Predicate, StateSpace, VarSet};
+/// # fn main() -> Result<(), kpt_state::SpaceError> {
+/// let space = StateSpace::builder().bool_var("a")?.bool_var("b")?.build()?;
+/// let a = space.var("a")?;
+/// let p = Predicate::var_is_true(&space, a);
+/// // p already depends only on {a}: wcyl is the identity (property 9).
+/// assert_eq!(wcyl(&space.var_set(["a"])?, &p), p);
+/// // Projected away entirely, a non-trivial p collapses to false.
+/// assert!(wcyl(&VarSet::EMPTY, &p).is_false());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn wcyl(view: &VarSet, p: &Predicate) -> Predicate {
+    let space = p.space();
+    forall_set(p, space.complement(*view))
+}
+
+/// `wcyl.V` as a [`Transformer`], for junctivity analysis (properties 8,
+/// 11, 12 are junctivity statements about this transformer).
+pub struct WcylTransformer {
+    space: Arc<StateSpace>,
+    view: VarSet,
+}
+
+impl WcylTransformer {
+    /// The transformer `wcyl.view` over `space`.
+    pub fn new(space: &Arc<StateSpace>, view: VarSet) -> Self {
+        WcylTransformer {
+            space: Arc::clone(space),
+            view,
+        }
+    }
+}
+
+impl Transformer for WcylTransformer {
+    fn space(&self) -> &Arc<StateSpace> {
+        &self.space
+    }
+
+    fn apply(&self, p: &Predicate) -> Predicate {
+        wcyl(&self.view, p)
+    }
+
+    fn name(&self) -> &str {
+        "wcyl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_transformers::{
+        check_finitely_disjunctive, check_monotonic, check_universally_conjunctive,
+        Strategy, Verdict,
+    };
+
+    fn space() -> Arc<StateSpace> {
+        StateSpace::builder()
+            .bool_var("a")
+            .unwrap()
+            .bool_var("b")
+            .unwrap()
+            .nat_var("n", 2)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn all_preds(s: &Arc<StateSpace>) -> impl Iterator<Item = Predicate> + '_ {
+        (0u64..(1 << s.num_states())).map(move |m| Predicate::from_fn(s, |i| m >> i & 1 == 1))
+    }
+
+    fn all_views(s: &Arc<StateSpace>) -> Vec<VarSet> {
+        let vars: Vec<_> = s.vars().collect();
+        (0u64..(1 << vars.len()))
+            .map(|m| {
+                VarSet::from_vars(
+                    vars.iter()
+                        .enumerate()
+                        .filter(|(i, _)| m >> i & 1 == 1)
+                        .map(|(_, v)| *v),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eq7_wcyl_is_stronger_than_p() {
+        let s = space();
+        for view in all_views(&s) {
+            for p in all_preds(&s) {
+                assert!(wcyl(&view, &p).entails(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn eq8_monotonic_in_predicate() {
+        let s = space();
+        for view in all_views(&s) {
+            let t = WcylTransformer::new(&s, view);
+            assert_eq!(check_monotonic(&t, Strategy::Exhaustive), Verdict::Holds);
+        }
+    }
+
+    #[test]
+    fn eq8_monotonic_in_view() {
+        // V ⊆ W  ⇒  [wcyl.V.p ⇒ wcyl.W.p]
+        let s = space();
+        let views = all_views(&s);
+        for p in all_preds(&s).step_by(37) {
+            for &v in &views {
+                for &w in &views {
+                    if v.is_subset(w) {
+                        assert!(wcyl(&v, &p).entails(&wcyl(&w, &p)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq9_identity_on_cylinders() {
+        let s = space();
+        let a = s.var("a").unwrap();
+        let view = VarSet::from_vars([a]);
+        for p in [
+            Predicate::var_is_true(&s, a),
+            Predicate::var_is_true(&s, a).negate(),
+            Predicate::tt(&s),
+            Predicate::ff(&s),
+        ] {
+            assert!(p.depends_only_on(view));
+            assert_eq!(wcyl(&view, &p), p);
+        }
+    }
+
+    #[test]
+    fn eq10_weakest_cylinder_below_p() {
+        // Any cylinder q over V with [q ⇒ p] satisfies [q ⇒ wcyl.V.p].
+        let s = space();
+        for view in all_views(&s) {
+            for p in all_preds(&s).step_by(23) {
+                let w = wcyl(&view, &p);
+                for q in all_preds(&s).step_by(41) {
+                    if q.depends_only_on(view) && q.entails(&p) {
+                        assert!(q.entails(&w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq11_universally_conjunctive() {
+        let s = StateSpace::builder()
+            .bool_var("a")
+            .unwrap()
+            .bool_var("b")
+            .unwrap()
+            .build()
+            .unwrap();
+        for view in all_views(&s) {
+            let t = WcylTransformer::new(&s, view);
+            assert_eq!(
+                check_universally_conjunctive(&t, Strategy::Exhaustive),
+                Verdict::Holds
+            );
+        }
+    }
+
+    #[test]
+    fn eq12_not_disjunctive() {
+        // The paper's counterexample shape: wcyl.x.(x>0 ∧ y>0) = false and
+        // wcyl.x.(x>0 ∧ y≤0) = false, while wcyl.x.(x>0) = x>0.
+        let s = StateSpace::builder()
+            .nat_var("x", 3)
+            .unwrap()
+            .nat_var("y", 3)
+            .unwrap()
+            .build()
+            .unwrap();
+        let x = s.var("x").unwrap();
+        let y = s.var("y").unwrap();
+        let view = VarSet::from_vars([x]);
+        let x_pos = Predicate::from_var_fn(&s, x, |v| v > 0);
+        let y_pos = Predicate::from_var_fn(&s, y, |v| v > 0);
+        let p = x_pos.and(&y_pos);
+        let q = x_pos.and(&y_pos.negate());
+        assert!(wcyl(&view, &p).is_false());
+        assert!(wcyl(&view, &q).is_false());
+        assert_eq!(wcyl(&view, &p.or(&q)), x_pos);
+        // So wcyl.V.(p ∨ q) ≠ wcyl.V.p ∨ wcyl.V.q.
+        let t = WcylTransformer::new(&s, view);
+        // And the generic checker agrees on a small space:
+        let s2 = StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .bool_var("y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let t2 = WcylTransformer::new(&s2, VarSet::from_vars([s2.var("x").unwrap()]));
+        assert!(!check_finitely_disjunctive(&t2, Strategy::Exhaustive).passed());
+        assert_eq!(t.name(), "wcyl");
+    }
+
+    #[test]
+    fn full_view_is_identity_empty_view_is_constant() {
+        let s = space();
+        let p = Predicate::from_fn(&s, |i| i % 3 == 1);
+        assert_eq!(wcyl(&s.all_vars(), &p), p);
+        // Empty view: wcyl.∅.p = [p] as a constant predicate.
+        let w = wcyl(&VarSet::EMPTY, &p);
+        assert!(w.is_false()); // p is not everywhere
+        assert!(wcyl(&VarSet::EMPTY, &Predicate::tt(&s)).everywhere());
+    }
+}

@@ -1,0 +1,170 @@
+//! Pretty-printing of formulas back to concrete syntax.
+//!
+//! The printer emits minimally-parenthesised text that re-parses to the same
+//! AST (round-tripping is property-tested).
+
+use std::fmt;
+
+use crate::ast::{Expr, Formula};
+
+// Precedence levels, higher binds tighter.
+const PREC_IFF: u8 = 1;
+const PREC_IMPLIES: u8 = 2;
+const PREC_OR: u8 = 3;
+const PREC_AND: u8 = 4;
+const PREC_NOT: u8 = 5;
+const PREC_ATOM: u8 = 6;
+
+fn prec(f: &Formula) -> u8 {
+    match f {
+        Formula::Iff(..) => PREC_IFF,
+        Formula::Implies(..) => PREC_IMPLIES,
+        Formula::Or(..) => PREC_OR,
+        Formula::And(..) => PREC_AND,
+        Formula::Not(..) => PREC_NOT,
+        // Quantifiers extend maximally right, so as a sub-formula they always
+        // need parentheses; give them the loosest precedence.
+        Formula::Forall(..) | Formula::Exists(..) => 0,
+        _ => PREC_ATOM,
+    }
+}
+
+fn write_sub(f: &mut fmt::Formatter<'_>, sub: &Formula, min: u8) -> fmt::Result {
+    if prec(sub) < min {
+        write!(f, "({sub})")
+    } else {
+        write!(f, "{sub}")
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Const(true) => write!(f, "true"),
+            Formula::Const(false) => write!(f, "false"),
+            Formula::BoolVar(n) => write!(f, "{n}"),
+            Formula::Cmp(op, a, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Formula::Not(g) => {
+                write!(f, "~")?;
+                write_sub(f, g, PREC_NOT)
+            }
+            Formula::And(a, b) => {
+                write_sub(f, a, PREC_AND)?;
+                write!(f, " /\\ ")?;
+                write_sub(f, b, PREC_AND + 1)
+            }
+            Formula::Or(a, b) => {
+                write_sub(f, a, PREC_OR)?;
+                write!(f, " \\/ ")?;
+                write_sub(f, b, PREC_OR + 1)
+            }
+            Formula::Implies(a, b) => {
+                write_sub(f, a, PREC_IMPLIES + 1)?;
+                write!(f, " => ")?;
+                write_sub(f, b, PREC_IMPLIES)
+            }
+            Formula::Iff(a, b) => {
+                write_sub(f, a, PREC_IFF + 1)?;
+                write!(f, " <=> ")?;
+                write_sub(f, b, PREC_IFF + 1)
+            }
+            Formula::Forall(v, g) => write!(f, "forall {v} :: {g}"),
+            Formula::Exists(v, g) => write!(f, "exists {v} :: {g}"),
+            Formula::Knows(p, g) => write!(f, "K{{{p}}}({g})"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(n) => write!(f, "{n}"),
+            Expr::Ident(name) => write!(f, "{name}"),
+            Expr::Add(a, b) => {
+                write!(f, "{a} + ")?;
+                match **b {
+                    Expr::Add(..) | Expr::Sub(..) => write!(f, "({b})"),
+                    _ => write!(f, "{b}"),
+                }
+            }
+            Expr::Sub(a, b) => {
+                write!(f, "{a} - ")?;
+                match **b {
+                    Expr::Add(..) | Expr::Sub(..) => write!(f, "({b})"),
+                    _ => write!(f, "{b}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::{CmpOp, Expr, Formula};
+    use crate::parser::parse_formula;
+
+    fn roundtrip(s: &str) {
+        let f = parse_formula(s).unwrap();
+        let printed = f.to_string();
+        let g = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(f, g, "`{s}` printed as `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for s in [
+            "true",
+            "false",
+            "x",
+            "~x",
+            "a /\\ b /\\ c",
+            "a \\/ b /\\ c",
+            "(a \\/ b) /\\ c",
+            "a => b => c",
+            "(a => b) => c",
+            "a <=> b",
+            "~(a /\\ b)",
+            "i + 1 = j",
+            "i - (j + 1) >= 0",
+            "K{S}(K{R}(xk = a))",
+            "forall k :: j = k => w = k",
+            "exists i :: i = j",
+            "(forall k :: x = k) /\\ y",
+            "K{R}(z = bot) \\/ ~(i = 0)",
+        ] {
+            roundtrip(s);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = Formula::bool_var("a")
+            .and(Formula::bool_var("b"))
+            .or(Formula::bool_var("c"));
+        assert_eq!(f.to_string(), "a /\\ b \\/ c");
+        let g = Formula::cmp(
+            CmpOp::Le,
+            Expr::ident("i").add(Expr::Const(1)),
+            Expr::ident("j"),
+        );
+        assert_eq!(g.to_string(), "i + 1 <= j");
+        let k = Formula::bool_var("x").known_by("S");
+        assert_eq!(k.to_string(), "K{S}(x)");
+    }
+
+    #[test]
+    fn quantifier_as_subformula_is_parenthesised() {
+        let f = Formula::forall("k", Formula::bool_var("x")).and(Formula::bool_var("y"));
+        assert_eq!(f.to_string(), "(forall k :: x) /\\ y");
+        roundtrip(&f.to_string());
+    }
+
+    #[test]
+    fn implies_chain_prints_right_associated() {
+        let f = parse_formula("a => b => c").unwrap();
+        assert_eq!(f.to_string(), "a => b => c");
+        let g = parse_formula("(a => b) => c").unwrap();
+        assert_eq!(g.to_string(), "(a => b) => c");
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors for parsing and evaluating formulas.
+
+use std::error::Error;
+use std::fmt;
+
+/// A syntax error produced by [`crate::parse_formula`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// An error produced while evaluating a [`crate::Formula`] over a state
+/// space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// An identifier is neither a program variable nor resolvable as an enum
+    /// label in its comparison context.
+    UnknownIdentifier(String),
+    /// A `K{proc}` atom names an undeclared process.
+    UnknownProcess(String),
+    /// The formula is ill-typed (e.g. arithmetic on an enum label, or a
+    /// non-boolean variable used as a bare atom).
+    Type(String),
+    /// The formula contains a knowledge atom but the evaluation context has
+    /// no knowledge semantics attached (see
+    /// [`crate::EvalContext::with_knowledge`]).
+    KnowledgeUnavailable,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownIdentifier(name) => {
+                write!(f, "unknown identifier `{name}`")
+            }
+            EvalError::UnknownProcess(name) => write!(f, "unknown process `{name}`"),
+            EvalError::Type(msg) => write!(f, "type error: {msg}"),
+            EvalError::KnowledgeUnavailable => {
+                write!(f, "knowledge atom used without knowledge semantics")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ParseError {
+            offset: 3,
+            message: "expected `)`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at byte 3: expected `)`");
+        assert!(EvalError::UnknownProcess("S".into())
+            .to_string()
+            .contains("`S`"));
+    }
+}

@@ -1,0 +1,526 @@
+//! Evaluation of syntactic [`Formula`]s to semantic [`Predicate`]s.
+//!
+//! An [`EvalContext`] carries the state space, values of *rigid parameters*
+//! (the implicitly-universally-quantified free variables like `k` in the
+//! paper's property (35)), and — optionally — a knowledge semantics used to
+//! interpret `K{i}` atoms. The knowledge semantics is supplied as a closure
+//! so that this crate stays independent of how knowledge is defined;
+//! `kpt-core` plugs in the paper's eq. (13).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kpt_state::{exists_var, forall_var, Domain, Predicate, StateSpace, VarId};
+
+use crate::ast::{CmpOp, Expr, Formula};
+use crate::error::EvalError;
+
+/// The signature of a pluggable knowledge semantics: given a process name
+/// and the semantic predicate of the body, produce the semantic predicate of
+/// `K{process}(body)`.
+pub type KnowledgeFn<'a> =
+    dyn Fn(&str, &Predicate) -> Result<Predicate, EvalError> + 'a;
+
+/// Context for evaluating formulas over a state space.
+///
+/// # Examples
+/// ```
+/// use kpt_logic::{parse_formula, EvalContext};
+/// use kpt_state::StateSpace;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let space = StateSpace::builder().nat_var("i", 4)?.nat_var("j", 4)?.build()?;
+/// let ctx = EvalContext::new(&space).with_param("k", 2);
+/// let p = ctx.eval(&parse_formula("i = k /\\ j >= k")?)?;
+/// assert_eq!(p.count(), 2); // i=2, j ∈ {2,3}
+/// # Ok(())
+/// # }
+/// ```
+pub struct EvalContext<'a> {
+    space: &'a Arc<StateSpace>,
+    params: HashMap<String, i64>,
+    knowledge: Option<&'a KnowledgeFn<'a>>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// A context with no rigid parameters and no knowledge semantics.
+    pub fn new(space: &'a Arc<StateSpace>) -> Self {
+        EvalContext {
+            space,
+            params: HashMap::new(),
+            knowledge: None,
+        }
+    }
+
+    /// Bind a rigid parameter. Parameters shadow program variables of the
+    /// same name (bind them explicitly to avoid ambiguity).
+    #[must_use]
+    pub fn with_param(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.params.insert(name.into(), value);
+        self
+    }
+
+    /// Attach a knowledge semantics for `K{i}` atoms.
+    #[must_use]
+    pub fn with_knowledge(mut self, k: &'a KnowledgeFn<'a>) -> Self {
+        self.knowledge = Some(k);
+        self
+    }
+
+    /// The state space of this context.
+    pub fn space(&self) -> &'a Arc<StateSpace> {
+        self.space
+    }
+
+    /// Evaluate a formula to the exact set of states where it holds.
+    ///
+    /// # Errors
+    /// [`EvalError::UnknownIdentifier`] for unresolvable names,
+    /// [`EvalError::Type`] for ill-typed formulas, and
+    /// [`EvalError::KnowledgeUnavailable`] if a `K{i}` atom appears without
+    /// an attached knowledge semantics.
+    pub fn eval(&self, f: &Formula) -> Result<Predicate, EvalError> {
+        match f {
+            Formula::Const(true) => Ok(Predicate::tt(self.space)),
+            Formula::Const(false) => Ok(Predicate::ff(self.space)),
+            Formula::BoolVar(name) => {
+                if let Some(&v) = self.params.get(name) {
+                    return if v == 0 || v == 1 {
+                        Ok(if v == 1 {
+                            Predicate::tt(self.space)
+                        } else {
+                            Predicate::ff(self.space)
+                        })
+                    } else {
+                        Err(EvalError::Type(format!(
+                            "parameter `{name}` used as boolean but has value {v}"
+                        )))
+                    };
+                }
+                let var = self
+                    .space
+                    .var(name)
+                    .map_err(|_| EvalError::UnknownIdentifier(name.clone()))?;
+                match self.space.domain(var) {
+                    Domain::Bool => Ok(Predicate::var_is_true(self.space, var)),
+                    d => Err(EvalError::Type(format!(
+                        "variable `{name}` of domain {d} used as boolean atom"
+                    ))),
+                }
+            }
+            Formula::Cmp(op, lhs, rhs) => self.eval_cmp(*op, lhs, rhs),
+            Formula::Not(g) => Ok(self.eval(g)?.negate()),
+            Formula::And(a, b) => Ok(self.eval(a)?.and(&self.eval(b)?)),
+            Formula::Or(a, b) => Ok(self.eval(a)?.or(&self.eval(b)?)),
+            Formula::Implies(a, b) => Ok(self.eval(a)?.implies(&self.eval(b)?)),
+            Formula::Iff(a, b) => Ok(self.eval(a)?.iff(&self.eval(b)?)),
+            Formula::Forall(name, body) => {
+                let var = self.quantified_var(name)?;
+                Ok(forall_var(&self.eval(body)?, var))
+            }
+            Formula::Exists(name, body) => {
+                let var = self.quantified_var(name)?;
+                Ok(exists_var(&self.eval(body)?, var))
+            }
+            Formula::Knows(process, body) => {
+                let inner = self.eval(body)?;
+                match self.knowledge {
+                    Some(k) => k(process, &inner),
+                    None => Err(EvalError::KnowledgeUnavailable),
+                }
+            }
+        }
+    }
+
+    /// Evaluate a formula and test whether it holds everywhere (`[φ]`).
+    ///
+    /// # Errors
+    /// As for [`EvalContext::eval`].
+    pub fn holds_everywhere(&self, f: &Formula) -> Result<bool, EvalError> {
+        Ok(self.eval(f)?.everywhere())
+    }
+
+    /// Evaluate a formula at a *single* state — `O(|φ| · domain)` instead of
+    /// `O(states)`, so run monitors can check formulas along executions
+    /// cheaply. Knowledge atoms still require the full predicate (their
+    /// semantics quantifies over the space) and fall back to [`Self::eval`].
+    ///
+    /// # Errors
+    /// As for [`EvalContext::eval`].
+    ///
+    /// # Panics
+    /// Panics if `state` is out of range for the space.
+    pub fn holds_at(&self, f: &Formula, state: u64) -> Result<bool, EvalError> {
+        assert!(
+            state < self.space.num_states(),
+            "state index out of range"
+        );
+        match f {
+            Formula::Const(b) => Ok(*b),
+            Formula::BoolVar(name) => {
+                if let Some(&v) = self.params.get(name) {
+                    return match v {
+                        0 => Ok(false),
+                        1 => Ok(true),
+                        _ => Err(EvalError::Type(format!(
+                            "parameter `{name}` used as boolean but has value {v}"
+                        ))),
+                    };
+                }
+                let var = self
+                    .space
+                    .var(name)
+                    .map_err(|_| EvalError::UnknownIdentifier(name.clone()))?;
+                match self.space.domain(var) {
+                    Domain::Bool => Ok(self.space.value_bool(state, var)),
+                    d => Err(EvalError::Type(format!(
+                        "variable `{name}` of domain {d} used as boolean atom"
+                    ))),
+                }
+            }
+            Formula::Cmp(op, lhs, rhs) => {
+                let l = self.compile(lhs);
+                let r = self.compile(rhs);
+                let (l, r) = match (l, r) {
+                    (Ok(l), Ok(r)) => (l, r),
+                    (Err(name), Ok(r)) => {
+                        let code = self.resolve_label(&name, &r)?;
+                        (CExpr::Const(code), r)
+                    }
+                    (Ok(l), Err(name)) => {
+                        let code = self.resolve_label(&name, &l)?;
+                        (l, CExpr::Const(code))
+                    }
+                    (Err(name), Err(_)) => return Err(EvalError::UnknownIdentifier(name)),
+                };
+                Ok(op.apply(l.eval(self.space, state), r.eval(self.space, state)))
+            }
+            Formula::Not(g) => Ok(!self.holds_at(g, state)?),
+            Formula::And(a, b) => Ok(self.holds_at(a, state)? && self.holds_at(b, state)?),
+            Formula::Or(a, b) => Ok(self.holds_at(a, state)? || self.holds_at(b, state)?),
+            Formula::Implies(a, b) => {
+                Ok(!self.holds_at(a, state)? || self.holds_at(b, state)?)
+            }
+            Formula::Iff(a, b) => Ok(self.holds_at(a, state)? == self.holds_at(b, state)?),
+            Formula::Forall(name, body) => {
+                let var = self.quantified_var(name)?;
+                for v in 0..self.space.domain(var).size() {
+                    if !self.holds_at(body, self.space.with_value(state, var, v))? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Exists(name, body) => {
+                let var = self.quantified_var(name)?;
+                for v in 0..self.space.domain(var).size() {
+                    if self.holds_at(body, self.space.with_value(state, var, v))? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Knows(..) => Ok(self.eval(f)?.holds(state)),
+        }
+    }
+
+    fn quantified_var(&self, name: &str) -> Result<VarId, EvalError> {
+        self.space
+            .var(name)
+            .map_err(|_| EvalError::UnknownIdentifier(name.to_owned()))
+    }
+
+    fn eval_cmp(&self, op: CmpOp, lhs: &Expr, rhs: &Expr) -> Result<Predicate, EvalError> {
+        let l = self.compile(lhs);
+        let r = self.compile(rhs);
+        let (l, r) = match (l, r) {
+            (Ok(l), Ok(r)) => (l, r),
+            // One side is an unresolved bare identifier: try to read it as
+            // an enum label of the other side's variable.
+            (Err(name), Ok(r)) => {
+                let code = self.resolve_label(&name, &r)?;
+                (CExpr::Const(code), r)
+            }
+            (Ok(l), Err(name)) => {
+                let code = self.resolve_label(&name, &l)?;
+                (l, CExpr::Const(code))
+            }
+            (Err(name), Err(_)) => return Err(EvalError::UnknownIdentifier(name)),
+        };
+        let space = self.space;
+        Ok(Predicate::from_fn(space, |idx| {
+            op.apply(l.eval(space, idx), r.eval(space, idx))
+        }))
+    }
+
+    fn resolve_label(&self, label: &str, peer: &CExpr) -> Result<i64, EvalError> {
+        if let CExpr::Var(v) = peer {
+            if let Some(code) = self.space.domain(*v).label_code(label) {
+                return Ok(code as i64);
+            }
+        }
+        Err(EvalError::UnknownIdentifier(label.to_owned()))
+    }
+
+    /// Compile an expression; `Err(name)` means a bare identifier could not
+    /// be resolved (it may still be an enum label in comparison context).
+    fn compile(&self, e: &Expr) -> Result<CExpr, String> {
+        match e {
+            Expr::Const(n) => Ok(CExpr::Const(*n)),
+            Expr::Ident(name) => {
+                if let Some(&v) = self.params.get(name) {
+                    Ok(CExpr::Const(v))
+                } else if let Ok(var) = self.space.var(name) {
+                    Ok(CExpr::Var(var))
+                } else {
+                    Err(name.clone())
+                }
+            }
+            Expr::Add(a, b) => Ok(CExpr::Add(
+                Box::new(self.compile(a).map_err(keep)?),
+                Box::new(self.compile(b).map_err(keep)?),
+            )),
+            Expr::Sub(a, b) => Ok(CExpr::Sub(
+                Box::new(self.compile(a).map_err(keep)?),
+                Box::new(self.compile(b).map_err(keep)?),
+            )),
+        }
+    }
+}
+
+fn keep(name: String) -> String {
+    name
+}
+
+#[derive(Debug)]
+enum CExpr {
+    Const(i64),
+    Var(VarId),
+    Add(Box<CExpr>, Box<CExpr>),
+    Sub(Box<CExpr>, Box<CExpr>),
+}
+
+impl CExpr {
+    fn eval(&self, space: &StateSpace, idx: u64) -> i64 {
+        match self {
+            CExpr::Const(n) => *n,
+            CExpr::Var(v) => space.value(idx, *v) as i64,
+            CExpr::Add(a, b) => a.eval(space, idx) + b.eval(space, idx),
+            CExpr::Sub(a, b) => a.eval(space, idx) - b.eval(space, idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn space() -> Arc<StateSpace> {
+        StateSpace::builder()
+            .bool_var("b")
+            .unwrap()
+            .nat_var("i", 4)
+            .unwrap()
+            .nat_var("j", 4)
+            .unwrap()
+            .enum_var("z", ["bot", "m0", "m1"])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn eval(s: &str, ctx: &EvalContext) -> Predicate {
+        ctx.eval(&parse_formula(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn constants_and_bool_vars() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        assert!(eval("true", &ctx).everywhere());
+        assert!(eval("false", &ctx).is_false());
+        let b = eval("b", &ctx);
+        assert_eq!(b, Predicate::var_is_true(&sp, sp.var("b").unwrap()));
+    }
+
+    #[test]
+    fn comparisons_and_arithmetic() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        let p = eval("i + 1 = j", &ctx);
+        for idx in 0..sp.num_states() {
+            let i = sp.value(idx, sp.var("i").unwrap()) as i64;
+            let j = sp.value(idx, sp.var("j").unwrap()) as i64;
+            assert_eq!(p.holds(idx), i + 1 == j);
+        }
+        let q = eval("i - j >= 1", &ctx);
+        assert!(!q.is_false());
+    }
+
+    #[test]
+    fn enum_labels_resolve_in_comparisons() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        let p = eval("z = m1", &ctx);
+        assert_eq!(p, Predicate::var_eq(&sp, sp.var("z").unwrap(), 2));
+        let q = eval("bot = z", &ctx); // symmetric resolution
+        assert_eq!(q, Predicate::var_eq(&sp, sp.var("z").unwrap(), 0));
+        let r = eval("z != bot", &ctx);
+        assert_eq!(r, p.or(&Predicate::var_eq(&sp, sp.var("z").unwrap(), 1)));
+    }
+
+    #[test]
+    fn rigid_parameters() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp).with_param("k", 2);
+        let p = eval("i = k", &ctx);
+        assert_eq!(p, Predicate::var_eq(&sp, sp.var("i").unwrap(), 2));
+        // Parameters shadow nothing here, but do work inside K-free formulas
+        // with arithmetic:
+        let q = eval("j >= k - 1", &ctx);
+        let manual = Predicate::from_var_fn(&sp, sp.var("j").unwrap(), |v| v >= 1);
+        assert_eq!(q, manual);
+    }
+
+    #[test]
+    fn connectives() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        let p = eval("b /\\ i = 0", &ctx);
+        let q = eval("~(~b \\/ ~(i = 0))", &ctx);
+        assert_eq!(p, q);
+        let r = eval("b => i = 0", &ctx);
+        assert_eq!(r, eval("~b \\/ i = 0", &ctx));
+        let s = eval("b <=> i = 0", &ctx);
+        assert_eq!(s, eval("(b => i = 0) /\\ (i = 0 => b)", &ctx));
+    }
+
+    #[test]
+    fn state_quantifiers() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        // ∃i :: i = j  is true everywhere (j ranges 0..4 too).
+        assert!(eval("exists i :: i = j", &ctx).everywhere());
+        // ∀i :: i = j is false everywhere.
+        assert!(eval("forall i :: i = j", &ctx).is_false());
+        // ∀i :: i < 4 is true.
+        assert!(eval("forall i :: i < 4", &ctx).everywhere());
+    }
+
+    #[test]
+    fn knowledge_requires_semantics() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        let e = ctx
+            .eval(&parse_formula("K{S}(b)").unwrap())
+            .unwrap_err();
+        assert_eq!(e, EvalError::KnowledgeUnavailable);
+    }
+
+    #[test]
+    fn knowledge_callback_is_used() {
+        let sp = space();
+        // A degenerate "knowledge" that returns the body unchanged.
+        let k: Box<KnowledgeFn> = Box::new(|_proc, p: &Predicate| Ok(p.clone()));
+        let ctx = EvalContext::new(&sp).with_knowledge(&k);
+        let p = ctx.eval(&parse_formula("K{S}(b)").unwrap()).unwrap();
+        assert_eq!(p, Predicate::var_is_true(&sp, sp.var("b").unwrap()));
+    }
+
+    #[test]
+    fn unknown_identifier_errors() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        assert!(matches!(
+            ctx.eval(&parse_formula("nosuch = 1").unwrap()),
+            Err(EvalError::UnknownIdentifier(_))
+        ));
+        assert!(matches!(
+            ctx.eval(&parse_formula("nosuch").unwrap()),
+            Err(EvalError::UnknownIdentifier(_))
+        ));
+        // Label on both sides (neither resolvable).
+        assert!(matches!(
+            ctx.eval(&parse_formula("foo = bar").unwrap()),
+            Err(EvalError::UnknownIdentifier(_))
+        ));
+    }
+
+    #[test]
+    fn type_errors() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        // nat variable used as boolean atom
+        assert!(matches!(
+            ctx.eval(&parse_formula("i").unwrap()),
+            Err(EvalError::Type(_))
+        ));
+        let ctx2 = EvalContext::new(&sp).with_param("k", 7);
+        assert!(matches!(
+            ctx2.eval(&parse_formula("k").unwrap()),
+            Err(EvalError::Type(_))
+        ));
+        // Boolean-valued parameter is fine.
+        let ctx3 = EvalContext::new(&sp).with_param("k", 1);
+        assert!(ctx3.eval(&parse_formula("k").unwrap()).unwrap().everywhere());
+    }
+
+    #[test]
+    fn holds_at_agrees_with_eval_everywhere() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp).with_param("k", 2);
+        for src in [
+            "true",
+            "b",
+            "i + 1 = j",
+            "z = m1",
+            "b => i = k",
+            "~(b /\\ i = 0) <=> (~b \\/ i != 0)",
+            "forall i :: i < 4",
+            "exists j :: j = i",
+            "forall j :: j = i => i = j",
+        ] {
+            let f = parse_formula(src).unwrap();
+            let full = ctx.eval(&f).unwrap();
+            for st in 0..sp.num_states() {
+                assert_eq!(
+                    ctx.holds_at(&f, st).unwrap(),
+                    full.holds(st),
+                    "{src} at state {st}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn holds_at_knowledge_falls_back() {
+        let sp = space();
+        let k: Box<KnowledgeFn> = Box::new(|_proc, p: &Predicate| Ok(p.clone()));
+        let ctx = EvalContext::new(&sp).with_knowledge(&k);
+        let f = parse_formula("K{S}(b)").unwrap();
+        let full = ctx.eval(&f).unwrap();
+        for st in (0..sp.num_states()).step_by(7) {
+            assert_eq!(ctx.holds_at(&f, st).unwrap(), full.holds(st));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn holds_at_bad_state_panics() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        let _ = ctx.holds_at(&parse_formula("true").unwrap(), sp.num_states());
+    }
+
+    #[test]
+    fn holds_everywhere_judgement() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        assert!(ctx
+            .holds_everywhere(&parse_formula("i < 4").unwrap())
+            .unwrap());
+        assert!(!ctx
+            .holds_everywhere(&parse_formula("i < 3").unwrap())
+            .unwrap());
+    }
+}

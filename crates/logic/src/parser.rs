@@ -1,0 +1,672 @@
+//! Concrete syntax for formulas: a lexer and recursive-descent parser.
+//!
+//! The grammar (lowest precedence first):
+//!
+//! ```text
+//! formula  := quant | iff
+//! quant    := ("forall" | "exists") ident "::" formula
+//! iff      := implies ("<=>" implies)*
+//! implies  := or ("=>" implies)?                (right associative)
+//! or       := and (("\/" | "||") and)*
+//! and      := unary (("/\" | "&&") unary)*
+//! unary    := ("~" | "!") unary | atom
+//! atom     := "true" | "false"
+//!           | "K" "{" ident "}" "(" formula ")"
+//!           | "(" formula ")"
+//!           | expr (cmpop expr)?                (bare ident ⇒ boolean atom)
+//! expr     := term (("+" | "-") term)*
+//! term     := number | ident | "(" expr ")"
+//! cmpop    := "=" | "!=" | "<" | "<=" | ">" | ">="
+//! ```
+//!
+//! Example: `K{S}(K{R}(xk = a)) \/ ~(i = k /\ y = a)`.
+
+use crate::ast::{CmpOp, Expr, Formula};
+use crate::error::ParseError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(i64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    ColonColon,
+    Plus,
+    Minus,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Cmp(CmpOp),
+    KwTrue,
+    KwFalse,
+    KwForall,
+    KwExists,
+    KwK,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\n' | b'\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'(' => {
+                    self.pos += 1;
+                    out.push((start, Tok::LParen));
+                }
+                b')' => {
+                    self.pos += 1;
+                    out.push((start, Tok::RParen));
+                }
+                b'{' => {
+                    self.pos += 1;
+                    out.push((start, Tok::LBrace));
+                }
+                b'}' => {
+                    self.pos += 1;
+                    out.push((start, Tok::RBrace));
+                }
+                b'+' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Plus));
+                }
+                b'-' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Minus));
+                }
+                b'~' => {
+                    self.pos += 1;
+                    out.push((start, Tok::Not));
+                }
+                b':' => {
+                    if self.peek_is(1, b':') {
+                        self.pos += 2;
+                        out.push((start, Tok::ColonColon));
+                    } else {
+                        return Err(self.error("expected `::`"));
+                    }
+                }
+                b'/' => {
+                    if self.peek_is(1, b'\\') {
+                        self.pos += 2;
+                        out.push((start, Tok::And));
+                    } else {
+                        return Err(self.error("expected `/\\`"));
+                    }
+                }
+                b'\\' => {
+                    if self.peek_is(1, b'/') {
+                        self.pos += 2;
+                        out.push((start, Tok::Or));
+                    } else {
+                        return Err(self.error("expected `\\/`"));
+                    }
+                }
+                b'&' => {
+                    if self.peek_is(1, b'&') {
+                        self.pos += 2;
+                        out.push((start, Tok::And));
+                    } else {
+                        return Err(self.error("expected `&&`"));
+                    }
+                }
+                b'|' => {
+                    if self.peek_is(1, b'|') {
+                        self.pos += 2;
+                        out.push((start, Tok::Or));
+                    } else {
+                        return Err(self.error("expected `||`"));
+                    }
+                }
+                b'=' => {
+                    if self.peek_is(1, b'>') {
+                        self.pos += 2;
+                        out.push((start, Tok::Implies));
+                    } else {
+                        self.pos += 1;
+                        out.push((start, Tok::Cmp(CmpOp::Eq)));
+                    }
+                }
+                b'!' => {
+                    if self.peek_is(1, b'=') {
+                        self.pos += 2;
+                        out.push((start, Tok::Cmp(CmpOp::Ne)));
+                    } else {
+                        self.pos += 1;
+                        out.push((start, Tok::Not));
+                    }
+                }
+                b'<' => {
+                    if self.peek_is(1, b'=') && self.peek_is(2, b'>') {
+                        self.pos += 3;
+                        out.push((start, Tok::Iff));
+                    } else if self.peek_is(1, b'=') {
+                        self.pos += 2;
+                        out.push((start, Tok::Cmp(CmpOp::Le)));
+                    } else {
+                        self.pos += 1;
+                        out.push((start, Tok::Cmp(CmpOp::Lt)));
+                    }
+                }
+                b'>' => {
+                    if self.peek_is(1, b'=') {
+                        self.pos += 2;
+                        out.push((start, Tok::Cmp(CmpOp::Ge)));
+                    } else {
+                        self.pos += 1;
+                        out.push((start, Tok::Cmp(CmpOp::Gt)));
+                    }
+                }
+                b'0'..=b'9' => {
+                    let mut end = self.pos;
+                    while end < self.src.len() && self.src[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[self.pos..end])
+                        .expect("digits are valid utf-8");
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| self.error("integer literal too large"))?;
+                    self.pos = end;
+                    out.push((start, Tok::Number(n)));
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let mut end = self.pos;
+                    while end < self.src.len()
+                        && (self.src[end].is_ascii_alphanumeric()
+                            || self.src[end] == b'_'
+                            || self.src[end] == b'\'')
+                    {
+                        end += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[self.pos..end])
+                        .expect("checked ascii")
+                        .to_owned();
+                    self.pos = end;
+                    let tok = match text.as_str() {
+                        "true" => Tok::KwTrue,
+                        "false" => Tok::KwFalse,
+                        "forall" => Tok::KwForall,
+                        "exists" => Tok::KwExists,
+                        "K" => Tok::KwK,
+                        _ => Tok::Ident(text),
+                    };
+                    out.push((start, tok));
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character `{}`", other as char)))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek_is(&self, offset: usize, c: u8) -> bool {
+        self.src.get(self.pos + offset) == Some(&c)
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.len)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(format!("expected {what}")))
+            }
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::KwForall) | Some(Tok::KwExists) => {
+                let universal = matches!(self.next(), Some(Tok::KwForall));
+                let var = match self.next() {
+                    Some(Tok::Ident(n)) => n,
+                    _ => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(self.error("expected quantified variable name"));
+                    }
+                };
+                self.expect(&Tok::ColonColon, "`::` after quantified variable")?;
+                let body = self.formula()?;
+                Ok(if universal {
+                    Formula::forall(var, body)
+                } else {
+                    Formula::exists(var, body)
+                })
+            }
+            _ => self.iff(),
+        }
+    }
+
+    fn iff(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.implies()?;
+        while self.peek() == Some(&Tok::Iff) {
+            self.next();
+            let rhs = self.implies()?;
+            lhs = lhs.iff(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disjunction()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.next();
+            let rhs = self.implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.conjunction()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.next();
+            let rhs = self.conjunction()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some(&Tok::And) {
+            self.next();
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        if self.peek() == Some(&Tok::Not) {
+            self.next();
+            Ok(self.unary()?.not())
+        } else {
+            self.atom()
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::KwTrue) => {
+                self.next();
+                Ok(Formula::tt())
+            }
+            Some(Tok::KwFalse) => {
+                self.next();
+                Ok(Formula::ff())
+            }
+            Some(Tok::KwK) => {
+                self.next();
+                self.expect(&Tok::LBrace, "`{` after K")?;
+                let proc = match self.next() {
+                    Some(Tok::Ident(n)) => n,
+                    _ => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(self.error("expected process name in K{..}"));
+                    }
+                };
+                self.expect(&Tok::RBrace, "`}` after process name")?;
+                self.expect(&Tok::LParen, "`(` after K{proc}")?;
+                let body = self.formula()?;
+                self.expect(&Tok::RParen, "`)` closing K{proc}(..)")?;
+                Ok(body.known_by(proc))
+            }
+            Some(Tok::KwForall) | Some(Tok::KwExists) => self.formula(),
+            Some(Tok::LParen) => {
+                // Could be a parenthesised formula or a parenthesised
+                // arithmetic expression followed by a comparison. Try the
+                // formula reading first; on failure, fall back to expression.
+                let save = self.pos;
+                self.next();
+                match self.formula() {
+                    Ok(f) if self.peek() == Some(&Tok::RParen) => {
+                        self.next();
+                        // `(expr) < expr` — a comparison whose lhs parsed as
+                        // a formula only if it was a bare ident; detect a
+                        // following comparison operator.
+                        if let Some(Tok::Cmp(_)) = self.peek() {
+                            self.pos = save;
+                            self.comparison()
+                        } else {
+                            Ok(f)
+                        }
+                    }
+                    _ => {
+                        self.pos = save;
+                        self.comparison()
+                    }
+                }
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.expr()?;
+        if let Some(Tok::Cmp(op)) = self.peek().cloned() {
+            self.next();
+            let rhs = self.expr()?;
+            Ok(Formula::Cmp(op, lhs, rhs))
+        } else {
+            match lhs {
+                Expr::Ident(name) => Ok(Formula::BoolVar(name)),
+                _ => Err(self.error("expected comparison operator")),
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.next();
+                    lhs = lhs.add(self.term()?);
+                }
+                Some(Tok::Minus) => {
+                    self.next();
+                    lhs = lhs.sub(self.term()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(Expr::Const(n)),
+            Some(Tok::Ident(name)) => Ok(Expr::Ident(name)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected expression"))
+            }
+        }
+    }
+}
+
+/// Parse a formula from concrete syntax.
+///
+/// # Errors
+/// Returns a [`ParseError`] with a byte offset on malformed input.
+///
+/// # Examples
+/// ```
+/// use kpt_logic::parse_formula;
+/// let f = parse_formula("K{S}(j >= k) => i + 1 > k").unwrap();
+/// assert!(f.mentions_knowledge());
+/// ```
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let toks = Lexer::new(input).tokens()?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        len: input.len(),
+    };
+    let f = p.formula()?;
+    if p.pos != p.toks.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(f)
+}
+
+/// Parse an arithmetic expression (the right-hand side of a UNITY
+/// assignment) from concrete syntax.
+///
+/// # Errors
+/// Returns a [`ParseError`] with a byte offset on malformed input.
+///
+/// # Examples
+/// ```
+/// use kpt_logic::{parse_expr, Expr};
+/// assert_eq!(parse_expr("i + 1").unwrap(), Expr::ident("i").add(Expr::Const(1)));
+/// ```
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let toks = Lexer::new(input).tokens()?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        len: input.len(),
+    };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Expr, Formula};
+
+    fn parse(s: &str) -> Formula {
+        parse_formula(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!(parse("true"), Formula::tt());
+        assert_eq!(parse("false"), Formula::ff());
+        assert_eq!(parse("x"), Formula::bool_var("x"));
+        assert_eq!(parse("i = 3"), Formula::var_eq("i", 3));
+        assert_eq!(
+            parse("z = bot"),
+            Formula::cmp(CmpOp::Eq, Expr::ident("z"), Expr::ident("bot"))
+        );
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let f = parse("a \\/ b /\\ c");
+        assert_eq!(
+            f,
+            Formula::bool_var("a").or(Formula::bool_var("b").and(Formula::bool_var("c")))
+        );
+    }
+
+    #[test]
+    fn implies_right_associative() {
+        let f = parse("a => b => c");
+        assert_eq!(
+            f,
+            Formula::bool_var("a")
+                .implies(Formula::bool_var("b").implies(Formula::bool_var("c")))
+        );
+    }
+
+    #[test]
+    fn iff_lowest_binary() {
+        let f = parse("a => b <=> c => d");
+        assert!(matches!(f, Formula::Iff(..)));
+    }
+
+    #[test]
+    fn negation_binds_tightly() {
+        let f = parse("~a /\\ b");
+        assert_eq!(
+            f,
+            Formula::bool_var("a").not().and(Formula::bool_var("b"))
+        );
+        assert_eq!(parse("!a"), parse("~a"));
+    }
+
+    #[test]
+    fn ascii_alternatives() {
+        assert_eq!(parse("a && b"), parse("a /\\ b"));
+        assert_eq!(parse("a || b"), parse("a \\/ b"));
+    }
+
+    #[test]
+    fn knowledge_modality() {
+        let f = parse("K{S}(K{R}(xk = a))");
+        assert_eq!(
+            f,
+            Formula::var_is("xk", "a").known_by("R").known_by("S")
+        );
+    }
+
+    #[test]
+    fn quantifiers_extend_right() {
+        let f = parse("forall k :: j = k => w = k");
+        assert_eq!(
+            f,
+            Formula::forall(
+                "k",
+                parse("j = k => w = k")
+            )
+        );
+        let g = parse("exists a :: z = a");
+        assert!(matches!(g, Formula::Exists(..)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let f = parse("i + 1 - j >= 2");
+        assert_eq!(
+            f,
+            Formula::cmp(
+                CmpOp::Ge,
+                Expr::ident("i").add(Expr::Const(1)).sub(Expr::ident("j")),
+                Expr::Const(2)
+            )
+        );
+        // Parenthesised arithmetic.
+        let g = parse("(i + 1) = j");
+        assert_eq!(
+            g,
+            Formula::cmp(
+                CmpOp::Eq,
+                Expr::ident("i").add(Expr::Const(1)),
+                Expr::ident("j")
+            )
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        for (s, op) in [
+            ("=", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<", CmpOp::Lt),
+            ("<=", CmpOp::Le),
+            (">", CmpOp::Gt),
+            (">=", CmpOp::Ge),
+        ] {
+            assert_eq!(
+                parse(&format!("i {s} 2")),
+                Formula::cmp(op, Expr::ident("i"), Expr::Const(2))
+            );
+        }
+    }
+
+    #[test]
+    fn paper_guard_from_figure_3() {
+        // ¬(K_S K_R x_k)@k=i with xk the instance variable:
+        let f = parse("~K{S}(K{R}(xk = a0 \\/ xk = a1))");
+        assert!(f.mentions_knowledge());
+    }
+
+    #[test]
+    fn parenthesised_formula_vs_expression() {
+        assert_eq!(parse("(a /\\ b)"), parse("a /\\ b"));
+        assert_eq!(parse("(a)"), Formula::bool_var("a"));
+        assert_eq!(
+            parse("(a) = b"),
+            Formula::cmp(CmpOp::Eq, Expr::ident("a"), Expr::ident("b"))
+        );
+    }
+
+    #[test]
+    fn errors_have_offsets() {
+        for bad in ["", "K{S}", "a /\\", "(a", "1 +", "a ::", "forall :: x", "@", "a b"] {
+            let e = parse_formula(bad).unwrap_err();
+            assert!(e.offset <= bad.len(), "{bad}: offset {}", e.offset);
+        }
+    }
+
+    #[test]
+    fn primed_identifiers() {
+        // z' from the paper is written z' — primes are part of identifiers.
+        let f = parse("z' = bot");
+        assert_eq!(
+            f,
+            Formula::cmp(CmpOp::Eq, Expr::ident("z'"), Expr::ident("bot"))
+        );
+    }
+
+    #[test]
+    fn deeply_nested() {
+        let f = parse("~(~(~(~a)))");
+        assert_eq!(f.simplify(), Formula::bool_var("a"));
+    }
+}

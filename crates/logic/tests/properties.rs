@@ -1,0 +1,141 @@
+//! Property tests for `kpt-logic`: random formula generation, printer/parser
+//! round-tripping, simplification soundness, and substitution laws.
+
+use std::sync::Arc;
+
+use kpt_logic::{parse_formula, CmpOp, EvalContext, Expr, Formula};
+use kpt_state::StateSpace;
+use proptest::prelude::*;
+
+fn space() -> Arc<StateSpace> {
+    StateSpace::builder()
+        .bool_var("p")
+        .unwrap()
+        .bool_var("q")
+        .unwrap()
+        .nat_var("i", 3)
+        .unwrap()
+        .nat_var("j", 3)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..4).prop_map(Expr::Const),
+        prop_oneof![Just("i"), Just("j"), Just("k")].prop_map(Expr::ident),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.sub(b)),
+        ]
+    })
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::tt()),
+        Just(Formula::ff()),
+        prop_oneof![Just("p"), Just("q")].prop_map(Formula::bool_var),
+        (cmp_strategy(), expr_strategy(), expr_strategy())
+            .prop_map(|(op, a, b)| Formula::cmp(op, a, b)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            (prop_oneof![Just("i"), Just("j")], inner.clone())
+                .prop_map(|(v, f)| Formula::forall(v, f)),
+            (prop_oneof![Just("i"), Just("j")], inner)
+                .prop_map(|(v, f)| Formula::exists(v, f)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn printer_parser_roundtrip(f in formula_strategy()) {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(&reparsed, &f, "printed as `{}`", printed);
+    }
+
+    #[test]
+    fn simplify_preserves_semantics(f in formula_strategy(), k in 0i64..3) {
+        let sp = space();
+        let ctx = EvalContext::new(&sp).with_param("k", k);
+        let original = ctx.eval(&f).unwrap();
+        let simplified = ctx.eval(&f.simplify()).unwrap();
+        prop_assert_eq!(original, simplified);
+    }
+
+    #[test]
+    fn simplify_is_idempotent(f in formula_strategy()) {
+        let once = f.simplify();
+        prop_assert_eq!(once.simplify(), once);
+    }
+
+    #[test]
+    fn subst_const_matches_param_binding(f in formula_strategy(), k in 0i64..3) {
+        // Substituting k syntactically equals binding k in the context.
+        let sp = space();
+        let bound = EvalContext::new(&sp).with_param("k", k);
+        let substituted = EvalContext::new(&sp);
+        let direct = bound.eval(&f).unwrap();
+        let via_subst = substituted.eval(&f.subst_const("k", k)).unwrap();
+        prop_assert_eq!(direct, via_subst);
+    }
+
+    #[test]
+    fn holds_at_matches_eval(f in formula_strategy(), k in 0i64..3) {
+        let sp = space();
+        let ctx = EvalContext::new(&sp).with_param("k", k);
+        let full = ctx.eval(&f).unwrap();
+        for st in 0..sp.num_states() {
+            prop_assert_eq!(ctx.holds_at(&f, st).unwrap(), full.holds(st));
+        }
+    }
+
+    #[test]
+    fn free_idents_are_sound(f in formula_strategy()) {
+        // Substituting an identifier NOT free in f changes nothing.
+        let g = f.subst_const("zzz_not_used", 7);
+        prop_assert_eq!(g, f.clone());
+        // And every reported free ident, when it's `k`, is substitutable.
+        if f.free_idents().contains("k") {
+            let h = f.subst_const("k", 1);
+            prop_assert!(!h.free_idents().contains("k"));
+        }
+    }
+
+    #[test]
+    fn forall_range_is_finite_conjunction(f in formula_strategy(), lo in 0i64..2, n in 1i64..4) {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        let expanded = Formula::forall_range("k", lo..lo + n, &f);
+        let mut conj = kpt_state::Predicate::tt(&sp);
+        for v in lo..lo + n {
+            conj = conj.and(&EvalContext::new(&sp).with_param("k", v).eval(&f).unwrap());
+        }
+        prop_assert_eq!(ctx.eval(&expanded).unwrap(), conj);
+    }
+}

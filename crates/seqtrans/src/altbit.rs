@@ -1,0 +1,478 @@
+//! The alternating-bit protocol \[BSW69\] — one of the finite-state
+//! refinements §6 points to — as both a bounded UNITY model and a
+//! simulator (experiment E11).
+//!
+//! ABP replaces the unbounded sequence numbers of Figure 4 with a single
+//! alternating bit. It is correct over a channel that may lose, duplicate
+//! (the *current* message) or detectably corrupt, but **not reorder or
+//! replay arbitrarily old messages** — replaying a frame from two
+//! generations ago carries the same bit as the expected frame and would be
+//! accepted with the wrong value. The bounded model therefore uses a
+//! single-slot channel abstraction: only the most recently transmitted
+//! frame/ack (or `⊥`) can arrive. The simulator matches.
+
+use std::sync::Arc;
+
+use kpt_channel::{Delivery, FaultConfig, FaultyChannel};
+use kpt_state::{Predicate, StateSpace, VarId};
+use kpt_unity::{CompiledProgram, Program, Statement, UnityError};
+
+use crate::encoding::Encoding;
+use crate::sim::{SimConfig, SimReport};
+
+/// Decoded state of the ABP model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbpSnapshot {
+    /// Input sequence code.
+    pub x: u64,
+    /// Sender position.
+    pub i: u64,
+    /// Ack slot: `None` = `⊥`, `Some(bit)`.
+    pub z: Option<u64>,
+    /// Whether the current frame has been transmitted at least once.
+    pub sent_s: bool,
+    /// Delivered prefix code.
+    pub w: u64,
+    /// Receiver position.
+    pub j: u64,
+    /// Data slot: `None` = `⊥`, `Some((bit, α))`.
+    pub zp: Option<(u64, u64)>,
+    /// Whether the current ack has been transmitted at least once.
+    pub sent_r: bool,
+}
+
+/// The bounded alternating-bit model.
+#[derive(Debug, Clone)]
+pub struct AltBitModel {
+    enc: Encoding,
+    space: Arc<StateSpace>,
+    program: Program,
+    v_x: VarId,
+    v_i: VarId,
+    v_z: VarId,
+    v_sent_s: VarId,
+    v_w: VarId,
+    v_j: VarId,
+    v_zp: VarId,
+    v_sent_r: VarId,
+}
+
+/// The ack bit the receiver currently (re)transmits: the bit of the last
+/// accepted frame, i.e. `(j + 1) mod 2` (before any delivery, `j = 0`,
+/// the receiver acks bit 1 = "nothing with bit 0 accepted yet").
+fn ack_bit(j: u64) -> u64 {
+    (j + 1) % 2
+}
+
+impl AltBitModel {
+    /// Build the model for alphabet size `a` and sequence length `l`.
+    ///
+    /// # Errors
+    /// Propagates construction errors.
+    pub fn build(a: usize, l: usize) -> Result<Self, UnityError> {
+        let enc = Encoding::new(a, l);
+        let zp_labels: Vec<String> = std::iter::once("bot".to_owned())
+            .chain((0..2u64).flat_map(|b| {
+                (0..a as u64)
+                    .map(move |d| (b, d))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(b, d)| format!("f{b}{}", enc.letter(d))))
+            .collect();
+        let space = StateSpace::builder()
+            .enum_var("xseq", enc.x_labels())?
+            .nat_var("i", l as u64 + 1)?
+            .enum_var("z", ["bot", "b0", "b1"])?
+            .bool_var("sentS")?
+            .enum_var("w", enc.w_labels())?
+            .nat_var("j", l as u64 + 1)?
+            .enum_var("zp", zp_labels)?
+            .bool_var("sentR")?
+            .build()?;
+        let v_x = space.var("xseq")?;
+        let v_i = space.var("i")?;
+        let v_z = space.var("z")?;
+        let v_sent_s = space.var("sentS")?;
+        let v_w = space.var("w")?;
+        let v_j = space.var("j")?;
+        let v_zp = space.var("zp")?;
+        let v_sent_r = space.var("sentR")?;
+        let mut model = AltBitModel {
+            enc,
+            space: Arc::clone(&space),
+            program: Program::builder("altbit", &space)
+                .statement(Statement::new("placeholder"))
+                .build()?,
+            v_x,
+            v_i,
+            v_z,
+            v_sent_s,
+            v_w,
+            v_j,
+            v_zp,
+            v_sent_r,
+        };
+        model.program = model.build_program()?;
+        Ok(model)
+    }
+
+    fn build_program(&self) -> Result<Program, UnityError> {
+        let enc = self.enc;
+        let l = enc.len() as u64;
+        let a = enc.alphabet() as u64;
+        let (v_x, v_i, v_z, v_sent_s, v_w, v_j, v_zp, v_sent_r) = (
+            self.v_x, self.v_i, self.v_z, self.v_sent_s, self.v_w, self.v_j, self.v_zp,
+            self.v_sent_r,
+        );
+        let me = self.clone_for_closures();
+
+        let init = self.pred(|s| {
+            s.i == 0
+                && s.z.is_none()
+                && !s.sent_s
+                && enc.w_len(s.w) == 0
+                && s.j == 0
+                && s.zp.is_none()
+                && !s.sent_r
+        });
+
+        let mut builder = Program::builder("altbit", &self.space)
+            .init_pred(init)
+            .process("Sender", ["xseq", "i", "z", "sentS"])?
+            .process("Receiver", ["w", "j", "zp", "sentR"])?;
+
+        // Receivable ack values for the sender: ⊥, or the receiver's
+        // current ack bit if it has been sent.
+        // n = 0: ⊥; n = 1: the in-flight ack.
+        for n in 0..2u64 {
+            let guard = me.pred(move |s| {
+                s.i < l && s.z != Some(s.i % 2) && (n == 0 || s.sent_r)
+            });
+            builder = builder.statement(
+                Statement::new(if n == 0 {
+                    "s_send_recv_bot"
+                } else {
+                    "s_send_recv_ack"
+                })
+                .guard_pred(guard)
+                .update_with(move |sp: &StateSpace, st: u64| {
+                    let new_z = if n == 0 {
+                        0
+                    } else {
+                        1 + ack_bit(sp.value(st, v_j))
+                    };
+                    let st = sp.with_value(st, v_sent_s, 1);
+                    sp.with_value(st, v_z, new_z)
+                }),
+            );
+            let guard = me.pred(move |s| {
+                s.i < l && s.z == Some(s.i % 2) && (n == 0 || s.sent_r)
+            });
+            builder = builder.statement(
+                Statement::new(if n == 0 {
+                    "s_next_recv_bot"
+                } else {
+                    "s_next_recv_ack"
+                })
+                .guard_pred(guard)
+                .update_with(move |sp: &StateSpace, st: u64| {
+                    let i = sp.value(st, v_i);
+                    let new_z = if n == 0 {
+                        0
+                    } else {
+                        1 + ack_bit(sp.value(st, v_j))
+                    };
+                    let st = sp.with_value(st, v_i, i + 1);
+                    let st = sp.with_value(st, v_sent_s, 0);
+                    sp.with_value(st, v_z, new_z)
+                }),
+            );
+        }
+
+        // Receiver: deliver when the frame carries the expected bit.
+        // Receivable data values: ⊥, or the sender's current frame if sent.
+        for alpha in 0..a {
+            for n in 0..2u64 {
+                let guard = me.pred(move |s| {
+                    s.j < l
+                        && s.zp == Some((s.j % 2, alpha))
+                        && (n == 0 || (s.sent_s && s.i < l))
+                });
+                builder = builder.statement(
+                    Statement::new(format!(
+                        "r_deliver_{}_recv_{}",
+                        enc.letter(alpha),
+                        if n == 0 { "bot" } else { "frame" }
+                    ))
+                    .guard_pred(guard)
+                    .update_with(move |sp: &StateSpace, st: u64| {
+                        let w = sp.value(st, v_w);
+                        let j = sp.value(st, v_j);
+                        let x = sp.value(st, v_x);
+                        let i = sp.value(st, v_i);
+                        let new_w = if enc.w_len(w) < enc.len() {
+                            enc.w_append(w, alpha)
+                        } else {
+                            w
+                        };
+                        let new_zp = if n == 0 || i >= l {
+                            0
+                        } else {
+                            1 + (i % 2) * a + enc.x_digit(x, i as usize)
+                        };
+                        let st = sp.with_value(st, v_w, new_w);
+                        let st = sp.with_value(st, v_j, j + 1);
+                        let st = sp.with_value(st, v_sent_r, 0);
+                        sp.with_value(st, v_zp, new_zp)
+                    }),
+                );
+            }
+        }
+
+        // Receiver: (re)send the current ack when the slot is not the
+        // expected frame.
+        for n in 0..2u64 {
+            let guard = me.pred(move |s| {
+                !matches!(s.zp, Some((b, _)) if b == s.j % 2)
+                    && (n == 0 || (s.sent_s && s.i < l))
+            });
+            builder = builder.statement(
+                Statement::new(if n == 0 {
+                    "r_ack_recv_bot"
+                } else {
+                    "r_ack_recv_frame"
+                })
+                .guard_pred(guard)
+                .update_with(move |sp: &StateSpace, st: u64| {
+                    let x = sp.value(st, v_x);
+                    let i = sp.value(st, v_i);
+                    let new_zp = if n == 0 || i >= l {
+                        0
+                    } else {
+                        1 + (i % 2) * a + enc.x_digit(x, i as usize)
+                    };
+                    let st = sp.with_value(st, v_sent_r, 1);
+                    sp.with_value(st, v_zp, new_zp)
+                }),
+            );
+        }
+
+        builder.build()
+    }
+
+    fn clone_for_closures(&self) -> AltBitModel {
+        self.clone()
+    }
+
+    /// The state space.
+    pub fn space(&self) -> &Arc<StateSpace> {
+        &self.space
+    }
+
+    /// The UNITY program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Compile the program.
+    ///
+    /// # Errors
+    /// Propagates compilation errors.
+    pub fn compile(&self) -> Result<CompiledProgram, UnityError> {
+        self.program.compile()
+    }
+
+    /// Decode a state.
+    pub fn snapshot(&self, st: u64) -> AbpSnapshot {
+        let a = self.enc.alphabet() as u64;
+        let zp_raw = self.space.value(st, self.v_zp);
+        AbpSnapshot {
+            x: self.space.value(st, self.v_x),
+            i: self.space.value(st, self.v_i),
+            z: match self.space.value(st, self.v_z) {
+                0 => None,
+                v => Some(v - 1),
+            },
+            sent_s: self.space.value_bool(st, self.v_sent_s),
+            w: self.space.value(st, self.v_w),
+            j: self.space.value(st, self.v_j),
+            zp: (zp_raw > 0).then(|| ((zp_raw - 1) / a, (zp_raw - 1) % a)),
+            sent_r: self.space.value_bool(st, self.v_sent_r),
+        }
+    }
+
+    /// Build a predicate from a snapshot test.
+    pub fn pred<F: Fn(AbpSnapshot) -> bool>(&self, f: F) -> Predicate {
+        Predicate::from_fn(&self.space, |st| f(self.snapshot(st)))
+    }
+
+    /// Safety: the delivered prefix matches the input.
+    pub fn w_prefix_of_x(&self) -> Predicate {
+        let enc = self.enc;
+        self.pred(move |s| enc.w_prefix_of_x(s.w, s.x))
+    }
+
+    /// `j = k` / `j > k` for the liveness spec.
+    pub fn j_eq(&self, k: u64) -> Predicate {
+        self.pred(move |s| s.j == k)
+    }
+
+    /// `j > k`.
+    pub fn j_gt(&self, k: u64) -> Predicate {
+        self.pred(move |s| s.j > k)
+    }
+}
+
+/// Run the alternating-bit protocol in simulation over faulty channels.
+/// Reordering must be disabled in the fault model (ABP's correctness
+/// condition); duplication is tolerated because the channel here never
+/// replays frames older than the latest.
+///
+/// # Panics
+/// Panics if the config enables reordering, or on a safety violation.
+#[must_use]
+pub fn run_altbit(config: &SimConfig) -> SimReport {
+    assert_eq!(
+        config.data_faults.reorder, 0.0,
+        "the alternating-bit protocol requires a non-reordering channel"
+    );
+    let total = config.x.len();
+    let mut data: FaultyChannel<(u8, u8)> =
+        FaultyChannel::new(config.data_faults, config.seed.wrapping_mul(2));
+    let mut acks: FaultyChannel<u8> = FaultyChannel::new(
+        config.ack_faults,
+        config.seed.wrapping_mul(2).wrapping_add(1),
+    );
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut w: Vec<u8> = Vec::new();
+    let (mut data_sent, mut acks_sent) = (0u64, 0u64);
+    let mut steps = 0u64;
+
+    while (j < total || i < total) && steps < config.max_steps {
+        // Sender.
+        let sender_bit = (i % 2) as u8;
+        match recv(&mut acks) {
+            Some(b) if b == sender_bit && i < total => {
+                i += 1;
+            }
+            _ => {
+                if i < total {
+                    data.send((sender_bit, config.x[i]));
+                    data_sent += 1;
+                }
+            }
+        }
+        // Receiver.
+        let expected = (j % 2) as u8;
+        match recv(&mut data) {
+            Some((b, alpha)) if b == expected => {
+                w.push(alpha);
+                j += 1;
+            }
+            _ => {
+                acks.send(((j + 1) % 2) as u8);
+                acks_sent += 1;
+            }
+        }
+        steps += 2;
+        assert!(
+            w.as_slice() == &config.x[..w.len()],
+            "altbit safety violation: {w:?}"
+        );
+    }
+    SimReport {
+        completed: j >= total && i >= total,
+        delivered: w,
+        data_sent,
+        acks_sent,
+        steps,
+    }
+}
+
+fn recv<M: Clone>(ch: &mut FaultyChannel<M>) -> Option<M> {
+    match ch.recv() {
+        Some(Delivery::Intact(m)) => Some(m),
+        _ => None,
+    }
+}
+
+/// A [`SimConfig`] whose channels are valid for ABP (no reordering, and —
+/// matching the single-slot model — no duplication of stale frames beyond
+/// the channel queue).
+#[must_use]
+pub fn abp_config(x: Vec<u8>, loss: f64, seed: u64) -> SimConfig {
+    SimConfig {
+        x,
+        data_faults: FaultConfig::paper(loss, 0.0, loss / 2.0, 32),
+        ack_faults: FaultConfig::paper(loss, 0.0, loss / 2.0, 32),
+        seed,
+        apriori_prefix: 0,
+        max_steps: 10_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_state::Predicate;
+
+    #[test]
+    fn bounded_model_is_safe_and_live() {
+        let m = AltBitModel::build(2, 2).unwrap();
+        let c = m.compile().unwrap();
+        assert!(c.invariant(&m.w_prefix_of_x()), "ABP safety");
+        for k in 0..2 {
+            assert!(
+                c.leads_to_holds(&m.j_eq(k), &m.j_gt(k)),
+                "ABP liveness k={k}"
+            );
+        }
+        assert!(c.leads_to_holds(&Predicate::tt(m.space()), &m.j_eq(2)));
+    }
+
+    #[test]
+    fn model_is_much_smaller_than_figure4() {
+        // The point of the refinement: finite (and small) state.
+        let abp = AltBitModel::build(2, 2).unwrap();
+        let fig4 = crate::standard::StandardModel::build(
+            2,
+            2,
+            crate::standard::ModelOptions::default(),
+        )
+        .unwrap();
+        assert!(abp.space().num_states() * 2 < fig4.space().num_states());
+    }
+
+    #[test]
+    fn simulation_completes_reliably_and_faultily() {
+        let x: Vec<u8> = (0..40).map(|i| (i % 2) as u8).collect();
+        let r = run_altbit(&SimConfig::reliable(x.clone()));
+        assert!(r.completed);
+        assert_eq!(r.delivered, x);
+        for seed in 0..5 {
+            let r = run_altbit(&abp_config(x.clone(), 0.3, seed));
+            assert!(r.completed, "seed {seed}");
+            assert_eq!(r.delivered, x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-reordering")]
+    fn reordering_config_rejected() {
+        let mut cfg = SimConfig::reliable(vec![0, 1]);
+        cfg.data_faults.reorder = 0.5;
+        let _ = run_altbit(&cfg);
+    }
+
+    #[test]
+    fn snapshot_decoding() {
+        let m = AltBitModel::build(2, 2).unwrap();
+        let init = m.program().init().witness().unwrap();
+        let s = m.snapshot(init);
+        assert_eq!(s.i, 0);
+        assert_eq!(s.j, 0);
+        assert_eq!(s.z, None);
+        assert_eq!(s.zp, None);
+        assert!(!s.sent_s && !s.sent_r);
+    }
+}

@@ -1,0 +1,242 @@
+//! A protocol in the AUY model [AUY79/AUWY82] — the third member of the
+//! protocol family §6 cites: "the sender and receiver communicate
+//! synchronously over a channel that allows only one bit messages".
+//!
+//! The AUY papers study the automaton size and transmission rate of such
+//! protocols; this module provides an executable family member so the
+//! message-count comparison of experiment E11 covers all three cited
+//! models. Each element of `x` is serialised into `⌈log₂|A|⌉` logical
+//! bits; each logical bit is carried by an **alternating-bit protocol at
+//! the bit level**, respecting the one-bit-message constraint:
+//!
+//! ```text
+//! sender:   msg1 = parity     msg2 = data bit      (two 1-bit messages)
+//! receiver: echo = parity of the last accepted pair (its 1-bit ack)
+//! ```
+//!
+//! The receiver accepts a pair exactly when both messages arrive intact
+//! and the parity is the one it expects — so retransmissions after a lost
+//! echo are filtered by parity, never double-accumulated. Faults are
+//! erasures (loss or detectable corruption ⇒ the bit is simply missing
+//! that round), matching the paper's detectable-corruption channel.
+
+use kpt_channel::{Delivery, FaultConfig, FaultyChannel};
+
+use crate::sim::{SimConfig, SimReport};
+
+/// Bits needed per symbol for an alphabet of `a` symbols.
+fn bits_per_symbol(a: usize) -> u32 {
+    usize::BITS - (a.max(2) - 1).leading_zeros()
+}
+
+/// Run the bit-serialised AUY-model protocol. See the module docs for the
+/// wire format. In [`SimReport`], `data_sent` counts forward one-bit
+/// messages and `acks_sent` counts echo bits.
+///
+/// # Panics
+/// Panics if the fault model duplicates or reorders (the model is
+/// synchronous), if a value in `x` is outside the alphabet, or on a
+/// safety violation.
+#[must_use]
+pub fn run_auy(config: &SimConfig, alphabet: usize) -> SimReport {
+    assert_eq!(
+        (config.data_faults.duplication, config.data_faults.reorder),
+        (0.0, 0.0),
+        "the AUY model is synchronous: no duplication or reordering"
+    );
+    assert!(
+        config.x.iter().all(|&v| (v as usize) < alphabet),
+        "x contains symbols outside the alphabet"
+    );
+    let bits = bits_per_symbol(alphabet);
+    let total = config.x.len();
+    let mut forward: FaultyChannel<bool> =
+        FaultyChannel::new(noise_only(config.data_faults), config.seed.wrapping_mul(2));
+    let mut echo: FaultyChannel<bool> = FaultyChannel::new(
+        noise_only(config.ack_faults),
+        config.seed.wrapping_mul(2).wrapping_add(1),
+    );
+
+    // Sender state.
+    let mut sym_index = 0usize;
+    let mut bit_index = 0u32;
+    let mut parity = false;
+    // Receiver state.
+    let mut w: Vec<u8> = Vec::new();
+    let mut partial: u8 = 0;
+    let mut got_bits = 0u32;
+    let mut expected = false;
+    let mut last_echo = true; // parity of the last ACCEPTED pair (= ¬expected)
+
+    let (mut data_sent, mut acks_sent) = (0u64, 0u64);
+    let mut steps = 0u64;
+
+    while sym_index < total && steps < config.max_steps {
+        let logical = (config.x[sym_index] >> (bits - 1 - bit_index)) & 1 == 1;
+        // Two one-bit messages: parity, then the data bit.
+        forward.send(parity);
+        forward.send(logical);
+        data_sent += 2;
+        let p = recv_bit(&mut forward);
+        let d = recv_bit(&mut forward);
+        // Receiver: accept on an intact, expected-parity pair.
+        if let (Some(p), Some(d)) = (p, d) {
+            if p == expected {
+                partial = (partial << 1) | u8::from(d);
+                got_bits += 1;
+                last_echo = p;
+                expected = !expected;
+                if got_bits == bits {
+                    w.push(partial);
+                    assert!(
+                        w.as_slice() == &config.x[..w.len()],
+                        "auy safety violation: {w:?}"
+                    );
+                    partial = 0;
+                    got_bits = 0;
+                }
+            }
+            // Duplicate pair (parity mismatch): ignored, re-echo below.
+        }
+        // Receiver echoes the parity of its last accepted pair.
+        echo.send(last_echo);
+        acks_sent += 1;
+        // Sender: advance exactly when the echo confirms its parity.
+        if recv_bit(&mut echo) == Some(parity) {
+            parity = !parity;
+            bit_index += 1;
+            if bit_index == bits {
+                bit_index = 0;
+                sym_index += 1;
+            }
+        }
+        steps += 3;
+    }
+
+    SimReport {
+        completed: sym_index >= total,
+        delivered: w,
+        data_sent,
+        acks_sent,
+        steps,
+    }
+}
+
+/// Fold a fault model into a *slot-preserving erasure* model: synchrony
+/// means every round has a slot, so a "lost" bit still occupies its slot
+/// and arrives as the detectable ⊥ — i.e. loss is folded into corruption.
+/// (Dropping the message entirely would desynchronise the framing, which
+/// the AUY timing model rules out.)
+fn noise_only(f: FaultConfig) -> FaultConfig {
+    FaultConfig {
+        loss: 0.0,
+        duplication: 0.0,
+        // Cap below 1: a round needs three consecutive intact bits, so a
+        // saturated erasure rate (which the fairness bound only punctures
+        // one bit at a time) would deadlock the synchronous framing.
+        corruption: (f.loss + f.corruption).min(0.85),
+        reorder: 0.0,
+        fairness_bound: f.fairness_bound,
+    }
+}
+
+fn recv_bit(ch: &mut FaultyChannel<bool>) -> Option<bool> {
+    match ch.recv() {
+        Some(Delivery::Intact(b)) => Some(b),
+        _ => None,
+    }
+}
+
+/// A [`SimConfig`] suitable for [`run_auy`] (loss/corruption only).
+#[must_use]
+pub fn auy_config(x: Vec<u8>, noise: f64, seed: u64) -> SimConfig {
+    SimConfig {
+        x,
+        data_faults: FaultConfig::paper(noise, 0.0, noise, 32),
+        ack_faults: FaultConfig::paper(noise, 0.0, noise, 32),
+        seed,
+        apriori_prefix: 0,
+        max_steps: 10_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_symbol_is_ceil_log2() {
+        assert_eq!(bits_per_symbol(2), 1);
+        assert_eq!(bits_per_symbol(3), 2);
+        assert_eq!(bits_per_symbol(4), 2);
+        assert_eq!(bits_per_symbol(5), 3);
+        assert_eq!(bits_per_symbol(8), 3);
+    }
+
+    #[test]
+    fn reliable_run_costs_exactly_the_bit_budget() {
+        let x: Vec<u8> = (0..32).map(|i| (i % 4) as u8).collect();
+        let r = run_auy(&SimConfig::reliable(x.clone()), 4);
+        assert!(r.completed);
+        assert_eq!(r.delivered, x);
+        // 2 bits/symbol, each logical bit = 2 forward messages + 1 echo.
+        assert_eq!(r.data_sent, 32 * 2 * 2);
+        assert_eq!(r.acks_sent, 32 * 2);
+    }
+
+    #[test]
+    fn noisy_runs_still_deliver() {
+        let x: Vec<u8> = (0..20).map(|i| (i % 2) as u8).collect();
+        for seed in 0..6 {
+            let r = run_auy(&auy_config(x.clone(), 0.3, seed), 2);
+            assert!(r.completed, "seed {seed}: {r:?}");
+            assert_eq!(r.delivered, x, "seed {seed}");
+            assert!(r.data_sent > 40, "noise must cost retransmissions");
+        }
+    }
+
+    #[test]
+    fn binary_alphabet_is_cheapest_per_element() {
+        let n = 24usize;
+        let x2: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let x4: Vec<u8> = (0..n).map(|i| (i % 4) as u8).collect();
+        let r2 = run_auy(&SimConfig::reliable(x2), 2);
+        let r4 = run_auy(&SimConfig::reliable(x4), 4);
+        assert_eq!(r2.data_sent * 2, r4.data_sent);
+    }
+
+    #[test]
+    #[should_panic(expected = "synchronous")]
+    fn duplication_rejected() {
+        let mut cfg = SimConfig::reliable(vec![0, 1]);
+        cfg.data_faults.duplication = 0.5;
+        let _ = run_auy(&cfg, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the alphabet")]
+    fn alphabet_violation_rejected() {
+        let _ = run_auy(&SimConfig::reliable(vec![5]), 2);
+    }
+
+    #[test]
+    fn determinism() {
+        let x: Vec<u8> = (0..15).map(|i| (i % 2) as u8).collect();
+        let a = run_auy(&auy_config(x.clone(), 0.4, 9), 2);
+        let b = run_auy(&auy_config(x, 0.4, 9), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_pairs_are_filtered_by_parity() {
+        // Drop only echoes: the sender retransmits pairs the receiver has
+        // already accepted; parity must prevent double accumulation.
+        let x: Vec<u8> = vec![1, 0, 1, 1];
+        let mut cfg = SimConfig::reliable(x.clone());
+        cfg.ack_faults = FaultConfig::lossy(0.6, 8);
+        cfg.seed = 3;
+        let r = run_auy(&cfg, 2);
+        assert!(r.completed);
+        assert_eq!(r.delivered, x);
+    }
+}

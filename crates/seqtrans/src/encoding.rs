@@ -1,0 +1,412 @@
+//! Finite encodings for the bounded sequence-transmission instances.
+//!
+//! The paper's Figure 4 state uses unbounded objects: the infinite input
+//! sequence `x`, the delivered prefix `w`, message slots `z : nat ∪ ⊥` and
+//! `z' : (nat, A) ∪ ⊥`, and history variables. A bounded instance with
+//! alphabet size `a` and sequence length `l` encodes each as a finite
+//! domain:
+//!
+//! | paper object | encoding |
+//! |---|---|
+//! | `x : seq of A` (unknown input!) | `xseq`: one of `a^l` values — kept in the **state** so that knowledge about `x` is non-trivial |
+//! | `w : seq of A` (delivered) | one of `Σ_{m≤l} a^m` values (all sequences of length ≤ l) |
+//! | `z : nat ∪ ⊥` (ack slot) | `⊥` or `ack m` for `m ∈ 0..=l` |
+//! | `z' : (nat, A) ∪ ⊥` (data slot) | `⊥` or `(k, α)` for `k < l`, `α < a` |
+//! | `ch̄_S` (data history) | `msS`: highest data index ever sent (`none` or `0..l-1`) — exact for this protocol because sends are monotone in `i` |
+//! | `ch̄_R` (ack history) | `msR`: highest ack ever sent (`none` or `0..=l`) |
+//!
+//! All code/decode arithmetic lives here so the model, the knowledge
+//! predicates and the tests share one definition.
+
+/// Encoding parameters and arithmetic for one bounded instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Encoding {
+    a: usize,
+    l: usize,
+}
+
+impl Encoding {
+    /// An instance with alphabet size `a` (2–6) and sequence length `l`
+    /// (1–6). Bounds keep the state space enumerable.
+    ///
+    /// # Panics
+    /// Panics if `a` or `l` is out of range.
+    pub fn new(a: usize, l: usize) -> Self {
+        assert!((2..=6).contains(&a), "alphabet size {a} out of range 2..=6");
+        assert!((1..=6).contains(&l), "sequence length {l} out of range 1..=6");
+        Encoding { a, l }
+    }
+
+    /// Alphabet size `|A|`.
+    pub fn alphabet(&self) -> usize {
+        self.a
+    }
+
+    /// Sequence length `|x|`.
+    pub fn len(&self) -> usize {
+        self.l
+    }
+
+    /// Always false: instances have length ≥ 1 (provided to satisfy the
+    /// `len`/`is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The letter for digit `d` (`0 → 'a'`, `1 → 'b'`, …).
+    ///
+    /// # Panics
+    /// Panics if `d` is not a valid digit.
+    pub fn letter(&self, d: u64) -> char {
+        assert!((d as usize) < self.a, "digit {d} out of range");
+        (b'a' + d as u8) as char
+    }
+
+    // ----- xseq: all a^l full sequences --------------------------------
+
+    /// Number of possible input sequences, `a^l`.
+    pub fn x_count(&self) -> u64 {
+        (self.a as u64).pow(self.l as u32)
+    }
+
+    /// The `k`-th element of the input sequence encoded by `code`
+    /// (big-endian: element 0 is the leading letter of the label).
+    ///
+    /// # Panics
+    /// Panics if `k ≥ l` or `code` is out of range.
+    pub fn x_digit(&self, code: u64, k: usize) -> u64 {
+        assert!(k < self.l, "element index {k} out of range");
+        assert!(code < self.x_count(), "xseq code out of range");
+        let shift = (self.a as u64).pow((self.l - 1 - k) as u32);
+        (code / shift) % self.a as u64
+    }
+
+    /// Encode a full sequence of `l` digits.
+    ///
+    /// # Panics
+    /// Panics on wrong length or invalid digits.
+    pub fn x_encode(&self, digits: &[u64]) -> u64 {
+        assert_eq!(digits.len(), self.l, "sequence must have length l");
+        digits.iter().fold(0u64, |acc, &d| {
+            assert!((d as usize) < self.a, "digit out of range");
+            acc * self.a as u64 + d
+        })
+    }
+
+    /// Labels for the `xseq` enum domain (e.g. `"ab"`, `"ba"` for a=2, l=2).
+    pub fn x_labels(&self) -> Vec<String> {
+        (0..self.x_count())
+            .map(|c| {
+                (0..self.l)
+                    .map(|k| self.letter(self.x_digit(c, k)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    // ----- w: all sequences of length 0..=l ----------------------------
+
+    /// Number of possible delivered prefixes, `Σ_{m=0}^{l} a^m`.
+    pub fn w_count(&self) -> u64 {
+        (0..=self.l as u32).map(|m| (self.a as u64).pow(m)).sum()
+    }
+
+    fn w_offset(&self, len: usize) -> u64 {
+        (0..len as u32).map(|m| (self.a as u64).pow(m)).sum()
+    }
+
+    /// Length of the sequence encoded by `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range.
+    pub fn w_len(&self, code: u64) -> usize {
+        assert!(code < self.w_count(), "w code out of range");
+        let mut len = 0;
+        while len < self.l && code >= self.w_offset(len + 1) {
+            len += 1;
+        }
+        len
+    }
+
+    /// The `p`-th element of the sequence encoded by `code`.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range for the encoded sequence.
+    pub fn w_digit(&self, code: u64, p: usize) -> u64 {
+        let len = self.w_len(code);
+        assert!(p < len, "position {p} out of range for length {len}");
+        let rel = code - self.w_offset(len);
+        let shift = (self.a as u64).pow((len - 1 - p) as u32);
+        (rel / shift) % self.a as u64
+    }
+
+    /// The code of `w ; d` (append one digit).
+    ///
+    /// # Panics
+    /// Panics if the sequence is already full or `d` is invalid.
+    pub fn w_append(&self, code: u64, d: u64) -> u64 {
+        let len = self.w_len(code);
+        assert!(len < self.l, "cannot append to a full sequence");
+        assert!((d as usize) < self.a, "digit out of range");
+        let rel = code - self.w_offset(len);
+        self.w_offset(len + 1) + rel * self.a as u64 + d
+    }
+
+    /// Labels for the `w` enum domain; the empty sequence is `"-"`.
+    pub fn w_labels(&self) -> Vec<String> {
+        (0..self.w_count())
+            .map(|c| {
+                let len = self.w_len(c);
+                if len == 0 {
+                    "-".to_owned()
+                } else {
+                    (0..len).map(|p| self.letter(self.w_digit(c, p))).collect()
+                }
+            })
+            .collect()
+    }
+
+    /// Whether the prefix encoded by `w` matches the leading elements of
+    /// the input sequence encoded by `x` — the paper's `w ⊑ x`.
+    pub fn w_prefix_of_x(&self, w: u64, x: u64) -> bool {
+        let len = self.w_len(w);
+        (0..len).all(|p| self.w_digit(w, p) == self.x_digit(x, p))
+    }
+
+    // ----- z (ack slot): ⊥ or ack m for m ∈ 0..=l ----------------------
+
+    /// Number of ack-slot values.
+    pub fn z_count(&self) -> u64 {
+        self.l as u64 + 2
+    }
+
+    /// Code of `⊥` in the ack slot.
+    pub fn z_bot(&self) -> u64 {
+        0
+    }
+
+    /// Code of `ack m`.
+    ///
+    /// # Panics
+    /// Panics if `m > l`.
+    pub fn z_ack(&self, m: u64) -> u64 {
+        assert!(m <= self.l as u64, "ack number out of range");
+        m + 1
+    }
+
+    /// Decode an ack-slot value (`None` for `⊥`).
+    pub fn z_decode(&self, code: u64) -> Option<u64> {
+        (code > 0).then(|| code - 1)
+    }
+
+    /// Ack-slot labels: `bot`, `ack0`, ….
+    pub fn z_labels(&self) -> Vec<String> {
+        std::iter::once("bot".to_owned())
+            .chain((0..=self.l).map(|m| format!("ack{m}")))
+            .collect()
+    }
+
+    // ----- z' (data slot): ⊥ or (k, α) for k < l -----------------------
+
+    /// Number of data-slot values.
+    pub fn zp_count(&self) -> u64 {
+        (self.l * self.a) as u64 + 1
+    }
+
+    /// Code of `⊥` in the data slot.
+    pub fn zp_bot(&self) -> u64 {
+        0
+    }
+
+    /// Code of the data message `(k, α)`.
+    ///
+    /// # Panics
+    /// Panics if `k ≥ l` or `α` invalid.
+    pub fn zp_pair(&self, k: u64, alpha: u64) -> u64 {
+        assert!((k as usize) < self.l, "data index out of range");
+        assert!((alpha as usize) < self.a, "digit out of range");
+        1 + k * self.a as u64 + alpha
+    }
+
+    /// Decode a data-slot value (`None` for `⊥`).
+    pub fn zp_decode(&self, code: u64) -> Option<(u64, u64)> {
+        (code > 0).then(|| {
+            let rel = code - 1;
+            (rel / self.a as u64, rel % self.a as u64)
+        })
+    }
+
+    /// Data-slot labels: `bot`, `d0a`, `d0b`, `d1a`, ….
+    pub fn zp_labels(&self) -> Vec<String> {
+        std::iter::once("bot".to_owned())
+            .chain((0..self.l as u64).flat_map(|k| {
+                (0..self.a as u64)
+                    .map(move |d| (k, d))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(k, d)| format!("d{k}{}", self.letter(d))))
+            .collect()
+    }
+
+    // ----- history summaries -------------------------------------------
+
+    /// Values of `msS` (highest data index sent): `none` or `0..l-1`.
+    pub fn ms_data_count(&self) -> u64 {
+        self.l as u64 + 1
+    }
+
+    /// Values of `msR` (highest ack sent): `none` or `0..=l`.
+    pub fn ms_ack_count(&self) -> u64 {
+        self.l as u64 + 2
+    }
+
+    /// Code for "no message sent yet".
+    pub fn ms_none(&self) -> u64 {
+        0
+    }
+
+    /// Code for "highest index sent is `k`".
+    pub fn ms_at(&self, k: u64) -> u64 {
+        k + 1
+    }
+
+    /// Decode a history summary (`None` for "nothing sent").
+    pub fn ms_decode(&self, code: u64) -> Option<u64> {
+        (code > 0).then(|| code - 1)
+    }
+
+    /// Labels for `msS`.
+    pub fn ms_data_labels(&self) -> Vec<String> {
+        std::iter::once("none".to_owned())
+            .chain((0..self.l).map(|k| format!("s{k}")))
+            .collect()
+    }
+
+    /// Labels for `msR`.
+    pub fn ms_ack_labels(&self) -> Vec<String> {
+        std::iter::once("none".to_owned())
+            .chain((0..=self.l).map(|k| format!("s{k}")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_roundtrip() {
+        let e = Encoding::new(2, 3);
+        assert_eq!(e.x_count(), 8);
+        for code in 0..8 {
+            let digits: Vec<u64> = (0..3).map(|k| e.x_digit(code, k)).collect();
+            assert_eq!(e.x_encode(&digits), code);
+        }
+        assert_eq!(e.x_labels()[0], "aaa");
+        assert_eq!(e.x_labels()[7], "bbb");
+        assert_eq!(e.x_labels()[4], "baa"); // big-endian: element 0 leads
+        assert_eq!(e.x_digit(4, 0), 1);
+        assert_eq!(e.x_digit(4, 2), 0);
+    }
+
+    #[test]
+    fn w_layout() {
+        let e = Encoding::new(2, 2);
+        assert_eq!(e.w_count(), 7); // -, a, b, aa, ab, ba, bb
+        assert_eq!(e.w_len(0), 0);
+        assert_eq!(e.w_len(1), 1);
+        assert_eq!(e.w_len(3), 2);
+        assert_eq!(
+            e.w_labels(),
+            vec!["-", "a", "b", "aa", "ab", "ba", "bb"]
+        );
+    }
+
+    #[test]
+    fn w_append_builds_sequences() {
+        let e = Encoding::new(2, 3);
+        let mut w = 0u64;
+        w = e.w_append(w, 1); // "b"
+        assert_eq!(e.w_len(w), 1);
+        assert_eq!(e.w_digit(w, 0), 1);
+        w = e.w_append(w, 0); // "ba"
+        assert_eq!(e.w_len(w), 2);
+        assert_eq!(e.w_digit(w, 0), 1);
+        assert_eq!(e.w_digit(w, 1), 0);
+        w = e.w_append(w, 1); // "bab"
+        assert_eq!(e.w_len(w), 3);
+        assert_eq!(e.w_digit(w, 2), 1);
+        assert_eq!(e.w_labels()[w as usize], "bab");
+    }
+
+    #[test]
+    #[should_panic(expected = "full sequence")]
+    fn w_append_overflow_panics() {
+        let e = Encoding::new(2, 1);
+        let w = e.w_append(0, 0);
+        let _ = e.w_append(w, 0);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let e = Encoding::new(2, 3);
+        let x = e.x_encode(&[1, 0, 1]); // "bab"
+        let mut w = 0u64;
+        assert!(e.w_prefix_of_x(w, x)); // ε ⊑ x
+        w = e.w_append(w, 1);
+        assert!(e.w_prefix_of_x(w, x)); // "b"
+        let wrong = e.w_append(0, 0); // "a"
+        assert!(!e.w_prefix_of_x(wrong, x));
+        w = e.w_append(w, 0);
+        w = e.w_append(w, 1);
+        assert!(e.w_prefix_of_x(w, x)); // "bab" ⊑ "bab"
+    }
+
+    #[test]
+    fn z_slot_codes() {
+        let e = Encoding::new(3, 2);
+        assert_eq!(e.z_count(), 4);
+        assert_eq!(e.z_decode(e.z_bot()), None);
+        for m in 0..=2 {
+            assert_eq!(e.z_decode(e.z_ack(m)), Some(m));
+        }
+        assert_eq!(e.z_labels(), vec!["bot", "ack0", "ack1", "ack2"]);
+    }
+
+    #[test]
+    fn zp_slot_codes() {
+        let e = Encoding::new(2, 2);
+        assert_eq!(e.zp_count(), 5);
+        assert_eq!(e.zp_decode(e.zp_bot()), None);
+        for k in 0..2 {
+            for d in 0..2 {
+                assert_eq!(e.zp_decode(e.zp_pair(k, d)), Some((k, d)));
+            }
+        }
+        assert_eq!(e.zp_labels(), vec!["bot", "d0a", "d0b", "d1a", "d1b"]);
+    }
+
+    #[test]
+    fn history_summaries() {
+        let e = Encoding::new(2, 2);
+        assert_eq!(e.ms_data_count(), 3);
+        assert_eq!(e.ms_ack_count(), 4);
+        assert_eq!(e.ms_decode(e.ms_none()), None);
+        assert_eq!(e.ms_decode(e.ms_at(1)), Some(1));
+        assert_eq!(e.ms_data_labels(), vec!["none", "s0", "s1"]);
+        assert_eq!(e.ms_ack_labels(), vec!["none", "s0", "s1", "s2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_alphabet_panics() {
+        let _ = Encoding::new(1, 2);
+    }
+
+    #[test]
+    fn letters() {
+        let e = Encoding::new(3, 1);
+        assert_eq!(e.letter(0), 'a');
+        assert_eq!(e.letter(2), 'c');
+    }
+}

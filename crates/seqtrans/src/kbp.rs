@@ -1,0 +1,242 @@
+//! The knowledge-based protocol of Figure 3, with real knowledge guards —
+//! and the instantiation question of §6.3/§6.4.
+//!
+//! The KBP's guards mention `K_S K_R x_k` and `K_R(x_k = α)` *as knowledge
+//! operators*, so the program denotes the fixpoint equation (25) rather
+//! than a transition system. This module builds the bounded Figure-3 KBP
+//! over the same state space as [`StandardModel`] and asks, mechanically:
+//!
+//! * does the standard protocol **instantiate** the KBP? — i.e. is the
+//!   standard protocol's `SI` a solution of eq. (25) for the KBP? (Yes,
+//!   absent a-priori information.)
+//! * does that break under a-priori knowledge? (Yes — §6.4: the standard
+//!   protocol still satisfies the spec but is no longer an instantiation,
+//!   because the KBP would deliver the known element without
+//!   communication.)
+
+use kpt_core::Kbp;
+use kpt_logic::Formula;
+use kpt_state::StateSpace;
+use kpt_unity::{Program, Statement, UnityError};
+
+use crate::standard::StandardModel;
+#[cfg(test)]
+use crate::standard::ModelOptions;
+
+/// The formula `x_k = α`: a disjunction over the `xseq` labels whose `k`-th
+/// element is `α` (the ground fact the Receiver learns).
+fn x_elem_formula(model: &StandardModel, k: u64, alpha: u64) -> Formula {
+    let enc = model.encoding();
+    let domain = model
+        .space()
+        .domain(model.space().var("xseq").expect("xseq exists"))
+        .clone();
+    Formula::disj(
+        (0..enc.x_count())
+            .filter(|&code| enc.x_digit(code, k as usize) == alpha)
+            .map(|code| {
+                Formula::var_is(
+                    "xseq",
+                    domain.code_label(code).expect("xseq label exists"),
+                )
+            }),
+    )
+}
+
+/// `K_R x_k = (∃ α :: K_R(x_k = α))` as a formula.
+fn kr_xk_formula(model: &StandardModel, k: u64) -> Formula {
+    let a = model.encoding().alphabet() as u64;
+    Formula::disj(
+        (0..a).map(|alpha| x_elem_formula(model, k, alpha).known_by("Receiver")),
+    )
+}
+
+/// Build the Figure-3 knowledge-based protocol on the bounded state space
+/// of `model`. The statements mirror the per-received-value statements of
+/// the standard model, with the concrete guards replaced by the knowledge
+/// guards of Figure 3:
+///
+/// ```text
+/// Sender:   transmit ‖ receive(z)   if ¬(K_S K_R x_k)@k=i
+///           advance  ‖ receive(z)   if  (K_S K_R x_k)@k=i
+/// Receiver: deliver α ‖ receive(z') if  (K_R(x_k = α))@k=j
+///           ack      ‖ receive(z')  if ¬(K_R x_k)@k=j
+/// ```
+///
+/// The `@k=i` indexing is realised by one statement per `k` with an
+/// `i = k` conjunct, exactly the paper's free-variable convention.
+///
+/// # Errors
+/// Propagates program-construction errors.
+pub fn figure3_kbp(model: &StandardModel) -> Result<Kbp, UnityError> {
+    let enc = model.encoding();
+    let l = enc.len() as u64;
+    let a = enc.alphabet() as u64;
+    let space = model.space();
+    let std_prog = model.program();
+
+    // Reuse the standard model's exact update functions by pairing each
+    // standard statement with its knowledge-guard replacement.
+    let mut builder = Program::builder("seqtrans-kbp", space)
+        .init_pred(std_prog.init().clone())
+        .process("Sender", ["xseq", "i", "z"])?
+        .process("Receiver", ["w", "j", "zp"])?;
+
+    for stmt in std_prog.statements() {
+        let name = stmt.name().to_owned();
+        let update = stmt
+            .update_fn()
+            .expect("standard statements use functional updates")
+            .clone();
+        // Producibility of the received value is part of the channel, not
+        // of the knowledge guard; keep it from the concrete model by
+        // parsing the statement name (the suffix encodes the received
+        // value).
+        let recv_data: Option<u64> = name
+            .rsplit_once("_recv_d")
+            .and_then(|(_, k)| k.parse().ok());
+        let recv_ack: Option<u64> = name
+            .rsplit_once("_recv_ack")
+            .and_then(|(_, m)| m.parse().ok());
+
+        let producible = move |s: crate::standard::Snapshot| {
+            recv_data.is_none_or(|k| s.ms_s.is_some_and(|h| h >= k))
+                && recv_ack.is_none_or(|m| s.ms_r.is_some_and(|h| h >= m))
+        };
+
+        if name.starts_with("s_send") {
+            // One statement per k: i = k ∧ ¬K_S K_R x_k ∧ producible.
+            for k in 0..l {
+                let know = kr_xk_formula(model, k).known_by("Sender").not();
+                let side = model.pred(move |s| s.i == k && producible(s));
+                builder = builder.statement(
+                    Statement::new(format!("{name}_k{k}"))
+                        .guard_formula(know)
+                        .update_with(guarded(side, update.clone())),
+                );
+            }
+        } else if name.starts_with("s_next") {
+            for k in 0..l {
+                let know = kr_xk_formula(model, k).known_by("Sender");
+                let side = model.pred(move |s| s.i == k && producible(s));
+                builder = builder.statement(
+                    Statement::new(format!("{name}_k{k}"))
+                        .guard_formula(know)
+                        .update_with(guarded(side, update.clone())),
+                );
+            }
+        } else if name.starts_with("r_deliver") {
+            // The α this statement delivers is encoded in the name.
+            let alpha = (0..a)
+                .find(|&d| name.contains(&format!("r_deliver_{}", enc.letter(d))))
+                .expect("deliver statement names its letter");
+            for k in 0..l {
+                let know = x_elem_formula(model, k, alpha).known_by("Receiver");
+                let side = model.pred(move |s| s.j == k && producible(s));
+                builder = builder.statement(
+                    Statement::new(format!("{name}_k{k}"))
+                        .guard_formula(know)
+                        .update_with(guarded(side, update.clone())),
+                );
+            }
+        } else if name.starts_with("r_ack") {
+            for k in 0..=l {
+                // ¬K_R x_k @k=j; at k = l there is no element — the
+                // receiver is done and keeps acking, as in the standard
+                // protocol (the KBP's final ack is outside the k < l
+                // guards; keep the concrete behaviour).
+                let know = if k < l {
+                    kr_xk_formula(model, k).not()
+                } else {
+                    Formula::tt()
+                };
+                let side = model.pred(move |s| s.j == k && producible(s));
+                builder = builder.statement(
+                    Statement::new(format!("{name}_k{k}"))
+                        .guard_formula(know)
+                        .update_with(guarded(side, update.clone())),
+                );
+            }
+        } else {
+            return Err(UnityError::UnknownProcess(format!(
+                "unrecognised statement {name}"
+            )));
+        }
+    }
+
+    Ok(Kbp::new(builder.build()?))
+}
+
+/// Wrap an update so it only fires where `side` holds (the non-knowledge
+/// part of the guard, folded into the update for simplicity: UNITY
+/// semantics is unchanged because a skipped update is the identity, which
+/// is what a false guard denotes).
+fn guarded(
+    side: kpt_state::Predicate,
+    update: std::sync::Arc<kpt_unity::UpdateFn>,
+) -> impl Fn(&StateSpace, u64) -> u64 + Send + Sync {
+    move |sp: &StateSpace, st: u64| {
+        if side.holds(st) {
+            update(sp, st)
+        } else {
+            st
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_protocol_instantiates_the_kbp() {
+        // §6.3: absent a-priori information, the standard protocol's SI is
+        // a solution of the KBP's fixpoint equation (25).
+        let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+        let compiled = model.compile().unwrap();
+        let kbp = figure3_kbp(&model).unwrap();
+        assert!(kbp.program().is_knowledge_based());
+        assert!(
+            kbp.is_solution(compiled.si()).unwrap(),
+            "the standard protocol must instantiate the Figure-3 KBP"
+        );
+    }
+
+    #[test]
+    fn apriori_knowledge_breaks_the_instantiation() {
+        // §6.4: with x_0 known a priori the standard protocol is still
+        // correct (checked elsewhere) but NO LONGER an instantiation.
+        let model = StandardModel::build(
+            2,
+            2,
+            ModelOptions {
+                apriori_first: Some(1),
+                slot_loss: false,
+            },
+        )
+        .unwrap();
+        let compiled = model.compile().unwrap();
+        let kbp = figure3_kbp(&model).unwrap();
+        assert!(
+            !kbp.is_solution(compiled.si()).unwrap(),
+            "with a-priori knowledge the standard SI must NOT solve the KBP"
+        );
+    }
+
+    #[test]
+    fn kbp_compiled_at_standard_si_behaves_identically_on_si() {
+        // At the standard SI, the knowledge guards coincide with the
+        // concrete guards (50)/(51) on reachable states, so the induced
+        // standard protocol has the same reachable behaviour.
+        let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+        let compiled = model.compile().unwrap();
+        let kbp = figure3_kbp(&model).unwrap();
+        let induced = kbp.compile_at(compiled.si()).unwrap();
+        assert_eq!(induced.si(), compiled.si());
+        // And the induced protocol satisfies the spec.
+        assert!(induced.invariant(&model.w_prefix_of_x()));
+        for k in 0..2 {
+            assert!(induced.leads_to_holds(&model.j_eq(k), &model.j_gt(k)));
+        }
+    }
+}

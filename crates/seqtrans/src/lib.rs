@@ -1,0 +1,65 @@
+//! # kpt-seqtrans: the sequence transmission problem (§6 of the paper)
+//!
+//! The worked example of the reproduction: transmit a sequence over a
+//! channel allowing loss, duplication and detectable corruption, such that
+//!
+//! ```text
+//! Safety:   invariant w ⊑ x                        (34)
+//! Liveness: |w| = k ↦ |w| > k                      (35)
+//! ```
+//!
+//! This crate provides, per the experiment index in `DESIGN.md`:
+//!
+//! * [`StandardModel`] — the Figure-4 standard protocol as a bounded UNITY
+//!   model with the *unknown input in the state* (so knowledge about `x`
+//!   is non-trivial), exact strongest invariants, and the spec checks;
+//! * [`knowledge_preds`] — validation of the proposed knowledge predicates
+//!   (50)/(51): the §6.3 obligations (54), (55), (56), (61), (62), the
+//!   soundness direction `candidate ⇒ K`, the completeness direction
+//!   (the \[HZar\] Proposition-4.5 analogue) — and its failure under
+//!   a-priori knowledge (§6.4, experiment E8);
+//! * [`proof_replay`] — the §6.2 derivation (36)–(49) replayed step by
+//!   step through the certificate kernel, with (Kbp-1)/(Kbp-2) assumed and
+//!   then discharged by the model checker (experiment E6);
+//! * [`sim`] — the unbounded-instance simulator over
+//!   [`kpt_channel::FaultyChannel`], with message-count accounting and the
+//!   §6.4 a-priori variant;
+//! * [`altbit`]/[`stenning`] — the finite-state refinements the paper
+//!   points to: the alternating-bit protocol (bounded model + simulator)
+//!   and Stenning's protocol (timeout policy simulator) — experiment E11.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kpt_seqtrans::{ModelOptions, StandardModel};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = StandardModel::build(2, 2, ModelOptions::default())?;
+//! let compiled = model.compile()?;
+//! // Spec (34): delivered values are always a prefix of the input.
+//! assert!(compiled.invariant(&model.w_prefix_of_x()));
+//! // Spec (35): progress at every position.
+//! assert!(compiled.leads_to_holds(&model.j_eq(0), &model.j_gt(0)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod altbit;
+pub mod auy;
+pub mod encoding;
+pub mod kbp;
+pub mod knowledge_preds;
+pub mod proof_replay;
+pub mod sim;
+pub mod standard;
+pub mod stenning;
+
+pub use altbit::{run_altbit, AltBitModel};
+pub use auy::run_auy;
+pub use encoding::Encoding;
+pub use kbp::figure3_kbp;
+pub use sim::{run_standard, SimConfig, SimReport};
+pub use standard::{ModelOptions, Snapshot, StandardModel};
+pub use stenning::{run_stenning, StenningPolicy};

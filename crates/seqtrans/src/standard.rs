@@ -1,0 +1,546 @@
+//! The standard sequence-transmission protocol of Figure 4 as a bounded
+//! UNITY model.
+//!
+//! ## Modelling notes (see DESIGN.md for the substitution table)
+//!
+//! * The unknown input sequence `x` is a **state variable** `xseq` (constant
+//!   during execution, free in `init`), so knowledge about `x` is
+//!   non-trivial: the Receiver genuinely cannot distinguish inputs it has
+//!   not yet heard about. The Sender's `y` (always `x_i`) is derivable from
+//!   the Sender's view `{xseq, i}` and is elided.
+//! * The paper's `transmit(m) ‖ receive(z)` compounds are kept **atomic**:
+//!   each process statement is generated once per possible received value
+//!   (`⊥` or any previously-sent message), so UNITY's unconditional
+//!   statement fairness *is* the paper's channel-liveness assumption — a
+//!   message sent repeatedly is eventually received, because the statement
+//!   that receives it intact fires infinitely often. Loss, duplication and
+//!   detectable corruption are all present: any old message may arrive
+//!   (duplication), `⊥` may always arrive (loss/corruption).
+//! * Histories `ch̄_S`/`ch̄_R` are summarised by the *highest index sent*
+//!   (`msS`/`msR`), exact for this protocol since sends are monotone.
+//! * With [`ModelOptions::slot_loss`], two extra statements let the
+//!   adversary clear the channel slots at any time, breaking the fairness
+//!   coupling — the model checker then *finds* the adversarial schedule
+//!   that makes liveness fail, demonstrating why the paper must assume
+//!   (St-3)/(St-4).
+
+use std::sync::Arc;
+
+use kpt_state::{Predicate, StateSpace, VarId, VarSet};
+use kpt_unity::{CompiledProgram, Program, Statement, UnityError};
+
+use crate::encoding::Encoding;
+
+/// Options for building a [`StandardModel`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelOptions {
+    /// Restrict `init` to inputs whose first element is this digit — the
+    /// §6.4 *a-priori knowledge* scenario (experiment E8).
+    pub apriori_first: Option<u64>,
+    /// Add adversarial slot-clearing statements (breaks channel fairness;
+    /// liveness then fails).
+    pub slot_loss: bool,
+}
+
+/// Decoded view of one global state of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The input sequence code (see [`Encoding::x_digit`]).
+    pub x: u64,
+    /// Sender position `i ∈ 0..=l`.
+    pub i: u64,
+    /// Ack slot `z`: `None` = `⊥`, `Some(m)` = ack `m`.
+    pub z: Option<u64>,
+    /// Delivered prefix code (see [`Encoding::w_digit`]).
+    pub w: u64,
+    /// Receiver position `j ∈ 0..=l`.
+    pub j: u64,
+    /// Data slot `z'`: `None` = `⊥`, `Some((k, α))`.
+    pub zp: Option<(u64, u64)>,
+    /// Highest data index sent (`None` = nothing sent).
+    pub ms_s: Option<u64>,
+    /// Highest ack sent (`None` = nothing sent).
+    pub ms_r: Option<u64>,
+}
+
+/// The bounded Figure-4 model: state space, program, and the predicate
+/// constructors used by the experiments.
+#[derive(Debug, Clone)]
+pub struct StandardModel {
+    enc: Encoding,
+    space: Arc<StateSpace>,
+    program: Program,
+    options: ModelOptions,
+    v_x: VarId,
+    v_i: VarId,
+    v_z: VarId,
+    v_w: VarId,
+    v_j: VarId,
+    v_zp: VarId,
+    v_ms_s: VarId,
+    v_ms_r: VarId,
+}
+
+impl StandardModel {
+    /// Build the model for alphabet size `a` and sequence length `l`.
+    ///
+    /// # Errors
+    /// Propagates state-space or program construction errors.
+    ///
+    /// # Panics
+    /// Panics if `options.apriori_first` is not a valid digit.
+    pub fn build(a: usize, l: usize, options: ModelOptions) -> Result<Self, UnityError> {
+        let enc = Encoding::new(a, l);
+        if let Some(d) = options.apriori_first {
+            assert!((d as usize) < a, "a-priori digit out of range");
+        }
+        let space = StateSpace::builder()
+            .enum_var("xseq", enc.x_labels())?
+            .nat_var("i", l as u64 + 1)?
+            .enum_var("z", enc.z_labels())?
+            .enum_var("w", enc.w_labels())?
+            .nat_var("j", l as u64 + 1)?
+            .enum_var("zp", enc.zp_labels())?
+            .enum_var("msS", enc.ms_data_labels())?
+            .enum_var("msR", enc.ms_ack_labels())?
+            .build()?;
+
+        let v_x = space.var("xseq")?;
+        let v_i = space.var("i")?;
+        let v_z = space.var("z")?;
+        let v_w = space.var("w")?;
+        let v_j = space.var("j")?;
+        let v_zp = space.var("zp")?;
+        let v_ms_s = space.var("msS")?;
+        let v_ms_r = space.var("msR")?;
+
+        let mut model = StandardModel {
+            enc,
+            space: Arc::clone(&space),
+            // placeholder; replaced below once statements are built
+            program: Program::builder("seqtrans-standard", &space)
+                .statement(Statement::new("placeholder"))
+                .build()?,
+            options,
+            v_x,
+            v_i,
+            v_z,
+            v_w,
+            v_j,
+            v_zp,
+            v_ms_s,
+            v_ms_r,
+        };
+        model.program = model.build_program()?;
+        Ok(model)
+    }
+
+    fn build_program(&self) -> Result<Program, UnityError> {
+        let enc = self.enc;
+        let l = enc.len() as u64;
+        let (v_x, v_i, v_z, v_w, v_j, v_zp, v_ms_s, v_ms_r) = (
+            self.v_x, self.v_i, self.v_z, self.v_w, self.v_j, self.v_zp, self.v_ms_s,
+            self.v_ms_r,
+        );
+
+        let init = self.pred(|s| {
+            s.i == 0
+                && s.z.is_none()
+                && enc.w_len(s.w) == 0
+                && s.j == 0
+                && s.zp.is_none()
+                && s.ms_s.is_none()
+                && s.ms_r.is_none()
+                && self
+                    .options
+                    .apriori_first
+                    .is_none_or(|d| enc.x_digit(s.x, 0) == d)
+        });
+
+        let mut builder = Program::builder("seqtrans-standard", &self.space)
+            .init_pred(init)
+            .process("Sender", ["xseq", "i", "z"])?
+            .process("Receiver", ["w", "j", "zp"])?;
+
+        // Sender: transmit((i, y)) ‖ receive(z) if ¬(z = i + 1),
+        // one statement per receivable ack-slot value n.
+        // n encoding: 0 = ⊥, m + 1 = ack m.
+        for n in 0..=(l + 1) {
+            let recv = if n == 0 { None } else { Some(n - 1) };
+            let guard = self.pred(move |s| {
+                s.i < l
+                    && s.z != Some(s.i + 1)
+                    && recv.is_none_or(|m| s.ms_r.is_some_and(|h| h >= m))
+            });
+            let name = match recv {
+                None => "s_send_recv_bot".to_owned(),
+                Some(m) => format!("s_send_recv_ack{m}"),
+            };
+            builder = builder.statement(Statement::new(name).guard_pred(guard).update_with(
+                move |sp: &StateSpace, st: u64| {
+                    let i = sp.value(st, v_i);
+                    let ms = sp.value(st, v_ms_s);
+                    let new_ms = ms.max(enc.ms_at(i));
+                    let new_z = match recv {
+                        None => enc.z_bot(),
+                        Some(m) => enc.z_ack(m),
+                    };
+                    let st = sp.with_value(st, v_ms_s, new_ms);
+                    sp.with_value(st, v_z, new_z)
+                },
+            ));
+        }
+
+        // Sender: y, i := x_{i+1}, i + 1 ‖ receive(z) if z = i + 1.
+        for n in 0..=(l + 1) {
+            let recv = if n == 0 { None } else { Some(n - 1) };
+            let guard = self.pred(move |s| {
+                s.i < l
+                    && s.z == Some(s.i + 1)
+                    && recv.is_none_or(|m| s.ms_r.is_some_and(|h| h >= m))
+            });
+            let name = match recv {
+                None => "s_next_recv_bot".to_owned(),
+                Some(m) => format!("s_next_recv_ack{m}"),
+            };
+            builder = builder.statement(Statement::new(name).guard_pred(guard).update_with(
+                move |sp: &StateSpace, st: u64| {
+                    let i = sp.value(st, v_i);
+                    let new_z = match recv {
+                        None => enc.z_bot(),
+                        Some(m) => enc.z_ack(m),
+                    };
+                    let st = sp.with_value(st, v_i, i + 1);
+                    sp.with_value(st, v_z, new_z)
+                },
+            ));
+        }
+
+        // Receiver: w := w;α ‖ j := j + 1 ‖ receive(z') if z' = (j, α),
+        // one statement per α and per receivable data-slot value m.
+        // m encoding: 0 = ⊥, k + 1 = the message (k, x_k).
+        for alpha in 0..enc.alphabet() as u64 {
+            for m in 0..=l {
+                let recv = if m == 0 { None } else { Some(m - 1) };
+                let guard = self.pred(move |s| {
+                    s.zp == Some((s.j, alpha))
+                        && recv.is_none_or(|k| s.ms_s.is_some_and(|h| h >= k))
+                });
+                let name = match recv {
+                    None => format!("r_deliver_{}_recv_bot", enc.letter(alpha)),
+                    Some(k) => format!("r_deliver_{}_recv_d{k}", enc.letter(alpha)),
+                };
+                builder = builder.statement(Statement::new(name).guard_pred(guard).update_with(
+                    move |sp: &StateSpace, st: u64| {
+                        let w = sp.value(st, v_w);
+                        let j = sp.value(st, v_j);
+                        let x = sp.value(st, v_x);
+                        let new_zp = match recv {
+                            None => enc.zp_bot(),
+                            Some(k) => enc.zp_pair(k, enc.x_digit(x, k as usize)),
+                        };
+                        // Totality on unreachable states: only append while
+                        // w has room (reachable states always do, since the
+                        // guard forces j = k < l and |w| = j invariantly).
+                        let new_w = if enc.w_len(w) < enc.len() {
+                            enc.w_append(w, alpha)
+                        } else {
+                            w
+                        };
+                        let st = sp.with_value(st, v_w, new_w);
+                        let st = sp.with_value(st, v_j, j + 1);
+                        sp.with_value(st, v_zp, new_zp)
+                    },
+                ));
+            }
+        }
+
+        // Receiver: transmit(j) ‖ receive(z') if ¬(∃α :: z' = (j, α)).
+        for m in 0..=l {
+            let recv = if m == 0 { None } else { Some(m - 1) };
+            let guard = self.pred(move |s| {
+                !matches!(s.zp, Some((k, _)) if k == s.j)
+                    && recv.is_none_or(|k| s.ms_s.is_some_and(|h| h >= k))
+            });
+            let name = match recv {
+                None => "r_ack_recv_bot".to_owned(),
+                Some(k) => format!("r_ack_recv_d{k}"),
+            };
+            builder = builder.statement(Statement::new(name).guard_pred(guard).update_with(
+                move |sp: &StateSpace, st: u64| {
+                    let j = sp.value(st, v_j);
+                    let ms = sp.value(st, v_ms_r);
+                    let x = sp.value(st, v_x);
+                    let new_ms = ms.max(enc.ms_at(j));
+                    let new_zp = match recv {
+                        None => enc.zp_bot(),
+                        Some(k) => enc.zp_pair(k, enc.x_digit(x, k as usize)),
+                    };
+                    let st = sp.with_value(st, v_ms_r, new_ms);
+                    sp.with_value(st, v_zp, new_zp)
+                },
+            ));
+        }
+
+        if self.options.slot_loss {
+            // Adversarial channel: the slots can be cleared at any moment,
+            // decoupling receives from process actions. Liveness then fails.
+            builder = builder
+                .statement(
+                    Statement::new("adv_clear_data").update_with(move |sp, st| {
+                        sp.with_value(st, v_zp, enc.zp_bot())
+                    }),
+                )
+                .statement(Statement::new("adv_clear_ack").update_with(move |sp, st| {
+                    sp.with_value(st, v_z, enc.z_bot())
+                }));
+        }
+
+        builder.build()
+    }
+
+    /// The encoding parameters.
+    pub fn encoding(&self) -> Encoding {
+        self.enc
+    }
+
+    /// The state space.
+    pub fn space(&self) -> &Arc<StateSpace> {
+        &self.space
+    }
+
+    /// The UNITY program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The options the model was built with.
+    pub fn options(&self) -> ModelOptions {
+        self.options
+    }
+
+    /// Compile the program (it is a standard protocol — no knowledge
+    /// guards).
+    ///
+    /// # Errors
+    /// Propagates compilation errors.
+    pub fn compile(&self) -> Result<CompiledProgram, UnityError> {
+        self.program.compile()
+    }
+
+    /// Decode a state index.
+    pub fn snapshot(&self, state: u64) -> Snapshot {
+        Snapshot {
+            x: self.space.value(state, self.v_x),
+            i: self.space.value(state, self.v_i),
+            z: self.enc.z_decode(self.space.value(state, self.v_z)),
+            w: self.space.value(state, self.v_w),
+            j: self.space.value(state, self.v_j),
+            zp: self.enc.zp_decode(self.space.value(state, self.v_zp)),
+            ms_s: self.enc.ms_decode(self.space.value(state, self.v_ms_s)),
+            ms_r: self.enc.ms_decode(self.space.value(state, self.v_ms_r)),
+        }
+    }
+
+    /// Build a predicate from a test on decoded snapshots.
+    pub fn pred<F: Fn(Snapshot) -> bool>(&self, f: F) -> Predicate {
+        Predicate::from_fn(&self.space, |st| f(self.snapshot(st)))
+    }
+
+    /// The Sender's view (for knowledge queries).
+    pub fn sender_view(&self) -> VarSet {
+        VarSet::from_vars([self.v_x, self.v_i, self.v_z])
+    }
+
+    /// The Receiver's view.
+    pub fn receiver_view(&self) -> VarSet {
+        VarSet::from_vars([self.v_w, self.v_j, self.v_zp])
+    }
+
+    // ----- specification predicates -------------------------------------
+
+    /// The ground fact `x_k = α` (a predicate on the hidden input).
+    ///
+    /// # Panics
+    /// Panics if `k`/`α` are out of range.
+    pub fn x_elem(&self, k: usize, alpha: u64) -> Predicate {
+        let enc = self.enc;
+        self.pred(move |s| enc.x_digit(s.x, k) == alpha)
+    }
+
+    /// The safety condition of spec (34): `w ⊑ x`.
+    pub fn w_prefix_of_x(&self) -> Predicate {
+        let enc = self.enc;
+        self.pred(move |s| enc.w_prefix_of_x(s.w, s.x))
+    }
+
+    /// The paper's invariant (36): `|w| = j`.
+    pub fn w_len_eq_j(&self) -> Predicate {
+        let enc = self.enc;
+        self.pred(move |s| enc.w_len(s.w) as u64 == s.j)
+    }
+
+    /// `j = k`.
+    pub fn j_eq(&self, k: u64) -> Predicate {
+        self.pred(move |s| s.j == k)
+    }
+
+    /// `j > k`.
+    pub fn j_gt(&self, k: u64) -> Predicate {
+        self.pred(move |s| s.j > k)
+    }
+
+    /// `i = k`.
+    pub fn i_eq(&self, k: u64) -> Predicate {
+        self.pred(move |s| s.i == k)
+    }
+
+    // ----- the knowledge-predicate candidates (50), (51) -----------------
+
+    /// Candidate (50) for `K_R(x_k = α)`:
+    /// `(j = k ∧ z' = (k, α)) ∨ (j > k ∧ w_k = α)`.
+    ///
+    /// # Panics
+    /// Panics if `k`/`α` are out of range.
+    pub fn cand_kr_x(&self, k: u64, alpha: u64) -> Predicate {
+        let enc = self.enc;
+        self.pred(move |s| {
+            (s.j == k && s.zp == Some((k, alpha)))
+                || (s.j > k
+                    && enc.w_len(s.w) as u64 > k
+                    && enc.w_digit(s.w, k as usize) == alpha)
+        })
+    }
+
+    /// Candidate (51) for `K_S K_R x_k`:
+    /// `(i = k ∧ z = k + 1) ∨ i > k`.
+    pub fn cand_ks_kr(&self, k: u64) -> Predicate {
+        self.pred(move |s| (s.i == k && s.z == Some(k + 1)) || s.i > k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_unity::reachable;
+
+    fn model() -> StandardModel {
+        StandardModel::build(2, 2, ModelOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        // a=2, l=2: 4 * 3 * 4 * 7 * 3 * 5 * 3 * 4 = 60480 states.
+        assert_eq!(m.space().num_states(), 60480);
+        // Statements: 2*(l+2) sender + a*(l+1) + (l+1) receiver = 8 + 6 + 3 = 17.
+        assert_eq!(m.program().statements().len(), 17);
+        assert!(!m.program().is_knowledge_based());
+        // init: one state per input sequence.
+        assert_eq!(m.program().init().count(), 4);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let m = model();
+        let st = m.program().init().witness().unwrap();
+        let s = m.snapshot(st);
+        assert_eq!(s.i, 0);
+        assert_eq!(s.j, 0);
+        assert_eq!(s.z, None);
+        assert_eq!(s.zp, None);
+        assert_eq!(s.ms_s, None);
+        assert_eq!(s.ms_r, None);
+    }
+
+    #[test]
+    fn safety_invariants_hold() {
+        let m = model();
+        let c = m.compile().unwrap();
+        // (34): w ⊑ x, and (36): |w| = j.
+        assert!(c.invariant(&m.w_prefix_of_x()), "spec (34)");
+        assert!(c.invariant(&m.w_len_eq_j()), "invariant (36)");
+        // The i/j coupling invariant discussed in §6.4: i ≤ j ≤ i + 1.
+        let coupling = m.pred(|s| s.i <= s.j && s.j <= s.i + 1);
+        assert!(c.invariant(&coupling), "i <= j <= i+1");
+    }
+
+    #[test]
+    fn liveness_holds_under_statement_fairness() {
+        let m = model();
+        let c = m.compile().unwrap();
+        // Spec (35): |w| = k ↦ |w| > k for each k < l.
+        for k in 0..2 {
+            let r = c.leads_to(&m.j_eq(k), &m.j_gt(k));
+            assert!(r.holds(), "j = {k} must lead to j > {k}: {r:?}");
+        }
+        // And the full run: eventually everything is delivered.
+        let done = m.j_eq(2);
+        assert!(c.leads_to_holds(&Predicate::tt(m.space()), &done));
+    }
+
+    #[test]
+    fn liveness_fails_with_adversarial_slot_loss() {
+        let m = StandardModel::build(
+            2,
+            2,
+            ModelOptions {
+                apriori_first: None,
+                slot_loss: true,
+            },
+        )
+        .unwrap();
+        let c = m.compile().unwrap();
+        // Safety is unaffected...
+        assert!(c.invariant(&m.w_prefix_of_x()));
+        // ...but the adversary can now clear the slot between delivery and
+        // processing, so progress fails: this is why the paper must assume
+        // the channel-liveness properties (St-3)/(St-4).
+        let r = c.leads_to(&m.j_eq(0), &m.j_gt(0));
+        assert!(!r.holds(), "slot loss must break liveness");
+        assert!(r.counterexample().is_some());
+    }
+
+    #[test]
+    fn si_equals_bfs_reachability() {
+        let m = model();
+        let c = m.compile().unwrap();
+        assert_eq!(&reachable(&c), c.si());
+    }
+
+    #[test]
+    fn apriori_restricts_inputs() {
+        let m = StandardModel::build(
+            2,
+            2,
+            ModelOptions {
+                apriori_first: Some(1),
+                slot_loss: false,
+            },
+        )
+        .unwrap();
+        // Only inputs starting with 'b' remain.
+        assert_eq!(m.program().init().count(), 2);
+        let c = m.compile().unwrap();
+        assert!(c.invariant(&m.x_elem(0, 1)));
+        // The protocol still satisfies its specification.
+        assert!(c.invariant(&m.w_prefix_of_x()));
+        for k in 0..2 {
+            assert!(c.leads_to_holds(&m.j_eq(k), &m.j_gt(k)));
+        }
+    }
+
+    #[test]
+    fn candidate_predicates_shape() {
+        let m = model();
+        let c = m.compile().unwrap();
+        // Candidates are nonempty on SI and truthful: (61)-style check done
+        // in knowledge_preds.rs; here just sanity.
+        for k in 0..2u64 {
+            assert!(!c.si().and(&m.cand_ks_kr(k)).is_false());
+            for alpha in 0..2u64 {
+                assert!(!c.si().and(&m.cand_kr_x(k, alpha)).is_false());
+            }
+        }
+    }
+}

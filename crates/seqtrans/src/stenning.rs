@@ -1,0 +1,217 @@
+//! Stenning's data-transfer protocol \[Ste82\] in simulation — the other
+//! classic refinement §6 points to (experiment E11).
+//!
+//! Stenning's protocol is the sequence-number protocol of Figure 4 with a
+//! *retransmission timeout*: the sender transmits the current element once
+//! and retransmits only after `timeout` consecutive steps without the
+//! awaited ack, instead of retransmitting on every step. Over a reliable
+//! channel this sends far fewer duplicate messages than the eager Figure-4
+//! sender; over a lossy channel the timeout trades latency for message
+//! count. (The bounded *model* of Figure 4 in [`crate::StandardModel`]
+//! already covers Stenning's state logic — timeouts are a scheduling
+//! policy, invisible to the UNITY semantics, so no separate bounded model
+//! is needed; this module provides the measurable policy difference.)
+
+use kpt_channel::{Delivery, FaultyChannel};
+
+use crate::sim::{SimConfig, SimReport};
+
+/// Retransmission policy for [`run_stenning`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StenningPolicy {
+    /// Steps without the awaited ack before the sender retransmits.
+    pub sender_timeout: u64,
+    /// Steps without a deliverable frame before the receiver re-acks.
+    pub receiver_timeout: u64,
+}
+
+impl Default for StenningPolicy {
+    fn default() -> Self {
+        StenningPolicy {
+            sender_timeout: 8,
+            receiver_timeout: 8,
+        }
+    }
+}
+
+/// Run Stenning's protocol over the configured channels.
+///
+/// # Panics
+/// Panics on a safety violation (a delivered value differing from `x`).
+#[must_use]
+pub fn run_stenning(config: &SimConfig, policy: StenningPolicy) -> SimReport {
+    let total = config.x.len();
+    let mut data: FaultyChannel<(usize, u8)> =
+        FaultyChannel::new(config.data_faults, config.seed.wrapping_mul(2));
+    let mut acks: FaultyChannel<usize> = FaultyChannel::new(
+        config.ack_faults,
+        config.seed.wrapping_mul(2).wrapping_add(1),
+    );
+
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut w: Vec<u8> = Vec::new();
+    let (mut data_sent, mut acks_sent) = (0u64, 0u64);
+    let mut steps = 0u64;
+    // Timers count steps since the last (re)transmission; u64::MAX means
+    // "transmit immediately" (nothing sent yet for this position).
+    let mut sender_timer = u64::MAX;
+    let mut receiver_timer = u64::MAX;
+
+    while (j < total || i < total) && steps < config.max_steps {
+        // Sender: advance on a new cumulative ack, else retransmit on
+        // timeout.
+        match recv(&mut acks) {
+            Some(m) if m > i => {
+                i = m.min(total);
+                sender_timer = u64::MAX;
+            }
+            _ => {
+                if i < total {
+                    if sender_timer == u64::MAX || sender_timer >= policy.sender_timeout {
+                        data.send((i, config.x[i]));
+                        data_sent += 1;
+                        sender_timer = 0;
+                    } else {
+                        sender_timer += 1;
+                    }
+                }
+            }
+        }
+        // Receiver: deliver in-order frames; re-ack on timeout or fresh
+        // delivery.
+        match recv(&mut data) {
+            Some((k, alpha)) if k == j => {
+                w.push(alpha);
+                j += 1;
+                acks.send(j);
+                acks_sent += 1;
+                receiver_timer = 0;
+            }
+            Some((k, _)) if k < j => {
+                // Duplicate of an old frame: re-ack the cumulative position.
+                acks.send(j);
+                acks_sent += 1;
+                receiver_timer = 0;
+            }
+            _ => {
+                if j < total
+                    && (receiver_timer == u64::MAX
+                        || receiver_timer >= policy.receiver_timeout)
+                {
+                    acks.send(j);
+                    acks_sent += 1;
+                    receiver_timer = 0;
+                } else {
+                    receiver_timer = receiver_timer.saturating_add(1);
+                }
+            }
+        }
+        steps += 2;
+        assert!(
+            w.as_slice() == &config.x[..w.len()],
+            "stenning safety violation: {w:?}"
+        );
+    }
+    SimReport {
+        completed: j >= total && i >= total,
+        delivered: w,
+        data_sent,
+        acks_sent,
+        steps,
+    }
+}
+
+fn recv<M: Clone>(ch: &mut FaultyChannel<M>) -> Option<M> {
+    match ch.recv() {
+        Some(Delivery::Intact(m)) => Some(m),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::run_standard;
+
+    fn seq(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 4) as u8).collect()
+    }
+
+    #[test]
+    fn reliable_run_is_message_optimal() {
+        let x = seq(50);
+        let r = run_stenning(&SimConfig::reliable(x.clone()), StenningPolicy::default());
+        assert!(r.completed);
+        assert_eq!(r.delivered, x);
+        // One data message per element on a reliable channel.
+        assert_eq!(r.data_sent, 50);
+    }
+
+    #[test]
+    fn faulty_runs_complete() {
+        let x = seq(30);
+        for seed in 0..5 {
+            let r = run_stenning(
+                &SimConfig::faulty(x.clone(), 0.3, seed),
+                StenningPolicy::default(),
+            );
+            assert!(r.completed, "seed {seed}");
+            assert_eq!(r.delivered, x);
+        }
+    }
+
+    #[test]
+    fn stenning_sends_fewer_messages_than_eager_figure4() {
+        // The E11 comparison: on a reliable channel the eager Figure-4
+        // sender spams retransmissions while Stenning's timeout does not.
+        let x = seq(40);
+        let eager = run_standard(&SimConfig::reliable(x.clone()));
+        let timed = run_stenning(&SimConfig::reliable(x), StenningPolicy::default());
+        assert!(eager.completed && timed.completed);
+        assert!(
+            timed.total_messages() < eager.total_messages(),
+            "stenning {} vs eager {}",
+            timed.total_messages(),
+            eager.total_messages()
+        );
+    }
+
+    #[test]
+    fn shorter_timeout_sends_more_messages_on_lossy_channel() {
+        let x = seq(30);
+        let fast: u64 = (0..6)
+            .map(|s| {
+                run_stenning(
+                    &SimConfig::faulty(x.clone(), 0.3, s),
+                    StenningPolicy {
+                        sender_timeout: 1,
+                        receiver_timeout: 1,
+                    },
+                )
+                .total_messages()
+            })
+            .sum();
+        let slow: u64 = (0..6)
+            .map(|s| {
+                run_stenning(
+                    &SimConfig::faulty(x.clone(), 0.3, s),
+                    StenningPolicy {
+                        sender_timeout: 32,
+                        receiver_timeout: 32,
+                    },
+                )
+                .total_messages()
+            })
+            .sum();
+        assert!(fast > slow, "timeout 1: {fast}, timeout 32: {slow}");
+    }
+
+    #[test]
+    fn determinism() {
+        let x = seq(20);
+        let a = run_stenning(&SimConfig::faulty(x.clone(), 0.4, 5), StenningPolicy::default());
+        let b = run_stenning(&SimConfig::faulty(x, 0.4, 5), StenningPolicy::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the protocol simulators: safety, completion under
+//! fair channels, determinism, and cross-protocol agreement on random
+//! inputs and fault models.
+
+use kpt_seqtrans::altbit::{abp_config, run_altbit};
+use kpt_seqtrans::sim::{run_standard, SimConfig};
+use kpt_seqtrans::stenning::{run_stenning, StenningPolicy};
+use proptest::prelude::*;
+
+fn input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..4, 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn standard_always_delivers_exactly_x(x in input(), rate in 0.0f64..0.6, seed in any::<u64>()) {
+        let cfg = if rate == 0.0 {
+            SimConfig::reliable(x.clone())
+        } else {
+            SimConfig::faulty(x.clone(), rate, seed)
+        };
+        let r = run_standard(&cfg);
+        prop_assert!(r.completed, "{r:?}");
+        prop_assert_eq!(r.delivered, x);
+    }
+
+    #[test]
+    fn all_protocols_agree_under_identical_faults(x in input(), seed in any::<u64>()) {
+        let cfg = SimConfig::faulty(x.clone(), 0.3, seed);
+        let a = run_standard(&cfg);
+        let b = run_altbit(&abp_config(x.clone(), 0.3, seed));
+        let c = run_stenning(&cfg, StenningPolicy::default());
+        for r in [&a, &b, &c] {
+            prop_assert!(r.completed);
+            prop_assert_eq!(&r.delivered, &x);
+        }
+    }
+
+    #[test]
+    fn determinism_is_exact(x in input(), rate in 0.0f64..0.5, seed in any::<u64>()) {
+        let cfg = if rate == 0.0 {
+            SimConfig::reliable(x.clone())
+        } else {
+            SimConfig::faulty(x, rate, seed)
+        };
+        prop_assert_eq!(run_standard(&cfg), run_standard(&cfg));
+        prop_assert_eq!(
+            run_stenning(&cfg, StenningPolicy::default()),
+            run_stenning(&cfg, StenningPolicy::default())
+        );
+    }
+
+    #[test]
+    fn apriori_prefix_never_hurts(x in prop::collection::vec(0u8..3, 1..30), prefix in 0usize..5) {
+        let base = run_standard(&SimConfig::reliable(x.clone()));
+        let mut cfg = SimConfig::reliable(x.clone());
+        cfg.apriori_prefix = prefix;
+        let ap = run_standard(&cfg);
+        prop_assert!(ap.completed);
+        prop_assert_eq!(&ap.delivered, &x);
+        // Knowing a prefix can only reduce (or preserve) data messages.
+        prop_assert!(ap.data_sent <= base.data_sent);
+        if prefix >= x.len() {
+            prop_assert_eq!(ap.data_sent, 0);
+        }
+    }
+
+    #[test]
+    fn message_counts_scale_with_length(n in 1usize..30, seed in any::<u64>()) {
+        // Data messages are at least one per element, and the floor is
+        // achieved by Stenning on a reliable channel.
+        let x: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
+        let r = run_stenning(&SimConfig::reliable(x.clone()), StenningPolicy::default());
+        prop_assert_eq!(r.data_sent, n as u64);
+        let f = run_standard(&SimConfig::faulty(x, 0.2, seed));
+        prop_assert!(f.data_sent >= n as u64);
+    }
+}

@@ -1,0 +1,242 @@
+//! Variable domains: the finite sets of values a program variable ranges over.
+//!
+//! The paper treats predicates as semantic objects over an arbitrary state
+//! space; this reproduction works over *finite* spaces, so every variable is
+//! declared with a finite [`Domain`]. Values are stored internally as raw
+//! codes `0..size`; [`Domain`] provides the typed view.
+
+use std::fmt;
+
+/// The finite domain of a single program variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// `{false, true}`, encoded as `{0, 1}`.
+    Bool,
+    /// Bounded natural numbers `0..size` (i.e. `0ꓸꓸ=size-1`), encoded as
+    /// themselves. Used for the paper's `nat` variables restricted to a
+    /// bounded instance.
+    Nat {
+        /// Number of values; the domain is `0..size`.
+        size: u64,
+    },
+    /// A named finite enumeration, encoded by label position. Used e.g. for
+    /// `nat ∪ ⊥` and `(nat, A) ∪ ⊥` message variables.
+    Enum {
+        /// The labels, in encoding order.
+        labels: Vec<String>,
+    },
+}
+
+impl Domain {
+    /// Construct a bounded-natural domain `0..size`.
+    ///
+    /// # Examples
+    /// ```
+    /// use kpt_state::Domain;
+    /// assert_eq!(Domain::nat(4).size(), 4);
+    /// ```
+    pub fn nat(size: u64) -> Self {
+        Domain::Nat { size }
+    }
+
+    /// Construct an enumeration domain from labels.
+    ///
+    /// # Examples
+    /// ```
+    /// use kpt_state::Domain;
+    /// let d = Domain::enumeration(["bot", "a", "b"]);
+    /// assert_eq!(d.size(), 3);
+    /// assert_eq!(d.label_code("a"), Some(1));
+    /// ```
+    pub fn enumeration<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Domain::Enum {
+            labels: labels.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of values in the domain.
+    pub fn size(&self) -> u64 {
+        match self {
+            Domain::Bool => 2,
+            Domain::Nat { size } => *size,
+            Domain::Enum { labels } => labels.len() as u64,
+        }
+    }
+
+    /// Whether `value` is a valid raw code for this domain.
+    pub fn contains(&self, value: u64) -> bool {
+        value < self.size()
+    }
+
+    /// The encoding of an enum label, if this is an enum domain containing it.
+    pub fn label_code(&self, label: &str) -> Option<u64> {
+        match self {
+            Domain::Enum { labels } => {
+                labels.iter().position(|l| l == label).map(|p| p as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The label for a raw code, if this is an enum domain and in range.
+    pub fn code_label(&self, code: u64) -> Option<&str> {
+        match self {
+            Domain::Enum { labels } => labels.get(code as usize).map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// Render a raw code as the typed value it denotes.
+    pub fn render(&self, code: u64) -> String {
+        match self {
+            Domain::Bool => (code != 0).to_string(),
+            Domain::Nat { .. } => code.to_string(),
+            Domain::Enum { .. } => self
+                .code_label(code)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("<invalid:{code}>")),
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Bool => write!(f, "boolean"),
+            Domain::Nat { size } => write!(f, "nat<{size}>"),
+            Domain::Enum { labels } => {
+                write!(f, "{{")?;
+                for (i, l) in labels.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// A typed value of some [`Domain`]. Mostly a convenience for display and
+/// test assertions; the engine works on raw codes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A boolean value.
+    Bool(bool),
+    /// A bounded natural.
+    Nat(u64),
+    /// An enum label.
+    Enum(String),
+}
+
+impl Value {
+    /// Decode a raw code against a domain.
+    pub fn decode(domain: &Domain, code: u64) -> Option<Value> {
+        if !domain.contains(code) {
+            return None;
+        }
+        Some(match domain {
+            Domain::Bool => Value::Bool(code != 0),
+            Domain::Nat { .. } => Value::Nat(code),
+            Domain::Enum { .. } => Value::Enum(domain.code_label(code)?.to_owned()),
+        })
+    }
+
+    /// Encode this value as a raw code of `domain`, if compatible.
+    pub fn encode(&self, domain: &Domain) -> Option<u64> {
+        match (self, domain) {
+            (Value::Bool(b), Domain::Bool) => Some(u64::from(*b)),
+            (Value::Nat(n), Domain::Nat { size }) if n < size => Some(*n),
+            (Value::Enum(l), Domain::Enum { .. }) => domain.label_code(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Nat(n) => write!(f, "{n}"),
+            Value::Enum(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Nat(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_domain() {
+        let d = Domain::Bool;
+        assert_eq!(d.size(), 2);
+        assert!(d.contains(1));
+        assert!(!d.contains(2));
+        assert_eq!(d.render(0), "false");
+        assert_eq!(d.render(1), "true");
+    }
+
+    #[test]
+    fn nat_domain() {
+        let d = Domain::nat(5);
+        assert_eq!(d.size(), 5);
+        assert!(d.contains(4));
+        assert!(!d.contains(5));
+        assert_eq!(d.render(3), "3");
+    }
+
+    #[test]
+    fn enum_domain_roundtrip() {
+        let d = Domain::enumeration(["bot", "zero", "one"]);
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.label_code("zero"), Some(1));
+        assert_eq!(d.code_label(2), Some("one"));
+        assert_eq!(d.label_code("nope"), None);
+        assert_eq!(d.render(0), "bot");
+    }
+
+    #[test]
+    fn value_encode_decode() {
+        let d = Domain::enumeration(["a", "b"]);
+        let v = Value::decode(&d, 1).unwrap();
+        assert_eq!(v, Value::Enum("b".into()));
+        assert_eq!(v.encode(&d), Some(1));
+        assert_eq!(Value::Bool(true).encode(&Domain::Bool), Some(1));
+        assert_eq!(Value::Nat(7).encode(&Domain::nat(3)), None);
+        assert_eq!(Value::Nat(2).encode(&Domain::nat(3)), Some(2));
+        // Cross-type encodings fail.
+        assert_eq!(Value::Bool(true).encode(&Domain::nat(3)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Domain::Bool.to_string(), "boolean");
+        assert_eq!(Domain::nat(4).to_string(), "nat<4>");
+        assert_eq!(Domain::enumeration(["x", "y"]).to_string(), "{x, y}");
+        assert_eq!(Value::Enum("x".into()).to_string(), "x");
+    }
+
+    #[test]
+    fn decode_out_of_range_is_none() {
+        assert_eq!(Value::decode(&Domain::Bool, 2), None);
+        assert_eq!(Value::decode(&Domain::nat(1), 1), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for state-space construction and predicate operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while building a [`crate::StateSpace`] or operating on
+/// values/predicates tied to one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpaceError {
+    /// A variable name was declared twice in the same space.
+    DuplicateVariable(String),
+    /// A variable name was looked up but does not exist in the space.
+    UnknownVariable(String),
+    /// A domain with zero values was requested (every domain must be
+    /// inhabited so that the state space is non-empty).
+    EmptyDomain(String),
+    /// The product of all domain sizes exceeds the supported maximum
+    /// (`StateSpace::MAX_STATES`).
+    TooLarge {
+        /// The number of states that the offending declaration would create,
+        /// saturated at `u64::MAX`.
+        states: u64,
+    },
+    /// More variables were declared than the `VarSet` bitmask supports.
+    TooManyVariables {
+        /// The maximum number of variables supported per space.
+        max: usize,
+    },
+    /// A value outside a variable's domain was supplied.
+    ValueOutOfRange {
+        /// Variable name.
+        var: String,
+        /// The offending raw value.
+        value: u64,
+        /// The domain size (values are `0..size`).
+        size: u64,
+    },
+    /// Two objects from different state spaces were combined.
+    SpaceMismatch,
+    /// An enum label was not found in the variable's domain.
+    UnknownLabel {
+        /// Variable name.
+        var: String,
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::DuplicateVariable(name) => {
+                write!(f, "variable `{name}` declared twice")
+            }
+            SpaceError::UnknownVariable(name) => {
+                write!(f, "unknown variable `{name}`")
+            }
+            SpaceError::EmptyDomain(name) => {
+                write!(f, "variable `{name}` has an empty domain")
+            }
+            SpaceError::TooLarge { states } => {
+                write!(f, "state space too large ({states} states)")
+            }
+            SpaceError::TooManyVariables { max } => {
+                write!(f, "too many variables (maximum {max})")
+            }
+            SpaceError::ValueOutOfRange { var, value, size } => {
+                write!(f, "value {value} out of range for `{var}` (domain size {size})")
+            }
+            SpaceError::SpaceMismatch => {
+                write!(f, "operands belong to different state spaces")
+            }
+            SpaceError::UnknownLabel { var, label } => {
+                write!(f, "unknown label `{label}` for enum variable `{var}`")
+            }
+        }
+    }
+}
+
+impl Error for SpaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SpaceError::UnknownVariable("x".into());
+        assert_eq!(e.to_string(), "unknown variable `x`");
+        let e = SpaceError::TooLarge { states: 99 };
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(SpaceError::SpaceMismatch);
+        assert!(e.to_string().contains("different state spaces"));
+    }
+}

@@ -1,0 +1,579 @@
+//! Semantic predicates: Boolean-valued total functions on a state space.
+//!
+//! Following §2 of the paper, a predicate is a *semantic* object — here an
+//! exact bitset over the (finite) state space, one bit per global state. All
+//! of the paper's pointwise operators are provided, including the unusual
+//! pointwise `≡`, `⇒`, `⇐`, and the *everywhere* operator `[p]`
+//! ([`Predicate::everywhere`]).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+use std::sync::Arc;
+
+use crate::error::SpaceError;
+use crate::space::{StateSpace, VarId};
+
+/// A predicate on a [`StateSpace`]: the exact set of states where it holds.
+///
+/// Predicates are cheap to clone relative to the state count (one allocation)
+/// and support the full pointwise calculus of the paper. Operators `&`, `|`,
+/// `^` and `!` are overloaded on references:
+///
+/// ```
+/// use kpt_state::{Predicate, StateSpace};
+/// # fn main() -> Result<(), kpt_state::SpaceError> {
+/// let space = StateSpace::builder().bool_var("x")?.bool_var("y")?.build()?;
+/// let x = Predicate::var_is_true(&space, space.var("x")?);
+/// let y = Predicate::var_is_true(&space, space.var("y")?);
+/// let p = &x & &!&y;
+/// assert_eq!(p.count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Predicate {
+    space: Arc<StateSpace>,
+    bits: Box<[u64]>,
+}
+
+const WORD: u64 = 64;
+
+fn words_for(n: u64) -> usize {
+    n.div_ceil(WORD) as usize
+}
+
+impl Predicate {
+    // ----- constructors ---------------------------------------------------
+
+    /// The predicate `false` (empty set of states).
+    pub fn ff(space: &Arc<StateSpace>) -> Predicate {
+        Predicate {
+            space: Arc::clone(space),
+            bits: vec![0u64; words_for(space.num_states())].into_boxed_slice(),
+        }
+    }
+
+    /// The predicate `true` (all states).
+    pub fn tt(space: &Arc<StateSpace>) -> Predicate {
+        let mut p = Predicate::ff(space);
+        for w in p.bits.iter_mut() {
+            *w = u64::MAX;
+        }
+        p.mask_tail();
+        p
+    }
+
+    /// Build a predicate by evaluating `f` at every state index.
+    pub fn from_fn<F: FnMut(u64) -> bool>(space: &Arc<StateSpace>, mut f: F) -> Predicate {
+        let mut p = Predicate::ff(space);
+        for idx in 0..space.num_states() {
+            if f(idx) {
+                p.set(idx);
+            }
+        }
+        p
+    }
+
+    /// Build a predicate holding exactly at the given state indices.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn from_indices<I: IntoIterator<Item = u64>>(
+        space: &Arc<StateSpace>,
+        indices: I,
+    ) -> Predicate {
+        let mut p = Predicate::ff(space);
+        for idx in indices {
+            assert!(idx < space.num_states(), "state index out of range");
+            p.set(idx);
+        }
+        p
+    }
+
+    /// The predicate `v = value` (raw code).
+    ///
+    /// # Panics
+    /// Panics if `value` is outside the variable's domain.
+    pub fn var_eq(space: &Arc<StateSpace>, v: VarId, value: u64) -> Predicate {
+        assert!(
+            space.domain(v).contains(value),
+            "value out of range for variable"
+        );
+        Predicate::from_var_fn(space, v, |x| x == value)
+    }
+
+    /// The predicate "boolean variable `v` is true".
+    pub fn var_is_true(space: &Arc<StateSpace>, v: VarId) -> Predicate {
+        Predicate::from_var_fn(space, v, |x| x != 0)
+    }
+
+    /// Build a predicate that depends only on variable `v`, from a test on
+    /// its raw value. This is the primitive from which all single-variable
+    /// atoms are made; the result is a *cylinder* over `v` by construction.
+    pub fn from_var_fn<F: FnMut(u64) -> bool>(
+        space: &Arc<StateSpace>,
+        v: VarId,
+        mut f: F,
+    ) -> Predicate {
+        let stride = space.stride(v);
+        let dsize = space.domain(v).size();
+        let mut good = Vec::with_capacity(dsize as usize);
+        for val in 0..dsize {
+            good.push(f(val));
+        }
+        Predicate::from_fn(space, |idx| good[((idx / stride) % dsize) as usize])
+    }
+
+    /// The predicate comparing two variables for equality of raw codes
+    /// (useful for same-domain variables).
+    pub fn vars_eq(space: &Arc<StateSpace>, a: VarId, b: VarId) -> Predicate {
+        Predicate::from_fn(space, |idx| space.value(idx, a) == space.value(idx, b))
+    }
+
+    // ----- structure ------------------------------------------------------
+
+    /// The space this predicate is interpreted over.
+    pub fn space(&self) -> &Arc<StateSpace> {
+        &self.space
+    }
+
+    /// Whether the predicate holds at state index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn holds(&self, idx: u64) -> bool {
+        assert!(idx < self.space.num_states(), "state index out of range");
+        self.bits[(idx / WORD) as usize] >> (idx % WORD) & 1 == 1
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, idx: u64) {
+        self.bits[(idx / WORD) as usize] |= 1u64 << (idx % WORD);
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self, idx: u64) {
+        self.bits[(idx / WORD) as usize] &= !(1u64 << (idx % WORD));
+    }
+
+    fn mask_tail(&mut self) {
+        let n = self.space.num_states();
+        let rem = n % WORD;
+        if rem != 0 {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    fn check_same_space(&self, other: &Predicate) {
+        assert!(
+            Arc::ptr_eq(&self.space, &other.space) || self.space.same_shape(&other.space),
+            "{}",
+            SpaceError::SpaceMismatch
+        );
+    }
+
+    // ----- pointwise connectives ------------------------------------------
+
+    /// Pointwise conjunction `p ∧ q`.
+    #[must_use]
+    pub fn and(&self, other: &Predicate) -> Predicate {
+        self.check_same_space(other);
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Pointwise disjunction `p ∨ q`.
+    #[must_use]
+    pub fn or(&self, other: &Predicate) -> Predicate {
+        self.check_same_space(other);
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Pointwise negation `¬p`.
+    #[must_use]
+    pub fn negate(&self) -> Predicate {
+        let mut out = self.clone();
+        for w in out.bits.iter_mut() {
+            *w = !*w;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Pointwise implication `p ⇒ q` — a *predicate*, true at points where
+    /// `p` is false or `q` is true (the paper's unusual-but-pointwise `⇒`).
+    #[must_use]
+    pub fn implies(&self, other: &Predicate) -> Predicate {
+        self.check_same_space(other);
+        let mut out = self.zip(other, |a, b| !a | b);
+        out.mask_tail();
+        out
+    }
+
+    /// Pointwise equivalence `p ≡ q` — a predicate, true where `p` and `q`
+    /// agree.
+    #[must_use]
+    pub fn iff(&self, other: &Predicate) -> Predicate {
+        self.check_same_space(other);
+        let mut out = self.zip(other, |a, b| !(a ^ b));
+        out.mask_tail();
+        out
+    }
+
+    /// Pointwise difference `p ∧ ¬q`.
+    #[must_use]
+    pub fn minus(&self, other: &Predicate) -> Predicate {
+        self.check_same_space(other);
+        self.zip(other, |a, b| a & !b)
+    }
+
+    fn zip<F: Fn(u64, u64) -> u64>(&self, other: &Predicate, f: F) -> Predicate {
+        let mut out = self.clone();
+        for (w, o) in out.bits.iter_mut().zip(other.bits.iter()) {
+            *w = f(*w, *o);
+        }
+        out
+    }
+
+    // ----- judgements -----------------------------------------------------
+
+    /// The everywhere operator `[p]`: true iff `p` holds at every state.
+    pub fn everywhere(&self) -> bool {
+        let n = self.space.num_states();
+        let full_words = (n / WORD) as usize;
+        if self.bits[..full_words].iter().any(|&w| w != u64::MAX) {
+            return false;
+        }
+        let rem = n % WORD;
+        rem == 0 || self.bits[full_words] == (1u64 << rem) - 1
+    }
+
+    /// `[p ⇒ q]`: whether `p` is at least as strong as `q` everywhere.
+    pub fn entails(&self, other: &Predicate) -> bool {
+        self.check_same_space(other);
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// `[¬p]`: whether the predicate holds nowhere.
+    pub fn is_false(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Number of states at which the predicate holds.
+    pub fn count(&self) -> u64 {
+        self.bits.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Iterate over the state indices at which the predicate holds, in
+    /// ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            pred: self,
+            word: 0,
+            bits: self.bits.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// An arbitrary state satisfying the predicate, if any (useful for
+    /// counterexample reporting).
+    pub fn witness(&self) -> Option<u64> {
+        self.iter().next()
+    }
+
+    /// Whether the predicate is *independent of* `v`: it has the same value
+    /// in any two states differing only in `v` (§3 of the paper).
+    pub fn is_independent_of(&self, v: VarId) -> bool {
+        let stride = self.space.stride(v);
+        let dsize = self.space.domain(v).size();
+        if dsize <= 1 {
+            return true;
+        }
+        let n = self.space.num_states();
+        let block = stride * dsize;
+        let mut base = 0u64;
+        while base < n {
+            for lo in 0..stride {
+                let first = self.holds(base + lo);
+                for val in 1..dsize {
+                    if self.holds(base + lo + val * stride) != first {
+                        return false;
+                    }
+                }
+            }
+            base += block;
+        }
+        true
+    }
+
+    /// Whether the predicate depends at most on the variables in `vars`
+    /// (i.e. is independent of every other variable).
+    pub fn depends_only_on(&self, vars: crate::space::VarSet) -> bool {
+        self.space
+            .complement(vars)
+            .iter()
+            .all(|v| self.is_independent_of(v))
+    }
+}
+
+impl PartialEq for Predicate {
+    fn eq(&self, other: &Self) -> bool {
+        (Arc::ptr_eq(&self.space, &other.space) || self.space.same_shape(&other.space))
+            && self.bits == other.bits
+    }
+}
+
+impl Eq for Predicate {}
+
+impl fmt::Debug for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.space.num_states();
+        let count = self.count();
+        write!(f, "Predicate({count}/{total} states")?;
+        if count > 0 && count <= 8 {
+            write!(f, ": ")?;
+            for (i, idx) in self.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{{{}}}", self.space.render_state(idx))?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl BitAnd for &Predicate {
+    type Output = Predicate;
+    fn bitand(self, rhs: &Predicate) -> Predicate {
+        self.and(rhs)
+    }
+}
+
+impl BitOr for &Predicate {
+    type Output = Predicate;
+    fn bitor(self, rhs: &Predicate) -> Predicate {
+        self.or(rhs)
+    }
+}
+
+impl BitXor for &Predicate {
+    type Output = Predicate;
+    fn bitxor(self, rhs: &Predicate) -> Predicate {
+        let mut out = self.zip(rhs, |a, b| a ^ b);
+        out.mask_tail();
+        out
+    }
+}
+
+impl Not for &Predicate {
+    type Output = Predicate;
+    fn not(self) -> Predicate {
+        self.negate()
+    }
+}
+
+/// Iterator over satisfying state indices of a [`Predicate`], produced by
+/// [`Predicate::iter`].
+pub struct Iter<'a> {
+    pred: &'a Predicate,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as u64;
+                self.bits &= self.bits - 1;
+                return Some(self.word as u64 * WORD + b);
+            }
+            self.word += 1;
+            if self.word >= self.pred.bits.len() {
+                return None;
+            }
+            self.bits = self.pred.bits[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::VarSet;
+
+    fn space() -> Arc<StateSpace> {
+        StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .bool_var("y")
+            .unwrap()
+            .nat_var("i", 3)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tt_ff_everywhere() {
+        let s = space();
+        assert!(Predicate::tt(&s).everywhere());
+        assert!(!Predicate::ff(&s).everywhere());
+        assert!(Predicate::ff(&s).is_false());
+        assert_eq!(Predicate::tt(&s).count(), 12);
+    }
+
+    #[test]
+    fn pointwise_connectives_match_truth_tables() {
+        let s = space();
+        let x = Predicate::var_is_true(&s, s.var("x").unwrap());
+        let y = Predicate::var_is_true(&s, s.var("y").unwrap());
+        for idx in 0..s.num_states() {
+            let (a, b) = (x.holds(idx), y.holds(idx));
+            assert_eq!(x.and(&y).holds(idx), a && b);
+            assert_eq!(x.or(&y).holds(idx), a || b);
+            assert_eq!(x.negate().holds(idx), !a);
+            assert_eq!(x.implies(&y).holds(idx), !a || b);
+            assert_eq!(x.iff(&y).holds(idx), a == b);
+            assert_eq!(x.minus(&y).holds(idx), a && !b);
+            assert_eq!((&x ^ &y).holds(idx), a != b);
+        }
+    }
+
+    #[test]
+    fn entails_is_everywhere_implication() {
+        let s = space();
+        let x = Predicate::var_is_true(&s, s.var("x").unwrap());
+        let xy = x.and(&Predicate::var_is_true(&s, s.var("y").unwrap()));
+        assert!(xy.entails(&x));
+        assert!(!x.entails(&xy));
+        assert_eq!(x.entails(&xy), x.implies(&xy).everywhere());
+    }
+
+    #[test]
+    fn var_eq_and_vars_eq() {
+        let s = space();
+        let i = s.var("i").unwrap();
+        let p = Predicate::var_eq(&s, i, 2);
+        assert_eq!(p.count(), 4);
+        for idx in p.iter() {
+            assert_eq!(s.value(idx, i), 2);
+        }
+        let x = s.var("x").unwrap();
+        let y = s.var("y").unwrap();
+        let q = Predicate::vars_eq(&s, x, y);
+        assert_eq!(q.count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "value out of range")]
+    fn var_eq_out_of_range_panics() {
+        let s = space();
+        let _ = Predicate::var_eq(&s, s.var("i").unwrap(), 3);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let s = space();
+        let p = Predicate::from_indices(&s, [11, 0, 5]);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![0, 5, 11]);
+        assert_eq!(p.witness(), Some(0));
+        assert_eq!(Predicate::ff(&s).witness(), None);
+    }
+
+    #[test]
+    fn independence() {
+        let s = space();
+        let x = s.var("x").unwrap();
+        let y = s.var("y").unwrap();
+        let i = s.var("i").unwrap();
+        let px = Predicate::var_is_true(&s, x);
+        assert!(px.is_independent_of(y));
+        assert!(px.is_independent_of(i));
+        assert!(!px.is_independent_of(x));
+        assert!(px.depends_only_on(VarSet::from_vars([x])));
+        assert!(px.depends_only_on(VarSet::from_vars([x, y])));
+        assert!(!px.depends_only_on(VarSet::from_vars([y, i])));
+        // true and false depend on nothing.
+        assert!(Predicate::tt(&s).depends_only_on(VarSet::EMPTY));
+        assert!(Predicate::ff(&s).depends_only_on(VarSet::EMPTY));
+    }
+
+    #[test]
+    fn from_fn_matches_holds() {
+        let s = space();
+        let p = Predicate::from_fn(&s, |idx| idx % 3 == 0);
+        for idx in 0..s.num_states() {
+            assert_eq!(p.holds(idx), idx % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn negate_respects_tail_mask() {
+        let s = space(); // 12 states, partial last word
+        let p = Predicate::ff(&s).negate();
+        assert!(p.everywhere());
+        assert_eq!(p.count(), 12);
+        // Double negation is identity.
+        let q = Predicate::from_indices(&s, [1, 7]);
+        assert_eq!(q.negate().negate(), q);
+    }
+
+    #[test]
+    fn debug_render_small() {
+        let s = space();
+        let p = Predicate::from_indices(&s, [0]);
+        let d = format!("{p:?}");
+        assert!(d.contains("1/12"), "{d}");
+        assert!(d.contains("x=false"), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different state spaces")]
+    fn cross_space_ops_panic() {
+        let a = space();
+        let b = StateSpace::builder().bool_var("q").unwrap().build().unwrap();
+        let _ = Predicate::tt(&a).and(&Predicate::tt(&b));
+    }
+
+    #[test]
+    fn structural_space_equality_is_accepted() {
+        // Two separately-built spaces with identical shape interoperate.
+        let a = space();
+        let b = space();
+        let p = Predicate::tt(&a);
+        let q = Predicate::tt(&b);
+        assert_eq!(p, q);
+        assert!(p.and(&q).everywhere());
+    }
+
+    #[test]
+    fn single_word_space() {
+        let s = StateSpace::builder().bool_var("x").unwrap().build().unwrap();
+        let p = Predicate::tt(&s);
+        assert!(p.everywhere());
+        assert_eq!(p.count(), 2);
+        assert!(p.negate().is_false());
+    }
+
+    #[test]
+    fn multi_word_space() {
+        let s = StateSpace::builder()
+            .nat_var("big", 200)
+            .unwrap()
+            .build()
+            .unwrap();
+        let p = Predicate::from_fn(&s, |i| i >= 100);
+        assert_eq!(p.count(), 100);
+        assert_eq!(p.negate().count(), 100);
+        assert!(p.or(&p.negate()).everywhere());
+        assert!(p.and(&p.negate()).is_false());
+    }
+}

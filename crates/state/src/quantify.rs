@@ -1,0 +1,214 @@
+//! Quantification of predicates over program variables.
+//!
+//! The paper's *weakest cylinder* `wcyl.V.p = (∀ V̄ :: p)` (eq. 6) is built
+//! from single-variable universal quantification; this module provides both
+//! quantifiers over single variables and over [`VarSet`]s. Quantifying a
+//! predicate over `v` yields a predicate independent of `v`.
+
+use crate::predicate::Predicate;
+use crate::space::{VarId, VarSet};
+
+/// `(∀ v :: p)`: the weakest predicate independent of `v` that is at least
+/// as strong as `p` — holds at a state iff `p` holds at *every* variant of
+/// the state obtained by changing only `v`.
+///
+/// # Examples
+/// ```
+/// use kpt_state::{forall_var, Predicate, StateSpace};
+/// # fn main() -> Result<(), kpt_state::SpaceError> {
+/// let space = StateSpace::builder().bool_var("x")?.bool_var("y")?.build()?;
+/// let x = space.var("x")?;
+/// let y = space.var("y")?;
+/// let p = Predicate::var_is_true(&space, x);
+/// // p doesn't constrain y, so quantifying over y changes nothing:
+/// assert_eq!(forall_var(&p, y), p);
+/// // but quantifying over x forces all x-variants, which fails somewhere:
+/// assert!(forall_var(&p, x).is_false());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn forall_var(p: &Predicate, v: VarId) -> Predicate {
+    quantify_var(p, v, true)
+}
+
+/// `(∃ v :: p)`: the strongest predicate independent of `v` that is at least
+/// as weak as `p` — holds at a state iff `p` holds at *some* `v`-variant.
+#[must_use]
+pub fn exists_var(p: &Predicate, v: VarId) -> Predicate {
+    quantify_var(p, v, false)
+}
+
+fn quantify_var(p: &Predicate, v: VarId, universal: bool) -> Predicate {
+    let space = p.space();
+    let stride = space.stride(v);
+    let dsize = space.domain(v).size();
+    let n = space.num_states();
+    let block = stride * dsize;
+    let mut out = p.clone();
+    let mut base = 0u64;
+    while base < n {
+        for lo in 0..stride {
+            let mut acc = p.holds(base + lo);
+            for val in 1..dsize {
+                let h = p.holds(base + lo + val * stride);
+                acc = if universal { acc && h } else { acc || h };
+            }
+            for val in 0..dsize {
+                let idx = base + lo + val * stride;
+                if acc {
+                    out.set(idx);
+                } else {
+                    out.clear(idx);
+                }
+            }
+        }
+        base += block;
+    }
+    out
+}
+
+/// `(∀ vars :: p)`: universal quantification over a set of variables,
+/// computed as iterated single-variable quantification (the order is
+/// irrelevant since `∀` commutes with itself).
+#[must_use]
+pub fn forall_set(p: &Predicate, vars: VarSet) -> Predicate {
+    let mut out = p.clone();
+    for v in vars.iter() {
+        out = forall_var(&out, v);
+    }
+    out
+}
+
+/// `(∃ vars :: p)`: existential quantification over a set of variables.
+#[must_use]
+pub fn exists_set(p: &Predicate, vars: VarSet) -> Predicate {
+    let mut out = p.clone();
+    for v in vars.iter() {
+        out = exists_var(&out, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::StateSpace;
+    use std::sync::Arc;
+
+    fn space() -> Arc<StateSpace> {
+        StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .nat_var("i", 3)
+            .unwrap()
+            .bool_var("y")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn forall_strengthens_exists_weakens() {
+        let s = space();
+        let p = Predicate::from_fn(&s, |idx| idx % 5 != 0);
+        for v in s.vars() {
+            assert!(forall_var(&p, v).entails(&p));
+            assert!(p.entails(&exists_var(&p, v)));
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_quantified_var() {
+        let s = space();
+        let p = Predicate::from_fn(&s, |idx| idx % 7 == 1);
+        for v in s.vars() {
+            assert!(forall_var(&p, v).is_independent_of(v));
+            assert!(exists_var(&p, v).is_independent_of(v));
+        }
+    }
+
+    #[test]
+    fn quantifying_independent_predicate_is_identity() {
+        let s = space();
+        let x = s.var("x").unwrap();
+        let y = s.var("y").unwrap();
+        let p = Predicate::var_is_true(&s, x);
+        assert_eq!(forall_var(&p, y), p);
+        assert_eq!(exists_var(&p, y), p);
+    }
+
+    #[test]
+    fn duality_forall_exists() {
+        // ∀v::p  ≡  ¬∃v::¬p
+        let s = space();
+        let p = Predicate::from_fn(&s, |idx| (idx / 2) % 2 == 0);
+        for v in s.vars() {
+            assert_eq!(forall_var(&p, v), exists_var(&p.negate(), v).negate());
+        }
+    }
+
+    #[test]
+    fn quantifiers_commute() {
+        let s = space();
+        let p = Predicate::from_fn(&s, |idx| idx % 3 == 2);
+        let x = s.var("x").unwrap();
+        let y = s.var("y").unwrap();
+        assert_eq!(
+            forall_var(&forall_var(&p, x), y),
+            forall_var(&forall_var(&p, y), x)
+        );
+        assert_eq!(
+            exists_var(&exists_var(&p, x), y),
+            exists_var(&exists_var(&p, y), x)
+        );
+    }
+
+    #[test]
+    fn set_quantification_matches_iterated() {
+        let s = space();
+        let p = Predicate::from_fn(&s, |idx| idx & 1 == 0);
+        let x = s.var("x").unwrap();
+        let i = s.var("i").unwrap();
+        let vs = VarSet::from_vars([x, i]);
+        assert_eq!(forall_set(&p, vs), forall_var(&forall_var(&p, x), i));
+        assert_eq!(exists_set(&p, vs), exists_var(&exists_var(&p, x), i));
+    }
+
+    #[test]
+    fn quantify_over_everything_yields_constant() {
+        let s = space();
+        let p = Predicate::from_indices(&s, [4]);
+        let all = s.all_vars();
+        assert!(forall_set(&p, all).is_false());
+        assert!(exists_set(&p, all).everywhere());
+        assert!(forall_set(&Predicate::tt(&s), all).everywhere());
+        assert!(exists_set(&Predicate::ff(&s), all).is_false());
+    }
+
+    #[test]
+    fn empty_set_quantification_is_identity() {
+        let s = space();
+        let p = Predicate::from_fn(&s, |idx| idx > 5);
+        assert_eq!(forall_set(&p, VarSet::EMPTY), p);
+        assert_eq!(exists_set(&p, VarSet::EMPTY), p);
+    }
+
+    #[test]
+    fn forall_distributes_over_and() {
+        // ∀ is universally conjunctive: ∀v::(p∧q) = (∀v::p) ∧ (∀v::q)
+        let s = space();
+        let p = Predicate::from_fn(&s, |idx| idx % 2 == 0);
+        let q = Predicate::from_fn(&s, |idx| idx % 3 == 0);
+        for v in s.vars() {
+            assert_eq!(
+                forall_var(&p.and(&q), v),
+                forall_var(&p, v).and(&forall_var(&q, v))
+            );
+            assert_eq!(
+                exists_var(&p.or(&q), v),
+                exists_var(&p, v).or(&exists_var(&q, v))
+            );
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! Finite state spaces: the product of all program-variable domains.
+//!
+//! A [`StateSpace`] fixes an ordered list of typed variables. Global states
+//! are mixed-radix encoded: the state index of an assignment `v ↦ x_v` is
+//! `Σ_v x_v · stride_v`. Everything else in the library (predicates,
+//! transformers, programs) is interpreted over one shared, immutable,
+//! reference-counted `StateSpace`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domain::{Domain, Value};
+use crate::error::SpaceError;
+
+/// Identifier of a variable within one [`StateSpace`].
+///
+/// `VarId`s are only meaningful relative to the space that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Position of the variable in declaration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of variables of one space, as used for process views
+/// (`processes V_0 = {shared}, V_1 = {shared, x}` in the paper).
+///
+/// Backed by a 64-bit mask, so a space supports at most
+/// [`StateSpace::MAX_VARS`] variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VarSet(u64);
+
+impl VarSet {
+    /// The empty set.
+    pub const EMPTY: VarSet = VarSet(0);
+
+    /// Build a set from an iterator of variables.
+    pub fn from_vars<I: IntoIterator<Item = VarId>>(vars: I) -> Self {
+        let mut s = VarSet::EMPTY;
+        for v in vars {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Insert a variable.
+    pub fn insert(&mut self, v: VarId) {
+        self.0 |= 1u64 << v.0;
+    }
+
+    /// Remove a variable.
+    pub fn remove(&mut self, v: VarId) {
+        self.0 &= !(1u64 << v.0);
+    }
+
+    /// Whether the set contains `v`.
+    pub fn contains(self, v: VarId) -> bool {
+        self.0 & (1u64 << v.0) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: VarSet) -> VarSet {
+        VarSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & !other.0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of variables in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(self, other: VarSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate over the members in ascending `VarId` order.
+    pub fn iter(self) -> impl Iterator<Item = VarId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(VarId(i))
+            }
+        })
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        VarSet::from_vars(iter)
+    }
+}
+
+impl Extend<VarId> for VarSet {
+    fn extend<I: IntoIterator<Item = VarId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct VarInfo {
+    name: String,
+    domain: Domain,
+    stride: u64,
+}
+
+/// An immutable, finite state space: an ordered list of typed variables with
+/// mixed-radix state encoding.
+///
+/// Build one with [`StateSpaceBuilder`]; share it via [`Arc`].
+///
+/// # Examples
+/// ```
+/// use kpt_state::StateSpace;
+/// # fn main() -> Result<(), kpt_state::SpaceError> {
+/// let space = StateSpace::builder()
+///     .bool_var("shared")?
+///     .bool_var("x")?
+///     .build()?;
+/// assert_eq!(space.num_states(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    vars: Vec<VarInfo>,
+    num_states: u64,
+}
+
+impl StateSpace {
+    /// Maximum number of global states supported per space.
+    ///
+    /// Predicates are bitsets of this many bits, so the cap keeps a single
+    /// predicate under 512 MiB.
+    pub const MAX_STATES: u64 = 1 << 32;
+
+    /// Maximum number of variables per space (the [`VarSet`] mask width).
+    pub const MAX_VARS: usize = 64;
+
+    /// Start building a new space.
+    pub fn builder() -> StateSpaceBuilder {
+        StateSpaceBuilder::new()
+    }
+
+    /// Number of global states (the product of all domain sizes; `1` for the
+    /// empty space, which has a single, empty state).
+    pub fn num_states(&self) -> u64 {
+        self.num_states
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// All variables in declaration order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len() as u32).map(VarId)
+    }
+
+    /// The full variable set.
+    pub fn all_vars(&self) -> VarSet {
+        VarSet::from_vars(self.vars())
+    }
+
+    /// Complement of `set` within this space's variables (the `V̄` of the
+    /// paper's `wcyl.V.p = (∀V̄ :: p)`).
+    pub fn complement(&self, set: VarSet) -> VarSet {
+        self.all_vars().difference(set)
+    }
+
+    /// Look up a variable by name.
+    ///
+    /// # Errors
+    /// [`SpaceError::UnknownVariable`] if the name is not declared.
+    pub fn var(&self, name: &str) -> Result<VarId, SpaceError> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+            .ok_or_else(|| SpaceError::UnknownVariable(name.to_owned()))
+    }
+
+    /// Build a [`VarSet`] from variable names.
+    ///
+    /// # Errors
+    /// [`SpaceError::UnknownVariable`] for any undeclared name.
+    pub fn var_set<'a, I: IntoIterator<Item = &'a str>>(
+        &self,
+        names: I,
+    ) -> Result<VarSet, SpaceError> {
+        let mut s = VarSet::EMPTY;
+        for n in names {
+            s.insert(self.var(n)?);
+        }
+        Ok(s)
+    }
+
+    /// Name of a variable.
+    ///
+    /// # Panics
+    /// Panics if `v` was not issued by this space.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Domain of a variable.
+    ///
+    /// # Panics
+    /// Panics if `v` was not issued by this space.
+    pub fn domain(&self, v: VarId) -> &Domain {
+        &self.vars[v.index()].domain
+    }
+
+    /// Mixed-radix stride of a variable (the weight of its value in the
+    /// state index).
+    pub fn stride(&self, v: VarId) -> u64 {
+        self.vars[v.index()].stride
+    }
+
+    /// Extract the raw value of `v` from a state index.
+    #[inline]
+    pub fn value(&self, state: u64, v: VarId) -> u64 {
+        let info = &self.vars[v.index()];
+        (state / info.stride) % info.domain.size()
+    }
+
+    /// Extract the value of a boolean variable from a state index.
+    #[inline]
+    pub fn value_bool(&self, state: u64, v: VarId) -> bool {
+        self.value(state, v) != 0
+    }
+
+    /// Return `state` with `v` set to `value` (raw code).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `value` is outside the domain.
+    #[inline]
+    pub fn with_value(&self, state: u64, v: VarId, value: u64) -> u64 {
+        let info = &self.vars[v.index()];
+        debug_assert!(info.domain.contains(value), "value out of range");
+        let old = (state / info.stride) % info.domain.size();
+        state - old * info.stride + value * info.stride
+    }
+
+    /// Encode a full assignment (one raw value per variable, in declaration
+    /// order) into a state index.
+    ///
+    /// # Errors
+    /// [`SpaceError::ValueOutOfRange`] if any value is outside its domain;
+    /// [`SpaceError::SpaceMismatch`] if the slice length is wrong.
+    pub fn encode(&self, values: &[u64]) -> Result<u64, SpaceError> {
+        if values.len() != self.vars.len() {
+            return Err(SpaceError::SpaceMismatch);
+        }
+        let mut idx = 0u64;
+        for (info, &val) in self.vars.iter().zip(values) {
+            if !info.domain.contains(val) {
+                return Err(SpaceError::ValueOutOfRange {
+                    var: info.name.clone(),
+                    value: val,
+                    size: info.domain.size(),
+                });
+            }
+            idx += val * info.stride;
+        }
+        Ok(idx)
+    }
+
+    /// Decode a state index into one raw value per variable.
+    pub fn decode(&self, state: u64) -> Vec<u64> {
+        self.vars()
+            .map(|v| self.value(state, v))
+            .collect()
+    }
+
+    /// Render a state as `var=value, ...` for diagnostics.
+    pub fn render_state(&self, state: u64) -> String {
+        let mut out = String::new();
+        for v in self.vars() {
+            if !out.is_empty() {
+                out.push_str(", ");
+            }
+            let info = &self.vars[v.index()];
+            out.push_str(&info.name);
+            out.push('=');
+            out.push_str(&info.domain.render(self.value(state, v)));
+        }
+        if out.is_empty() {
+            out.push_str("<empty state>");
+        }
+        out
+    }
+
+    /// Typed value of `v` in `state`.
+    pub fn typed_value(&self, state: u64, v: VarId) -> Value {
+        let info = &self.vars[v.index()];
+        Value::decode(&info.domain, self.value(state, v))
+            .expect("raw value within domain by construction")
+    }
+
+    /// Whether two spaces are structurally identical (same variables, same
+    /// order, same domains). `Arc` identity is the fast path used by
+    /// predicate operations.
+    pub fn same_shape(&self, other: &StateSpace) -> bool {
+        self.vars.len() == other.vars.len()
+            && self
+                .vars
+                .iter()
+                .zip(&other.vars)
+                .all(|(a, b)| a.name == b.name && a.domain == b.domain)
+    }
+}
+
+impl fmt::Display for StateSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "state space ({} states):", self.num_states)?;
+        for v in &self.vars {
+            writeln!(f, "  {}: {}", v.name, v.domain)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`StateSpace`].
+///
+/// # Examples
+/// ```
+/// use kpt_state::{Domain, StateSpace};
+/// # fn main() -> Result<(), kpt_state::SpaceError> {
+/// let space = StateSpace::builder()
+///     .bool_var("b")?
+///     .nat_var("i", 4)?
+///     .enum_var("z", ["bot", "ack0", "ack1"])?
+///     .build()?;
+/// assert_eq!(space.num_states(), 2 * 4 * 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct StateSpaceBuilder {
+    vars: Vec<(String, Domain)>,
+}
+
+impl StateSpaceBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a variable with an explicit domain.
+    ///
+    /// # Errors
+    /// [`SpaceError::DuplicateVariable`], [`SpaceError::EmptyDomain`] or
+    /// [`SpaceError::TooManyVariables`].
+    pub fn var(mut self, name: &str, domain: Domain) -> Result<Self, SpaceError> {
+        if self.vars.iter().any(|(n, _)| n == name) {
+            return Err(SpaceError::DuplicateVariable(name.to_owned()));
+        }
+        if domain.size() == 0 {
+            return Err(SpaceError::EmptyDomain(name.to_owned()));
+        }
+        if self.vars.len() >= StateSpace::MAX_VARS {
+            return Err(SpaceError::TooManyVariables {
+                max: StateSpace::MAX_VARS,
+            });
+        }
+        self.vars.push((name.to_owned(), domain));
+        Ok(self)
+    }
+
+    /// Declare a boolean variable.
+    ///
+    /// # Errors
+    /// See [`StateSpaceBuilder::var`].
+    pub fn bool_var(self, name: &str) -> Result<Self, SpaceError> {
+        self.var(name, Domain::Bool)
+    }
+
+    /// Declare a bounded natural variable with values `0..size`.
+    ///
+    /// # Errors
+    /// See [`StateSpaceBuilder::var`].
+    pub fn nat_var(self, name: &str, size: u64) -> Result<Self, SpaceError> {
+        self.var(name, Domain::nat(size))
+    }
+
+    /// Declare an enum variable.
+    ///
+    /// # Errors
+    /// See [`StateSpaceBuilder::var`].
+    pub fn enum_var<I, S>(self, name: &str, labels: I) -> Result<Self, SpaceError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.var(name, Domain::enumeration(labels))
+    }
+
+    /// Finish building.
+    ///
+    /// # Errors
+    /// [`SpaceError::TooLarge`] if the product of domain sizes exceeds
+    /// [`StateSpace::MAX_STATES`].
+    pub fn build(self) -> Result<Arc<StateSpace>, SpaceError> {
+        let mut stride = 1u64;
+        let mut infos = Vec::with_capacity(self.vars.len());
+        for (name, domain) in self.vars {
+            let size = domain.size();
+            infos.push(VarInfo {
+                name,
+                domain,
+                stride,
+            });
+            stride = stride
+                .checked_mul(size)
+                .filter(|&s| s <= StateSpace::MAX_STATES)
+                .ok_or(SpaceError::TooLarge { states: u64::MAX })?;
+        }
+        Ok(Arc::new(StateSpace {
+            vars: infos,
+            num_states: stride,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space3() -> Arc<StateSpace> {
+        StateSpace::builder()
+            .bool_var("b")
+            .unwrap()
+            .nat_var("i", 3)
+            .unwrap()
+            .enum_var("z", ["bot", "msg"])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn strides_and_size() {
+        let s = space3();
+        assert_eq!(s.num_states(), 12);
+        let b = s.var("b").unwrap();
+        let i = s.var("i").unwrap();
+        let z = s.var("z").unwrap();
+        assert_eq!(s.stride(b), 1);
+        assert_eq!(s.stride(i), 2);
+        assert_eq!(s.stride(z), 6);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = space3();
+        for idx in 0..s.num_states() {
+            let vals = s.decode(idx);
+            assert_eq!(s.encode(&vals).unwrap(), idx);
+        }
+    }
+
+    #[test]
+    fn with_value_updates_exactly_one_var() {
+        let s = space3();
+        let i = s.var("i").unwrap();
+        let b = s.var("b").unwrap();
+        for idx in 0..s.num_states() {
+            let upd = s.with_value(idx, i, 2);
+            assert_eq!(s.value(upd, i), 2);
+            assert_eq!(s.value(upd, b), s.value(idx, b));
+        }
+    }
+
+    #[test]
+    fn encode_rejects_bad_values() {
+        let s = space3();
+        assert!(matches!(
+            s.encode(&[0, 5, 0]),
+            Err(SpaceError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(s.encode(&[0, 0]), Err(SpaceError::SpaceMismatch)));
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let r = StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .bool_var("x");
+        assert!(matches!(r, Err(SpaceError::DuplicateVariable(_))));
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let s = space3();
+        assert!(matches!(s.var("nope"), Err(SpaceError::UnknownVariable(_))));
+    }
+
+    #[test]
+    fn empty_space_has_one_state() {
+        let s = StateSpace::builder().build().unwrap();
+        assert_eq!(s.num_states(), 1);
+        assert_eq!(s.render_state(0), "<empty state>");
+    }
+
+    #[test]
+    fn varset_ops() {
+        let s = space3();
+        let b = s.var("b").unwrap();
+        let i = s.var("i").unwrap();
+        let z = s.var("z").unwrap();
+        let v01 = VarSet::from_vars([b, i]);
+        assert!(v01.contains(b));
+        assert!(!v01.contains(z));
+        assert_eq!(v01.len(), 2);
+        assert_eq!(s.complement(v01).iter().collect::<Vec<_>>(), vec![z]);
+        assert!(v01.is_subset(s.all_vars()));
+        assert!(!s.all_vars().is_subset(v01));
+        assert_eq!(v01.union(VarSet::from_vars([z])), s.all_vars());
+        assert_eq!(v01.intersection(VarSet::from_vars([i, z])).len(), 1);
+        let mut w = VarSet::EMPTY;
+        w.extend([b, z]);
+        w.remove(b);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![z]);
+    }
+
+    #[test]
+    fn render_state_is_readable() {
+        let s = space3();
+        let idx = s.encode(&[1, 2, 1]).unwrap();
+        assert_eq!(s.render_state(idx), "b=true, i=2, z=msg");
+    }
+
+    #[test]
+    fn too_large_space_rejected() {
+        let r = StateSpace::builder()
+            .nat_var("a", 1 << 20)
+            .unwrap()
+            .nat_var("b", 1 << 20)
+            .unwrap()
+            .build();
+        assert!(matches!(r, Err(SpaceError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn same_shape() {
+        let a = space3();
+        let b = space3();
+        assert!(a.same_shape(&b));
+        let c = StateSpace::builder().bool_var("b").unwrap().build().unwrap();
+        assert!(!a.same_shape(&c));
+    }
+
+    #[test]
+    fn typed_value() {
+        let s = space3();
+        let z = s.var("z").unwrap();
+        let idx = s.encode(&[0, 0, 1]).unwrap();
+        assert_eq!(s.typed_value(idx, z), Value::Enum("msg".into()));
+    }
+}

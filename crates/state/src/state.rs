@@ -1,0 +1,228 @@
+//! Ergonomic views of single global states.
+//!
+//! The engine identifies a state with its mixed-radix index; [`StateView`]
+//! wraps an index together with its space to give readable accessors, and
+//! [`StateBuilder`] constructs states by naming variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domain::Value;
+use crate::error::SpaceError;
+use crate::space::{StateSpace, VarId};
+
+/// A borrowed view of one global state.
+#[derive(Clone, Copy)]
+pub struct StateView<'a> {
+    space: &'a StateSpace,
+    idx: u64,
+}
+
+impl<'a> StateView<'a> {
+    /// View state `idx` of `space`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn new(space: &'a StateSpace, idx: u64) -> Self {
+        assert!(idx < space.num_states(), "state index out of range");
+        StateView { space, idx }
+    }
+
+    /// The state index.
+    pub fn index(&self) -> u64 {
+        self.idx
+    }
+
+    /// The space.
+    pub fn space(&self) -> &'a StateSpace {
+        self.space
+    }
+
+    /// Raw value of a variable.
+    pub fn get(&self, v: VarId) -> u64 {
+        self.space.value(self.idx, v)
+    }
+
+    /// Boolean value of a variable.
+    pub fn get_bool(&self, v: VarId) -> bool {
+        self.space.value_bool(self.idx, v)
+    }
+
+    /// Typed value of a variable.
+    pub fn get_value(&self, v: VarId) -> Value {
+        self.space.typed_value(self.idx, v)
+    }
+
+    /// Raw value of a variable looked up by name.
+    ///
+    /// # Errors
+    /// [`SpaceError::UnknownVariable`] if the name is not declared.
+    pub fn get_named(&self, name: &str) -> Result<u64, SpaceError> {
+        Ok(self.get(self.space.var(name)?))
+    }
+}
+
+impl fmt::Debug for StateView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateView({})", self.space.render_state(self.idx))
+    }
+}
+
+impl fmt::Display for StateView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.space.render_state(self.idx))
+    }
+}
+
+/// Builds a state index by assigning variables by name; unassigned variables
+/// default to raw value `0`.
+///
+/// # Examples
+/// ```
+/// use kpt_state::{StateBuilder, StateSpace};
+/// # fn main() -> Result<(), kpt_state::SpaceError> {
+/// let space = StateSpace::builder().bool_var("x")?.nat_var("i", 4)?.build()?;
+/// let idx = StateBuilder::new(&space).set("x", 1)?.set("i", 3)?.build();
+/// assert_eq!(space.value(idx, space.var("i")?), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateBuilder {
+    space: Arc<StateSpace>,
+    idx: u64,
+}
+
+impl StateBuilder {
+    /// Start from the all-zeros state of `space`.
+    pub fn new(space: &Arc<StateSpace>) -> Self {
+        StateBuilder {
+            space: Arc::clone(space),
+            idx: 0,
+        }
+    }
+
+    /// Assign a raw value to a named variable.
+    ///
+    /// # Errors
+    /// [`SpaceError::UnknownVariable`] or [`SpaceError::ValueOutOfRange`].
+    pub fn set(mut self, name: &str, value: u64) -> Result<Self, SpaceError> {
+        let v = self.space.var(name)?;
+        if !self.space.domain(v).contains(value) {
+            return Err(SpaceError::ValueOutOfRange {
+                var: name.to_owned(),
+                value,
+                size: self.space.domain(v).size(),
+            });
+        }
+        self.idx = self.space.with_value(self.idx, v, value);
+        Ok(self)
+    }
+
+    /// Assign a boolean to a named variable.
+    ///
+    /// # Errors
+    /// As for [`StateBuilder::set`].
+    pub fn set_bool(self, name: &str, value: bool) -> Result<Self, SpaceError> {
+        self.set(name, u64::from(value))
+    }
+
+    /// Assign an enum label to a named variable.
+    ///
+    /// # Errors
+    /// [`SpaceError::UnknownLabel`] if the label is not in the domain.
+    pub fn set_label(self, name: &str, label: &str) -> Result<Self, SpaceError> {
+        let v = self.space.var(name)?;
+        let code = self.space.domain(v).label_code(label).ok_or_else(|| {
+            SpaceError::UnknownLabel {
+                var: name.to_owned(),
+                label: label.to_owned(),
+            }
+        })?;
+        self.set(name, code)
+    }
+
+    /// Finish, returning the state index.
+    pub fn build(self) -> u64 {
+        self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Arc<StateSpace> {
+        StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .nat_var("i", 4)
+            .unwrap()
+            .enum_var("z", ["bot", "m"])
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn view_accessors() {
+        let s = space();
+        let idx = StateBuilder::new(&s)
+            .set_bool("x", true)
+            .unwrap()
+            .set("i", 2)
+            .unwrap()
+            .set_label("z", "m")
+            .unwrap()
+            .build();
+        let v = StateView::new(&s, idx);
+        assert!(v.get_bool(s.var("x").unwrap()));
+        assert_eq!(v.get(s.var("i").unwrap()), 2);
+        assert_eq!(v.get_named("z").unwrap(), 1);
+        assert_eq!(v.get_value(s.var("z").unwrap()), Value::Enum("m".into()));
+        assert_eq!(v.index(), idx);
+        assert_eq!(v.to_string(), "x=true, i=2, z=m");
+    }
+
+    #[test]
+    fn builder_defaults_to_zero() {
+        let s = space();
+        assert_eq!(StateBuilder::new(&s).build(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        let s = space();
+        assert!(matches!(
+            StateBuilder::new(&s).set("i", 9),
+            Err(SpaceError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            StateBuilder::new(&s).set("q", 0),
+            Err(SpaceError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            StateBuilder::new(&s).set_label("z", "nope"),
+            Err(SpaceError::UnknownLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn overwriting_a_value_works() {
+        let s = space();
+        let idx = StateBuilder::new(&s)
+            .set("i", 3)
+            .unwrap()
+            .set("i", 1)
+            .unwrap()
+            .build();
+        assert_eq!(s.value(idx, s.var("i").unwrap()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn view_out_of_range_panics() {
+        let s = space();
+        let _ = StateView::new(&s, s.num_states());
+    }
+}

@@ -1,0 +1,169 @@
+//! Reference-model property tests for `kpt-state`: the bitset [`Predicate`]
+//! is checked against a naive `BTreeSet<u64>` implementation of the same
+//! operations, over random spaces and operation sequences.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use kpt_state::{exists_var, forall_var, Predicate, StateSpace};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    And(u64),
+    Or(u64),
+    Not,
+    Implies(u64),
+    Iff(u64),
+    Minus(u64),
+    ForallVar(usize),
+    ExistsVar(usize),
+}
+
+fn op_strategy(nvars: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u64>().prop_map(Op::And),
+        any::<u64>().prop_map(Op::Or),
+        Just(Op::Not),
+        any::<u64>().prop_map(Op::Implies),
+        any::<u64>().prop_map(Op::Iff),
+        any::<u64>().prop_map(Op::Minus),
+        (0..nvars).prop_map(Op::ForallVar),
+        (0..nvars).prop_map(Op::ExistsVar),
+    ]
+}
+
+fn build_space(domains: &[u64]) -> Arc<StateSpace> {
+    let mut b = StateSpace::builder();
+    for (i, &d) in domains.iter().enumerate() {
+        b = b.nat_var(&format!("v{i}"), d).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Reference: set of satisfying states.
+fn model_from_mask(n: u64, mask: u64) -> BTreeSet<u64> {
+    (0..n).filter(|s| mask >> (s % 64) & 1 == 1).collect()
+}
+
+fn pred_from_mask(space: &Arc<StateSpace>, mask: u64) -> Predicate {
+    Predicate::from_fn(space, |s| mask >> (s % 64) & 1 == 1)
+}
+
+fn assert_agrees(space: &Arc<StateSpace>, p: &Predicate, m: &BTreeSet<u64>) {
+    for s in 0..space.num_states() {
+        assert_eq!(p.holds(s), m.contains(&s), "state {s}");
+    }
+    assert_eq!(p.count(), m.len() as u64);
+    assert_eq!(p.iter().collect::<Vec<_>>(), m.iter().copied().collect::<Vec<_>>());
+    assert_eq!(p.is_false(), m.is_empty());
+    assert_eq!(p.everywhere(), m.len() as u64 == space.num_states());
+    assert_eq!(p.witness(), m.first().copied());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitset_matches_reference_model(
+        domains in prop::collection::vec(2u64..=4, 1..=3),
+        seed in any::<u64>(),
+        ops in prop::collection::vec(op_strategy(3), 0..10),
+    ) {
+        let space = build_space(&domains);
+        let n = space.num_states();
+        let mut p = pred_from_mask(&space, seed);
+        let mut m = model_from_mask(n, seed);
+        assert_agrees(&space, &p, &m);
+
+        for op in ops {
+            match op {
+                Op::And(mask) => {
+                    let q = model_from_mask(n, mask);
+                    p = p.and(&pred_from_mask(&space, mask));
+                    m = m.intersection(&q).copied().collect();
+                }
+                Op::Or(mask) => {
+                    let q = model_from_mask(n, mask);
+                    p = p.or(&pred_from_mask(&space, mask));
+                    m = m.union(&q).copied().collect();
+                }
+                Op::Not => {
+                    p = p.negate();
+                    m = (0..n).filter(|s| !m.contains(s)).collect();
+                }
+                Op::Implies(mask) => {
+                    let q = model_from_mask(n, mask);
+                    p = p.implies(&pred_from_mask(&space, mask));
+                    m = (0..n).filter(|s| !m.contains(s) || q.contains(s)).collect();
+                }
+                Op::Iff(mask) => {
+                    let q = model_from_mask(n, mask);
+                    p = p.iff(&pred_from_mask(&space, mask));
+                    m = (0..n).filter(|s| m.contains(s) == q.contains(s)).collect();
+                }
+                Op::Minus(mask) => {
+                    let q = model_from_mask(n, mask);
+                    p = p.minus(&pred_from_mask(&space, mask));
+                    m = m.difference(&q).copied().collect();
+                }
+                Op::ForallVar(vi) => {
+                    let vi = vi % domains.len();
+                    let v = space.var(&format!("v{vi}")).unwrap();
+                    p = forall_var(&p, v);
+                    let dom = space.domain(v).size();
+                    m = (0..n)
+                        .filter(|&s| {
+                            (0..dom).all(|val| m.contains(&space.with_value(s, v, val)))
+                        })
+                        .collect();
+                }
+                Op::ExistsVar(vi) => {
+                    let vi = vi % domains.len();
+                    let v = space.var(&format!("v{vi}")).unwrap();
+                    p = exists_var(&p, v);
+                    let dom = space.domain(v).size();
+                    m = (0..n)
+                        .filter(|&s| {
+                            (0..dom).any(|val| m.contains(&space.with_value(s, v, val)))
+                        })
+                        .collect();
+                }
+            }
+            assert_agrees(&space, &p, &m);
+        }
+    }
+
+    #[test]
+    fn entails_matches_subset(
+        domains in prop::collection::vec(2u64..=4, 1..=3),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let space = build_space(&domains);
+        let n = space.num_states();
+        let p = pred_from_mask(&space, a);
+        let q = pred_from_mask(&space, b);
+        let pm = model_from_mask(n, a);
+        let qm = model_from_mask(n, b);
+        prop_assert_eq!(p.entails(&q), pm.is_subset(&qm));
+        prop_assert_eq!(p == q, pm == qm);
+    }
+
+    #[test]
+    fn independence_matches_definition(
+        domains in prop::collection::vec(2u64..=4, 2..=3),
+        a in any::<u64>(),
+    ) {
+        let space = build_space(&domains);
+        let p = pred_from_mask(&space, a);
+        for v in space.vars() {
+            let dom = space.domain(v).size();
+            let naive = (0..space.num_states()).all(|s| {
+                let first = p.holds(space.with_value(s, v, 0));
+                (1..dom).all(|val| p.holds(space.with_value(s, v, val)) == first)
+            });
+            prop_assert_eq!(p.is_independent_of(v), naive);
+        }
+    }
+}

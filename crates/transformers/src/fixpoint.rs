@@ -1,0 +1,218 @@
+//! Fixpoint computations: `sst`, the strongest invariant, and generic
+//! least/greatest fixpoints on the (finite) lattice of predicates.
+//!
+//! The paper defines (eq. 1) `sst.p` as the strongest `x` with
+//! `[SP.x ⇒ x] ∧ [p ⇒ x]`, and computes it (eq. 3) as
+//! `sst.p = (∃ i : 0 ≤ i : f^i.false)` where `f.x = SP.x ∨ p`. On a finite
+//! space the chain stabilises, so [`sst`] is exact. The *strongest
+//! invariant* is `SI = sst.init` (§2), characterising the reachable states.
+
+use kpt_state::Predicate;
+
+use crate::transformer::Transformer;
+
+/// Diagnostics from a fixpoint computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Number of times the generating function was applied.
+    pub iterations: usize,
+    /// Number of states in the resulting predicate.
+    pub result_states: u64,
+}
+
+/// Least fixpoint of a (presumed monotone) function on predicates, computed
+/// by Kleene iteration from `false`.
+///
+/// On a finite space the iteration reaches a fixpoint of any *monotone* `f`
+/// after at most `num_states + 1` steps. For safety against non-monotone
+/// functions (which arise from knowledge-based protocols — §4!), iteration
+/// is capped and `None` is returned if no fixpoint is found.
+pub fn lfp<F: FnMut(&Predicate) -> Predicate>(
+    space: &std::sync::Arc<kpt_state::StateSpace>,
+    mut f: F,
+) -> Option<(Predicate, FixpointStats)> {
+    let mut x = Predicate::ff(space);
+    let cap = space.num_states() as usize + 2;
+    for i in 0..cap {
+        let next = f(&x);
+        if next == x {
+            return Some((
+                x,
+                FixpointStats {
+                    iterations: i + 1,
+                    result_states: next.count(),
+                },
+            ));
+        }
+        x = next;
+    }
+    None
+}
+
+/// Greatest fixpoint by Kleene iteration from `true`; same caveats as
+/// [`lfp`]. Used for greatest-fixpoint style definitions such as common
+/// knowledge `C_G`.
+pub fn gfp<F: FnMut(&Predicate) -> Predicate>(
+    space: &std::sync::Arc<kpt_state::StateSpace>,
+    mut f: F,
+) -> Option<(Predicate, FixpointStats)> {
+    let mut x = Predicate::tt(space);
+    let cap = space.num_states() as usize + 2;
+    for i in 0..cap {
+        let next = f(&x);
+        if next == x {
+            return Some((
+                x,
+                FixpointStats {
+                    iterations: i + 1,
+                    result_states: next.count(),
+                },
+            ));
+        }
+        x = next;
+    }
+    None
+}
+
+/// `sst.p`: the strongest stable predicate weaker than `p` (eq. 1),
+/// computed via eq. (3) as the least fixpoint of `f.x = SP.x ∨ p`.
+///
+/// For a monotone, or-continuous `SP` (true of every standard UNITY
+/// program, eq. 26) this exists and is unique (eq. 2).
+///
+/// # Panics
+/// Panics if the iteration fails to converge, which cannot happen for a
+/// genuinely monotone `sp` on a finite space.
+#[must_use]
+pub fn sst(sp: &dyn Transformer, p: &Predicate) -> Predicate {
+    sst_with_stats(sp, p).0
+}
+
+/// [`sst`] with iteration diagnostics (for benchmarking the fixpoint).
+#[must_use]
+pub fn sst_with_stats(sp: &dyn Transformer, p: &Predicate) -> (Predicate, FixpointStats) {
+    lfp(sp.space(), |x| sp.apply(x).or(p))
+        .expect("sst iteration converges for monotone SP on a finite space")
+}
+
+/// The strongest invariant `SI = sst.init`: the exact set of reachable
+/// states of a program whose transition semantics is `sp` (eq. 5 uses this
+/// to define `invariant p ≡ [SI ⇒ p]`).
+#[must_use]
+pub fn strongest_invariant(sp: &dyn Transformer, init: &Predicate) -> Predicate {
+    sst(sp, init)
+}
+
+/// Whether `p` is stable under `sp`: `[SP.p ⇒ p]` (§2).
+#[must_use]
+pub fn is_stable(sp: &dyn Transformer, p: &Predicate) -> bool {
+    sp.apply(p).entails(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformer::FnTransformer;
+    use crate::transition::{sp_union, DetTransition};
+    use kpt_state::{Predicate, StateSpace};
+    use std::sync::Arc;
+
+    fn space(n: u64) -> Arc<StateSpace> {
+        StateSpace::builder()
+            .nat_var("i", n)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn counter_sp(s: &Arc<StateSpace>, n: u64) -> FnTransformer<impl Fn(&Predicate) -> Predicate> {
+        let t = DetTransition::from_fn(s, move |i| if i + 1 < n { i + 1 } else { i });
+        FnTransformer::new(s, "SP", move |p: &Predicate| sp_union(std::slice::from_ref(&t), p))
+    }
+
+    #[test]
+    fn sst_of_init_is_reachable_set() {
+        let s = space(8);
+        let sp = counter_sp(&s, 8);
+        let init = Predicate::from_indices(&s, [3]);
+        let si = strongest_invariant(&sp, &init);
+        assert_eq!(si.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn sst_is_stable_and_weaker_than_p() {
+        let s = space(8);
+        let sp = counter_sp(&s, 8);
+        let p = Predicate::from_indices(&s, [1, 5]);
+        let x = sst(&sp, &p);
+        // [p ⇒ sst.p]
+        assert!(p.entails(&x));
+        // [SP.(sst.p) ⇒ sst.p]
+        assert!(is_stable(&sp, &x));
+    }
+
+    #[test]
+    fn sst_is_strongest_such_predicate() {
+        // Exhaustive check of extremality on a small space: any stable q
+        // weaker than p contains sst.p.
+        let s = space(5);
+        let sp = counter_sp(&s, 5);
+        let p = Predicate::from_indices(&s, [2]);
+        let x = sst(&sp, &p);
+        for qi in 0..(1u64 << 5) {
+            let q = Predicate::from_fn(&s, |idx| qi >> idx & 1 == 1);
+            if p.entails(&q) && is_stable(&sp, &q) {
+                assert!(x.entails(&q), "sst not strongest vs {qi:05b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sst_monotonic_in_p() {
+        // Eq. (4): sst is monotonic (for constant programs).
+        let s = space(6);
+        let sp = counter_sp(&s, 6);
+        for pi in 0..(1u64 << 6) {
+            let p = Predicate::from_fn(&s, |idx| pi >> idx & 1 == 1);
+            let q = p.or(&Predicate::from_indices(&s, [0]));
+            assert!(sst(&sp, &p).entails(&sst(&sp, &q)));
+        }
+    }
+
+    #[test]
+    fn lfp_detects_non_convergence() {
+        // A non-monotone alternating function has no Kleene fixpoint.
+        let s = space(2);
+        let r = lfp(&s, |x: &Predicate| x.negate());
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn gfp_from_true() {
+        let s = space(4);
+        let keep = Predicate::from_indices(&s, [1, 2]);
+        let (g, stats) = gfp(&s, |x: &Predicate| x.and(&keep)).unwrap();
+        assert_eq!(g, keep);
+        assert!(stats.iterations >= 2);
+    }
+
+    #[test]
+    fn stats_report_iterations() {
+        let s = space(16);
+        let sp = counter_sp(&s, 16);
+        let init = Predicate::from_indices(&s, [0]);
+        let (si, stats) = sst_with_stats(&sp, &init);
+        assert!(si.everywhere());
+        // Chain grows one state per iteration: ~16 iterations.
+        assert!(stats.iterations >= 16, "iterations = {}", stats.iterations);
+        assert_eq!(stats.result_states, 16);
+    }
+
+    #[test]
+    fn empty_init_gives_empty_si() {
+        let s = space(4);
+        let sp = counter_sp(&s, 4);
+        let si = strongest_invariant(&sp, &Predicate::ff(&s));
+        assert!(si.is_false());
+    }
+}

@@ -1,0 +1,375 @@
+//! Junctivity analysis of predicate transformers (§2 of the paper).
+//!
+//! The paper leans on junctivity properties — monotonicity, universal
+//! conjunctivity, finite disjunctivity, or-continuity — to explain both why
+//! `sst` exists for standard programs and why knowledge-based protocols
+//! misbehave ("lack of monotonicity of ŜP is the culprit", §4). This module
+//! *decides* these properties for black-box transformers:
+//!
+//! * exhaustively, on spaces small enough to enumerate all predicates, and
+//! * by sampling, with a caller-supplied predicate generator, on larger
+//!   spaces.
+//!
+//! Two finite-lattice facts are used (and tested):
+//!
+//! 1. On a finite space, *universal* conjunctivity is equivalent to
+//!    finite conjunctivity plus `f.true = true` (any bag of predicates has
+//!    finitely many distinct elements, so induction reduces it to the binary
+//!    case; the empty bag gives the unit law).
+//! 2. On a finite space, or-continuity (over monotone bags, as defined in
+//!    the paper) is equivalent to monotonicity: a monotone chain attains its
+//!    supremum, so the continuity equation reduces to `f.v ⇒ f.(sup)`.
+
+use kpt_state::Predicate;
+
+use crate::transformer::Transformer;
+
+/// Outcome of a junctivity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds; every relevant instance was checked.
+    Holds,
+    /// No counterexample was found among `samples` sampled instances.
+    HoldsSampled {
+        /// How many instances were tried.
+        samples: usize,
+    },
+    /// The property fails, with a witnessing instance.
+    Fails(Counterexample),
+}
+
+impl Verdict {
+    /// Whether the check found no counterexample (exhaustive or sampled).
+    pub fn passed(&self) -> bool {
+        !matches!(self, Verdict::Fails(_))
+    }
+}
+
+/// A witnessing instance for a failed junctivity property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// First operand predicate.
+    pub p: Predicate,
+    /// Second operand predicate, for binary properties.
+    pub q: Option<Predicate>,
+    /// What went wrong.
+    pub note: String,
+}
+
+/// How to search for counterexamples.
+pub enum Strategy<'a> {
+    /// Enumerate *all* relevant predicate instances. Only permitted on
+    /// spaces with at most [`EXHAUSTIVE_STATE_LIMIT`] states.
+    Exhaustive,
+    /// Draw instances from a caller-supplied generator (e.g. seeded random
+    /// predicates), `samples` times.
+    Sampled {
+        /// Produces one predicate per call.
+        generator: &'a mut dyn FnMut() -> Predicate,
+        /// Number of instances to try.
+        samples: usize,
+    },
+}
+
+/// Largest state count for which exhaustive predicate enumeration is
+/// permitted (2^n predicates, up to 4^n pairs).
+pub const EXHAUSTIVE_STATE_LIMIT: u64 = 10;
+
+fn all_predicates(
+    space: &std::sync::Arc<kpt_state::StateSpace>,
+) -> impl Iterator<Item = Predicate> + '_ {
+    let n = space.num_states();
+    assert!(
+        n <= EXHAUSTIVE_STATE_LIMIT,
+        "space too large for exhaustive junctivity analysis ({n} states; limit {EXHAUSTIVE_STATE_LIMIT})"
+    );
+    (0u64..(1u64 << n)).map(move |mask| Predicate::from_fn(space, |idx| mask >> idx & 1 == 1))
+}
+
+/// Check monotonicity: `[p ⇒ q] ⇒ [f.p ⇒ f.q]`.
+///
+/// # Panics
+/// Panics if `Strategy::Exhaustive` is used on a space larger than
+/// [`EXHAUSTIVE_STATE_LIMIT`] states.
+pub fn check_monotonic(t: &dyn Transformer, strategy: Strategy<'_>) -> Verdict {
+    match strategy {
+        Strategy::Exhaustive => {
+            for p in all_predicates(t.space()) {
+                let fp = t.apply(&p);
+                for q in all_predicates(t.space()) {
+                    if p.entails(&q) && !fp.entails(&t.apply(&q)) {
+                        return fails_mono(p, q);
+                    }
+                }
+            }
+            Verdict::Holds
+        }
+        Strategy::Sampled { generator, samples } => {
+            for _ in 0..samples {
+                let p = generator();
+                let q = p.or(&generator()); // guarantees [p ⇒ q]
+                if !t.apply(&p).entails(&t.apply(&q)) {
+                    return fails_mono(p, q);
+                }
+            }
+            Verdict::HoldsSampled { samples }
+        }
+    }
+}
+
+fn fails_mono(p: Predicate, q: Predicate) -> Verdict {
+    Verdict::Fails(Counterexample {
+        p,
+        q: Some(q),
+        note: "[p => q] but not [f.p => f.q]".into(),
+    })
+}
+
+/// Check finite conjunctivity: `[f.p ∧ f.q ≡ f.(p ∧ q)]`.
+///
+/// # Panics
+/// As for [`check_monotonic`].
+pub fn check_finitely_conjunctive(t: &dyn Transformer, strategy: Strategy<'_>) -> Verdict {
+    check_binary(t, strategy, true)
+}
+
+/// Check finite disjunctivity: `[f.p ∨ f.q ≡ f.(p ∨ q)]`.
+///
+/// # Panics
+/// As for [`check_monotonic`].
+pub fn check_finitely_disjunctive(t: &dyn Transformer, strategy: Strategy<'_>) -> Verdict {
+    check_binary(t, strategy, false)
+}
+
+fn check_binary(t: &dyn Transformer, strategy: Strategy<'_>, conj: bool) -> Verdict {
+    let test = |p: &Predicate, q: &Predicate| -> bool {
+        if conj {
+            t.apply(&p.and(q)) == t.apply(p).and(&t.apply(q))
+        } else {
+            t.apply(&p.or(q)) == t.apply(p).or(&t.apply(q))
+        }
+    };
+    let note = if conj {
+        "f.(p /\\ q) differs from f.p /\\ f.q"
+    } else {
+        "f.(p \\/ q) differs from f.p \\/ f.q"
+    };
+    match strategy {
+        Strategy::Exhaustive => {
+            let preds: Vec<Predicate> = all_predicates(t.space()).collect();
+            for p in &preds {
+                for q in &preds {
+                    if !test(p, q) {
+                        return Verdict::Fails(Counterexample {
+                            p: p.clone(),
+                            q: Some(q.clone()),
+                            note: note.into(),
+                        });
+                    }
+                }
+            }
+            Verdict::Holds
+        }
+        Strategy::Sampled { generator, samples } => {
+            for _ in 0..samples {
+                let p = generator();
+                let q = generator();
+                if !test(&p, &q) {
+                    return Verdict::Fails(Counterexample {
+                        p,
+                        q: Some(q),
+                        note: note.into(),
+                    });
+                }
+            }
+            Verdict::HoldsSampled { samples }
+        }
+    }
+}
+
+/// Check *universal* conjunctivity, using the finite-lattice reduction:
+/// universal conjunctivity ⟺ finite conjunctivity ∧ `f.true = true`
+/// (the empty bag's conjunction is `true`).
+///
+/// # Panics
+/// As for [`check_monotonic`].
+pub fn check_universally_conjunctive(t: &dyn Transformer, strategy: Strategy<'_>) -> Verdict {
+    let tt = Predicate::tt(t.space());
+    if t.apply(&tt) != tt {
+        return Verdict::Fails(Counterexample {
+            p: tt,
+            q: None,
+            note: "f.true differs from true (empty-bag case)".into(),
+        });
+    }
+    check_finitely_conjunctive(t, strategy)
+}
+
+/// Check or-continuity over monotone bags. On a finite space this property
+/// is equivalent to monotonicity (a monotone chain attains its supremum),
+/// so this delegates to [`check_monotonic`]; it exists as a named check so
+/// the paper's §2 assumptions can be stated verbatim.
+///
+/// # Panics
+/// As for [`check_monotonic`].
+pub fn check_or_continuous(t: &dyn Transformer, strategy: Strategy<'_>) -> Verdict {
+    check_monotonic(t, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformer::FnTransformer;
+    use kpt_state::{forall_var, StateSpace};
+    use std::sync::Arc;
+
+    fn space(n: u64) -> Arc<StateSpace> {
+        StateSpace::builder()
+            .nat_var("i", n)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_has_all_junctivities() {
+        let s = space(4);
+        let id = FnTransformer::new(&s, "id", Predicate::clone);
+        assert_eq!(check_monotonic(&id, Strategy::Exhaustive), Verdict::Holds);
+        assert_eq!(
+            check_finitely_conjunctive(&id, Strategy::Exhaustive),
+            Verdict::Holds
+        );
+        assert_eq!(
+            check_finitely_disjunctive(&id, Strategy::Exhaustive),
+            Verdict::Holds
+        );
+        assert_eq!(
+            check_universally_conjunctive(&id, Strategy::Exhaustive),
+            Verdict::Holds
+        );
+        assert_eq!(
+            check_or_continuous(&id, Strategy::Exhaustive),
+            Verdict::Holds
+        );
+    }
+
+    #[test]
+    fn negation_is_not_monotonic() {
+        let s = space(3);
+        let neg = FnTransformer::new(&s, "neg", Predicate::negate);
+        let v = check_monotonic(&neg, Strategy::Exhaustive);
+        assert!(!v.passed());
+        if let Verdict::Fails(ce) = v {
+            assert!(ce.p.entails(&ce.q.unwrap()));
+        }
+    }
+
+    #[test]
+    fn forall_quantifier_is_conjunctive_not_disjunctive() {
+        // This is the paper's (11)/(12) in miniature: ∀-quantification over
+        // a variable is universally conjunctive but not disjunctive.
+        let s = StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .bool_var("y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let y = s.var("y").unwrap();
+        let t = FnTransformer::new(&s, "forall_y", move |p: &Predicate| forall_var(p, y));
+        assert_eq!(
+            check_universally_conjunctive(&t, Strategy::Exhaustive),
+            Verdict::Holds
+        );
+        let v = check_finitely_disjunctive(&t, Strategy::Exhaustive);
+        assert!(!v.passed());
+    }
+
+    #[test]
+    fn sampled_strategy_respects_entailment_setup() {
+        let s = space(8);
+        let id = FnTransformer::new(&s, "id", Predicate::clone);
+        let mut counter = 0u64;
+        let mut generator = || {
+            counter += 1;
+            let c = counter;
+            Predicate::from_fn(&s, |idx| (idx * 7 + c).is_multiple_of(3))
+        };
+        let v = check_monotonic(
+            &id,
+            Strategy::Sampled {
+                generator: &mut generator,
+                samples: 20,
+            },
+        );
+        assert_eq!(v, Verdict::HoldsSampled { samples: 20 });
+    }
+
+    #[test]
+    fn sampled_finds_disjunctivity_failure() {
+        let s = StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .bool_var("y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let y = s.var("y").unwrap();
+        let t = FnTransformer::new(&s, "forall_y", move |p: &Predicate| forall_var(p, y));
+        // Deterministic generator cycling through all 16 predicates.
+        let mut mask = 0u64;
+        let sref = Arc::clone(&s);
+        let mut generator = move || {
+            mask = (mask + 6) % 16;
+            let m = mask;
+            Predicate::from_fn(&sref, |idx| m >> idx & 1 == 1)
+        };
+        let v = check_finitely_disjunctive(
+            &t,
+            Strategy::Sampled {
+                generator: &mut generator,
+                samples: 64,
+            },
+        );
+        assert!(!v.passed());
+    }
+
+    #[test]
+    fn universal_conjunctivity_checks_unit_law() {
+        // f.p = p ∧ c is finitely conjunctive but fails f.true = true.
+        let s = space(3);
+        let c = Predicate::from_indices(&s, [0]);
+        let t = FnTransformer::new(&s, "meet", move |p: &Predicate| p.and(&c));
+        assert_eq!(
+            check_finitely_conjunctive(&t, Strategy::Exhaustive),
+            Verdict::Holds
+        );
+        let v = check_universally_conjunctive(&t, Strategy::Exhaustive);
+        assert!(!v.passed());
+        if let Verdict::Fails(ce) = v {
+            assert!(ce.note.contains("empty-bag"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn exhaustive_on_large_space_panics() {
+        let s = space(32);
+        let id = FnTransformer::new(&s, "id", Predicate::clone);
+        let _ = check_monotonic(&id, Strategy::Exhaustive);
+    }
+
+    #[test]
+    fn verdict_passed() {
+        assert!(Verdict::Holds.passed());
+        assert!(Verdict::HoldsSampled { samples: 1 }.passed());
+        let s = space(2);
+        assert!(!Verdict::Fails(Counterexample {
+            p: Predicate::tt(&s),
+            q: None,
+            note: String::new()
+        })
+        .passed());
+    }
+}

@@ -1,0 +1,151 @@
+//! The predicate-transformer abstraction (§2 of the paper).
+//!
+//! A predicate transformer is a function from predicates to predicates.
+//! [`Transformer`] is the object-safe interface; [`FnTransformer`] wraps a
+//! closure; [`Compose`] composes two transformers.
+
+use std::sync::Arc;
+
+use kpt_state::{Predicate, StateSpace};
+
+/// A predicate transformer over a fixed state space.
+///
+/// Implementations must be *total*: `apply` is defined for every predicate
+/// of the space.
+pub trait Transformer {
+    /// The state space the transformer operates over.
+    fn space(&self) -> &Arc<StateSpace>;
+
+    /// Apply the transformer to a predicate.
+    fn apply(&self, p: &Predicate) -> Predicate;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "transformer"
+    }
+}
+
+/// A transformer defined by a closure.
+///
+/// # Examples
+/// ```
+/// use kpt_state::{Predicate, StateSpace};
+/// use kpt_transformers::{FnTransformer, Transformer};
+/// # fn main() -> Result<(), kpt_state::SpaceError> {
+/// let space = StateSpace::builder().bool_var("x")?.build()?;
+/// let id = FnTransformer::new(&space, "id", |p| p.clone());
+/// let t = Predicate::tt(&space);
+/// assert_eq!(id.apply(&t), t);
+/// # Ok(())
+/// # }
+/// ```
+pub struct FnTransformer<F> {
+    space: Arc<StateSpace>,
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&Predicate) -> Predicate> FnTransformer<F> {
+    /// Wrap a closure as a transformer.
+    pub fn new(space: &Arc<StateSpace>, name: impl Into<String>, f: F) -> Self {
+        FnTransformer {
+            space: Arc::clone(space),
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&Predicate) -> Predicate> Transformer for FnTransformer<F> {
+    fn space(&self) -> &Arc<StateSpace> {
+        &self.space
+    }
+
+    fn apply(&self, p: &Predicate) -> Predicate {
+        (self.f)(p)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Function composition `outer ∘ inner` of two transformers.
+pub struct Compose<'a> {
+    outer: &'a dyn Transformer,
+    inner: &'a dyn Transformer,
+}
+
+impl<'a> Compose<'a> {
+    /// Compose `outer ∘ inner` (apply `inner` first).
+    ///
+    /// # Panics
+    /// Panics if the transformers are over different spaces.
+    pub fn new(outer: &'a dyn Transformer, inner: &'a dyn Transformer) -> Self {
+        assert!(
+            Arc::ptr_eq(outer.space(), inner.space())
+                || outer.space().same_shape(inner.space()),
+            "composed transformers must share a space"
+        );
+        Compose { outer, inner }
+    }
+}
+
+impl Transformer for Compose<'_> {
+    fn space(&self) -> &Arc<StateSpace> {
+        self.outer.space()
+    }
+
+    fn apply(&self, p: &Predicate) -> Predicate {
+        self.outer.apply(&self.inner.apply(p))
+    }
+
+    fn name(&self) -> &str {
+        "compose"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Arc<StateSpace> {
+        StateSpace::builder()
+            .nat_var("i", 4)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fn_transformer_applies_closure() {
+        let s = space();
+        let neg = FnTransformer::new(&s, "neg", Predicate::negate);
+        let p = Predicate::from_indices(&s, [0, 2]);
+        assert_eq!(neg.apply(&p), p.negate());
+        assert_eq!(neg.name(), "neg");
+    }
+
+    #[test]
+    fn composition_order() {
+        let s = space();
+        // f = ¬ · (∧ {0,1}): first intersect, then negate.
+        let fix = Predicate::from_indices(&s, [0, 1]);
+        let fix2 = fix.clone();
+        let inter = FnTransformer::new(&s, "inter", move |p: &Predicate| p.and(&fix));
+        let neg = FnTransformer::new(&s, "neg", Predicate::negate);
+        let comp = Compose::new(&neg, &inter);
+        let p = Predicate::from_indices(&s, [1, 2]);
+        assert_eq!(comp.apply(&p), p.and(&fix2).negate());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a space")]
+    fn composing_different_spaces_panics() {
+        let a = space();
+        let b = StateSpace::builder().bool_var("q").unwrap().build().unwrap();
+        let ta = FnTransformer::new(&a, "a", Predicate::negate);
+        let tb = FnTransformer::new(&b, "b", Predicate::negate);
+        let _ = Compose::new(&ta, &tb);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for `kpt-transformers`: the sp/wp Galois connection,
+//! `sst` extremality and monotonicity (eqs. 1–4) on random deterministic
+//! transitions.
+
+use std::sync::Arc;
+
+use kpt_state::{Predicate, StateSpace};
+use kpt_transformers::{
+    gfp, is_stable, lfp, sp_union, sst, strongest_invariant, wp_inter, DetTransition,
+    FnTransformer,
+};
+use proptest::prelude::*;
+
+fn space(n: u64) -> Arc<StateSpace> {
+    StateSpace::builder()
+        .nat_var("s", n)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn pred(space: &Arc<StateSpace>, mask: u64) -> Predicate {
+    Predicate::from_fn(space, |s| mask >> (s % 64) & 1 == 1)
+}
+
+/// A random deterministic transition from a seed: successor of `s` is
+/// `hash(s, seed) % n`, deterministic and total.
+fn transition(space: &Arc<StateSpace>, seed: u64) -> DetTransition {
+    let n = space.num_states();
+    DetTransition::from_fn(space, move |s| {
+        s.wrapping_mul(6364136223846793005)
+            .wrapping_add(seed)
+            .rotate_left(17)
+            % n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn galois_connection(n in 2u64..24, seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let sp = space(n);
+        let t = transition(&sp, seed);
+        let p = pred(&sp, a);
+        let q = pred(&sp, b);
+        // [sp.p ⇒ q] ≡ [p ⇒ wp.q]
+        prop_assert_eq!(t.sp(&p).entails(&q), p.entails(&t.wp(&q)));
+        // wp is universally conjunctive; sp is universally disjunctive.
+        prop_assert_eq!(t.wp(&p.and(&q)), t.wp(&p).and(&t.wp(&q)));
+        prop_assert_eq!(t.sp(&p.or(&q)), t.sp(&p).or(&t.sp(&q)));
+        // Totality/determinism: wp(true) = true, sp preserves emptiness.
+        prop_assert!(t.wp(&Predicate::tt(&sp)).everywhere());
+        prop_assert!(t.sp(&Predicate::ff(&sp)).is_false());
+        // Determinism: wp is also disjunctive (each state has ONE successor).
+        prop_assert_eq!(t.wp(&p.or(&q)), t.wp(&p).or(&t.wp(&q)));
+    }
+
+    #[test]
+    fn sst_laws(n in 2u64..20, seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let sp = space(n);
+        let t = transition(&sp, seed);
+        let spt = FnTransformer::new(&sp, "SP", move |x: &Predicate| {
+            sp_union(std::slice::from_ref(&t), x)
+        });
+        let p = pred(&sp, a);
+        let q = pred(&sp, b);
+        let x = sst(&spt, &p);
+        // Weaker than p, stable (eq. 1).
+        prop_assert!(p.entails(&x));
+        prop_assert!(is_stable(&spt, &x));
+        // (4) monotone.
+        prop_assert!(x.entails(&sst(&spt, &p.or(&q))));
+        // Extremal: check against every stable superset only on tiny spaces.
+        if n <= 6 {
+            for mask in 0..(1u64 << n) {
+                let cand = Predicate::from_fn(&sp, |s| mask >> s & 1 == 1);
+                if p.entails(&cand) && is_stable(&spt, &cand) {
+                    prop_assert!(x.entails(&cand));
+                }
+            }
+        }
+        // SI of init=p equals BFS-style closure: sst is idempotent.
+        prop_assert_eq!(sst(&spt, &x), x);
+    }
+
+    #[test]
+    fn lfp_gfp_duality(n in 2u64..16, mask in any::<u64>()) {
+        let sp = space(n);
+        let keep = pred(&sp, mask);
+        // lfp of (x ∨ keep) from false = keep; gfp of (x ∧ keep) = keep.
+        let k1 = keep.clone();
+        let (l, _) = lfp(&sp, move |x: &Predicate| x.or(&k1)).unwrap();
+        prop_assert_eq!(&l, &keep);
+        let k2 = keep.clone();
+        let (g, _) = gfp(&sp, move |x: &Predicate| x.and(&k2)).unwrap();
+        prop_assert_eq!(&g, &keep);
+    }
+
+    #[test]
+    fn multi_statement_si_contains_each_statement_si(
+        n in 2u64..16, s1 in any::<u64>(), s2 in any::<u64>(), a in any::<u64>()
+    ) {
+        // Adding statements can only grow the reachable set.
+        let sp = space(n);
+        let t1 = transition(&sp, s1);
+        let t2 = transition(&sp, s2);
+        let init = pred(&sp, a | 1).or(&Predicate::from_indices(&sp, [0]));
+        let one = FnTransformer::new(&sp, "SP1", {
+            let t1 = t1.clone();
+            move |x: &Predicate| sp_union(std::slice::from_ref(&t1), x)
+        });
+        let both = FnTransformer::new(&sp, "SP2", move |x: &Predicate| {
+            sp_union(&[t1.clone(), t2.clone()], x)
+        });
+        let si1 = strongest_invariant(&one, &init);
+        let si2 = strongest_invariant(&both, &init);
+        prop_assert!(si1.entails(&si2));
+    }
+
+    #[test]
+    fn wp_inter_is_conjunction_of_wps(n in 2u64..16, s1 in any::<u64>(), s2 in any::<u64>(), a in any::<u64>()) {
+        let sp = space(n);
+        let t1 = transition(&sp, s1);
+        let t2 = transition(&sp, s2);
+        let p = pred(&sp, a);
+        prop_assert_eq!(
+            wp_inter(&[t1.clone(), t2.clone()], &p),
+            t1.wp(&p).and(&t2.wp(&p))
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Rendering programs in the paper's UNITY notation.
+//!
+//! [`Program`] implements [`std::fmt::Display`], producing the §5 layout:
+//!
+//! ```text
+//! program figure1
+//! declare
+//!   shared : boolean
+//!   x : boolean
+//! processes
+//!   P0 = {shared}
+//!   P1 = {shared, x}
+//! init
+//!   1 state: {shared=false, x=false}
+//! assign
+//!     grant: shared := 1 if K{P0}(~x)
+//!  [] take: x := 1 || shared := 0 if shared
+//! ```
+//!
+//! Semantic (predicate) guards and functional updates, which have no
+//! syntactic form, are summarised by their state counts.
+
+use std::fmt;
+
+use crate::program::Program;
+use crate::statement::{Guard, Statement};
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let space = self.space();
+        writeln!(f, "program {}", self.name())?;
+        writeln!(f, "declare")?;
+        for v in space.vars() {
+            writeln!(f, "  {} : {}", space.name(v), space.domain(v))?;
+        }
+        if !self.processes().is_empty() {
+            writeln!(f, "processes")?;
+            for p in self.processes() {
+                let vars: Vec<&str> = p.view().iter().map(|v| space.name(v)).collect();
+                writeln!(f, "  {} = {{{}}}", p.name(), vars.join(", "))?;
+            }
+        }
+        writeln!(f, "init")?;
+        let init = self.init();
+        let count = init.count();
+        if count <= 4 {
+            let states: Vec<String> = init
+                .iter()
+                .map(|s| format!("{{{}}}", space.render_state(s)))
+                .collect();
+            writeln!(
+                f,
+                "  {} state{}: {}",
+                count,
+                if count == 1 { "" } else { "s" },
+                states.join(" ")
+            )?;
+        } else {
+            writeln!(f, "  {count} states")?;
+        }
+        writeln!(f, "assign")?;
+        for (i, stmt) in self.statements().iter().enumerate() {
+            let lead = if i == 0 { "   " } else { " []" };
+            writeln!(f, "{lead} {}", render_statement(stmt))?;
+        }
+        Ok(())
+    }
+}
+
+fn render_statement(stmt: &Statement) -> String {
+    let mut out = format!("{}: ", stmt.name());
+    let mut parts: Vec<String> = stmt
+        .assignments()
+        .iter()
+        .map(|(v, e)| format!("{v} := {e}"))
+        .collect();
+    if stmt.update_fn().is_some() {
+        parts.push("<function update>".to_owned());
+    }
+    if parts.is_empty() {
+        out.push_str("skip");
+    } else {
+        out.push_str(&parts.join(" || "));
+    }
+    match stmt.guard() {
+        Guard::Always => {}
+        Guard::Formula(g) => {
+            out.push_str(" if ");
+            out.push_str(&g.to_string());
+        }
+        Guard::Pred(p) => {
+            out.push_str(&format!(" if <semantic guard, {} states>", p.count()));
+        }
+    }
+    if !stmt.params().is_empty() {
+        let mut ps: Vec<String> = stmt
+            .params()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        ps.sort();
+        out.push_str(&format!("   [{}]", ps.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::program::Program;
+    use crate::statement::Statement;
+    use kpt_state::StateSpace;
+
+    #[test]
+    fn renders_paper_layout() {
+        let space = StateSpace::builder()
+            .bool_var("shared")
+            .unwrap()
+            .bool_var("x")
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("figure1", &space)
+            .init_str("~shared /\\ ~x")
+            .unwrap()
+            .process("P0", ["shared"])
+            .unwrap()
+            .process("P1", ["shared", "x"])
+            .unwrap()
+            .statement(
+                Statement::new("grant")
+                    .guard_str("K{P0}(~x)")
+                    .unwrap()
+                    .assign_str("shared", "1")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("take")
+                    .guard_str("shared")
+                    .unwrap()
+                    .assign_str("x", "1")
+                    .unwrap()
+                    .assign_str("shared", "0")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let text = program.to_string();
+        assert!(text.contains("program figure1"), "{text}");
+        assert!(text.contains("shared : boolean"), "{text}");
+        assert!(text.contains("P1 = {shared, x}"), "{text}");
+        assert!(text.contains("1 state: {shared=false, x=false}"), "{text}");
+        assert!(text.contains("grant: shared := 1 if K{P0}(~x)"), "{text}");
+        assert!(text.contains("[] take: x := 1 || shared := 0 if shared"), "{text}");
+    }
+
+    #[test]
+    fn renders_params_and_skip() {
+        let space = StateSpace::builder()
+            .nat_var("i", 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("quant", &space)
+            .statements(0..2, |k| {
+                Statement::new(format!("s{k}"))
+                    .param("k", k)
+                    .guard_str("i = k")
+                    .unwrap()
+            })
+            .build()
+            .unwrap();
+        let text = program.to_string();
+        assert!(text.contains("s0: skip if i = k   [k=0]"), "{text}");
+        assert!(text.contains("s1: skip if i = k   [k=1]"), "{text}");
+    }
+
+    #[test]
+    fn large_init_is_summarised() {
+        let space = StateSpace::builder()
+            .nat_var("i", 64)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("big", &space)
+            .statement(Statement::new("s"))
+            .build()
+            .unwrap();
+        assert!(program.to_string().contains("64 states"));
+    }
+}

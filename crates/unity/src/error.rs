@@ -1,0 +1,178 @@
+//! Errors for UNITY program construction, compilation and proof.
+
+use std::error::Error;
+use std::fmt;
+
+use kpt_logic::{EvalError, ParseError};
+use kpt_state::SpaceError;
+
+/// Errors arising while building or compiling a UNITY program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UnityError {
+    /// A state-space level problem (unknown variable, bad value, ...).
+    Space(SpaceError),
+    /// A concrete-syntax problem in a guard or assignment.
+    Parse(ParseError),
+    /// A semantic problem evaluating a guard or expression.
+    Eval(EvalError),
+    /// A program must have at least one statement (UNITY requires a
+    /// non-empty statement set).
+    NoStatements,
+    /// A guard mentions a knowledge modality but the program was compiled
+    /// as a *standard* program; use the knowledge-aware compilation path
+    /// (this is exactly the paper's distinction between standard protocols
+    /// and knowledge-based protocols, §4).
+    KnowledgeGuard {
+        /// Name of the offending statement.
+        statement: String,
+    },
+    /// An assignment produced a value outside the target variable's domain
+    /// in some guard-enabled state. The paper requires statements to be
+    /// total; on bounded instances guards must keep updates in range.
+    UpdateOutOfRange {
+        /// Name of the offending statement.
+        statement: String,
+        /// Target variable.
+        var: String,
+        /// A state (rendered) where the update escapes the domain.
+        state: String,
+        /// The offending computed value.
+        value: i64,
+    },
+    /// A process name was declared twice.
+    DuplicateProcess(String),
+    /// A process name was looked up but not declared.
+    UnknownProcess(String),
+    /// A statement name was declared twice.
+    DuplicateStatement(String),
+}
+
+impl fmt::Display for UnityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnityError::Space(e) => write!(f, "{e}"),
+            UnityError::Parse(e) => write!(f, "{e}"),
+            UnityError::Eval(e) => write!(f, "{e}"),
+            UnityError::NoStatements => {
+                write!(f, "a unity program requires at least one statement")
+            }
+            UnityError::KnowledgeGuard { statement } => write!(
+                f,
+                "statement `{statement}` has a knowledge guard; compile with knowledge semantics"
+            ),
+            UnityError::UpdateOutOfRange {
+                statement,
+                var,
+                state,
+                value,
+            } => write!(
+                f,
+                "statement `{statement}` assigns {value} to `{var}` in state {{{state}}}, outside its domain"
+            ),
+            UnityError::DuplicateProcess(name) => {
+                write!(f, "process `{name}` declared twice")
+            }
+            UnityError::UnknownProcess(name) => write!(f, "unknown process `{name}`"),
+            UnityError::DuplicateStatement(name) => {
+                write!(f, "statement `{name}` declared twice")
+            }
+        }
+    }
+}
+
+impl Error for UnityError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            UnityError::Space(e) => Some(e),
+            UnityError::Parse(e) => Some(e),
+            UnityError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpaceError> for UnityError {
+    fn from(e: SpaceError) -> Self {
+        UnityError::Space(e)
+    }
+}
+
+impl From<ParseError> for UnityError {
+    fn from(e: ParseError) -> Self {
+        UnityError::Parse(e)
+    }
+}
+
+impl From<EvalError> for UnityError {
+    fn from(e: EvalError) -> Self {
+        UnityError::Eval(e)
+    }
+}
+
+/// Errors from the certificate-producing proof kernel: a rule was applied
+/// whose side conditions do not hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProofError {
+    /// A semantic side condition (an `[..]` judgement) failed.
+    SideCondition {
+        /// The rule being applied.
+        rule: &'static str,
+        /// Which condition failed.
+        condition: String,
+    },
+    /// A premise theorem has the wrong shape for the rule.
+    PremiseShape {
+        /// The rule being applied.
+        rule: &'static str,
+        /// What was expected.
+        expected: String,
+    },
+    /// A primitive proof obligation (checked against the program text)
+    /// failed.
+    Obligation {
+        /// The rule being applied.
+        rule: &'static str,
+        /// Description of the failing obligation, with a witness state.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::SideCondition { rule, condition } => {
+                write!(f, "rule {rule}: side condition failed: {condition}")
+            }
+            ProofError::PremiseShape { rule, expected } => {
+                write!(f, "rule {rule}: premise has wrong shape, expected {expected}")
+            }
+            ProofError::Obligation { rule, detail } => {
+                write!(f, "rule {rule}: obligation failed: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ProofError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = UnityError::KnowledgeGuard {
+            statement: "s0".into(),
+        };
+        assert!(e.to_string().contains("s0"));
+        let e: UnityError = SpaceError::SpaceMismatch.into();
+        assert!(Error::source(&e).is_some());
+        let p = ProofError::SideCondition {
+            rule: "psp",
+            condition: "[q => r]".into(),
+        };
+        assert!(p.to_string().contains("psp"));
+    }
+}

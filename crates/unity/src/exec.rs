@@ -1,0 +1,336 @@
+//! Fair interleaved execution of compiled programs.
+//!
+//! §5: "An execution of a program begins in a state satisfying init, then
+//! repeatedly executes, atomically, statements of the program. The choice of
+//! the statement to execute at each step is non-deterministic with a
+//! fairness constraint that each statement must be attempted infinitely
+//! often."
+//!
+//! This module provides fair [`Scheduler`]s (round-robin and random-
+//! permutation), finite [`Run`] prefixes, and an explicit BFS over the
+//! transition graph ([`reachable`]) which — by the paper's eq. (5) — must
+//! coincide with the strongest invariant `SI`. That equality is the
+//! cross-validation used by experiment E10.
+
+use kpt_state::Predicate;
+use rand::prelude::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::compiled::CompiledProgram;
+
+/// A statement scheduler. Fair schedulers must schedule every statement
+/// index infinitely often.
+pub trait Scheduler {
+    /// Choose the next statement to execute, given the statement count.
+    fn next_statement(&mut self, num_statements: usize) -> usize;
+}
+
+/// The canonical fair scheduler: cycles through statements in order.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    k: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin scheduler starting at statement 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next_statement(&mut self, num_statements: usize) -> usize {
+        let s = self.k % num_statements;
+        self.k = (self.k + 1) % num_statements;
+        s
+    }
+}
+
+/// A randomised fair scheduler: each "round" executes all statements in a
+/// fresh random permutation, so every statement fires at least once per
+/// round (fairness with a bounded window).
+#[derive(Debug, Clone)]
+pub struct RandomFair {
+    rng: StdRng,
+    perm: Vec<usize>,
+    pos: usize,
+}
+
+impl RandomFair {
+    /// A random fair scheduler with a deterministic seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomFair {
+            rng: StdRng::seed_from_u64(seed),
+            perm: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Scheduler for RandomFair {
+    fn next_statement(&mut self, num_statements: usize) -> usize {
+        if self.pos >= self.perm.len() || self.perm.len() != num_statements {
+            self.perm = (0..num_statements).collect();
+            self.perm.shuffle(&mut self.rng);
+            self.pos = 0;
+        }
+        let s = self.perm[self.pos];
+        self.pos += 1;
+        s
+    }
+}
+
+/// A finite prefix of an execution: the start state and the sequence of
+/// (statement index, post-state) pairs.
+#[derive(Debug, Clone)]
+pub struct Run {
+    start: u64,
+    steps: Vec<(usize, u64)>,
+}
+
+impl Run {
+    /// The start state.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// The (statement, post-state) steps.
+    pub fn steps(&self) -> &[(usize, u64)] {
+        &self.steps
+    }
+
+    /// The final state of the prefix.
+    pub fn final_state(&self) -> u64 {
+        self.steps.last().map_or(self.start, |&(_, s)| s)
+    }
+
+    /// All states visited, starting with the start state.
+    pub fn states(&self) -> impl Iterator<Item = u64> + '_ {
+        std::iter::once(self.start).chain(self.steps.iter().map(|&(_, s)| s))
+    }
+
+    /// Whether the run visits a state satisfying `p`.
+    pub fn visits(&self, p: &Predicate) -> bool {
+        self.states().any(|s| p.holds(s))
+    }
+
+    /// The first position (0 = start state) at which `p` holds, if any.
+    pub fn first_visit(&self, p: &Predicate) -> Option<usize> {
+        self.states().position(|s| p.holds(s))
+    }
+
+    /// Monitor a formula along the run: whether it holds at *every* visited
+    /// state (uses the `O(|φ|)` single-state evaluator).
+    ///
+    /// # Errors
+    /// Evaluation errors from the formula.
+    pub fn all_satisfy(
+        &self,
+        ctx: &kpt_logic::EvalContext<'_>,
+        f: &kpt_logic::Formula,
+    ) -> Result<bool, kpt_logic::EvalError> {
+        for s in self.states() {
+            if !ctx.holds_at(f, s)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The first position at which the formula holds, if any.
+    ///
+    /// # Errors
+    /// Evaluation errors from the formula.
+    pub fn first_satisfying(
+        &self,
+        ctx: &kpt_logic::EvalContext<'_>,
+        f: &kpt_logic::Formula,
+    ) -> Result<Option<usize>, kpt_logic::EvalError> {
+        for (i, s) in self.states().enumerate() {
+            if ctx.holds_at(f, s)? {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Execute `steps` statements from `start` under the given scheduler.
+///
+/// # Panics
+/// Panics if the program has no statements or `start` is out of range.
+pub fn execute(
+    program: &CompiledProgram,
+    start: u64,
+    steps: usize,
+    scheduler: &mut dyn Scheduler,
+) -> Run {
+    assert!(program.num_statements() > 0, "program has no statements");
+    let mut state = start;
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let s = scheduler.next_statement(program.num_statements());
+        state = program.step(s, state);
+        out.push((s, state));
+    }
+    Run { start, steps: out }
+}
+
+/// The exact set of states reachable from `init` by any interleaving —
+/// computed by explicit BFS, independently of the `sst` fixpoint. By eq. (5)
+/// this must equal [`CompiledProgram::si`]; the library asserts this in
+/// tests rather than assuming it.
+#[must_use]
+pub fn reachable(program: &CompiledProgram) -> Predicate {
+    let space = program.space();
+    let n = space.num_states() as usize;
+    let mut seen = vec![false; n];
+    let mut queue: Vec<u64> = Vec::new();
+    for s in program.init().iter() {
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            queue.push(s);
+        }
+    }
+    while let Some(s) = queue.pop() {
+        for t in 0..program.num_statements() {
+            let nxt = program.step(t, s);
+            if !seen[nxt as usize] {
+                seen[nxt as usize] = true;
+                queue.push(nxt);
+            }
+        }
+    }
+    Predicate::from_fn(space, |idx| seen[idx as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::statement::Statement;
+    use kpt_state::StateSpace;
+
+    fn two_counter() -> CompiledProgram {
+        let space = StateSpace::builder()
+            .nat_var("a", 4)
+            .unwrap()
+            .nat_var("b", 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        Program::builder("two", &space)
+            .init_str("a = 0 /\\ b = 0")
+            .unwrap()
+            .statement(
+                Statement::new("inc_a")
+                    .guard_str("a < 3")
+                    .unwrap()
+                    .assign_str("a", "a + 1")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("inc_b")
+                    .guard_str("b < 3")
+                    .unwrap()
+                    .assign_str("b", "b + 1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+            .compile()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut rr = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|_| rr.next_statement(3)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_fair_covers_every_round() {
+        let mut rf = RandomFair::seeded(42);
+        for _ in 0..10 {
+            let round: Vec<usize> = (0..5).map(|_| rf.next_statement(5)).collect();
+            let mut sorted = round.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "round {round:?} not a permutation");
+        }
+    }
+
+    #[test]
+    fn execution_reaches_fixed_point() {
+        let c = two_counter();
+        let mut rr = RoundRobin::new();
+        let run = execute(&c, 0, 20, &mut rr);
+        assert_eq!(run.start(), 0);
+        assert_eq!(run.steps().len(), 20);
+        let fp = c.fixed_point();
+        assert!(fp.holds(run.final_state()));
+        // a = b = 3 at the fixed point.
+        let sp = c.space().clone();
+        assert_eq!(sp.value(run.final_state(), sp.var("a").unwrap()), 3);
+        assert_eq!(sp.value(run.final_state(), sp.var("b").unwrap()), 3);
+    }
+
+    #[test]
+    fn run_visit_queries() {
+        let c = two_counter();
+        let sp = c.space().clone();
+        let mut rr = RoundRobin::new();
+        let run = execute(&c, 0, 10, &mut rr);
+        let a2 = Predicate::var_eq(&sp, sp.var("a").unwrap(), 2);
+        assert!(run.visits(&a2));
+        assert!(run.first_visit(&a2).unwrap() > 0);
+        let init = Predicate::from_indices(&sp, [0]);
+        assert_eq!(run.first_visit(&init), Some(0));
+        let never = Predicate::ff(&sp);
+        assert!(!run.visits(&never));
+        assert_eq!(run.first_visit(&never), None);
+    }
+
+    #[test]
+    fn reachable_equals_si() {
+        // Experiment E10's core identity, on a small program.
+        let c = two_counter();
+        assert_eq!(&reachable(&c), c.si());
+    }
+
+    #[test]
+    fn random_fair_execution_also_reaches_fixed_point() {
+        let c = two_counter();
+        let mut rf = RandomFair::seeded(7);
+        let run = execute(&c, 0, 50, &mut rf);
+        assert!(c.fixed_point().holds(run.final_state()));
+    }
+
+    #[test]
+    fn run_formula_monitoring() {
+        let c = two_counter();
+        let sp = c.space().clone();
+        let ctx = kpt_logic::EvalContext::new(&sp);
+        let mut rr = RoundRobin::new();
+        let run = execute(&c, 0, 12, &mut rr);
+        // a <= 3 holds everywhere; a = 3 first happens later in the run.
+        let bound = kpt_logic::parse_formula("a <= 3").unwrap();
+        assert!(run.all_satisfy(&ctx, &bound).unwrap());
+        let top = kpt_logic::parse_formula("a = 3 /\\ b = 3").unwrap();
+        let pos = run.first_satisfying(&ctx, &top).unwrap();
+        assert!(pos.is_some());
+        assert!(pos.unwrap() > 0);
+        let never = kpt_logic::parse_formula("a = 3 /\\ b = 0").unwrap();
+        assert_eq!(run.first_satisfying(&ctx, &never).unwrap(), None);
+        assert!(!run.all_satisfy(&ctx, &top).unwrap());
+    }
+
+    #[test]
+    fn states_iterator_has_length_steps_plus_one() {
+        let c = two_counter();
+        let mut rr = RoundRobin::new();
+        let run = execute(&c, 0, 5, &mut rr);
+        assert_eq!(run.states().count(), 6);
+    }
+}

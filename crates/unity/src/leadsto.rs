@@ -1,0 +1,586 @@
+//! Deciding `p ↦ q` (leads-to) under UNITY's unconditional fairness.
+//!
+//! UNITY's execution model (§5): statements are chosen nondeterministically
+//! with the fairness constraint that *every statement is attempted
+//! infinitely often*. Statements are deterministic and total, so a run is
+//! determined by its start state and the infinite statement schedule.
+//!
+//! `p ↦ q` fails exactly when some reachable `p ∧ ¬q` state admits a fair
+//! schedule whose run never visits `q`. On a finite space this is decidable
+//! by graph analysis:
+//!
+//! Let `H` be the subgraph of `SI ∧ ¬q` states with a labelled edge
+//! `s →ₜ t(s)` for each statement `t` that stays in `H`. A fair q-avoiding
+//! run exists from `s₀` iff `s₀` can reach (within `H`) a strongly
+//! connected component `C` such that **every statement has an edge inside
+//! `C`** (`∃ c ∈ C : t(c) ∈ C`): the run can walk `C` (it is strongly
+//! connected), pausing at a suitable state to execute each statement
+//! without leaving, so every statement fires infinitely often. Conversely
+//! the states visited infinitely often by a fair avoiding run form such a
+//! component. We call these *fair traps*.
+//!
+//! The checker therefore: builds `H`, finds its SCCs (iterative Tarjan),
+//! marks fair traps, and BFSes forward from `p ∧ SI ∧ ¬q`.
+
+use kpt_state::Predicate;
+
+use crate::compiled::CompiledProgram;
+
+/// The result of a leads-to query, with diagnostics.
+#[derive(Debug, Clone)]
+pub struct LeadsToReport {
+    holds: bool,
+    counterexample: Option<LeadsToCounterexample>,
+    stats: LeadsToStats,
+}
+
+impl LeadsToReport {
+    /// Whether `p ↦ q` holds.
+    pub fn holds(&self) -> bool {
+        self.holds
+    }
+
+    /// A counterexample when the property fails.
+    pub fn counterexample(&self) -> Option<&LeadsToCounterexample> {
+        self.counterexample.as_ref()
+    }
+
+    /// Size statistics of the analysis.
+    pub fn stats(&self) -> LeadsToStats {
+        self.stats
+    }
+}
+
+/// Witness of a leads-to failure.
+#[derive(Debug, Clone)]
+pub struct LeadsToCounterexample {
+    /// A reachable `p ∧ ¬q` state from which `q` can be avoided fairly.
+    pub start: u64,
+    /// A path (state indices) from `start` into the fair trap.
+    pub path: Vec<u64>,
+    /// The statement indices realising `path` — an executable prefix of
+    /// the adversarial schedule (`path[i+1] = step(schedule[i], path[i])`).
+    pub schedule: Vec<usize>,
+    /// States of the fair trap the adversarial scheduler can circulate in
+    /// forever (capped at 16 for reporting).
+    pub trap: Vec<u64>,
+}
+
+/// Size statistics for a leads-to analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeadsToStats {
+    /// Number of `SI ∧ ¬q` states analysed.
+    pub avoid_states: usize,
+    /// Number of SCCs in the avoid-graph.
+    pub sccs: usize,
+    /// Number of fair traps found.
+    pub fair_traps: usize,
+}
+
+/// Decide `p ↦ q` for a compiled program. See the module docs for the
+/// algorithm.
+pub fn leads_to(program: &CompiledProgram, p: &Predicate, q: &Predicate) -> LeadsToReport {
+    let si = program.si();
+    let avoid = si.minus(q);
+    let states: Vec<u64> = avoid.iter().collect();
+    let n = states.len();
+    let id_of = |state: u64| -> Option<usize> { states.binary_search(&state).ok() };
+    let num_stmts = program.num_statements();
+
+    // Adjacency: per compact state, successors (compact) per statement that
+    // stay inside the avoid region.
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n]; // (stmt, succ)
+    for (cid, &s) in states.iter().enumerate() {
+        for t in 0..num_stmts {
+            let nxt = program.step(t, s);
+            if let Some(nid) = id_of(nxt) {
+                adj[cid].push((t as u32, nid as u32));
+            }
+        }
+    }
+
+    // Iterative Tarjan SCC.
+    let comp = tarjan(n, &adj);
+    let num_comps = comp.iter().copied().max().map_or(0, |m| m as usize + 1);
+
+    // A component is a fair trap iff every statement has an internal edge.
+    let mut stmt_seen: Vec<u64> = vec![0; num_comps]; // bitmask over statements (≤ 64)
+    let wide = num_stmts > 64;
+    let mut stmt_seen_wide: Vec<Vec<bool>> = if wide {
+        vec![vec![false; num_stmts]; num_comps]
+    } else {
+        Vec::new()
+    };
+    for (cid, edges) in adj.iter().enumerate() {
+        let c = comp[cid] as usize;
+        for &(t, nid) in edges {
+            if comp[nid as usize] as usize == c {
+                if wide {
+                    stmt_seen_wide[c][t as usize] = true;
+                } else {
+                    stmt_seen[c] |= 1u64 << t;
+                }
+            }
+        }
+    }
+    let is_trap: Vec<bool> = (0..num_comps)
+        .map(|c| {
+            if wide {
+                stmt_seen_wide[c].iter().all(|&b| b)
+            } else if num_stmts == 64 {
+                stmt_seen[c] == u64::MAX
+            } else {
+                stmt_seen[c] == (1u64 << num_stmts) - 1
+            }
+        })
+        .collect();
+    let fair_traps = is_trap.iter().filter(|&&b| b).count();
+
+    let stats = LeadsToStats {
+        avoid_states: n,
+        sccs: num_comps,
+        fair_traps,
+    };
+
+    // Forward BFS from p ∧ SI ∧ ¬q.
+    let start_pred = p.and(&avoid);
+    let mut parent: Vec<u32> = vec![u32::MAX; n];
+    let mut parent_stmt: Vec<u32> = vec![u32::MAX; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in start_pred.iter() {
+        if let Some(cid) = id_of(s) {
+            if !visited[cid] {
+                visited[cid] = true;
+                queue.push_back(cid as u32);
+            }
+        }
+    }
+    let mut hit: Option<usize> = None;
+    'bfs: while let Some(cid) = queue.pop_front() {
+        if is_trap[comp[cid as usize] as usize] {
+            hit = Some(cid as usize);
+            break 'bfs;
+        }
+        for &(t, nid) in &adj[cid as usize] {
+            if !visited[nid as usize] {
+                visited[nid as usize] = true;
+                parent[nid as usize] = cid;
+                parent_stmt[nid as usize] = t;
+                queue.push_back(nid);
+            }
+        }
+    }
+
+    match hit {
+        None => LeadsToReport {
+            holds: true,
+            counterexample: None,
+            stats,
+        },
+        Some(cid) => {
+            // Reconstruct the path (and its statement schedule) back to a
+            // start state.
+            let mut path = vec![states[cid]];
+            let mut schedule: Vec<usize> = Vec::new();
+            let mut cur = cid;
+            while parent[cur] != u32::MAX {
+                schedule.push(parent_stmt[cur] as usize);
+                cur = parent[cur] as usize;
+                path.push(states[cur]);
+            }
+            path.reverse();
+            schedule.reverse();
+            let trap_comp = comp[cid] as usize;
+            let trap: Vec<u64> = (0..n)
+                .filter(|&i| comp[i] as usize == trap_comp)
+                .take(16)
+                .map(|i| states[i])
+                .collect();
+            LeadsToReport {
+                holds: false,
+                counterexample: Some(LeadsToCounterexample {
+                    start: path[0],
+                    path,
+                    schedule,
+                    trap,
+                }),
+                stats,
+            }
+        }
+    }
+}
+
+/// Iterative Tarjan SCC; returns the component id of each node (ids are
+/// assigned in reverse topological order of discovery).
+fn tarjan(n: usize, adj: &[Vec<(u32, u32)>]) -> Vec<u32> {
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    // Explicit DFS frames: (node, edge cursor).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root as u32, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let v = v as usize;
+            if (*cursor as usize) < adj[v].len() {
+                let (_, w) = adj[v][*cursor as usize];
+                *cursor += 1;
+                let w = w as usize;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if lowlink[v] == index[v] {
+                    // v is an SCC root.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow") as usize;
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                if let Some(&(u, _)) = frames.last() {
+                    let u = u as usize;
+                    lowlink[u] = lowlink[u].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::statement::Statement;
+    use kpt_state::StateSpace;
+
+    fn simple_counter(n: u64) -> CompiledProgram {
+        let space = StateSpace::builder()
+            .nat_var("i", n)
+            .unwrap()
+            .build()
+            .unwrap();
+        Program::builder("counter", &space)
+            .init_str("i = 0")
+            .unwrap()
+            .statement(
+                Statement::new("inc")
+                    .guard_formula(
+                        kpt_logic::parse_formula(&format!("i < {}", n - 1)).unwrap(),
+                    )
+                    .assign_str("i", "i + 1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+            .compile()
+            .unwrap()
+    }
+
+    #[test]
+    fn counter_reaches_top() {
+        let c = simple_counter(5);
+        let sp = c.space().clone();
+        let i = sp.var("i").unwrap();
+        // true ↦ i = 4 (the single statement must fire, driving i up).
+        let report = c.leads_to(&Predicate::tt(&sp), &Predicate::var_eq(&sp, i, 4));
+        assert!(report.holds(), "{report:?}");
+        // i = 0 ↦ i = 2.
+        assert!(c.leads_to_holds(
+            &Predicate::var_eq(&sp, i, 0),
+            &Predicate::var_eq(&sp, i, 2)
+        ));
+        // i = 2 does NOT lead back to i = 0 (unreachable backwards).
+        assert!(!c.leads_to_holds(
+            &Predicate::var_eq(&sp, i, 2),
+            &Predicate::var_eq(&sp, i, 0)
+        ));
+    }
+
+    #[test]
+    fn nondeterministic_choice_without_fairness_on_values() {
+        // Two statements: one increments i, one sets flag. Fairness over
+        // statements guarantees both eventually fire.
+        let space = StateSpace::builder()
+            .nat_var("i", 3)
+            .unwrap()
+            .bool_var("flag")
+            .unwrap()
+            .build()
+            .unwrap();
+        let c = Program::builder("two", &space)
+            .init_str("i = 0 /\\ ~flag")
+            .unwrap()
+            .statement(
+                Statement::new("inc")
+                    .guard_str("i < 2")
+                    .unwrap()
+                    .assign_str("i", "i + 1")
+                    .unwrap(),
+            )
+            .statement(Statement::new("raise").assign_str("flag", "1").unwrap())
+            .build()
+            .unwrap()
+            .compile()
+            .unwrap();
+        let sp = c.space().clone();
+        let flag = Predicate::var_is_true(&sp, sp.var("flag").unwrap());
+        assert!(c.leads_to_holds(&Predicate::tt(&sp), &flag));
+        let i2 = Predicate::var_eq(&sp, sp.var("i").unwrap(), 2);
+        assert!(c.leads_to_holds(&Predicate::tt(&sp), &i2.and(&flag)));
+    }
+
+    #[test]
+    fn adversarial_scheduler_found() {
+        // x flips between 0 and 1 via two statements; y := 1 only when
+        // x = 1 via a third statement whose guard the scheduler can dodge:
+        // execute "set_y" only when x = 0. true ↦ y must FAIL.
+        let space = StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .bool_var("y")
+            .unwrap()
+            .build()
+            .unwrap();
+        let c = Program::builder("dodge", &space)
+            .init_str("~x /\\ ~y")
+            .unwrap()
+            .statement(
+                Statement::new("x_up")
+                    .guard_str("~x")
+                    .unwrap()
+                    .assign_str("x", "1")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("x_down")
+                    .guard_str("x")
+                    .unwrap()
+                    .assign_str("x", "0")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("set_y")
+                    .guard_str("x")
+                    .unwrap()
+                    .assign_str("y", "1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+            .compile()
+            .unwrap();
+        let sp = c.space().clone();
+        let y = Predicate::var_is_true(&sp, sp.var("y").unwrap());
+        let report = c.leads_to(&Predicate::tt(&sp), &y);
+        // The scheduler can run set_y only at x=0 states (no effect), so a
+        // fair avoiding run exists.
+        assert!(!report.holds());
+        let ce = report.counterexample().unwrap();
+        assert!(!ce.trap.is_empty());
+        assert!(!y.holds(ce.start));
+        // The trap must not intersect y.
+        for &s in &ce.trap {
+            assert!(!y.holds(s));
+        }
+    }
+
+    #[test]
+    fn ensures_implies_leads_to() {
+        let c = simple_counter(4);
+        let sp = c.space().clone();
+        let i = sp.var("i").unwrap();
+        for k in 0..3 {
+            let p = Predicate::var_eq(&sp, i, k);
+            let q = Predicate::var_eq(&sp, i, k + 1);
+            assert!(c.ensures(&p, &q));
+            assert!(c.leads_to_holds(&p, &q));
+        }
+    }
+
+    #[test]
+    fn leads_to_q_already_true() {
+        let c = simple_counter(4);
+        let sp = c.space().clone();
+        // p ↦ p trivially (reflexive).
+        let i = sp.var("i").unwrap();
+        let p = Predicate::var_eq(&sp, i, 1);
+        assert!(c.leads_to_holds(&p, &p));
+        // p ↦ true always.
+        assert!(c.leads_to_holds(&p, &Predicate::tt(&sp)));
+        // false ↦ anything.
+        assert!(c.leads_to_holds(&Predicate::ff(&sp), &Predicate::ff(&sp)));
+    }
+
+    #[test]
+    fn unreachable_p_states_are_ignored() {
+        let c = simple_counter(4);
+        let sp = c.space().clone();
+        let i = sp.var("i").unwrap();
+        // From i = 3 the program is stuck at 3 (guard i < 3), so i=3 ↦ i=0
+        // fails; but restrict p to unreachable... everything is reachable
+        // here. Instead: a program with init i=2; states 0,1 unreachable.
+        let space = sp.clone();
+        let c2 = Program::builder("c2", &space)
+            .init_str("i = 2")
+            .unwrap()
+            .statement(
+                Statement::new("inc")
+                    .guard_str("i < 3")
+                    .unwrap()
+                    .assign_str("i", "i + 1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+            .compile()
+            .unwrap();
+        // i = 0 is unreachable, so i = 0 ↦ false holds vacuously.
+        assert!(c2.leads_to_holds(
+            &Predicate::var_eq(&space, i, 0),
+            &Predicate::ff(&space)
+        ));
+        // But i = 2 ↦ false fails.
+        assert!(!c2.leads_to_holds(
+            &Predicate::var_eq(&space, i, 2),
+            &Predicate::ff(&space)
+        ));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let c = simple_counter(6);
+        let sp = c.space().clone();
+        let i = sp.var("i").unwrap();
+        let r = c.leads_to(&Predicate::tt(&sp), &Predicate::var_eq(&sp, i, 5));
+        assert!(r.holds());
+        assert_eq!(r.stats().avoid_states, 5);
+        // Chain of singleton SCCs, none a trap (the single statement always
+        // escapes or moves forward; state 4 moves to 5 which is q).
+        assert_eq!(r.stats().fair_traps, 0);
+    }
+
+    #[test]
+    fn trivial_self_loop_is_a_fair_trap() {
+        // One statement, identity at state 2 (guard false there): fixpoint
+        // avoiding q forever.
+        let c = simple_counter(4); // inc if i < 3; state 3 is a fixpoint
+        let sp = c.space().clone();
+        let i = sp.var("i").unwrap();
+        let r = c.leads_to(&Predicate::var_eq(&sp, i, 3), &Predicate::var_eq(&sp, i, 0));
+        assert!(!r.holds());
+        let ce = r.counterexample().unwrap();
+        assert_eq!(ce.trap, vec![3]);
+        assert_eq!(ce.path, vec![3]);
+        assert!(ce.schedule.is_empty());
+    }
+
+    #[test]
+    fn counterexample_schedules_are_executable() {
+        // The reported schedule must replay exactly: each step of `path`
+        // is produced by the corresponding statement.
+        let space = StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .bool_var("y")
+            .unwrap()
+            .nat_var("k", 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let c = Program::builder("dodge", &space)
+            .init_str("~x /\\ ~y /\\ k = 0")
+            .unwrap()
+            .statement(
+                Statement::new("walk")
+                    .guard_str("k < 3")
+                    .unwrap()
+                    .assign_str("k", "k + 1")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("x_up")
+                    .guard_str("~x /\\ k = 3")
+                    .unwrap()
+                    .assign_str("x", "1")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("x_dn")
+                    .guard_str("x")
+                    .unwrap()
+                    .assign_str("x", "0")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("latch")
+                    .guard_str("x")
+                    .unwrap()
+                    .assign_str("y", "1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+            .compile()
+            .unwrap();
+        let sp = c.space().clone();
+        let y = Predicate::var_is_true(&sp, sp.var("y").unwrap());
+        let r = c.leads_to(&Predicate::tt(&sp), &y);
+        assert!(!r.holds());
+        let ce = r.counterexample().unwrap();
+        assert_eq!(ce.schedule.len() + 1, ce.path.len());
+        let mut st = ce.start;
+        for (stmt, &expected) in ce.schedule.iter().zip(&ce.path[1..]) {
+            st = c.step(*stmt, st);
+            assert_eq!(st, expected);
+            assert!(!y.holds(st), "the schedule must avoid q");
+        }
+        // The end of the path lies in the reported trap's component.
+        assert!(ce.trap.contains(ce.path.last().unwrap()));
+    }
+
+    #[test]
+    fn tarjan_on_known_graph() {
+        // 0→1→2→0 (one SCC), 2→3, 3→3 (self loop SCC).
+        let adj = vec![
+            vec![(0u32, 1u32)],
+            vec![(0, 2)],
+            vec![(0, 0), (0, 3)],
+            vec![(0, 3)],
+        ];
+        let comp = tarjan(4, &adj);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+    }
+}

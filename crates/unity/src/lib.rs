@@ -1,0 +1,77 @@
+//! # kpt-unity: UNITY programs, proof theory, model checking, execution
+//!
+//! The programming-theory substrate of the `knowledge-pt` reproduction
+//! (§5 of the paper): Chandy–Misra UNITY in the slightly modified form of
+//! \[San91\], extended with the minimal notion of a *process* (a subset of
+//! program variables) that knowledge is defined against.
+//!
+//! ## What's here
+//!
+//! * [`Statement`] — guarded, multiple, deterministic, terminating
+//!   assignments; guards may be formulas over the program variables and may
+//!   mention the knowledge modality `K{i}(..)` (making the program a
+//!   *knowledge-based protocol*, §4).
+//! * [`Program`]/[`ProgramBuilder`] — declarations, `init`, processes and a
+//!   non-empty statement set; quantified statement generation via
+//!   [`ProgramBuilder::statements`].
+//! * [`CompiledProgram`] — exact transition semantics, with the property
+//!   deciders: `invariant` (eq. 5), `unless` (27), `ensures` (28),
+//!   `stable` (33), the fixed-point predicate `FP`, and the strongest
+//!   invariant `SI` (cached).
+//! * [`leads_to`] — a decision procedure for `p ↦ q` under UNITY's
+//!   unconditional statement fairness (SCC analysis of the `¬q` subgraph),
+//!   with counterexample schedules.
+//! * [`ProofContext`] — a certificate-producing proof kernel: the primitive
+//!   rules (27)–(33) checked against the program text, the leads-to
+//!   introduction rules (29)–(31), and *all* §8 metatheorems (substitution,
+//!   consequence weakening, conjunction, cancellation, generalized
+//!   disjunction, PSP), plus well-founded induction. Assumptions (the
+//!   paper's `properties` sections) are first-class and tracked.
+//! * [`execute`]/[`RoundRobin`]/[`RandomFair`] — fair interleaved execution,
+//!   and [`reachable`] — BFS reachability, which must coincide with `SI`.
+//!
+//! ## Example
+//!
+//! ```
+//! use kpt_state::{Predicate, StateSpace};
+//! use kpt_unity::{Program, Statement};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The nondeterministic two-phase toggle: x flips forever; y latches.
+//! let space = StateSpace::builder().bool_var("x")?.bool_var("y")?.build()?;
+//! let program = Program::builder("toggle", &space)
+//!     .init_str("~x /\\ ~y")?
+//!     .statement(Statement::new("flip_up").guard_str("~x")?.assign_str("x", "1")?)
+//!     .statement(Statement::new("flip_dn").guard_str("x")?.assign_str("x", "0")?)
+//!     .statement(Statement::new("latch").guard_str("x")?.assign_str("y", "1")?)
+//!     .build()?
+//!     .compile()?;
+//! let y = Predicate::var_is_true(&space, space.var("y")?);
+//! // The adversary can always run `latch` while ~x, so true ↦ y fails:
+//! assert!(!program.leads_to_holds(&Predicate::tt(&space), &y));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod compiled;
+mod display;
+mod error;
+mod exec;
+mod leadsto;
+mod mixed;
+mod parse;
+mod program;
+mod proof;
+mod statement;
+
+pub use compiled::CompiledProgram;
+pub use error::{ProofError, UnityError};
+pub use exec::{execute, reachable, RandomFair, RoundRobin, Run, Scheduler};
+pub use leadsto::{leads_to, LeadsToCounterexample, LeadsToReport, LeadsToStats};
+pub use mixed::{Implementability, MixedSpec};
+pub use parse::parse_program;
+pub use program::{Process, Program, ProgramBuilder};
+pub use proof::{ProofContext, Property, Thm};
+pub use statement::{Guard, Statement, Update, UpdateFn};

@@ -1,0 +1,85 @@
+//! Experiment E11 — the refinements §6 points to, raced in simulation:
+//! the eager Figure-4 protocol, the alternating-bit protocol, and
+//! Stenning's timeout protocol, across channel fault rates.
+//!
+//! Run with: `cargo run --release --example protocol_race`
+
+use knowledge_pt::seqtrans::altbit::{abp_config, run_altbit};
+use knowledge_pt::seqtrans::auy::{auy_config, run_auy};
+use knowledge_pt::seqtrans::sim::{run_standard, SimConfig};
+use knowledge_pt::seqtrans::stenning::{run_stenning, StenningPolicy};
+use knowledge_pt::seqtrans::{AltBitModel, ModelOptions, StandardModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bounded models first: both refinements are verified, and ABP is the
+    // smaller machine (the point of refining).
+    let fig4 = StandardModel::build(2, 2, ModelOptions::default())?;
+    let abp = AltBitModel::build(2, 2)?;
+    let fig4_c = fig4.compile()?;
+    let abp_c = abp.compile()?;
+    println!("== bounded verification ==");
+    println!(
+        "Figure-4 model: {:>8} states, spec holds: {}",
+        fig4.space().num_states(),
+        fig4_c.invariant(&fig4.w_prefix_of_x())
+            && (0..2).all(|k| fig4_c.leads_to_holds(&fig4.j_eq(k), &fig4.j_gt(k)))
+    );
+    println!(
+        "ABP model     : {:>8} states, spec holds: {}",
+        abp.space().num_states(),
+        abp_c.invariant(&abp.w_prefix_of_x())
+            && (0..2).all(|k| abp_c.leads_to_holds(&abp.j_eq(k), &abp.j_gt(k)))
+    );
+
+    // Simulation race.
+    let n = 60usize;
+    let x: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+    let runs = 20u64;
+    println!("\n== simulation: total messages to deliver {n} elements (mean of {runs} seeds) ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>16}",
+        "fault rate", "figure-4", "alt-bit", "stenning", "AUY (1-bit msgs)"
+    );
+    for rate in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let mut sums = [0u64; 4];
+        for seed in 0..runs {
+            let eager = if rate == 0.0 {
+                SimConfig::reliable(x.clone())
+            } else {
+                SimConfig::faulty(x.clone(), rate, seed)
+            };
+            let r = run_standard(&eager);
+            assert!(r.completed);
+            sums[0] += r.total_messages();
+
+            let r = run_altbit(&abp_config(x.clone(), rate, seed));
+            assert!(r.completed);
+            sums[1] += r.total_messages();
+
+            let r = run_stenning(&eager, StenningPolicy::default());
+            assert!(r.completed);
+            sums[2] += r.total_messages();
+
+            let r = run_auy(&auy_config(x.clone(), rate, seed), 2);
+            assert!(r.completed);
+            sums[3] += r.total_messages();
+        }
+        println!(
+            "{:>10.1} {:>14.1} {:>14.1} {:>14.1} {:>16.1}",
+            rate,
+            sums[0] as f64 / runs as f64,
+            sums[1] as f64 / runs as f64,
+            sums[2] as f64 / runs as f64,
+            sums[3] as f64 / runs as f64
+        );
+    }
+    println!(
+        "\n=> The eager Figure-4 sender dominates on message count (it retransmits every\n   \
+         step); Stenning's timeout brings the reliable-channel cost down to ~one data\n   \
+         message per element; the alternating-bit protocol sits between, paying for\n   \
+         per-frame acknowledgement; the AUY-model protocol pays the one-bit-message\n   \
+         constraint (3 bit-messages per logical bit) but each message is tiny.\n   \
+         Crossovers move with the fault rate."
+    );
+    Ok(())
+}

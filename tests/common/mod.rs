@@ -1,0 +1,134 @@
+//! Shared generators for the integration/property tests: random small
+//! state spaces, random predicates, and random UNITY programs.
+
+use std::sync::Arc;
+
+use knowledge_pt::prelude::*;
+use proptest::prelude::*;
+
+/// A description of a random program, kept `Debug`-friendly so proptest can
+/// shrink it.
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // each test binary uses a different subset
+pub struct ProgramSpec {
+    /// Domain size per variable (2..=3), 2..=3 variables.
+    pub domains: Vec<u64>,
+    /// Initial-state mask (over `num_states` bits, at least one set).
+    pub init_mask: u64,
+    /// Per statement: (guard mask, target var, update kind).
+    pub statements: Vec<(u64, usize, UpdateKind)>,
+    /// Process views: one per variable subset sample.
+    pub views: Vec<u64>,
+}
+
+/// Deterministic update shapes.
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)] // each test binary uses a different subset
+pub enum UpdateKind {
+    /// `v := c`.
+    Const(u64),
+    /// `v := (v + 1) mod |dom v|`.
+    Incr,
+    /// `v := value of variable w (mod |dom v|)`.
+    Copy(usize),
+}
+
+impl ProgramSpec {
+    /// Total number of states.
+    #[allow(dead_code)] // used by some, not all, test binaries
+    pub fn num_states(&self) -> u64 {
+        self.domains.iter().product()
+    }
+
+    /// Build the state space.
+    pub fn space(&self) -> Arc<StateSpace> {
+        let mut b = StateSpace::builder();
+        for (i, &d) in self.domains.iter().enumerate() {
+            b = b.nat_var(&format!("v{i}"), d).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Build and compile the program.
+    #[allow(dead_code)] // used by some, not all, test binaries
+    pub fn compile(&self) -> CompiledProgram {
+        self.build_program().compile().unwrap()
+    }
+
+    /// Build the (uncompiled) program — needed by the KBP wrapper.
+    #[allow(dead_code)] // used by some, not all, test binaries
+    pub fn build_program(&self) -> Program {
+        let space = self.space();
+        let n = space.num_states();
+        let mut builder = Program::builder("random", &space);
+        for (vi, &mask) in self.views.iter().enumerate() {
+            let names: Vec<String> = (0..self.domains.len())
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| format!("v{i}"))
+                .collect();
+            builder = builder
+                .process(
+                    &format!("P{vi}"),
+                    names.iter().map(String::as_str),
+                )
+                .unwrap();
+        }
+        let init = Predicate::from_fn(&space, |s| self.init_mask >> (s % 64) & 1 == 1)
+            .or(&Predicate::from_indices(&space, [self.init_mask % n]));
+        builder = builder.init_pred(init);
+        for (si, &(gmask, var, kind)) in self.statements.iter().enumerate() {
+            let guard = Predicate::from_fn(&space, |s| gmask >> (s % 64) & 1 == 1);
+            let v = space.var(&format!("v{var}")).unwrap();
+            let dom = space.domain(v).size();
+            let copy_src = match kind {
+                UpdateKind::Copy(w) => Some(space.var(&format!("v{w}")).unwrap()),
+                _ => None,
+            };
+            builder = builder.statement(
+                Statement::new(format!("s{si}"))
+                    .guard_pred(guard)
+                    .update_with(move |sp: &StateSpace, st: u64| {
+                        let val = match kind {
+                            UpdateKind::Const(c) => c % dom,
+                            UpdateKind::Incr => (sp.value(st, v) + 1) % dom,
+                            UpdateKind::Copy(_) => {
+                                sp.value(st, copy_src.expect("copy source")) % dom
+                            }
+                        };
+                        sp.with_value(st, v, val)
+                    }),
+            );
+        }
+        builder.build().unwrap()
+    }
+}
+
+/// Proptest strategy for random programs.
+pub fn program_spec() -> impl Strategy<Value = ProgramSpec> {
+    let domains = prop::collection::vec(2u64..=3, 2..=3);
+    domains.prop_flat_map(|domains| {
+        let nvars = domains.len();
+        let update = prop_oneof![
+            (0u64..3).prop_map(UpdateKind::Const),
+            Just(UpdateKind::Incr),
+            (0..nvars).prop_map(UpdateKind::Copy),
+        ];
+        let statements =
+            prop::collection::vec((any::<u64>(), 0..nvars, update), 1..=3);
+        let views = prop::collection::vec(0u64..(1 << nvars), 1..=2);
+        (Just(domains), any::<u64>(), statements, views).prop_map(
+            |(domains, init_mask, statements, views)| ProgramSpec {
+                domains,
+                init_mask: init_mask | 1, // never empty
+                statements,
+                views,
+            },
+        )
+    })
+}
+
+/// A random predicate over `space`, from a 64-bit mask (tiled).
+#[allow(dead_code)] // used by some, not all, test binaries
+pub fn pred_from_mask(space: &Arc<StateSpace>, mask: u64) -> Predicate {
+    Predicate::from_fn(space, |s| mask >> (s % 64) & 1 == 1)
+}

@@ -1,0 +1,181 @@
+//! Property tests for the knowledge operator on *random programs*:
+//! the S5 axioms (14)–(18), the junctivity/invariant theory (19)–(24),
+//! group knowledge, and the run-semantics equivalence (experiments E2,
+//! E3, E10).
+
+mod common;
+
+use common::{pred_from_mask, program_spec};
+use knowledge_pt::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn s5_axioms_on_random_programs(spec in program_spec(), a in any::<u64>(), b in any::<u64>()) {
+        let program = spec.compile();
+        let space = program.space().clone();
+        let k = KnowledgeOperator::for_program(&program);
+        let p = pred_from_mask(&space, a);
+        let q = pred_from_mask(&space, b);
+        for proc in program.processes().iter().map(|p| p.name().to_owned()) {
+            let kp = k.knows(&proc, &p).unwrap();
+            let kq = k.knows(&proc, &q).unwrap();
+            // (14) truthfulness.
+            prop_assert!(kp.entails(&p));
+            // (15) distribution.
+            let kimp = k.knows(&proc, &p.implies(&q)).unwrap();
+            prop_assert!(kp.and(&kimp).entails(&kq));
+            // (16) positive introspection.
+            prop_assert_eq!(&k.knows(&proc, &kp).unwrap(), &kp);
+            // (17) negative introspection.
+            let nkp = kp.negate();
+            prop_assert_eq!(k.knows(&proc, &nkp).unwrap(), nkp);
+            // (18) necessitation.
+            if p.everywhere() {
+                prop_assert!(kp.everywhere());
+            }
+            // (19) monotonicity.
+            let kpq = k.knows(&proc, &p.or(&q)).unwrap();
+            prop_assert!(kp.entails(&kpq));
+            // (21) conjunctivity (binary).
+            prop_assert_eq!(k.knows(&proc, &p.and(&q)).unwrap(), kp.and(&kq));
+        }
+    }
+
+    #[test]
+    fn eq23_eq24_invariant_characterisation(spec in program_spec(), a in any::<u64>()) {
+        let program = spec.compile();
+        let space = program.space().clone();
+        let k = KnowledgeOperator::for_program(&program);
+        let p = pred_from_mask(&space, a);
+        for proc in program.processes().iter().map(|p| p.name().to_owned()) {
+            let kp = k.knows(&proc, &p).unwrap();
+            // (23) invariant p ≡ invariant K_i p.
+            prop_assert_eq!(program.invariant(&p), program.invariant(&kp));
+            // (24) for view-local q: invariant (q ⇒ p) ≡ invariant (q ⇒ K_i p).
+            let view = k.view(&proc).unwrap();
+            let q = wcyl(&view, &pred_from_mask(&space, a.rotate_left(13)));
+            prop_assert!(q.depends_only_on(view));
+            prop_assert_eq!(
+                program.invariant(&q.implies(&p)),
+                program.invariant(&q.implies(&kp))
+            );
+        }
+    }
+
+    #[test]
+    fn group_knowledge_hierarchy(spec in program_spec(), a in any::<u64>()) {
+        let program = spec.compile();
+        let space = program.space().clone();
+        let k = KnowledgeOperator::for_program(&program);
+        let p = pred_from_mask(&space, a);
+        let names: Vec<String> =
+            program.processes().iter().map(|p| p.name().to_owned()).collect();
+        let group: Vec<&str> = names.iter().map(String::as_str).collect();
+        if group.is_empty() {
+            return Ok(());
+        }
+        let c = k.common(&group, &p).unwrap();
+        let e = k.everyone(&group, &p).unwrap();
+        let d = k.distributed(&group, &p).unwrap();
+        prop_assert!(c.entails(&e));
+        for proc in &group {
+            let kp = k.knows(proc, &p).unwrap();
+            prop_assert!(e.entails(&kp));
+            prop_assert!(kp.entails(&d));
+        }
+        prop_assert!(d.entails(&p));
+        // C is a fixpoint of X ↦ E(p ∧ X).
+        prop_assert_eq!(&k.everyone(&group, &p.and(&c)).unwrap(), &c);
+    }
+
+    #[test]
+    fn run_semantics_equivalence(spec in program_spec(), a in any::<u64>(), b in any::<u64>()) {
+        // Experiment E10: reachability = SI and view-knowledge = K on SI.
+        let program = spec.compile();
+        let space = program.space().clone();
+        let samples = [pred_from_mask(&space, a), pred_from_mask(&space, b)];
+        prop_assert_eq!(semantics_agree(&program, &samples), Ok(()));
+    }
+
+    #[test]
+    fn knowledge_is_view_measurable_on_si(spec in program_spec(), a in any::<u64>()) {
+        // On reachable states, K_i p cannot distinguish view-equal states.
+        let program = spec.compile();
+        let space = program.space().clone();
+        let k = KnowledgeOperator::for_program(&program);
+        let p = pred_from_mask(&space, a);
+        let si = program.si();
+        for proc in program.processes().iter().map(|p| p.name().to_owned()) {
+            let view = k.view(&proc).unwrap();
+            let kp = k.knows(&proc, &p).unwrap();
+            for s1 in si.iter() {
+                for s2 in si.iter() {
+                    let same_view =
+                        view.iter().all(|v| space.value(s1, v) == space.value(s2, v));
+                    if same_view {
+                        prop_assert_eq!(kp.holds(s1), kp.holds(s2));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic: common knowledge can be strictly weaker than everyone-
+/// knows (the classic hierarchy is strict somewhere).
+#[test]
+fn common_knowledge_strictness_witness() {
+    // P0 sees a, P1 sees b; a and b are set together; after the update,
+    // everyone knows "a ∨ b" but it is not common knowledge at the start.
+    let space = StateSpace::builder()
+        .bool_var("a")
+        .unwrap()
+        .bool_var("b")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("ck", &space)
+        .init_str("~a /\\ ~b")
+        .unwrap()
+        .process("P0", ["a"])
+        .unwrap()
+        .process("P1", ["b"])
+        .unwrap()
+        .statement(
+            Statement::new("both")
+                .guard_str("~a")
+                .unwrap()
+                .assign_str("a", "1")
+                .unwrap()
+                .assign_str("b", "1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("b_alone")
+                .guard_str("~b")
+                .unwrap()
+                .assign_str("b", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap()
+        .compile()
+        .unwrap();
+    let k = KnowledgeOperator::for_program(&program);
+    let a = Predicate::var_is_true(&space, space.var("a").unwrap());
+    let b = Predicate::var_is_true(&space, space.var("b").unwrap());
+    let fact = a.implies(&b); // invariant: a is only ever set along with b
+    assert!(program.invariant(&fact));
+    // Invariant facts are common knowledge everywhere on SI (eq. 23 lifted).
+    let ck = k.common(&["P0", "P1"], &fact).unwrap();
+    assert!(program.si().entails(&ck));
+    // But knowledge of a non-invariant fact is NOT shared: P1 knows b where
+    // it holds; P0 only knows a.
+    let k1b = k.knows("P1", &b).unwrap();
+    let e = k.everyone(&["P0", "P1"], &b).unwrap();
+    assert!(program.si().and(&b).entails(&k1b));
+    assert!(!program.si().and(&b).entails(&e));
+}

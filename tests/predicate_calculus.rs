@@ -1,0 +1,135 @@
+//! Property tests for the §2 substrate: the predicate calculus, the
+//! quantifiers, and the `wcyl` laws (7)–(12) on random spaces and
+//! predicates (experiment E1).
+
+mod common;
+
+use common::{pred_from_mask, program_spec};
+use knowledge_pt::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn boolean_algebra_laws(spec in program_spec(), a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let space = spec.space();
+        let p = pred_from_mask(&space, a);
+        let q = pred_from_mask(&space, b);
+        let r = pred_from_mask(&space, c);
+        // Distributivity, De Morgan, absorption, double negation.
+        prop_assert_eq!(p.and(&q.or(&r)), p.and(&q).or(&p.and(&r)));
+        prop_assert_eq!(p.or(&q.and(&r)), p.or(&q).and(&p.or(&r)));
+        prop_assert_eq!(p.and(&q).negate(), p.negate().or(&q.negate()));
+        prop_assert_eq!(p.or(&q).negate(), p.negate().and(&q.negate()));
+        prop_assert_eq!(p.and(&p.or(&q)), p.clone());
+        prop_assert_eq!(p.negate().negate(), p.clone());
+        // Pointwise implication and equivalence agree with their pointwise
+        // definitions.
+        prop_assert_eq!(p.implies(&q), p.negate().or(&q));
+        prop_assert_eq!(p.iff(&q), p.implies(&q).and(&q.implies(&p)));
+        // The everywhere operator.
+        prop_assert_eq!(p.implies(&q).everywhere(), p.entails(&q));
+    }
+
+    #[test]
+    fn quantifier_laws(spec in program_spec(), a in any::<u64>()) {
+        let space = spec.space();
+        let p = pred_from_mask(&space, a);
+        for v in space.vars() {
+            let fa = forall_var(&p, v);
+            let ex = exists_var(&p, v);
+            // Galois: ∀v::p ⇒ p ⇒ ∃v::p.
+            prop_assert!(fa.entails(&p));
+            prop_assert!(p.entails(&ex));
+            // Duality.
+            prop_assert_eq!(fa.negate(), exists_var(&p.negate(), v));
+            // Idempotence.
+            prop_assert_eq!(forall_var(&fa, v), fa.clone());
+            prop_assert_eq!(exists_var(&ex, v), ex.clone());
+            // Independence of the quantified variable.
+            prop_assert!(fa.is_independent_of(v));
+            prop_assert!(ex.is_independent_of(v));
+        }
+    }
+
+    #[test]
+    fn wcyl_laws_7_through_11(spec in program_spec(), a in any::<u64>(), b in any::<u64>(), view_mask in any::<u64>()) {
+        let space = spec.space();
+        let p = pred_from_mask(&space, a);
+        let q = pred_from_mask(&space, b);
+        let view = VarSet::from_vars(space.vars().filter(|v| view_mask >> v.index() & 1 == 1));
+        let wp = wcyl(&view, &p);
+        // (7) [wcyl.V.p ⇒ p]
+        prop_assert!(wp.entails(&p));
+        // (8) monotonic in p
+        let wpq = wcyl(&view, &p.or(&q));
+        prop_assert!(wp.entails(&wpq));
+        // (8) monotonic in V
+        let bigger = view.union(VarSet::from_vars(space.vars().take(1)));
+        prop_assert!(wp.entails(&wcyl(&bigger, &p)));
+        // (9) identity on cylinders
+        prop_assert_eq!(wcyl(&view, &wp), wp.clone());
+        prop_assert!(wp.depends_only_on(view));
+        // (10) weakest such cylinder: wcyl of a cylinder below p stays below
+        let q_cyl = wcyl(&view, &q);
+        if q_cyl.entails(&p) {
+            prop_assert!(q_cyl.entails(&wp));
+        }
+        // (11) universally conjunctive (binary case)
+        prop_assert_eq!(
+            wcyl(&view, &p.and(&q)),
+            wp.and(&wcyl(&view, &q))
+        );
+    }
+
+    #[test]
+    fn state_encode_decode_roundtrip(spec in program_spec(), s in any::<u64>()) {
+        let space = spec.space();
+        let idx = s % space.num_states();
+        let vals = space.decode(idx);
+        prop_assert_eq!(space.encode(&vals).unwrap(), idx);
+        for (v, &val) in space.vars().zip(&vals) {
+            prop_assert_eq!(space.value(idx, v), val);
+            let other = (val + 1) % space.domain(v).size();
+            let upd = space.with_value(idx, v, other);
+            prop_assert_eq!(space.value(upd, v), other);
+        }
+    }
+
+    #[test]
+    fn formula_roundtrip_through_printer(spec in program_spec(), a in any::<u64>(), b in 0u64..3) {
+        // Build a formula about the space's variables, print, re-parse,
+        // evaluate: both evaluations agree.
+        let space = spec.space();
+        let nvars = spec.domains.len() as u64;
+        let v0 = format!("v{}", a % nvars);
+        let v1 = format!("v{}", (a / 7) % nvars);
+        let src = format!("{v0} = {b} => ~({v1} < {b}) \\/ {v0} + 1 > {v1}");
+        let f = parse_formula(&src).unwrap();
+        let printed = f.to_string();
+        let g = parse_formula(&printed).unwrap();
+        let ctx = EvalContext::new(&space);
+        prop_assert_eq!(ctx.eval(&f).unwrap(), ctx.eval(&g).unwrap());
+    }
+}
+
+/// The paper's exact (12) counterexample, deterministic.
+#[test]
+fn wcyl_is_not_disjunctive_eq12() {
+    let space = StateSpace::builder()
+        .nat_var("x", 3)
+        .unwrap()
+        .nat_var("y", 3)
+        .unwrap()
+        .build()
+        .unwrap();
+    let x = space.var("x").unwrap();
+    let y = space.var("y").unwrap();
+    let view = VarSet::from_vars([x]);
+    let x_pos = Predicate::from_var_fn(&space, x, |v| v > 0);
+    let y_pos = Predicate::from_var_fn(&space, y, |v| v > 0);
+    assert!(wcyl(&view, &x_pos.and(&y_pos)).is_false());
+    assert!(wcyl(&view, &x_pos.and(&y_pos.negate())).is_false());
+    assert_eq!(wcyl(&view, &x_pos), x_pos);
+}

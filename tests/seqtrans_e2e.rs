@@ -1,0 +1,255 @@
+//! End-to-end tests for the §6 study on *larger* bounded instances than the
+//! unit tests use, plus cross-validation between the bounded models and the
+//! simulators (experiments E6, E7, E8, E11).
+
+use knowledge_pt::prelude::*;
+use knowledge_pt::seqtrans::altbit::{abp_config, run_altbit, AltBitModel};
+use knowledge_pt::seqtrans::knowledge_preds::{validate_completeness, validate_soundness};
+use knowledge_pt::seqtrans::proof_replay::{replay_liveness_for_k, replay_safety};
+use knowledge_pt::seqtrans::sim::{run_standard, SimConfig};
+use knowledge_pt::seqtrans::stenning::{run_stenning, StenningPolicy};
+use knowledge_pt::seqtrans::{figure3_kbp, ModelOptions, StandardModel};
+
+#[test]
+fn alphabet_three_instance_verifies() {
+    // |A| = 3, |x| = 2: a bigger alphabet exercises the per-α statement
+    // generation and the w/x encodings.
+    let model = StandardModel::build(3, 2, ModelOptions::default()).unwrap();
+    let compiled = model.compile().unwrap();
+    assert!(compiled.invariant(&model.w_prefix_of_x()));
+    assert!(compiled.invariant(&model.w_len_eq_j()));
+    for k in 0..2 {
+        assert!(compiled.leads_to_holds(&model.j_eq(k), &model.j_gt(k)));
+    }
+    let sound = validate_soundness(&model, &compiled);
+    assert!(sound.all_hold(), "{:?}", sound.failures());
+    let complete = validate_completeness(&model, &compiled);
+    assert!(complete.all_hold(), "{:?}", complete.failures());
+}
+
+#[test]
+fn length_three_instance_verifies() {
+    // |A| = 2, |x| = 3 — 1.3M states; run in release or be patient.
+    let model = StandardModel::build(2, 3, ModelOptions::default()).unwrap();
+    let compiled = model.compile().unwrap();
+    assert!(compiled.invariant(&model.w_prefix_of_x()));
+    for k in 0..3 {
+        assert!(
+            compiled.leads_to_holds(&model.j_eq(k), &model.j_gt(k)),
+            "liveness k={k}"
+        );
+    }
+    // Knowledge-predicate equalities persist at length 3.
+    let complete = validate_completeness(&model, &compiled);
+    assert!(complete.all_hold(), "{:?}", complete.failures());
+}
+
+#[test]
+fn proof_replay_scales_to_alphabet_three() {
+    let model = StandardModel::build(3, 2, ModelOptions::default()).unwrap();
+    let compiled = model.compile().unwrap();
+    replay_safety(&model, &compiled).unwrap();
+    for k in 0..2 {
+        let replay = replay_liveness_for_k(&model, &compiled, k).unwrap();
+        assert!(replay.fully_discharged());
+        for s in &replay.steps {
+            assert!(s.theorem.property().check(&compiled), "{}", s.equation);
+        }
+    }
+}
+
+#[test]
+fn kbp_instantiation_with_alphabet_three() {
+    let model = StandardModel::build(3, 2, ModelOptions::default()).unwrap();
+    let compiled = model.compile().unwrap();
+    let kbp = figure3_kbp(&model).unwrap();
+    assert!(kbp.is_solution(compiled.si()).unwrap());
+    // A-priori knowledge of x_0 breaks it, for any of the three letters.
+    for d in 0..3 {
+        let ap = StandardModel::build(
+            3,
+            2,
+            ModelOptions {
+                apriori_first: Some(d),
+                slot_loss: false,
+            },
+        )
+        .unwrap();
+        let apc = ap.compile().unwrap();
+        let apkbp = figure3_kbp(&ap).unwrap();
+        assert!(!apkbp.is_solution(apc.si()).unwrap(), "digit {d}");
+    }
+}
+
+#[test]
+fn simulators_agree_with_models_on_safety_and_progress() {
+    // The simulator and the bounded model implement the same protocol;
+    // cross-check the observable behaviour on a reliable channel: the
+    // simulator's delivery order matches x, and the number of distinct
+    // data indices it sends equals |x| (progress one element at a time).
+    let x = vec![1u8, 0, 1, 1, 0, 0, 1];
+    let r = run_standard(&SimConfig::reliable(x.clone()));
+    assert!(r.completed);
+    assert_eq!(r.delivered, x);
+    assert!(r.data_sent >= x.len() as u64);
+
+    // All three protocols deliver identically under identical faults.
+    for seed in 0..4 {
+        let std_r = run_standard(&SimConfig::faulty(x.clone(), 0.25, seed));
+        let abp_r = run_altbit(&abp_config(x.clone(), 0.25, seed));
+        let ste_r = run_stenning(
+            &SimConfig::faulty(x.clone(), 0.25, seed),
+            StenningPolicy::default(),
+        );
+        for r in [&std_r, &abp_r, &ste_r] {
+            assert!(r.completed);
+            assert_eq!(r.delivered, x);
+        }
+    }
+}
+
+#[test]
+fn message_count_ordering_is_stable_across_fault_rates() {
+    // E11's headline shape: eager figure-4 ≥ alternating-bit ≥ stenning
+    // on aggregate message counts, at every fault rate tried.
+    let x: Vec<u8> = (0..30).map(|i| (i % 2) as u8).collect();
+    for rate in [0.0, 0.2, 0.4] {
+        let runs = 8u64;
+        let mut sums = [0u64; 3];
+        for seed in 0..runs {
+            let cfg = if rate == 0.0 {
+                SimConfig::reliable(x.clone())
+            } else {
+                SimConfig::faulty(x.clone(), rate, seed)
+            };
+            sums[0] += run_standard(&cfg).total_messages();
+            sums[1] += run_altbit(&abp_config(x.clone(), rate, seed)).total_messages();
+            sums[2] += run_stenning(&cfg, StenningPolicy::default()).total_messages();
+        }
+        assert!(
+            sums[0] > sums[1] && sums[1] > sums[2],
+            "rate {rate}: figure4 {} vs abp {} vs stenning {}",
+            sums[0],
+            sums[1],
+            sums[2]
+        );
+    }
+}
+
+#[test]
+fn abp_model_scales_to_length_three() {
+    let m = AltBitModel::build(2, 3).unwrap();
+    let c = m.compile().unwrap();
+    assert!(c.invariant(&m.w_prefix_of_x()));
+    for k in 0..3 {
+        assert!(c.leads_to_holds(&m.j_eq(k), &m.j_gt(k)), "k={k}");
+    }
+    assert!(c.leads_to_holds(&Predicate::tt(m.space()), &m.j_eq(3)));
+}
+
+#[test]
+fn common_knowledge_is_never_attained_over_the_faulty_channel() {
+    // The classic coordinated-attack theorem ([HM90], cited in §3/§7),
+    // visible inside the paper's own framework: over a channel that can
+    // lose messages, E_G (everyone knows x_k) is attained in many
+    // reachable states, but common knowledge C_G — the greatest fixpoint
+    // of "everyone knows that everyone knows that…" — is attained in NONE.
+    // There is always a receiver- or sender-indistinguishable state where
+    // the crucial message is still in flight.
+    use knowledge_pt::seqtrans::knowledge_preds::knowledge_operator;
+    let m = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+    let c = m.compile().unwrap();
+    let op = knowledge_operator(&m, &c);
+    for k in 0..2u64 {
+        for alpha in 0..2u64 {
+            let fact = m.x_elem(k as usize, alpha);
+            let eg = op.everyone(&["Sender", "Receiver"], &fact).unwrap();
+            let cg = op.common(&["Sender", "Receiver"], &fact).unwrap();
+            assert!(
+                !c.si().and(&eg).is_false(),
+                "E_G(x_{k}={alpha}) must be attained somewhere"
+            );
+            assert!(
+                c.si().and(&cg).is_false(),
+                "C_G(x_{k}={alpha}) must NEVER be attained over a faulty channel"
+            );
+        }
+    }
+    // Contrast: with x_0 fixed a priori, the fact is an *initial* common
+    // knowledge — C_G holds everywhere on SI without any communication.
+    let ap = StandardModel::build(
+        2,
+        2,
+        ModelOptions {
+            apriori_first: Some(1),
+            slot_loss: false,
+        },
+    )
+    .unwrap();
+    let apc = ap.compile().unwrap();
+    let ap_op = knowledge_operator(&ap, &apc);
+    let fact = ap.x_elem(0, 1);
+    let cg = ap_op.common(&["Sender", "Receiver"], &fact).unwrap();
+    assert!(apc.si().entails(&cg), "a-priori facts are common knowledge");
+}
+
+#[test]
+fn weaker_interpretation_as_mixed_specification() {
+    // §6.4's proposal: read the protocol as a *mixed specification* — the
+    // program plus explicitly stated properties (the ones the proofs
+    // used) — and check implementability. The Figure-4 standard protocol
+    // is an implementable mixed spec for the §6 property set.
+    use knowledge_pt::unity::MixedSpec;
+    let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+    let mut spec = MixedSpec::new(model.program().clone())
+        .invariant("(34) w prefix of x", model.w_prefix_of_x())
+        .invariant("(36) |w| = j", model.w_len_eq_j());
+    for k in 0..2u64 {
+        spec = spec
+            .leads_to(format!("(35) k={k}"), model.j_eq(k), model.j_gt(k))
+            .stable(format!("(55) k={k}"), model.cand_ks_kr(k));
+        for alpha in 0..2u64 {
+            spec = spec.invariant(
+                format!("(61) k={k} a={alpha}"),
+                model
+                    .cand_kr_x(k, alpha)
+                    .implies(&model.x_elem(k as usize, alpha)),
+            );
+        }
+    }
+    let r = spec.check_implementable().unwrap();
+    assert!(r.is_implementable(), "violations: {:?}", r.violations);
+
+    // The adversarial-channel variant is NOT implementable for the same
+    // property set: exactly the liveness properties fail.
+    let adv = StandardModel::build(
+        2,
+        2,
+        ModelOptions {
+            apriori_first: None,
+            slot_loss: true,
+        },
+    )
+    .unwrap();
+    let mut spec = MixedSpec::new(adv.program().clone())
+        .invariant("(34) w prefix of x", adv.w_prefix_of_x());
+    for k in 0..2u64 {
+        spec = spec.leads_to(format!("(35) k={k}"), adv.j_eq(k), adv.j_gt(k));
+    }
+    let r = spec.check_implementable().unwrap();
+    assert!(!r.is_implementable());
+    assert!(r.violations.iter().all(|v| v.starts_with("(35)")));
+    assert_eq!(r.violations.len(), 2);
+}
+
+#[test]
+fn si_equals_reachability_on_the_protocol_models() {
+    for (a, l) in [(2, 2), (3, 2)] {
+        let m = StandardModel::build(a, l, ModelOptions::default()).unwrap();
+        let c = m.compile().unwrap();
+        assert_eq!(&reachable(&c), c.si(), "figure-4 a={a} l={l}");
+    }
+    let m = AltBitModel::build(2, 2).unwrap();
+    let c = m.compile().unwrap();
+    assert_eq!(&reachable(&c), c.si(), "abp");
+}
