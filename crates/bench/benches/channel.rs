@@ -1,8 +1,8 @@
 //! Bench for the faulty-channel substrate: send/recv throughput across
 //! fault configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kpt_channel::{FaultConfig, FaultyChannel};
+use kpt_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_channel(c: &mut Criterion) {
     let mut group = c.benchmark_group("channel");

@@ -1,8 +1,8 @@
 //! E10 bench: fair execution throughput and BFS reachability vs the sst
 //! fixpoint (the two sides of the SI identity).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kpt_state::{Predicate, StateSpace};
+use kpt_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kpt_unity::{execute, reachable, Program, RandomFair, RoundRobin, Statement};
 
 fn grid_program(side: u64) -> kpt_unity::CompiledProgram {

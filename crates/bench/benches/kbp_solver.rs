@@ -2,9 +2,9 @@
 //! Figure 1 (no solution) and Figure 2 (non-monotone), plus exhaustive
 //! enumeration scaling with the number of free states.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpt_core::{figure1, figure2, Kbp};
 use kpt_state::StateSpace;
+use kpt_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpt_unity::{Program, Statement};
 
 fn bench_figures(c: &mut Criterion) {
@@ -35,7 +35,11 @@ fn bench_enumeration_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("kbp_solver/enumeration");
     group.sample_size(10);
     for n in [8u64, 12, 16] {
-        let space = StateSpace::builder().nat_var("i", n).unwrap().build().unwrap();
+        let space = StateSpace::builder()
+            .nat_var("i", n)
+            .unwrap()
+            .build()
+            .unwrap();
         let program = Program::builder("count", &space)
             .init_str("i = 0")
             .unwrap()
@@ -49,7 +53,11 @@ fn bench_enumeration_scaling(c: &mut Criterion) {
                     .update_with(move |sp, st| {
                         let v = sp.var("i").unwrap();
                         let cur = sp.value(st, v);
-                        if cur + 1 < n { sp.with_value(st, v, cur + 1) } else { st }
+                        if cur + 1 < n {
+                            sp.with_value(st, v, cur + 1)
+                        } else {
+                            st
+                        }
                     }),
             )
             .build()

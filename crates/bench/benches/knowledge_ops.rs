@@ -1,9 +1,9 @@
 //! E2/E3 bench: the knowledge operator `K_i` (eq. 13), everyone-knows,
 //! common knowledge (gfp) and distributed knowledge, across space sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpt_core::KnowledgeOperator;
 use kpt_state::{Predicate, StateSpace, VarSet};
+use kpt_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn setup(nvars: usize, dom: u64) -> (std::sync::Arc<StateSpace>, KnowledgeOperator, Predicate) {
     let mut b = StateSpace::builder();
@@ -13,9 +13,18 @@ fn setup(nvars: usize, dom: u64) -> (std::sync::Arc<StateSpace>, KnowledgeOperat
     let space = b.build().unwrap();
     // Three processes with staggered views.
     let views = vec![
-        ("P0".to_owned(), VarSet::from_vars(space.vars().take(nvars / 3 + 1))),
-        ("P1".to_owned(), VarSet::from_vars(space.vars().skip(nvars / 3).take(nvars / 3 + 1))),
-        ("P2".to_owned(), VarSet::from_vars(space.vars().skip(2 * nvars / 3))),
+        (
+            "P0".to_owned(),
+            VarSet::from_vars(space.vars().take(nvars / 3 + 1)),
+        ),
+        (
+            "P1".to_owned(),
+            VarSet::from_vars(space.vars().skip(nvars / 3).take(nvars / 3 + 1)),
+        ),
+        (
+            "P2".to_owned(),
+            VarSet::from_vars(space.vars().skip(2 * nvars / 3)),
+        ),
     ];
     let si = Predicate::from_fn(&space, |s| s % 7 != 0);
     let p = Predicate::from_fn(&space, |s| s % 3 == 1);
@@ -52,5 +61,22 @@ fn bench_group_knowledge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_knows, bench_group_knowledge);
+/// The `KnowledgeContext` memo: a repeated `K_i p` query is a hash lookup.
+fn bench_memoized_repeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge/memo");
+    let (_, op, p) = setup(8, 4);
+    // Warm the cache once, then measure the repeat-query path.
+    let _ = op.knows("P1", &p).unwrap();
+    group.bench_function("repeat_query_warm", |b| {
+        b.iter(|| op.knows("P1", &p).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_knows,
+    bench_group_knowledge,
+    bench_memoized_repeat
+);
 criterion_main!(benches);

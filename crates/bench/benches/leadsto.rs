@@ -1,13 +1,15 @@
 //! Bench for the leads-to model checker (SCC analysis under unconditional
 //! fairness), scaling with avoid-region size and statement count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpt_state::{Predicate, StateSpace};
+use kpt_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpt_unity::{Program, Statement};
 
 fn token_ring(n_procs: usize, counter: u64) -> kpt_unity::CompiledProgram {
     // A ring: token hops; each holder bumps a shared counter.
-    let mut b = StateSpace::builder().nat_var("tok", n_procs as u64).unwrap();
+    let mut b = StateSpace::builder()
+        .nat_var("tok", n_procs as u64)
+        .unwrap();
     b = b.nat_var("cnt", counter).unwrap();
     let space = b.build().unwrap();
     let mut builder = Program::builder("ring", &space)
@@ -74,9 +76,27 @@ fn bench_leads_to_failure(c: &mut Criterion) {
     let program = Program::builder("dodge", &space)
         .init_str("~x /\\ ~y /\\ pad = 0")
         .unwrap()
-        .statement(Statement::new("up").guard_str("~x").unwrap().assign_str("x", "1").unwrap())
-        .statement(Statement::new("dn").guard_str("x").unwrap().assign_str("x", "0").unwrap())
-        .statement(Statement::new("lat").guard_str("x").unwrap().assign_str("y", "1").unwrap())
+        .statement(
+            Statement::new("up")
+                .guard_str("~x")
+                .unwrap()
+                .assign_str("x", "1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("dn")
+                .guard_str("x")
+                .unwrap()
+                .assign_str("x", "0")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("lat")
+                .guard_str("x")
+                .unwrap()
+                .assign_str("y", "1")
+                .unwrap(),
+        )
         .statement(
             Statement::new("pad")
                 .guard_str("pad < 511")

@@ -2,13 +2,13 @@
 //! construction, SI computation, full verification, proof replay, KBP
 //! instantiation, and the protocol simulators.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kpt_seqtrans::altbit::{abp_config, run_altbit};
 use kpt_seqtrans::knowledge_preds::{validate_completeness, validate_soundness};
 use kpt_seqtrans::proof_replay::replay_liveness_for_k;
 use kpt_seqtrans::sim::{run_standard, SimConfig};
 use kpt_seqtrans::stenning::{run_stenning, StenningPolicy};
 use kpt_seqtrans::{figure3_kbp, ModelOptions, StandardModel};
+use kpt_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_model_checking(c: &mut Criterion) {
     let mut group = c.benchmark_group("seqtrans/model");

@@ -1,13 +1,24 @@
 //! E3 bench: the `sst`/strongest-invariant fixpoint of eqs. (1)/(3),
 //! scaling with state-space size and with the chain length (number of
-//! Kleene iterations).
+//! Kleene iterations) — plus head-to-head frontier-vs-Kleene cases (the
+//! `BENCH_kernels.json` speedup evidence).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpt_state::{Predicate, StateSpace};
-use kpt_transformers::{sp_union, sst_with_stats, DetTransition, FnTransformer};
+use kpt_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpt_transformers::{
+    sp_union, sst_frontier_with_stats, sst_with_stats, DetTransition, FnTransformer,
+};
 
 fn counter_space(n: u64) -> std::sync::Arc<StateSpace> {
-    StateSpace::builder().nat_var("i", n).unwrap().build().unwrap()
+    StateSpace::builder()
+        .nat_var("i", n)
+        .unwrap()
+        .build()
+        .unwrap()
+}
+
+fn chain_transition(space: &std::sync::Arc<StateSpace>, n: u64) -> DetTransition {
+    DetTransition::from_fn(space, move |i| if i + 1 < n { i + 1 } else { i })
 }
 
 /// A long-chain program: i := i + 1 (long fixpoint chain, one state/step).
@@ -16,13 +27,10 @@ fn bench_long_chain(c: &mut Criterion) {
     group.sample_size(20);
     for n in [1u64 << 8, 1 << 10, 1 << 12] {
         let space = counter_space(n);
-        let t = DetTransition::from_fn(&space, move |i| if i + 1 < n { i + 1 } else { i });
-        let sp = FnTransformer::new(&space, "SP", move |p: &Predicate| {
-            sp_union(std::slice::from_ref(&t), p)
-        });
+        let t = chain_transition(&space, n);
         let init = Predicate::from_indices(&space, [0]);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| sst_with_stats(&sp, &init))
+            b.iter(|| sst_frontier_with_stats(std::slice::from_ref(&t), &init))
         });
     }
     group.finish();
@@ -33,28 +41,80 @@ fn bench_wide(c: &mut Criterion) {
     let mut group = c.benchmark_group("si_fixpoint/wide");
     group.sample_size(20);
     for bits in [10u32, 14, 16] {
-        let mut b = StateSpace::builder();
-        for i in 0..bits {
-            b = b.bool_var(&format!("b{i}")).unwrap();
-        }
-        let space = b.build().unwrap();
-        let stmts: Vec<DetTransition> = (0..8u64)
-            .map(|k| {
-                let v = space.var(&format!("b{k}")).unwrap();
-                let sp2 = std::sync::Arc::clone(&space);
-                DetTransition::from_fn(&space, move |s| sp2.with_value(s, v, 1))
-            })
-            .collect();
-        let sp = FnTransformer::new(&space, "SP", move |p: &Predicate| sp_union(&stmts, p));
+        let space = wide_space(bits);
+        let stmts = wide_statements(&space);
         let init = Predicate::from_indices(&space, [0]);
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}states", space.num_states())),
             &bits,
-            |b, _| b.iter(|| sst_with_stats(&sp, &init)),
+            |b, _| b.iter(|| sst_frontier_with_stats(&stmts, &init)),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_long_chain, bench_wide);
+fn wide_space(bits: u32) -> std::sync::Arc<StateSpace> {
+    let mut b = StateSpace::builder();
+    for i in 0..bits {
+        b = b.bool_var(&format!("b{i}")).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn wide_statements(space: &std::sync::Arc<StateSpace>) -> Vec<DetTransition> {
+    (0..8u64)
+        .map(|k| {
+            let v = space.var(&format!("b{k}")).unwrap();
+            let sp2 = std::sync::Arc::clone(space);
+            DetTransition::from_fn(space, move |s| sp2.with_value(s, v, 1))
+        })
+        .collect()
+}
+
+/// Frontier/worklist `sst` vs the Kleene recompute-everything iteration on
+/// the same programs. Case names pair up as `frontier_*` / `kleene_*`.
+fn bench_frontier_vs_kleene(c: &mut Criterion) {
+    let mut group = c.benchmark_group("si_fixpoint/frontier_vs_kleene");
+    group.sample_size(10);
+    // Long chain: the worst case for Kleene (n rounds x O(n) work).
+    for n in [1u64 << 10, 1 << 12] {
+        let space = counter_space(n);
+        let t = chain_transition(&space, n);
+        let init = Predicate::from_indices(&space, [0]);
+        group.bench_with_input(BenchmarkId::new("frontier_long_chain", n), &(), |b, ()| {
+            b.iter(|| sst_frontier_with_stats(std::slice::from_ref(&t), &init))
+        });
+        let t2 = chain_transition(&space, n);
+        let sp = FnTransformer::new(&space, "SP", move |p: &Predicate| {
+            sp_union(std::slice::from_ref(&t2), p)
+        });
+        group.bench_with_input(BenchmarkId::new("kleene_long_chain", n), &(), |b, ()| {
+            b.iter(|| sst_with_stats(&sp, &init))
+        });
+    }
+    // Wide: many statements, short chain — the gap is smaller but real.
+    let space = wide_space(16);
+    let stmts = wide_statements(&space);
+    let init = Predicate::from_indices(&space, [0]);
+    group.bench_with_input(
+        BenchmarkId::new("frontier_wide", "65536states"),
+        &(),
+        |b, ()| b.iter(|| sst_frontier_with_stats(&stmts, &init)),
+    );
+    let stmts2 = wide_statements(&space);
+    let sp = FnTransformer::new(&space, "SP", move |p: &Predicate| sp_union(&stmts2, p));
+    group.bench_with_input(
+        BenchmarkId::new("kleene_wide", "65536states"),
+        &(),
+        |b, ()| b.iter(|| sst_with_stats(&sp, &init)),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_long_chain,
+    bench_wide,
+    bench_frontier_vs_kleene
+);
 criterion_main!(benches);

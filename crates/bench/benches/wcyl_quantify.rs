@@ -1,9 +1,13 @@
 //! E1 bench: the weakest-cylinder operator `wcyl` (eq. 6) and the
-//! underlying quantifier sweeps, across state-space sizes and view sizes.
+//! underlying quantifier sweeps, across state-space sizes and view sizes —
+//! plus head-to-head naive-vs-kernel cases for the word-parallel
+//! quantifiers (the `BENCH_kernels.json` speedup evidence).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpt_core::wcyl;
-use kpt_state::{forall_set, Predicate, StateSpace, VarSet};
+use kpt_state::{
+    forall_set, forall_set_naive, forall_var, forall_var_naive, Predicate, StateSpace, VarSet,
+};
+use kpt_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn space_with_vars(nvars: usize, dom: u64) -> std::sync::Arc<StateSpace> {
     let mut b = StateSpace::builder();
@@ -50,5 +54,53 @@ fn bench_quantifier_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wcyl, bench_quantifier_sweep);
+/// Word-parallel kernel vs the per-state reference, same inputs: single
+/// variables at small/medium/large strides, and the full all-vars sweep on
+/// the largest space. Case names pair up as `kernel_*` / `naive_*`.
+fn bench_kernel_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcyl_quantify/kernel_vs_naive");
+    let nvars = 8usize;
+    let space = space_with_vars(nvars, 4); // 65536 states
+    let p = Predicate::from_fn(&space, |s| s % 5 != 0);
+    // Smallest stride (innermost var, stride 1) and a stride >= 64
+    // (var 3: stride 4^3 = 64) exercise both kernel paths.
+    for (label, vi) in [("stride1", 0usize), ("stride64", 3), ("stride4096", 6)] {
+        let v = space.var(&format!("v{vi}")).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("kernel_forall_var", label),
+            &(&p, v),
+            |b, (p, v)| b.iter(|| forall_var(p, *v)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_forall_var", label),
+            &(&p, v),
+            |b, (p, v)| b.iter(|| forall_var_naive(p, *v)),
+        );
+    }
+    let all = space.all_vars();
+    group.bench_with_input(
+        BenchmarkId::new(
+            "kernel_forall_set",
+            format!("{}states_allvars", space.num_states()),
+        ),
+        &(&p, all),
+        |b, (p, all)| b.iter(|| forall_set(p, *all)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new(
+            "naive_forall_set",
+            format!("{}states_allvars", space.num_states()),
+        ),
+        &(&p, all),
+        |b, (p, all)| b.iter(|| forall_set_naive(p, *all)),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wcyl,
+    bench_quantifier_sweep,
+    bench_kernel_vs_naive
+);
 criterion_main!(benches);

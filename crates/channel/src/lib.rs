@@ -41,8 +41,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kpt_testkit::Rng;
 
 /// What a receive attempt yields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,7 +125,10 @@ impl FaultConfig {
             ("corruption", self.corruption),
             ("reorder", self.reorder),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} probability {p} not in [0, 1]");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability {p} not in [0, 1]"
+            );
         }
     }
 }
@@ -157,7 +159,7 @@ pub struct ChannelStats {
 pub struct FaultyChannel<M> {
     queue: VecDeque<M>,
     config: FaultConfig,
-    rng: StdRng,
+    rng: Rng,
     stats: ChannelStats,
     consecutive_faults: u32,
 }
@@ -172,7 +174,7 @@ impl<M: Clone> FaultyChannel<M> {
         FaultyChannel {
             queue: VecDeque::new(),
             config,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             stats: ChannelStats::default(),
             consecutive_faults: 0,
         }
@@ -194,8 +196,7 @@ impl<M: Clone> FaultyChannel<M> {
     }
 
     fn fault_allowed(&self) -> bool {
-        self.config.fairness_bound > 0
-            && self.consecutive_faults < self.config.fairness_bound
+        self.config.fairness_bound > 0 && self.consecutive_faults < self.config.fairness_bound
     }
 
     /// Transmit a message (the paper's `transmit(m)` command). The message
@@ -213,7 +214,7 @@ impl<M: Clone> FaultyChannel<M> {
             && self.rng.gen_bool(self.config.reorder);
         if reorder {
             self.stats.reordered += 1;
-            let pos = self.rng.gen_range(0..self.queue.len());
+            let pos = self.rng.gen_range_usize(0..self.queue.len());
             self.queue.insert(pos, msg.clone());
         } else {
             self.queue.push_back(msg.clone());

@@ -1,0 +1,232 @@
+//! A shared, memoizing evaluation context for knowledge queries.
+//!
+//! Evaluating a knowledge-based protocol touches the same ingredients over
+//! and over: the strongest invariant `SI`, its negation, the `wcyl`
+//! quantification order for each process view, and — during guard
+//! compilation and group-knowledge fixpoints — the very same `K_i p`
+//! queries. [`KnowledgeContext`] computes each of these once:
+//!
+//! * `SI` and `¬SI` are fixed at construction;
+//! * the complement of each view (the variables `wcyl` sweeps over, eq. 6)
+//!   is interned per view together with a domain-size-sorted sweep order;
+//! * every `(view, p) ↦ K p` result is memoized, so re-evaluating a guard
+//!   across statements, or the repeated `E_G` applications inside the
+//!   common-knowledge greatest fixpoint, hit the cache.
+//!
+//! [`crate::KnowledgeOperator`] is a thin handle over an
+//! `Arc<KnowledgeContext>`; the KBP solvers build one context per candidate
+//! invariant and share it across all guards of the program.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use kpt_logic::EvalError;
+use kpt_state::{forall_var, Predicate, StateSpace, VarId, VarSet};
+use kpt_unity::CompiledProgram;
+
+/// Cached state for evaluating the knowledge operator of eq. (13) against a
+/// fixed strongest invariant and a fixed set of process views.
+#[derive(Debug)]
+pub struct KnowledgeContext {
+    space: Arc<StateSpace>,
+    views: Vec<(String, VarSet)>,
+    si: Predicate,
+    not_si: Predicate,
+    /// Interned `wcyl` sweep orders: view ↦ complement variables, sorted by
+    /// ascending domain size (cheapest word-parallel passes first).
+    orders: Mutex<HashMap<VarSet, Arc<[VarId]>>>,
+    /// Memoized `K p` results keyed by `(view, p)`.
+    memo: Mutex<HashMap<(VarSet, Predicate), Predicate>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl KnowledgeContext {
+    /// Build a context with an explicit (candidate) strongest invariant.
+    pub fn new(space: &Arc<StateSpace>, views: Vec<(String, VarSet)>, si: Predicate) -> Self {
+        let not_si = si.negate();
+        let ctx = KnowledgeContext {
+            space: Arc::clone(space),
+            views,
+            si,
+            not_si,
+            orders: Mutex::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        };
+        // Seed the sweep orders for the declared process views up front.
+        for (_, view) in ctx.views.clone() {
+            ctx.sweep_order(view);
+        }
+        ctx
+    }
+
+    /// Build from a compiled program: views are its declared processes,
+    /// `SI` is its strongest invariant.
+    pub fn for_program(program: &CompiledProgram) -> Self {
+        KnowledgeContext::new(
+            program.space(),
+            program
+                .processes()
+                .iter()
+                .map(|p| (p.name().to_owned(), p.view()))
+                .collect(),
+            program.si().clone(),
+        )
+    }
+
+    /// The state space.
+    pub fn space(&self) -> &Arc<StateSpace> {
+        &self.space
+    }
+
+    /// The strongest invariant knowledge is evaluated against.
+    pub fn si(&self) -> &Predicate {
+        &self.si
+    }
+
+    /// The cached complement `¬SI` (the unreachable states, where eq. (13)
+    /// falls back to `p`).
+    pub fn not_si(&self) -> &Predicate {
+        &self.not_si
+    }
+
+    /// The declared `(process, view)` pairs.
+    pub fn views(&self) -> &[(String, VarSet)] {
+        &self.views
+    }
+
+    /// The view of a named process.
+    ///
+    /// # Errors
+    /// [`EvalError::UnknownProcess`] for undeclared names.
+    pub fn view(&self, process: &str) -> Result<VarSet, EvalError> {
+        self.views
+            .iter()
+            .find(|(n, _)| n == process)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| EvalError::UnknownProcess(process.to_owned()))
+    }
+
+    /// The interned `wcyl` sweep order for a view: the complement variables
+    /// sorted by ascending domain size.
+    pub fn sweep_order(&self, view: VarSet) -> Arc<[VarId]> {
+        let mut orders = self.orders.lock().expect("sweep-order cache poisoned");
+        if let Some(o) = orders.get(&view) {
+            return Arc::clone(o);
+        }
+        let mut vars: Vec<VarId> = self.space.complement(view).iter().collect();
+        vars.sort_by_key(|&v| self.space.domain(v).size());
+        let order: Arc<[VarId]> = Arc::from(vars);
+        orders.insert(view, Arc::clone(&order));
+        order
+    }
+
+    /// `K p` by eq. (13) for an explicit view, memoized:
+    /// `p ∧ (wcyl.V.(SI ⇒ p) ∨ ¬SI)`.
+    #[must_use]
+    pub fn knows_view(&self, view: VarSet, p: &Predicate) -> Predicate {
+        let key = (view, p.clone());
+        if let Some(hit) = self.memo.lock().expect("knowledge memo poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let order = self.sweep_order(view);
+        let mut cylinder = self.si.implies(p);
+        for &v in order.iter() {
+            cylinder = forall_var(&cylinder, v);
+        }
+        cylinder.or_assign(&self.not_si);
+        cylinder.and_assign(p);
+        self.memo
+            .lock()
+            .expect("knowledge memo poisoned")
+            .insert(key, cylinder.clone());
+        cylinder
+    }
+
+    /// `K_i p` by eq. (13), for the view of a named process.
+    ///
+    /// # Errors
+    /// [`EvalError::UnknownProcess`] for undeclared names.
+    pub fn knows(&self, process: &str, p: &Predicate) -> Result<Predicate, EvalError> {
+        Ok(self.knows_view(self.view(process)?, p))
+    }
+
+    /// `(cache hits, cache misses)` of the `K p` memo so far.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct `(view, p)` queries memoized.
+    pub fn cached_queries(&self) -> usize {
+        self.memo.lock().expect("knowledge memo poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Arc<StateSpace> {
+        StateSpace::builder()
+            .bool_var("a")
+            .unwrap()
+            .nat_var("n", 3)
+            .unwrap()
+            .bool_var("b")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn views(s: &Arc<StateSpace>) -> Vec<(String, VarSet)> {
+        vec![
+            ("A".to_owned(), s.var_set(["a"]).unwrap()),
+            ("AB".to_owned(), s.var_set(["a", "b"]).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn memo_hits_on_repeated_queries() {
+        let s = space();
+        let si = Predicate::from_fn(&s, |i| i % 3 != 0);
+        let ctx = KnowledgeContext::new(&s, views(&s), si);
+        let p = Predicate::from_fn(&s, |i| i % 2 == 0);
+        let first = ctx.knows("A", &p).unwrap();
+        let again = ctx.knows("A", &p).unwrap();
+        assert_eq!(first, again);
+        let (hits, misses) = ctx.cache_counters();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(ctx.cached_queries(), 1);
+        // A different view of the same predicate is a separate entry.
+        let _ = ctx.knows("AB", &p).unwrap();
+        assert_eq!(ctx.cached_queries(), 2);
+    }
+
+    #[test]
+    fn sweep_order_is_complement_sorted_by_domain() {
+        let s = space();
+        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
+        let view = s.var_set(["a"]).unwrap();
+        let order = ctx.sweep_order(view);
+        // Complement of {a} is {n, b}; b (size 2) sorts before n (size 3).
+        let names: Vec<&str> = order.iter().map(|&v| s.name(v)).collect();
+        assert_eq!(names, vec!["b", "n"]);
+        // Interned: same Arc on the second call.
+        assert!(Arc::ptr_eq(&order, &ctx.sweep_order(view)));
+    }
+
+    #[test]
+    fn unknown_process_errors() {
+        let s = space();
+        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
+        assert!(ctx.knows("nobody", &Predicate::tt(&s)).is_err());
+    }
+}

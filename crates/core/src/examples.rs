@@ -204,7 +204,12 @@ mod tests {
         // With init = ¬y the program satisfies invariant ¬y; with the
         // stronger init it does not (y is eventually set).
         let weak = figure2("~y").unwrap();
-        let si_w = weak.solve_exhaustive(16).unwrap().strongest().unwrap().clone();
+        let si_w = weak
+            .solve_exhaustive(16)
+            .unwrap()
+            .strongest()
+            .unwrap()
+            .clone();
         let cw = weak.compile_at(&si_w).unwrap();
         let space = weak.program().space().clone();
         let not_y = Predicate::var_is_true(&space, space.var("y").unwrap()).negate();

@@ -26,17 +26,42 @@
 //!   `x_{k+1} = SI(program[K @ x_k])` with cycle detection; sound when it
 //!   converges (the result is verified), inconclusive otherwise.
 
-use kpt_state::Predicate;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use kpt_state::{Predicate, VarSet};
 use kpt_unity::{CompiledProgram, Program};
 
 use crate::error::CoreError;
 use crate::knowledge::KnowledgeOperator;
 
+/// Upper bound on memoized `candidate ↦ SI` pairs (exhaustive search over
+/// many free states would otherwise grow the cache exponentially).
+const SI_CACHE_CAP: usize = 4096;
+
 /// A knowledge-based protocol: a UNITY [`Program`] whose guards may mention
 /// knowledge, together with the eq. (25) solution machinery.
-#[derive(Debug, Clone)]
+///
+/// Evaluating a candidate `x` — compiling the standard program at `x` and
+/// taking its strongest invariant — is the solver's unit of work; results
+/// are memoized per candidate, so the cycle-detection replays of
+/// [`Kbp::solve_iterative`] and repeated [`Kbp::is_solution`] probes are
+/// answered from cache.
+#[derive(Debug)]
 pub struct Kbp {
     program: Program,
+    views: Vec<(String, VarSet)>,
+    si_cache: Mutex<HashMap<Predicate, Predicate>>,
+}
+
+impl Clone for Kbp {
+    fn clone(&self) -> Self {
+        Kbp {
+            program: self.program.clone(),
+            views: self.views.clone(),
+            si_cache: Mutex::new(self.si_cache.lock().expect("SI cache poisoned").clone()),
+        }
+    }
 }
 
 impl Kbp {
@@ -44,7 +69,16 @@ impl Kbp {
     /// standard program is the degenerate KBP whose solution is its own
     /// `SI`).
     pub fn new(program: Program) -> Self {
-        Kbp { program }
+        let views = program
+            .processes()
+            .iter()
+            .map(|p| (p.name().to_owned(), p.view()))
+            .collect();
+        Kbp {
+            program,
+            views,
+            si_cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The underlying program.
@@ -53,12 +87,11 @@ impl Kbp {
     }
 
     /// The same KBP with a different initial condition (for studying the
-    /// Figure-2 non-monotonicity).
+    /// Figure-2 non-monotonicity). The SI cache is *not* carried over: the
+    /// fixpoint equation depends on `init`.
     #[must_use]
     pub fn with_init(&self, init: Predicate) -> Kbp {
-        Kbp {
-            program: self.program.with_init(init),
-        }
+        Kbp::new(self.program.with_init(init))
     }
 
     /// Compile the *standard* program obtained by evaluating every
@@ -69,13 +102,9 @@ impl Kbp {
     /// # Errors
     /// Compilation errors from the underlying program.
     pub fn compile_at(&self, x: &Predicate) -> Result<CompiledProgram, CoreError> {
-        let views = self
-            .program
-            .processes()
-            .iter()
-            .map(|p| (p.name().to_owned(), p.view()))
-            .collect();
-        let op = KnowledgeOperator::with_si(self.program.space(), views, x.clone());
+        // One shared knowledge context per candidate: every guard of every
+        // statement evaluates its K{i} subterms through the same memo.
+        let op = KnowledgeOperator::with_si(self.program.space(), self.views.clone(), x.clone());
         let f = op.knowledge_fn();
         Ok(self.program.compile_with_knowledge(f.as_ref())?)
     }
@@ -86,17 +115,29 @@ impl Kbp {
     /// # Errors
     /// Compilation errors.
     pub fn is_solution(&self, x: &Predicate) -> Result<bool, CoreError> {
-        let compiled = self.compile_at(x)?;
-        Ok(compiled.si() == x)
+        Ok(&self.iterate(x)? == x)
     }
 
     /// One step of the solution iteration: the strongest invariant of the
-    /// standard program obtained at `x`.
+    /// standard program obtained at `x`. Memoized per candidate.
     ///
     /// # Errors
     /// Compilation errors.
     pub fn iterate(&self, x: &Predicate) -> Result<Predicate, CoreError> {
-        Ok(self.compile_at(x)?.si().clone())
+        if let Some(si) = self.si_cache.lock().expect("SI cache poisoned").get(x) {
+            return Ok(si.clone());
+        }
+        let si = self.compile_at(x)?.si().clone();
+        let mut cache = self.si_cache.lock().expect("SI cache poisoned");
+        if cache.len() < SI_CACHE_CAP {
+            cache.insert(x.clone(), si.clone());
+        }
+        Ok(si)
+    }
+
+    /// Number of memoized `candidate ↦ SI` evaluations.
+    pub fn cached_candidates(&self) -> usize {
+        self.si_cache.lock().expect("SI cache poisoned").len()
     }
 
     /// Complete enumeration of all solutions, over candidates
@@ -251,12 +292,7 @@ impl SolutionSet {
     pub fn minimal(&self) -> Vec<&Predicate> {
         self.solutions
             .iter()
-            .filter(|s| {
-                !self
-                    .solutions
-                    .iter()
-                    .any(|o| o != *s && o.entails(s))
-            })
+            .filter(|s| !self.solutions.iter().any(|o| o != *s && o.entails(s)))
             .collect()
     }
 }
@@ -298,7 +334,7 @@ mod tests {
         assert_eq!(sols.strongest(), Some(&expected));
         assert_eq!(sols.minimal(), vec![&expected]);
         assert_eq!(sols.candidates_checked(), 4); // 2 free states (i=1,2 free... init fixes i=0, free = {1,2})
-        // The iterative solver agrees.
+                                                  // The iterative solver agrees.
         match kbp.solve_iterative(10).unwrap() {
             IterativeOutcome::Converged { solution, .. } => assert_eq!(solution, expected),
             other => panic!("expected convergence, got {other:?}"),
@@ -316,7 +352,11 @@ mod tests {
     /// fulfilling region: init = true.
     #[test]
     fn self_fulfilling_guard_solution_structure() {
-        let space = StateSpace::builder().bool_var("b").unwrap().build().unwrap();
+        let space = StateSpace::builder()
+            .bool_var("b")
+            .unwrap()
+            .build()
+            .unwrap();
         let program = Program::builder("self", &space)
             .init_str("~b")
             .unwrap()
@@ -349,7 +389,11 @@ mod tests {
     ///   x. Wait — that IS a solution. So this has a solution; assert so.
     #[test]
     fn blind_process_negative_guard() {
-        let space = StateSpace::builder().bool_var("b").unwrap().build().unwrap();
+        let space = StateSpace::builder()
+            .bool_var("b")
+            .unwrap()
+            .build()
+            .unwrap();
         let program = Program::builder("blind", &space)
             .init_str("~b")
             .unwrap()
@@ -370,6 +414,41 @@ mod tests {
         assert!(sols.solutions()[0].everywhere());
         // And the iterative solver finds it from below.
         assert!(kbp.solve_iterative(10).unwrap().solution().is_some());
+    }
+
+    #[test]
+    fn iterate_memoizes_per_candidate() {
+        let space = StateSpace::builder()
+            .nat_var("i", 3)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("std", &space)
+            .init_str("i = 0")
+            .unwrap()
+            .statement(
+                Statement::new("inc")
+                    .guard_str("i < 2")
+                    .unwrap()
+                    .assign_str("i", "i + 1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program);
+        let x = kbp.program().init().clone();
+        let first = kbp.iterate(&x).unwrap();
+        assert_eq!(kbp.cached_candidates(), 1);
+        // Second evaluation of the same candidate is served from cache and
+        // adds no entry.
+        assert_eq!(kbp.iterate(&x).unwrap(), first);
+        assert_eq!(kbp.cached_candidates(), 1);
+        // is_solution rides the same cache.
+        assert!(kbp.is_solution(&first).unwrap());
+        assert_eq!(kbp.cached_candidates(), 2);
+        // with_init starts fresh (the equation changed).
+        let other = kbp.with_init(first);
+        assert_eq!(other.cached_candidates(), 0);
     }
 
     #[test]
@@ -412,11 +491,13 @@ mod tests {
             .build()
             .unwrap();
         let kbp = Kbp::new(program);
-        let stronger = Kbp::new(kbp.program().with_init(
-            kpt_logic::EvalContext::new(&space)
-                .eval(&kpt_logic::parse_formula("i = 2").unwrap())
-                .unwrap(),
-        ));
+        let stronger = Kbp::new(
+            kbp.program().with_init(
+                kpt_logic::EvalContext::new(&space)
+                    .eval(&kpt_logic::parse_formula("i = 2").unwrap())
+                    .unwrap(),
+            ),
+        );
         let s1 = kbp.solve_exhaustive(16).unwrap();
         let s2 = stronger.solve_exhaustive(16).unwrap();
         assert_eq!(s1.solutions()[0].count(), 3);

@@ -21,7 +21,7 @@ use kpt_state::{Predicate, StateSpace, VarSet};
 use kpt_transformers::{gfp, Transformer};
 use kpt_unity::CompiledProgram;
 
-use crate::wcyl::wcyl;
+use crate::context::KnowledgeContext;
 
 /// The knowledge operator of eq. (13) for a fixed strongest invariant and a
 /// set of process views.
@@ -55,9 +55,7 @@ use crate::wcyl::wcyl;
 /// ```
 #[derive(Debug, Clone)]
 pub struct KnowledgeOperator {
-    space: Arc<StateSpace>,
-    views: Vec<(String, VarSet)>,
-    si: Predicate,
+    ctx: Arc<KnowledgeContext>,
 }
 
 impl KnowledgeOperator {
@@ -65,32 +63,31 @@ impl KnowledgeOperator {
     /// `SI` is its strongest invariant.
     pub fn for_program(program: &CompiledProgram) -> Self {
         KnowledgeOperator {
-            space: Arc::clone(program.space()),
-            views: program
-                .processes()
-                .iter()
-                .map(|p| (p.name().to_owned(), p.view()))
-                .collect(),
-            si: program.si().clone(),
+            ctx: Arc::new(KnowledgeContext::for_program(program)),
         }
     }
 
     /// Build with an explicit (candidate) strongest invariant.
-    pub fn with_si(
-        space: &Arc<StateSpace>,
-        views: Vec<(String, VarSet)>,
-        si: Predicate,
-    ) -> Self {
+    pub fn with_si(space: &Arc<StateSpace>, views: Vec<(String, VarSet)>, si: Predicate) -> Self {
         KnowledgeOperator {
-            space: Arc::clone(space),
-            views,
-            si,
+            ctx: Arc::new(KnowledgeContext::new(space, views, si)),
         }
+    }
+
+    /// Wrap an existing shared context.
+    pub fn from_context(ctx: Arc<KnowledgeContext>) -> Self {
+        KnowledgeOperator { ctx }
+    }
+
+    /// The shared evaluation context (caches `SI`, `¬SI`, sweep orders and
+    /// memoized `K p` results).
+    pub fn context(&self) -> &Arc<KnowledgeContext> {
+        &self.ctx
     }
 
     /// The strongest invariant knowledge is evaluated against.
     pub fn si(&self) -> &Predicate {
-        &self.si
+        self.ctx.si()
     }
 
     /// The view of a named process.
@@ -98,11 +95,7 @@ impl KnowledgeOperator {
     /// # Errors
     /// [`EvalError::UnknownProcess`] for undeclared names.
     pub fn view(&self, process: &str) -> Result<VarSet, EvalError> {
-        self.views
-            .iter()
-            .find(|(n, _)| n == process)
-            .map(|(_, v)| *v)
-            .ok_or_else(|| EvalError::UnknownProcess(process.to_owned()))
+        self.ctx.view(process)
     }
 
     /// `K_i p` by eq. (13), for the view of a named process.
@@ -110,15 +103,14 @@ impl KnowledgeOperator {
     /// # Errors
     /// [`EvalError::UnknownProcess`] for undeclared names.
     pub fn knows(&self, process: &str, p: &Predicate) -> Result<Predicate, EvalError> {
-        Ok(self.knows_view(self.view(process)?, p))
+        self.ctx.knows(process, p)
     }
 
     /// `K p` by eq. (13) for an explicit view:
-    /// `p ∧ (wcyl.V.(SI ⇒ p) ∨ ¬SI)`.
+    /// `p ∧ (wcyl.V.(SI ⇒ p) ∨ ¬SI)`. Memoized in the context.
     #[must_use]
     pub fn knows_view(&self, view: VarSet, p: &Predicate) -> Predicate {
-        let cylinder = wcyl(&view, &self.si.implies(p));
-        p.and(&cylinder.or(&self.si.negate()))
+        self.ctx.knows_view(view, p)
     }
 
     /// Everyone-in-`group` knows: `E_G p = (∀ i ∈ G :: K_i p)`.
@@ -126,9 +118,9 @@ impl KnowledgeOperator {
     /// # Errors
     /// [`EvalError::UnknownProcess`] for undeclared names.
     pub fn everyone(&self, group: &[&str], p: &Predicate) -> Result<Predicate, EvalError> {
-        let mut out = Predicate::tt(&self.space);
+        let mut out = Predicate::tt(self.ctx.space());
         for proc in group {
-            out = out.and(&self.knows(proc, p)?);
+            out.and_assign(&self.knows(proc, p)?);
         }
         Ok(out)
     }
@@ -142,12 +134,12 @@ impl KnowledgeOperator {
     /// [`EvalError::UnknownProcess`] for undeclared names.
     pub fn common(&self, group: &[&str], p: &Predicate) -> Result<Predicate, EvalError> {
         let mut err = None;
-        let result = gfp(&self.space, |x| {
+        let result = gfp(self.ctx.space(), |x| {
             match self.everyone(group, &p.and(x)) {
                 Ok(r) => r,
                 Err(e) => {
                     err = Some(e);
-                    Predicate::ff(&self.space)
+                    Predicate::ff(self.ctx.space())
                 }
             }
         });
@@ -202,7 +194,7 @@ impl<'a> KnowsTransformer<'a> {
 
 impl Transformer for KnowsTransformer<'_> {
     fn space(&self) -> &Arc<StateSpace> {
-        &self.op.space
+        self.op.ctx.space()
     }
 
     fn apply(&self, p: &Predicate) -> Predicate {
@@ -218,8 +210,8 @@ impl Transformer for KnowsTransformer<'_> {
 mod tests {
     use super::*;
     use kpt_transformers::{
-        check_finitely_disjunctive, check_monotonic, check_universally_conjunctive,
-        Strategy, Verdict,
+        check_finitely_disjunctive, check_monotonic, check_universally_conjunctive, Strategy,
+        Verdict,
     };
     use kpt_unity::{Program, Statement};
 
@@ -361,8 +353,7 @@ mod tests {
                     continue;
                 }
                 let k_big = KnowledgeOperator::with_si(&space, views.clone(), si_big.clone());
-                let k_small =
-                    KnowledgeOperator::with_si(&space, views.clone(), si_small.clone());
+                let k_small = KnowledgeOperator::with_si(&space, views.clone(), si_small.clone());
                 for p in preds.iter().step_by(7) {
                     let kb = k_big.knows("P0", p).unwrap();
                     let ks = k_small.knows("P0", p).unwrap();
@@ -516,7 +507,7 @@ mod tests {
             ("B".to_owned(), space.var_set(["b"]).unwrap()),
         ];
         let si = Predicate::tt(&space);
-        let k = KnowledgeOperator::with_si(&space, views, si.clone());
+        let k = KnowledgeOperator::with_si(&space, views, si);
         for p in all_preds(&space) {
             assert_eq!(k.distributed(&["A", "B"], &p).unwrap(), p);
         }

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod context;
 mod error;
 mod examples;
 mod kbp;
@@ -58,13 +59,13 @@ mod muddy;
 mod runs_equiv;
 mod wcyl;
 
+pub use context::KnowledgeContext;
 pub use error::CoreError;
 pub use examples::{figure1, figure2, figure2_space};
 pub use kbp::{IterativeOutcome, Kbp, SolutionSet};
 pub use knowledge::{KnowledgeOperator, KnowsTransformer};
 pub use muddy::{
-    muddy_children, muddy_children_n, muddy_children_with_memory,
-    muddy_children_with_memory_n,
+    muddy_children, muddy_children_n, muddy_children_with_memory, muddy_children_with_memory_n,
 };
 pub use runs_equiv::{semantics_agree, view_knowledge, Disagreement};
 pub use wcyl::{wcyl, WcylTransformer};

@@ -314,11 +314,10 @@ mod tests {
             .eval(&kpt_logic::parse_formula("mud0 /\\ mud1 /\\ mud2 /\\ ~said0").unwrap())
             .unwrap();
         for round in 0..3u64 {
-            let here = solution
-                .and(&all_muddy)
-                .and(&ctx
-                    .eval(&kpt_logic::Formula::var_eq("round", round as i64))
-                    .unwrap());
+            let here = solution.and(&all_muddy).and(
+                &ctx.eval(&kpt_logic::Formula::var_eq("round", round as i64))
+                    .unwrap(),
+            );
             if round < 2 {
                 assert!(
                     !here.is_false() && here.and(&k0).is_false(),

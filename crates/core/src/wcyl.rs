@@ -85,8 +85,8 @@ impl Transformer for WcylTransformer {
 mod tests {
     use super::*;
     use kpt_transformers::{
-        check_finitely_disjunctive, check_monotonic, check_universally_conjunctive,
-        Strategy, Verdict,
+        check_finitely_disjunctive, check_monotonic, check_universally_conjunctive, Strategy,
+        Verdict,
     };
 
     fn space() -> Arc<StateSpace> {

@@ -233,22 +233,14 @@ impl Formula {
     /// conjunction of `body[name := v]` for `v` in `range`. This realises
     /// the paper's free-variable properties such as
     /// `(∀ l : 0 ≤ l < j : K_R x_l)` on bounded instances.
-    pub fn forall_range(
-        name: &str,
-        range: std::ops::Range<i64>,
-        body: &Formula,
-    ) -> Formula {
+    pub fn forall_range(name: &str, range: std::ops::Range<i64>, body: &Formula) -> Formula {
         Formula::conj(range.map(|v| body.subst_const(name, v)))
     }
 
     /// Bounded existential quantification over a rigid parameter: the
     /// disjunction of `body[name := v]` for `v` in `range` (the paper's
     /// `(∃ α : α ∈ A : …)` on bounded instances).
-    pub fn exists_range(
-        name: &str,
-        range: std::ops::Range<i64>,
-        body: &Formula,
-    ) -> Formula {
+    pub fn exists_range(name: &str, range: std::ops::Range<i64>, body: &Formula) -> Formula {
         Formula::disj(range.map(|v| body.subst_const(name, v)))
     }
 
@@ -312,11 +304,9 @@ impl Formula {
         match self {
             Formula::Const(_) => self.clone(),
             Formula::BoolVar(_) => self.clone(),
-            Formula::Cmp(op, a, b) => Formula::Cmp(
-                *op,
-                a.subst_const(name, value),
-                b.subst_const(name, value),
-            ),
+            Formula::Cmp(op, a, b) => {
+                Formula::Cmp(*op, a.subst_const(name, value), b.subst_const(name, value))
+            }
             Formula::Not(f) => Formula::Not(Box::new(f.subst_const(name, value))),
             Formula::And(a, b) => Formula::And(
                 Box::new(a.subst_const(name, value)),
@@ -341,9 +331,7 @@ impl Formula {
                 Formula::Exists(v.clone(), Box::new(f.subst_const(name, value)))
             }
             Formula::Forall(_, _) | Formula::Exists(_, _) => self.clone(),
-            Formula::Knows(p, f) => {
-                Formula::Knows(p.clone(), Box::new(f.subst_const(name, value)))
-            }
+            Formula::Knows(p, f) => Formula::Knows(p.clone(), Box::new(f.subst_const(name, value))),
         }
     }
 
@@ -441,10 +429,7 @@ mod tests {
         // (x_k = alpha)@k=2 — here modelled as var `xk` vs parameter k.
         let f = Formula::cmp(CmpOp::Eq, Expr::ident("j"), Expr::ident("k"));
         let g = f.subst_const("k", 2);
-        assert_eq!(
-            g,
-            Formula::cmp(CmpOp::Eq, Expr::ident("j"), Expr::Const(2))
-        );
+        assert_eq!(g, Formula::cmp(CmpOp::Eq, Expr::ident("j"), Expr::Const(2)));
         // Bound occurrences are untouched.
         let h = Formula::forall("k", f.clone()).subst_const("k", 2);
         assert_eq!(h, Formula::forall("k", f));
@@ -487,12 +472,9 @@ mod tests {
     #[test]
     fn simplify_iff_and_implies_with_false() {
         let x = Formula::bool_var("x");
-        assert_eq!(
-            x.clone().iff(Formula::ff()).simplify(),
-            x.clone().not()
-        );
+        assert_eq!(x.clone().iff(Formula::ff()).simplify(), x.clone().not());
         assert_eq!(x.clone().implies(Formula::ff()).simplify(), x.clone().not());
-        assert_eq!(Formula::ff().implies(x.clone()).simplify(), Formula::tt());
+        assert_eq!(Formula::ff().implies(x).simplify(), Formula::tt());
     }
 
     #[test]

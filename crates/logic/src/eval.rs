@@ -18,8 +18,7 @@ use crate::error::EvalError;
 /// The signature of a pluggable knowledge semantics: given a process name
 /// and the semantic predicate of the body, produce the semantic predicate of
 /// `K{process}(body)`.
-pub type KnowledgeFn<'a> =
-    dyn Fn(&str, &Predicate) -> Result<Predicate, EvalError> + 'a;
+pub type KnowledgeFn<'a> = dyn Fn(&str, &Predicate) -> Result<Predicate, EvalError> + 'a;
 
 /// Context for evaluating formulas over a state space.
 ///
@@ -150,10 +149,7 @@ impl<'a> EvalContext<'a> {
     /// # Panics
     /// Panics if `state` is out of range for the space.
     pub fn holds_at(&self, f: &Formula, state: u64) -> Result<bool, EvalError> {
-        assert!(
-            state < self.space.num_states(),
-            "state index out of range"
-        );
+        assert!(state < self.space.num_states(), "state index out of range");
         match f {
             Formula::Const(b) => Ok(*b),
             Formula::BoolVar(name) => {
@@ -197,9 +193,7 @@ impl<'a> EvalContext<'a> {
             Formula::Not(g) => Ok(!self.holds_at(g, state)?),
             Formula::And(a, b) => Ok(self.holds_at(a, state)? && self.holds_at(b, state)?),
             Formula::Or(a, b) => Ok(self.holds_at(a, state)? || self.holds_at(b, state)?),
-            Formula::Implies(a, b) => {
-                Ok(!self.holds_at(a, state)? || self.holds_at(b, state)?)
-            }
+            Formula::Implies(a, b) => Ok(!self.holds_at(a, state)? || self.holds_at(b, state)?),
             Formula::Iff(a, b) => Ok(self.holds_at(a, state)? == self.holds_at(b, state)?),
             Formula::Forall(name, body) => {
                 let var = self.quantified_var(name)?;
@@ -411,9 +405,7 @@ mod tests {
     fn knowledge_requires_semantics() {
         let sp = space();
         let ctx = EvalContext::new(&sp);
-        let e = ctx
-            .eval(&parse_formula("K{S}(b)").unwrap())
-            .unwrap_err();
+        let e = ctx.eval(&parse_formula("K{S}(b)").unwrap()).unwrap_err();
         assert_eq!(e, EvalError::KnowledgeUnavailable);
     }
 
@@ -462,7 +454,10 @@ mod tests {
         ));
         // Boolean-valued parameter is fine.
         let ctx3 = EvalContext::new(&sp).with_param("k", 1);
-        assert!(ctx3.eval(&parse_formula("k").unwrap()).unwrap().everywhere());
+        assert!(ctx3
+            .eval(&parse_formula("k").unwrap())
+            .unwrap()
+            .everywhere());
     }
 
     #[test]

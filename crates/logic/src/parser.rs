@@ -254,10 +254,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .map(|(o, _)| *o)
-            .unwrap_or(self.len)
+        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.len)
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -539,8 +536,7 @@ mod tests {
         let f = parse("a => b => c");
         assert_eq!(
             f,
-            Formula::bool_var("a")
-                .implies(Formula::bool_var("b").implies(Formula::bool_var("c")))
+            Formula::bool_var("a").implies(Formula::bool_var("b").implies(Formula::bool_var("c")))
         );
     }
 
@@ -553,10 +549,7 @@ mod tests {
     #[test]
     fn negation_binds_tightly() {
         let f = parse("~a /\\ b");
-        assert_eq!(
-            f,
-            Formula::bool_var("a").not().and(Formula::bool_var("b"))
-        );
+        assert_eq!(f, Formula::bool_var("a").not().and(Formula::bool_var("b")));
         assert_eq!(parse("!a"), parse("~a"));
     }
 
@@ -569,22 +562,13 @@ mod tests {
     #[test]
     fn knowledge_modality() {
         let f = parse("K{S}(K{R}(xk = a))");
-        assert_eq!(
-            f,
-            Formula::var_is("xk", "a").known_by("R").known_by("S")
-        );
+        assert_eq!(f, Formula::var_is("xk", "a").known_by("R").known_by("S"));
     }
 
     #[test]
     fn quantifiers_extend_right() {
         let f = parse("forall k :: j = k => w = k");
-        assert_eq!(
-            f,
-            Formula::forall(
-                "k",
-                parse("j = k => w = k")
-            )
-        );
+        assert_eq!(f, Formula::forall("k", parse("j = k => w = k")));
         let g = parse("exists a :: z = a");
         assert!(matches!(g, Formula::Exists(..)));
     }
@@ -648,7 +632,17 @@ mod tests {
 
     #[test]
     fn errors_have_offsets() {
-        for bad in ["", "K{S}", "a /\\", "(a", "1 +", "a ::", "forall :: x", "@", "a b"] {
+        for bad in [
+            "",
+            "K{S}",
+            "a /\\",
+            "(a",
+            "1 +",
+            "a ::",
+            "forall :: x",
+            "@",
+            "a b",
+        ] {
             let e = parse_formula(bad).unwrap_err();
             assert!(e.offset <= bad.len(), "{bad}: offset {}", e.offset);
         }

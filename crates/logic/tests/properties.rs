@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use kpt_logic::{parse_formula, CmpOp, EvalContext, Expr, Formula};
 use kpt_state::StateSpace;
-use proptest::prelude::*;
+use kpt_testkit::{check, Rng};
 
 fn space() -> Arc<StateSpace> {
     StateSpace::builder()
@@ -21,114 +21,148 @@ fn space() -> Arc<StateSpace> {
         .unwrap()
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..4).prop_map(Expr::Const),
-        prop_oneof![Just("i"), Just("j"), Just("k")].prop_map(Expr::ident),
-    ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
-            (inner.clone(), inner).prop_map(|(a, b)| a.sub(b)),
-        ]
-    })
+fn random_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.5) {
+        if rng.gen_bool(0.5) {
+            Expr::Const(rng.gen_range(0..4) as i64)
+        } else {
+            Expr::ident(["i", "j", "k"][rng.below(3) as usize])
+        }
+    } else {
+        let a = random_expr(rng, depth - 1);
+        let b = random_expr(rng, depth - 1);
+        if rng.gen_bool(0.5) {
+            a.add(b)
+        } else {
+            a.sub(b)
+        }
+    }
 }
 
-fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn random_cmp(rng: &mut Rng) -> CmpOp {
+    [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][rng.below(6) as usize]
 }
 
-fn formula_strategy() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::tt()),
-        Just(Formula::ff()),
-        prop_oneof![Just("p"), Just("q")].prop_map(Formula::bool_var),
-        (cmp_strategy(), expr_strategy(), expr_strategy())
-            .prop_map(|(op, a, b)| Formula::cmp(op, a, b)),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
-            (prop_oneof![Just("i"), Just("j")], inner.clone())
-                .prop_map(|(v, f)| Formula::forall(v, f)),
-            (prop_oneof![Just("i"), Just("j")], inner)
-                .prop_map(|(v, f)| Formula::exists(v, f)),
-        ]
-    })
+fn random_leaf(rng: &mut Rng) -> Formula {
+    match rng.below(4) {
+        0 => Formula::tt(),
+        1 => Formula::ff(),
+        2 => Formula::bool_var(if rng.gen_bool(0.5) { "p" } else { "q" }),
+        _ => Formula::cmp(random_cmp(rng), random_expr(rng, 2), random_expr(rng, 2)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_formula(rng: &mut Rng, depth: u32) -> Formula {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return random_leaf(rng);
+    }
+    match rng.below(7) {
+        0 => Formula::not(random_formula(rng, depth - 1)),
+        1 => random_formula(rng, depth - 1).and(random_formula(rng, depth - 1)),
+        2 => random_formula(rng, depth - 1).or(random_formula(rng, depth - 1)),
+        3 => random_formula(rng, depth - 1).implies(random_formula(rng, depth - 1)),
+        4 => random_formula(rng, depth - 1).iff(random_formula(rng, depth - 1)),
+        5 => Formula::forall(
+            if rng.gen_bool(0.5) { "i" } else { "j" },
+            random_formula(rng, depth - 1),
+        ),
+        _ => Formula::exists(
+            if rng.gen_bool(0.5) { "i" } else { "j" },
+            random_formula(rng, depth - 1),
+        ),
+    }
+}
 
-    #[test]
-    fn printer_parser_roundtrip(f in formula_strategy()) {
+#[test]
+fn printer_parser_roundtrip() {
+    check("printer_parser_roundtrip", 256, |rng| {
+        let f = random_formula(rng, 3);
         let printed = f.to_string();
         let reparsed = parse_formula(&printed)
             .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
-        prop_assert_eq!(&reparsed, &f, "printed as `{}`", printed);
-    }
+        assert_eq!(&reparsed, &f, "printed as `{printed}`");
+    });
+}
 
-    #[test]
-    fn simplify_preserves_semantics(f in formula_strategy(), k in 0i64..3) {
+#[test]
+fn simplify_preserves_semantics() {
+    check("simplify_preserves_semantics", 256, |rng| {
+        let f = random_formula(rng, 3);
+        let k = rng.gen_range(0..3) as i64;
         let sp = space();
         let ctx = EvalContext::new(&sp).with_param("k", k);
         let original = ctx.eval(&f).unwrap();
         let simplified = ctx.eval(&f.simplify()).unwrap();
-        prop_assert_eq!(original, simplified);
-    }
+        assert_eq!(original, simplified);
+    });
+}
 
-    #[test]
-    fn simplify_is_idempotent(f in formula_strategy()) {
+#[test]
+fn simplify_is_idempotent() {
+    check("simplify_is_idempotent", 256, |rng| {
+        let f = random_formula(rng, 3);
         let once = f.simplify();
-        prop_assert_eq!(once.simplify(), once);
-    }
+        assert_eq!(once.simplify(), once);
+    });
+}
 
-    #[test]
-    fn subst_const_matches_param_binding(f in formula_strategy(), k in 0i64..3) {
+#[test]
+fn subst_const_matches_param_binding() {
+    check("subst_const_matches_param_binding", 256, |rng| {
         // Substituting k syntactically equals binding k in the context.
+        let f = random_formula(rng, 3);
+        let k = rng.gen_range(0..3) as i64;
         let sp = space();
         let bound = EvalContext::new(&sp).with_param("k", k);
         let substituted = EvalContext::new(&sp);
         let direct = bound.eval(&f).unwrap();
         let via_subst = substituted.eval(&f.subst_const("k", k)).unwrap();
-        prop_assert_eq!(direct, via_subst);
-    }
+        assert_eq!(direct, via_subst);
+    });
+}
 
-    #[test]
-    fn holds_at_matches_eval(f in formula_strategy(), k in 0i64..3) {
+#[test]
+fn holds_at_matches_eval() {
+    check("holds_at_matches_eval", 128, |rng| {
+        let f = random_formula(rng, 3);
+        let k = rng.gen_range(0..3) as i64;
         let sp = space();
         let ctx = EvalContext::new(&sp).with_param("k", k);
         let full = ctx.eval(&f).unwrap();
         for st in 0..sp.num_states() {
-            prop_assert_eq!(ctx.holds_at(&f, st).unwrap(), full.holds(st));
+            assert_eq!(ctx.holds_at(&f, st).unwrap(), full.holds(st));
         }
-    }
+    });
+}
 
-    #[test]
-    fn free_idents_are_sound(f in formula_strategy()) {
+#[test]
+fn free_idents_are_sound() {
+    check("free_idents_are_sound", 256, |rng| {
         // Substituting an identifier NOT free in f changes nothing.
+        let f = random_formula(rng, 3);
         let g = f.subst_const("zzz_not_used", 7);
-        prop_assert_eq!(g, f.clone());
+        assert_eq!(g, f);
         // And every reported free ident, when it's `k`, is substitutable.
         if f.free_idents().contains("k") {
             let h = f.subst_const("k", 1);
-            prop_assert!(!h.free_idents().contains("k"));
+            assert!(!h.free_idents().contains("k"));
         }
-    }
+    });
+}
 
-    #[test]
-    fn forall_range_is_finite_conjunction(f in formula_strategy(), lo in 0i64..2, n in 1i64..4) {
+#[test]
+fn forall_range_is_finite_conjunction() {
+    check("forall_range_is_finite_conjunction", 128, |rng| {
+        let f = random_formula(rng, 3);
+        let lo = rng.gen_range(0..2) as i64;
+        let n = rng.gen_range(1..4) as i64;
         let sp = space();
         let ctx = EvalContext::new(&sp);
         let expanded = Formula::forall_range("k", lo..lo + n, &f);
@@ -136,6 +170,6 @@ proptest! {
         for v in lo..lo + n {
             conj = conj.and(&EvalContext::new(&sp).with_param("k", v).eval(&f).unwrap());
         }
-        prop_assert_eq!(ctx.eval(&expanded).unwrap(), conj);
-    }
+        assert_eq!(ctx.eval(&expanded).unwrap(), conj);
+    });
 }

@@ -72,12 +72,11 @@ impl AltBitModel {
     pub fn build(a: usize, l: usize) -> Result<Self, UnityError> {
         let enc = Encoding::new(a, l);
         let zp_labels: Vec<String> = std::iter::once("bot".to_owned())
-            .chain((0..2u64).flat_map(|b| {
-                (0..a as u64)
-                    .map(move |d| (b, d))
-                    .collect::<Vec<_>>()
-            })
-            .map(|(b, d)| format!("f{b}{}", enc.letter(d))))
+            .chain(
+                (0..2u64)
+                    .flat_map(|b| (0..a as u64).map(move |d| (b, d)).collect::<Vec<_>>())
+                    .map(|(b, d)| format!("f{b}{}", enc.letter(d))),
+            )
             .collect();
         let space = StateSpace::builder()
             .enum_var("xseq", enc.x_labels())?
@@ -121,7 +120,13 @@ impl AltBitModel {
         let l = enc.len() as u64;
         let a = enc.alphabet() as u64;
         let (v_x, v_i, v_z, v_sent_s, v_w, v_j, v_zp, v_sent_r) = (
-            self.v_x, self.v_i, self.v_z, self.v_sent_s, self.v_w, self.v_j, self.v_zp,
+            self.v_x,
+            self.v_i,
+            self.v_z,
+            self.v_sent_s,
+            self.v_w,
+            self.v_j,
+            self.v_zp,
             self.v_sent_r,
         );
         let me = self.clone_for_closures();
@@ -145,9 +150,7 @@ impl AltBitModel {
         // current ack bit if it has been sent.
         // n = 0: ⊥; n = 1: the in-flight ack.
         for n in 0..2u64 {
-            let guard = me.pred(move |s| {
-                s.i < l && s.z != Some(s.i % 2) && (n == 0 || s.sent_r)
-            });
+            let guard = me.pred(move |s| s.i < l && s.z != Some(s.i % 2) && (n == 0 || s.sent_r));
             builder = builder.statement(
                 Statement::new(if n == 0 {
                     "s_send_recv_bot"
@@ -165,9 +168,7 @@ impl AltBitModel {
                     sp.with_value(st, v_z, new_z)
                 }),
             );
-            let guard = me.pred(move |s| {
-                s.i < l && s.z == Some(s.i % 2) && (n == 0 || s.sent_r)
-            });
+            let guard = me.pred(move |s| s.i < l && s.z == Some(s.i % 2) && (n == 0 || s.sent_r));
             builder = builder.statement(
                 Statement::new(if n == 0 {
                     "s_next_recv_bot"
@@ -194,9 +195,7 @@ impl AltBitModel {
         for alpha in 0..a {
             for n in 0..2u64 {
                 let guard = me.pred(move |s| {
-                    s.j < l
-                        && s.zp == Some((s.j % 2, alpha))
-                        && (n == 0 || (s.sent_s && s.i < l))
+                    s.j < l && s.zp == Some((s.j % 2, alpha)) && (n == 0 || (s.sent_s && s.i < l))
                 });
                 builder = builder.statement(
                     Statement::new(format!(
@@ -233,8 +232,7 @@ impl AltBitModel {
         // expected frame.
         for n in 0..2u64 {
             let guard = me.pred(move |s| {
-                !matches!(s.zp, Some((b, _)) if b == s.j % 2)
-                    && (n == 0 || (s.sent_s && s.i < l))
+                !matches!(s.zp, Some((b, _)) if b == s.j % 2) && (n == 0 || (s.sent_s && s.i < l))
             });
             builder = builder.statement(
                 Statement::new(if n == 0 {
@@ -434,12 +432,9 @@ mod tests {
     fn model_is_much_smaller_than_figure4() {
         // The point of the refinement: finite (and small) state.
         let abp = AltBitModel::build(2, 2).unwrap();
-        let fig4 = crate::standard::StandardModel::build(
-            2,
-            2,
-            crate::standard::ModelOptions::default(),
-        )
-        .unwrap();
+        let fig4 =
+            crate::standard::StandardModel::build(2, 2, crate::standard::ModelOptions::default())
+                .unwrap();
         assert!(abp.space().num_states() * 2 < fig4.space().num_states());
     }
 

@@ -33,7 +33,10 @@ impl Encoding {
     /// Panics if `a` or `l` is out of range.
     pub fn new(a: usize, l: usize) -> Self {
         assert!((2..=6).contains(&a), "alphabet size {a} out of range 2..=6");
-        assert!((1..=6).contains(&l), "sequence length {l} out of range 1..=6");
+        assert!(
+            (1..=6).contains(&l),
+            "sequence length {l} out of range 1..=6"
+        );
         Encoding { a, l }
     }
 
@@ -239,12 +242,11 @@ impl Encoding {
     /// Data-slot labels: `bot`, `d0a`, `d0b`, `d1a`, ….
     pub fn zp_labels(&self) -> Vec<String> {
         std::iter::once("bot".to_owned())
-            .chain((0..self.l as u64).flat_map(|k| {
-                (0..self.a as u64)
-                    .map(move |d| (k, d))
-                    .collect::<Vec<_>>()
-            })
-            .map(|(k, d)| format!("d{k}{}", self.letter(d))))
+            .chain(
+                (0..self.l as u64)
+                    .flat_map(|k| (0..self.a as u64).map(move |d| (k, d)).collect::<Vec<_>>())
+                    .map(|(k, d)| format!("d{k}{}", self.letter(d))),
+            )
             .collect()
     }
 
@@ -316,10 +318,7 @@ mod tests {
         assert_eq!(e.w_len(0), 0);
         assert_eq!(e.w_len(1), 1);
         assert_eq!(e.w_len(3), 2);
-        assert_eq!(
-            e.w_labels(),
-            vec!["-", "a", "b", "aa", "ab", "ba", "bb"]
-        );
+        assert_eq!(e.w_labels(), vec!["-", "a", "b", "aa", "ab", "ba", "bb"]);
     }
 
     #[test]

@@ -19,9 +19,9 @@ use kpt_logic::Formula;
 use kpt_state::StateSpace;
 use kpt_unity::{Program, Statement, UnityError};
 
-use crate::standard::StandardModel;
 #[cfg(test)]
 use crate::standard::ModelOptions;
+use crate::standard::StandardModel;
 
 /// The formula `x_k = α`: a disjunction over the `xseq` labels whose `k`-th
 /// element is `α` (the ground fact the Receiver learns).
@@ -35,10 +35,7 @@ fn x_elem_formula(model: &StandardModel, k: u64, alpha: u64) -> Formula {
         (0..enc.x_count())
             .filter(|&code| enc.x_digit(code, k as usize) == alpha)
             .map(|code| {
-                Formula::var_is(
-                    "xseq",
-                    domain.code_label(code).expect("xseq label exists"),
-                )
+                Formula::var_is("xseq", domain.code_label(code).expect("xseq label exists"))
             }),
     )
 }
@@ -46,9 +43,7 @@ fn x_elem_formula(model: &StandardModel, k: u64, alpha: u64) -> Formula {
 /// `K_R x_k = (∃ α :: K_R(x_k = α))` as a formula.
 fn kr_xk_formula(model: &StandardModel, k: u64) -> Formula {
     let a = model.encoding().alphabet() as u64;
-    Formula::disj(
-        (0..a).map(|alpha| x_elem_formula(model, k, alpha).known_by("Receiver")),
-    )
+    Formula::disj((0..a).map(|alpha| x_elem_formula(model, k, alpha).known_by("Receiver")))
 }
 
 /// Build the Figure-3 knowledge-based protocol on the bounded state space

@@ -28,10 +28,7 @@ use crate::standard::StandardModel;
 /// The real knowledge operator of a compiled standard model, with the
 /// Sender/Receiver views.
 #[must_use]
-pub fn knowledge_operator(
-    model: &StandardModel,
-    compiled: &CompiledProgram,
-) -> KnowledgeOperator {
+pub fn knowledge_operator(model: &StandardModel, compiled: &CompiledProgram) -> KnowledgeOperator {
     KnowledgeOperator::with_si(
         model.space(),
         vec![
@@ -44,12 +41,7 @@ pub fn knowledge_operator(
 
 /// The real `K_R(x_k = α)`.
 #[must_use]
-pub fn real_kr_x(
-    model: &StandardModel,
-    op: &KnowledgeOperator,
-    k: u64,
-    alpha: u64,
-) -> Predicate {
+pub fn real_kr_x(model: &StandardModel, op: &KnowledgeOperator, k: u64, alpha: u64) -> Predicate {
     op.knows("Receiver", &model.x_elem(k as usize, alpha))
         .expect("Receiver is declared")
 }
@@ -338,11 +330,7 @@ mod tests {
         for k in 0..2u64 {
             let real = real_ks_kr(&m, &op, k);
             let no_ack = m.pred(move |s| s.i == k && s.z != Some(k + 1));
-            assert!(c
-                .si()
-                .and(&no_ack)
-                .and(&real)
-                .is_false());
+            assert!(c.si().and(&no_ack).and(&real).is_false());
         }
     }
 }

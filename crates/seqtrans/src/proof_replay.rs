@@ -94,7 +94,7 @@ pub fn replay_safety(
     let w_len = ctx.invariant_text(&model.w_len_eq_j(), None)?;
     steps.push(Step {
         equation: "(36)".into(),
-        theorem: w_len.clone(),
+        theorem: w_len,
     });
 
     // (34): invariant (|w| = j ∧ w ⊑ x), proved from the text with the
@@ -184,10 +184,7 @@ pub fn replay_liveness_for_k(
         .expect("Sender declared");
     let escape = not_kr.negate();
     let kbp2_prop = Property::LeadsTo(not_kr.clone(), ks_j_ge_k.or(&escape));
-    discharged.push((
-        format!("(Kbp-2) k={k}"),
-        kbp2_prop.check(compiled),
-    ));
+    discharged.push((format!("(Kbp-2) k={k}"), kbp2_prop.check(compiled)));
     let a_kbp2 = ctx.assume(kbp2_prop);
     // PSP with (42), then weaken: j=k ∧ ¬K_R x_k ↦ K_S(j ≥ k) ∨ K_R x_k
     // (here: ∨ (j = k ∧ K_R x_k), the form used below).
@@ -255,10 +252,7 @@ pub fn replay_liveness_for_k(
     let lt44 = {
         let via_conj = ctx.strengthen_leads_to(&ks_j_ge_k.and(&conj_kskr), &lt47)?;
         // K_S(j ≥ k) ⇒ conj on SI, so K_S(j≥k) = K_S(j≥k) ∧ conj there:
-        ctx.substitution(
-            &via_conj,
-            Property::LeadsTo(ks_j_ge_k.clone(), i_ge_k.clone()),
-        )?
+        ctx.substitution(&via_conj, Property::LeadsTo(ks_j_ge_k, i_ge_k.clone()))?
     };
     steps.push(Step {
         equation: "(44)".into(),
@@ -268,9 +262,7 @@ pub fn replay_liveness_for_k(
     // ---- (48)+(49)+(45): i ≥ k ↦ K_R x_k -------------------------------
     let kskr_k = real_ks_kr(model, &op, k);
     // (48): invariant (i > k) ∨ (i = k ∧ K_S K_R x_k) ⇒ K_R x_k.
-    let past = model
-        .pred(move |s| s.i > k)
-        .or(&model.i_eq(k).and(&kskr_k));
+    let past = model.pred(move |s| s.i > k).or(&model.i_eq(k).and(&kskr_k));
     let lt48 = ctx.leads_to_implication(&past, &kr_any)?;
     steps.push(Step {
         equation: "(48)".into(),
@@ -309,7 +301,7 @@ pub fn replay_liveness_for_k(
     // (45): i ≥ k ↦ K_R x_k by disjunction of (48) and (49).
     let lt45 = {
         let d = ctx.leads_to_disj(&[lt48, lt49])?;
-        ctx.substitution(&d, Property::LeadsTo(i_ge_k.clone(), kr_any.clone()))?
+        ctx.substitution(&d, Property::LeadsTo(i_ge_k, kr_any.clone()))?
     };
     steps.push(Step {
         equation: "(45)".into(),
@@ -327,7 +319,7 @@ pub fn replay_liveness_for_k(
         let t2 = ctx.leads_to_trans(&lt43, &d)?;
         // PSP with (42), then tidy the shape.
         let psp = ctx.psp(&t2, &u42)?;
-        ctx.substitution(&psp, Property::LeadsTo(not_kr.clone(), with_kr.clone()))?
+        ctx.substitution(&psp, Property::LeadsTo(not_kr, with_kr))?
     };
     steps.push(Step {
         equation: "(41)".into(),
@@ -337,8 +329,8 @@ pub fn replay_liveness_for_k(
     // ---- (39): j = k ↦ j > k --------------------------------------------
     let lt39 = {
         let through = ctx.leads_to_trans(&lt41, &lt40)?;
-        let d = ctx.leads_to_disj(&[lt40.clone(), through])?;
-        ctx.substitution(&d, Property::LeadsTo(j_eq.clone(), j_gt.clone()))?
+        let d = ctx.leads_to_disj(&[lt40, through])?;
+        ctx.substitution(&d, Property::LeadsTo(j_eq, j_gt))?
     };
     steps.push(Step {
         equation: "(39)".into(),
@@ -392,8 +384,10 @@ mod tests {
         for k in 0..2 {
             let replay = replay_liveness_for_k(&m, &c, k).unwrap();
             // The paper's chain is all present.
-            for eq in ["(40)", "(42)", "(43)", "(44)", "(45)", "(47)", "(48)",
-                       "(49)", "(41)", "(39)", "(35)"] {
+            for eq in [
+                "(40)", "(42)", "(43)", "(44)", "(45)", "(47)", "(48)", "(49)", "(41)", "(39)",
+                "(35)",
+            ] {
                 assert!(replay.step(eq).is_some(), "missing {eq} for k={k}");
             }
             // Every theorem model-checks...

@@ -139,7 +139,13 @@ impl StandardModel {
         let enc = self.enc;
         let l = enc.len() as u64;
         let (v_x, v_i, v_z, v_w, v_j, v_zp, v_ms_s, v_ms_r) = (
-            self.v_x, self.v_i, self.v_z, self.v_w, self.v_j, self.v_zp, self.v_ms_s,
+            self.v_x,
+            self.v_i,
+            self.v_z,
+            self.v_w,
+            self.v_j,
+            self.v_zp,
+            self.v_ms_s,
             self.v_ms_r,
         );
 
@@ -287,13 +293,13 @@ impl StandardModel {
             // decoupling receives from process actions. Liveness then fails.
             builder = builder
                 .statement(
-                    Statement::new("adv_clear_data").update_with(move |sp, st| {
-                        sp.with_value(st, v_zp, enc.zp_bot())
-                    }),
+                    Statement::new("adv_clear_data")
+                        .update_with(move |sp, st| sp.with_value(st, v_zp, enc.zp_bot())),
                 )
-                .statement(Statement::new("adv_clear_ack").update_with(move |sp, st| {
-                    sp.with_value(st, v_z, enc.z_bot())
-                }));
+                .statement(
+                    Statement::new("adv_clear_ack")
+                        .update_with(move |sp, st| sp.with_value(st, v_z, enc.z_bot())),
+                );
         }
 
         builder.build()
@@ -406,9 +412,7 @@ impl StandardModel {
         let enc = self.enc;
         self.pred(move |s| {
             (s.j == k && s.zp == Some((k, alpha)))
-                || (s.j > k
-                    && enc.w_len(s.w) as u64 > k
-                    && enc.w_digit(s.w, k as usize) == alpha)
+                || (s.j > k && enc.w_len(s.w) as u64 > k && enc.w_digit(s.w, k as usize) == alpha)
         })
     }
 

@@ -96,8 +96,7 @@ pub fn run_stenning(config: &SimConfig, policy: StenningPolicy) -> SimReport {
             }
             _ => {
                 if j < total
-                    && (receiver_timer == u64::MAX
-                        || receiver_timer >= policy.receiver_timeout)
+                    && (receiver_timer == u64::MAX || receiver_timer >= policy.receiver_timeout)
                 {
                     acks.send(j);
                     acks_sent += 1;
@@ -210,7 +209,10 @@ mod tests {
     #[test]
     fn determinism() {
         let x = seq(20);
-        let a = run_stenning(&SimConfig::faulty(x.clone(), 0.4, 5), StenningPolicy::default());
+        let a = run_stenning(
+            &SimConfig::faulty(x.clone(), 0.4, 5),
+            StenningPolicy::default(),
+        );
         let b = run_stenning(&SimConfig::faulty(x, 0.4, 5), StenningPolicy::default());
         assert_eq!(a, b);
     }

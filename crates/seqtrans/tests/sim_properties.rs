@@ -5,76 +5,96 @@
 use kpt_seqtrans::altbit::{abp_config, run_altbit};
 use kpt_seqtrans::sim::{run_standard, SimConfig};
 use kpt_seqtrans::stenning::{run_stenning, StenningPolicy};
-use proptest::prelude::*;
+use kpt_testkit::{check, Rng};
 
-fn input() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(0u8..4, 0..40)
+fn input(rng: &mut Rng) -> Vec<u8> {
+    let n = rng.below(40) as usize;
+    (0..n).map(|_| rng.below(4) as u8).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn standard_always_delivers_exactly_x(x in input(), rate in 0.0f64..0.6, seed in any::<u64>()) {
+#[test]
+fn standard_always_delivers_exactly_x() {
+    check("standard_always_delivers_exactly_x", 64, |rng| {
+        let x = input(rng);
+        let rate = rng.gen_range(0..60) as f64 / 100.0;
+        let seed = rng.next_u64();
         let cfg = if rate == 0.0 {
             SimConfig::reliable(x.clone())
         } else {
             SimConfig::faulty(x.clone(), rate, seed)
         };
         let r = run_standard(&cfg);
-        prop_assert!(r.completed, "{r:?}");
-        prop_assert_eq!(r.delivered, x);
-    }
+        assert!(r.completed, "{r:?}");
+        assert_eq!(r.delivered, x);
+    });
+}
 
-    #[test]
-    fn all_protocols_agree_under_identical_faults(x in input(), seed in any::<u64>()) {
+#[test]
+fn all_protocols_agree_under_identical_faults() {
+    check("all_protocols_agree_under_identical_faults", 64, |rng| {
+        let x = input(rng);
+        let seed = rng.next_u64();
         let cfg = SimConfig::faulty(x.clone(), 0.3, seed);
         let a = run_standard(&cfg);
         let b = run_altbit(&abp_config(x.clone(), 0.3, seed));
         let c = run_stenning(&cfg, StenningPolicy::default());
         for r in [&a, &b, &c] {
-            prop_assert!(r.completed);
-            prop_assert_eq!(&r.delivered, &x);
+            assert!(r.completed);
+            assert_eq!(&r.delivered, &x);
         }
-    }
+    });
+}
 
-    #[test]
-    fn determinism_is_exact(x in input(), rate in 0.0f64..0.5, seed in any::<u64>()) {
+#[test]
+fn determinism_is_exact() {
+    check("determinism_is_exact", 64, |rng| {
+        let x = input(rng);
+        let rate = rng.gen_range(0..50) as f64 / 100.0;
+        let seed = rng.next_u64();
         let cfg = if rate == 0.0 {
-            SimConfig::reliable(x.clone())
+            SimConfig::reliable(x)
         } else {
             SimConfig::faulty(x, rate, seed)
         };
-        prop_assert_eq!(run_standard(&cfg), run_standard(&cfg));
-        prop_assert_eq!(
+        assert_eq!(run_standard(&cfg), run_standard(&cfg));
+        assert_eq!(
             run_stenning(&cfg, StenningPolicy::default()),
             run_stenning(&cfg, StenningPolicy::default())
         );
-    }
+    });
+}
 
-    #[test]
-    fn apriori_prefix_never_hurts(x in prop::collection::vec(0u8..3, 1..30), prefix in 0usize..5) {
+#[test]
+fn apriori_prefix_never_hurts() {
+    check("apriori_prefix_never_hurts", 64, |rng| {
+        let n = rng.gen_range(1..30) as usize;
+        let x: Vec<u8> = (0..n).map(|_| rng.below(3) as u8).collect();
+        let prefix = rng.below(5) as usize;
         let base = run_standard(&SimConfig::reliable(x.clone()));
         let mut cfg = SimConfig::reliable(x.clone());
         cfg.apriori_prefix = prefix;
         let ap = run_standard(&cfg);
-        prop_assert!(ap.completed);
-        prop_assert_eq!(&ap.delivered, &x);
+        assert!(ap.completed);
+        assert_eq!(&ap.delivered, &x);
         // Knowing a prefix can only reduce (or preserve) data messages.
-        prop_assert!(ap.data_sent <= base.data_sent);
+        assert!(ap.data_sent <= base.data_sent);
         if prefix >= x.len() {
-            prop_assert_eq!(ap.data_sent, 0);
+            assert_eq!(ap.data_sent, 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn message_counts_scale_with_length(n in 1usize..30, seed in any::<u64>()) {
+#[test]
+fn message_counts_scale_with_length() {
+    check("message_counts_scale_with_length", 64, |rng| {
         // Data messages are at least one per element, and the floor is
         // achieved by Stenning on a reliable channel.
+        let n = rng.gen_range(1..30) as usize;
+        let seed = rng.next_u64();
         let x: Vec<u8> = (0..n).map(|i| (i % 3) as u8).collect();
         let r = run_stenning(&SimConfig::reliable(x.clone()), StenningPolicy::default());
-        prop_assert_eq!(r.data_sent, n as u64);
+        assert_eq!(r.data_sent, n as u64);
         let f = run_standard(&SimConfig::faulty(x, 0.2, seed));
-        prop_assert!(f.data_sent >= n as u64);
-    }
+        assert!(f.data_sent >= n as u64);
+    });
 }

@@ -75,9 +75,7 @@ impl Domain {
     /// The encoding of an enum label, if this is an enum domain containing it.
     pub fn label_code(&self, label: &str) -> Option<u64> {
         match self {
-            Domain::Enum { labels } => {
-                labels.iter().position(|l| l == label).map(|p| p as u64)
-            }
+            Domain::Enum { labels } => labels.iter().position(|l| l == label).map(|p| p as u64),
             _ => None,
         }
     }

@@ -66,7 +66,10 @@ impl fmt::Display for SpaceError {
                 write!(f, "too many variables (maximum {max})")
             }
             SpaceError::ValueOutOfRange { var, value, size } => {
-                write!(f, "value {value} out of range for `{var}` (domain size {size})")
+                write!(
+                    f,
+                    "value {value} out of range for `{var}` (domain size {size})"
+                )
             }
             SpaceError::SpaceMismatch => {
                 write!(f, "operands belong to different state spaces")

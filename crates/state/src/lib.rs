@@ -61,6 +61,9 @@ mod state;
 pub use domain::{Domain, Value};
 pub use error::SpaceError;
 pub use predicate::{Iter, Predicate};
-pub use quantify::{exists_set, exists_var, forall_set, forall_var};
+pub use quantify::{
+    exists_set, exists_set_naive, exists_var, exists_var_naive, forall_set, forall_set_naive,
+    forall_var, forall_var_naive,
+};
 pub use space::{StateSpace, StateSpaceBuilder, VarId, VarSet};
 pub use state::{StateBuilder, StateView};

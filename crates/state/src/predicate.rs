@@ -157,6 +157,63 @@ impl Predicate {
         self.bits[(idx / WORD) as usize] &= !(1u64 << (idx % WORD));
     }
 
+    /// Add state `idx` to the predicate; returns whether it was newly added
+    /// (the primitive of frontier/worklist fixpoints).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn insert(&mut self, idx: u64) -> bool {
+        assert!(idx < self.space.num_states(), "state index out of range");
+        let w = &mut self.bits[(idx / WORD) as usize];
+        let mask = 1u64 << (idx % WORD);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Remove state `idx`; returns whether it was present.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn remove(&mut self, idx: u64) -> bool {
+        assert!(idx < self.space.num_states(), "state index out of range");
+        let w = &mut self.bits[(idx / WORD) as usize];
+        let mask = 1u64 << (idx % WORD);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    // ----- raw word access (kernel building blocks) -----------------------
+
+    /// The backing bitset words, least-significant state first. Bits past
+    /// `num_states` are always zero (the tail invariant).
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Build a predicate directly from backing words (tail bits are
+    /// masked). This is the exit point of word-parallel kernels.
+    ///
+    /// # Panics
+    /// Panics if `words` has the wrong length for the space.
+    pub fn from_raw_words(space: &Arc<StateSpace>, words: Vec<u64>) -> Predicate {
+        assert_eq!(
+            words.len(),
+            words_for(space.num_states()),
+            "word count does not match the space"
+        );
+        let mut p = Predicate {
+            space: Arc::clone(space),
+            bits: words.into_boxed_slice(),
+        };
+        p.mask_tail();
+        p
+    }
+
     fn mask_tail(&mut self) {
         let n = self.space.num_states();
         let rem = n % WORD;
@@ -235,6 +292,75 @@ impl Predicate {
             *w = f(*w, *o);
         }
         out
+    }
+
+    // ----- in-place connectives -------------------------------------------
+    //
+    // Allocation-free counterparts of the pointwise operators, for inner
+    // loops (fixpoints, unions over statements) that would otherwise churn
+    // one fresh bitset per operation.
+
+    /// In-place `self ∧= other`.
+    pub fn and_assign(&mut self, other: &Predicate) {
+        self.check_same_space(other);
+        for (w, o) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *w &= *o;
+        }
+    }
+
+    /// In-place `self ∨= other`.
+    pub fn or_assign(&mut self, other: &Predicate) {
+        self.check_same_space(other);
+        for (w, o) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *w |= *o;
+        }
+    }
+
+    /// In-place union that reports whether anything changed — the test a
+    /// delta-based fixpoint terminates on, fused into the union itself.
+    pub fn or_assign_changed(&mut self, other: &Predicate) -> bool {
+        self.check_same_space(other);
+        let mut diff = 0u64;
+        for (w, o) in self.bits.iter_mut().zip(other.bits.iter()) {
+            diff |= *o & !*w;
+            *w |= *o;
+        }
+        diff != 0
+    }
+
+    /// In-place `self ∧= ¬other`.
+    pub fn minus_assign(&mut self, other: &Predicate) {
+        self.check_same_space(other);
+        for (w, o) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *w &= !*o;
+        }
+    }
+
+    /// In-place `self ^= other`.
+    pub fn xor_assign(&mut self, other: &Predicate) {
+        self.check_same_space(other);
+        for (w, o) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *w ^= *o;
+        }
+        self.mask_tail();
+    }
+
+    /// In-place pointwise negation.
+    pub fn negate_in_place(&mut self) {
+        for w in self.bits.iter_mut() {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Whether the two predicates share no state (`[¬(p ∧ q)]`), without
+    /// materialising the conjunction.
+    pub fn is_disjoint(&self, other: &Predicate) -> bool {
+        self.check_same_space(other);
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(&a, &b)| a & b == 0)
     }
 
     // ----- judgements -----------------------------------------------------
@@ -328,6 +454,15 @@ impl PartialEq for Predicate {
 }
 
 impl Eq for Predicate {}
+
+impl std::hash::Hash for Predicate {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Consistent with `PartialEq`: equality only ever holds between
+        // same-shaped spaces, where `num_states` (and hence the word count
+        // and tail mask) agree, so hashing the words alone suffices.
+        self.bits.hash(state);
+    }
+}
 
 impl fmt::Debug for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -539,7 +674,11 @@ mod tests {
     #[should_panic(expected = "different state spaces")]
     fn cross_space_ops_panic() {
         let a = space();
-        let b = StateSpace::builder().bool_var("q").unwrap().build().unwrap();
+        let b = StateSpace::builder()
+            .bool_var("q")
+            .unwrap()
+            .build()
+            .unwrap();
         let _ = Predicate::tt(&a).and(&Predicate::tt(&b));
     }
 
@@ -556,7 +695,11 @@ mod tests {
 
     #[test]
     fn single_word_space() {
-        let s = StateSpace::builder().bool_var("x").unwrap().build().unwrap();
+        let s = StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .build()
+            .unwrap();
         let p = Predicate::tt(&s);
         assert!(p.everywhere());
         assert_eq!(p.count(), 2);

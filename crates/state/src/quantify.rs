@@ -4,9 +4,33 @@
 //! from single-variable universal quantification; this module provides both
 //! quantifiers over single variables and over [`VarSet`]s. Quantifying a
 //! predicate over `v` yields a predicate independent of `v`.
+//!
+//! # Word-parallel kernel
+//!
+//! Quantifying over `v` partitions the state space into *lanes*: states that
+//! agree on every variable except `v`. With the mixed-radix encoding a lane
+//! is an arithmetic progression `{base + val·stride(v) : val < |dom(v)|}`,
+//! and all `stride(v)` lanes of a block are contiguous in the bitset. The
+//! kernel exploits this: the AND/OR across a lane is computed for **all**
+//! lanes at once by combining the bitset with right-shifted copies of itself
+//! (shift `val·stride` aligns variant `val` of every lane onto the lane's
+//! `val = 0` representative), masking the result to representative positions
+//! with a precomputed repeating lane mask, and broadcasting it back with
+//! left shifts. Total work is `O(words · |dom(v)|)` word operations instead
+//! of `O(states)` single-bit probes; when `stride(v)` is a multiple of 64 the
+//! shifts degenerate to whole-word moves. The naive per-bit evaluators are
+//! retained as `*_naive` references for differential testing.
 
 use crate::predicate::Predicate;
 use crate::space::{VarId, VarSet};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Largest variable-domain size routed to the shift-based kernel. For each
+/// domain value the kernel does one full pass over the words, so its cost is
+/// `words · dsize`; past this point the naive per-lane loop (whose cost is
+/// independent of `dsize`) wins.
+const KERNEL_MAX_DSIZE: u64 = 128;
 
 /// `(∀ v :: p)`: the weakest predicate independent of `v` that is at least
 /// as strong as `p` — holds at a state iff `p` holds at *every* variant of
@@ -39,7 +63,32 @@ pub fn exists_var(p: &Predicate, v: VarId) -> Predicate {
     quantify_var(p, v, false)
 }
 
+/// Reference implementation of [`forall_var`]: per-bit lane sweep. Kept for
+/// differential testing and as the fallback for very large domains.
+#[must_use]
+pub fn forall_var_naive(p: &Predicate, v: VarId) -> Predicate {
+    quantify_var_naive(p, v, true)
+}
+
+/// Reference implementation of [`exists_var`]: per-bit lane sweep.
+#[must_use]
+pub fn exists_var_naive(p: &Predicate, v: VarId) -> Predicate {
+    quantify_var_naive(p, v, false)
+}
+
 fn quantify_var(p: &Predicate, v: VarId, universal: bool) -> Predicate {
+    let dsize = p.space().domain(v).size();
+    if dsize <= 1 {
+        return p.clone();
+    }
+    if dsize <= KERNEL_MAX_DSIZE {
+        quantify_var_kernel(p, v, universal)
+    } else {
+        quantify_var_naive(p, v, universal)
+    }
+}
+
+fn quantify_var_naive(p: &Predicate, v: VarId, universal: bool) -> Predicate {
     let space = p.space();
     let stride = space.stride(v);
     let dsize = space.domain(v).size();
@@ -68,6 +117,161 @@ fn quantify_var(p: &Predicate, v: VarId, universal: bool) -> Predicate {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Word-parallel kernel
+// ---------------------------------------------------------------------------
+
+fn quantify_var_kernel(p: &Predicate, v: VarId, universal: bool) -> Predicate {
+    let space = p.space();
+    let stride = space.stride(v);
+    let dsize = space.domain(v).size();
+    let src = p.as_words();
+    let words = src.len();
+    let mask = lane_mask(stride, dsize, words);
+
+    // Reduce: acc bit i = ⊕_{val} p[i + val·stride]. Only the lane
+    // representatives (val = 0 positions) of acc are meaningful; the zeros
+    // shifted in at the top are harmless because `num_states` is a multiple
+    // of the block size `stride·dsize`, so every representative's variants
+    // lie inside the array.
+    let mut acc = src.to_vec();
+    let mut tmp = vec![0u64; words];
+    for val in 1..dsize {
+        shr_bits(src, val * stride, &mut tmp);
+        if universal {
+            for (a, t) in acc.iter_mut().zip(&tmp) {
+                *a &= *t;
+            }
+        } else {
+            for (a, t) in acc.iter_mut().zip(&tmp) {
+                *a |= *t;
+            }
+        }
+    }
+    for (a, m) in acc.iter_mut().zip(mask.iter()) {
+        *a &= *m;
+    }
+
+    // Broadcast: copy each representative's verdict to all its variants.
+    let mut out = acc.clone();
+    for val in 1..dsize {
+        shl_bits(&acc, val * stride, &mut tmp);
+        for (o, t) in out.iter_mut().zip(&tmp) {
+            *o |= *t;
+        }
+    }
+    Predicate::from_raw_words(space, out)
+}
+
+/// Logical right shift of a multi-word bitset (`out[i] = src[i + shift]`
+/// bit-wise, zeros shifted in at the top). `shift % 64 == 0` — which is
+/// exactly the `stride ≥ 64` case, strides being powers of the preceding
+/// domain sizes — reduces to whole-word copies.
+fn shr_bits(src: &[u64], shift: u64, out: &mut [u64]) {
+    let words = src.len();
+    let word_shift = (shift / 64) as usize;
+    let bit_shift = (shift % 64) as u32;
+    if word_shift >= words {
+        out.fill(0);
+        return;
+    }
+    let live = words - word_shift;
+    if bit_shift == 0 {
+        out[..live].copy_from_slice(&src[word_shift..]);
+    } else {
+        for i in 0..live {
+            let lo = src[i + word_shift] >> bit_shift;
+            let hi = if i + word_shift + 1 < words {
+                src[i + word_shift + 1] << (64 - bit_shift)
+            } else {
+                0
+            };
+            out[i] = lo | hi;
+        }
+    }
+    out[live..].fill(0);
+}
+
+/// Logical left shift of a multi-word bitset (`out[i] = src[i - shift]`
+/// bit-wise, zeros shifted in at the bottom, overflow discarded).
+fn shl_bits(src: &[u64], shift: u64, out: &mut [u64]) {
+    let words = src.len();
+    let word_shift = (shift / 64) as usize;
+    let bit_shift = (shift % 64) as u32;
+    if word_shift >= words {
+        out.fill(0);
+        return;
+    }
+    if bit_shift == 0 {
+        out[word_shift..].copy_from_slice(&src[..words - word_shift]);
+    } else {
+        for i in (word_shift..words).rev() {
+            let lo = src[i - word_shift] << bit_shift;
+            let hi = if i - word_shift >= 1 {
+                src[i - word_shift - 1] >> (64 - bit_shift)
+            } else {
+                0
+            };
+            out[i] = lo | hi;
+        }
+    }
+    out[..word_shift].fill(0);
+}
+
+/// Cache of repeating lane masks: bit `i` is set iff `i mod (stride·dsize)
+/// < stride`, i.e. `i` is the `val = 0` representative of its lane. Spaces
+/// are built once and quantified many times (every `wcyl`, every knowledge
+/// query), so masks are interned globally per `(stride, dsize, words)`.
+type LaneMaskCache = Mutex<HashMap<(u64, u64, usize), Arc<[u64]>>>;
+static LANE_MASKS: OnceLock<LaneMaskCache> = OnceLock::new();
+
+fn lane_mask(stride: u64, dsize: u64, words: usize) -> Arc<[u64]> {
+    let cache = LANE_MASKS.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (stride, dsize, words);
+    let mut guard = cache.lock().expect("lane mask cache poisoned");
+    if let Some(m) = guard.get(&key) {
+        return Arc::clone(m);
+    }
+    let mask = build_lane_mask(stride, dsize, words);
+    guard.insert(key, Arc::clone(&mask));
+    mask
+}
+
+fn build_lane_mask(stride: u64, dsize: u64, words: usize) -> Arc<[u64]> {
+    let total_bits = words as u64 * 64;
+    let block = stride * dsize;
+    let mut mask = vec![0u64; words];
+    let mut start = 0u64;
+    while start < total_bits {
+        let end = (start + stride).min(total_bits);
+        set_bit_range(&mut mask, start, end);
+        start += block;
+    }
+    Arc::from(mask)
+}
+
+/// Set bits `[start, end)` of a word array.
+fn set_bit_range(words: &mut [u64], start: u64, end: u64) {
+    if start >= end {
+        return;
+    }
+    let sw = (start / 64) as usize;
+    let sb = start % 64;
+    let ew = (end / 64) as usize;
+    let eb = end % 64;
+    if sw == ew {
+        words[sw] |= ((1u64 << (eb - sb)) - 1) << sb;
+    } else {
+        words[sw] |= !0u64 << sb;
+        for w in &mut words[sw + 1..ew] {
+            *w = !0;
+        }
+        if eb > 0 {
+            words[ew] |= (1u64 << eb) - 1;
+        }
+    }
+}
+
 /// `(∀ vars :: p)`: universal quantification over a set of variables,
 /// computed as iterated single-variable quantification (the order is
 /// irrelevant since `∀` commutes with itself).
@@ -86,6 +290,28 @@ pub fn exists_set(p: &Predicate, vars: VarSet) -> Predicate {
     let mut out = p.clone();
     for v in vars.iter() {
         out = exists_var(&out, v);
+    }
+    out
+}
+
+/// Reference implementation of [`forall_set`] built on the naive per-bit
+/// single-variable sweep.
+#[must_use]
+pub fn forall_set_naive(p: &Predicate, vars: VarSet) -> Predicate {
+    let mut out = p.clone();
+    for v in vars.iter() {
+        out = forall_var_naive(&out, v);
+    }
+    out
+}
+
+/// Reference implementation of [`exists_set`] built on the naive per-bit
+/// single-variable sweep.
+#[must_use]
+pub fn exists_set_naive(p: &Predicate, vars: VarSet) -> Predicate {
+    let mut out = p.clone();
+    for v in vars.iter() {
+        out = exists_var_naive(&out, v);
     }
     out
 }
@@ -208,6 +434,85 @@ mod tests {
             assert_eq!(
                 exists_var(&p.or(&q), v),
                 exists_var(&p, v).or(&exists_var(&q, v))
+            );
+        }
+    }
+
+    #[test]
+    fn shift_helpers_match_u128_model() {
+        // Validate shr/shl against 128-bit arithmetic on a 2-word array.
+        let src = [0x0123_4567_89AB_CDEFu64, 0xFEDC_BA98_7654_3210u64];
+        let as_u128 = |w: &[u64]| (w[0] as u128) | ((w[1] as u128) << 64);
+        let v = as_u128(&src);
+        let mut out = [0u64; 2];
+        for shift in [0u64, 1, 7, 63, 64, 65, 100, 127, 128, 200] {
+            shr_bits(&src, shift, &mut out);
+            let want = if shift >= 128 { 0 } else { v >> shift };
+            assert_eq!(as_u128(&out), want, "shr by {shift}");
+            shl_bits(&src, shift, &mut out);
+            let want = if shift >= 128 { 0 } else { v << shift };
+            assert_eq!(as_u128(&out), want, "shl by {shift}");
+        }
+    }
+
+    #[test]
+    fn lane_mask_matches_definition() {
+        for (stride, dsize, words) in [(1u64, 2u64, 1usize), (3, 5, 2), (64, 4, 8), (10, 13, 3)] {
+            let mask = build_lane_mask(stride, dsize, words);
+            for i in 0..(words as u64 * 64) {
+                let want = i % (stride * dsize) < stride;
+                let got = mask[(i / 64) as usize] >> (i % 64) & 1 == 1;
+                assert_eq!(got, want, "stride={stride} dsize={dsize} bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_naive_small_space() {
+        let s = space();
+        for seed in 0..32u64 {
+            let p = Predicate::from_fn(&s, |idx| (idx.wrapping_mul(seed + 1) ^ seed) % 3 != 0);
+            for v in s.vars() {
+                assert_eq!(
+                    quantify_var_kernel(&p, v, true),
+                    quantify_var_naive(&p, v, true),
+                    "forall seed={seed} v={v:?}"
+                );
+                assert_eq!(
+                    quantify_var_kernel(&p, v, false),
+                    quantify_var_naive(&p, v, false),
+                    "exists seed={seed} v={v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_naive_large_strides() {
+        // A space big enough that the last variable's stride crosses the
+        // 64-bit word boundary, exercising the whole-word shift path.
+        let s = StateSpace::builder()
+            .nat_var("a", 4)
+            .unwrap()
+            .nat_var("b", 8)
+            .unwrap()
+            .nat_var("c", 4)
+            .unwrap()
+            .nat_var("d", 5)
+            .unwrap()
+            .build()
+            .unwrap();
+        let p = Predicate::from_fn(&s, |idx| (idx * 2654435761) % 7 < 3);
+        for v in s.vars() {
+            assert_eq!(
+                quantify_var_kernel(&p, v, true),
+                quantify_var_naive(&p, v, true),
+                "forall v={v:?}"
+            );
+            assert_eq!(
+                quantify_var_kernel(&p, v, false),
+                quantify_var_naive(&p, v, false),
+                "exists v={v:?}"
             );
         }
     }

@@ -295,9 +295,7 @@ impl StateSpace {
 
     /// Decode a state index into one raw value per variable.
     pub fn decode(&self, state: u64) -> Vec<u64> {
-        self.vars()
-            .map(|v| self.value(state, v))
-            .collect()
+        self.vars().map(|v| self.value(state, v)).collect()
     }
 
     /// Render a state as `var=value, ...` for diagnostics.
@@ -511,10 +509,7 @@ mod tests {
 
     #[test]
     fn duplicate_variable_rejected() {
-        let r = StateSpace::builder()
-            .bool_var("x")
-            .unwrap()
-            .bool_var("x");
+        let r = StateSpace::builder().bool_var("x").unwrap().bool_var("x");
         assert!(matches!(r, Err(SpaceError::DuplicateVariable(_))));
     }
 
@@ -575,7 +570,11 @@ mod tests {
         let a = space3();
         let b = space3();
         assert!(a.same_shape(&b));
-        let c = StateSpace::builder().bool_var("b").unwrap().build().unwrap();
+        let c = StateSpace::builder()
+            .bool_var("b")
+            .unwrap()
+            .build()
+            .unwrap();
         assert!(!a.same_shape(&c));
     }
 

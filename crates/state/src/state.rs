@@ -133,12 +133,14 @@ impl StateBuilder {
     /// [`SpaceError::UnknownLabel`] if the label is not in the domain.
     pub fn set_label(self, name: &str, label: &str) -> Result<Self, SpaceError> {
         let v = self.space.var(name)?;
-        let code = self.space.domain(v).label_code(label).ok_or_else(|| {
-            SpaceError::UnknownLabel {
-                var: name.to_owned(),
-                label: label.to_owned(),
-            }
-        })?;
+        let code =
+            self.space
+                .domain(v)
+                .label_code(label)
+                .ok_or_else(|| SpaceError::UnknownLabel {
+                    var: name.to_owned(),
+                    label: label.to_owned(),
+                })?;
         self.set(name, code)
     }
 

@@ -1,12 +1,16 @@
 //! Reference-model property tests for `kpt-state`: the bitset [`Predicate`]
 //! is checked against a naive `BTreeSet<u64>` implementation of the same
-//! operations, over random spaces and operation sequences.
+//! operations, over random spaces and operation sequences; the word-parallel
+//! quantification kernels are checked against the naive per-bit sweeps.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use kpt_state::{exists_var, forall_var, Predicate, StateSpace};
-use proptest::prelude::*;
+use kpt_state::{
+    exists_set, exists_set_naive, exists_var, exists_var_naive, forall_set, forall_set_naive,
+    forall_var, forall_var_naive, Predicate, StateSpace, VarSet,
+};
+use kpt_testkit::{check, Rng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,17 +24,22 @@ enum Op {
     ExistsVar(usize),
 }
 
-fn op_strategy(nvars: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u64>().prop_map(Op::And),
-        any::<u64>().prop_map(Op::Or),
-        Just(Op::Not),
-        any::<u64>().prop_map(Op::Implies),
-        any::<u64>().prop_map(Op::Iff),
-        any::<u64>().prop_map(Op::Minus),
-        (0..nvars).prop_map(Op::ForallVar),
-        (0..nvars).prop_map(Op::ExistsVar),
-    ]
+fn random_op(rng: &mut Rng, nvars: usize) -> Op {
+    match rng.below(8) {
+        0 => Op::And(rng.next_u64()),
+        1 => Op::Or(rng.next_u64()),
+        2 => Op::Not,
+        3 => Op::Implies(rng.next_u64()),
+        4 => Op::Iff(rng.next_u64()),
+        5 => Op::Minus(rng.next_u64()),
+        6 => Op::ForallVar(rng.below(nvars as u64) as usize),
+        _ => Op::ExistsVar(rng.below(nvars as u64) as usize),
+    }
+}
+
+fn random_domains(rng: &mut Rng, min_vars: u64, max_vars: u64) -> Vec<u64> {
+    let nvars = rng.gen_range(min_vars..max_vars + 1);
+    (0..nvars).map(|_| rng.gen_range(2..5)).collect()
 }
 
 fn build_space(domains: &[u64]) -> Arc<StateSpace> {
@@ -50,34 +59,44 @@ fn pred_from_mask(space: &Arc<StateSpace>, mask: u64) -> Predicate {
     Predicate::from_fn(space, |s| mask >> (s % 64) & 1 == 1)
 }
 
+/// A predicate with each state's bit drawn independently (unlike the 64-bit
+/// tiled masks, this exercises spaces larger than one word properly).
+fn random_pred(space: &Arc<StateSpace>, rng: &mut Rng) -> Predicate {
+    let density = rng.gen_range(1..100) as f64 / 100.0;
+    Predicate::from_indices(
+        space,
+        (0..space.num_states()).filter(|_| rng.gen_bool(density)),
+    )
+}
+
 fn assert_agrees(space: &Arc<StateSpace>, p: &Predicate, m: &BTreeSet<u64>) {
     for s in 0..space.num_states() {
         assert_eq!(p.holds(s), m.contains(&s), "state {s}");
     }
     assert_eq!(p.count(), m.len() as u64);
-    assert_eq!(p.iter().collect::<Vec<_>>(), m.iter().copied().collect::<Vec<_>>());
+    assert_eq!(
+        p.iter().collect::<Vec<_>>(),
+        m.iter().copied().collect::<Vec<_>>()
+    );
     assert_eq!(p.is_false(), m.is_empty());
     assert_eq!(p.everywhere(), m.len() as u64 == space.num_states());
     assert_eq!(p.witness(), m.first().copied());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn bitset_matches_reference_model(
-        domains in prop::collection::vec(2u64..=4, 1..=3),
-        seed in any::<u64>(),
-        ops in prop::collection::vec(op_strategy(3), 0..10),
-    ) {
+#[test]
+fn bitset_matches_reference_model() {
+    check("bitset_matches_reference_model", 128, |rng| {
+        let domains = random_domains(rng, 1, 3);
         let space = build_space(&domains);
         let n = space.num_states();
+        let seed = rng.next_u64();
         let mut p = pred_from_mask(&space, seed);
         let mut m = model_from_mask(n, seed);
         assert_agrees(&space, &p, &m);
 
-        for op in ops {
-            match op {
+        let nops = rng.below(10);
+        for _ in 0..nops {
+            match random_op(rng, domains.len()) {
                 Op::And(mask) => {
                     let q = model_from_mask(n, mask);
                     p = p.and(&pred_from_mask(&space, mask));
@@ -108,62 +127,150 @@ proptest! {
                     m = m.difference(&q).copied().collect();
                 }
                 Op::ForallVar(vi) => {
-                    let vi = vi % domains.len();
                     let v = space.var(&format!("v{vi}")).unwrap();
                     p = forall_var(&p, v);
                     let dom = space.domain(v).size();
                     m = (0..n)
-                        .filter(|&s| {
-                            (0..dom).all(|val| m.contains(&space.with_value(s, v, val)))
-                        })
+                        .filter(|&s| (0..dom).all(|val| m.contains(&space.with_value(s, v, val))))
                         .collect();
                 }
                 Op::ExistsVar(vi) => {
-                    let vi = vi % domains.len();
                     let v = space.var(&format!("v{vi}")).unwrap();
                     p = exists_var(&p, v);
                     let dom = space.domain(v).size();
                     m = (0..n)
-                        .filter(|&s| {
-                            (0..dom).any(|val| m.contains(&space.with_value(s, v, val)))
-                        })
+                        .filter(|&s| (0..dom).any(|val| m.contains(&space.with_value(s, v, val))))
                         .collect();
                 }
             }
             assert_agrees(&space, &p, &m);
         }
-    }
+    });
+}
 
-    #[test]
-    fn entails_matches_subset(
-        domains in prop::collection::vec(2u64..=4, 1..=3),
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
+#[test]
+fn entails_matches_subset() {
+    check("entails_matches_subset", 128, |rng| {
+        let domains = random_domains(rng, 1, 3);
         let space = build_space(&domains);
         let n = space.num_states();
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let p = pred_from_mask(&space, a);
         let q = pred_from_mask(&space, b);
         let pm = model_from_mask(n, a);
         let qm = model_from_mask(n, b);
-        prop_assert_eq!(p.entails(&q), pm.is_subset(&qm));
-        prop_assert_eq!(p == q, pm == qm);
-    }
+        assert_eq!(p.entails(&q), pm.is_subset(&qm));
+        assert_eq!(p == q, pm == qm);
+    });
+}
 
-    #[test]
-    fn independence_matches_definition(
-        domains in prop::collection::vec(2u64..=4, 2..=3),
-        a in any::<u64>(),
-    ) {
+#[test]
+fn independence_matches_definition() {
+    check("independence_matches_definition", 128, |rng| {
+        let domains = random_domains(rng, 2, 3);
         let space = build_space(&domains);
-        let p = pred_from_mask(&space, a);
+        let p = pred_from_mask(&space, rng.next_u64());
         for v in space.vars() {
             let dom = space.domain(v).size();
             let naive = (0..space.num_states()).all(|s| {
                 let first = p.holds(space.with_value(s, v, 0));
                 (1..dom).all(|val| p.holds(space.with_value(s, v, val)) == first)
             });
-            prop_assert_eq!(p.is_independent_of(v), naive);
+            assert_eq!(p.is_independent_of(v), naive);
         }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: word-parallel kernels vs naive references
+// ---------------------------------------------------------------------------
+
+/// Random spaces whose shapes deliberately cross word boundaries (strides
+/// both below and above 64), with truly independent per-state bits.
+fn random_kernel_space(rng: &mut Rng) -> Arc<StateSpace> {
+    let nvars = rng.gen_range(1..5);
+    let mut b = StateSpace::builder();
+    let mut states = 1u64;
+    for i in 0..nvars {
+        let d = rng.gen_range(2..9);
+        if states * d > 4096 {
+            break;
+        }
+        states *= d;
+        b = b.nat_var(&format!("v{i}"), d).unwrap();
     }
+    b.build().unwrap()
+}
+
+#[test]
+fn quantify_kernel_matches_naive() {
+    check("quantify_kernel_matches_naive", 96, |rng| {
+        let space = random_kernel_space(rng);
+        let p = random_pred(&space, rng);
+        for v in space.vars() {
+            assert_eq!(
+                forall_var(&p, v),
+                forall_var_naive(&p, v),
+                "forall over {v:?} on {space:?}"
+            );
+            assert_eq!(
+                exists_var(&p, v),
+                exists_var_naive(&p, v),
+                "exists over {v:?} on {space:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn quantify_set_kernel_matches_naive() {
+    check("quantify_set_kernel_matches_naive", 64, |rng| {
+        let space = random_kernel_space(rng);
+        let p = random_pred(&space, rng);
+        let mut vars = VarSet::EMPTY;
+        for v in space.vars() {
+            if rng.gen_bool(0.5) {
+                vars.insert(v);
+            }
+        }
+        assert_eq!(forall_set(&p, vars), forall_set_naive(&p, vars));
+        assert_eq!(exists_set(&p, vars), exists_set_naive(&p, vars));
+    });
+}
+
+#[test]
+fn in_place_ops_match_pure_ops() {
+    check("in_place_ops_match_pure_ops", 96, |rng| {
+        let space = random_kernel_space(rng);
+        let p = random_pred(&space, rng);
+        let q = random_pred(&space, rng);
+
+        let mut r = p.clone();
+        r.and_assign(&q);
+        assert_eq!(r, p.and(&q));
+
+        let mut r = p.clone();
+        r.or_assign(&q);
+        assert_eq!(r, p.or(&q));
+
+        let mut r = p.clone();
+        let changed = r.or_assign_changed(&q);
+        assert_eq!(r, p.or(&q));
+        assert_eq!(changed, !q.minus(&p).is_false(), "changed flag");
+
+        let mut r = p.clone();
+        r.minus_assign(&q);
+        assert_eq!(r, p.minus(&q));
+
+        let mut r = p.clone();
+        r.xor_assign(&q);
+        assert_eq!(r, &p ^ &q);
+
+        let mut r = p.clone();
+        r.negate_in_place();
+        assert_eq!(r, p.negate());
+
+        assert_eq!(p.is_disjoint(&q), p.and(&q).is_false());
+    });
 }

@@ -1,0 +1,479 @@
+//! A dependency-free micro-benchmark harness with a criterion-compatible
+//! surface (`Criterion`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`).
+//!
+//! Each case is auto-calibrated: the harness scales iterations-per-sample
+//! until one sample takes at least the target time, warms up, then records
+//! wall-clock samples and reports the **median ns per iteration** (medians
+//! are robust to scheduler noise). Results can be dumped as JSON for
+//! cross-PR perf tracking:
+//!
+//! * `KPT_BENCH_JSON=path.json` — write all results of the process to
+//!   `path.json` on exit (see `BENCH_kernels.json` at the repo root);
+//! * `KPT_BENCH_FAST=1` — quick mode (fewer/shorter samples) for smoke
+//!   runs;
+//! * a bare CLI argument filters cases by substring, as with criterion.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured outcome of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Group name (from [`Criterion::benchmark_group`]).
+    pub group: String,
+    /// Case name within the group.
+    pub case: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+}
+
+impl CaseResult {
+    fn full_name(&self) -> String {
+        if self.group.is_empty() {
+            self.case.clone()
+        } else {
+            format!("{}/{}", self.group, self.case)
+        }
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Samples per case.
+    pub sample_size: usize,
+    /// Minimum duration of one sample (iterations are scaled up to this).
+    pub target_sample_time: Duration,
+    /// Warmup samples (measured but discarded).
+    pub warmup_samples: usize,
+    /// Substring filter on `group/case` names.
+    pub filter: Option<String>,
+    /// Path to write a JSON results file to.
+    pub json_path: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let fast = std::env::var("KPT_BENCH_FAST")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        Config {
+            sample_size: if fast { 10 } else { 30 },
+            target_sample_time: if fast {
+                Duration::from_micros(500)
+            } else {
+                Duration::from_millis(2)
+            },
+            warmup_samples: if fast { 1 } else { 3 },
+            filter: None,
+            json_path: std::env::var("KPT_BENCH_JSON").ok(),
+        }
+    }
+}
+
+/// The harness: collects results from benchmark groups and reports them.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+    results: Vec<CaseResult>,
+}
+
+impl Criterion {
+    /// Build from CLI args (`cargo bench` passes a filter and `--bench`)
+    /// and environment variables.
+    #[must_use]
+    pub fn from_args() -> Criterion {
+        let mut config = Config::default();
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                config.filter = Some(arg);
+            }
+        }
+        Criterion {
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Build with an explicit configuration (used by the summary binary).
+    #[must_use]
+    pub fn with_config(config: Config) -> Criterion {
+        Criterion {
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Start a named group of cases.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a single ungrouped case.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        self.run_case("", name, None, f);
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    fn run_case<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: &str,
+        case: &str,
+        sample_size: Option<usize>,
+        mut f: F,
+    ) {
+        let full = if group.is_empty() {
+            case.to_owned()
+        } else {
+            format!("{group}/{case}")
+        };
+        if let Some(filter) = &self.config.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = sample_size.unwrap_or(self.config.sample_size).max(3);
+
+        // Calibrate: grow iterations until one sample meets the target time.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let t = b.elapsed;
+            if t >= self.config.target_sample_time || iters >= (1 << 30) {
+                break;
+            }
+            let scale = if t.is_zero() {
+                16
+            } else {
+                // Aim 20% past the target so the next probe usually lands.
+                ((self.config.target_sample_time.as_nanos() as f64 / t.as_nanos() as f64) * 1.2)
+                    .ceil() as u64
+            };
+            iters = iters.saturating_mul(scale.clamp(2, 1024));
+        }
+
+        for _ in 0..self.config.warmup_samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = if per_iter.len() % 2 == 1 {
+            per_iter[per_iter.len() / 2]
+        } else {
+            (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
+        };
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let result = CaseResult {
+            group: group.to_owned(),
+            case: case.to_owned(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: per_iter[0],
+            samples,
+            iters_per_sample: iters,
+        };
+        println!(
+            "bench {:<56} median {:>12}  (mean {}, min {}, {} x {} iters)",
+            result.full_name(),
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.min_ns),
+            samples,
+            iters
+        );
+        self.results.push(result);
+    }
+
+    /// Print the closing summary and write the JSON results file if
+    /// configured. Called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark case(s) measured.", self.results.len());
+        if let Some(path) = &self.config.json_path {
+            match self.write_json(path) {
+                Ok(()) => println!("results written to {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    /// Serialise all results as JSON to `path`.
+    ///
+    /// # Errors
+    /// I/O errors from creating or writing the file.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(results_to_json(&self.results).as_bytes())
+    }
+}
+
+/// Render results as a compact, stable JSON document (no external
+/// serialisation crates; names are escaped conservatively).
+#[must_use]
+pub fn results_to_json(results: &[CaseResult]) -> String {
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"case\": \"{}\", \"median_ns\": {:.1}, \
+             \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            esc(&r.group),
+            esc(&r.case),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Throughput annotation for a group (criterion-compatible; recorded but
+/// not currently used in reports — medians are already per-iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmark cases (criterion-style).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for the cases of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate the group's throughput (accepted for criterion
+    /// compatibility; the harness reports per-iteration medians).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one case.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let name = self.name.clone();
+        self.criterion.run_case(&name, &id.0, self.sample_size, f);
+    }
+
+    /// Benchmark one case with an input (criterion-compatible shape).
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (no-op; exists for criterion compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of a case within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter as the case name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timer handed to each benchmark case.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `iters` times, timing the whole batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a function running a list of benchmark functions against a shared
+/// [`Criterion`] (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::with_config(Config {
+            sample_size: 3,
+            target_sample_time: Duration::from_micros(10),
+            warmup_samples: 0,
+            filter: None,
+            json_path: None,
+        })
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 3)
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        let r = &c.results()[0];
+        assert_eq!(r.group, "g");
+        assert_eq!(r.case, "add");
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn filter_skips_cases() {
+        let mut c = quick();
+        c.config.filter = Some("keep".into());
+        let mut g = c.benchmark_group("g");
+        g.bench_function("keep_me", |b| b.iter(|| 1u64 + 1));
+        g.bench_function("drop_me", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].case, "keep_me");
+    }
+
+    #[test]
+    fn json_shape() {
+        let r = CaseResult {
+            group: "g".into(),
+            case: "a\"b".into(),
+            median_ns: 12.5,
+            mean_ns: 13.0,
+            min_ns: 12.0,
+            samples: 3,
+            iters_per_sample: 100,
+        };
+        let json = results_to_json(&[r]);
+        assert!(json.contains("\"group\": \"g\""));
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("\"median_ns\": 12.5"));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.0, "plain");
+    }
+}

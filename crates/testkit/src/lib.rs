@@ -1,0 +1,29 @@
+//! `kpt-testkit`: the workspace's zero-dependency testing and measurement
+//! toolkit.
+//!
+//! Three pieces, all deterministic and offline:
+//!
+//! * [`Rng`] — a seeded SplitMix64/xoshiro256++ PRNG with the small slice
+//!   of the `rand` API the workspace uses (ranges, Bernoulli, shuffle).
+//!   Production code (fault-injecting channels, randomised fair
+//!   schedulers) uses it for reproducible pseudo-randomness.
+//! * [`check`]/[`replay`] — a seeded property-test harness replacing
+//!   `proptest`: many independent random cases, failures reported with
+//!   their replayable `(seed, case)` coordinates.
+//! * [`Criterion`] and the [`criterion_group!`]/[`criterion_main!`] macros
+//!   — a criterion-compatible micro-benchmark harness reporting median
+//!   ns/iteration, with JSON output for cross-PR tracking
+//!   (`KPT_BENCH_JSON`).
+
+#![warn(missing_docs)]
+
+mod bench;
+mod prop;
+mod rng;
+
+pub use bench::{
+    black_box, results_to_json, Bencher, BenchmarkGroup, BenchmarkId, CaseResult, Config,
+    Criterion, Throughput,
+};
+pub use prop::{check, replay};
+pub use rng::Rng;

@@ -10,6 +10,7 @@
 use kpt_state::Predicate;
 
 use crate::transformer::Transformer;
+use crate::transition::DetTransition;
 
 /// Diagnostics from a fixpoint computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,8 +92,12 @@ pub fn sst(sp: &dyn Transformer, p: &Predicate) -> Predicate {
 /// [`sst`] with iteration diagnostics (for benchmarking the fixpoint).
 #[must_use]
 pub fn sst_with_stats(sp: &dyn Transformer, p: &Predicate) -> (Predicate, FixpointStats) {
-    lfp(sp.space(), |x| sp.apply(x).or(p))
-        .expect("sst iteration converges for monotone SP on a finite space")
+    lfp(sp.space(), |x| {
+        let mut next = sp.apply(x);
+        next.or_assign(p);
+        next
+    })
+    .expect("sst iteration converges for monotone SP on a finite space")
 }
 
 /// The strongest invariant `SI = sst.init`: the exact set of reachable
@@ -101,6 +106,63 @@ pub fn sst_with_stats(sp: &dyn Transformer, p: &Predicate) -> (Predicate, Fixpoi
 #[must_use]
 pub fn strongest_invariant(sp: &dyn Transformer, init: &Predicate) -> Predicate {
     sst(sp, init)
+}
+
+/// [`sst`] specialised to a program given as deterministic transitions
+/// (the standard UNITY case, eq. 26, where `SP.p = (∃ s :: sp.s.p)`),
+/// computed by frontier propagation: each round applies every transition to
+/// only the states discovered in the previous round, instead of re-imaging
+/// the whole accumulated set as Kleene iteration does.
+///
+/// This is sound precisely because the program-level `SP` is a *union* of
+/// images — so the image of `reach ∪ frontier` is the union of the images,
+/// and the image of `reach` was already folded in on earlier rounds. Total
+/// work is `O(|statements| · |reachable|)` successor probes (each state is
+/// on the frontier exactly once) versus the Kleene chain's
+/// `O(rounds · |statements| · |reachable|)`.
+#[must_use]
+pub fn sst_frontier(transitions: &[DetTransition], p: &Predicate) -> Predicate {
+    sst_frontier_with_stats(transitions, p).0
+}
+
+/// [`sst_frontier`] with iteration diagnostics. `iterations` counts
+/// propagation rounds plus the final empty-frontier check, matching the
+/// Kleene count of [`sst_with_stats`] on a chain.
+#[must_use]
+pub fn sst_frontier_with_stats(
+    transitions: &[DetTransition],
+    p: &Predicate,
+) -> (Predicate, FixpointStats) {
+    let mut reach = p.clone();
+    let mut frontier = p.clone();
+    let mut iterations = 1;
+    while !frontier.is_false() {
+        iterations += 1;
+        // Image of the frontier under every statement, scattered into one
+        // fresh buffer; the new frontier is whatever wasn't reached before.
+        let mut next = crate::transition::sp_union(transitions, &frontier);
+        next.minus_assign(&reach);
+        if next.is_false() {
+            break;
+        }
+        reach.or_assign(&next);
+        frontier = next;
+    }
+    let result_states = reach.count();
+    (
+        reach,
+        FixpointStats {
+            iterations,
+            result_states,
+        },
+    )
+}
+
+/// The strongest invariant computed by frontier propagation — the fast path
+/// for programs available as transition lists.
+#[must_use]
+pub fn strongest_invariant_frontier(transitions: &[DetTransition], init: &Predicate) -> Predicate {
+    sst_frontier(transitions, init)
 }
 
 /// Whether `p` is stable under `sp`: `[SP.p ⇒ p]` (§2).
@@ -127,7 +189,9 @@ mod tests {
 
     fn counter_sp(s: &Arc<StateSpace>, n: u64) -> FnTransformer<impl Fn(&Predicate) -> Predicate> {
         let t = DetTransition::from_fn(s, move |i| if i + 1 < n { i + 1 } else { i });
-        FnTransformer::new(s, "SP", move |p: &Predicate| sp_union(std::slice::from_ref(&t), p))
+        FnTransformer::new(s, "SP", move |p: &Predicate| {
+            sp_union(std::slice::from_ref(&t), p)
+        })
     }
 
     #[test]
@@ -214,5 +278,48 @@ mod tests {
         let sp = counter_sp(&s, 4);
         let si = strongest_invariant(&sp, &Predicate::ff(&s));
         assert!(si.is_false());
+    }
+
+    #[test]
+    fn frontier_sst_matches_kleene() {
+        let s = space(16);
+        let n = 16;
+        let ts = vec![
+            DetTransition::from_fn(&s, move |i| if i + 1 < n { i + 1 } else { i }),
+            DetTransition::from_fn(&s, |i| if i % 3 == 0 { i / 2 } else { i }),
+        ];
+        let ts2 = ts.clone();
+        let sp = FnTransformer::new(&s, "SP", move |p: &Predicate| sp_union(&ts2, p));
+        for init_bits in [0u64, 1, 1 << 7, 0b1001_0000_0010, (1 << 16) - 1] {
+            let init = Predicate::from_fn(&s, |idx| init_bits >> idx & 1 == 1);
+            assert_eq!(
+                sst_frontier(&ts, &init),
+                sst(&sp, &init),
+                "init {init_bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_sst_empty_cases() {
+        let s = space(4);
+        let ts: Vec<DetTransition> = vec![];
+        let p = Predicate::from_indices(&s, [2]);
+        // No statements: sst.p = p.
+        assert_eq!(sst_frontier(&ts, &p), p);
+        // Empty seed: sst.false = false.
+        let t = DetTransition::identity(&s);
+        assert!(sst_frontier(std::slice::from_ref(&t), &Predicate::ff(&s)).is_false());
+    }
+
+    #[test]
+    fn frontier_stats_count_rounds() {
+        let s = space(16);
+        let t = DetTransition::from_fn(&s, |i| if i + 1 < 16 { i + 1 } else { i });
+        let init = Predicate::from_indices(&s, [0]);
+        let (si, stats) = sst_frontier_with_stats(std::slice::from_ref(&t), &init);
+        assert!(si.everywhere());
+        assert!(stats.iterations >= 16, "iterations = {}", stats.iterations);
+        assert_eq!(stats.result_states, 16);
     }
 }

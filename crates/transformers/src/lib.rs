@@ -43,12 +43,12 @@ mod transformer;
 mod transition;
 
 pub use fixpoint::{
-    gfp, is_stable, lfp, sst, sst_with_stats, strongest_invariant, FixpointStats,
+    gfp, is_stable, lfp, sst, sst_frontier, sst_frontier_with_stats, sst_with_stats,
+    strongest_invariant, strongest_invariant_frontier, FixpointStats,
 };
 pub use junctivity::{
-    check_finitely_conjunctive, check_finitely_disjunctive, check_monotonic,
-    check_or_continuous, check_universally_conjunctive, Counterexample, Strategy, Verdict,
-    EXHAUSTIVE_STATE_LIMIT,
+    check_finitely_conjunctive, check_finitely_disjunctive, check_monotonic, check_or_continuous,
+    check_universally_conjunctive, Counterexample, Strategy, Verdict, EXHAUSTIVE_STATE_LIMIT,
 };
 pub use transformer::{Compose, FnTransformer, Transformer};
 pub use transition::{sp_union, wp_inter, DetTransition};

@@ -83,8 +83,7 @@ impl<'a> Compose<'a> {
     /// Panics if the transformers are over different spaces.
     pub fn new(outer: &'a dyn Transformer, inner: &'a dyn Transformer) -> Self {
         assert!(
-            Arc::ptr_eq(outer.space(), inner.space())
-                || outer.space().same_shape(inner.space()),
+            Arc::ptr_eq(outer.space(), inner.space()) || outer.space().same_shape(inner.space()),
             "composed transformers must share a space"
         );
         Compose { outer, inner }
@@ -143,7 +142,11 @@ mod tests {
     #[should_panic(expected = "share a space")]
     fn composing_different_spaces_panics() {
         let a = space();
-        let b = StateSpace::builder().bool_var("q").unwrap().build().unwrap();
+        let b = StateSpace::builder()
+            .bool_var("q")
+            .unwrap()
+            .build()
+            .unwrap();
         let ta = FnTransformer::new(&a, "a", Predicate::negate);
         let tb = FnTransformer::new(&b, "b", Predicate::negate);
         let _ = Compose::new(&ta, &tb);

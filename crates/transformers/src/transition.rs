@@ -9,16 +9,28 @@
 //! The whole-program `SP` of eq. (26),
 //! `SP.p ≡ (∃ s : s a statement : sp.s.p)`, is provided by [`sp_union`].
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use kpt_state::{Predicate, StateSpace};
 
 /// A total, deterministic transition function on a finite state space,
-/// stored as a dense successor table.
+/// stored as a dense successor table, plus a lazily-built predecessor
+/// adjacency in compressed-sparse-row form (used to make `wp` of a sparse
+/// predicate a gather over only the relevant edges).
 #[derive(Debug, Clone)]
 pub struct DetTransition {
     space: Arc<StateSpace>,
     succ: Box<[u32]>,
+    preds: OnceLock<PredCsr>,
+}
+
+/// Predecessor lists of every state, CSR-packed: the predecessors of `t`
+/// are `data[offsets[t] .. offsets[t + 1]]`. Total size is exactly one
+/// entry per state (each state has one successor).
+#[derive(Debug, Clone)]
+struct PredCsr {
+    offsets: Box<[u64]>,
+    data: Box<[u32]>,
 }
 
 impl DetTransition {
@@ -37,6 +49,7 @@ impl DetTransition {
         DetTransition {
             space: Arc::clone(space),
             succ: succ.into_boxed_slice(),
+            preds: OnceLock::new(),
         }
     }
 
@@ -57,17 +70,98 @@ impl DetTransition {
         u64::from(self.succ[state as usize])
     }
 
+    /// The predecessor CSR, built on first use and cached for the lifetime
+    /// of the transition (counting sort over the successor table).
+    fn csr(&self) -> &PredCsr {
+        self.preds.get_or_init(|| {
+            let n = self.succ.len();
+            let mut offsets = vec![0u64; n + 1];
+            for &t in self.succ.iter() {
+                offsets[t as usize + 1] += 1;
+            }
+            for i in 0..n {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor = offsets.clone();
+            let mut data = vec![0u32; n];
+            for (s, &t) in self.succ.iter().enumerate() {
+                let c = &mut cursor[t as usize];
+                data[*c as usize] = s as u32;
+                *c += 1;
+            }
+            PredCsr {
+                offsets: offsets.into_boxed_slice(),
+                data: data.into_boxed_slice(),
+            }
+        })
+    }
+
+    /// The states mapping onto `state` (builds the predecessor CSR on first
+    /// call).
+    pub fn predecessors(&self, state: u64) -> &[u32] {
+        let csr = self.csr();
+        let lo = csr.offsets[state as usize] as usize;
+        let hi = csr.offsets[state as usize + 1] as usize;
+        &csr.data[lo..hi]
+    }
+
     /// Strongest postcondition: the exact image `{ t | ∃s ∈ p : s → t }`.
+    /// Scatter over only the set bits of `p`.
     #[must_use]
     pub fn sp(&self, p: &Predicate) -> Predicate {
-        Predicate::from_indices(&self.space, p.iter().map(|s| self.step(s)))
+        let mut words = vec![0u64; p.as_words().len()];
+        for s in p.iter() {
+            let t = u64::from(self.succ[s as usize]);
+            words[(t / 64) as usize] |= 1 << (t % 64);
+        }
+        Predicate::from_raw_words(&self.space, words)
     }
 
     /// Weakest (liberal) precondition: the exact preimage
     /// `{ s | step(s) ∈ p }`. Since the transition is total and
     /// deterministic, `wp = wlp`.
+    ///
+    /// A sparse `p` is answered through the predecessor CSR (work
+    /// proportional to the edges entering `p`); a dense `p` by a direct
+    /// gather over the successor table.
     #[must_use]
     pub fn wp(&self, p: &Predicate) -> Predicate {
+        let n = self.space.num_states();
+        if p.count() * 4 <= n {
+            let csr = self.csr();
+            let mut words = vec![0u64; p.as_words().len()];
+            for t in p.iter() {
+                let lo = csr.offsets[t as usize] as usize;
+                let hi = csr.offsets[t as usize + 1] as usize;
+                for &s in &csr.data[lo..hi] {
+                    words[(s / 64) as usize] |= 1 << (s % 64);
+                }
+            }
+            Predicate::from_raw_words(&self.space, words)
+        } else {
+            let mut words = vec![0u64; p.as_words().len()];
+            for (w, chunk) in self.succ.chunks(64).enumerate() {
+                let mut bits = 0u64;
+                for (i, &t) in chunk.iter().enumerate() {
+                    bits |= u64::from(p.holds(u64::from(t))) << i;
+                }
+                words[w] = bits;
+            }
+            Predicate::from_raw_words(&self.space, words)
+        }
+    }
+
+    /// Reference implementation of [`DetTransition::sp`] (per-index
+    /// insertion), kept for differential testing.
+    #[must_use]
+    pub fn sp_naive(&self, p: &Predicate) -> Predicate {
+        Predicate::from_indices(&self.space, p.iter().map(|s| self.step(s)))
+    }
+
+    /// Reference implementation of [`DetTransition::wp`] (per-state probe),
+    /// kept for differential testing.
+    #[must_use]
+    pub fn wp_naive(&self, p: &Predicate) -> Predicate {
         Predicate::from_fn(&self.space, |s| p.holds(self.step(s)))
     }
 
@@ -90,11 +184,14 @@ impl DetTransition {
 /// Returns `false` for an empty statement list (no transitions at all).
 #[must_use]
 pub fn sp_union(transitions: &[DetTransition], p: &Predicate) -> Predicate {
-    let mut out = Predicate::ff(p.space());
+    let mut words = vec![0u64; p.as_words().len()];
     for t in transitions {
-        out = out.or(&t.sp(p));
+        for s in p.iter() {
+            let d = u64::from(t.succ[s as usize]);
+            words[(d / 64) as usize] |= 1 << (d % 64);
+        }
     }
-    out
+    Predicate::from_raw_words(p.space(), words)
 }
 
 /// The program-level conjunction of statement `wp`s: the weakest predicate
@@ -104,7 +201,7 @@ pub fn sp_union(transitions: &[DetTransition], p: &Predicate) -> Predicate {
 pub fn wp_inter(transitions: &[DetTransition], p: &Predicate) -> Predicate {
     let mut out = Predicate::tt(p.space());
     for t in transitions {
-        out = out.and(&t.wp(p));
+        out.and_assign(&t.wp(p));
     }
     out
 }

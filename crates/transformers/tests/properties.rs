@@ -1,15 +1,16 @@
 //! Property tests for `kpt-transformers`: the sp/wp Galois connection,
 //! `sst` extremality and monotonicity (eqs. 1–4) on random deterministic
-//! transitions.
+//! transitions, and differential checks of the CSR/scatter kernels against
+//! the naive per-state references.
 
 use std::sync::Arc;
 
 use kpt_state::{Predicate, StateSpace};
+use kpt_testkit::{check, Rng};
 use kpt_transformers::{
-    gfp, is_stable, lfp, sp_union, sst, strongest_invariant, wp_inter, DetTransition,
-    FnTransformer,
+    gfp, is_stable, lfp, sp_union, sst, sst_frontier, sst_frontier_with_stats, sst_with_stats,
+    strongest_invariant, wp_inter, DetTransition, FnTransformer,
 };
-use proptest::prelude::*;
 
 fn space(n: u64) -> Arc<StateSpace> {
     StateSpace::builder()
@@ -35,29 +36,33 @@ fn transition(space: &Arc<StateSpace>, seed: u64) -> DetTransition {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn galois_connection(n in 2u64..24, seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn galois_connection() {
+    check("galois_connection", 96, |rng| {
+        let n = rng.gen_range(2..24);
+        let (seed, a, b) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
         let sp = space(n);
         let t = transition(&sp, seed);
         let p = pred(&sp, a);
         let q = pred(&sp, b);
         // [sp.p ⇒ q] ≡ [p ⇒ wp.q]
-        prop_assert_eq!(t.sp(&p).entails(&q), p.entails(&t.wp(&q)));
+        assert_eq!(t.sp(&p).entails(&q), p.entails(&t.wp(&q)));
         // wp is universally conjunctive; sp is universally disjunctive.
-        prop_assert_eq!(t.wp(&p.and(&q)), t.wp(&p).and(&t.wp(&q)));
-        prop_assert_eq!(t.sp(&p.or(&q)), t.sp(&p).or(&t.sp(&q)));
+        assert_eq!(t.wp(&p.and(&q)), t.wp(&p).and(&t.wp(&q)));
+        assert_eq!(t.sp(&p.or(&q)), t.sp(&p).or(&t.sp(&q)));
         // Totality/determinism: wp(true) = true, sp preserves emptiness.
-        prop_assert!(t.wp(&Predicate::tt(&sp)).everywhere());
-        prop_assert!(t.sp(&Predicate::ff(&sp)).is_false());
+        assert!(t.wp(&Predicate::tt(&sp)).everywhere());
+        assert!(t.sp(&Predicate::ff(&sp)).is_false());
         // Determinism: wp is also disjunctive (each state has ONE successor).
-        prop_assert_eq!(t.wp(&p.or(&q)), t.wp(&p).or(&t.wp(&q)));
-    }
+        assert_eq!(t.wp(&p.or(&q)), t.wp(&p).or(&t.wp(&q)));
+    });
+}
 
-    #[test]
-    fn sst_laws(n in 2u64..20, seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn sst_laws() {
+    check("sst_laws", 64, |rng| {
+        let n = rng.gen_range(2..20);
+        let (seed, a, b) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
         let sp = space(n);
         let t = transition(&sp, seed);
         let spt = FnTransformer::new(&sp, "SP", move |x: &Predicate| {
@@ -67,41 +72,47 @@ proptest! {
         let q = pred(&sp, b);
         let x = sst(&spt, &p);
         // Weaker than p, stable (eq. 1).
-        prop_assert!(p.entails(&x));
-        prop_assert!(is_stable(&spt, &x));
+        assert!(p.entails(&x));
+        assert!(is_stable(&spt, &x));
         // (4) monotone.
-        prop_assert!(x.entails(&sst(&spt, &p.or(&q))));
+        assert!(x.entails(&sst(&spt, &p.or(&q))));
         // Extremal: check against every stable superset only on tiny spaces.
         if n <= 6 {
             for mask in 0..(1u64 << n) {
                 let cand = Predicate::from_fn(&sp, |s| mask >> s & 1 == 1);
                 if p.entails(&cand) && is_stable(&spt, &cand) {
-                    prop_assert!(x.entails(&cand));
+                    assert!(x.entails(&cand));
                 }
             }
         }
         // SI of init=p equals BFS-style closure: sst is idempotent.
-        prop_assert_eq!(sst(&spt, &x), x);
-    }
+        assert_eq!(sst(&spt, &x), x);
+    });
+}
 
-    #[test]
-    fn lfp_gfp_duality(n in 2u64..16, mask in any::<u64>()) {
+#[test]
+fn lfp_gfp_duality() {
+    check("lfp_gfp_duality", 96, |rng| {
+        let n = rng.gen_range(2..16);
+        let mask = rng.next_u64();
         let sp = space(n);
         let keep = pred(&sp, mask);
         // lfp of (x ∨ keep) from false = keep; gfp of (x ∧ keep) = keep.
         let k1 = keep.clone();
         let (l, _) = lfp(&sp, move |x: &Predicate| x.or(&k1)).unwrap();
-        prop_assert_eq!(&l, &keep);
+        assert_eq!(&l, &keep);
         let k2 = keep.clone();
         let (g, _) = gfp(&sp, move |x: &Predicate| x.and(&k2)).unwrap();
-        prop_assert_eq!(&g, &keep);
-    }
+        assert_eq!(&g, &keep);
+    });
+}
 
-    #[test]
-    fn multi_statement_si_contains_each_statement_si(
-        n in 2u64..16, s1 in any::<u64>(), s2 in any::<u64>(), a in any::<u64>()
-    ) {
+#[test]
+fn multi_statement_si_contains_each_statement_si() {
+    check("multi_statement_si_contains_each_statement_si", 64, |rng| {
         // Adding statements can only grow the reachable set.
+        let n = rng.gen_range(2..16);
+        let (s1, s2, a) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
         let sp = space(n);
         let t1 = transition(&sp, s1);
         let t2 = transition(&sp, s2);
@@ -115,18 +126,87 @@ proptest! {
         });
         let si1 = strongest_invariant(&one, &init);
         let si2 = strongest_invariant(&both, &init);
-        prop_assert!(si1.entails(&si2));
-    }
+        assert!(si1.entails(&si2));
+    });
+}
 
-    #[test]
-    fn wp_inter_is_conjunction_of_wps(n in 2u64..16, s1 in any::<u64>(), s2 in any::<u64>(), a in any::<u64>()) {
+#[test]
+fn wp_inter_is_conjunction_of_wps() {
+    check("wp_inter_is_conjunction_of_wps", 64, |rng| {
+        let n = rng.gen_range(2..16);
+        let (s1, s2, a) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
         let sp = space(n);
         let t1 = transition(&sp, s1);
         let t2 = transition(&sp, s2);
         let p = pred(&sp, a);
-        prop_assert_eq!(
+        assert_eq!(
             wp_inter(&[t1.clone(), t2.clone()], &p),
             t1.wp(&p).and(&t2.wp(&p))
         );
-    }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: optimised kernels vs naive references
+// ---------------------------------------------------------------------------
+
+/// Spaces big enough to span several 64-bit words, with independently
+/// random per-state membership at varying density (the `wp` dispatch
+/// heuristic switches on density).
+fn random_pred(space: &Arc<StateSpace>, rng: &mut Rng) -> Predicate {
+    let density = rng.gen_range(0..101) as f64 / 100.0;
+    Predicate::from_indices(
+        space,
+        (0..space.num_states()).filter(|_| rng.gen_bool(density)),
+    )
+}
+
+#[test]
+fn sp_wp_kernels_match_naive() {
+    check("sp_wp_kernels_match_naive", 96, |rng| {
+        let n = rng.gen_range(2..400);
+        let sp = space(n);
+        let t = transition(&sp, rng.next_u64());
+        let p = random_pred(&sp, rng);
+        assert_eq!(t.sp(&p), t.sp_naive(&p), "sp on n={n}");
+        assert_eq!(t.wp(&p), t.wp_naive(&p), "wp on n={n}");
+    });
+}
+
+#[test]
+fn predecessors_invert_successors() {
+    check("predecessors_invert_successors", 64, |rng| {
+        let n = rng.gen_range(2..120);
+        let sp = space(n);
+        let t = transition(&sp, rng.next_u64());
+        let mut total = 0u64;
+        for target in 0..n {
+            for &s in t.predecessors(target) {
+                assert_eq!(t.step(u64::from(s)), target);
+                total += 1;
+            }
+        }
+        // CSR partitions the states: every state appears in exactly one list.
+        assert_eq!(total, n);
+    });
+}
+
+#[test]
+fn frontier_sst_matches_kleene_sst() {
+    check("frontier_sst_matches_kleene_sst", 64, |rng| {
+        let n = rng.gen_range(2..200);
+        let sp = space(n);
+        let nstmts = rng.gen_range(1..4) as usize;
+        let ts: Vec<DetTransition> = (0..nstmts)
+            .map(|_| transition(&sp, rng.next_u64()))
+            .collect();
+        let p = random_pred(&sp, rng);
+        let ts2 = ts.clone();
+        let spt = FnTransformer::new(&sp, "SP", move |x: &Predicate| sp_union(&ts2, x));
+        let (kleene, _) = sst_with_stats(&spt, &p);
+        let (frontier, stats) = sst_frontier_with_stats(&ts, &p);
+        assert_eq!(frontier, kleene, "n={n} stmts={nstmts}");
+        assert_eq!(stats.result_states, kleene.count());
+        assert_eq!(sst_frontier(&ts, &p), frontier);
+    });
 }

@@ -15,7 +15,7 @@
 use std::sync::{Arc, OnceLock};
 
 use kpt_state::{Predicate, StateSpace};
-use kpt_transformers::{sp_union, strongest_invariant, DetTransition, FnTransformer};
+use kpt_transformers::{sp_union, strongest_invariant_frontier, DetTransition};
 
 use crate::leadsto::{leads_to, LeadsToReport};
 use crate::program::Process;
@@ -106,14 +106,11 @@ impl CompiledProgram {
     }
 
     /// The strongest invariant `SI = sst.init` (eq. 5): the exact set of
-    /// reachable states. Computed once and cached.
+    /// reachable states. Computed once and cached, by frontier propagation
+    /// over the statement transitions.
     pub fn si(&self) -> &Predicate {
-        self.si.get_or_init(|| {
-            let sp = FnTransformer::new(&self.space, "SP", |p: &Predicate| {
-                sp_union(&self.transitions, p)
-            });
-            strongest_invariant(&sp, &self.init)
-        })
+        self.si
+            .get_or_init(|| strongest_invariant_frontier(&self.transitions, &self.init))
     }
 
     /// `invariant p ≡ [SI ⇒ p]` (eq. 5).
@@ -171,7 +168,7 @@ impl CompiledProgram {
     pub fn fixed_point(&self) -> Predicate {
         let mut fp = Predicate::tt(&self.space);
         for t in &self.transitions {
-            fp = fp.and(&t.fixed_states());
+            fp.and_assign(&t.fixed_states());
         }
         fp
     }
@@ -246,10 +243,7 @@ mod tests {
         let sp = c.space().clone();
         let i = sp.var("i").unwrap();
         // i = 2 unless i = 3.
-        assert!(c.unless(
-            &Predicate::var_eq(&sp, i, 2),
-            &Predicate::var_eq(&sp, i, 3)
-        ));
+        assert!(c.unless(&Predicate::var_eq(&sp, i, 2), &Predicate::var_eq(&sp, i, 3)));
         // i = 2 is not stable.
         assert!(!c.stable(&Predicate::var_eq(&sp, i, 2)));
         // i >= 2 is stable.

@@ -150,7 +150,10 @@ mod tests {
         assert!(text.contains("P1 = {shared, x}"), "{text}");
         assert!(text.contains("1 state: {shared=false, x=false}"), "{text}");
         assert!(text.contains("grant: shared := 1 if K{P0}(~x)"), "{text}");
-        assert!(text.contains("[] take: x := 1 || shared := 0 if shared"), "{text}");
+        assert!(
+            text.contains("[] take: x := 1 || shared := 0 if shared"),
+            "{text}"
+        );
     }
 
     #[test]

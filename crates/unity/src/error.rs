@@ -146,7 +146,10 @@ impl fmt::Display for ProofError {
                 write!(f, "rule {rule}: side condition failed: {condition}")
             }
             ProofError::PremiseShape { rule, expected } => {
-                write!(f, "rule {rule}: premise has wrong shape, expected {expected}")
+                write!(
+                    f,
+                    "rule {rule}: premise has wrong shape, expected {expected}"
+                )
             }
             ProofError::Obligation { rule, detail } => {
                 write!(f, "rule {rule}: obligation failed: {detail}")

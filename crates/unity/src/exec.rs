@@ -13,9 +13,7 @@
 //! cross-validation used by experiment E10.
 
 use kpt_state::Predicate;
-use rand::prelude::SliceRandom;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use kpt_testkit::Rng;
 
 use crate::compiled::CompiledProgram;
 
@@ -52,7 +50,7 @@ impl Scheduler for RoundRobin {
 /// round (fairness with a bounded window).
 #[derive(Debug, Clone)]
 pub struct RandomFair {
-    rng: StdRng,
+    rng: Rng,
     perm: Vec<usize>,
     pos: usize,
 }
@@ -61,7 +59,7 @@ impl RandomFair {
     /// A random fair scheduler with a deterministic seed.
     pub fn seeded(seed: u64) -> Self {
         RandomFair {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             perm: Vec::new(),
             pos: 0,
         }
@@ -72,7 +70,7 @@ impl Scheduler for RandomFair {
     fn next_statement(&mut self, num_statements: usize) -> usize {
         if self.pos >= self.perm.len() || self.perm.len() != num_statements {
             self.perm = (0..num_statements).collect();
-            self.perm.shuffle(&mut self.rng);
+            self.rng.shuffle(&mut self.perm);
             self.pos = 0;
         }
         let s = self.perm[self.pos];
@@ -257,7 +255,11 @@ mod tests {
             let round: Vec<usize> = (0..5).map(|_| rf.next_statement(5)).collect();
             let mut sorted = round.clone();
             sorted.sort_unstable();
-            assert_eq!(sorted, vec![0, 1, 2, 3, 4], "round {round:?} not a permutation");
+            assert_eq!(
+                sorted,
+                vec![0, 1, 2, 3, 4],
+                "round {round:?} not a permutation"
+            );
         }
     }
 

@@ -295,9 +295,7 @@ mod tests {
             .unwrap()
             .statement(
                 Statement::new("inc")
-                    .guard_formula(
-                        kpt_logic::parse_formula(&format!("i < {}", n - 1)).unwrap(),
-                    )
+                    .guard_formula(kpt_logic::parse_formula(&format!("i < {}", n - 1)).unwrap())
                     .assign_str("i", "i + 1")
                     .unwrap(),
             )
@@ -316,15 +314,9 @@ mod tests {
         let report = c.leads_to(&Predicate::tt(&sp), &Predicate::var_eq(&sp, i, 4));
         assert!(report.holds(), "{report:?}");
         // i = 0 ↦ i = 2.
-        assert!(c.leads_to_holds(
-            &Predicate::var_eq(&sp, i, 0),
-            &Predicate::var_eq(&sp, i, 2)
-        ));
+        assert!(c.leads_to_holds(&Predicate::var_eq(&sp, i, 0), &Predicate::var_eq(&sp, i, 2)));
         // i = 2 does NOT lead back to i = 0 (unreachable backwards).
-        assert!(!c.leads_to_holds(
-            &Predicate::var_eq(&sp, i, 2),
-            &Predicate::var_eq(&sp, i, 0)
-        ));
+        assert!(!c.leads_to_holds(&Predicate::var_eq(&sp, i, 2), &Predicate::var_eq(&sp, i, 0)));
     }
 
     #[test]
@@ -450,7 +442,7 @@ mod tests {
         // From i = 3 the program is stuck at 3 (guard i < 3), so i=3 ↦ i=0
         // fails; but restrict p to unreachable... everything is reachable
         // here. Instead: a program with init i=2; states 0,1 unreachable.
-        let space = sp.clone();
+        let space = sp;
         let c2 = Program::builder("c2", &space)
             .init_str("i = 2")
             .unwrap()
@@ -466,15 +458,9 @@ mod tests {
             .compile()
             .unwrap();
         // i = 0 is unreachable, so i = 0 ↦ false holds vacuously.
-        assert!(c2.leads_to_holds(
-            &Predicate::var_eq(&space, i, 0),
-            &Predicate::ff(&space)
-        ));
+        assert!(c2.leads_to_holds(&Predicate::var_eq(&space, i, 0), &Predicate::ff(&space)));
         // But i = 2 ↦ false fails.
-        assert!(!c2.leads_to_holds(
-            &Predicate::var_eq(&space, i, 2),
-            &Predicate::ff(&space)
-        ));
+        assert!(!c2.leads_to_holds(&Predicate::var_eq(&space, i, 2), &Predicate::ff(&space)));
     }
 
     #[test]

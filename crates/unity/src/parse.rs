@@ -113,9 +113,7 @@ pub fn parse_program(src: &str) -> Result<(Arc<StateSpace>, Program), UnityError
         builder = match dom {
             DomainSpec::Bool => builder.bool_var(var)?,
             DomainSpec::Nat(n) => builder.nat_var(var, *n)?,
-            DomainSpec::Enum(labels) => {
-                builder.enum_var(var, labels.iter().map(String::as_str))?
-            }
+            DomainSpec::Enum(labels) => builder.enum_var(var, labels.iter().map(String::as_str))?,
         };
     }
     let space = builder.build()?;
@@ -151,7 +149,11 @@ fn parse_decl(line: &str, line_no: usize) -> Result<(String, DomainSpec), UnityE
     let spec = if dom == "boolean" || dom == "bool" {
         DomainSpec::Bool
     } else if let Some(rest) = dom.strip_prefix("nat") {
-        let digits = rest.trim().trim_start_matches('<').trim_end_matches('>').trim();
+        let digits = rest
+            .trim()
+            .trim_start_matches('<')
+            .trim_end_matches('>')
+            .trim();
         let n: u64 = digits
             .parse()
             .map_err(|_| err(line_no, format!("bad nat size `{digits}`")))?;
@@ -206,8 +208,10 @@ fn parse_statement(body: &str, line_no: usize) -> Result<Statement, UnityError> 
             let (var, expr) = assign
                 .split_once(":=")
                 .ok_or_else(|| err(line_no, "expected `var := expr`"))?;
-            stmt = stmt
-                .assign(var.trim(), parse_expr(expr.trim()).map_err(UnityError::Parse)?);
+            stmt = stmt.assign(
+                var.trim(),
+                parse_expr(expr.trim()).map_err(UnityError::Parse)?,
+            );
         }
     }
     if let Some(g) = guard {
@@ -256,7 +260,10 @@ assign
         // dev-dependency on kpt-core: enumerate candidates and compile with
         // the degenerate full-information semantics is NOT the real check,
         // so here we only verify structural facts.
-        program.statements().iter().any(|s| s.guard().mentions_knowledge())
+        program
+            .statements()
+            .iter()
+            .any(|s| s.guard().mentions_knowledge())
     }
 
     #[test]
@@ -328,14 +335,17 @@ assign
             ("program p\nprocesses\n  P {x}", "Name = {vars}"),
             // `s x := 1` splits at the `:` of `:=`, so the assignment
             // parse is what fails.
-            ("program p\ndeclare\n  x : bool\nassign\n  s x := 1", "var := expr"),
-            ("program p\ndeclare\n  x : bool\nassign\n  s: x = 1", "var := expr"),
+            (
+                "program p\ndeclare\n  x : bool\nassign\n  s x := 1",
+                "var := expr",
+            ),
+            (
+                "program p\ndeclare\n  x : bool\nassign\n  s: x = 1",
+                "var := expr",
+            ),
         ] {
             let e = parse_program(src).unwrap_err();
-            assert!(
-                e.to_string().contains(needle),
-                "`{src}` gave: {e}"
-            );
+            assert!(e.to_string().contains(needle), "`{src}` gave: {e}");
         }
     }
 
@@ -343,8 +353,7 @@ assign
     fn parsed_kbp_works_with_the_solver_interface() {
         // The parsed Figure 1 compiles with a knowledge semantics.
         let (_, program) = parse_program(FIGURE1).unwrap();
-        let k: Box<kpt_logic::KnowledgeFn> =
-            Box::new(|_p, pred: &Predicate| Ok(pred.clone()));
+        let k: Box<kpt_logic::KnowledgeFn> = Box::new(|_p, pred: &Predicate| Ok(pred.clone()));
         assert!(program.compile_with_knowledge(k.as_ref()).is_ok());
     }
 }

@@ -112,7 +112,9 @@ impl Program {
     /// Whether any guard mentions a knowledge modality — i.e. whether this
     /// is a knowledge-based protocol in the sense of §4.
     pub fn is_knowledge_based(&self) -> bool {
-        self.statements.iter().any(|s| s.guard().mentions_knowledge())
+        self.statements
+            .iter()
+            .any(|s| s.guard().mentions_knowledge())
     }
 
     /// Compile as a *standard* program.
@@ -194,9 +196,8 @@ fn compile_statement(
     let mut compiled: Vec<(VarId, CExpr)> = Vec::with_capacity(stmt.assignments().len());
     for (var_name, expr) in stmt.assignments() {
         let var = space.var(var_name)?;
-        let ce = compile_expr(space, stmt.params(), expr, var).map_err(|name| {
-            UnityError::Eval(kpt_logic::EvalError::UnknownIdentifier(name))
-        })?;
+        let ce = compile_expr(space, stmt.params(), expr, var)
+            .map_err(|name| UnityError::Eval(kpt_logic::EvalError::UnknownIdentifier(name)))?;
         compiled.push((var, ce));
     }
 
@@ -411,9 +412,7 @@ impl ProgramBuilder {
                 return Err(UnityError::DuplicateStatement(s.name().to_owned()));
             }
         }
-        let init = self
-            .init
-            .unwrap_or_else(|| Predicate::tt(&self.space));
+        let init = self.init.unwrap_or_else(|| Predicate::tt(&self.space));
         Ok(Program {
             name: self.name,
             space: self.space,

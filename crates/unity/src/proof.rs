@@ -208,11 +208,7 @@ impl<'a> ProofContext<'a> {
     /// # Errors
     /// [`ProofError`] if an obligation fails or `aux` is not an invariant
     /// theorem.
-    pub fn invariant_text(
-        &self,
-        p: &Predicate,
-        aux: Option<&Thm>,
-    ) -> Result<Thm, ProofError> {
+    pub fn invariant_text(&self, p: &Predicate, aux: Option<&Thm>) -> Result<Thm, ProofError> {
         let i = match aux {
             None => Predicate::tt(self.program.space()),
             Some(thm) => match thm.property() {
@@ -242,10 +238,7 @@ impl<'a> ProofContext<'a> {
                 return Err(ProofError::Obligation {
                     rule: "invariant-text",
                     detail: obligation_witness(
-                        &format!(
-                            "[(p /\\ I) => wp.{}.p]",
-                            self.program.statement_name(idx)
-                        ),
+                        &format!("[(p /\\ I) => wp.{}.p]", self.program.statement_name(idx)),
                         self.program,
                         &pre.minus(&wp),
                     ),
@@ -326,8 +319,7 @@ impl<'a> ProofContext<'a> {
             )),
             None => Err(ProofError::Obligation {
                 rule: "ensures-text",
-                detail: "no single statement establishes q from every SI /\\ p /\\ ~q state"
-                    .into(),
+                detail: "no single statement establishes q from every SI /\\ p /\\ ~q state".into(),
             }),
         }
     }
@@ -359,8 +351,7 @@ impl<'a> ProofContext<'a> {
         {
             return Err(ProofError::Obligation {
                 rule: "ensures-from-unless",
-                detail: "no single statement establishes q from every SI /\\ p /\\ ~q state"
-                    .into(),
+                detail: "no single statement establishes q from every SI /\\ p /\\ ~q state".into(),
             });
         }
         Ok(Thm::derived(
@@ -443,8 +434,7 @@ impl<'a> ProofContext<'a> {
                             if prev != q {
                                 return Err(ProofError::SideCondition {
                                     rule: "leads-to-disj",
-                                    condition: "all premises must share the same consequent"
-                                        .into(),
+                                    condition: "all premises must share the same consequent".into(),
                                 });
                             }
                         }
@@ -471,11 +461,7 @@ impl<'a> ProofContext<'a> {
     ///
     /// # Errors
     /// Side-condition error if the entailment fails on reachable states.
-    pub fn leads_to_implication(
-        &self,
-        p: &Predicate,
-        q: &Predicate,
-    ) -> Result<Thm, ProofError> {
+    pub fn leads_to_implication(&self, p: &Predicate, q: &Predicate) -> Result<Thm, ProofError> {
         if !self.entails_on_si(p, q) {
             return Err(ProofError::SideCondition {
                 rule: "leads-to-implication",
@@ -926,7 +912,7 @@ mod tests {
         assert!(t.property().check(&c));
         assert_eq!(t.rule(), "leads-to-trans");
         // Disjunction with i=1 ↦ i=2.
-        let d = ctx.leads_to_disj(&[t.clone(), e12.clone()]).unwrap();
+        let d = ctx.leads_to_disj(&[t.clone(), e12]).unwrap();
         assert!(d.property().check(&c));
         // Derivation tree renders.
         let tree = t.derivation();
@@ -960,7 +946,9 @@ mod tests {
         let lt = ctx
             .leads_to_basis(&ctx.ensures_text(&eq(&c, 1), &eq(&c, 2)).unwrap())
             .unwrap();
-        let safety = ctx.unless_text(&ge(&c, 1), &Predicate::ff(c.space())).unwrap();
+        let safety = ctx
+            .unless_text(&ge(&c, 1), &Predicate::ff(c.space()))
+            .unwrap();
         let psp = ctx.psp(&lt, &safety).unwrap();
         assert!(psp.property().check(&c));
         // Cancellation requires matching middles.
@@ -976,7 +964,9 @@ mod tests {
     fn conjunction_rules() {
         let c = counter();
         let ctx = ProofContext::new(&c);
-        let a = ctx.unless_text(&ge(&c, 1), &Predicate::ff(c.space())).unwrap();
+        let a = ctx
+            .unless_text(&ge(&c, 1), &Predicate::ff(c.space()))
+            .unwrap();
         let b = ctx.unless_text(&eq(&c, 2), &eq(&c, 3)).unwrap();
         let simple = ctx.conjunction_unless(&a, &b).unwrap();
         assert!(simple.property().check(&c));
@@ -1023,7 +1013,9 @@ mod tests {
         let li = ctx.leads_to_implication(&eq(&c, 3), &ge(&c, 2)).unwrap();
         assert!(li.property().check(&c));
         assert!(ctx.leads_to_implication(&eq(&c, 1), &ge(&c, 2)).is_err());
-        let st = ctx.strengthen_leads_to(&eq(&c, 3).and(&ge(&c, 2)), &li).unwrap();
+        let st = ctx
+            .strengthen_leads_to(&eq(&c, 3).and(&ge(&c, 2)), &li)
+            .unwrap();
         assert!(st.property().check(&c));
     }
 

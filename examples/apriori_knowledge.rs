@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---------- simulation: the message saving ----------
     println!("\nsimulated message counts (sequence of 40 elements):");
-    println!("{:<28} {:>10} {:>10} {:>10}", "variant", "data msgs", "ack msgs", "total");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "variant", "data msgs", "ack msgs", "total"
+    );
     for rate in [0.0, 0.2, 0.4] {
         for (label, prefix) in [("standard", 0usize), ("KBP-faithful (x_0 known)", 1)] {
             let mut totals = (0u64, 0u64);

@@ -58,11 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        println!(
-            "  X = {:<60} SI = {}",
-            fmt(&candidate),
-            fmt(&si)
-        );
+        println!("  X = {:<60} SI = {}", fmt(&candidate), fmt(&si));
     }
 
     // The iterative solver cycles.

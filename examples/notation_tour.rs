@@ -26,8 +26,12 @@ assign
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse the paper's notation.
     let (space, program) = parse_program(FIGURE1_TEXT)?;
-    println!("parsed `{}` over {} states; knowledge-based: {}\n", program.name(),
-             space.num_states(), program.is_knowledge_based());
+    println!(
+        "parsed `{}` over {} states; knowledge-based: {}\n",
+        program.name(),
+        space.num_states(),
+        program.is_knowledge_based()
+    );
 
     // 2. Pretty-print it back in the paper's layout.
     println!("{}", program);
@@ -48,8 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let not_x = Predicate::var_is_true(&space, space.var("x")?).negate();
     let spec = MixedSpec::new(program)
         .invariant("k-truthful", not_x.clone().implies(&not_x)) // (14)-shaped
-        .leads_to("handover", Predicate::tt(&space),
-                  Predicate::var_is_true(&space, space.var("x")?));
+        .leads_to(
+            "handover",
+            Predicate::tt(&space),
+            Predicate::var_is_true(&space, space.var("x")?),
+        );
     let k: Box<knowledge_pt::logic::KnowledgeFn> =
         Box::new(|_p, pred: &Predicate| Ok(pred.clone()));
     let r = spec.check_implementable_with(k.as_ref())?;

@@ -16,22 +16,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .init_str("~req /\\ ~done")?
         .process("Client", ["req"])?
         .process("Server", ["req", "done"])?
-        .statement(Statement::new("request").guard_str("~req")?.assign_str("req", "1")?)
-        .statement(Statement::new("serve").guard_str("req")?.assign_str("done", "1")?)
+        .statement(
+            Statement::new("request")
+                .guard_str("~req")?
+                .assign_str("req", "1")?,
+        )
+        .statement(
+            Statement::new("serve")
+                .guard_str("req")?
+                .assign_str("done", "1")?,
+        )
         .build()?
         .compile()?;
 
     println!("== program ==");
     println!("{}", space);
-    println!("strongest invariant SI covers {} / {} states", program.si().count(), space.num_states());
+    println!(
+        "strongest invariant SI covers {} / {} states",
+        program.si().count(),
+        space.num_states()
+    );
 
     // UNITY properties, decided exactly.
     let done = Predicate::var_is_true(&space, space.var("done")?);
     let req = Predicate::var_is_true(&space, space.var("req")?);
     println!("\n== unity properties ==");
-    println!("invariant (done => req)   : {}", program.invariant(&done.implies(&req)));
+    println!(
+        "invariant (done => req)   : {}",
+        program.invariant(&done.implies(&req))
+    );
     println!("stable done               : {}", program.stable(&done));
-    println!("true |-> done             : {}", program.leads_to_holds(&Predicate::tt(&space), &done));
+    println!(
+        "true |-> done             : {}",
+        program.leads_to_holds(&Predicate::tt(&space), &done)
+    );
 
     // Knowledge per eq. (13).
     let k = KnowledgeOperator::for_program(&program);
@@ -39,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (proc, fact, p) in [
         ("Server", "done", done.clone()),
         ("Client", "done", done.clone()),
-        ("Client", "req => eventually-done is not a state fact; ask req", req.clone()),
+        (
+            "Client",
+            "req => eventually-done is not a state fact; ask req",
+            req.clone(),
+        ),
     ] {
         let kp = k.knows(proc, &p)?;
         println!(

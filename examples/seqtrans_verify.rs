@@ -29,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Specification.
     println!("== specification (34)/(35), model-checked ==");
-    println!("invariant w ⊑ x   (34): {}", compiled.invariant(&model.w_prefix_of_x()));
-    println!("invariant |w| = j (36): {}", compiled.invariant(&model.w_len_eq_j()));
+    println!(
+        "invariant w ⊑ x   (34): {}",
+        compiled.invariant(&model.w_prefix_of_x())
+    );
+    println!(
+        "invariant |w| = j (36): {}",
+        compiled.invariant(&model.w_len_eq_j())
+    );
     for k in 0..l as u64 {
         println!(
             "|w| = {k} ↦ |w| > {k} (35): {}",

@@ -85,8 +85,8 @@ pub mod prelude {
         sp_union, sst, strongest_invariant, DetTransition, FnTransformer, Transformer,
     };
     pub use kpt_unity::{
-        execute, leads_to, reachable, CompiledProgram, Program, ProofContext, Property,
-        RandomFair, RoundRobin, Statement, Thm,
+        execute, leads_to, reachable, CompiledProgram, Program, ProofContext, Property, RandomFair,
+        RoundRobin, Statement, Thm,
     };
 }
 
@@ -96,7 +96,11 @@ mod tests {
 
     #[test]
     fn prelude_compiles_a_program() {
-        let space = StateSpace::builder().bool_var("b").unwrap().build().unwrap();
+        let space = StateSpace::builder()
+            .bool_var("b")
+            .unwrap()
+            .build()
+            .unwrap();
         let p = Program::builder("t", &space)
             .init_str("~b")
             .unwrap()

@@ -4,10 +4,10 @@
 use std::sync::Arc;
 
 use knowledge_pt::prelude::*;
-use proptest::prelude::*;
+use kpt_testkit::Rng;
 
-/// A description of a random program, kept `Debug`-friendly so proptest can
-/// shrink it.
+/// A description of a random program, kept `Debug`-friendly so a failing
+/// case can be reported and replayed.
 #[derive(Debug, Clone)]
 #[allow(dead_code)] // each test binary uses a different subset
 pub struct ProgramSpec {
@@ -67,10 +67,7 @@ impl ProgramSpec {
                 .map(|i| format!("v{i}"))
                 .collect();
             builder = builder
-                .process(
-                    &format!("P{vi}"),
-                    names.iter().map(String::as_str),
-                )
+                .process(&format!("P{vi}"), names.iter().map(String::as_str))
                 .unwrap();
         }
         let init = Predicate::from_fn(&space, |s| self.init_mask >> (s % 64) & 1 == 1)
@@ -103,28 +100,31 @@ impl ProgramSpec {
     }
 }
 
-/// Proptest strategy for random programs.
-pub fn program_spec() -> impl Strategy<Value = ProgramSpec> {
-    let domains = prop::collection::vec(2u64..=3, 2..=3);
-    domains.prop_flat_map(|domains| {
-        let nvars = domains.len();
-        let update = prop_oneof![
-            (0u64..3).prop_map(UpdateKind::Const),
-            Just(UpdateKind::Incr),
-            (0..nvars).prop_map(UpdateKind::Copy),
-        ];
-        let statements =
-            prop::collection::vec((any::<u64>(), 0..nvars, update), 1..=3);
-        let views = prop::collection::vec(0u64..(1 << nvars), 1..=2);
-        (Just(domains), any::<u64>(), statements, views).prop_map(
-            |(domains, init_mask, statements, views)| ProgramSpec {
-                domains,
-                init_mask: init_mask | 1, // never empty
-                statements,
-                views,
-            },
-        )
-    })
+/// Draw a random program description.
+pub fn program_spec(rng: &mut Rng) -> ProgramSpec {
+    let nvars = rng.gen_range(2..4) as usize;
+    let domains: Vec<u64> = (0..nvars).map(|_| rng.gen_range(2..4)).collect();
+    let nstmts = rng.gen_range(1..4);
+    let statements = (0..nstmts)
+        .map(|_| {
+            let gmask = rng.next_u64();
+            let var = rng.below(nvars as u64) as usize;
+            let kind = match rng.below(3) {
+                0 => UpdateKind::Const(rng.below(3)),
+                1 => UpdateKind::Incr,
+                _ => UpdateKind::Copy(rng.below(nvars as u64) as usize),
+            };
+            (gmask, var, kind)
+        })
+        .collect();
+    let nviews = rng.gen_range(1..3);
+    let views = (0..nviews).map(|_| rng.below(1 << nvars)).collect();
+    ProgramSpec {
+        domains,
+        init_mask: rng.next_u64() | 1, // never empty
+        statements,
+        views,
+    }
 }
 
 /// A random predicate over `space`, from a 64-bit mask (tiled).

@@ -6,7 +6,7 @@ mod common;
 
 use common::program_spec;
 use knowledge_pt::prelude::*;
-use proptest::prelude::*;
+use kpt_testkit::check;
 
 // ---------------------------------------------------------------------
 // E4: Figure 1 has no solution.
@@ -97,7 +97,11 @@ fn self_referential_kbp_has_multiple_solutions() {
     //   state), the guard is false, b stays false — consistent.
     // Solution 2: X = {¬b, b}. Then P does NOT know ¬b (b-states are
     //   possible), the guard is true, b becomes true — also consistent.
-    let space = StateSpace::builder().bool_var("b").unwrap().build().unwrap();
+    let space = StateSpace::builder()
+        .bool_var("b")
+        .unwrap()
+        .build()
+        .unwrap();
     let program = Program::builder("self-ref", &space)
         .init_str("~b")
         .unwrap()
@@ -181,43 +185,47 @@ fn environment_sweep_over_figure2_inits() {
 // Solver coherence on random (standard) programs.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn standard_programs_have_exactly_their_si_as_solution(spec in program_spec()) {
-        // A knowledge-free program is a degenerate KBP: compile_at ignores
-        // the candidate, so the unique solution is its own SI.
-        let compiled = spec.compile();
-        let space = compiled.space().clone();
-        if space.num_states() > 18 {
-            // keep the exhaustive search cheap
-            return Ok(());
-        }
-        // Rebuild as a Program for the Kbp wrapper.
-        let program = spec.build_program();
-        let kbp = Kbp::new(program);
-        let sols = kbp.solve_exhaustive(18).unwrap();
-        prop_assert_eq!(sols.len(), 1);
-        prop_assert_eq!(&sols.solutions()[0], compiled.si());
-        prop_assert_eq!(sols.strongest(), Some(compiled.si()));
-        // The iterative solver agrees.
-        match kbp.solve_iterative(64).unwrap() {
-            IterativeOutcome::Converged { solution, .. } => {
-                prop_assert_eq!(&solution, compiled.si());
+#[test]
+fn standard_programs_have_exactly_their_si_as_solution() {
+    check(
+        "standard_programs_have_exactly_their_si_as_solution",
+        24,
+        |rng| {
+            // A knowledge-free program is a degenerate KBP: compile_at ignores
+            // the candidate, so the unique solution is its own SI.
+            let spec = program_spec(rng);
+            let compiled = spec.compile();
+            let space = compiled.space().clone();
+            if space.num_states() > 18 {
+                // keep the exhaustive search cheap
+                return;
             }
-            other => prop_assert!(false, "no convergence: {other:?}"),
-        }
-    }
+            // Rebuild as a Program for the Kbp wrapper.
+            let program = spec.build_program();
+            let kbp = Kbp::new(program);
+            let sols = kbp.solve_exhaustive(18).unwrap();
+            assert_eq!(sols.len(), 1);
+            assert_eq!(&sols.solutions()[0], compiled.si());
+            assert_eq!(sols.strongest(), Some(compiled.si()));
+            // The iterative solver agrees.
+            match kbp.solve_iterative(64).unwrap() {
+                IterativeOutcome::Converged { solution, .. } => {
+                    assert_eq!(&solution, compiled.si());
+                }
+                other => panic!("no convergence: {other:?}"),
+            }
+        },
+    );
+}
 
-    #[test]
-    fn iterative_solutions_are_verified_fixpoints(spec in program_spec()) {
+#[test]
+fn iterative_solutions_are_verified_fixpoints() {
+    check("iterative_solutions_are_verified_fixpoints", 24, |rng| {
+        let spec = program_spec(rng);
         let program = spec.build_program();
         let kbp = Kbp::new(program);
-        if let IterativeOutcome::Converged { solution, .. } =
-            kbp.solve_iterative(64).unwrap()
-        {
-            prop_assert!(kbp.is_solution(&solution).unwrap());
+        if let IterativeOutcome::Converged { solution, .. } = kbp.solve_iterative(64).unwrap() {
+            assert!(kbp.is_solution(&solution).unwrap());
         }
-    }
+    });
 }

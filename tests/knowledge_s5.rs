@@ -7,13 +7,13 @@ mod common;
 
 use common::{pred_from_mask, program_spec};
 use knowledge_pt::prelude::*;
-use proptest::prelude::*;
+use kpt_testkit::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn s5_axioms_on_random_programs(spec in program_spec(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn s5_axioms_on_random_programs() {
+    check("s5_axioms_on_random_programs", 48, |rng| {
+        let spec = program_spec(rng);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let program = spec.compile();
         let space = program.space().clone();
         let k = KnowledgeOperator::for_program(&program);
@@ -23,29 +23,33 @@ proptest! {
             let kp = k.knows(&proc, &p).unwrap();
             let kq = k.knows(&proc, &q).unwrap();
             // (14) truthfulness.
-            prop_assert!(kp.entails(&p));
+            assert!(kp.entails(&p));
             // (15) distribution.
             let kimp = k.knows(&proc, &p.implies(&q)).unwrap();
-            prop_assert!(kp.and(&kimp).entails(&kq));
+            assert!(kp.and(&kimp).entails(&kq));
             // (16) positive introspection.
-            prop_assert_eq!(&k.knows(&proc, &kp).unwrap(), &kp);
+            assert_eq!(&k.knows(&proc, &kp).unwrap(), &kp);
             // (17) negative introspection.
             let nkp = kp.negate();
-            prop_assert_eq!(k.knows(&proc, &nkp).unwrap(), nkp);
+            assert_eq!(k.knows(&proc, &nkp).unwrap(), nkp);
             // (18) necessitation.
             if p.everywhere() {
-                prop_assert!(kp.everywhere());
+                assert!(kp.everywhere());
             }
             // (19) monotonicity.
             let kpq = k.knows(&proc, &p.or(&q)).unwrap();
-            prop_assert!(kp.entails(&kpq));
+            assert!(kp.entails(&kpq));
             // (21) conjunctivity (binary).
-            prop_assert_eq!(k.knows(&proc, &p.and(&q)).unwrap(), kp.and(&kq));
+            assert_eq!(k.knows(&proc, &p.and(&q)).unwrap(), kp.and(&kq));
         }
-    }
+    });
+}
 
-    #[test]
-    fn eq23_eq24_invariant_characterisation(spec in program_spec(), a in any::<u64>()) {
+#[test]
+fn eq23_eq24_invariant_characterisation() {
+    check("eq23_eq24_invariant_characterisation", 48, |rng| {
+        let spec = program_spec(rng);
+        let a = rng.next_u64();
         let program = spec.compile();
         let space = program.space().clone();
         let k = KnowledgeOperator::for_program(&program);
@@ -53,56 +57,71 @@ proptest! {
         for proc in program.processes().iter().map(|p| p.name().to_owned()) {
             let kp = k.knows(&proc, &p).unwrap();
             // (23) invariant p ≡ invariant K_i p.
-            prop_assert_eq!(program.invariant(&p), program.invariant(&kp));
+            assert_eq!(program.invariant(&p), program.invariant(&kp));
             // (24) for view-local q: invariant (q ⇒ p) ≡ invariant (q ⇒ K_i p).
             let view = k.view(&proc).unwrap();
             let q = wcyl(&view, &pred_from_mask(&space, a.rotate_left(13)));
-            prop_assert!(q.depends_only_on(view));
-            prop_assert_eq!(
+            assert!(q.depends_only_on(view));
+            assert_eq!(
                 program.invariant(&q.implies(&p)),
                 program.invariant(&q.implies(&kp))
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn group_knowledge_hierarchy(spec in program_spec(), a in any::<u64>()) {
+#[test]
+fn group_knowledge_hierarchy() {
+    check("group_knowledge_hierarchy", 48, |rng| {
+        let spec = program_spec(rng);
+        let a = rng.next_u64();
         let program = spec.compile();
         let space = program.space().clone();
         let k = KnowledgeOperator::for_program(&program);
         let p = pred_from_mask(&space, a);
-        let names: Vec<String> =
-            program.processes().iter().map(|p| p.name().to_owned()).collect();
+        let names: Vec<String> = program
+            .processes()
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect();
         let group: Vec<&str> = names.iter().map(String::as_str).collect();
         if group.is_empty() {
-            return Ok(());
+            return;
         }
         let c = k.common(&group, &p).unwrap();
         let e = k.everyone(&group, &p).unwrap();
         let d = k.distributed(&group, &p).unwrap();
-        prop_assert!(c.entails(&e));
+        assert!(c.entails(&e));
         for proc in &group {
             let kp = k.knows(proc, &p).unwrap();
-            prop_assert!(e.entails(&kp));
-            prop_assert!(kp.entails(&d));
+            assert!(e.entails(&kp));
+            assert!(kp.entails(&d));
         }
-        prop_assert!(d.entails(&p));
+        assert!(d.entails(&p));
         // C is a fixpoint of X ↦ E(p ∧ X).
-        prop_assert_eq!(&k.everyone(&group, &p.and(&c)).unwrap(), &c);
-    }
+        assert_eq!(&k.everyone(&group, &p.and(&c)).unwrap(), &c);
+    });
+}
 
-    #[test]
-    fn run_semantics_equivalence(spec in program_spec(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn run_semantics_equivalence() {
+    check("run_semantics_equivalence", 48, |rng| {
         // Experiment E10: reachability = SI and view-knowledge = K on SI.
+        let spec = program_spec(rng);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let program = spec.compile();
         let space = program.space().clone();
         let samples = [pred_from_mask(&space, a), pred_from_mask(&space, b)];
-        prop_assert_eq!(semantics_agree(&program, &samples), Ok(()));
-    }
+        assert_eq!(semantics_agree(&program, &samples), Ok(()));
+    });
+}
 
-    #[test]
-    fn knowledge_is_view_measurable_on_si(spec in program_spec(), a in any::<u64>()) {
+#[test]
+fn knowledge_is_view_measurable_on_si() {
+    check("knowledge_is_view_measurable_on_si", 48, |rng| {
         // On reachable states, K_i p cannot distinguish view-equal states.
+        let spec = program_spec(rng);
+        let a = rng.next_u64();
         let program = spec.compile();
         let space = program.space().clone();
         let k = KnowledgeOperator::for_program(&program);
@@ -113,15 +132,16 @@ proptest! {
             let kp = k.knows(&proc, &p).unwrap();
             for s1 in si.iter() {
                 for s2 in si.iter() {
-                    let same_view =
-                        view.iter().all(|v| space.value(s1, v) == space.value(s2, v));
+                    let same_view = view
+                        .iter()
+                        .all(|v| space.value(s1, v) == space.value(s2, v));
                     if same_view {
-                        prop_assert_eq!(kp.holds(s1), kp.holds(s2));
+                        assert_eq!(kp.holds(s1), kp.holds(s2));
                     }
                 }
             }
         }
-    }
+    });
 }
 
 /// Deterministic: common knowledge can be strictly weaker than everyone-

@@ -6,101 +6,115 @@ mod common;
 
 use common::{pred_from_mask, program_spec};
 use knowledge_pt::prelude::*;
-use proptest::prelude::*;
+use kpt_testkit::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn boolean_algebra_laws(spec in program_spec(), a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+#[test]
+fn boolean_algebra_laws() {
+    check("boolean_algebra_laws", 64, |rng| {
+        let spec = program_spec(rng);
+        let (a, b, c) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
         let space = spec.space();
         let p = pred_from_mask(&space, a);
         let q = pred_from_mask(&space, b);
         let r = pred_from_mask(&space, c);
         // Distributivity, De Morgan, absorption, double negation.
-        prop_assert_eq!(p.and(&q.or(&r)), p.and(&q).or(&p.and(&r)));
-        prop_assert_eq!(p.or(&q.and(&r)), p.or(&q).and(&p.or(&r)));
-        prop_assert_eq!(p.and(&q).negate(), p.negate().or(&q.negate()));
-        prop_assert_eq!(p.or(&q).negate(), p.negate().and(&q.negate()));
-        prop_assert_eq!(p.and(&p.or(&q)), p.clone());
-        prop_assert_eq!(p.negate().negate(), p.clone());
+        assert_eq!(p.and(&q.or(&r)), p.and(&q).or(&p.and(&r)));
+        assert_eq!(p.or(&q.and(&r)), p.or(&q).and(&p.or(&r)));
+        assert_eq!(p.and(&q).negate(), p.negate().or(&q.negate()));
+        assert_eq!(p.or(&q).negate(), p.negate().and(&q.negate()));
+        assert_eq!(p.and(&p.or(&q)), p);
+        assert_eq!(p.negate().negate(), p);
         // Pointwise implication and equivalence agree with their pointwise
         // definitions.
-        prop_assert_eq!(p.implies(&q), p.negate().or(&q));
-        prop_assert_eq!(p.iff(&q), p.implies(&q).and(&q.implies(&p)));
+        assert_eq!(p.implies(&q), p.negate().or(&q));
+        assert_eq!(p.iff(&q), p.implies(&q).and(&q.implies(&p)));
         // The everywhere operator.
-        prop_assert_eq!(p.implies(&q).everywhere(), p.entails(&q));
-    }
+        assert_eq!(p.implies(&q).everywhere(), p.entails(&q));
+    });
+}
 
-    #[test]
-    fn quantifier_laws(spec in program_spec(), a in any::<u64>()) {
+#[test]
+fn quantifier_laws() {
+    check("quantifier_laws", 64, |rng| {
+        let spec = program_spec(rng);
+        let a = rng.next_u64();
         let space = spec.space();
         let p = pred_from_mask(&space, a);
         for v in space.vars() {
             let fa = forall_var(&p, v);
             let ex = exists_var(&p, v);
             // Galois: ∀v::p ⇒ p ⇒ ∃v::p.
-            prop_assert!(fa.entails(&p));
-            prop_assert!(p.entails(&ex));
+            assert!(fa.entails(&p));
+            assert!(p.entails(&ex));
             // Duality.
-            prop_assert_eq!(fa.negate(), exists_var(&p.negate(), v));
+            assert_eq!(fa.negate(), exists_var(&p.negate(), v));
             // Idempotence.
-            prop_assert_eq!(forall_var(&fa, v), fa.clone());
-            prop_assert_eq!(exists_var(&ex, v), ex.clone());
+            assert_eq!(forall_var(&fa, v), fa.clone());
+            assert_eq!(exists_var(&ex, v), ex.clone());
             // Independence of the quantified variable.
-            prop_assert!(fa.is_independent_of(v));
-            prop_assert!(ex.is_independent_of(v));
+            assert!(fa.is_independent_of(v));
+            assert!(ex.is_independent_of(v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn wcyl_laws_7_through_11(spec in program_spec(), a in any::<u64>(), b in any::<u64>(), view_mask in any::<u64>()) {
+#[test]
+fn wcyl_laws_7_through_11() {
+    check("wcyl_laws_7_through_11", 64, |rng| {
+        let spec = program_spec(rng);
+        let (a, b, view_mask) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
         let space = spec.space();
         let p = pred_from_mask(&space, a);
         let q = pred_from_mask(&space, b);
         let view = VarSet::from_vars(space.vars().filter(|v| view_mask >> v.index() & 1 == 1));
         let wp = wcyl(&view, &p);
         // (7) [wcyl.V.p ⇒ p]
-        prop_assert!(wp.entails(&p));
+        assert!(wp.entails(&p));
         // (8) monotonic in p
         let wpq = wcyl(&view, &p.or(&q));
-        prop_assert!(wp.entails(&wpq));
+        assert!(wp.entails(&wpq));
         // (8) monotonic in V
         let bigger = view.union(VarSet::from_vars(space.vars().take(1)));
-        prop_assert!(wp.entails(&wcyl(&bigger, &p)));
+        assert!(wp.entails(&wcyl(&bigger, &p)));
         // (9) identity on cylinders
-        prop_assert_eq!(wcyl(&view, &wp), wp.clone());
-        prop_assert!(wp.depends_only_on(view));
+        assert_eq!(wcyl(&view, &wp), wp.clone());
+        assert!(wp.depends_only_on(view));
         // (10) weakest such cylinder: wcyl of a cylinder below p stays below
         let q_cyl = wcyl(&view, &q);
         if q_cyl.entails(&p) {
-            prop_assert!(q_cyl.entails(&wp));
+            assert!(q_cyl.entails(&wp));
         }
         // (11) universally conjunctive (binary case)
-        prop_assert_eq!(
-            wcyl(&view, &p.and(&q)),
-            wp.and(&wcyl(&view, &q))
-        );
-    }
+        assert_eq!(wcyl(&view, &p.and(&q)), wp.and(&wcyl(&view, &q)));
+    });
+}
 
-    #[test]
-    fn state_encode_decode_roundtrip(spec in program_spec(), s in any::<u64>()) {
+#[test]
+fn state_encode_decode_roundtrip() {
+    check("state_encode_decode_roundtrip", 64, |rng| {
+        let spec = program_spec(rng);
+        let s = rng.next_u64();
         let space = spec.space();
         let idx = s % space.num_states();
         let vals = space.decode(idx);
-        prop_assert_eq!(space.encode(&vals).unwrap(), idx);
+        assert_eq!(space.encode(&vals).unwrap(), idx);
         for (v, &val) in space.vars().zip(&vals) {
-            prop_assert_eq!(space.value(idx, v), val);
+            assert_eq!(space.value(idx, v), val);
             let other = (val + 1) % space.domain(v).size();
             let upd = space.with_value(idx, v, other);
-            prop_assert_eq!(space.value(upd, v), other);
+            assert_eq!(space.value(upd, v), other);
         }
-    }
+    });
+}
 
-    #[test]
-    fn formula_roundtrip_through_printer(spec in program_spec(), a in any::<u64>(), b in 0u64..3) {
+#[test]
+fn formula_roundtrip_through_printer() {
+    check("formula_roundtrip_through_printer", 64, |rng| {
         // Build a formula about the space's variables, print, re-parse,
         // evaluate: both evaluations agree.
+        let spec = program_spec(rng);
+        let a = rng.next_u64();
+        let b = rng.below(3);
         let space = spec.space();
         let nvars = spec.domains.len() as u64;
         let v0 = format!("v{}", a % nvars);
@@ -110,8 +124,8 @@ proptest! {
         let printed = f.to_string();
         let g = parse_formula(&printed).unwrap();
         let ctx = EvalContext::new(&space);
-        prop_assert_eq!(ctx.eval(&f).unwrap(), ctx.eval(&g).unwrap());
-    }
+        assert_eq!(ctx.eval(&f).unwrap(), ctx.eval(&g).unwrap());
+    });
 }
 
 /// The paper's exact (12) counterexample, deterministic.

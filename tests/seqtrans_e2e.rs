@@ -231,8 +231,8 @@ fn weaker_interpretation_as_mixed_specification() {
         },
     )
     .unwrap();
-    let mut spec = MixedSpec::new(adv.program().clone())
-        .invariant("(34) w prefix of x", adv.w_prefix_of_x());
+    let mut spec =
+        MixedSpec::new(adv.program().clone()).invariant("(34) w prefix of x", adv.w_prefix_of_x());
     for k in 0..2u64 {
         spec = spec.leads_to(format!("(35) k={k}"), adv.j_eq(k), adv.j_gt(k));
     }

@@ -6,114 +6,135 @@ mod common;
 
 use common::{pred_from_mask, program_spec};
 use knowledge_pt::prelude::*;
-use proptest::prelude::*;
+use kpt_testkit::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn si_is_bfs_reachability() {
+    check("si_is_bfs_reachability", 48, |rng| {
+        let program = program_spec(rng).compile();
+        assert_eq!(&reachable(&program), program.si());
+    });
+}
 
-    #[test]
-    fn si_is_bfs_reachability(spec in program_spec()) {
-        let program = spec.compile();
-        prop_assert_eq!(&reachable(&program), program.si());
-    }
-
-    #[test]
-    fn property_checker_algebra(spec in program_spec(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn property_checker_algebra() {
+    check("property_checker_algebra", 48, |rng| {
+        let spec = program_spec(rng);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let program = spec.compile();
         let space = program.space().clone();
         let p = pred_from_mask(&space, a);
         let q = pred_from_mask(&space, b);
         // stable p  ≡  p unless false (eq. 33).
-        prop_assert_eq!(program.stable(&p), program.unless(&p, &Predicate::ff(&space)));
+        assert_eq!(
+            program.stable(&p),
+            program.unless(&p, &Predicate::ff(&space))
+        );
         // ensures ⇒ unless.
         if program.ensures(&p, &q) {
-            prop_assert!(program.unless(&p, &q));
+            assert!(program.unless(&p, &q));
             // ensures ⇒ leads-to (rule 29, semantically).
-            prop_assert!(program.leads_to_holds(&p, &q));
+            assert!(program.leads_to_holds(&p, &q));
         }
         // invariant p ⇒ stable p (init ⊆ p and closed).
         if program.invariant(&p) {
-            prop_assert!(program.stable(&p));
+            assert!(program.stable(&p));
         }
         // leads-to is reflexive-ish and respects weakening.
-        prop_assert!(program.leads_to_holds(&p, &p.or(&q)));
+        assert!(program.leads_to_holds(&p, &p.or(&q)));
         if program.leads_to_holds(&p, &q) {
-            prop_assert!(program.leads_to_holds(&p, &q.or(&pred_from_mask(&space, a ^ b))));
+            assert!(program.leads_to_holds(&p, &q.or(&pred_from_mask(&space, a ^ b))));
         }
         // unless is monotone in its second argument.
         if program.unless(&p, &q) {
-            prop_assert!(program.unless(&p, &q.or(&pred_from_mask(&space, !a))));
+            assert!(program.unless(&p, &q.or(&pred_from_mask(&space, !a))));
         }
-    }
+    });
+}
 
-    #[test]
-    fn proof_kernel_is_sound(spec in program_spec(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn proof_kernel_is_sound() {
+    check("proof_kernel_is_sound", 48, |rng| {
         // Every theorem the kernel emits (from text rules on random
         // predicates) model-checks true.
+        let spec = program_spec(rng);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let program = spec.compile();
         let space = program.space().clone();
         let ctx = ProofContext::new(&program);
         let p = pred_from_mask(&space, a);
         let q = pred_from_mask(&space, b);
         if let Ok(u) = ctx.unless_text(&p, &q) {
-            prop_assert!(u.property().check(&program));
+            assert!(u.property().check(&program));
             // Weakening stays sound.
             let w = ctx.weaken_unless(&u, &q.or(&p)).unwrap();
-            prop_assert!(w.property().check(&program));
+            assert!(w.property().check(&program));
         }
         if let Ok(e) = ctx.ensures_text(&p, &q) {
-            prop_assert!(e.property().check(&program));
+            assert!(e.property().check(&program));
             let l = ctx.leads_to_basis(&e).unwrap();
-            prop_assert!(l.property().check(&program));
+            assert!(l.property().check(&program));
         }
         if let Ok(i) = ctx.invariant_text(&p, None) {
-            prop_assert!(i.property().check(&program));
+            assert!(i.property().check(&program));
         }
         if let Ok(s) = ctx.stable_text(&p) {
-            prop_assert!(s.property().check(&program));
+            assert!(s.property().check(&program));
         }
         // PSP over a sound pair.
         if let (Ok(e), Ok(u2)) = (ctx.ensures_text(&p, &q), ctx.unless_text(&q, &p)) {
             let l = ctx.leads_to_basis(&e).unwrap();
             let psp = ctx.psp(&l, &u2).unwrap();
-            prop_assert!(psp.property().check(&program));
+            assert!(psp.property().check(&program));
         }
-    }
+    });
+}
 
-    #[test]
-    fn text_rules_are_complete_for_their_definitions(spec in program_spec(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn text_rules_are_complete_for_their_definitions() {
+    check("text_rules_are_complete_for_their_definitions", 48, |rng| {
         // unless_text succeeds iff the model checker says unless holds —
         // rule (27) IS the definition.
+        let spec = program_spec(rng);
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let program = spec.compile();
         let space = program.space().clone();
         let ctx = ProofContext::new(&program);
         let p = pred_from_mask(&space, a);
         let q = pred_from_mask(&space, b);
-        prop_assert_eq!(ctx.unless_text(&p, &q).is_ok(), program.unless(&p, &q));
-        prop_assert_eq!(ctx.ensures_text(&p, &q).is_ok(), program.ensures(&p, &q));
-        prop_assert_eq!(ctx.stable_text(&p).is_ok(), program.stable(&p));
-    }
+        assert_eq!(ctx.unless_text(&p, &q).is_ok(), program.unless(&p, &q));
+        assert_eq!(ctx.ensures_text(&p, &q).is_ok(), program.ensures(&p, &q));
+        assert_eq!(ctx.stable_text(&p).is_ok(), program.stable(&p));
+    });
+}
 
-    #[test]
-    fn executions_stay_within_si(spec in program_spec(), seed in any::<u64>()) {
+#[test]
+fn executions_stay_within_si() {
+    check("executions_stay_within_si", 48, |rng| {
+        let spec = program_spec(rng);
+        let seed = rng.next_u64();
         let program = spec.compile();
         let start = program.init().witness().unwrap();
         let mut sched = RandomFair::seeded(seed);
         let run = execute(&program, start, 64, &mut sched);
         for s in run.states() {
-            prop_assert!(program.si().holds(s), "executed off SI");
+            assert!(program.si().holds(s), "executed off SI");
         }
         // Round-robin too.
         let mut rr = RoundRobin::new();
         let run = execute(&program, start, 64, &mut rr);
-        prop_assert!(run.states().all(|s| program.si().holds(s)));
-    }
+        assert!(run.states().all(|s| program.si().holds(s)));
+    });
+}
 
-    #[test]
-    fn leads_to_agrees_with_long_fair_runs(spec in program_spec(), a in any::<u64>(), seed in any::<u64>()) {
+#[test]
+fn leads_to_agrees_with_long_fair_runs() {
+    check("leads_to_agrees_with_long_fair_runs", 48, |rng| {
         // If p ↦ q holds, every sufficiently long fair run from a reachable
         // p-state hits q. (The converse needs adversarial scheduling, which
         // RandomFair doesn't do, so only this direction is tested.)
+        let spec = program_spec(rng);
+        let (a, seed) = (rng.next_u64(), rng.next_u64());
         let program = spec.compile();
         let space = program.space().clone();
         let p = pred_from_mask(&space, a);
@@ -123,27 +144,28 @@ proptest! {
                 let mut sched = RandomFair::seeded(seed);
                 // Bound: |states| * statements * small factor covers any
                 // fair-trap-free walk on these tiny spaces.
-                let steps = (space.num_states() as usize)
-                    * program.num_statements() * 8;
+                let steps = (space.num_states() as usize) * program.num_statements() * 8;
                 let run = execute(&program, start, steps, &mut sched);
-                prop_assert!(
+                assert!(
                     run.visits(&q),
                     "p |-> q certified but a fair run of {steps} steps missed q"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn fixed_point_states_are_terminal(spec in program_spec()) {
-        let program = spec.compile();
+#[test]
+fn fixed_point_states_are_terminal() {
+    check("fixed_point_states_are_terminal", 48, |rng| {
+        let program = program_spec(rng).compile();
         let fp = program.fixed_point();
         for s in fp.iter().take(32) {
             for t in 0..program.num_statements() {
-                prop_assert_eq!(program.step(t, s), s);
+                assert_eq!(program.step(t, s), s);
             }
         }
-    }
+    });
 }
 
 /// Deterministic regression: the paper's §5 bubble-sort sketch — the
@@ -158,7 +180,9 @@ fn quantified_bubble_sort_reaches_sorted_fixed_point() {
         b = b.nat_var(&format!("x{i}"), vals).unwrap();
     }
     let space = b.build().unwrap();
-    let vars: Vec<VarId> = (0..n).map(|i| space.var(&format!("x{i}")).unwrap()).collect();
+    let vars: Vec<VarId> = (0..n)
+        .map(|i| space.var(&format!("x{i}")).unwrap())
+        .collect();
     let mut builder = Program::builder("bubble", &space);
     for i in 0..n - 1 {
         let (a, c) = (vars[i], vars[i + 1]);
@@ -191,7 +215,9 @@ fn quantified_bubble_sort_reaches_sorted_fixed_point() {
     let run = execute(&program, start, 60, &mut rr);
     let fin = run.final_state();
     assert_eq!(
-        (0..n).map(|i| space.value(fin, vars[i])).collect::<Vec<_>>(),
+        (0..n)
+            .map(|i| space.value(fin, vars[i]))
+            .collect::<Vec<_>>(),
         vec![0, 1, 2, 2]
     );
 }
