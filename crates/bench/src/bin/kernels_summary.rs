@@ -131,6 +131,76 @@ fn knowledge_cases(c: &mut Criterion) {
     group.finish();
 }
 
+fn parallel_cases(c: &mut Criterion) {
+    use kpt_core::{Kbp, KnowledgeContext};
+    use kpt_state::VarSet;
+    use kpt_unity::{Program, Statement};
+
+    let mut group = c.benchmark_group("parallel_pool");
+    group.sample_size(10);
+
+    // KBP exhaustive search: 2^8 candidate invariants, each needing a
+    // knowledge-guard compilation plus an SI fixpoint. A fresh `Kbp` per
+    // iteration defeats the candidate ↦ SI memo, so the pool fan-out (not
+    // the cache) is what's measured.
+    let space = StateSpace::builder()
+        .nat_var("i", 9)
+        .unwrap()
+        .build()
+        .unwrap();
+    let make_kbp = || {
+        Kbp::new(
+            Program::builder("bench-kbp", &space)
+                .init_str("i = 0")
+                .unwrap()
+                .process("P", [] as [&str; 0])
+                .unwrap()
+                .statement(
+                    Statement::new("step")
+                        .guard_str("i < 8 /\\ ~K{P}(i > 6)")
+                        .unwrap()
+                        .assign_str("i", "i + 1")
+                        .unwrap(),
+                )
+                .build()
+                .unwrap(),
+        )
+    };
+    group.bench_function("solve_exhaustive_par/256candidates", |b| {
+        b.iter(|| make_kbp().solve_exhaustive(16).unwrap())
+    });
+    group.bench_function("solve_exhaustive_serial/256candidates", |b| {
+        b.iter(|| make_kbp().solve_exhaustive_serial(16).unwrap())
+    });
+
+    // Batch knowledge: eight distinct views over 65536 states, fresh memo
+    // per iteration so every `K_i p` sweep is actually computed.
+    let kspace = space_with_vars(8, 4);
+    let views: Vec<(String, VarSet)> = (0..8)
+        .map(|i| {
+            (
+                format!("P{i}"),
+                VarSet::from_vars(kspace.vars().skip(i).take(3)),
+            )
+        })
+        .collect();
+    let si = Predicate::from_fn(&kspace, |s| s % 7 != 0);
+    let p = Predicate::from_fn(&kspace, |s| s % 3 == 1);
+    group.bench_function("knows_all_par/8views_65536states", |b| {
+        b.iter(|| KnowledgeContext::new(&kspace, views.clone(), si.clone()).knows_all(&p))
+    });
+    group.bench_function("knows_all_serial/8views_65536states", |b| {
+        b.iter(|| {
+            let ctx = KnowledgeContext::new(&kspace, views.clone(), si.clone());
+            views
+                .iter()
+                .map(|(_, v)| ctx.knows_view(*v, &p))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
 fn main() {
     let fast = std::env::var("KPT_BENCH_FAST")
         .map(|v| v != "0")
@@ -152,6 +222,7 @@ fn main() {
     quantifier_cases(&mut c);
     fixpoint_cases(&mut c);
     knowledge_cases(&mut c);
+    parallel_cases(&mut c);
 
     // Speedup table: pair `kernel_*`/`naive_*`, `frontier_*`/`kleene_*`,
     // `*_warm`/`*_cold` cases within each group.
@@ -174,6 +245,8 @@ fn main() {
         ("frontier_long_chain", "kleene_long_chain"),
         ("frontier_wide", "kleene_wide"),
         ("knows_warm", "knows_cold"),
+        ("solve_exhaustive_par", "solve_exhaustive_serial"),
+        ("knows_all_par", "knows_all_serial"),
     ];
     for (opt, naive) in pairs {
         if let (Some(o), Some(n)) = (find(opt), find(naive)) {

@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 
 use kpt_logic::EvalError;
 use kpt_state::{forall_var, Predicate, StateSpace, VarId, VarSet};
+use kpt_testkit::pool;
 use kpt_unity::CompiledProgram;
 
 /// Cached state for evaluating the knowledge operator of eq. (13) against a
@@ -124,6 +125,19 @@ impl KnowledgeContext {
         order
     }
 
+    /// The eq. (13) computation itself — `p ∧ (wcyl.V.(SI ⇒ p) ∨ ¬SI)` —
+    /// with no memo traffic. Shared by the serial and batch entry points.
+    fn compute_knows_view(&self, view: VarSet, p: &Predicate) -> Predicate {
+        let order = self.sweep_order(view);
+        let mut cylinder = self.si.implies(p);
+        for &v in order.iter() {
+            cylinder = forall_var(&cylinder, v);
+        }
+        cylinder.or_assign(&self.not_si);
+        cylinder.and_assign(p);
+        cylinder
+    }
+
     /// `K p` by eq. (13) for an explicit view, memoized:
     /// `p ∧ (wcyl.V.(SI ⇒ p) ∨ ¬SI)`.
     #[must_use]
@@ -134,13 +148,7 @@ impl KnowledgeContext {
             return hit.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let order = self.sweep_order(view);
-        let mut cylinder = self.si.implies(p);
-        for &v in order.iter() {
-            cylinder = forall_var(&cylinder, v);
-        }
-        cylinder.or_assign(&self.not_si);
-        cylinder.and_assign(p);
+        let cylinder = self.compute_knows_view(view, p);
         self.memo
             .lock()
             .expect("knowledge memo poisoned")
@@ -154,6 +162,79 @@ impl KnowledgeContext {
     /// [`EvalError::UnknownProcess`] for undeclared names.
     pub fn knows(&self, process: &str, p: &Predicate) -> Result<Predicate, EvalError> {
         Ok(self.knows_view(self.view(process)?, p))
+    }
+
+    /// `K p` for a *batch* of views at once, the uncached ones evaluated
+    /// in parallel on the [`pool`] workers (`KPT_THREADS` / available
+    /// cores). Results are returned in input order and memoized exactly
+    /// as [`KnowledgeContext::knows_view`] would — every entry point
+    /// (guard compilation, `E_G`, the `C_G` fixpoint) shares the memo the
+    /// batch fills, and the output is bit-identical to the serial loop.
+    #[must_use]
+    pub fn knows_batch(&self, views: &[VarSet], p: &Predicate) -> Vec<Predicate> {
+        self.knows_batch_with(pool::num_threads(), views, p)
+    }
+
+    /// [`KnowledgeContext::knows_batch`] with an explicit worker count
+    /// (differential tests force the multi-threaded path with it).
+    #[must_use]
+    pub fn knows_batch_with(
+        &self,
+        threads: usize,
+        views: &[VarSet],
+        p: &Predicate,
+    ) -> Vec<Predicate> {
+        // Partition into memo hits and distinct missing views.
+        let mut missing: Vec<VarSet> = Vec::new();
+        {
+            let memo = self.memo.lock().expect("knowledge memo poisoned");
+            for &view in views {
+                if memo.contains_key(&(view, p.clone())) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else if !missing.contains(&view) {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    missing.push(view);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Interning sweep orders up front keeps workers off that lock.
+        for &view in &missing {
+            self.sweep_order(view);
+        }
+        let computed: Vec<Predicate> =
+            pool::parallel_map_with(threads, &missing, |&view| self.compute_knows_view(view, p));
+        {
+            let mut memo = self.memo.lock().expect("knowledge memo poisoned");
+            for (view, k) in missing.iter().zip(&computed) {
+                memo.insert((*view, p.clone()), k.clone());
+            }
+        }
+        let memo = self.memo.lock().expect("knowledge memo poisoned");
+        views
+            .iter()
+            .map(|view| {
+                memo.get(&(*view, p.clone()))
+                    .expect("batch inserted every requested view")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// `K_i p` for **every declared view** in parallel: one
+    /// `(process name, K_i p)` pair per declared process, in declaration
+    /// order. This is the batch entry point guard compilation and the
+    /// group-knowledge fixpoints lean on.
+    #[must_use]
+    pub fn knows_all(&self, p: &Predicate) -> Vec<(String, Predicate)> {
+        let views: Vec<VarSet> = self.views.iter().map(|(_, v)| *v).collect();
+        let ks = self.knows_batch(&views, p);
+        self.views
+            .iter()
+            .zip(ks)
+            .map(|((name, _), k)| (name.clone(), k))
+            .collect()
     }
 
     /// `(cache hits, cache misses)` of the `K p` memo so far.
@@ -228,5 +309,52 @@ mod tests {
         let s = space();
         let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
         assert!(ctx.knows("nobody", &Predicate::tt(&s)).is_err());
+    }
+
+    #[test]
+    fn knows_all_matches_per_view_queries_for_any_thread_count() {
+        let s = space();
+        let si = Predicate::from_fn(&s, |i| i % 3 != 0);
+        let p = Predicate::from_fn(&s, |i| i % 2 == 0);
+        // Serial reference on its own context.
+        let serial_ctx = KnowledgeContext::new(&s, views(&s), si.clone());
+        let expect: Vec<(String, Predicate)> = views(&s)
+            .into_iter()
+            .map(|(name, view)| {
+                let k = serial_ctx.knows_view(view, &p);
+                (name, k)
+            })
+            .collect();
+        for threads in [1, 2, 4] {
+            let ctx = KnowledgeContext::new(&s, views(&s), si.clone());
+            let view_list: Vec<VarSet> = views(&s).iter().map(|(_, v)| *v).collect();
+            let batch = ctx.knows_batch_with(threads, &view_list, &p);
+            for (((name, want), got), view) in expect.iter().zip(&batch).zip(&view_list) {
+                assert_eq!(want, got, "process {name}, threads {threads}");
+                // And the batch filled the memo: a follow-up serial query
+                // is a pure hit.
+                let (hits_before, misses) = ctx.cache_counters();
+                assert_eq!(&ctx.knows_view(*view, &p), want);
+                assert_eq!(ctx.cache_counters(), (hits_before + 1, misses));
+            }
+        }
+        // The convenience form pairs names with views in declaration order.
+        let ctx = KnowledgeContext::new(&s, views(&s), si);
+        assert_eq!(ctx.knows_all(&p), expect);
+    }
+
+    #[test]
+    fn knows_batch_deduplicates_repeated_views() {
+        let s = space();
+        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
+        let v = s.var_set(["a"]).unwrap();
+        let p = Predicate::from_fn(&s, |i| i % 5 == 0);
+        let out = ctx.knows_batch(&[v, v, v], &p);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+        // One computation, two in-batch hits.
+        assert_eq!(ctx.cache_counters(), (2, 1));
+        assert_eq!(ctx.cached_queries(), 1);
     }
 }

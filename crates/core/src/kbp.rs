@@ -30,14 +30,38 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use kpt_state::{Predicate, VarSet};
+use kpt_testkit::pool;
 use kpt_unity::{CompiledProgram, Program};
 
 use crate::error::CoreError;
 use crate::knowledge::KnowledgeOperator;
 
 /// Upper bound on memoized `candidate ↦ SI` pairs (exhaustive search over
-/// many free states would otherwise grow the cache exponentially).
+/// many free states would otherwise grow the cache exponentially). When
+/// the cap is reached the cache is *cleared* and refilled (clear-on-full)
+/// rather than freezing, so long iterative runs keep their recent working
+/// set memoized; [`Kbp::cache_counters`] makes the churn observable.
 const SI_CACHE_CAP: usize = 4096;
+
+/// The memo plus its observability counters, all under one lock.
+#[derive(Debug, Clone, Default)]
+struct SiCache {
+    map: HashMap<Predicate, Predicate>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SiCache {
+    /// Insert with clear-on-full eviction.
+    fn insert(&mut self, candidate: Predicate, si: Predicate) {
+        if self.map.len() >= SI_CACHE_CAP {
+            self.map.clear();
+            self.evictions += 1;
+        }
+        self.map.insert(candidate, si);
+    }
+}
 
 /// A knowledge-based protocol: a UNITY [`Program`] whose guards may mention
 /// knowledge, together with the eq. (25) solution machinery.
@@ -51,7 +75,7 @@ const SI_CACHE_CAP: usize = 4096;
 pub struct Kbp {
     program: Program,
     views: Vec<(String, VarSet)>,
-    si_cache: Mutex<HashMap<Predicate, Predicate>>,
+    si_cache: Mutex<SiCache>,
 }
 
 impl Clone for Kbp {
@@ -77,7 +101,7 @@ impl Kbp {
         Kbp {
             program,
             views,
-            si_cache: Mutex::new(HashMap::new()),
+            si_cache: Mutex::new(SiCache::default()),
         }
     }
 
@@ -124,44 +148,97 @@ impl Kbp {
     /// # Errors
     /// Compilation errors.
     pub fn iterate(&self, x: &Predicate) -> Result<Predicate, CoreError> {
-        if let Some(si) = self.si_cache.lock().expect("SI cache poisoned").get(x) {
-            return Ok(si.clone());
+        {
+            let mut cache = self.si_cache.lock().expect("SI cache poisoned");
+            if let Some(si) = cache.map.get(x).cloned() {
+                cache.hits += 1;
+                return Ok(si);
+            }
+            cache.misses += 1;
         }
         let si = self.compile_at(x)?.si().clone();
-        let mut cache = self.si_cache.lock().expect("SI cache poisoned");
-        if cache.len() < SI_CACHE_CAP {
-            cache.insert(x.clone(), si.clone());
-        }
+        self.si_cache
+            .lock()
+            .expect("SI cache poisoned")
+            .insert(x.clone(), si.clone());
         Ok(si)
     }
 
     /// Number of memoized `candidate ↦ SI` evaluations.
     pub fn cached_candidates(&self) -> usize {
-        self.si_cache.lock().expect("SI cache poisoned").len()
+        self.si_cache.lock().expect("SI cache poisoned").map.len()
+    }
+
+    /// `(cache hits, cache misses)` of the `candidate ↦ SI` memo so far
+    /// (mirrors [`crate::KnowledgeContext::cache_counters`]). A growing
+    /// miss count with a stable [`Kbp::cached_candidates`] signals
+    /// clear-on-full churn; see [`Kbp::cache_evictions`].
+    pub fn cache_counters(&self) -> (u64, u64) {
+        let cache = self.si_cache.lock().expect("SI cache poisoned");
+        (cache.hits, cache.misses)
+    }
+
+    /// How many times the `candidate ↦ SI` memo was cleared because it
+    /// reached capacity.
+    pub fn cache_evictions(&self) -> u64 {
+        self.si_cache.lock().expect("SI cache poisoned").evictions
     }
 
     /// Complete enumeration of all solutions, over candidates
-    /// `x = init ∪ S` for every subset `S` of the non-init states.
+    /// `x = init ∪ S` for every subset `S` of the non-init states, fanned
+    /// out across the [`pool`] workers (`KPT_THREADS` / available cores).
+    ///
+    /// Each worker evaluates its candidates thread-locally (no lock on the
+    /// shared memo); verified solutions and a capacity-bounded sample of
+    /// `candidate ↦ SI` pairs are merged at the end, so the result — and
+    /// the enumeration order of [`SolutionSet::solutions`] — is identical
+    /// to [`Kbp::solve_exhaustive_serial`] for every thread count.
     ///
     /// # Errors
     /// [`CoreError::SearchTooLarge`] if there are more than
-    /// `max_free_states` non-init states (the search is `2^free`);
-    /// compilation errors otherwise.
+    /// `max_free_states` (or ≥ 64, the mask width) non-init states — the
+    /// search is `2^free`; compilation errors otherwise.
     pub fn solve_exhaustive(&self, max_free_states: u64) -> Result<SolutionSet, CoreError> {
+        self.solve_exhaustive_with(pool::num_threads(), max_free_states)
+    }
+
+    /// [`Kbp::solve_exhaustive`] pinned to one worker: the reference
+    /// enumeration the differential suites compare the parallel path
+    /// against.
+    ///
+    /// # Errors
+    /// As for [`Kbp::solve_exhaustive`].
+    pub fn solve_exhaustive_serial(&self, max_free_states: u64) -> Result<SolutionSet, CoreError> {
+        self.solve_exhaustive_with(1, max_free_states)
+    }
+
+    /// [`Kbp::solve_exhaustive`] with an explicit worker count.
+    ///
+    /// # Errors
+    /// As for [`Kbp::solve_exhaustive`].
+    pub fn solve_exhaustive_with(
+        &self,
+        threads: usize,
+        max_free_states: u64,
+    ) -> Result<SolutionSet, CoreError> {
         let space = self.program.space();
         let init = self.program.init();
         let free: Vec<u64> = init.negate().iter().collect();
         let nfree = free.len() as u64;
-        if nfree > max_free_states {
+        // `nfree >= 64` would overflow the u64 candidate mask no matter
+        // what limit the caller allows: a typed error, never a panic or a
+        // wrapped shift.
+        if nfree > max_free_states || nfree >= 64 {
             return Err(CoreError::SearchTooLarge {
                 free_states: nfree,
-                limit: max_free_states,
+                limit: max_free_states.min(63),
             });
         }
-        let mut solutions = Vec::new();
-        let total = 1u64 << nfree;
-        for mask in 0..total {
-            let candidate = Predicate::from_indices(
+        let total = 1u64
+            .checked_shl(nfree as u32)
+            .expect("nfree < 64 guarantees the shift is in range");
+        let candidate_at = |mask: u64| {
+            Predicate::from_indices(
                 space,
                 init.iter().chain(
                     free.iter()
@@ -169,11 +246,61 @@ impl Kbp {
                         .filter(|(i, _)| mask >> i & 1 == 1)
                         .map(|(_, &s)| s),
                 ),
-            );
-            if self.is_solution(&candidate)? {
-                solutions.push(candidate);
+            )
+        };
+        if threads <= 1 {
+            // Serial reference path, riding (and filling) the shared memo.
+            let mut solutions = Vec::new();
+            for mask in 0..total {
+                let candidate = candidate_at(mask);
+                if self.is_solution(&candidate)? {
+                    solutions.push(candidate);
+                }
+            }
+            return Ok(SolutionSet {
+                solutions,
+                candidates_checked: total,
+            });
+        }
+        // Parallel fan-out: contiguous mask ranges, several per worker so
+        // the pool's stealing can rebalance uneven candidate costs. Each
+        // worker evaluates candidates thread-locally via `compile_at`.
+        let nchunks = ((threads as u64) * 8).min(total).max(1);
+        let chunk = total.div_ceil(nchunks);
+        let ranges: Vec<(u64, u64)> = (0..nchunks)
+            .map(|c| ((c * chunk).min(total), ((c + 1) * chunk).min(total)))
+            .collect();
+        let keep_per_chunk = SI_CACHE_CAP / nchunks as usize;
+        type ChunkOut = (Vec<Predicate>, Vec<(Predicate, Predicate)>);
+        let chunks: Vec<Result<ChunkOut, CoreError>> =
+            pool::parallel_map_with(threads, &ranges, |&(lo, hi)| {
+                let mut solutions = Vec::new();
+                let mut sample = Vec::new();
+                for mask in lo..hi {
+                    let candidate = candidate_at(mask);
+                    let si = self.compile_at(&candidate)?.si().clone();
+                    if si == candidate {
+                        solutions.push(candidate.clone());
+                    }
+                    if sample.len() < keep_per_chunk {
+                        sample.push((candidate, si));
+                    }
+                }
+                Ok((solutions, sample))
+            });
+        // Merge in chunk (= mask) order: solutions concatenate to exactly
+        // the serial enumeration order; sampled SI pairs refill the memo.
+        let mut solutions = Vec::new();
+        let mut cache = self.si_cache.lock().expect("SI cache poisoned");
+        for (chunk, &(lo, hi)) in chunks.into_iter().zip(&ranges) {
+            let (sols, sample) = chunk?;
+            solutions.extend(sols);
+            cache.misses += hi - lo;
+            for (candidate, si) in sample {
+                cache.insert(candidate, si);
             }
         }
+        drop(cache);
         Ok(SolutionSet {
             solutions,
             candidates_checked: total,
@@ -469,6 +596,113 @@ mod tests {
             kbp.solve_exhaustive(16),
             Err(CoreError::SearchTooLarge { .. })
         ));
+    }
+
+    /// Regression: 64 free states used to evaluate `1u64 << 64` — a panic
+    /// in debug builds and a wrapped (wrong) candidate count in release.
+    /// It must be a typed error no matter how large the caller's limit is.
+    #[test]
+    fn nfree_of_64_is_a_typed_error_not_a_shift_overflow() {
+        let space = StateSpace::builder()
+            .nat_var("i", 65)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("wide", &space)
+            .init_str("i = 0")
+            .unwrap()
+            .statement(Statement::new("skip"))
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program);
+        match kbp.solve_exhaustive(u64::MAX) {
+            Err(CoreError::SearchTooLarge { free_states, limit }) => {
+                assert_eq!(free_states, 64);
+                assert_eq!(limit, 63);
+            }
+            other => panic!("expected SearchTooLarge, got {other:?}"),
+        }
+    }
+
+    /// The parallel fan-out returns exactly the serial enumeration —
+    /// same solutions in the same order, same candidate count — for any
+    /// worker count (forced well past the machine's core count).
+    #[test]
+    fn parallel_search_matches_serial() {
+        let space = StateSpace::builder()
+            .bool_var("a")
+            .unwrap()
+            .bool_var("b")
+            .unwrap()
+            .nat_var("n", 2)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("par", &space)
+            .init_str("~a /\\ ~b")
+            .unwrap()
+            .process("P", ["a"])
+            .unwrap()
+            .statement(
+                Statement::new("s")
+                    .guard_str("K{P}(a) \\/ ~a")
+                    .unwrap()
+                    .assign_str("a", "1")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("t")
+                    .guard_str("a")
+                    .unwrap()
+                    .assign_str("b", "1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program);
+        let serial = kbp.solve_exhaustive_serial(16).unwrap();
+        for threads in [2, 3, 8] {
+            let par = kbp.solve_exhaustive_with(threads, 16).unwrap();
+            assert_eq!(par.solutions(), serial.solutions(), "threads {threads}");
+            assert_eq!(par.candidates_checked(), serial.candidates_checked());
+        }
+    }
+
+    /// Regression: the memo used to stop *admitting* entries once it hit
+    /// `SI_CACHE_CAP`, silently disabling memoization for the rest of a
+    /// long run. Clear-on-full keeps admitting, and the counters expose
+    /// the churn.
+    #[test]
+    fn si_cache_clears_on_full_instead_of_freezing() {
+        let space = StateSpace::builder()
+            .nat_var("i", 13)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("cap", &space)
+            .init_str("i = 0")
+            .unwrap()
+            .statement(Statement::new("skip"))
+            .build()
+            .unwrap();
+        let kbp = Kbp::new(program);
+        // 2^13 = 8192 distinct masks available > SI_CACHE_CAP = 4096;
+        // drive exactly one candidate past the cap.
+        let candidate_at = |m: u64| Predicate::from_fn(&space, |i| m >> i & 1 == 1);
+        for m in 0..=SI_CACHE_CAP as u64 {
+            kbp.iterate(&candidate_at(m)).unwrap();
+        }
+        // The overflowing insert cleared the cache and kept admitting.
+        assert_eq!(kbp.cache_evictions(), 1);
+        assert!(kbp.cached_candidates() >= 1);
+        assert!(kbp.cached_candidates() < SI_CACHE_CAP);
+        // Fresh entries still memoize: re-querying the most recent
+        // candidate is a hit, not a recomputation.
+        let (hits_before, misses_before) = kbp.cache_counters();
+        kbp.iterate(&candidate_at(SI_CACHE_CAP as u64)).unwrap();
+        let (hits_after, misses_after) = kbp.cache_counters();
+        assert_eq!(hits_after, hits_before + 1);
+        assert_eq!(misses_after, misses_before);
     }
 
     #[test]

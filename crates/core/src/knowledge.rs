@@ -113,14 +113,30 @@ impl KnowledgeOperator {
         self.ctx.knows_view(view, p)
     }
 
-    /// Everyone-in-`group` knows: `E_G p = (∀ i ∈ G :: K_i p)`.
+    /// `K_i p` for every declared view at once, evaluated in parallel on
+    /// the pool workers and memoized in the shared context (see
+    /// [`KnowledgeContext::knows_all`]). Guard compilation and the
+    /// group-knowledge fixpoints are answered from the memo this fills.
+    #[must_use]
+    pub fn knows_all(&self, p: &Predicate) -> Vec<(String, Predicate)> {
+        self.ctx.knows_all(p)
+    }
+
+    /// Everyone-in-`group` knows: `E_G p = (∀ i ∈ G :: K_i p)`. The
+    /// per-process knowledge queries are evaluated as one parallel batch
+    /// ([`KnowledgeContext::knows_batch`]); repeated applications inside
+    /// the `C_G` fixpoint hit the shared memo.
     ///
     /// # Errors
     /// [`EvalError::UnknownProcess`] for undeclared names.
     pub fn everyone(&self, group: &[&str], p: &Predicate) -> Result<Predicate, EvalError> {
+        let views: Vec<VarSet> = group
+            .iter()
+            .map(|proc| self.view(proc))
+            .collect::<Result<_, _>>()?;
         let mut out = Predicate::tt(self.ctx.space());
-        for proc in group {
-            out.and_assign(&self.knows(proc, p)?);
+        for k in self.ctx.knows_batch(&views, p) {
+            out.and_assign(&k);
         }
         Ok(out)
     }
@@ -256,7 +272,11 @@ mod tests {
     }
 
     fn all_preds(s: &Arc<StateSpace>) -> impl Iterator<Item = Predicate> + '_ {
-        (0u64..(1 << s.num_states())).map(move |m| Predicate::from_fn(s, |i| m >> i & 1 == 1))
+        let n = s.num_states();
+        let count = 1u64
+            .checked_shl(n as u32)
+            .unwrap_or_else(|| panic!("cannot enumerate 2^{n} predicates"));
+        (0u64..count).map(move |m| Predicate::from_fn(s, |i| m >> i & 1 == 1))
     }
 
     #[test]

@@ -102,12 +102,19 @@ mod tests {
     }
 
     fn all_preds(s: &Arc<StateSpace>) -> impl Iterator<Item = Predicate> + '_ {
-        (0u64..(1 << s.num_states())).map(move |m| Predicate::from_fn(s, |i| m >> i & 1 == 1))
+        let n = s.num_states();
+        let count = 1u64
+            .checked_shl(n as u32)
+            .unwrap_or_else(|| panic!("cannot enumerate 2^{n} predicates"));
+        (0u64..count).map(move |m| Predicate::from_fn(s, |i| m >> i & 1 == 1))
     }
 
     fn all_views(s: &Arc<StateSpace>) -> Vec<VarSet> {
         let vars: Vec<_> = s.vars().collect();
-        (0u64..(1 << vars.len()))
+        let count = 1u64
+            .checked_shl(vars.len() as u32)
+            .unwrap_or_else(|| panic!("cannot enumerate 2^{} views", vars.len()));
+        (0u64..count)
             .map(|m| {
                 VarSet::from_vars(
                     vars.iter()

@@ -29,14 +29,7 @@ use crate::standard::StandardModel;
 /// Sender/Receiver views.
 #[must_use]
 pub fn knowledge_operator(model: &StandardModel, compiled: &CompiledProgram) -> KnowledgeOperator {
-    KnowledgeOperator::with_si(
-        model.space(),
-        vec![
-            ("Sender".to_owned(), model.sender_view()),
-            ("Receiver".to_owned(), model.receiver_view()),
-        ],
-        compiled.si().clone(),
-    )
+    model.knowledge_operator(compiled)
 }
 
 /// The real `K_R(x_k = α)`.

@@ -24,8 +24,9 @@
 //!   that makes liveness fail, demonstrating why the paper must assume
 //!   (St-3)/(St-4).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use kpt_core::KnowledgeOperator;
 use kpt_state::{Predicate, StateSpace, VarId, VarSet};
 use kpt_unity::{CompiledProgram, Program, Statement, UnityError};
 
@@ -79,6 +80,10 @@ pub struct StandardModel {
     v_zp: VarId,
     v_ms_s: VarId,
     v_ms_r: VarId,
+    /// Memoized knowledge operator for the program's own `SI` — shared by
+    /// every validation/replay pass over the same model so eq. (13)
+    /// predicates are computed once.
+    k_op: OnceLock<KnowledgeOperator>,
 }
 
 impl StandardModel {
@@ -130,6 +135,7 @@ impl StandardModel {
             v_zp,
             v_ms_s,
             v_ms_r,
+            k_op: OnceLock::new(),
         };
         model.program = model.build_program()?;
         Ok(model)
@@ -361,6 +367,33 @@ impl StandardModel {
     /// The Receiver's view.
     pub fn receiver_view(&self) -> VarSet {
         VarSet::from_vars([self.v_w, self.v_j, self.v_zp])
+    }
+
+    /// The real knowledge operator for this model with the Sender/Receiver
+    /// views, evaluated against `compiled.si()`.
+    ///
+    /// The operator (and its memo of computed `K p` predicates) is cached
+    /// on the model: the §6.3 validations and the §6.2 proof replay query
+    /// many of the same eq. (13) predicates, and recomputing them per pass
+    /// dominated the e2e suites. The cache is keyed on `SI` — a `compiled`
+    /// with a different invariant (never produced by [`StandardModel::compile`],
+    /// which is deterministic) gets a fresh, uncached operator.
+    #[must_use]
+    pub fn knowledge_operator(&self, compiled: &CompiledProgram) -> KnowledgeOperator {
+        let views = || {
+            vec![
+                ("Sender".to_owned(), self.sender_view()),
+                ("Receiver".to_owned(), self.receiver_view()),
+            ]
+        };
+        let cached = self.k_op.get_or_init(|| {
+            KnowledgeOperator::with_si(&self.space, views(), compiled.si().clone())
+        });
+        if cached.si() == compiled.si() {
+            cached.clone()
+        } else {
+            KnowledgeOperator::with_si(&self.space, views(), compiled.si().clone())
+        }
     }
 
     // ----- specification predicates -------------------------------------

@@ -14,10 +14,15 @@
 //!   — a criterion-compatible micro-benchmark harness reporting median
 //!   ns/iteration, with JSON output for cross-PR tracking
 //!   (`KPT_BENCH_JSON`).
+//! * [`pool`] — a scoped work-stealing [`pool::parallel_map`] (the
+//!   workspace's `rayon` stand-in), order-preserving and therefore
+//!   bit-identical to the serial map; thread count from `KPT_THREADS` or
+//!   [`std::thread::available_parallelism`].
 
 #![warn(missing_docs)]
 
 mod bench;
+pub mod pool;
 mod prop;
 mod rng;
 

@@ -1,0 +1,258 @@
+//! A minimal in-tree work-stealing thread pool for data-parallel sweeps.
+//!
+//! The workspace is deliberately zero-external-dependency, so instead of
+//! `rayon` this module provides the one primitive the hot paths need: a
+//! scoped, deterministic [`parallel_map`] over a slice. Work distribution
+//! is work-stealing over chunked per-worker ranges:
+//!
+//! * the input is split into one contiguous index range per worker;
+//! * each worker pops small chunks from the *front* of its own range
+//!   (plain compare-and-swap on a packed `(start, end)` atom);
+//! * a worker whose range is exhausted steals the *back half* of the
+//!   largest remaining victim range, so stragglers shed load without any
+//!   locks or channels.
+//!
+//! Results are written back by input index, so the output order — and
+//! therefore every fold over it — is **bit-identical to the serial map**
+//! regardless of thread count or steal schedule. Callers that need the
+//! serial behaviour exactly (differential tests, `KPT_THREADS=1`
+//! deployments) get it for free: with one worker the pool never spawns a
+//! thread at all.
+//!
+//! Thread count resolution ([`num_threads`]): the `KPT_THREADS`
+//! environment variable if set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of worker threads [`parallel_map`] uses: `KPT_THREADS` if set to
+/// a positive integer, else [`std::thread::available_parallelism`] (1 if
+/// even that is unavailable).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("KPT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Granularity of self-scheduling: a worker claims up to this many items
+/// from its own queue per pop. Small enough to balance skewed workloads,
+/// large enough to amortise the CAS.
+const CHUNK: u64 = 8;
+
+/// One worker's remaining range, packed `start << 32 | end` so both bounds
+/// move under a single compare-and-swap.
+struct Range(AtomicU64);
+
+impl Range {
+    fn new(start: u64, end: u64) -> Self {
+        Range(AtomicU64::new(start << 32 | end))
+    }
+
+    fn load(&self) -> (u64, u64) {
+        let v = self.0.load(Ordering::Acquire);
+        (v >> 32, v & 0xffff_ffff)
+    }
+
+    /// Claim up to `CHUNK` items from the front of this range.
+    fn pop_front(&self) -> Option<(u64, u64)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (start, end) = (cur >> 32, cur & 0xffff_ffff);
+            if start >= end {
+                return None;
+            }
+            let take = CHUNK.min(end - start);
+            let next = (start + take) << 32 | end;
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some((start, start + take)),
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Steal the back half of this range (at least one item), for thieves.
+    fn steal_back(&self) -> Option<(u64, u64)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (start, end) = (cur >> 32, cur & 0xffff_ffff);
+            if start >= end {
+                return None;
+            }
+            let keep = (end - start) / 2;
+            let mid = start + keep;
+            let next = start << 32 | mid;
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some((mid, end)),
+                Err(v) => cur = v,
+            }
+        }
+    }
+}
+
+/// Map `f` over `items` on [`num_threads`] workers, preserving input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` — same results in the
+/// same order — but fanned out across a scoped work-stealing pool. `f`
+/// runs at most once per item. Panics in `f` propagate.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(num_threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (used by differential
+/// tests to force the multi-threaded path regardless of the machine, and
+/// by callers that must stay serial regardless of `KPT_THREADS`).
+///
+/// # Panics
+/// Panics if `threads == 0` or `items.len() >= 2^32` (ranges are packed
+/// into 32-bit halves).
+pub fn parallel_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads >= 1, "thread count must be positive");
+    let n = items.len();
+    assert!((n as u64) < u64::from(u32::MAX), "input too large for pool");
+    let workers = threads.min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // One contiguous range per worker; stealing rebalances skew.
+    let per = (n as u64).div_ceil(workers as u64);
+    let queues: Vec<Range> = (0..workers as u64)
+        .map(|w| Range::new((w * per).min(n as u64), ((w + 1) * per).min(n as u64)))
+        .collect();
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let queues = &queues;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(u64, R)> = Vec::new();
+                let run = |lo: u64, hi: u64, local: &mut Vec<(u64, R)>| {
+                    for i in lo..hi {
+                        local.push((i, f(&items[i as usize])));
+                    }
+                };
+                // Drain our own queue, then steal from the fullest victim.
+                loop {
+                    while let Some((lo, hi)) = queues[w].pop_front() {
+                        run(lo, hi, &mut local);
+                    }
+                    let victim = (0..queues.len())
+                        .filter(|&v| v != w)
+                        .map(|v| {
+                            let (s, e) = queues[v].load();
+                            (v, e.saturating_sub(s))
+                        })
+                        .max_by_key(|&(_, len)| len);
+                    match victim {
+                        Some((v, len)) if len > 0 => {
+                            if let Some((lo, hi)) = queues[v].steal_back() {
+                                run(lo, hi, &mut local);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("pool worker panicked") {
+                out[i as usize] = Some(r);
+            }
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("every index executed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn matches_serial_map_for_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 7, 16] {
+            assert_eq!(
+                parallel_map_with(threads, &items, |x| x * x + 1),
+                expect,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let n = 513;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        parallel_map_with(8, &items, |&i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn skewed_workloads_are_stolen() {
+        // The heavy items all land in worker 0's initial range; the run
+        // still completes and preserves order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_with(4, &items, |&i| {
+            if i < 16 {
+                // Spin a little to make the first range slow.
+                let mut acc = i;
+                for k in 0..50_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+            }
+            i * 2
+        });
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map_with(4, &empty, |&x| x).is_empty());
+        assert_eq!(parallel_map_with(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -101,6 +101,7 @@ impl ProgramSpec {
 }
 
 /// Draw a random program description.
+#[allow(dead_code)] // used by some, not all, test binaries
 pub fn program_spec(rng: &mut Rng) -> ProgramSpec {
     let nvars = rng.gen_range(2..4) as usize;
     let domains: Vec<u64> = (0..nvars).map(|_| rng.gen_range(2..4)).collect();
@@ -131,4 +132,38 @@ pub fn program_spec(rng: &mut Rng) -> ProgramSpec {
 #[allow(dead_code)] // used by some, not all, test binaries
 pub fn pred_from_mask(space: &Arc<StateSpace>, mask: u64) -> Predicate {
     Predicate::from_fn(space, |s| mask >> (s % 64) & 1 == 1)
+}
+
+/// §6 standard models shared across the tests of one binary.
+///
+/// `StandardModel::build(...)` + `compile()` dominates the e2e suite's
+/// wall time, and every verifying test only *reads* the model/compilation,
+/// so each configuration is built exactly once per test binary behind a
+/// `OnceLock` (test threads block on the first builder, then share).
+#[allow(dead_code)] // used by some, not all, test binaries
+pub mod models {
+    use std::sync::OnceLock;
+
+    use knowledge_pt::seqtrans::{ModelOptions, StandardModel};
+    use knowledge_pt::unity::CompiledProgram;
+
+    /// `StandardModel::build(3, 2, default)` and its compilation.
+    pub fn standard_3_2() -> &'static (StandardModel, CompiledProgram) {
+        static MODEL: OnceLock<(StandardModel, CompiledProgram)> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let m = StandardModel::build(3, 2, ModelOptions::default()).unwrap();
+            let c = m.compile().unwrap();
+            (m, c)
+        })
+    }
+
+    /// `StandardModel::build(2, 2, default)` and its compilation.
+    pub fn standard_2_2() -> &'static (StandardModel, CompiledProgram) {
+        static MODEL: OnceLock<(StandardModel, CompiledProgram)> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let m = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+            let c = m.compile().unwrap();
+            (m, c)
+        })
+    }
 }

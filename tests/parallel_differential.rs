@@ -1,0 +1,174 @@
+//! Differential suites for the parallel hot paths: for random programs
+//! and transition systems, the pool-fanned implementations must return
+//! predicates **bit-identical** to their serial references, at every
+//! forced thread count (well past the machine's core count, so the
+//! multi-threaded code path is exercised even on one core).
+
+mod common;
+
+use common::{pred_from_mask, program_spec};
+use knowledge_pt::prelude::*;
+use kpt_core::KnowledgeContext;
+use kpt_testkit::check;
+use kpt_transformers::{sp_union_with, sst_frontier, wp_inter, wp_inter_with};
+
+const THREAD_COUNTS: [usize; 3] = [2, 3, 8];
+
+// ---------------------------------------------------------------------
+// (1) Kbp::solve_exhaustive: parallel fan-out ≡ serial enumeration.
+// ---------------------------------------------------------------------
+
+#[test]
+fn solve_exhaustive_parallel_matches_serial_on_random_programs() {
+    // The budget keeps each case to ≤ 2^9 candidates; larger draws must
+    // fail identically (same typed error) on the serial and parallel paths.
+    check("solve_exhaustive_differential", 10, |rng| {
+        let spec = program_spec(rng);
+        let kbp = Kbp::new(spec.build_program());
+        match kbp.solve_exhaustive_serial(9) {
+            Ok(serial) => {
+                for threads in THREAD_COUNTS {
+                    let par = kbp.solve_exhaustive_with(threads, 9).unwrap();
+                    assert_eq!(
+                        par.solutions(),
+                        serial.solutions(),
+                        "{spec:?} threads {threads}"
+                    );
+                    assert_eq!(par.candidates_checked(), serial.candidates_checked());
+                }
+            }
+            Err(e) => {
+                let par = kbp.solve_exhaustive_with(4, 9);
+                assert_eq!(
+                    format!("{:?}", par.unwrap_err()),
+                    format!("{e:?}"),
+                    "{spec:?}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn solve_exhaustive_parallel_agrees_on_the_paper_counterexamples() {
+    // Figure 1 (no solution) and Figure 2 (non-monotone solution set) are
+    // the claims the solver exists to decide; the parallel path must
+    // reproduce them exactly.
+    let fig1 = figure1().unwrap();
+    let fig2 = figure2("~y").unwrap();
+    let fig2_serial = fig2.solve_exhaustive_serial(16).unwrap();
+    for threads in THREAD_COUNTS {
+        let s1 = fig1.solve_exhaustive_with(threads, 16).unwrap();
+        assert!(s1.is_empty());
+        let s2 = fig2.solve_exhaustive_with(threads, 16).unwrap();
+        assert_eq!(s2.solutions(), fig2_serial.solutions());
+        assert_eq!(s2.candidates_checked(), fig2_serial.candidates_checked());
+    }
+}
+
+// ---------------------------------------------------------------------
+// (2) KnowledgeContext::knows_all / knows_batch ≡ per-view knows.
+// ---------------------------------------------------------------------
+
+#[test]
+fn knows_all_matches_per_view_knows_on_random_programs() {
+    check("knows_all_differential", 24, |rng| {
+        let spec = program_spec(rng);
+        let compiled = spec.compile();
+        let p = pred_from_mask(compiled.space(), rng.next_u64());
+        // Serial reference on a fresh context (no shared memo effects).
+        let serial = KnowledgeContext::for_program(&compiled);
+        let expect: Vec<(String, Predicate)> = serial
+            .views()
+            .iter()
+            .map(|(name, view)| (name.clone(), serial.knows_view(*view, &p)))
+            .collect();
+        for threads in THREAD_COUNTS {
+            let ctx = KnowledgeContext::for_program(&compiled);
+            let views: Vec<VarSet> = ctx.views().iter().map(|(_, v)| *v).collect();
+            let batch = ctx.knows_batch_with(threads, &views, &p);
+            assert_eq!(batch.len(), expect.len());
+            for ((name, want), got) in expect.iter().zip(&batch) {
+                assert_eq!(want, got, "{spec:?} process {name} threads {threads}");
+            }
+        }
+        // The default entry points agree too, and E_G over all processes
+        // equals the conjunction of the batch.
+        let ctx = KnowledgeContext::for_program(&compiled);
+        assert_eq!(ctx.knows_all(&p), expect);
+        let op = KnowledgeOperator::from_context(std::sync::Arc::new(ctx));
+        let names: Vec<&str> = expect.iter().map(|(n, _)| n.as_str()).collect();
+        let mut conj = Predicate::tt(compiled.space());
+        for (_, k) in &expect {
+            conj = conj.and(k);
+        }
+        assert_eq!(op.everyone(&names, &p).unwrap(), conj, "{spec:?}");
+    });
+}
+
+// ---------------------------------------------------------------------
+// (3) Per-statement sp/wp sweeps ≡ serial, and the SI fixpoints on top.
+// ---------------------------------------------------------------------
+
+fn random_transitions(rng: &mut kpt_testkit::Rng, n: u64, count: usize) -> Vec<DetTransition> {
+    let space = StateSpace::builder()
+        .nat_var("i", n)
+        .unwrap()
+        .build()
+        .unwrap();
+    (0..count)
+        .map(|_| {
+            let a = rng.gen_range(1..n);
+            let b = rng.below(n);
+            let kind = rng.below(3);
+            DetTransition::from_fn(&space, move |s| match kind {
+                0 => (s + a) % n,
+                1 => s.saturating_sub(a),
+                _ => {
+                    if s % 3 == 0 {
+                        b
+                    } else {
+                        s
+                    }
+                }
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweeps_match_serial_on_random_transition_systems() {
+    check("sp_wp_sweep_differential", 16, |rng| {
+        let n = 257 + rng.below(256);
+        let count = 2 + rng.below(6) as usize;
+        let ts = random_transitions(rng, n, count);
+        let space = ts[0].space().clone();
+        let p = pred_from_mask(&space, rng.next_u64() | 1);
+        let serial_sp = sp_union_with(1, &ts, &p);
+        let serial_wp = wp_inter_with(1, &ts, &p);
+        for threads in THREAD_COUNTS {
+            assert_eq!(sp_union_with(threads, &ts, &p), serial_sp, "sp x{threads}");
+            assert_eq!(wp_inter_with(threads, &ts, &p), serial_wp, "wp x{threads}");
+        }
+        // And the adaptive entry points (whatever thread count they pick).
+        assert_eq!(sp_union(&ts, &p), serial_sp);
+        assert_eq!(wp_inter(&ts, &p), serial_wp);
+    });
+}
+
+#[test]
+fn frontier_si_fixpoint_is_unchanged_by_parallel_sweeps() {
+    // The frontier fixpoint rides sp_union every round; its result must
+    // equal the Kleene chain over the *serial* SP at a size that crosses
+    // the parallel sweep threshold (|statements| · |states| ≥ 2^14).
+    check("frontier_fixpoint_differential", 6, |rng| {
+        let n = 2048 + rng.below(1024);
+        let ts = random_transitions(rng, n, 8);
+        let space = ts[0].space().clone();
+        let init = Predicate::from_indices(&space, [rng.below(n)]);
+        let ts2 = ts.clone();
+        let kleene_sp =
+            FnTransformer::new(&space, "SP", move |p: &Predicate| sp_union_with(1, &ts2, p));
+        assert_eq!(sst_frontier(&ts, &init), sst(&kleene_sp, &init));
+    });
+}
