@@ -166,11 +166,47 @@ fn parallel_cases(c: &mut Criterion) {
                 .unwrap(),
         )
     };
+    // Note: at 256 candidates `solve_exhaustive` now applies its
+    // auto-serial cutoff (the fan-out overhead exceeded the win — measured
+    // flat, par ≈ serial, before the cutoff), so this pair documents the
+    // cutoff rather than pool scaling.
     group.bench_function("solve_exhaustive_par/256candidates", |b| {
         b.iter(|| make_kbp().solve_exhaustive(16).unwrap())
     });
     group.bench_function("solve_exhaustive_serial/256candidates", |b| {
         b.iter(|| make_kbp().solve_exhaustive_serial(16).unwrap())
+    });
+
+    // Scaling case above the cutoff: 2^12 = 4096 candidates, large enough
+    // for the pool fan-out to amortise thread spawn on multicore hosts.
+    let big_space = StateSpace::builder()
+        .nat_var("i", 13)
+        .unwrap()
+        .build()
+        .unwrap();
+    let make_big_kbp = || {
+        Kbp::new(
+            Program::builder("bench-kbp-big", &big_space)
+                .init_str("i = 0")
+                .unwrap()
+                .process("P", [] as [&str; 0])
+                .unwrap()
+                .statement(
+                    Statement::new("step")
+                        .guard_str("i < 12 /\\ ~K{P}(i > 10)")
+                        .unwrap()
+                        .assign_str("i", "i + 1")
+                        .unwrap(),
+                )
+                .build()
+                .unwrap(),
+        )
+    };
+    group.bench_function("solve_exhaustive_par/4096candidates", |b| {
+        b.iter(|| make_big_kbp().solve_exhaustive(16).unwrap())
+    });
+    group.bench_function("solve_exhaustive_serial/4096candidates", |b| {
+        b.iter(|| make_big_kbp().solve_exhaustive_serial(16).unwrap())
     });
 
     // Batch knowledge: eight distinct views over 65536 states, fresh memo
@@ -245,7 +281,14 @@ fn main() {
         ("frontier_long_chain", "kleene_long_chain"),
         ("frontier_wide", "kleene_wide"),
         ("knows_warm", "knows_cold"),
-        ("solve_exhaustive_par", "solve_exhaustive_serial"),
+        (
+            "solve_exhaustive_par/256candidates",
+            "solve_exhaustive_serial/256candidates",
+        ),
+        (
+            "solve_exhaustive_par/4096candidates",
+            "solve_exhaustive_serial/4096candidates",
+        ),
         ("knows_all_par", "knows_all_serial"),
     ];
     for (opt, naive) in pairs {

@@ -203,8 +203,10 @@ impl<M: Clone> FaultyChannel<M> {
     /// may be lost, duplicated or reordered according to the fault model.
     pub fn send(&mut self, msg: M) {
         self.stats.sent += 1;
+        kpt_obs::counter!("channel.sent").incr();
         if self.fault_allowed() && self.rng.gen_bool(self.config.loss) {
             self.stats.lost += 1;
+            kpt_obs::counter!("channel.lost").incr();
             self.consecutive_faults += 1;
             return;
         }
@@ -221,6 +223,7 @@ impl<M: Clone> FaultyChannel<M> {
         }
         if dup {
             self.stats.duplicated += 1;
+            kpt_obs::counter!("channel.duplicated").incr();
             self.queue.push_back(msg);
         }
     }
@@ -232,10 +235,12 @@ impl<M: Clone> FaultyChannel<M> {
         let msg = self.queue.pop_front()?;
         if self.fault_allowed() && self.rng.gen_bool(self.config.corruption) {
             self.stats.delivered_corrupted += 1;
+            kpt_obs::counter!("channel.corrupted").incr();
             self.consecutive_faults += 1;
             return Some(Delivery::Corrupted);
         }
         self.stats.delivered_intact += 1;
+        kpt_obs::counter!("channel.delivered").incr();
         self.consecutive_faults = 0;
         Some(Delivery::Intact(msg))
     }

@@ -18,10 +18,11 @@
 //! invariant and share it across all guards of the program.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use kpt_logic::EvalError;
+use kpt_obs::CacheStats;
 use kpt_state::{forall_var, Predicate, StateSpace, VarId, VarSet};
 use kpt_testkit::pool;
 use kpt_unity::CompiledProgram;
@@ -39,9 +40,20 @@ pub struct KnowledgeContext {
     orders: Mutex<HashMap<VarSet, Arc<[VarId]>>>,
     /// Memoized `K p` results keyed by `(view, p)`.
     memo: Mutex<HashMap<(VarSet, Predicate), Predicate>>,
+    /// Entry cap for `memo`; reaching it clears the whole map (matching the
+    /// solver's `SiCache` policy — predicates dominate the footprint and a
+    /// full clear keeps the bookkeeping at one branch per insert).
+    memo_cap: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
+
+/// Default [`KnowledgeContext`] memo capacity. Each entry pins two
+/// predicates (key and result), so at the default cap a 2^16-state space
+/// holds at worst ~64 MiB of memo — ample for every workload in the tree
+/// while still bounding adversarial query streams.
+pub const DEFAULT_MEMO_CAP: usize = 4096;
 
 impl KnowledgeContext {
     /// Build a context with an explicit (candidate) strongest invariant.
@@ -54,8 +66,10 @@ impl KnowledgeContext {
             not_si,
             orders: Mutex::new(HashMap::new()),
             memo: Mutex::new(HashMap::new()),
+            memo_cap: AtomicUsize::new(DEFAULT_MEMO_CAP),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         };
         // Seed the sweep orders for the declared process views up front.
         for (_, view) in ctx.views.clone() {
@@ -138,21 +152,47 @@ impl KnowledgeContext {
         cylinder
     }
 
+    /// Record `n` memo hits on both the context's own tally and the global
+    /// `knowledge.cache.hits` metric.
+    fn record_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+        kpt_obs::counter!("knowledge.cache.hits").add(n);
+    }
+
+    /// Record `n` memo misses (context tally + global metric).
+    fn record_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+        kpt_obs::counter!("knowledge.cache.misses").add(n);
+    }
+
+    /// Insert into the memo, clearing it first when the cap is reached.
+    fn insert_memo(
+        &self,
+        memo: &mut HashMap<(VarSet, Predicate), Predicate>,
+        key: (VarSet, Predicate),
+        value: Predicate,
+    ) {
+        if memo.len() >= self.memo_cap.load(Ordering::Relaxed) {
+            memo.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            kpt_obs::counter!("knowledge.cache.evictions").incr();
+        }
+        memo.insert(key, value);
+    }
+
     /// `K p` by eq. (13) for an explicit view, memoized:
     /// `p ∧ (wcyl.V.(SI ⇒ p) ∨ ¬SI)`.
     #[must_use]
     pub fn knows_view(&self, view: VarSet, p: &Predicate) -> Predicate {
         let key = (view, p.clone());
         if let Some(hit) = self.memo.lock().expect("knowledge memo poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record_hits(1);
             return hit.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_misses(1);
         let cylinder = self.compute_knows_view(view, p);
-        self.memo
-            .lock()
-            .expect("knowledge memo poisoned")
-            .insert(key, cylinder.clone());
+        let mut memo = self.memo.lock().expect("knowledge memo poisoned");
+        self.insert_memo(&mut memo, key, cylinder.clone());
         cylinder
     }
 
@@ -190,12 +230,12 @@ impl KnowledgeContext {
             let memo = self.memo.lock().expect("knowledge memo poisoned");
             for &view in views {
                 if memo.contains_key(&(view, p.clone())) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.record_hits(1);
                 } else if !missing.contains(&view) {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.record_misses(1);
                     missing.push(view);
                 } else {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.record_hits(1);
                 }
             }
         }
@@ -208,16 +248,23 @@ impl KnowledgeContext {
         {
             let mut memo = self.memo.lock().expect("knowledge memo poisoned");
             for (view, k) in missing.iter().zip(&computed) {
-                memo.insert((*view, p.clone()), k.clone());
+                self.insert_memo(&mut memo, (*view, p.clone()), k.clone());
             }
         }
-        let memo = self.memo.lock().expect("knowledge memo poisoned");
+        // Answer from the freshly computed batch, falling back to the memo
+        // for views that were hits up front. (A capped memo may have just
+        // evicted the early hits; recompute those rather than panic.)
         views
             .iter()
             .map(|view| {
-                memo.get(&(*view, p.clone()))
-                    .expect("batch inserted every requested view")
-                    .clone()
+                if let Some(i) = missing.iter().position(|m| m == view) {
+                    return computed[i].clone();
+                }
+                let cached = {
+                    let memo = self.memo.lock().expect("knowledge memo poisoned");
+                    memo.get(&(*view, p.clone())).cloned()
+                };
+                cached.unwrap_or_else(|| self.compute_knows_view(*view, p))
             })
             .collect()
     }
@@ -245,9 +292,55 @@ impl KnowledgeContext {
         )
     }
 
+    /// Full cache behaviour of the `K p` memo: hits, misses, clear-on-full
+    /// evictions, and the current entry count.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.memo.lock().expect("knowledge memo poisoned").len(),
+        }
+    }
+
+    /// Override the memo's entry cap (default [`DEFAULT_MEMO_CAP`]).
+    /// Reaching the cap clears the memo and counts one eviction.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` — a capless memo would evict on every insert.
+    pub fn set_memo_cap(&self, cap: usize) {
+        assert!(cap > 0, "memo cap must be positive");
+        self.memo_cap.store(cap, Ordering::Relaxed);
+    }
+
     /// Number of distinct `(view, p)` queries memoized.
     pub fn cached_queries(&self) -> usize {
         self.memo.lock().expect("knowledge memo poisoned").len()
+    }
+}
+
+impl Drop for KnowledgeContext {
+    fn drop(&mut self) {
+        // A context's lifetime brackets one knowledge workload (one
+        // candidate invariant in the solvers); its drop is the natural
+        // moment to flush cache behaviour into the trace.
+        if !kpt_obs::trace_enabled() {
+            return;
+        }
+        let stats = self.cache_stats();
+        if stats.hits + stats.misses == 0 {
+            return;
+        }
+        kpt_obs::event(
+            "cache.knowledge",
+            &[
+                ("hits", kpt_obs::Field::U64(stats.hits)),
+                ("misses", kpt_obs::Field::U64(stats.misses)),
+                ("evictions", kpt_obs::Field::U64(stats.evictions)),
+                ("entries", kpt_obs::Field::U64(stats.entries as u64)),
+                ("hit_ratio", kpt_obs::Field::F64(stats.hit_ratio())),
+            ],
+        );
     }
 }
 
@@ -289,6 +382,61 @@ mod tests {
         // A different view of the same predicate is a separate entry.
         let _ = ctx.knows("AB", &p).unwrap();
         assert_eq!(ctx.cached_queries(), 2);
+    }
+
+    #[test]
+    fn cache_stats_track_hit_miss_and_eviction_transitions() {
+        let s = space();
+        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
+        ctx.set_memo_cap(2);
+        let v = s.var_set(["a"]).unwrap();
+        let p0 = Predicate::from_fn(&s, |i| i % 2 == 0);
+        let p1 = Predicate::from_fn(&s, |i| i % 3 == 0);
+        let p2 = Predicate::from_fn(&s, |i| i % 5 == 0);
+        assert_eq!(ctx.cache_stats(), CacheStats::default());
+
+        // First query: one miss, one entry.
+        let _ = ctx.knows_view(v, &p0);
+        let st = ctx.cache_stats();
+        assert_eq!((st.hits, st.misses, st.evictions, st.entries), (0, 1, 0, 1));
+
+        // Repeat: pure hit, nothing else moves.
+        let _ = ctx.knows_view(v, &p0);
+        let st = ctx.cache_stats();
+        assert_eq!((st.hits, st.misses, st.evictions, st.entries), (1, 1, 0, 1));
+        assert!((st.hit_ratio() - 0.5).abs() < 1e-12);
+
+        // Fill to the cap...
+        let _ = ctx.knows_view(v, &p1);
+        assert_eq!(ctx.cache_stats().entries, 2);
+        // ...and one more distinct query clears the memo (one eviction).
+        let _ = ctx.knows_view(v, &p2);
+        let st = ctx.cache_stats();
+        assert_eq!((st.hits, st.misses, st.evictions, st.entries), (1, 3, 1, 1));
+
+        // The evicted entry is a miss again.
+        let _ = ctx.knows_view(v, &p0);
+        let st = ctx.cache_stats();
+        assert_eq!((st.hits, st.misses, st.evictions, st.entries), (1, 4, 1, 2));
+    }
+
+    #[test]
+    fn capped_batch_still_answers_every_view() {
+        // With a tiny cap, the batch path may evict its own early hits
+        // before the final gather; results must still be correct.
+        let s = space();
+        let si = Predicate::from_fn(&s, |i| i % 3 != 0);
+        let ctx = KnowledgeContext::new(&s, views(&s), si.clone());
+        ctx.set_memo_cap(1);
+        let view_list: Vec<VarSet> = views(&s).iter().map(|(_, v)| *v).collect();
+        let p = Predicate::from_fn(&s, |i| i % 2 == 0);
+        let reference = KnowledgeContext::new(&s, views(&s), si);
+        let want: Vec<Predicate> = view_list
+            .iter()
+            .map(|&v| reference.knows_view(v, &p))
+            .collect();
+        assert_eq!(ctx.knows_batch_with(2, &view_list, &p), want);
+        assert!(ctx.cache_stats().evictions >= 1);
     }
 
     #[test]

@@ -58,10 +58,18 @@ impl SiCache {
         if self.map.len() >= SI_CACHE_CAP {
             self.map.clear();
             self.evictions += 1;
+            kpt_obs::counter!("kbp.si_cache.evictions").incr();
         }
         self.map.insert(candidate, si);
     }
 }
+
+/// Smallest candidate count worth fanning out over the pool. Each
+/// candidate costs a few microseconds (compile + frontier SI on the small
+/// spaces exhaustive search is for), so below a few thousand candidates
+/// thread spawn and merge overhead eats the win — measured flat at 256
+/// candidates on the kernels bench.
+const PAR_MIN_CANDIDATES: u64 = 4096;
 
 /// A knowledge-based protocol: a UNITY [`Program`] whose guards may mention
 /// knowledge, together with the eq. (25) solution machinery.
@@ -152,9 +160,11 @@ impl Kbp {
             let mut cache = self.si_cache.lock().expect("SI cache poisoned");
             if let Some(si) = cache.map.get(x).cloned() {
                 cache.hits += 1;
+                kpt_obs::counter!("kbp.si_cache.hits").incr();
                 return Ok(si);
             }
             cache.misses += 1;
+            kpt_obs::counter!("kbp.si_cache.misses").incr();
         }
         let si = self.compile_at(x)?.si().clone();
         self.si_cache
@@ -184,6 +194,18 @@ impl Kbp {
         self.si_cache.lock().expect("SI cache poisoned").evictions
     }
 
+    /// Full cache behaviour of the `candidate ↦ SI` memo, in the same
+    /// shape as [`crate::KnowledgeContext::cache_stats`].
+    pub fn cache_stats(&self) -> kpt_obs::CacheStats {
+        let cache = self.si_cache.lock().expect("SI cache poisoned");
+        kpt_obs::CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            entries: cache.map.len(),
+        }
+    }
+
     /// Complete enumeration of all solutions, over candidates
     /// `x = init ∪ S` for every subset `S` of the non-init states, fanned
     /// out across the [`pool`] workers (`KPT_THREADS` / available cores).
@@ -198,8 +220,19 @@ impl Kbp {
     /// [`CoreError::SearchTooLarge`] if there are more than
     /// `max_free_states` (or ≥ 64, the mask width) non-init states — the
     /// search is `2^free`; compilation errors otherwise.
+    ///
+    /// Small searches (< [`PAR_MIN_CANDIDATES`] candidates) run serially
+    /// even on multicore machines: at a few microseconds per candidate the
+    /// fan-out's spawn/merge overhead costs more than it saves. Use
+    /// [`Kbp::solve_exhaustive_with`] to force a worker count.
     pub fn solve_exhaustive(&self, max_free_states: u64) -> Result<SolutionSet, CoreError> {
-        self.solve_exhaustive_with(pool::num_threads(), max_free_states)
+        let nfree = self.program.init().negate().count();
+        let threads = if nfree < 64 && (1u64 << nfree) < PAR_MIN_CANDIDATES {
+            1
+        } else {
+            pool::num_threads()
+        };
+        self.solve_exhaustive_with(threads, max_free_states)
     }
 
     /// [`Kbp::solve_exhaustive`] pinned to one worker: the reference
@@ -229,11 +262,15 @@ impl Kbp {
         // what limit the caller allows: a typed error, never a panic or a
         // wrapped shift.
         if nfree > max_free_states || nfree >= 64 {
+            kpt_obs::counter!("solver.too_large").incr();
             return Err(CoreError::SearchTooLarge {
                 free_states: nfree,
                 limit: max_free_states.min(63),
             });
         }
+        let mut span = kpt_obs::span("solver.exhaustive");
+        span.field("free_states", nfree);
+        span.field("threads", threads as u64);
         let total = 1u64
             .checked_shl(nfree as u32)
             .expect("nfree < 64 guarantees the shift is in range");
@@ -257,6 +294,7 @@ impl Kbp {
                     solutions.push(candidate);
                 }
             }
+            record_exhaustive(span, total, solutions.len());
             return Ok(SolutionSet {
                 solutions,
                 candidates_checked: total,
@@ -301,10 +339,48 @@ impl Kbp {
             }
         }
         drop(cache);
+        record_exhaustive(span, total, solutions.len());
         Ok(SolutionSet {
             solutions,
             candidates_checked: total,
         })
+    }
+
+    /// Explain a [`SolutionSet`] as a [`kpt_obs::Verdict`] — in particular,
+    /// give a Figure-1-style "no possible choice for SI" outcome concrete
+    /// states to point at. The witnesses of a no-solution verdict are the
+    /// initial states: every eq. (25) candidate must contain them, and the
+    /// exhaustive search proved no superset of them is consistent with the
+    /// knowledge guards. The verdict is also reported to the trace.
+    pub fn explain_solutions(&self, label: &str, sols: &SolutionSet) -> kpt_obs::Verdict {
+        let verdict = if sols.is_empty() {
+            kpt_obs::Verdict::fail(
+                format!("kbp {label} solvable"),
+                format!(
+                    "none of the {} candidate invariants satisfies eq. (25); \
+                     the knowledge guards admit no consistent SI containing \
+                     the initial states",
+                    sols.candidates_checked()
+                ),
+                kpt_state::witnesses(self.program.init(), 4),
+            )
+        } else {
+            kpt_obs::Verdict::pass(
+                format!("kbp {label} solvable"),
+                format!(
+                    "{} of {} candidate invariants solve eq. (25){}",
+                    sols.len(),
+                    sols.candidates_checked(),
+                    if sols.strongest().is_some() {
+                        "; a strongest solution exists"
+                    } else {
+                        "; no strongest solution (incomparable minima)"
+                    }
+                ),
+            )
+        };
+        kpt_obs::report_verdict(&verdict);
+        verdict
     }
 
     /// The iteration `x_{k+1} = SI(program[K @ x_k])` from `x_0 = init`,
@@ -314,18 +390,26 @@ impl Kbp {
     /// # Errors
     /// Compilation errors.
     pub fn solve_iterative(&self, max_iterations: usize) -> Result<IterativeOutcome, CoreError> {
+        let mut span = kpt_obs::span("solver.iterative");
+        kpt_obs::counter!("solver.iterative.runs").incr();
         let mut x = self.program.init().clone();
         let mut seen: Vec<Predicate> = vec![x.clone()];
         for k in 0..max_iterations {
             let next = self.iterate(&x)?;
             if next == x {
                 // Fixpoint of the iteration — i.e. a genuine solution.
+                span.field("outcome", "converged");
+                span.field("iterations", (k + 1) as u64);
+                span.finish();
                 return Ok(IterativeOutcome::Converged {
                     solution: x,
                     iterations: k + 1,
                 });
             }
             if let Some(pos) = seen.iter().position(|p| p == &next) {
+                span.field("outcome", "cycle");
+                span.field("period", (seen.len() - pos) as u64);
+                span.finish();
                 return Ok(IterativeOutcome::Cycle {
                     period: seen.len() - pos,
                     entered_after: pos,
@@ -334,10 +418,23 @@ impl Kbp {
             seen.push(next.clone());
             x = next;
         }
+        span.field("outcome", "inconclusive");
+        span.field("iterations", max_iterations as u64);
+        span.finish();
         Ok(IterativeOutcome::Inconclusive {
             iterations: max_iterations,
         })
     }
+}
+
+/// Fold one exhaustive run into the `solver.*` metrics and close its span.
+fn record_exhaustive(mut span: kpt_obs::Span, candidates: u64, solutions: usize) {
+    kpt_obs::counter!("solver.exhaustive.runs").incr();
+    kpt_obs::counter!("solver.candidates").add(candidates);
+    kpt_obs::counter!("solver.solutions").add(solutions as u64);
+    span.field("candidates", candidates);
+    span.field("solutions", solutions as u64);
+    span.finish();
 }
 
 /// The outcome of [`Kbp::solve_iterative`].

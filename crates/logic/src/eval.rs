@@ -78,6 +78,9 @@ impl<'a> EvalContext<'a> {
     /// [`EvalError::KnowledgeUnavailable`] if a `K{i}` atom appears without
     /// an attached knowledge semantics.
     pub fn eval(&self, f: &Formula) -> Result<Predicate, EvalError> {
+        // Counts every AST node evaluated (the function recurses), so the
+        // metric tracks formula complexity, not call sites.
+        kpt_obs::counter!("logic.eval.nodes").incr();
         match f {
             Formula::Const(true) => Ok(Predicate::tt(self.space)),
             Formula::Const(false) => Ok(Predicate::ff(self.space)),

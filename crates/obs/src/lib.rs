@@ -1,0 +1,45 @@
+//! # kpt-obs: the workspace's zero-dependency observability layer
+//!
+//! The verification kernels answer *whether* a property holds; this crate
+//! answers *why it was slow* and *why it failed*. Three pieces, all
+//! in-tree and offline (matching the `kpt-testkit` philosophy):
+//!
+//! * **Metrics** ([`counter!`], [`histogram!`], [`metrics_snapshot`]) — a
+//!   global registry of named atomic counters and log₂-bucketed
+//!   histograms. Call sites cache the handle in a local `static`, so the
+//!   steady-state cost of a bump is one relaxed atomic add; the registry
+//!   lock is touched once per call site per process.
+//! * **Traces** ([`span`], [`event`], [`trace_to_file`]) — structured
+//!   events with monotonic timestamps, kept in a bounded ring buffer and
+//!   (when `KPT_TRACE=<path>` is set, or a sink is installed
+//!   programmatically) appended as JSON Lines. When tracing is disabled —
+//!   the default — every entry point is a single relaxed atomic load and
+//!   a branch: no clock reads, no allocation, no locks.
+//! * **Verdicts** ([`Verdict`], [`WitnessState`]) — the structured
+//!   explanation attached to failed proof obligations and no-solution
+//!   outcomes: instead of a bare `false`, a verdict names concrete
+//!   offending states decoded through the state space's variable names.
+//!
+//! The crate deliberately knows nothing about predicates or state spaces:
+//! the verification crates decode their own states into [`WitnessState`]
+//! rows and hand them over. This keeps `kpt-obs` at the bottom of the
+//! dependency graph, usable from `kpt-state` up.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod json;
+mod metrics;
+mod trace;
+mod verdict;
+
+pub use json::{parse_json, JsonError, JsonValue};
+pub use metrics::{
+    counter, histogram, metrics_snapshot, reset_metrics, CacheStats, Counter, Histogram,
+    HistogramSnapshot, Metric, MetricValue,
+};
+pub use trace::{
+    disable_trace, event, recent_events, span, trace_enabled, trace_path, trace_to_file,
+    trace_to_ring, Event, Field, Span,
+};
+pub use verdict::{report_verdict, Verdict, WitnessState};

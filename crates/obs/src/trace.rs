@@ -1,0 +1,491 @@
+//! Spans and events: the tracing half of the observability layer.
+//!
+//! A trace is a sequence of [`Event`]s — one-shot [`event`]s or closed
+//! [`span`]s — each carrying a dotted-path `kind`, a monotonic timestamp
+//! (microseconds since the process's first trace call), optional duration,
+//! and a flat list of typed fields. Events land in a bounded in-memory
+//! ring buffer (inspectable via [`recent_events`]) and, when a file sink
+//! is installed, are appended to it as JSON Lines — one `{...}` object per
+//! line, written with a single `write` syscall so concurrent test
+//! processes tracing to the same `KPT_TRACE` path interleave whole lines.
+//!
+//! ## The zero-overhead-when-disabled guarantee
+//!
+//! Every public entry point starts with a relaxed load of one global
+//! `AtomicBool`. When tracing is disabled (no `KPT_TRACE`, no programmatic
+//! sink) that load-and-branch is the *entire* cost: no `Instant::now`, no
+//! allocation, no lock, no formatting. `BENCH_obs.json`'s
+//! `span_overhead/disabled` case measures exactly this path.
+//!
+//! ## Enabling
+//!
+//! * environment: `KPT_TRACE=/path/to/trace.jsonl` (checked once, on the
+//!   first trace call of the process; the file is opened in append mode);
+//! * programmatic: [`trace_to_file`] / [`trace_to_ring`] /
+//!   [`disable_trace`], which override the environment setting and may be
+//!   called repeatedly (tests switch sinks freely).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// Maximum events retained in the in-memory ring buffer.
+const RING_CAP: usize = 8192;
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+impl From<u32> for Field {
+    fn from(v: u32) -> Self {
+        Field::U64(u64::from(v))
+    }
+}
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::I64(v)
+    }
+}
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_owned())
+    }
+}
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+impl Field {
+    fn render_json(&self, out: &mut String) {
+        match self {
+            Field::U64(v) => out.push_str(&v.to_string()),
+            Field::I64(v) => out.push_str(&v.to_string()),
+            Field::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Field::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Field::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the process's trace epoch (monotonic clock).
+    pub ts_us: u64,
+    /// Dotted-path event kind (`"fixpoint.frontier"`, `"pool.map"`, ...).
+    pub kind: String,
+    /// Span duration in microseconds; `None` for one-shot events.
+    pub dur_us: Option<f64>,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<(String, Field)>,
+}
+
+impl Event {
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Render as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + self.fields.len() * 24);
+        out.push_str("{\"ts_us\":");
+        out.push_str(&self.ts_us.to_string());
+        out.push_str(",\"kind\":\"");
+        escape_into(&self.kind, &mut out);
+        out.push('"');
+        if let Some(d) = self.dur_us {
+            out.push_str(&format!(",\"dur_us\":{d:.1}"));
+        }
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            escape_into(k, &mut out);
+            out.push_str("\":");
+            v.render_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+struct SinkState {
+    ring: std::collections::VecDeque<Event>,
+    file: Option<File>,
+    path: Option<String>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static INIT: Once = Once::new();
+
+fn sink() -> &'static Mutex<SinkState> {
+    static SINK: OnceLock<Mutex<SinkState>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(SinkState {
+            ring: std::collections::VecDeque::new(),
+            file: None,
+            path: None,
+        })
+    })
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Read `KPT_TRACE` once per process; called lazily from every entry
+/// point so that plain library users need no explicit setup.
+fn ensure_init() {
+    INIT.call_once(|| {
+        epoch();
+        if let Ok(path) = std::env::var("KPT_TRACE") {
+            if !path.is_empty() {
+                // A bad path silently leaves tracing ring-only rather than
+                // failing the traced program.
+                let _ = install_file(&path);
+                ENABLED.store(true, Ordering::Release);
+            }
+        }
+    });
+}
+
+fn install_file(path: &str) -> std::io::Result<()> {
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut s = sink().lock().expect("trace sink poisoned");
+    s.file = Some(file);
+    s.path = Some(path.to_owned());
+    Ok(())
+}
+
+/// Whether tracing is currently enabled (ring-only or file-backed).
+#[inline]
+pub fn trace_enabled() -> bool {
+    if ENABLED.load(Ordering::Relaxed) {
+        return true;
+    }
+    // Cold path: first call may still need to consult the environment.
+    if INIT.is_completed() {
+        return false;
+    }
+    ensure_init();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The file the trace is being appended to, if a file sink is installed.
+pub fn trace_path() -> Option<String> {
+    ensure_init();
+    sink().lock().expect("trace sink poisoned").path.clone()
+}
+
+/// Install (or replace) a JSONL file sink at `path` (append mode) and
+/// enable tracing. Overrides any `KPT_TRACE` setting.
+///
+/// # Errors
+/// I/O errors opening the file.
+pub fn trace_to_file(path: &str) -> std::io::Result<()> {
+    ensure_init();
+    install_file(path)?;
+    ENABLED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Enable tracing into the in-memory ring buffer only (drops any file
+/// sink). Used by tests and the reporter example.
+pub fn trace_to_ring() {
+    ensure_init();
+    let mut s = sink().lock().expect("trace sink poisoned");
+    s.file = None;
+    s.path = None;
+    drop(s);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disable tracing entirely (drops any file sink; the ring's contents are
+/// kept for [`recent_events`] until tracing is re-enabled).
+pub fn disable_trace() {
+    ensure_init();
+    let mut s = sink().lock().expect("trace sink poisoned");
+    s.file = None;
+    s.path = None;
+    drop(s);
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// The most recent events (up to the ring capacity), oldest first.
+pub fn recent_events() -> Vec<Event> {
+    ensure_init();
+    sink()
+        .lock()
+        .expect("trace sink poisoned")
+        .ring
+        .iter()
+        .cloned()
+        .collect()
+}
+
+fn emit(ev: Event) {
+    let line = {
+        let mut l = ev.to_json();
+        l.push('\n');
+        l
+    };
+    let mut s = sink().lock().expect("trace sink poisoned");
+    if s.ring.len() >= RING_CAP {
+        s.ring.pop_front();
+    }
+    s.ring.push_back(ev);
+    if let Some(f) = s.file.as_mut() {
+        // One write call per line: concurrent processes appending to the
+        // same trace file interleave whole lines, keeping the JSONL valid.
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Emit a one-shot event. A no-op (one atomic load) when tracing is
+/// disabled; `fields` is only evaluated by the caller, so wrap expensive
+/// payload construction in a [`trace_enabled`] check.
+pub fn event(kind: &str, fields: &[(&str, Field)]) {
+    if !trace_enabled() {
+        return;
+    }
+    emit(Event {
+        ts_us: now_us(),
+        kind: kind.to_owned(),
+        dur_us: None,
+        fields: fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+    });
+}
+
+/// An in-flight span: emits an event carrying its wall-clock duration when
+/// dropped (or explicitly [`Span::finish`]ed). Obtained from [`span`];
+/// disabled spans are inert zero-cost shells.
+#[must_use = "a span measures the scope it lives in"]
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    kind: String,
+    start: Instant,
+    ts_us: u64,
+    fields: Vec<(String, Field)>,
+}
+
+/// Open a span of the given kind. When tracing is disabled this costs one
+/// atomic load and returns an inert span.
+pub fn span(kind: &str) -> Span {
+    if !trace_enabled() {
+        return Span { inner: None };
+    }
+    Span {
+        inner: Some(SpanInner {
+            kind: kind.to_owned(),
+            start: Instant::now(),
+            ts_us: now_us(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Whether this span is live (tracing was enabled when it opened).
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a field (no-op on inert spans).
+    pub fn field(&mut self, name: &str, value: impl Into<Field>) -> &mut Self {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((name.to_owned(), value.into()));
+        }
+        self
+    }
+
+    /// Close the span now, emitting its event.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let dur_us = inner.start.elapsed().as_secs_f64() * 1e6;
+            emit(Event {
+                ts_us: inner.ts_us,
+                kind: inner.kind,
+                dur_us: Some(dur_us),
+                fields: inner.fields,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sink is global; tests in this module serialise on a lock so
+    // their enable/disable toggles don't interleave.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_tracing_emits_nothing() {
+        let _g = guard();
+        disable_trace();
+        let before = recent_events().len();
+        event("test.noop", &[("x", Field::U64(1))]);
+        let mut s = span("test.noop.span");
+        assert!(!s.is_live());
+        s.field("y", 2u64);
+        drop(s);
+        assert_eq!(recent_events().len(), before);
+    }
+
+    #[test]
+    fn ring_records_events_and_spans() {
+        let _g = guard();
+        trace_to_ring();
+        event(
+            "test.ring.event",
+            &[("n", Field::U64(7)), ("s", "hi".into())],
+        );
+        {
+            let mut sp = span("test.ring.span");
+            sp.field("items", 3u64);
+        }
+        let evs = recent_events();
+        disable_trace();
+        let e = evs
+            .iter()
+            .rev()
+            .find(|e| e.kind == "test.ring.event")
+            .expect("event recorded");
+        assert_eq!(e.field("n"), Some(&Field::U64(7)));
+        assert_eq!(e.field("s"), Some(&Field::Str("hi".into())));
+        assert!(e.dur_us.is_none());
+        let sp = evs
+            .iter()
+            .rev()
+            .find(|e| e.kind == "test.ring.span")
+            .expect("span recorded");
+        assert!(sp.dur_us.is_some());
+        assert_eq!(sp.field("items"), Some(&Field::U64(3)));
+    }
+
+    #[test]
+    fn json_lines_escape_and_roundtrip() {
+        let ev = Event {
+            ts_us: 12,
+            kind: "k\"ind".into(),
+            dur_us: Some(3.25),
+            fields: vec![
+                ("a".into(), Field::U64(1)),
+                ("b".into(), Field::Str("x\ny".into())),
+                ("c".into(), Field::Bool(true)),
+                ("d".into(), Field::F64(1.5)),
+                ("e".into(), Field::I64(-2)),
+            ],
+        };
+        let json = ev.to_json();
+        assert!(json.contains("\"kind\":\"k\\\"ind\""));
+        assert!(json.contains("\\n"));
+        let parsed = crate::parse_json(&json).expect("own output parses");
+        assert_eq!(parsed.get("ts_us").and_then(|v| v.as_u64()), Some(12));
+        assert_eq!(parsed.get("kind").and_then(|v| v.as_str()), Some("k\"ind"));
+        assert_eq!(parsed.get("a").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(parsed.get("c").and_then(|v| v.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn file_sink_appends_valid_jsonl() {
+        let _g = guard();
+        let path = std::env::temp_dir().join(format!("kpt-obs-test-{}.jsonl", std::process::id()));
+        let path_s = path.to_str().expect("utf8 temp path");
+        let _ = std::fs::remove_file(&path);
+        trace_to_file(path_s).expect("open trace file");
+        event("test.file.one", &[("v", Field::U64(1))]);
+        event("test.file.two", &[]);
+        disable_trace();
+        let contents = std::fs::read_to_string(&path).expect("trace file written");
+        let lines: Vec<&str> = contents.lines().filter(|l| !l.is_empty()).collect();
+        assert!(lines.len() >= 2);
+        for line in &lines {
+            crate::parse_json(line).expect("every line parses");
+        }
+        assert!(contents.contains("test.file.one"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,168 @@
+//! Explainable verdicts: structured witnesses for failed obligations.
+//!
+//! A bare `false` from `invariant p` or an empty `SolutionSet` from the
+//! KBP solver says nothing about *where* the property broke. A [`Verdict`]
+//! carries the obligation's name, the outcome, a prose `detail`, and up to
+//! a handful of [`WitnessState`]s — concrete states decoded through the
+//! state space's variable names, so the reader sees `j=2, zp=(1,a)` rather
+//! than "state 37". The verification crates construct verdicts (they own
+//! the spaces and predicates); this module only defines the shape, the
+//! human-readable rendering, and the trace emission.
+
+use std::fmt;
+
+use crate::trace::{event, Field};
+
+/// One concrete state, decoded for humans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessState {
+    /// The state's index in its space's enumeration.
+    pub index: u64,
+    /// `(variable, rendered value)` pairs in declaration order.
+    pub assignment: Vec<(String, String)>,
+}
+
+impl WitnessState {
+    /// Render as `#index {a=1, b=true}`.
+    pub fn render(&self) -> String {
+        let body = self
+            .assignment
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("#{} {{{body}}}", self.index)
+    }
+}
+
+impl fmt::Display for WitnessState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The explainable outcome of checking one proof obligation (or solving
+/// one KBP).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// What was checked, e.g. `invariant w⊑x` or `kbp figure1 solvable`.
+    pub obligation: String,
+    /// Whether the obligation holds.
+    pub holds: bool,
+    /// Prose explanation of the outcome (one line).
+    pub detail: String,
+    /// Offending states when the obligation fails (bounded sample).
+    pub witnesses: Vec<WitnessState>,
+}
+
+impl Verdict {
+    /// A passing verdict.
+    pub fn pass(obligation: impl Into<String>, detail: impl Into<String>) -> Self {
+        Verdict {
+            obligation: obligation.into(),
+            holds: true,
+            detail: detail.into(),
+            witnesses: Vec::new(),
+        }
+    }
+
+    /// A failing verdict with witnesses.
+    pub fn fail(
+        obligation: impl Into<String>,
+        detail: impl Into<String>,
+        witnesses: Vec<WitnessState>,
+    ) -> Self {
+        Verdict {
+            obligation: obligation.into(),
+            holds: false,
+            detail: detail.into(),
+            witnesses,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} {} — {}",
+            if self.holds { "HOLDS " } else { "FAILED" },
+            self.obligation,
+            self.detail
+        )?;
+        for w in &self.witnesses {
+            writeln!(f, "    witness {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Emit the verdict as a `verdict` trace event (kind `verdict.pass` /
+/// `verdict.fail`), with each witness rendered into a field. No-op when
+/// tracing is disabled.
+pub fn report_verdict(v: &Verdict) {
+    if !crate::trace_enabled() {
+        return;
+    }
+    let mut fields: Vec<(&str, Field)> = vec![
+        ("obligation", Field::Str(v.obligation.clone())),
+        ("holds", Field::Bool(v.holds)),
+        ("detail", Field::Str(v.detail.clone())),
+        ("witnesses", Field::U64(v.witnesses.len() as u64)),
+    ];
+    let rendered: Vec<String> = v.witnesses.iter().map(WitnessState::render).collect();
+    let joined = rendered.join("; ");
+    if !joined.is_empty() {
+        fields.push(("witness_states", Field::Str(joined)));
+    }
+    event(
+        if v.holds {
+            "verdict.pass"
+        } else {
+            "verdict.fail"
+        },
+        &fields,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn witness() -> WitnessState {
+        WitnessState {
+            index: 5,
+            assignment: vec![("a".into(), "1".into()), ("b".into(), "true".into())],
+        }
+    }
+
+    #[test]
+    fn rendering_names_states_and_variables() {
+        let v = Verdict::fail(
+            "invariant p",
+            "2 reachable states violate p",
+            vec![witness()],
+        );
+        let text = v.to_string();
+        assert!(text.contains("FAILED invariant p"));
+        assert!(text.contains("#5 {a=1, b=true}"));
+        let ok = Verdict::pass("stable q", "all 12 reachable states stay in q");
+        assert!(ok.to_string().starts_with("HOLDS "));
+    }
+
+    #[test]
+    fn report_emits_trace_event() {
+        crate::trace_to_ring();
+        report_verdict(&Verdict::fail("obl", "broken", vec![witness()]));
+        let evs = crate::recent_events();
+        crate::disable_trace();
+        let ev = evs
+            .iter()
+            .rev()
+            .find(|e| e.kind == "verdict.fail")
+            .expect("verdict event");
+        assert_eq!(ev.field("holds"), Some(&Field::Bool(false)));
+        let ws = ev.field("witness_states").expect("witness field");
+        assert!(matches!(ws, Field::Str(s) if s.contains("#5 {a=1")));
+    }
+}

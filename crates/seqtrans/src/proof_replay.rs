@@ -31,6 +31,37 @@ use kpt_unity::{CompiledProgram, ProofContext, ProofError, Property, Thm};
 use crate::knowledge_preds::{knowledge_operator, real_kr_x, real_kr_x_any, real_ks_kr};
 use crate::standard::StandardModel;
 
+/// Per-obligation timing for the replay: counts every certified step and,
+/// when tracing is on, emits one `proof.obligation` event per equation with
+/// the time spent deriving it (measured since the previous step — the
+/// derivation is sequential, so the delta is the obligation's own cost).
+struct StepTimer {
+    last: Option<std::time::Instant>,
+}
+
+impl StepTimer {
+    fn new() -> Self {
+        StepTimer {
+            last: kpt_obs::trace_enabled().then(std::time::Instant::now),
+        }
+    }
+
+    fn record(&mut self, equation: &str) {
+        kpt_obs::counter!("proof.obligations").incr();
+        if let Some(last) = self.last.as_mut() {
+            let dur_us = last.elapsed().as_secs_f64() * 1e6;
+            kpt_obs::event(
+                "proof.obligation",
+                &[
+                    ("equation", kpt_obs::Field::Str(equation.to_owned())),
+                    ("dur_us", kpt_obs::Field::F64(dur_us)),
+                ],
+            );
+            *last = std::time::Instant::now();
+        }
+    }
+}
+
 /// One replayed step: the paper's equation number and the theorem.
 #[derive(Debug, Clone)]
 pub struct Step {
@@ -75,6 +106,7 @@ pub fn replay_safety(
 ) -> Result<Replay, ProofError> {
     let ctx = ProofContext::new(compiled);
     let mut steps = Vec::new();
+    let mut timer = StepTimer::new();
 
     // Auxiliary: every data message in flight is truthful — the (St-2)
     // history invariant specialised to the slot (provable from text alone
@@ -89,6 +121,7 @@ pub fn replay_safety(
         equation: "(St-2)".into(),
         theorem: aux.clone(),
     });
+    timer.record("(St-2)");
 
     // (36): invariant |w| = j (provable with I = true).
     let w_len = ctx.invariant_text(&model.w_len_eq_j(), None)?;
@@ -96,6 +129,7 @@ pub fn replay_safety(
         equation: "(36)".into(),
         theorem: w_len,
     });
+    timer.record("(36)");
 
     // (34): invariant (|w| = j ∧ w ⊑ x), proved from the text with the
     // truthfulness auxiliary — the paper's "first show
@@ -106,6 +140,7 @@ pub fn replay_safety(
         equation: "(34)+(36)".into(),
         theorem: conj.clone(),
     });
+    timer.record("(34)+(36)");
     // Weaken to spec (34) by the §8.1 substitution metatheorem: on SI the
     // conjunction and w ⊑ x are equivalent (both invariant).
     let spec34 = ctx.substitution(&conj, Property::Invariant(model.w_prefix_of_x()))?;
@@ -113,6 +148,7 @@ pub fn replay_safety(
         equation: "(34)".into(),
         theorem: spec34,
     });
+    timer.record("(34)");
 
     Ok(Replay {
         steps,
@@ -142,6 +178,7 @@ pub fn replay_liveness_for_k(
 
     let mut steps = Vec::new();
     let mut discharged = Vec::new();
+    let mut timer = StepTimer::new();
 
     let kr_any = real_kr_x_any(model, &op, k);
     let j_eq = model.j_eq(k);
@@ -168,6 +205,7 @@ pub fn replay_liveness_for_k(
         equation: "(40)".into(),
         theorem: lt40.clone(),
     });
+    timer.record("(40)");
 
     // ---- (42): j = k ∧ ¬K_R x_k unless j = k ∧ K_R x_k {from text} ----
     let not_kr = j_eq.and(&kr_any.negate());
@@ -177,6 +215,7 @@ pub fn replay_liveness_for_k(
         equation: "(42)".into(),
         theorem: u42.clone(),
     });
+    timer.record("(42)");
 
     // ---- (Kbp-2) assumption and (43) -----------------------------------
     let ks_j_ge_k = op
@@ -194,6 +233,7 @@ pub fn replay_liveness_for_k(
         equation: "(43)".into(),
         theorem: lt43.clone(),
     });
+    timer.record("(43)");
 
     // ---- (47): (∀ l < k :: K_S K_R x_l) ↦ i ≥ k, by induction on k - i -
     let conj_kskr = {
@@ -245,6 +285,7 @@ pub fn replay_liveness_for_k(
         equation: "(47)".into(),
         theorem: lt47.clone(),
     });
+    timer.record("(47)");
 
     // ---- (46)+(44): K_S(j ≥ k) ↦ i ≥ k ---------------------------------
     // (46): [SI ⇒ (K_S(j≥k) ⇒ conj)] — the knowledge-axiom step (15)+(21);
@@ -258,6 +299,7 @@ pub fn replay_liveness_for_k(
         equation: "(44)".into(),
         theorem: lt44.clone(),
     });
+    timer.record("(44)");
 
     // ---- (48)+(49)+(45): i ≥ k ↦ K_R x_k -------------------------------
     let kskr_k = real_ks_kr(model, &op, k);
@@ -268,6 +310,7 @@ pub fn replay_liveness_for_k(
         equation: "(48)".into(),
         theorem: lt48.clone(),
     });
+    timer.record("(48)");
 
     // (49): i = k ∧ ¬K_S K_R x_k ↦ K_R x_k, via (Kbp-1) per α.
     let mut per_alpha_49 = Vec::new();
@@ -297,6 +340,7 @@ pub fn replay_liveness_for_k(
         equation: "(49)".into(),
         theorem: lt49.clone(),
     });
+    timer.record("(49)");
 
     // (45): i ≥ k ↦ K_R x_k by disjunction of (48) and (49).
     let lt45 = {
@@ -307,6 +351,7 @@ pub fn replay_liveness_for_k(
         equation: "(45)".into(),
         theorem: lt45.clone(),
     });
+    timer.record("(45)");
 
     // ---- (41): j = k ∧ ¬K_R x_k ↦ j = k ∧ K_R x_k ----------------------
     let lt41 = {
@@ -325,6 +370,7 @@ pub fn replay_liveness_for_k(
         equation: "(41)".into(),
         theorem: lt41.clone(),
     });
+    timer.record("(41)");
 
     // ---- (39): j = k ↦ j > k --------------------------------------------
     let lt39 = {
@@ -336,6 +382,7 @@ pub fn replay_liveness_for_k(
         equation: "(39)".into(),
         theorem: lt39.clone(),
     });
+    timer.record("(39)");
 
     // ---- (35): |w| = k ↦ |w| > k, by substitution with invariant (36) --
     let enc = model.encoding();
@@ -346,6 +393,7 @@ pub fn replay_liveness_for_k(
         equation: "(35)".into(),
         theorem: spec35,
     });
+    timer.record("(35)");
 
     Ok(Replay { steps, discharged })
 }

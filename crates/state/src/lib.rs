@@ -57,6 +57,7 @@ mod predicate;
 mod quantify;
 mod space;
 mod state;
+mod witness;
 
 pub use domain::{Domain, Value};
 pub use error::SpaceError;
@@ -67,3 +68,4 @@ pub use quantify::{
 };
 pub use space::{StateSpace, StateSpaceBuilder, VarId, VarSet};
 pub use state::{StateBuilder, StateView};
+pub use witness::{witness_state, witnesses};

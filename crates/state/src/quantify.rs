@@ -82,8 +82,10 @@ fn quantify_var(p: &Predicate, v: VarId, universal: bool) -> Predicate {
         return p.clone();
     }
     if dsize <= KERNEL_MAX_DSIZE {
+        kpt_obs::counter!("quantify.kernel").incr();
         quantify_var_kernel(p, v, universal)
     } else {
+        kpt_obs::counter!("quantify.naive").incr();
         quantify_var_naive(p, v, universal)
     }
 }

@@ -1,0 +1,65 @@
+//! Decoding predicate members into human-readable witness states.
+//!
+//! The observability layer's [`kpt_obs::Verdict`]s attach concrete states
+//! to failed obligations. The state space owns the variable names and
+//! domains, so the decoding lives here: [`witness_state`] turns one state
+//! index into a named assignment, [`witnesses`] samples the members of a
+//! predicate (typically the violation set `reachable ∧ ¬p`).
+
+use crate::predicate::Predicate;
+use crate::space::StateSpace;
+use kpt_obs::WitnessState;
+
+/// Decode one state of `space` into a [`WitnessState`] with one
+/// `(variable, rendered value)` pair per variable, in declaration order.
+#[must_use]
+pub fn witness_state(space: &StateSpace, state: u64) -> WitnessState {
+    WitnessState {
+        index: state,
+        assignment: space
+            .vars()
+            .map(|v| {
+                let name = space.name(v).to_owned();
+                let value = space.domain(v).render(space.value(state, v));
+                (name, value)
+            })
+            .collect(),
+    }
+}
+
+/// Up to `limit` members of `p`, decoded. The enumeration order is the
+/// state-index order, so the sample is deterministic.
+#[must_use]
+pub fn witnesses(p: &Predicate, limit: usize) -> Vec<WitnessState> {
+    p.iter()
+        .take(limit)
+        .map(|s| witness_state(p.space(), s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::StateSpace;
+
+    #[test]
+    fn decodes_named_assignments() {
+        let space = StateSpace::builder()
+            .bool_var("b")
+            .unwrap()
+            .nat_var("i", 3)
+            .unwrap()
+            .build()
+            .unwrap();
+        let b = space.var("b").unwrap();
+        let p = Predicate::var_is_true(&space, b);
+        let ws = witnesses(&p, 10);
+        assert_eq!(ws.len() as u64, p.count());
+        for w in &ws {
+            assert_eq!(w.assignment[0], ("b".to_string(), "true".to_string()));
+            assert_eq!(w.assignment[1].0, "i");
+        }
+        let rendered = ws[0].render();
+        assert!(rendered.contains("b=true"), "{rendered}");
+    }
+}

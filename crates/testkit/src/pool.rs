@@ -134,8 +134,13 @@ where
     assert!((n as u64) < u64::from(u32::MAX), "input too large for pool");
     let workers = threads.min(n.max(1));
     if workers <= 1 || n <= 1 {
+        kpt_obs::counter!("pool.serial_maps").incr();
+        kpt_obs::counter!("pool.tasks").add(n as u64);
         return items.iter().map(f).collect();
     }
+
+    let span = kpt_obs::span("pool.map");
+    let traced = span.is_live();
 
     // One contiguous range per worker; stealing rebalances skew.
     let per = (n as u64).div_ceil(workers as u64);
@@ -145,6 +150,7 @@ where
 
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
+    let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
@@ -153,15 +159,24 @@ where
             let f = &f;
             handles.push(scope.spawn(move || {
                 let mut local: Vec<(u64, R)> = Vec::new();
-                let run = |lo: u64, hi: u64, local: &mut Vec<(u64, R)>| {
+                let mut stats = WorkerStats::default();
+                let run = |lo: u64, hi: u64, local: &mut Vec<(u64, R)>, stats: &mut WorkerStats| {
+                    // Per-chunk timing only when tracing: two clock reads
+                    // per CHUNK items is noise in a trace but not in the
+                    // always-on path.
+                    let t0 = traced.then(std::time::Instant::now);
                     for i in lo..hi {
                         local.push((i, f(&items[i as usize])));
+                    }
+                    stats.tasks += hi - lo;
+                    if let Some(t0) = t0 {
+                        stats.busy_ns += t0.elapsed().as_nanos() as u64;
                     }
                 };
                 // Drain our own queue, then steal from the fullest victim.
                 loop {
                     while let Some((lo, hi)) = queues[w].pop_front() {
-                        run(lo, hi, &mut local);
+                        run(lo, hi, &mut local, &mut stats);
                     }
                     let victim = (0..queues.len())
                         .filter(|&v| v != w)
@@ -173,25 +188,81 @@ where
                     match victim {
                         Some((v, len)) if len > 0 => {
                             if let Some((lo, hi)) = queues[v].steal_back() {
-                                run(lo, hi, &mut local);
+                                stats.steals += 1;
+                                run(lo, hi, &mut local, &mut stats);
+                            } else {
+                                // Raced: the victim drained between the load
+                                // and the steal.
+                                stats.steal_failures += 1;
                             }
                         }
                         _ => break,
                     }
                 }
-                local
+                (local, stats)
             }));
         }
         for h in handles {
-            for (i, r) in h.join().expect("pool worker panicked") {
+            let (local, stats) = h.join().expect("pool worker panicked");
+            for (i, r) in local {
                 out[i as usize] = Some(r);
             }
+            worker_stats.push(stats);
         }
     });
+
+    record_pool_map(span, n, workers, &worker_stats);
 
     out.into_iter()
         .map(|r| r.expect("every index executed exactly once"))
         .collect()
+}
+
+/// Per-worker tallies from one `parallel_map` run.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    tasks: u64,
+    steals: u64,
+    steal_failures: u64,
+    /// Nanoseconds spent inside `f` (0 unless the run was traced).
+    busy_ns: u64,
+}
+
+/// Fold one parallel run's worker tallies into the global `pool.*` metrics
+/// and, when traced, close the `pool.map` span with a per-worker breakdown.
+fn record_pool_map(mut span: kpt_obs::Span, items: usize, workers: usize, stats: &[WorkerStats]) {
+    kpt_obs::counter!("pool.maps").incr();
+    let tasks: u64 = stats.iter().map(|s| s.tasks).sum();
+    let steals: u64 = stats.iter().map(|s| s.steals).sum();
+    let failures: u64 = stats.iter().map(|s| s.steal_failures).sum();
+    kpt_obs::counter!("pool.tasks").add(tasks);
+    kpt_obs::counter!("pool.steals").add(steals);
+    kpt_obs::counter!("pool.steal_failures").add(failures);
+    if span.is_live() {
+        let per_worker = stats
+            .iter()
+            .enumerate()
+            .map(|(w, s)| {
+                format!(
+                    "w{w}: tasks={} steals={} busy_us={}",
+                    s.tasks,
+                    s.steals,
+                    s.busy_ns / 1_000
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        span.field("items", items as u64);
+        span.field("workers", workers as u64);
+        span.field("steals", steals);
+        span.field("steal_failures", failures);
+        span.field(
+            "busy_us_total",
+            stats.iter().map(|s| s.busy_ns).sum::<u64>() / 1_000,
+        );
+        span.field("per_worker", per_worker);
+        span.finish();
+    }
 }
 
 #[cfg(test)]

@@ -32,22 +32,36 @@ pub fn lfp<F: FnMut(&Predicate) -> Predicate>(
     space: &std::sync::Arc<kpt_state::StateSpace>,
     mut f: F,
 ) -> Option<(Predicate, FixpointStats)> {
+    let mut span = kpt_obs::span("fixpoint.kleene");
+    span.field("dir", "lfp");
     let mut x = Predicate::ff(space);
     let cap = space.num_states() as usize + 2;
     for i in 0..cap {
         let next = f(&x);
         if next == x {
-            return Some((
-                x,
-                FixpointStats {
-                    iterations: i + 1,
-                    result_states: next.count(),
-                },
-            ));
+            let stats = FixpointStats {
+                iterations: i + 1,
+                result_states: next.count(),
+            };
+            record_kleene(span, &stats);
+            return Some((x, stats));
         }
         x = next;
     }
+    span.field("converged", false);
+    span.finish();
     None
+}
+
+/// Fold one Kleene run into the `fixpoint.kleene.*` metrics and close its
+/// span with the iteration count attached.
+fn record_kleene(mut span: kpt_obs::Span, stats: &FixpointStats) {
+    kpt_obs::counter!("fixpoint.kleene.runs").incr();
+    kpt_obs::counter!("fixpoint.kleene.iterations").add(stats.iterations as u64);
+    kpt_obs::histogram!("fixpoint.kleene.result_states").record(stats.result_states);
+    span.field("iterations", stats.iterations as u64);
+    span.field("result_states", stats.result_states);
+    span.finish();
 }
 
 /// Greatest fixpoint by Kleene iteration from `true`; same caveats as
@@ -57,21 +71,24 @@ pub fn gfp<F: FnMut(&Predicate) -> Predicate>(
     space: &std::sync::Arc<kpt_state::StateSpace>,
     mut f: F,
 ) -> Option<(Predicate, FixpointStats)> {
+    let mut span = kpt_obs::span("fixpoint.kleene");
+    span.field("dir", "gfp");
     let mut x = Predicate::tt(space);
     let cap = space.num_states() as usize + 2;
     for i in 0..cap {
         let next = f(&x);
         if next == x {
-            return Some((
-                x,
-                FixpointStats {
-                    iterations: i + 1,
-                    result_states: next.count(),
-                },
-            ));
+            let stats = FixpointStats {
+                iterations: i + 1,
+                result_states: next.count(),
+            };
+            record_kleene(span, &stats);
+            return Some((x, stats));
         }
         x = next;
     }
+    span.field("converged", false);
+    span.finish();
     None
 }
 
@@ -138,11 +155,20 @@ pub fn sst_frontier_with_stats(
     transitions: &[DetTransition],
     p: &Predicate,
 ) -> (Predicate, FixpointStats) {
+    let mut span = kpt_obs::span("fixpoint.frontier");
+    span.field("statements", transitions.len() as u64);
+    let traced = span.is_live();
+    let frontier_hist = kpt_obs::histogram!("fixpoint.frontier.size");
     let mut reach = p.clone();
     let mut frontier = p.clone();
     let mut iterations = 1;
     while !frontier.is_false() {
         iterations += 1;
+        if traced {
+            // Per-round frontier sizes are a trace-only luxury: counting a
+            // bitset is a full sweep, too costly for the always-on path.
+            frontier_hist.record(frontier.count());
+        }
         // Image of the frontier under every statement, scattered into one
         // fresh buffer; the new frontier is whatever wasn't reached before.
         let mut next = crate::transition::sp_union(transitions, &frontier);
@@ -154,6 +180,11 @@ pub fn sst_frontier_with_stats(
         frontier = next;
     }
     let result_states = reach.count();
+    kpt_obs::counter!("fixpoint.frontier.runs").incr();
+    kpt_obs::counter!("fixpoint.frontier.rounds").add(iterations as u64);
+    span.field("iterations", iterations as u64);
+    span.field("result_states", result_states);
+    span.finish();
     (
         reach,
         FixpointStats {

@@ -59,6 +59,7 @@ mod compiled;
 mod display;
 mod error;
 mod exec;
+mod explain;
 mod leadsto;
 mod mixed;
 mod parse;
@@ -69,6 +70,7 @@ mod statement;
 pub use compiled::CompiledProgram;
 pub use error::{ProofError, UnityError};
 pub use exec::{execute, reachable, RandomFair, RoundRobin, Run, Scheduler};
+pub use explain::explain_property;
 pub use leadsto::{leads_to, LeadsToCounterexample, LeadsToReport, LeadsToStats};
 pub use mixed::{Implementability, MixedSpec};
 pub use parse::parse_program;

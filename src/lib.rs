@@ -64,6 +64,7 @@
 pub use kpt_channel as channel;
 pub use kpt_core as core;
 pub use kpt_logic as logic;
+pub use kpt_obs as obs;
 pub use kpt_seqtrans as seqtrans;
 pub use kpt_state as state;
 pub use kpt_transformers as transformers;

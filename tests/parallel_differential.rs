@@ -10,7 +10,9 @@ use common::{pred_from_mask, program_spec};
 use knowledge_pt::prelude::*;
 use kpt_core::KnowledgeContext;
 use kpt_testkit::check;
-use kpt_transformers::{sp_union_with, sst_frontier, wp_inter, wp_inter_with};
+use kpt_transformers::{
+    sp_union_with, sst_frontier, sst_frontier_with_stats, sst_with_stats, wp_inter, wp_inter_with,
+};
 
 const THREAD_COUNTS: [usize; 3] = [2, 3, 8];
 
@@ -171,4 +173,47 @@ fn frontier_si_fixpoint_is_unchanged_by_parallel_sweeps() {
             FnTransformer::new(&space, "SP", move |p: &Predicate| sp_union_with(1, &ts2, p));
         assert_eq!(sst_frontier(&ts, &init), sst(&kleene_sp, &init));
     });
+}
+
+#[test]
+fn frontier_and_kleene_iteration_counts_agree_on_random_transition_systems() {
+    // Both `FixpointStats.iterations` counts are "max BFS depth + 2": the
+    // Kleene chain adds one layer per application plus the confirming
+    // application, and the frontier loop runs one round per layer plus the
+    // empty-frontier round. The diagnostics feed BENCH comparisons and the
+    // fixpoint.* metrics, so the two implementations must never drift.
+    check("fixpoint_iterations_differential", 12, |rng| {
+        let n = 64 + rng.below(192);
+        let count = 1 + rng.below(5) as usize;
+        let ts = random_transitions(rng, n, count);
+        let space = ts[0].space().clone();
+        let init = pred_from_mask(&space, rng.next_u64() | 1);
+        let ts2 = ts.clone();
+        let kleene_sp =
+            FnTransformer::new(&space, "SP", move |p: &Predicate| sp_union_with(1, &ts2, p));
+        let (kleene_reach, kleene_stats) = sst_with_stats(&kleene_sp, &init);
+        let (frontier_reach, frontier_stats) = sst_frontier_with_stats(&ts, &init);
+        assert_eq!(frontier_reach, kleene_reach, "{n} states x{count} stmts");
+        assert_eq!(
+            frontier_stats.iterations, kleene_stats.iterations,
+            "iteration counts drifted on {n} states x{count} stmts"
+        );
+        assert_eq!(frontier_stats.result_states, kleene_stats.result_states);
+    });
+    // Degenerate edge: from an empty init both converge in one application.
+    let space = StateSpace::builder()
+        .nat_var("i", 8)
+        .unwrap()
+        .build()
+        .unwrap();
+    let t = DetTransition::from_fn(&space, |i| (i + 1) % 8);
+    let empty = Predicate::ff(&space);
+    let t2 = t.clone();
+    let ksp = FnTransformer::new(&space, "SP", move |p: &Predicate| {
+        sp_union_with(1, std::slice::from_ref(&t2), p)
+    });
+    let (_, ks) = sst_with_stats(&ksp, &empty);
+    let (_, fs) = sst_frontier_with_stats(std::slice::from_ref(&t), &empty);
+    assert_eq!(ks.iterations, 1);
+    assert_eq!(fs.iterations, 1);
 }
