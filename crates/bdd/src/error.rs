@@ -1,0 +1,140 @@
+//! Errors of the symbolic backend.
+
+use std::error::Error;
+use std::fmt;
+
+use kpt_logic::EvalError;
+use kpt_state::SpaceError;
+
+/// An error produced while building or solving with the symbolic backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// A state-space level error (unknown variable, space mismatch, …).
+    Space(SpaceError),
+    /// A formula could not be evaluated symbolically (unknown identifier,
+    /// type error, knowledge atom without knowledge semantics, …).
+    Eval(EvalError),
+    /// An assignment's support — the set of variables its right-hand side
+    /// reads — spans too many value combinations to enumerate into a
+    /// relation cube-by-cube.
+    SupportTooLarge {
+        /// The statement being translated.
+        statement: String,
+        /// Number of support value combinations required.
+        combinations: u64,
+        /// Enumeration limit.
+        limit: u64,
+    },
+    /// A statement carries an opaque `update_with` closure (or an
+    /// untranslatable shape) and the state space is too large for the
+    /// state-by-state fallback translation.
+    OpaqueUpdateTooLarge {
+        /// The statement being translated.
+        statement: String,
+        /// Number of states the fallback would enumerate.
+        states: u64,
+        /// Enumeration limit.
+        limit: u64,
+    },
+    /// A guard-enabled state assigns a value outside the target variable's
+    /// domain — the symbolic mirror of `UnityError::UpdateOutOfRange`.
+    UpdateOutOfRange {
+        /// Statement whose update misbehaved.
+        statement: String,
+        /// Target variable.
+        var: String,
+        /// Rendered offending pre-state.
+        state: String,
+        /// The out-of-range value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::Space(e) => write!(f, "state space error: {e}"),
+            BddError::Eval(e) => write!(f, "formula evaluation error: {e}"),
+            BddError::SupportTooLarge {
+                statement,
+                combinations,
+                limit,
+            } => write!(
+                f,
+                "statement `{statement}`: assignment support spans {combinations} \
+                 value combinations, above the enumeration limit {limit}"
+            ),
+            BddError::OpaqueUpdateTooLarge {
+                statement,
+                states,
+                limit,
+            } => write!(
+                f,
+                "statement `{statement}`: opaque update needs a {states}-state \
+                 explicit sweep, above the enumeration limit {limit}"
+            ),
+            BddError::UpdateOutOfRange {
+                statement,
+                var,
+                state,
+                value,
+            } => write!(
+                f,
+                "statement `{statement}` assigns {value} to `{var}`, \
+                 outside its domain, in state {{{state}}}"
+            ),
+        }
+    }
+}
+
+impl Error for BddError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BddError::Space(e) => Some(e),
+            BddError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpaceError> for BddError {
+    fn from(e: SpaceError) -> Self {
+        BddError::Space(e)
+    }
+}
+
+impl From<EvalError> for BddError {
+    fn from(e: EvalError) -> Self {
+        BddError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = BddError::UpdateOutOfRange {
+            statement: "inc".into(),
+            var: "i".into(),
+            state: "i=3".into(),
+            value: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`inc`"));
+        assert!(msg.contains("`i`"));
+        assert!(msg.contains('4'));
+
+        let e = BddError::SupportTooLarge {
+            statement: "s".into(),
+            combinations: 1 << 20,
+            limit: 1 << 16,
+        };
+        assert!(e.to_string().contains("enumeration limit"));
+
+        let e: BddError = EvalError::KnowledgeUnavailable.into();
+        assert!(matches!(e, BddError::Eval(_)));
+    }
+}

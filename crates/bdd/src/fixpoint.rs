@@ -1,0 +1,143 @@
+//! Frontier-style symbolic fixpoints: `sst` closure and the strongest
+//! invariant `SI` (paper eqs. 1/3/5) over BDD transition relations.
+//!
+//! Each round images only the *frontier* (states discovered last round),
+//! exactly like `kpt_transformers::sst_frontier`, but the image is a
+//! relational product instead of a bitset scatter. Convergence is the O(1)
+//! root-id comparison that restricted canonical roots buy.
+
+use crate::manager::{Manager, NodeId, FALSE};
+use crate::predicate::SymbolicPredicate;
+use crate::transition::SymbolicTransition;
+
+/// Round-by-round behaviour of one symbolic fixpoint run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SymbolicFixpointStats {
+    /// Frontier rounds until the frontier emptied.
+    pub rounds: u64,
+    /// Reachable ROBDD nodes of the final fixpoint.
+    pub nodes: usize,
+}
+
+/// `sst.p`: the strongest predicate stable under every transition that is
+/// implied by `p` — the reachable closure of `p`.
+pub fn symbolic_sst(
+    p: &SymbolicPredicate,
+    transitions: &[SymbolicTransition],
+) -> SymbolicPredicate {
+    symbolic_sst_with_stats(p, transitions).0
+}
+
+/// [`symbolic_sst`] plus its round/node statistics.
+pub fn symbolic_sst_with_stats(
+    p: &SymbolicPredicate,
+    transitions: &[SymbolicTransition],
+) -> (SymbolicPredicate, SymbolicFixpointStats) {
+    let space = p.space();
+    for t in transitions {
+        assert!(
+            std::sync::Arc::ptr_eq(t.space(), space),
+            "transition from a different BDD space"
+        );
+    }
+    let mut span = kpt_obs::span("bdd.fixpoint");
+    kpt_obs::counter!("bdd.fixpoint.runs").incr();
+    let mut mgr = space.lock();
+    let rels: Vec<NodeId> = transitions.iter().map(|t| t.rel()).collect();
+    let (root, stats) = sst_raw(space, &mut mgr, p.root(), &rels);
+    drop(mgr);
+    kpt_obs::histogram!("bdd.si.nodes").record(stats.nodes as u64);
+    span.field("rounds", stats.rounds);
+    span.field("nodes", stats.nodes as u64);
+    span.finish();
+    (SymbolicPredicate::new(space, root), stats)
+}
+
+/// The paper's `SI`: `sst` of the initial condition.
+pub fn symbolic_strongest_invariant(
+    transitions: &[SymbolicTransition],
+    init: &SymbolicPredicate,
+) -> SymbolicPredicate {
+    symbolic_sst(init, transitions)
+}
+
+/// Core frontier loop over raw relation roots, shared with the KBP solver;
+/// the caller holds the manager lock.
+pub(crate) fn sst_raw(
+    space: &crate::space::BddSpace,
+    mgr: &mut Manager,
+    init: NodeId,
+    rels: &[NodeId],
+) -> (NodeId, SymbolicFixpointStats) {
+    let mut reached = init;
+    let mut frontier = init;
+    let mut rounds = 0u64;
+    while frontier != FALSE {
+        rounds += 1;
+        kpt_obs::counter!("bdd.fixpoint.rounds").incr();
+        let mut image = FALSE;
+        for &rel in rels {
+            let conj = mgr.and(frontier, rel);
+            let img = mgr.exists(conj, space.cur_levels());
+            let img = space.shift_to_cur(mgr, img);
+            image = mgr.or(image, img);
+        }
+        let not_reached = mgr.not(reached);
+        frontier = mgr.and(image, not_reached);
+        reached = mgr.or(reached, frontier);
+    }
+    let nodes = mgr.reachable_nodes(reached);
+    (reached, SymbolicFixpointStats { rounds, nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::BddSpace;
+    use kpt_state::StateSpace;
+
+    #[test]
+    fn counter_chain_reaches_everything_above_init() {
+        let space = StateSpace::builder()
+            .nat_var("i", 10)
+            .unwrap()
+            .build()
+            .unwrap();
+        let bdd = BddSpace::new(&space);
+        let i = space.var("i").unwrap();
+        let guard = SymbolicPredicate::from_var_fn(&bdd, i, |x| x < 9);
+        let inc = SymbolicTransition::builder(&bdd)
+            .guard(&guard)
+            .assign(i, &[i], |v| v[0] + 1)
+            .build()
+            .unwrap();
+        let init = SymbolicPredicate::var_eq(&bdd, i, 3);
+        let (si, stats) = symbolic_sst_with_stats(&init, std::slice::from_ref(&inc));
+        assert_eq!(si.count(), 7); // 3..=9
+        assert!(si.entails(&SymbolicPredicate::from_var_fn(&bdd, i, |x| x >= 3)));
+        assert_eq!(stats.rounds, 7); // 6 discovery rounds + 1 empty round
+    }
+
+    #[test]
+    fn si_is_a_fixed_point() {
+        let space = StateSpace::builder()
+            .nat_var("i", 8)
+            .unwrap()
+            .build()
+            .unwrap();
+        let bdd = BddSpace::new(&space);
+        let i = space.var("i").unwrap();
+        let dec = SymbolicTransition::builder(&bdd)
+            .assign(i, &[i], |v| v[0].saturating_sub(1))
+            .build()
+            .unwrap();
+        let init = SymbolicPredicate::var_eq(&bdd, i, 5);
+        let si = symbolic_strongest_invariant(std::slice::from_ref(&dec), &init);
+        // sp(SI) ⇒ SI and init ⇒ SI.
+        assert!(dec.sp(&si).entails(&si));
+        assert!(init.entails(&si));
+        assert_eq!(si.count(), 6); // 0..=5
+                                   // Running sst again from SI is a no-op (canonical equality).
+        assert_eq!(symbolic_sst(&si, std::slice::from_ref(&dec)), si);
+    }
+}

@@ -1,0 +1,395 @@
+//! Symbolic evaluation of `kpt_logic::Formula` — the same semantics as
+//! `kpt_logic::EvalContext` (parameters, enum-label fallback in comparison
+//! context, domain-bounded quantifiers, knowledge atoms), producing BDD
+//! roots instead of bitsets.
+//!
+//! Comparisons are the only atoms that need value arithmetic; they are
+//! translated by enumerating the *support* of the two sides (the product
+//! of the mentioned variables' domains, never the whole state space) and
+//! OR-ing one cube per satisfying combination.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kpt_logic::{CmpOp, EvalError, Expr, Formula};
+use kpt_state::{Domain, VarId, VarSet};
+
+use crate::error::BddError;
+use crate::knowledge::SymbolicKnowledge;
+use crate::manager::{Manager, NodeId, FALSE};
+use crate::predicate::SymbolicPredicate;
+use crate::space::BddSpace;
+use crate::transition::SUPPORT_ENUM_MAX;
+
+/// Evaluation context for symbolic formula evaluation: a space, named
+/// integer parameters, and optionally a knowledge operator for `K{i}`
+/// atoms.
+pub struct SymbolicEvalContext<'a> {
+    space: &'a Arc<BddSpace>,
+    params: HashMap<String, i64>,
+    knowledge: Option<&'a SymbolicKnowledge>,
+}
+
+impl<'a> SymbolicEvalContext<'a> {
+    /// A context with no parameters and no knowledge semantics.
+    pub fn new(space: &'a Arc<BddSpace>) -> Self {
+        SymbolicEvalContext {
+            space,
+            params: HashMap::new(),
+            knowledge: None,
+        }
+    }
+
+    /// Bind a named parameter.
+    #[must_use]
+    pub fn with_param(mut self, name: &str, value: i64) -> Self {
+        self.params.insert(name.to_owned(), value);
+        self
+    }
+
+    /// Bind every parameter in `params`.
+    #[must_use]
+    pub fn with_params(mut self, params: &HashMap<String, i64>) -> Self {
+        for (k, v) in params {
+            self.params.insert(k.clone(), *v);
+        }
+        self
+    }
+
+    /// Attach knowledge semantics for `K{i}` atoms.
+    #[must_use]
+    pub fn with_knowledge(mut self, k: &'a SymbolicKnowledge) -> Self {
+        self.knowledge = Some(k);
+        self
+    }
+
+    /// Evaluate a formula to a symbolic predicate.
+    ///
+    /// # Errors
+    /// The same failures as `kpt_logic::EvalContext::eval`, wrapped in
+    /// [`BddError::Eval`], plus [`BddError::SupportTooLarge`] when a
+    /// comparison mentions too many variable values to enumerate.
+    pub fn eval(&self, f: &Formula) -> Result<SymbolicPredicate, BddError> {
+        let mut mgr = self.space.lock();
+        let root = self.eval_raw(&mut mgr, f)?;
+        drop(mgr);
+        Ok(SymbolicPredicate::new(self.space, root))
+    }
+
+    /// Evaluate and test validity over all valid states.
+    ///
+    /// # Errors
+    /// As for [`SymbolicEvalContext::eval`].
+    pub fn holds_everywhere(&self, f: &Formula) -> Result<bool, BddError> {
+        Ok(self.eval(f)?.everywhere())
+    }
+
+    pub(crate) fn eval_raw(&self, mgr: &mut Manager, f: &Formula) -> Result<NodeId, BddError> {
+        let space = self.space;
+        let st_space = space.space();
+        match f {
+            Formula::Const(b) => Ok(if *b { space.domain_ok_cur() } else { FALSE }),
+            Formula::BoolVar(name) => {
+                if let Some(&v) = self.params.get(name) {
+                    return match v {
+                        0 => Ok(FALSE),
+                        1 => Ok(space.domain_ok_cur()),
+                        _ => Err(EvalError::Type(format!(
+                            "parameter `{name}` used as boolean but has value {v}"
+                        ))
+                        .into()),
+                    };
+                }
+                let var = st_space
+                    .var(name)
+                    .map_err(|_| EvalError::UnknownIdentifier(name.clone()))?;
+                match st_space.domain(var) {
+                    Domain::Bool => Ok(space.var_fn_raw(mgr, var, |x| x != 0)),
+                    d => Err(EvalError::Type(format!(
+                        "variable `{name}` of domain {d} used as boolean atom"
+                    ))
+                    .into()),
+                }
+            }
+            Formula::Cmp(op, lhs, rhs) => self.eval_cmp(mgr, *op, lhs, rhs),
+            Formula::Not(g) => {
+                let inner = self.eval_raw(mgr, g)?;
+                let n = mgr.not(inner);
+                Ok(mgr.and(n, space.domain_ok_cur()))
+            }
+            Formula::And(a, b) => {
+                let l = self.eval_raw(mgr, a)?;
+                let r = self.eval_raw(mgr, b)?;
+                Ok(mgr.and(l, r))
+            }
+            Formula::Or(a, b) => {
+                let l = self.eval_raw(mgr, a)?;
+                let r = self.eval_raw(mgr, b)?;
+                Ok(mgr.or(l, r))
+            }
+            Formula::Implies(a, b) => {
+                let l = self.eval_raw(mgr, a)?;
+                let r = self.eval_raw(mgr, b)?;
+                let imp = mgr.implies(l, r);
+                Ok(mgr.and(imp, space.domain_ok_cur()))
+            }
+            Formula::Iff(a, b) => {
+                let l = self.eval_raw(mgr, a)?;
+                let r = self.eval_raw(mgr, b)?;
+                let eq = mgr.iff(l, r);
+                Ok(mgr.and(eq, space.domain_ok_cur()))
+            }
+            Formula::Forall(name, body) => {
+                let var = self.quantified_var(name)?;
+                let inner = self.eval_raw(mgr, body)?;
+                Ok(space.forall_vars_raw(mgr, inner, [var]))
+            }
+            Formula::Exists(name, body) => {
+                let var = self.quantified_var(name)?;
+                let inner = self.eval_raw(mgr, body)?;
+                Ok(space.exists_vars_raw(mgr, inner, [var]))
+            }
+            Formula::Knows(process, body) => {
+                let inner = self.eval_raw(mgr, body)?;
+                match self.knowledge {
+                    Some(k) => {
+                        let view = k.view(process)?;
+                        Ok(k.knows_view_raw(mgr, view, inner))
+                    }
+                    None => Err(EvalError::KnowledgeUnavailable.into()),
+                }
+            }
+        }
+    }
+
+    fn quantified_var(&self, name: &str) -> Result<VarId, BddError> {
+        self.space
+            .space()
+            .var(name)
+            .map_err(|_| EvalError::UnknownIdentifier(name.to_owned()).into())
+    }
+
+    fn eval_cmp(
+        &self,
+        mgr: &mut Manager,
+        op: CmpOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> Result<NodeId, BddError> {
+        let l = self.compile(lhs);
+        let r = self.compile(rhs);
+        let (l, r) = match (l, r) {
+            (Ok(l), Ok(r)) => (l, r),
+            // One side is an unresolved bare identifier: try to read it as
+            // an enum label of the other side's variable.
+            (Err(name), Ok(r)) => {
+                let code = self.resolve_label(&name, &r)?;
+                (CExpr::Const(code), r)
+            }
+            (Ok(l), Err(name)) => {
+                let code = self.resolve_label(&name, &l)?;
+                (l, CExpr::Const(code))
+            }
+            (Err(name), Err(_)) => return Err(EvalError::UnknownIdentifier(name).into()),
+        };
+        let st_space = self.space.space();
+        let mut support = VarSet::default();
+        l.support(&mut support);
+        r.support(&mut support);
+        let vars: Vec<VarId> = support.iter().collect();
+        let combos: u64 = vars
+            .iter()
+            .map(|v| st_space.domain(*v).size())
+            .try_fold(1u64, |acc, s| acc.checked_mul(s))
+            .unwrap_or(u64::MAX);
+        if combos > SUPPORT_ENUM_MAX {
+            return Err(BddError::SupportTooLarge {
+                statement: format!("comparison `{}`", op.symbol()),
+                combinations: combos,
+                limit: SUPPORT_ENUM_MAX,
+            });
+        }
+        let mut values: HashMap<VarId, u64> = HashMap::new();
+        let mut acc = FALSE;
+        for combo in 0..combos {
+            let mut rest = combo;
+            for v in &vars {
+                let size = st_space.domain(*v).size();
+                values.insert(*v, rest % size);
+                rest /= size;
+            }
+            if op.apply(l.eval(&values), r.eval(&values)) {
+                let mut cube = crate::manager::TRUE;
+                for v in vars.iter().rev() {
+                    let c = self.space.value_cube(mgr, *v, values[v], false);
+                    cube = mgr.and(cube, c);
+                }
+                acc = mgr.or(acc, cube);
+            }
+        }
+        Ok(mgr.and(acc, self.space.domain_ok_cur()))
+    }
+
+    fn resolve_label(&self, label: &str, peer: &CExpr) -> Result<i64, BddError> {
+        if let CExpr::Var(v) = peer {
+            if let Some(code) = self.space.space().domain(*v).label_code(label) {
+                return Ok(code as i64);
+            }
+        }
+        Err(EvalError::UnknownIdentifier(label.to_owned()).into())
+    }
+
+    /// Compile an expression; `Err(name)` is an unresolved bare identifier
+    /// (possibly an enum label in comparison context) — the same contract
+    /// as `kpt_logic::EvalContext`.
+    fn compile(&self, e: &Expr) -> Result<CExpr, String> {
+        match e {
+            Expr::Const(n) => Ok(CExpr::Const(*n)),
+            Expr::Ident(name) => {
+                if let Some(&v) = self.params.get(name) {
+                    Ok(CExpr::Const(v))
+                } else if let Ok(var) = self.space.space().var(name) {
+                    Ok(CExpr::Var(var))
+                } else {
+                    Err(name.clone())
+                }
+            }
+            Expr::Add(a, b) => Ok(CExpr::Add(
+                Box::new(self.compile(a)?),
+                Box::new(self.compile(b)?),
+            )),
+            Expr::Sub(a, b) => Ok(CExpr::Sub(
+                Box::new(self.compile(a)?),
+                Box::new(self.compile(b)?),
+            )),
+        }
+    }
+}
+
+/// A compiled side of a comparison, mirroring the private `CExpr` of
+/// `kpt_logic::eval` but evaluated over support valuations instead of
+/// explicit states.
+#[derive(Debug)]
+pub(crate) enum CExpr {
+    Const(i64),
+    Var(VarId),
+    Add(Box<CExpr>, Box<CExpr>),
+    Sub(Box<CExpr>, Box<CExpr>),
+}
+
+impl CExpr {
+    pub(crate) fn support(&self, out: &mut VarSet) {
+        match self {
+            CExpr::Const(_) => {}
+            CExpr::Var(v) => out.insert(*v),
+            CExpr::Add(a, b) | CExpr::Sub(a, b) => {
+                a.support(out);
+                b.support(out);
+            }
+        }
+    }
+
+    pub(crate) fn eval(&self, values: &HashMap<VarId, u64>) -> i64 {
+        match self {
+            CExpr::Const(n) => *n,
+            CExpr::Var(v) => values[v] as i64,
+            CExpr::Add(a, b) => a.eval(values) + b.eval(values),
+            CExpr::Sub(a, b) => a.eval(values) - b.eval(values),
+        }
+    }
+
+    /// Evaluate at an explicit state (used to pinpoint out-of-range
+    /// assignment witnesses).
+    pub(crate) fn eval_state(&self, space: &kpt_state::StateSpace, state: u64) -> i64 {
+        match self {
+            CExpr::Const(n) => *n,
+            CExpr::Var(v) => space.value(state, *v) as i64,
+            CExpr::Add(a, b) => a.eval_state(space, state) + b.eval_state(space, state),
+            CExpr::Sub(a, b) => a.eval_state(space, state) - b.eval_state(space, state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_logic::parse_formula;
+    use kpt_state::StateSpace;
+
+    fn setup() -> (Arc<StateSpace>, Arc<BddSpace>) {
+        let space = StateSpace::builder()
+            .bool_var("b")
+            .unwrap()
+            .nat_var("i", 4)
+            .unwrap()
+            .nat_var("j", 4)
+            .unwrap()
+            .enum_var("z", ["bot", "m0", "m1"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let bdd = BddSpace::new(&space);
+        (space, bdd)
+    }
+
+    fn agree(src: &str, space: &Arc<StateSpace>, bdd: &Arc<BddSpace>) {
+        let f = parse_formula(src).unwrap();
+        let explicit = kpt_logic::EvalContext::new(space)
+            .with_param("k", 2)
+            .eval(&f)
+            .unwrap();
+        let symbolic = SymbolicEvalContext::new(bdd)
+            .with_param("k", 2)
+            .eval(&f)
+            .unwrap();
+        assert_eq!(symbolic.to_explicit(), explicit, "formula `{src}`");
+    }
+
+    #[test]
+    fn formulas_agree_with_explicit_evaluation() {
+        let (space, bdd) = setup();
+        for src in [
+            "true",
+            "false",
+            "b",
+            "~b",
+            "i = 2",
+            "i != j",
+            "i + 1 <= j",
+            "i - j >= 0",
+            "i = k",
+            "z = m1",
+            "bot = z",
+            "b && i < 2",
+            "b || i < 2",
+            "(i <= j) => (j >= i)",
+            "(i = j) <=> (j = i)",
+            "forall i :: i <= 3",
+            "exists j :: j > i",
+            "forall i :: (exists j :: j = i)",
+        ] {
+            agree(src, &space, &bdd);
+        }
+    }
+
+    #[test]
+    fn errors_mirror_explicit_evaluation() {
+        let (_, bdd) = setup();
+        let ctx = SymbolicEvalContext::new(&bdd);
+        let f = parse_formula("nosuch = 3").unwrap();
+        assert!(matches!(
+            ctx.eval(&f),
+            Err(BddError::Eval(EvalError::UnknownIdentifier(_)))
+        ));
+        let f = parse_formula("i = 1 && K{P}(b)").unwrap();
+        assert!(matches!(
+            ctx.eval(&f),
+            Err(BddError::Eval(EvalError::KnowledgeUnavailable))
+        ));
+        let f = parse_formula("i").unwrap();
+        assert!(matches!(
+            ctx.eval(&f),
+            Err(BddError::Eval(EvalError::Type(_)))
+        ));
+    }
+}

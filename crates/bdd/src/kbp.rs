@@ -1,0 +1,662 @@
+//! The symbolic KBP solver: eq. (25)'s iteration
+//! `x_{k+1} = SI(program[K @ x_k])` computed entirely over BDDs.
+//!
+//! This is the escape hatch `kpt_core::Kbp::solve_exhaustive` points at
+//! when it rejects a search with `SearchTooLarge`: the iteration touches
+//! one candidate per step instead of `2^free` of them, and each step is a
+//! frontier fixpoint over transition relations instead of a bitset sweep.
+//!
+//! A program is translated **once**: per statement we precompute the
+//! update relation (from the assignments' support, never the full state
+//! space, unless an opaque `update_with` closure forces a bounded explicit
+//! sweep) and a `bad` set of pre-states whose assignment goes out of
+//! range. Per candidate only the knowledge guards are re-evaluated; the
+//! relation is reassembled as `ite(guard, update, identity)` and checked
+//! against `bad`, mirroring `UnityError::UpdateOutOfRange` on enabled
+//! states exactly.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use kpt_logic::Formula;
+use kpt_state::{VarId, VarSet};
+use kpt_unity::{Guard, Program};
+
+use crate::error::BddError;
+use crate::fixpoint::sst_raw;
+use crate::formula::{CExpr, SymbolicEvalContext};
+use crate::knowledge::SymbolicKnowledge;
+use crate::manager::{Manager, NodeId, FALSE, TRUE};
+use crate::predicate::SymbolicPredicate;
+use crate::space::BddSpace;
+use crate::transition::{OPAQUE_ENUM_MAX, SUPPORT_ENUM_MAX};
+
+/// Memoized `candidate → SI` pairs before a clear-on-full eviction;
+/// matches `kpt_core::Kbp`'s cache capacity.
+const SI_CACHE_CAP: usize = 4096;
+
+#[derive(Default)]
+struct SiCache {
+    map: HashMap<NodeId, NodeId>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// How a statement's guard is obtained per candidate.
+enum GuardSpec {
+    /// Knowledge-free: evaluated once at translation time.
+    Static(NodeId),
+    /// Mentions `K{i}`: re-evaluated at every candidate invariant.
+    Knowledge(Formula),
+}
+
+/// One translated statement.
+struct SymStatement {
+    name: String,
+    guard: GuardSpec,
+    /// Update relation on guard-enabled states (both copies in-domain).
+    upd_rel: NodeId,
+    /// Pre-states where some assignment evaluates outside its target's
+    /// domain — an error iff the guard enables any of them.
+    bad: NodeId,
+    /// Compiled assignments, for out-of-range witness diagnostics.
+    assigns: Vec<(VarId, CExpr)>,
+    params: HashMap<String, i64>,
+}
+
+/// A knowledge-based program, translated for symbolic solving.
+pub struct SymbolicKbp {
+    program: Program,
+    space: Arc<BddSpace>,
+    init: NodeId,
+    views: Vec<(String, VarSet)>,
+    statements: Vec<SymStatement>,
+    si_cache: Mutex<SiCache>,
+}
+
+impl std::fmt::Debug for SymbolicKbp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicKbp")
+            .field("program", &self.program.name())
+            .field("statements", &self.statements.len())
+            .finish()
+    }
+}
+
+/// Outcome of [`SymbolicKbp::solve_iterative`] — the symbolic counterpart
+/// of `kpt_core::IterativeOutcome`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolicOutcome {
+    /// The iteration reached a fixpoint: a verified eq. (25) solution.
+    Converged {
+        /// The solution.
+        solution: SymbolicPredicate,
+        /// Iterations used.
+        iterations: usize,
+    },
+    /// The iteration entered a cycle — Figure-1-style ill-posedness
+    /// evidence.
+    Cycle {
+        /// Length of the cycle.
+        period: usize,
+        /// Iterations before entering the cycle.
+        entered_after: usize,
+    },
+    /// The iteration budget ran out.
+    Inconclusive {
+        /// Iterations used.
+        iterations: usize,
+    },
+}
+
+impl SymbolicOutcome {
+    /// The solution, if the iteration converged.
+    pub fn solution(&self) -> Option<&SymbolicPredicate> {
+        match self {
+            SymbolicOutcome::Converged { solution, .. } => Some(solution),
+            _ => None,
+        }
+    }
+}
+
+impl SymbolicKbp {
+    /// Translate a program (knowledge-based or standard) for symbolic
+    /// solving. Process views become the knowledge views, exactly as in
+    /// `kpt_core::Kbp::new`.
+    ///
+    /// # Errors
+    /// [`BddError`] when a statement cannot be translated (unknown
+    /// identifiers, unbounded supports over a too-large space, …).
+    pub fn from_program(program: &Program) -> Result<Self, BddError> {
+        let space = BddSpace::new(program.space());
+        let views = program
+            .processes()
+            .iter()
+            .map(|p| (p.name().to_owned(), p.view()))
+            .collect();
+        let mut statements = Vec::new();
+        {
+            let mut mgr = space.lock();
+            for stmt in program.statements() {
+                statements.push(translate_statement(&space, &mut mgr, program, stmt)?);
+            }
+        }
+        let init = {
+            let mut mgr = space.lock();
+            space.encode_explicit_raw(&mut mgr, program.init())
+        };
+        Ok(SymbolicKbp {
+            program: program.clone(),
+            space,
+            init,
+            views,
+            statements,
+            si_cache: Mutex::new(SiCache::default()),
+        })
+    }
+
+    /// The translated program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The shared symbolic space (for building candidate predicates).
+    pub fn space(&self) -> &Arc<BddSpace> {
+        &self.space
+    }
+
+    /// The program's initial condition, symbolically.
+    pub fn init(&self) -> SymbolicPredicate {
+        SymbolicPredicate::new(&self.space, self.init)
+    }
+
+    /// One step of the solution iteration: the strongest invariant of the
+    /// program with knowledge guards evaluated at `x`. Memoized per
+    /// candidate root.
+    ///
+    /// # Errors
+    /// [`BddError::UpdateOutOfRange`] when a guard enabled at some state
+    /// of the reassembled program assigns outside a domain, plus any guard
+    /// evaluation failure.
+    pub fn iterate(&self, x: &SymbolicPredicate) -> Result<SymbolicPredicate, BddError> {
+        let root = self.iterate_root(x.root())?;
+        Ok(SymbolicPredicate::new(&self.space, root))
+    }
+
+    /// Is `x` a solution of eq. (25)? O(1) comparison after one iteration.
+    ///
+    /// # Errors
+    /// As for [`SymbolicKbp::iterate`].
+    pub fn is_solution(&self, x: &SymbolicPredicate) -> Result<bool, BddError> {
+        Ok(self.iterate_root(x.root())? == x.root())
+    }
+
+    fn iterate_root(&self, x: NodeId) -> Result<NodeId, BddError> {
+        {
+            let mut cache = self.si_cache.lock().expect("SI cache poisoned");
+            if let Some(&si) = cache.map.get(&x) {
+                cache.hits += 1;
+                kpt_obs::counter!("bdd.kbp.si_cache.hits").incr();
+                return Ok(si);
+            }
+            cache.misses += 1;
+            kpt_obs::counter!("bdd.kbp.si_cache.misses").incr();
+        }
+        // One shared knowledge operator per candidate, like
+        // `Kbp::compile_at`: every guard's `K{i}` subterms go through one
+        // memo.
+        let knowledge = SymbolicKnowledge::with_si(
+            &self.space,
+            self.views.clone(),
+            &SymbolicPredicate::new(&self.space, x),
+        );
+        let mut mgr = self.space.lock();
+        let mut rels = Vec::with_capacity(self.statements.len());
+        for stmt in &self.statements {
+            let guard = match &stmt.guard {
+                GuardSpec::Static(g) => *g,
+                GuardSpec::Knowledge(f) => {
+                    let ctx = SymbolicEvalContext::new(&self.space)
+                        .with_params(&stmt.params)
+                        .with_knowledge(&knowledge);
+                    ctx.eval_raw(&mut mgr, f)?
+                }
+            };
+            let enabled_bad = mgr.and(guard, stmt.bad);
+            if enabled_bad != FALSE {
+                let path = mgr
+                    .witness_path(enabled_bad)
+                    .expect("non-false BDD has a witness");
+                let witness = self.space.decode_cur_path(&path);
+                return Err(self.out_of_range_at(stmt, witness));
+            }
+            let rel = mgr.ite(guard, stmt.upd_rel, self.space.identity_root());
+            rels.push(rel);
+        }
+        let (si, _) = sst_raw(&self.space, &mut mgr, self.init, &rels);
+        drop(mgr);
+        let mut cache = self.si_cache.lock().expect("SI cache poisoned");
+        if cache.map.len() >= SI_CACHE_CAP {
+            cache.map.clear();
+            cache.evictions += 1;
+            kpt_obs::counter!("bdd.kbp.si_cache.evictions").incr();
+        }
+        cache.map.insert(x, si);
+        Ok(si)
+    }
+
+    /// Pinpoint the first in-order offending assignment at `witness` —
+    /// the same report `compile_statement` produces explicitly.
+    fn out_of_range_at(&self, stmt: &SymStatement, witness: u64) -> BddError {
+        let st_space = self.space.space();
+        for (var, ce) in &stmt.assigns {
+            let v = ce.eval_state(st_space, witness);
+            if v < 0 || !st_space.domain(*var).contains(v as u64) {
+                return BddError::UpdateOutOfRange {
+                    statement: stmt.name.clone(),
+                    var: st_space.name(*var).to_owned(),
+                    state: st_space.render_state(witness),
+                    value: v,
+                };
+            }
+        }
+        unreachable!("state in the bad set must have an offending assignment")
+    }
+
+    /// The iteration `x_{k+1} = Φ(x_k)` from `x_0 = init`, with cycle
+    /// detection — `kpt_core::Kbp::solve_iterative` over BDD roots, where
+    /// candidate comparison and cycle lookup are root-id operations.
+    ///
+    /// # Errors
+    /// As for [`SymbolicKbp::iterate`].
+    pub fn solve_iterative(&self, max_iterations: usize) -> Result<SymbolicOutcome, BddError> {
+        let mut span = kpt_obs::span("bdd.solver.iterative");
+        kpt_obs::counter!("bdd.solver.iterative.runs").incr();
+        let mut x = self.init;
+        let mut seen: Vec<NodeId> = vec![x];
+        for k in 0..max_iterations {
+            let next = self.iterate_root(x)?;
+            if next == x {
+                span.field("outcome", "converged");
+                span.field("iterations", (k + 1) as u64);
+                span.finish();
+                return Ok(SymbolicOutcome::Converged {
+                    solution: SymbolicPredicate::new(&self.space, x),
+                    iterations: k + 1,
+                });
+            }
+            if let Some(pos) = seen.iter().position(|&p| p == next) {
+                span.field("outcome", "cycle");
+                span.field("period", (seen.len() - pos) as u64);
+                span.finish();
+                return Ok(SymbolicOutcome::Cycle {
+                    period: seen.len() - pos,
+                    entered_after: pos,
+                });
+            }
+            seen.push(next);
+            x = next;
+        }
+        span.field("outcome", "inconclusive");
+        span.field("iterations", max_iterations as u64);
+        span.finish();
+        Ok(SymbolicOutcome::Inconclusive {
+            iterations: max_iterations,
+        })
+    }
+
+    /// SI-cache behaviour (`bdd.kbp.si_cache.*` counters aggregate the
+    /// same numbers process-wide).
+    pub fn cache_stats(&self) -> kpt_obs::CacheStats {
+        let cache = self.si_cache.lock().expect("SI cache poisoned");
+        kpt_obs::CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            entries: cache.map.len(),
+        }
+    }
+}
+
+/// Translate one statement's guard and update.
+fn translate_statement(
+    space: &Arc<BddSpace>,
+    mgr: &mut Manager,
+    program: &Program,
+    stmt: &kpt_unity::Statement,
+) -> Result<SymStatement, BddError> {
+    let st_space = program.space();
+    let guard = match stmt.guard() {
+        Guard::Always => GuardSpec::Static(space.domain_ok_cur()),
+        Guard::Pred(p) => GuardSpec::Static(space.encode_explicit_raw(mgr, p)),
+        Guard::Formula(f) => {
+            if f.mentions_knowledge() {
+                GuardSpec::Knowledge(f.clone())
+            } else {
+                let ctx = SymbolicEvalContext::new(space).with_params(stmt.params());
+                GuardSpec::Static(ctx.eval_raw(mgr, f)?)
+            }
+        }
+    };
+
+    // Compile assignment right-hand sides exactly like
+    // `kpt_unity::compile_statement` (same enum-label fallback against the
+    // target's domain).
+    let mut assigns: Vec<(VarId, CExpr)> = Vec::with_capacity(stmt.assignments().len());
+    for (var_name, expr) in stmt.assignments() {
+        let var = st_space.var(var_name)?;
+        let ce = compile_assign_expr(space, stmt.params(), expr, var)
+            .map_err(|name| BddError::Eval(kpt_logic::EvalError::UnknownIdentifier(name)))?;
+        assigns.push((var, ce));
+    }
+
+    let needs_explicit = stmt.update_fn().is_some()
+        || assigns.iter().any(|(_, ce)| {
+            let mut support = VarSet::default();
+            ce.support(&mut support);
+            support
+                .iter()
+                .map(|v| st_space.domain(v).size())
+                .try_fold(1u64, |acc, s| acc.checked_mul(s))
+                .unwrap_or(u64::MAX)
+                > SUPPORT_ENUM_MAX
+        });
+
+    let (upd_rel, bad) = if needs_explicit {
+        translate_update_explicit(space, mgr, stmt, &assigns)?
+    } else {
+        translate_update_symbolic(space, mgr, &assigns)
+    };
+
+    Ok(SymStatement {
+        name: stmt.name().to_owned(),
+        guard,
+        upd_rel,
+        bad,
+        assigns,
+        params: stmt.params().clone(),
+    })
+}
+
+/// Mirror of `kpt_unity`'s `compile_expr`: a whole-expression bare
+/// identifier that is neither parameter nor variable resolves as an enum
+/// label of the *target* variable's domain.
+fn compile_assign_expr(
+    space: &Arc<BddSpace>,
+    params: &HashMap<String, i64>,
+    expr: &kpt_logic::Expr,
+    target: VarId,
+) -> Result<CExpr, String> {
+    let st_space = space.space();
+    if let kpt_logic::Expr::Ident(name) = expr {
+        if !params.contains_key(name) && st_space.var(name).is_err() {
+            if let Some(code) = st_space.domain(target).label_code(name) {
+                return Ok(CExpr::Const(code as i64));
+            }
+        }
+    }
+    compile_expr_inner(space, params, expr)
+}
+
+fn compile_expr_inner(
+    space: &Arc<BddSpace>,
+    params: &HashMap<String, i64>,
+    expr: &kpt_logic::Expr,
+) -> Result<CExpr, String> {
+    match expr {
+        kpt_logic::Expr::Const(n) => Ok(CExpr::Const(*n)),
+        kpt_logic::Expr::Ident(name) => {
+            if let Some(&v) = params.get(name) {
+                Ok(CExpr::Const(v))
+            } else if let Ok(var) = space.space().var(name) {
+                Ok(CExpr::Var(var))
+            } else {
+                Err(name.clone())
+            }
+        }
+        kpt_logic::Expr::Add(a, b) => Ok(CExpr::Add(
+            Box::new(compile_expr_inner(space, params, a)?),
+            Box::new(compile_expr_inner(space, params, b)?),
+        )),
+        kpt_logic::Expr::Sub(a, b) => Ok(CExpr::Sub(
+            Box::new(compile_expr_inner(space, params, a)?),
+            Box::new(compile_expr_inner(space, params, b)?),
+        )),
+    }
+}
+
+/// Symbolic update translation: per assignment, enumerate the support's
+/// value combinations (never the full space). Duplicate targets follow
+/// UNITY's in-order overwrite — the last assignment wins the relation,
+/// every assignment contributes to the `bad` set.
+fn translate_update_symbolic(
+    space: &Arc<BddSpace>,
+    mgr: &mut Manager,
+    assigns: &[(VarId, CExpr)],
+) -> (NodeId, NodeId) {
+    let st_space = space.space();
+    let mut bad = FALSE;
+    let mut update = {
+        let c = space.domain_ok_cur();
+        let n = space.domain_ok_nxt();
+        mgr.and(c, n)
+    };
+    let mut assigned = vec![false; st_space.num_vars()];
+    for (idx, (target, ce)) in assigns.iter().enumerate() {
+        assigned[target.index()] = true;
+        let effective = assigns[idx + 1..].iter().all(|(t, _)| t != target);
+        let mut support_set = VarSet::default();
+        ce.support(&mut support_set);
+        let vars: Vec<VarId> = support_set.iter().collect();
+        let combos: u64 = vars.iter().map(|v| st_space.domain(*v).size()).product();
+        let mut values: HashMap<VarId, u64> = HashMap::new();
+        let mut rel_t = FALSE;
+        for combo in 0..combos {
+            let mut rest = combo;
+            for v in &vars {
+                let size = st_space.domain(*v).size();
+                values.insert(*v, rest % size);
+                rest /= size;
+            }
+            let out = ce.eval(&values);
+            let mut cube = TRUE;
+            for v in vars.iter().rev() {
+                let c = space.value_cube(mgr, *v, values[v], false);
+                cube = mgr.and(cube, c);
+            }
+            if out < 0 || !st_space.domain(*target).contains(out as u64) {
+                bad = mgr.or(bad, cube);
+            } else if effective {
+                let tgt = space.value_cube(mgr, *target, out as u64, true);
+                let pair = mgr.and(cube, tgt);
+                rel_t = mgr.or(rel_t, pair);
+            }
+        }
+        if effective {
+            update = mgr.and(update, rel_t);
+        }
+    }
+    for v in st_space.vars() {
+        if assigned[v.index()] {
+            continue;
+        }
+        for level in space.var_cur_levels(v) {
+            let c = mgr.literal(level);
+            let n = mgr.literal(level + 1);
+            let same = mgr.iff(c, n);
+            update = mgr.and(update, same);
+        }
+    }
+    (update, bad)
+}
+
+/// Explicit fallback for opaque `update_with` closures (or oversized
+/// supports): sweep every state once, building pair cubes. Bounded by
+/// [`OPAQUE_ENUM_MAX`].
+fn translate_update_explicit(
+    space: &Arc<BddSpace>,
+    mgr: &mut Manager,
+    stmt: &kpt_unity::Statement,
+    assigns: &[(VarId, CExpr)],
+) -> Result<(NodeId, NodeId), BddError> {
+    let st_space = space.space();
+    let n = st_space.num_states();
+    if n > OPAQUE_ENUM_MAX {
+        return Err(BddError::OpaqueUpdateTooLarge {
+            statement: stmt.name().to_owned(),
+            states: n,
+            limit: OPAQUE_ENUM_MAX,
+        });
+    }
+    let mut bad_states = Vec::new();
+    let mut pairs = Vec::with_capacity(n as usize);
+    's: for s in 0..n {
+        let mut next = s;
+        for (var, ce) in assigns {
+            let v = ce.eval_state(st_space, s);
+            if v < 0 || !st_space.domain(*var).contains(v as u64) {
+                bad_states.push(s);
+                continue 's;
+            }
+            next = st_space.with_value(next, *var, v as u64);
+        }
+        if let Some(f) = stmt.update_fn() {
+            next = f(st_space, next);
+            debug_assert!(next < n, "update function escaped the state space");
+        }
+        pairs.push(space.pair_cube(mgr, s, next));
+    }
+    let upd_rel = or_tree(mgr, pairs);
+    let bad_cubes = bad_states
+        .into_iter()
+        .map(|s| space.state_cube(mgr, s, false))
+        .collect();
+    let bad = or_tree(mgr, bad_cubes);
+    Ok((upd_rel, bad))
+}
+
+fn or_tree(mgr: &mut Manager, mut layer: Vec<NodeId>) -> NodeId {
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|c| {
+                if c.len() == 2 {
+                    mgr.or(c[0], c[1])
+                } else {
+                    c[0]
+                }
+            })
+            .collect();
+    }
+    layer.first().copied().unwrap_or(FALSE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_core::{IterativeOutcome, Kbp};
+    use kpt_state::StateSpace;
+    use kpt_unity::{Program, Statement};
+
+    /// A one-process knowledge program small enough to cross-check against
+    /// the explicit solver.
+    fn knowledge_program() -> Program {
+        let space = StateSpace::builder()
+            .nat_var("i", 4)
+            .unwrap()
+            .bool_var("done")
+            .unwrap()
+            .build()
+            .unwrap();
+        Program::builder("kbp-small", &space)
+            .init_str("i = 0 && !done")
+            .unwrap()
+            .process("P", ["i"])
+            .unwrap()
+            .statement(
+                Statement::new("inc")
+                    .guard_str("i < 3")
+                    .unwrap()
+                    .assign_str("i", "i + 1")
+                    .unwrap(),
+            )
+            .statement(
+                Statement::new("finish")
+                    .guard_str("K{P}(i >= 2)")
+                    .unwrap()
+                    .assign_str("done", "1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn symbolic_iteration_matches_explicit() {
+        let program = knowledge_program();
+        let explicit = Kbp::new(program.clone());
+        let symbolic = SymbolicKbp::from_program(&program).unwrap();
+        let e = explicit.solve_iterative(16).unwrap();
+        let s = symbolic.solve_iterative(16).unwrap();
+        match (e, s) {
+            (
+                IterativeOutcome::Converged {
+                    solution: es,
+                    iterations: ei,
+                },
+                SymbolicOutcome::Converged {
+                    solution: ss,
+                    iterations: si,
+                },
+            ) => {
+                assert_eq!(ei, si);
+                assert_eq!(ss.to_explicit(), es);
+            }
+            (e, s) => panic!("outcomes diverge: explicit {e:?}, symbolic {s:?}"),
+        }
+    }
+
+    #[test]
+    fn iterate_is_memoized() {
+        let program = knowledge_program();
+        let symbolic = SymbolicKbp::from_program(&program).unwrap();
+        let x = symbolic.init();
+        let a = symbolic.iterate(&x).unwrap();
+        let before = symbolic.cache_stats();
+        let b = symbolic.iterate(&x).unwrap();
+        let after = symbolic.cache_stats();
+        assert_eq!(a, b);
+        assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn out_of_range_is_reported_like_unity() {
+        let space = StateSpace::builder()
+            .nat_var("i", 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("overflow", &space)
+            .statement(Statement::new("inc").assign_str("i", "i + 1").unwrap())
+            .build()
+            .unwrap();
+        let symbolic = SymbolicKbp::from_program(&program).unwrap();
+        let err = symbolic.solve_iterative(4).unwrap_err();
+        match err {
+            BddError::UpdateOutOfRange {
+                statement,
+                var,
+                value,
+                ..
+            } => {
+                assert_eq!(statement, "inc");
+                assert_eq!(var, "i");
+                assert_eq!(value, 4);
+            }
+            e => panic!("unexpected error {e}"),
+        }
+        // The explicit pipeline rejects the same program the same way.
+        assert!(program.compile().is_err());
+    }
+}

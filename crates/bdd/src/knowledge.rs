@@ -1,0 +1,255 @@
+//! View-based knowledge, symbolically: the paper's eq. 13
+//! `K_V.p = p ∧ (wcyl.V.(SI ⇒ p) ∨ ¬SI)` with the weak cylinder `wcyl.V`
+//! realized as universal quantification of the BDD levels outside the view.
+//!
+//! Mirrors `kpt_core::KnowledgeContext`: same memo shape (clear-on-full at
+//! the same capacity), same counters under a `bdd.` prefix, same exit
+//! breadcrumb event when tracing is live.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use kpt_logic::EvalError;
+use kpt_obs::{CacheStats, Field};
+use kpt_state::VarSet;
+
+use crate::error::BddError;
+use crate::manager::{Manager, NodeId};
+use crate::predicate::SymbolicPredicate;
+use crate::space::BddSpace;
+
+/// Memoized `(view, predicate) → K` queries before a clear-on-full
+/// eviction; matches `KnowledgeContext`'s capacity.
+const MEMO_CAP: usize = 4096;
+
+/// The knowledge operator of one program snapshot: a strongest invariant
+/// plus named process views, with `K` computed by quantifier elimination.
+pub struct SymbolicKnowledge {
+    space: Arc<BddSpace>,
+    views: Vec<(String, VarSet)>,
+    si: NodeId,
+    not_si: NodeId,
+    memo: Mutex<HashMap<(VarSet, NodeId), NodeId>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for SymbolicKnowledge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicKnowledge")
+            .field("views", &self.views.len())
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+impl SymbolicKnowledge {
+    /// Build the operator from a strongest invariant and process views.
+    pub fn with_si(
+        space: &Arc<BddSpace>,
+        views: Vec<(String, VarSet)>,
+        si: &SymbolicPredicate,
+    ) -> Self {
+        let mut mgr = space.lock();
+        let not_si = {
+            let n = mgr.not(si.root());
+            let d = space.domain_ok_cur();
+            mgr.and(n, d)
+        };
+        drop(mgr);
+        SymbolicKnowledge {
+            space: Arc::clone(space),
+            views,
+            si: si.root(),
+            not_si,
+            memo: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The strongest invariant the operator is relative to.
+    pub fn si(&self) -> SymbolicPredicate {
+        SymbolicPredicate::new(&self.space, self.si)
+    }
+
+    /// The view of a named process.
+    ///
+    /// # Errors
+    /// [`BddError::Eval`] with `UnknownProcess` for undeclared names.
+    pub fn view(&self, process: &str) -> Result<VarSet, BddError> {
+        self.views
+            .iter()
+            .find(|(name, _)| name == process)
+            .map(|(_, view)| *view)
+            .ok_or_else(|| BddError::Eval(EvalError::UnknownProcess(process.to_owned())))
+    }
+
+    /// `K_i.p` for a named process (eq. 13).
+    ///
+    /// # Errors
+    /// As for [`SymbolicKnowledge::view`].
+    pub fn knows(
+        &self,
+        process: &str,
+        p: &SymbolicPredicate,
+    ) -> Result<SymbolicPredicate, BddError> {
+        Ok(self.knows_view(self.view(process)?, p))
+    }
+
+    /// `K_V.p` for an arbitrary view.
+    pub fn knows_view(&self, view: VarSet, p: &SymbolicPredicate) -> SymbolicPredicate {
+        let mut mgr = self.space.lock();
+        let root = self.knows_view_raw(&mut mgr, view, p.root());
+        drop(mgr);
+        SymbolicPredicate::new(&self.space, root)
+    }
+
+    /// Core computation with the manager lock already held (the symbolic
+    /// formula evaluator calls this mid-traversal).
+    pub(crate) fn knows_view_raw(&self, mgr: &mut Manager, view: VarSet, p: NodeId) -> NodeId {
+        let key = (view, p);
+        if let Some(&r) = self.memo.lock().expect("knowledge memo poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            kpt_obs::counter!("bdd.knowledge.cache.hits").incr();
+            return r;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        kpt_obs::counter!("bdd.knowledge.cache.misses").incr();
+        // wcyl.V.(SI ⇒ p): universally quantify the complement of the view.
+        let hidden = self.space.space().all_vars().difference(view);
+        let certain = mgr.implies(self.si, p);
+        let wcyl = self.space.forall_vars_raw(mgr, certain, hidden.iter());
+        let outside = mgr.or(wcyl, self.not_si);
+        let r = mgr.and(p, outside);
+        let mut memo = self.memo.lock().expect("knowledge memo poisoned");
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            kpt_obs::counter!("bdd.knowledge.cache.evictions").incr();
+        }
+        memo.insert(key, r);
+        r
+    }
+
+    /// Memo behaviour of this operator instance.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.memo.lock().expect("knowledge memo poisoned").len(),
+        }
+    }
+}
+
+impl Drop for SymbolicKnowledge {
+    fn drop(&mut self) {
+        if !kpt_obs::trace_enabled() {
+            return;
+        }
+        let stats = self.cache_stats();
+        if stats.hits + stats.misses == 0 {
+            return;
+        }
+        kpt_obs::event(
+            "bdd.cache.knowledge",
+            &[
+                ("hits", Field::U64(stats.hits)),
+                ("misses", Field::U64(stats.misses)),
+                ("evictions", Field::U64(stats.evictions)),
+                ("entries", Field::U64(stats.entries as u64)),
+                ("hit_ratio", Field::F64(stats.hit_ratio())),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_state::StateSpace;
+
+    /// Two nats and a bool; process `P` sees only `i`.
+    fn setup() -> (Arc<StateSpace>, Arc<BddSpace>, SymbolicKnowledge) {
+        let space = StateSpace::builder()
+            .nat_var("i", 4)
+            .unwrap()
+            .nat_var("j", 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        let bdd = BddSpace::new(&space);
+        let si = SymbolicPredicate::tt(&bdd);
+        let views = vec![("P".to_owned(), space.var_set(["i"]).unwrap())];
+        let k = SymbolicKnowledge::with_si(&bdd, views, &si);
+        (space, bdd, k)
+    }
+
+    #[test]
+    fn knowledge_is_view_local_truth() {
+        let (space, bdd, k) = setup();
+        let i = space.var("i").unwrap();
+        let j = space.var("j").unwrap();
+        let pi = SymbolicPredicate::from_var_fn(&bdd, i, |x| x >= 2);
+        let pj = SymbolicPredicate::from_var_fn(&bdd, j, |x| x >= 2);
+        // With SI = tt, P knows a fact about its own view wherever the
+        // fact holds, and never knows a nontrivial fact about j.
+        assert_eq!(k.knows("P", &pi).unwrap(), pi);
+        assert!(k.knows("P", &pj).unwrap().is_false());
+        assert!(k
+            .knows("P", &SymbolicPredicate::tt(&bdd))
+            .unwrap()
+            .everywhere());
+        // Truth axiom: K p ⇒ p.
+        let kp = k.knows("P", &pi.or(&pj)).unwrap();
+        assert!(kp.entails(&pi.or(&pj)));
+        assert!(k.knows("Q", &pi).is_err());
+    }
+
+    #[test]
+    fn si_strengthens_knowledge() {
+        let (space, bdd, _) = setup();
+        let i = space.var("i").unwrap();
+        let j = space.var("j").unwrap();
+        // SI: i = j. Then P knows j ≥ 2 exactly where i ≥ 2 (within SI),
+        // and everywhere outside SI (eq. 13's ∨ ¬SI disjunct).
+        let eq = {
+            let mut acc = SymbolicPredicate::ff(&bdd);
+            for v in 0..4 {
+                let a = SymbolicPredicate::var_eq(&bdd, i, v);
+                let b = SymbolicPredicate::var_eq(&bdd, j, v);
+                acc = acc.or(&a.and(&b));
+            }
+            acc
+        };
+        let views = vec![("P".to_owned(), space.var_set(["i"]).unwrap())];
+        let k = SymbolicKnowledge::with_si(&bdd, views, &eq);
+        let pj = SymbolicPredicate::from_var_fn(&bdd, j, |x| x >= 2);
+        let kp = k.knows("P", &pj).unwrap();
+        let expected = {
+            let inside = SymbolicPredicate::from_var_fn(&bdd, i, |x| x >= 2).and(&eq);
+            let outside = eq.negate().and(&pj);
+            inside.or(&outside)
+        };
+        assert_eq!(kp, expected);
+    }
+
+    #[test]
+    fn memo_hits_on_repeat_queries() {
+        let (space, bdd, k) = setup();
+        let i = space.var("i").unwrap();
+        let p = SymbolicPredicate::var_eq(&bdd, i, 1);
+        let view = space.var_set(["i"]).unwrap();
+        let a = k.knows_view(view, &p);
+        let before = k.cache_stats();
+        let b = k.knows_view(view, &p);
+        let after = k.cache_stats();
+        assert_eq!(a, b);
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses);
+    }
+}

@@ -1,0 +1,494 @@
+//! The ROBDD node manager: hash-consed unique table, memoized `ite`,
+//! quantification, level renaming, and satisfying-assignment counting.
+//!
+//! Nodes are reduced, ordered BDD nodes over abstract *levels* (`u32`);
+//! [`crate::BddSpace`] decides what a level means (which bit of which
+//! program variable, current or next state). Terminals are the constants
+//! `FALSE` (node 0) and `TRUE` (node 1). There are no complement edges:
+//! negation is an ordinary `ite` traversal, which keeps every node
+//! canonical under one representation and the code auditable.
+//!
+//! The apply cache follows the workspace's clear-on-full eviction
+//! convention (see `KnowledgeContext` in `kpt-core`): when the memo reaches
+//! capacity it is cleared and refilled, and the churn is observable through
+//! the `bdd.ite.cache.*` counters.
+
+use std::collections::HashMap;
+
+/// Index of a node in the manager's node table.
+pub(crate) type NodeId = u32;
+
+/// The constant-false terminal.
+pub(crate) const FALSE: NodeId = 0;
+
+/// The constant-true terminal.
+pub(crate) const TRUE: NodeId = 1;
+
+/// Level assigned to terminals: below every real level.
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// Upper bound on memoized `ite` triples before a clear-on-full eviction.
+const ITE_CACHE_CAP: usize = 1 << 20;
+
+/// One internal BDD node: branch on `level`, `lo` when the level's bit is
+/// 0, `hi` when it is 1. Children always have strictly greater levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    level: u32,
+    lo: NodeId,
+    hi: NodeId,
+}
+
+/// The hash-consing ROBDD manager.
+///
+/// Nodes are never garbage-collected: the unique table only grows until
+/// the owning [`crate::BddSpace`] is dropped. This keeps `NodeId` equality
+/// canonical for the lifetime of the space — two predicates over the same
+/// space are semantically equal iff their root ids are equal.
+#[derive(Debug)]
+pub(crate) struct Manager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, NodeId, NodeId), NodeId>,
+    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    ite_hits: u64,
+    ite_misses: u64,
+    ite_evictions: u64,
+}
+
+impl Manager {
+    pub(crate) fn new() -> Self {
+        Manager {
+            // Terminal sentinels; their level sorts below every real node.
+            nodes: vec![
+                Node {
+                    level: TERMINAL_LEVEL,
+                    lo: FALSE,
+                    hi: FALSE,
+                },
+                Node {
+                    level: TERMINAL_LEVEL,
+                    lo: TRUE,
+                    hi: TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            ite_hits: 0,
+            ite_misses: 0,
+            ite_evictions: 0,
+        }
+    }
+
+    /// Total nodes allocated (terminals included).
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `(hits, misses, evictions, entries)` of the `ite` memo.
+    pub(crate) fn ite_cache_stats(&self) -> (u64, u64, u64, usize) {
+        (
+            self.ite_hits,
+            self.ite_misses,
+            self.ite_evictions,
+            self.ite_cache.len(),
+        )
+    }
+
+    #[inline]
+    fn level(&self, n: NodeId) -> u32 {
+        self.nodes[n as usize].level
+    }
+
+    #[inline]
+    fn node(&self, n: NodeId) -> Node {
+        self.nodes[n as usize]
+    }
+
+    /// Hash-consed node constructor; applies the ROBDD reduction rules.
+    pub(crate) fn make_node(&mut self, level: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(level < self.level(lo) && level < self.level(hi), "order");
+        if let Some(&id) = self.unique.get(&(level, lo, hi)) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("node table overflow");
+        self.nodes.push(Node { level, lo, hi });
+        self.unique.insert((level, lo, hi), id);
+        kpt_obs::counter!("bdd.nodes.allocated").incr();
+        id
+    }
+
+    /// The positive literal of `level` (true iff the level's bit is 1).
+    pub(crate) fn literal(&mut self, level: u32) -> NodeId {
+        self.make_node(level, FALSE, TRUE)
+    }
+
+    /// Cofactor `n` with respect to `level` (which must be ≤ `n`'s level).
+    #[inline]
+    fn cofactors(&self, n: NodeId, level: u32) -> (NodeId, NodeId) {
+        let node = self.node(n);
+        if node.level == level {
+            (node.lo, node.hi)
+        } else {
+            (n, n)
+        }
+    }
+
+    /// Memoized if-then-else: the single apply operator every boolean
+    /// connective reduces to.
+    pub(crate) fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Terminal and absorption cases.
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        // ite(f, f, h) = f ∨ h and ite(f, g, f) = f ∧ g: normalize so the
+        // cache sees one key per function.
+        let g = if g == f { TRUE } else { g };
+        let h = if h == f { FALSE } else { h };
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            self.ite_hits += 1;
+            kpt_obs::counter!("bdd.ite.cache.hits").incr();
+            return r;
+        }
+        self.ite_misses += 1;
+        kpt_obs::counter!("bdd.ite.cache.misses").incr();
+        let level = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors(f, level);
+        let (g0, g1) = self.cofactors(g, level);
+        let (h0, h1) = self.cofactors(h, level);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.make_node(level, lo, hi);
+        if self.ite_cache.len() >= ITE_CACHE_CAP {
+            self.ite_cache.clear();
+            self.ite_evictions += 1;
+            kpt_obs::counter!("bdd.ite.cache.evictions").incr();
+        }
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    pub(crate) fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.ite(a, b, FALSE)
+    }
+
+    pub(crate) fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.ite(a, TRUE, b)
+    }
+
+    pub(crate) fn not(&mut self, a: NodeId) -> NodeId {
+        self.ite(a, FALSE, TRUE)
+    }
+
+    pub(crate) fn implies(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.ite(a, b, TRUE)
+    }
+
+    pub(crate) fn iff(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let nb = self.not(b);
+        self.ite(a, b, nb)
+    }
+
+    /// Existential quantification of every level in `levels` (sorted
+    /// ascending). Memoized per call: the level set is fixed for the whole
+    /// recursion, so the memo key is just the node.
+    pub(crate) fn exists(&mut self, n: NodeId, levels: &[u32]) -> NodeId {
+        if levels.is_empty() {
+            return n;
+        }
+        debug_assert!(levels.windows(2).all(|w| w[0] < w[1]), "sorted levels");
+        let mut memo = HashMap::new();
+        self.exists_rec(n, levels, &mut memo)
+    }
+
+    fn exists_rec(
+        &mut self,
+        n: NodeId,
+        levels: &[u32],
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        let level = self.level(n);
+        if level > *levels.last().expect("nonempty level set") {
+            // All quantified levels are above this subgraph.
+            return n;
+        }
+        if let Some(&r) = memo.get(&n) {
+            return r;
+        }
+        let node = self.node(n);
+        let lo = self.exists_rec(node.lo, levels, memo);
+        let hi = self.exists_rec(node.hi, levels, memo);
+        let r = if levels.binary_search(&level).is_ok() {
+            self.or(lo, hi)
+        } else {
+            self.make_node(level, lo, hi)
+        };
+        memo.insert(n, r);
+        r
+    }
+
+    /// Universal quantification: `∀L. n = ¬∃L. ¬n`.
+    pub(crate) fn forall(&mut self, n: NodeId, levels: &[u32]) -> NodeId {
+        let neg = self.not(n);
+        let ex = self.exists(neg, levels);
+        self.not(ex)
+    }
+
+    /// Rename every level through `map`, which must be strictly monotone on
+    /// the levels reachable from `n` (so the result is still ordered — the
+    /// substitution the interleaved current/next encoding needs never
+    /// reorders levels).
+    pub(crate) fn map_levels(&mut self, n: NodeId, map: impl Fn(u32) -> u32) -> NodeId {
+        let mut memo = HashMap::new();
+        self.map_levels_rec(n, &map, &mut memo)
+    }
+
+    fn map_levels_rec(
+        &mut self,
+        n: NodeId,
+        map: &impl Fn(u32) -> u32,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if n == FALSE || n == TRUE {
+            return n;
+        }
+        if let Some(&r) = memo.get(&n) {
+            return r;
+        }
+        let node = self.node(n);
+        let lo = self.map_levels_rec(node.lo, map, memo);
+        let hi = self.map_levels_rec(node.hi, map, memo);
+        let r = self.make_node(map(node.level), lo, hi);
+        memo.insert(n, r);
+        r
+    }
+
+    /// Evaluate `n` under a bit assignment.
+    pub(crate) fn eval(&self, n: NodeId, bit: impl Fn(u32) -> bool) -> bool {
+        let mut cur = n;
+        loop {
+            match cur {
+                FALSE => return false,
+                TRUE => return true,
+                _ => {
+                    let node = self.node(cur);
+                    cur = if bit(node.level) { node.hi } else { node.lo };
+                }
+            }
+        }
+    }
+
+    /// Exact number of satisfying assignments of `n` over exactly the
+    /// levels in `levels` (sorted ascending; every level reachable from `n`
+    /// must be a member).
+    pub(crate) fn satcount(&self, n: NodeId, levels: &[u32]) -> u128 {
+        let pos = |level: u32| -> usize {
+            if level == TERMINAL_LEVEL {
+                levels.len()
+            } else {
+                levels
+                    .binary_search(&level)
+                    .expect("node level outside the satcount level set")
+            }
+        };
+        let mut memo: HashMap<NodeId, u128> = HashMap::new();
+        let c = self.satcount_rec(n, &pos, &mut memo);
+        c << pos(self.level(n))
+    }
+
+    fn satcount_rec(
+        &self,
+        n: NodeId,
+        pos: &impl Fn(u32) -> usize,
+        memo: &mut HashMap<NodeId, u128>,
+    ) -> u128 {
+        if n == FALSE {
+            return 0;
+        }
+        if n == TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&n) {
+            return c;
+        }
+        let node = self.node(n);
+        let here = pos(node.level);
+        let lo = self.satcount_rec(node.lo, pos, memo);
+        let hi = self.satcount_rec(node.hi, pos, memo);
+        let c = (lo << (pos(self.level(node.lo)) - here - 1))
+            + (hi << (pos(self.level(node.hi)) - here - 1));
+        memo.insert(n, c);
+        c
+    }
+
+    /// One satisfying path: `(level, bit)` decisions along a route to
+    /// `TRUE`, or `None` for the constant-false function. Levels untouched
+    /// by the path are don't-care.
+    pub(crate) fn witness_path(&self, n: NodeId) -> Option<Vec<(u32, bool)>> {
+        if n == FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = n;
+        while cur != TRUE {
+            let node = self.node(cur);
+            // Every non-false ROBDD node has at least one non-false child.
+            if node.lo != FALSE {
+                path.push((node.level, false));
+                cur = node.lo;
+            } else {
+                path.push((node.level, true));
+                cur = node.hi;
+            }
+        }
+        Some(path)
+    }
+
+    /// Number of distinct nodes reachable from `n` (terminals excluded) —
+    /// the "BDD size" the scaling experiments report.
+    pub(crate) fn reachable_nodes(&self, n: NodeId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![n];
+        while let Some(m) = stack.pop() {
+            if m == FALSE || m == TRUE || !seen.insert(m) {
+                continue;
+            }
+            let node = self.node(m);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_literals() {
+        let mut m = Manager::new();
+        let x = m.literal(0);
+        let y = m.literal(2);
+        assert_ne!(x, y);
+        // Hash-consing: the same literal is the same node.
+        assert_eq!(x, m.literal(0));
+        assert_eq!(m.num_nodes(), 4);
+    }
+
+    #[test]
+    fn ite_boolean_algebra() {
+        let mut m = Manager::new();
+        let x = m.literal(0);
+        let y = m.literal(2);
+        let and = m.and(x, y);
+        let or = m.or(x, y);
+        let nx = m.not(x);
+        // De Morgan: ¬(x ∧ y) = ¬x ∨ ¬y.
+        let ny = m.not(y);
+        let lhs = m.not(and);
+        let rhs = m.or(nx, ny);
+        assert_eq!(lhs, rhs);
+        // Absorption: x ∨ (x ∧ y) = x.
+        assert_eq!(m.or(x, and), x);
+        // Implication / iff agree with truth tables.
+        let imp = m.implies(x, y);
+        for (vx, vy) in [(false, false), (false, true), (true, false), (true, true)] {
+            let bit = |l: u32| if l == 0 { vx } else { vy };
+            assert_eq!(m.eval(and, bit), vx && vy);
+            assert_eq!(m.eval(or, bit), vx || vy);
+            assert_eq!(m.eval(imp, bit), !vx || vy);
+        }
+        let iff = m.iff(x, y);
+        let xor = m.not(iff);
+        assert!(m.eval(xor, |l| l == 0));
+        assert!(!m.eval(xor, |_| true));
+    }
+
+    #[test]
+    fn quantification() {
+        let mut m = Manager::new();
+        let x = m.literal(0);
+        let y = m.literal(2);
+        let and = m.and(x, y);
+        // ∃y. x ∧ y = x; ∀y. x ∧ y = false; ∃x∃y. x ∧ y = true.
+        assert_eq!(m.exists(and, &[2]), x);
+        assert_eq!(m.forall(and, &[2]), FALSE);
+        assert_eq!(m.exists(and, &[0, 2]), TRUE);
+        // ∀y. x ∨ y = x.
+        let or = m.or(x, y);
+        assert_eq!(m.forall(or, &[2]), x);
+    }
+
+    #[test]
+    fn rename_shifts_levels() {
+        let mut m = Manager::new();
+        let x = m.literal(0);
+        let y = m.literal(2);
+        let and = m.and(x, y);
+        let shifted = m.map_levels(and, |l| l + 1);
+        let x1 = m.literal(1);
+        let y1 = m.literal(3);
+        assert_eq!(shifted, m.and(x1, y1));
+    }
+
+    #[test]
+    fn satcount_over_level_sets() {
+        let mut m = Manager::new();
+        let x = m.literal(0);
+        let y = m.literal(2);
+        let or = m.or(x, y);
+        assert_eq!(m.satcount(or, &[0, 2]), 3);
+        assert_eq!(m.satcount(or, &[0, 2, 4]), 6); // extra free level doubles
+        assert_eq!(m.satcount(TRUE, &[0, 2]), 4);
+        assert_eq!(m.satcount(FALSE, &[0, 2]), 0);
+        assert_eq!(m.satcount(TRUE, &[]), 1);
+    }
+
+    #[test]
+    fn witness_paths() {
+        let mut m = Manager::new();
+        assert!(m.witness_path(FALSE).is_none());
+        assert_eq!(m.witness_path(TRUE), Some(vec![]));
+        let x = m.literal(0);
+        let y = m.literal(2);
+        let and = m.and(x, y);
+        let path = m.witness_path(and).unwrap();
+        assert_eq!(path, vec![(0, true), (2, true)]);
+    }
+
+    #[test]
+    fn cache_counters_move() {
+        let mut m = Manager::new();
+        let x = m.literal(0);
+        let y = m.literal(2);
+        m.and(x, y);
+        let (h0, miss0, _, _) = m.ite_cache_stats();
+        m.and(x, y); // same triple again: a hit
+        let (h1, miss1, _, _) = m.ite_cache_stats();
+        assert_eq!(h1, h0 + 1);
+        assert_eq!(miss1, miss0);
+    }
+
+    #[test]
+    fn reachable_node_counts() {
+        let mut m = Manager::new();
+        let x = m.literal(0);
+        assert_eq!(m.reachable_nodes(x), 1);
+        assert_eq!(m.reachable_nodes(TRUE), 0);
+        let y = m.literal(2);
+        let or = m.or(x, y);
+        assert_eq!(m.reachable_nodes(or), 2);
+    }
+}

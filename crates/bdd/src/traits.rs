@@ -1,0 +1,154 @@
+//! The small backend-agnostic predicate interface shared by the explicit
+//! bitset [`kpt_state::Predicate`] and the symbolic
+//! [`SymbolicPredicate`](crate::SymbolicPredicate).
+//!
+//! Code written against [`PredicateOps`] (invariant checks, entailment
+//! chains, figure replays) runs unchanged on either backend; the
+//! differential suite instantiates both and compares.
+
+use kpt_state::Predicate;
+
+use crate::predicate::SymbolicPredicate;
+
+/// Boolean-algebra and query operations every predicate backend provides.
+///
+/// Semantics are over *valid states* of the underlying space: `negate` is
+/// complement within the space, `everywhere`/`count` range over the
+/// space's states, and `==` (via `PartialEq`) is semantic equality.
+pub trait PredicateOps: Clone + PartialEq {
+    /// Conjunction.
+    #[must_use]
+    fn and(&self, other: &Self) -> Self;
+    /// Disjunction.
+    #[must_use]
+    fn or(&self, other: &Self) -> Self;
+    /// Complement within the space.
+    #[must_use]
+    fn negate(&self) -> Self;
+    /// Material implication.
+    #[must_use]
+    fn implies(&self, other: &Self) -> Self;
+    /// Biconditional.
+    #[must_use]
+    fn iff(&self, other: &Self) -> Self;
+    /// Holds nowhere?
+    fn is_false(&self) -> bool;
+    /// Holds on every state?
+    fn everywhere(&self) -> bool;
+    /// Does `self ⇒ other` hold everywhere?
+    fn entails(&self, other: &Self) -> bool;
+    /// Number of satisfying states.
+    fn count(&self) -> u64;
+    /// Membership of one explicit state.
+    fn holds(&self, state: u64) -> bool;
+}
+
+impl PredicateOps for Predicate {
+    fn and(&self, other: &Self) -> Self {
+        Predicate::and(self, other)
+    }
+    fn or(&self, other: &Self) -> Self {
+        Predicate::or(self, other)
+    }
+    fn negate(&self) -> Self {
+        Predicate::negate(self)
+    }
+    fn implies(&self, other: &Self) -> Self {
+        Predicate::implies(self, other)
+    }
+    fn iff(&self, other: &Self) -> Self {
+        Predicate::iff(self, other)
+    }
+    fn is_false(&self) -> bool {
+        Predicate::is_false(self)
+    }
+    fn everywhere(&self) -> bool {
+        Predicate::everywhere(self)
+    }
+    fn entails(&self, other: &Self) -> bool {
+        Predicate::entails(self, other)
+    }
+    fn count(&self) -> u64 {
+        Predicate::count(self)
+    }
+    fn holds(&self, state: u64) -> bool {
+        Predicate::holds(self, state)
+    }
+}
+
+impl PredicateOps for SymbolicPredicate {
+    fn and(&self, other: &Self) -> Self {
+        SymbolicPredicate::and(self, other)
+    }
+    fn or(&self, other: &Self) -> Self {
+        SymbolicPredicate::or(self, other)
+    }
+    fn negate(&self) -> Self {
+        SymbolicPredicate::negate(self)
+    }
+    fn implies(&self, other: &Self) -> Self {
+        SymbolicPredicate::implies(self, other)
+    }
+    fn iff(&self, other: &Self) -> Self {
+        SymbolicPredicate::iff(self, other)
+    }
+    fn is_false(&self) -> bool {
+        SymbolicPredicate::is_false(self)
+    }
+    fn everywhere(&self) -> bool {
+        SymbolicPredicate::everywhere(self)
+    }
+    fn entails(&self, other: &Self) -> bool {
+        SymbolicPredicate::entails(self, other)
+    }
+    fn count(&self) -> u64 {
+        SymbolicPredicate::count(self)
+    }
+    fn holds(&self, state: u64) -> bool {
+        SymbolicPredicate::holds(self, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::BddSpace;
+    use kpt_state::StateSpace;
+
+    /// The same generic checks pass on both backends.
+    fn exercise<P: PredicateOps>(p: P, q: P, total: u64) {
+        assert!(p.and(&q).entails(&p));
+        assert!(p.entails(&p.or(&q)));
+        assert!(p.or(&p.negate()).everywhere());
+        assert!(p.and(&p.negate()).is_false());
+        assert_eq!(p.negate().count(), total - p.count());
+        assert!(p.iff(&p).everywhere());
+        assert!(p.implies(&p.or(&q)).everywhere());
+        for s in 0..total {
+            assert_eq!(p.and(&q).holds(s), p.holds(s) && q.holds(s));
+        }
+    }
+
+    #[test]
+    fn both_backends_satisfy_the_contract() {
+        let space = StateSpace::builder()
+            .nat_var("i", 6)
+            .unwrap()
+            .bool_var("b")
+            .unwrap()
+            .build()
+            .unwrap();
+        let i = space.var("i").unwrap();
+        let b = space.var("b").unwrap();
+        let total = space.num_states();
+
+        let ep = Predicate::from_var_fn(&space, i, |x| x % 2 == 0);
+        let eq = Predicate::var_is_true(&space, b);
+        exercise(ep, eq, total);
+
+        let bdd = BddSpace::new(&space);
+        let sp = SymbolicPredicate::from_var_fn(&bdd, i, |x| x % 2 == 0);
+        let sq = SymbolicPredicate::var_is_true(&bdd, b);
+        exercise(sp, sq, total);
+    }
+}

@@ -1,0 +1,348 @@
+//! Transition relations as BDDs over the interleaved current/next levels,
+//! with `sp`/`wp` as relational products.
+
+use std::sync::Arc;
+
+use kpt_state::VarId;
+use kpt_transformers::DetTransition;
+
+use crate::error::BddError;
+use crate::manager::{Manager, NodeId, FALSE};
+use crate::predicate::SymbolicPredicate;
+use crate::space::BddSpace;
+
+/// Cap on support value combinations enumerated when translating one
+/// assignment into a relation (product of the support variables' domains).
+pub(crate) const SUPPORT_ENUM_MAX: u64 = 1 << 16;
+
+/// Cap on explicit states swept when falling back to state-by-state
+/// translation of an opaque update function.
+pub(crate) const OPAQUE_ENUM_MAX: u64 = 1 << 20;
+
+/// A total transition relation `R(cur, nxt)` over a [`BddSpace`].
+///
+/// The relation always implies both copies' domain constraints, so the
+/// relational products below stay restricted.
+#[derive(Clone)]
+pub struct SymbolicTransition {
+    space: Arc<BddSpace>,
+    rel: NodeId,
+}
+
+impl std::fmt::Debug for SymbolicTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicTransition")
+            .field("nodes", &self.node_count())
+            .finish()
+    }
+}
+
+impl SymbolicTransition {
+    pub(crate) fn from_root(space: &Arc<BddSpace>, rel: NodeId) -> Self {
+        SymbolicTransition {
+            space: Arc::clone(space),
+            rel,
+        }
+    }
+
+    pub(crate) fn rel(&self) -> NodeId {
+        self.rel
+    }
+
+    /// The symbolic space the relation ranges over.
+    pub fn space(&self) -> &Arc<BddSpace> {
+        &self.space
+    }
+
+    /// The identity relation (every valid state steps to itself).
+    pub fn identity(space: &Arc<BddSpace>) -> Self {
+        SymbolicTransition::from_root(space, space.identity_root())
+    }
+
+    /// Bridge from an explicit deterministic transition: one `(s, step s)`
+    /// pair cube per state. Costs an O(num_states) sweep — the explicit
+    /// table is already that large, so nothing is lost.
+    pub fn from_det(space: &Arc<BddSpace>, t: &DetTransition) -> Self {
+        assert!(
+            t.space().same_shape(space.space()),
+            "transition from a different state space"
+        );
+        let n = space.space().num_states();
+        let mut mgr = space.lock();
+        let mut layer: Vec<NodeId> = (0..n)
+            .map(|s| space.pair_cube(&mut mgr, s, t.step(s)))
+            .collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        mgr.or(c[0], c[1])
+                    } else {
+                        c[0]
+                    }
+                })
+                .collect();
+        }
+        let rel = layer.first().copied().unwrap_or(FALSE);
+        drop(mgr);
+        SymbolicTransition::from_root(space, rel)
+    }
+
+    /// Start a guarded multiple-assignment relation without materializing
+    /// anything explicit — the scaling path for spaces no bitset can hold.
+    pub fn builder(space: &Arc<BddSpace>) -> SymbolicTransitionBuilder {
+        SymbolicTransitionBuilder {
+            space: Arc::clone(space),
+            guard: None,
+            assigns: Vec::new(),
+        }
+    }
+
+    /// Strongest postcondition as a relational product:
+    /// `sp.p = (∃cur : p ∧ R)` renamed back onto the current levels.
+    #[must_use]
+    pub fn sp(&self, p: &SymbolicPredicate) -> SymbolicPredicate {
+        let mut mgr = self.space.lock();
+        let root = self.sp_raw(&mut mgr, p.root());
+        drop(mgr);
+        SymbolicPredicate::new(&self.space, root)
+    }
+
+    pub(crate) fn sp_raw(&self, mgr: &mut Manager, p: NodeId) -> NodeId {
+        let conj = mgr.and(p, self.rel);
+        let img = mgr.exists(conj, self.space.cur_levels());
+        self.space.shift_to_cur(mgr, img)
+    }
+
+    /// Weakest precondition of a total deterministic relation:
+    /// `wp.p = ¬(∃nxt : R ∧ ¬p')`, restricted to the valid states.
+    #[must_use]
+    pub fn wp(&self, p: &SymbolicPredicate) -> SymbolicPredicate {
+        let mut mgr = self.space.lock();
+        let p_next = {
+            let shifted = self.space.shift_to_next(&mut mgr, p.root());
+            mgr.not(shifted)
+        };
+        let escapes = mgr.and(self.rel, p_next);
+        let ex = mgr.exists(escapes, self.space.nxt_levels());
+        let safe = mgr.not(ex);
+        let root = {
+            let d = self.space.domain_ok_cur();
+            mgr.and(safe, d)
+        };
+        drop(mgr);
+        SymbolicPredicate::new(&self.space, root)
+    }
+
+    /// Reachable ROBDD nodes of the relation.
+    pub fn node_count(&self) -> usize {
+        self.space.lock().reachable_nodes(self.rel)
+    }
+}
+
+type AssignFn = Box<dyn Fn(&[u64]) -> u64>;
+
+/// Builder for a guarded, simultaneous multiple-assignment relation,
+/// translated assignment-by-assignment from support enumerations (never
+/// touching the full state space).
+pub struct SymbolicTransitionBuilder {
+    space: Arc<BddSpace>,
+    guard: Option<NodeId>,
+    assigns: Vec<(VarId, Vec<VarId>, AssignFn)>,
+}
+
+impl SymbolicTransitionBuilder {
+    /// Guard the statement: states where the guard fails take the identity
+    /// step, mirroring UNITY's "no effect" semantics.
+    pub fn guard(mut self, g: &SymbolicPredicate) -> Self {
+        assert!(
+            Arc::ptr_eq(g.space(), &self.space),
+            "guard from a different BDD space"
+        );
+        self.guard = Some(g.root());
+        self
+    }
+
+    /// Assign `target := f(values of support)`, evaluated simultaneously
+    /// with every other assignment (all read the pre-state).
+    pub fn assign(
+        mut self,
+        target: VarId,
+        support: &[VarId],
+        f: impl Fn(&[u64]) -> u64 + 'static,
+    ) -> Self {
+        self.assigns.push((target, support.to_vec(), Box::new(f)));
+        self
+    }
+
+    /// Finish the relation: `ite(guard, update, identity)` conjoined with
+    /// both domain constraints. Support combinations unreachable under the
+    /// guard are skipped, so guard-protected assignments may go out of
+    /// range without error — UNITY's enabled-states-only semantics.
+    pub fn build(self) -> Result<SymbolicTransition, BddError> {
+        let space = &self.space;
+        let st_space = space.space();
+        let mut mgr = space.lock();
+        let enabled_root = self.guard.unwrap_or_else(|| space.domain_ok_cur());
+        let mut update = {
+            let c = space.domain_ok_cur();
+            let n = space.domain_ok_nxt();
+            mgr.and(c, n)
+        };
+        let mut assigned = vec![false; st_space.num_vars()];
+        for (target, support, f) in &self.assigns {
+            assigned[target.index()] = true;
+            let combos: u64 = support
+                .iter()
+                .map(|v| st_space.domain(*v).size())
+                .try_fold(1u64, |acc, s| acc.checked_mul(s))
+                .unwrap_or(u64::MAX);
+            if combos > SUPPORT_ENUM_MAX {
+                return Err(BddError::SupportTooLarge {
+                    statement: st_space.name(*target).to_string(),
+                    combinations: combos,
+                    limit: SUPPORT_ENUM_MAX,
+                });
+            }
+            let mut values = vec![0u64; support.len()];
+            let mut rel_t = FALSE;
+            for combo in 0..combos {
+                let mut rest = combo;
+                for (slot, v) in values.iter_mut().zip(support.iter()) {
+                    let size = st_space.domain(*v).size();
+                    *slot = rest % size;
+                    rest /= size;
+                }
+                let mut support_cube = crate::manager::TRUE;
+                for (v, x) in support.iter().zip(values.iter()) {
+                    let c = space.value_cube(&mut mgr, *v, *x, false);
+                    support_cube = mgr.and(support_cube, c);
+                }
+                let enabled = mgr.and(enabled_root, support_cube);
+                if enabled == FALSE {
+                    continue; // no enabled state reads these values
+                }
+                let out = f(&values);
+                if !st_space.domain(*target).contains(out) {
+                    let path = mgr.witness_path(enabled).expect("enabled is satisfiable");
+                    let witness = space.decode_cur_path(&path);
+                    return Err(BddError::UpdateOutOfRange {
+                        statement: st_space.name(*target).to_string(),
+                        var: st_space.name(*target).to_string(),
+                        state: st_space.render_state(witness),
+                        value: out as i64,
+                    });
+                }
+                let tgt = space.value_cube(&mut mgr, *target, out, true);
+                let cube = mgr.and(support_cube, tgt);
+                rel_t = mgr.or(rel_t, cube);
+            }
+            update = mgr.and(update, rel_t);
+        }
+        // Unassigned variables keep their value bit-for-bit.
+        for v in st_space.vars() {
+            if assigned[v.index()] {
+                continue;
+            }
+            for level in space.var_cur_levels(v) {
+                let c = mgr.literal(level);
+                let n = mgr.literal(level + 1);
+                let same = mgr.iff(c, n);
+                update = mgr.and(update, same);
+            }
+        }
+        let rel = match self.guard {
+            None => update,
+            Some(g) => {
+                let id = space.identity_root();
+                mgr.ite(g, update, id)
+            }
+        };
+        drop(mgr);
+        Ok(SymbolicTransition::from_root(space, rel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_state::StateSpace;
+
+    fn setup() -> (Arc<kpt_state::StateSpace>, Arc<BddSpace>) {
+        let space = StateSpace::builder()
+            .nat_var("i", 5)
+            .unwrap()
+            .bool_var("b")
+            .unwrap()
+            .build()
+            .unwrap();
+        let bdd = BddSpace::new(&space);
+        (space, bdd)
+    }
+
+    #[test]
+    fn identity_sp_wp_are_identity() {
+        let (space, bdd) = setup();
+        let id = SymbolicTransition::identity(&bdd);
+        let i = space.var("i").unwrap();
+        let p = SymbolicPredicate::var_eq(&bdd, i, 2);
+        assert_eq!(id.sp(&p), p);
+        assert_eq!(id.wp(&p), p);
+    }
+
+    #[test]
+    fn from_det_matches_explicit_sp_wp() {
+        let (space, bdd) = setup();
+        let i = space.var("i").unwrap();
+        // i := min(i + 1, 4), b untouched.
+        let det = DetTransition::from_fn(&space, |s| {
+            let v = space.value(s, i);
+            space.with_value(s, i, (v + 1).min(4))
+        });
+        let sym = SymbolicTransition::from_det(&bdd, &det);
+        for target in 0..5u64 {
+            let p = kpt_state::Predicate::from_var_fn(&space, i, |x| x == target);
+            let ps = SymbolicPredicate::from_explicit(&bdd, &p);
+            assert_eq!(sym.sp(&ps).to_explicit(), det.sp(&p));
+            assert_eq!(sym.wp(&ps).to_explicit(), det.wp(&p));
+        }
+    }
+
+    #[test]
+    fn builder_matches_det_bridge() {
+        let (space, bdd) = setup();
+        let i = space.var("i").unwrap();
+        let b = space.var("b").unwrap();
+        // Guarded: if i < 4 then i, b := i + 1, true.
+        let guard = SymbolicPredicate::from_var_fn(&bdd, i, |x| x < 4);
+        let built = SymbolicTransition::builder(&bdd)
+            .guard(&guard)
+            .assign(i, &[i], |v| v[0] + 1)
+            .assign(b, &[], |_| 1)
+            .build()
+            .unwrap();
+        let det = DetTransition::from_fn(&space, |s| {
+            let v = space.value(s, i);
+            if v < 4 {
+                let s = space.with_value(s, i, v + 1);
+                space.with_value(s, b, 1)
+            } else {
+                s
+            }
+        });
+        let bridged = SymbolicTransition::from_det(&bdd, &det);
+        assert_eq!(built.rel(), bridged.rel());
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let (space, bdd) = setup();
+        let i = space.var("i").unwrap();
+        let err = SymbolicTransition::builder(&bdd)
+            .assign(i, &[i], |v| v[0] + 1) // 4 + 1 = 5 is out of range
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BddError::UpdateOutOfRange { .. }));
+    }
+}

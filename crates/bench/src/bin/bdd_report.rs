@@ -1,0 +1,260 @@
+//! Symbolic-backend report: benches the ROBDD engine against the explicit
+//! bitset backend, demonstrates the `SearchTooLarge` escape hatch, and
+//! runs a strongest-invariant fixpoint over a 2^32-state space no bitset
+//! sweep could enumerate. Writes `BENCH_bdd.json` plus a scaling table on
+//! stdout.
+//!
+//! Usage: `cargo run --release -p kpt-bench --bin bdd_report`
+//! (`KPT_BENCH_JSON` overrides the output path, `KPT_BENCH_FAST=1` runs a
+//! shorter smoke configuration).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kpt_bdd::{
+    symbolic_sst_with_stats, symbolic_strongest_invariant, BddSpace, SymbolicKbp, SymbolicOutcome,
+    SymbolicPredicate, SymbolicTransition,
+};
+use kpt_core::{CoreError, Kbp};
+use kpt_seqtrans::{ModelOptions, StandardModel, SymbolicStandard};
+use kpt_state::{Predicate, StateSpace};
+use kpt_testkit::{Config, Criterion};
+use kpt_transformers::sst_frontier_with_stats;
+use kpt_unity::{Program, Statement};
+
+fn space_with_vars(nvars: usize, dom: u64) -> Arc<StateSpace> {
+    let mut b = StateSpace::builder();
+    for i in 0..nvars {
+        b = b.nat_var(&format!("v{i}"), dom).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Core boolean/quantifier/transformer ops, symbolic vs explicit, over the
+/// same 65536-state space the kernel report uses.
+fn op_cases(c: &mut Criterion) {
+    let space = space_with_vars(8, 4);
+    let ep = Predicate::from_fn(&space, |s| s % 5 != 0);
+    let eq = Predicate::from_fn(&space, |s| s % 3 == 1);
+    let bdd = BddSpace::new(&space);
+    let sp = SymbolicPredicate::from_explicit(&bdd, &ep);
+    let sq = SymbolicPredicate::from_explicit(&bdd, &eq);
+    let all = space.all_vars();
+
+    let mut group = c.benchmark_group("bdd_ops");
+    group.bench_function("symbolic_and/65536states", |b| b.iter(|| sp.and(&sq)));
+    group.bench_function("explicit_and/65536states", |b| b.iter(|| ep.and(&eq)));
+    group.bench_function("symbolic_forall_all/65536states", |b| {
+        b.iter(|| sp.forall_vars(all))
+    });
+    group.bench_function("explicit_forall_all/65536states", |b| {
+        b.iter(|| kpt_state::forall_set(&ep, all))
+    });
+
+    // sp/wp of a deterministic increment on the first variable.
+    let v0 = space.var("v0").unwrap();
+    let sp_arc = Arc::clone(&space);
+    let det = kpt_transformers::DetTransition::from_fn(&space, move |s| {
+        let x = sp_arc.value(s, v0);
+        sp_arc.with_value(s, v0, (x + 1) % 4)
+    });
+    let sym_t = SymbolicTransition::from_det(&bdd, &det);
+    group.bench_function("symbolic_sp/65536states", |b| b.iter(|| sym_t.sp(&sp)));
+    group.bench_function("explicit_sp/65536states", |b| b.iter(|| det.sp(&ep)));
+    group.bench_function("symbolic_wp/65536states", |b| b.iter(|| sym_t.wp(&sp)));
+    group.bench_function("explicit_wp/65536states", |b| b.iter(|| det.wp(&ep)));
+    group.finish();
+}
+
+/// Strongest invariants of the standard sequence-transmission model, both
+/// backends, at growing instance sizes. Returns rows for the stdout table.
+fn seqtrans_cases(c: &mut Criterion, fast: bool) -> Vec<(String, u64, usize, f64, f64)> {
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("bdd_seqtrans");
+    group.sample_size(10);
+    let instances: &[(usize, usize)] = if fast { &[(2, 2)] } else { &[(2, 2), (2, 3)] };
+    for &(a, l) in instances {
+        let label = format!("a{a}l{l}");
+        let model = StandardModel::build(a, l, ModelOptions::default()).unwrap();
+        let compiled = model.compile().unwrap();
+        let sym = SymbolicStandard::from_compiled(&model, &compiled);
+        assert_eq!(
+            &sym.si().to_explicit(),
+            compiled.si(),
+            "backends disagree on SI at {label}"
+        );
+        let init = sym.init().clone();
+        let transitions = sym.transitions().to_vec();
+        group.bench_function(format!("symbolic_si/{label}"), |b| {
+            b.iter(|| symbolic_strongest_invariant(&transitions, &init))
+        });
+        let det = compiled.transitions().to_vec();
+        let einit = compiled.init().clone();
+        group.bench_function(format!("explicit_si/{label}"), |b| {
+            b.iter(|| sst_frontier_with_stats(&det, &einit))
+        });
+
+        let t0 = Instant::now();
+        let _ = symbolic_strongest_invariant(&transitions, &init);
+        let sym_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let _ = sst_frontier_with_stats(&det, &einit);
+        let exp_ms = t0.elapsed().as_secs_f64() * 1e3;
+        rows.push((
+            label,
+            model.space().num_states(),
+            sym.si().node_count(),
+            sym_ms,
+            exp_ms,
+        ));
+    }
+    group.finish();
+    rows
+}
+
+/// A KBP with 159 free states: `solve_exhaustive` rejects it (the subset
+/// mask is 64 bits wide), the symbolic iteration converges.
+fn escape_hatch_case(c: &mut Criterion) {
+    let space = StateSpace::builder()
+        .nat_var("i", 80)
+        .unwrap()
+        .bool_var("done")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("bdd-escape", &space)
+        .init_str("i = 0 && !done")
+        .unwrap()
+        .process("P", ["i"])
+        .unwrap()
+        .statement(
+            Statement::new("inc")
+                .guard_str("i < 79")
+                .unwrap()
+                .assign_str("i", "i + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("finish")
+                .guard_str("K{P}(i >= 40)")
+                .unwrap()
+                .assign_str("done", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+
+    // The explicit exhaustive solver cannot touch this instance.
+    let explicit = Kbp::new(program.clone());
+    let free = explicit.program().init().negate().count();
+    assert!(free >= 64, "instance must exceed the subset-mask width");
+    match explicit.solve_exhaustive(u64::MAX) {
+        Err(CoreError::SearchTooLarge { free_states, .. }) => {
+            assert_eq!(free_states, free);
+        }
+        other => panic!("expected SearchTooLarge, got {other:?}"),
+    }
+
+    // The symbolic iteration converges and verifies.
+    let sym = SymbolicKbp::from_program(&program).unwrap();
+    let outcome = sym.solve_iterative(64).unwrap();
+    let solution = match &outcome {
+        SymbolicOutcome::Converged { solution, .. } => solution.clone(),
+        other => panic!("expected convergence, got {other:?}"),
+    };
+    assert!(sym.is_solution(&solution).unwrap());
+    println!(
+        "escape hatch: {free} free states, exhaustive rejects, symbolic \
+         converges to a {}-state solution ({} BDD nodes)",
+        solution.count(),
+        solution.node_count()
+    );
+
+    let mut group = c.benchmark_group("bdd_kbp");
+    group.sample_size(10);
+    group.bench_function("symbolic_solve/159free", |b| {
+        b.iter(|| {
+            SymbolicKbp::from_program(&program)
+                .unwrap()
+                .solve_iterative(64)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// SI over 2^32 states: 32 toggle statements reach the full boolean cube
+/// from the all-zeros state. The explicit backend's bitset for one
+/// predicate at this size is 512 MiB and every sweep visits 2^32 states;
+/// the symbolic frontier finishes in milliseconds.
+fn huge_space_case(c: &mut Criterion, fast: bool) {
+    let nvars = if fast { 24 } else { 32 };
+    let mut b = StateSpace::builder();
+    for i in 0..nvars {
+        b = b.bool_var(&format!("b{i}")).unwrap();
+    }
+    let space = b.build().unwrap();
+    let bdd = BddSpace::new(&space);
+    let transitions: Vec<SymbolicTransition> = (0..nvars)
+        .map(|i| {
+            let v = space.var(&format!("b{i}")).unwrap();
+            SymbolicTransition::builder(&bdd)
+                .assign(v, &[v], |x| 1 - x[0])
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let init = (0..nvars).fold(SymbolicPredicate::tt(&bdd), |acc, i| {
+        let v = space.var(&format!("b{i}")).unwrap();
+        acc.and(&SymbolicPredicate::var_eq(&bdd, v, 0))
+    });
+    let (si, stats) = symbolic_sst_with_stats(&init, &transitions);
+    assert!(si.everywhere(), "toggles reach the full cube");
+    assert_eq!(si.count(), space.num_states());
+    println!(
+        "huge space: SI over {} states in {} rounds, {} nodes",
+        space.num_states(),
+        stats.rounds,
+        stats.nodes
+    );
+    let mut group = c.benchmark_group("bdd_scale");
+    group.sample_size(10);
+    group.bench_function(format!("symbolic_si_toggles/2e{nvars}states"), |b| {
+        b.iter(|| symbolic_sst_with_stats(&init, &transitions))
+    });
+    group.finish();
+}
+
+fn main() {
+    let fast = std::env::var("KPT_BENCH_FAST")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let config = Config {
+        sample_size: if fast { 10 } else { 20 },
+        target_sample_time: if fast {
+            Duration::from_micros(500)
+        } else {
+            Duration::from_millis(2)
+        },
+        warmup_samples: if fast { 1 } else { 2 },
+        filter: None,
+        json_path: Some(
+            std::env::var("KPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_bdd.json".to_owned()),
+        ),
+    };
+    let mut c = Criterion::with_config(config);
+    op_cases(&mut c);
+    let rows = seqtrans_cases(&mut c, fast);
+    escape_hatch_case(&mut c);
+    huge_space_case(&mut c, fast);
+
+    println!("\n== seqtrans SI scaling (one-shot, release) ==");
+    println!(
+        "{:<8} {:>12} {:>10} {:>14} {:>14}",
+        "inst", "states", "SI nodes", "symbolic ms", "explicit ms"
+    );
+    for (label, states, nodes, sym_ms, exp_ms) in &rows {
+        println!("{label:<8} {states:>12} {nodes:>10} {sym_ms:>14.3} {exp_ms:>14.3}");
+    }
+    c.final_summary();
+}

@@ -32,7 +32,8 @@ impl fmt::Display for CoreError {
             CoreError::UnknownProcess(name) => write!(f, "unknown process `{name}`"),
             CoreError::SearchTooLarge { free_states, limit } => write!(
                 f,
-                "exhaustive search over 2^{free_states} candidates exceeds limit 2^{limit}"
+                "exhaustive search over 2^{free_states} candidates exceeds limit 2^{limit}; \
+                 try the iterative solver or the symbolic backend (kpt_bdd::SymbolicKbp)"
             ),
         }
     }

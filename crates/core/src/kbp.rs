@@ -225,6 +225,14 @@ impl Kbp {
     /// even on multicore machines: at a few microseconds per candidate the
     /// fan-out's spawn/merge overhead costs more than it saves. Use
     /// [`Kbp::solve_exhaustive_with`] to force a worker count.
+    ///
+    /// When an instance is rejected with [`CoreError::SearchTooLarge`],
+    /// the symbolic backend is the escape hatch: `kpt_bdd::SymbolicKbp`
+    /// runs the same eq. (25) iteration over ROBDD roots, where each
+    /// candidate is one shared graph instead of one bitset per subset, so
+    /// it handles the ≥ 64-free-state spaces that no exhaustive
+    /// enumeration can touch (it searches for *a* fixpoint iteratively
+    /// rather than enumerating all of them).
     pub fn solve_exhaustive(&self, max_free_states: u64) -> Result<SolutionSet, CoreError> {
         let nfree = self.program.init().negate().count();
         let threads = if nfree < 64 && (1u64 << nfree) < PAR_MIN_CANDIDATES {

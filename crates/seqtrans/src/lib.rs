@@ -55,6 +55,7 @@ pub mod proof_replay;
 pub mod sim;
 pub mod standard;
 pub mod stenning;
+pub mod symbolic;
 
 pub use altbit::{run_altbit, AltBitModel};
 pub use auy::run_auy;
@@ -63,3 +64,4 @@ pub use kbp::figure3_kbp;
 pub use sim::{run_standard, SimConfig, SimReport};
 pub use standard::{ModelOptions, Snapshot, StandardModel};
 pub use stenning::{run_stenning, StenningPolicy};
+pub use symbolic::{validate_61_62_symbolic, SymbolicStandard};

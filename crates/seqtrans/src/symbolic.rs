@@ -1,0 +1,182 @@
+//! Symbolic (ROBDD) replay of the standard model — §6 on the BDD backend.
+//!
+//! Bridges a compiled [`StandardModel`] into `kpt-bdd`: each deterministic
+//! statement transition becomes a relational BDD, `SI` is recomputed as a
+//! symbolic frontier fixpoint, and the §6.3 invariant obligations
+//! (61)–(62) are re-checked through the symbolic knowledge machinery. The
+//! differential suite asserts bit-exact agreement with the explicit
+//! backend on small instances; the `bdd_report` bench bin scales the same
+//! construction to instances where the explicit bitset sweep dominates.
+
+use std::sync::Arc;
+
+use kpt_bdd::{
+    symbolic_strongest_invariant, BddSpace, SymbolicKnowledge, SymbolicPredicate,
+    SymbolicTransition,
+};
+use kpt_state::Predicate;
+use kpt_unity::CompiledProgram;
+
+use crate::knowledge_preds::{Obligation, ValidationReport};
+use crate::standard::StandardModel;
+
+/// The standard protocol lifted onto the symbolic backend: bit-blasted
+/// transitions, a symbolic `SI`, and the Sender/Receiver knowledge
+/// operator over BDD roots.
+pub struct SymbolicStandard {
+    bdd: Arc<BddSpace>,
+    transitions: Vec<SymbolicTransition>,
+    init: SymbolicPredicate,
+    si: SymbolicPredicate,
+    knowledge: SymbolicKnowledge,
+}
+
+impl SymbolicStandard {
+    /// Bit-blast a compiled model: one relational BDD per statement (in
+    /// program order), the symbolic strongest invariant, and the
+    /// view-based knowledge operator relative to it.
+    #[must_use]
+    pub fn from_compiled(model: &StandardModel, compiled: &CompiledProgram) -> Self {
+        let bdd = BddSpace::new(model.space());
+        let transitions: Vec<SymbolicTransition> = compiled
+            .transitions()
+            .iter()
+            .map(|t| SymbolicTransition::from_det(&bdd, t))
+            .collect();
+        let init = SymbolicPredicate::from_explicit(&bdd, compiled.init());
+        let si = symbolic_strongest_invariant(&transitions, &init);
+        let views = vec![
+            ("Sender".to_owned(), model.sender_view()),
+            ("Receiver".to_owned(), model.receiver_view()),
+        ];
+        let knowledge = SymbolicKnowledge::with_si(&bdd, views, &si);
+        SymbolicStandard {
+            bdd,
+            transitions,
+            init,
+            si,
+            knowledge,
+        }
+    }
+
+    /// The shared symbolic space.
+    pub fn bdd(&self) -> &Arc<BddSpace> {
+        &self.bdd
+    }
+
+    /// The relational BDDs, one per statement in program order.
+    pub fn transitions(&self) -> &[SymbolicTransition] {
+        &self.transitions
+    }
+
+    /// The symbolic initial condition.
+    pub fn init(&self) -> &SymbolicPredicate {
+        &self.init
+    }
+
+    /// The symbolic strongest invariant (paper eqs. 1/3/5).
+    pub fn si(&self) -> &SymbolicPredicate {
+        &self.si
+    }
+
+    /// The symbolic knowledge operator over the Sender/Receiver views.
+    pub fn knowledge(&self) -> &SymbolicKnowledge {
+        &self.knowledge
+    }
+
+    /// Lift an explicit predicate of the model's space onto the symbolic
+    /// space (one cube per satisfying state).
+    #[must_use]
+    pub fn lift(&self, p: &Predicate) -> SymbolicPredicate {
+        SymbolicPredicate::from_explicit(&self.bdd, p)
+    }
+
+    /// `invariant p` in the paper's reading: `SI ⇒ p` everywhere.
+    #[must_use]
+    pub fn invariant(&self, p: &SymbolicPredicate) -> bool {
+        self.si.entails(p)
+    }
+}
+
+/// Re-check the §6.3 invariant obligations (61) and (62) on the symbolic
+/// backend: (61) says candidate (50) is truthful about `x_k`, (62) that
+/// candidate (51) implies the receiver has delivered element `k`. The ids
+/// match the corresponding rows of
+/// [`validate_soundness`](crate::knowledge_preds::validate_soundness) so
+/// reports from the two backends can be compared row by row.
+#[must_use]
+pub fn validate_61_62_symbolic(model: &StandardModel, sym: &SymbolicStandard) -> ValidationReport {
+    let l = model.encoding().len() as u64;
+    let a = model.encoding().alphabet() as u64;
+    let mut report = ValidationReport {
+        obligations: Vec::new(),
+    };
+    for k in 0..l {
+        for alpha in 0..a {
+            let cand = sym.lift(&model.cand_kr_x(k, alpha));
+            let truth = sym.lift(&model.x_elem(k as usize, alpha));
+            report.obligations.push(Obligation {
+                id: format!("(61) k={k} alpha={alpha}"),
+                holds: sym.invariant(&cand.implies(&truth)),
+            });
+        }
+    }
+    for k in 0..l {
+        let cand = sym.lift(&model.cand_ks_kr(k));
+        let delivered = sym.lift(&model.j_gt(k));
+        report.obligations.push(Obligation {
+            id: format!("(62) k={k}"),
+            holds: sym.invariant(&cand.implies(&delivered)),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge_preds::{self, validate_soundness};
+    use crate::standard::ModelOptions;
+
+    #[test]
+    fn symbolic_si_matches_explicit() {
+        let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+        let compiled = model.compile().unwrap();
+        let sym = SymbolicStandard::from_compiled(&model, &compiled);
+        assert_eq!(&sym.si().to_explicit(), compiled.si());
+        assert_eq!(sym.si().count(), compiled.si().count());
+        assert!(sym.init().entails(sym.si()));
+    }
+
+    #[test]
+    fn symbolic_61_62_agree_with_explicit_rows() {
+        let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+        let compiled = model.compile().unwrap();
+        let sym = SymbolicStandard::from_compiled(&model, &compiled);
+        let symbolic = validate_61_62_symbolic(&model, &sym);
+        assert!(symbolic.all_hold(), "failures: {:?}", symbolic.failures());
+        let explicit = validate_soundness(&model, &compiled);
+        for ob in &symbolic.obligations {
+            let row = explicit
+                .obligations
+                .iter()
+                .find(|e| e.id == ob.id)
+                .expect("explicit report has the same row");
+            assert_eq!(row.holds, ob.holds, "{} disagrees across backends", ob.id);
+        }
+    }
+
+    #[test]
+    fn symbolic_knowledge_matches_real_operator() {
+        let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+        let compiled = model.compile().unwrap();
+        let sym = SymbolicStandard::from_compiled(&model, &compiled);
+        let op = model.knowledge_operator(&compiled);
+        let explicit = knowledge_preds::real_kr_x(&model, &op, 0, 1);
+        let symbolic = sym
+            .knowledge()
+            .knows("Receiver", &sym.lift(&model.x_elem(0, 1)))
+            .unwrap();
+        assert_eq!(symbolic.to_explicit(), explicit);
+    }
+}

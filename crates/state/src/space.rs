@@ -48,16 +48,34 @@ impl VarSet {
 
     /// Insert a variable.
     pub fn insert(&mut self, v: VarId) {
+        debug_assert!(
+            (v.0 as usize) < StateSpace::MAX_VARS,
+            "VarId {} exceeds the VarSet mask width ({})",
+            v.0,
+            StateSpace::MAX_VARS
+        );
         self.0 |= 1u64 << v.0;
     }
 
     /// Remove a variable.
     pub fn remove(&mut self, v: VarId) {
+        debug_assert!(
+            (v.0 as usize) < StateSpace::MAX_VARS,
+            "VarId {} exceeds the VarSet mask width ({})",
+            v.0,
+            StateSpace::MAX_VARS
+        );
         self.0 &= !(1u64 << v.0);
     }
 
     /// Whether the set contains `v`.
     pub fn contains(self, v: VarId) -> bool {
+        debug_assert!(
+            (v.0 as usize) < StateSpace::MAX_VARS,
+            "VarId {} exceeds the VarSet mask width ({})",
+            v.0,
+            StateSpace::MAX_VARS
+        );
         self.0 & (1u64 << v.0) != 0
     }
 
@@ -462,6 +480,37 @@ mod tests {
             .unwrap()
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn max_vars_is_enforced_at_declaration_time() {
+        // Every VarId a built space can hand out fits the VarSet mask: the
+        // builder rejects the (MAX_VARS + 1)-th declaration, so the
+        // debug_assert guards in VarSet::insert/remove/contains can never
+        // fire on ids obtained from a real space.
+        let mut b = StateSpace::builder();
+        for k in 0..StateSpace::MAX_VARS {
+            b = b.bool_var(&format!("v{k}")).unwrap();
+        }
+        let err = b.bool_var("one_too_many").unwrap_err();
+        assert_eq!(
+            err,
+            SpaceError::TooManyVariables {
+                max: StateSpace::MAX_VARS
+            }
+        );
+        // A full-width space (singleton domains keep the state count at 1)
+        // still round-trips through VarSet cleanly.
+        let mut full = StateSpace::builder();
+        for k in 0..StateSpace::MAX_VARS {
+            full = full.nat_var(&format!("v{k}"), 1).unwrap();
+        }
+        let space = full.build().unwrap();
+        let all = space.all_vars();
+        assert_eq!(all.len(), StateSpace::MAX_VARS);
+        for v in all.iter() {
+            assert!(all.contains(v));
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`transformers`] (`kpt-transformers`) | `sp`/`wp`, junctivity analysis, `sst` and `SI` fixpoints |
 //! | [`unity`] (`kpt-unity`) | UNITY programs, property deciders, leads-to model checker, certificate-producing proof kernel, fair execution |
 //! | [`core`] (`kpt-core`) | `wcyl`, the knowledge operator `K_i` (+ `E_G`, `C_G`, `D_G`), knowledge-based protocols and the eq. (25) solvers, the Figure 1/2 counterexamples, run-semantics equivalence |
+//! | [`bdd`] (`kpt-bdd`) | in-tree ROBDD engine: symbolic predicates, relational `sp`/`wp`, symbolic `SI` and `K_i`, and the symbolic KBP solver for instances the explicit search rejects |
 //! | [`channel`] (`kpt-channel`) | faulty channels (loss / duplication / detectable corruption) for simulation |
 //! | [`seqtrans`] (`kpt-seqtrans`) | the §6 sequence-transmission study: Figure-3 KBP, Figure-4 standard protocol, knowledge-predicate validation, proof replay, simulators, alternating-bit and Stenning refinements |
 //!
@@ -61,6 +62,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use kpt_bdd as bdd;
 pub use kpt_channel as channel;
 pub use kpt_core as core;
 pub use kpt_logic as logic;
@@ -72,6 +74,10 @@ pub use kpt_unity as unity;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use kpt_bdd::{
+        symbolic_strongest_invariant, BddSpace, PredicateOps, SymbolicKbp, SymbolicKnowledge,
+        SymbolicOutcome, SymbolicPredicate, SymbolicTransition,
+    };
     pub use kpt_channel::{ChannelStats, Delivery, FaultConfig, FaultyChannel};
     pub use kpt_core::{
         figure1, figure2, semantics_agree, view_knowledge, wcyl, IterativeOutcome, Kbp,

@@ -1,0 +1,329 @@
+//! Differential suite for the symbolic (ROBDD) backend: every operation
+//! the explicit bitset backend provides — boolean algebra, quantifiers,
+//! `sp`/`wp`, `SI` fixpoints, knowledge, KBP solving — is replayed
+//! symbolically and compared bit-exactly, on randomized cases and on
+//! every paper figure. Ends with the escape-hatch acceptance case: a KBP
+//! instance `solve_exhaustive` rejects with `SearchTooLarge` that the
+//! symbolic solver solves and verifies.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{models, pred_from_mask, program_spec};
+use knowledge_pt::core::CoreError;
+use knowledge_pt::prelude::*;
+use knowledge_pt::seqtrans::{validate_61_62_symbolic, SymbolicStandard};
+use kpt_testkit::{check, Rng};
+
+/// A random space with 2–3 variables of domain 2–3, its BDD counterpart,
+/// and a pair of random predicates on both backends.
+#[allow(clippy::type_complexity)]
+fn random_setup(
+    rng: &mut Rng,
+) -> (
+    Arc<StateSpace>,
+    Arc<BddSpace>,
+    (Predicate, SymbolicPredicate),
+    (Predicate, SymbolicPredicate),
+) {
+    let spec = program_spec(rng);
+    let space = spec.space();
+    let bdd = BddSpace::new(&space);
+    let p = pred_from_mask(&space, rng.next_u64());
+    let q = pred_from_mask(&space, rng.next_u64());
+    let sp = SymbolicPredicate::from_explicit(&bdd, &p);
+    let sq = SymbolicPredicate::from_explicit(&bdd, &q);
+    (space, bdd, (p, sp), (q, sq))
+}
+
+fn random_var_set(rng: &mut Rng, space: &Arc<StateSpace>) -> VarSet {
+    let mask = rng.next_u64();
+    space
+        .all_vars()
+        .iter()
+        .filter(|v| mask >> v.index() & 1 == 1)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Boolean algebra: and / or / not / implies / iff.
+// ---------------------------------------------------------------------
+
+#[test]
+fn random_boolean_ops_agree() {
+    check("bdd_boolean_ops", 100, |rng| {
+        let (space, _, (p, sp), (q, sq)) = random_setup(rng);
+        assert_eq!(sp.and(&sq).to_explicit(), p.and(&q));
+        assert_eq!(sp.or(&sq).to_explicit(), p.or(&q));
+        assert_eq!(sp.negate().to_explicit(), p.negate());
+        assert_eq!(sp.implies(&sq).to_explicit(), p.implies(&q));
+        assert_eq!(sp.iff(&sq).to_explicit(), p.iff(&q));
+        assert_eq!(sp.count(), p.count());
+        assert_eq!(sp.is_false(), p.is_false());
+        assert_eq!(sp.everywhere(), p.everywhere());
+        assert_eq!(sp.entails(&sq), p.entails(&q));
+        for s in 0..space.num_states() {
+            assert_eq!(sp.holds(s), p.holds(s));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Quantifiers: exists / forall over random variable sets.
+// ---------------------------------------------------------------------
+
+#[test]
+fn random_quantifiers_agree() {
+    check("bdd_quantifiers", 100, |rng| {
+        let (space, _, (p, sp), _) = random_setup(rng);
+        let vars = random_var_set(rng, &space);
+        assert_eq!(sp.exists_vars(vars).to_explicit(), exists_set(&p, vars));
+        assert_eq!(sp.forall_vars(vars).to_explicit(), forall_set(&p, vars));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Transformers: sp / wp of every statement of a random program.
+// ---------------------------------------------------------------------
+
+#[test]
+fn random_sp_wp_agree() {
+    check("bdd_sp_wp", 100, |rng| {
+        let spec = program_spec(rng);
+        let space = spec.space();
+        let bdd = BddSpace::new(&space);
+        let compiled = spec.compile();
+        let p = pred_from_mask(&space, rng.next_u64());
+        let sp = SymbolicPredicate::from_explicit(&bdd, &p);
+        for det in compiled.transitions() {
+            let sym = SymbolicTransition::from_det(&bdd, det);
+            assert_eq!(sym.sp(&sp).to_explicit(), det.sp(&p));
+            assert_eq!(sym.wp(&sp).to_explicit(), det.wp(&p));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// SI fixpoints of random programs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn random_strongest_invariants_agree() {
+    check("bdd_si", 100, |rng| {
+        let spec = program_spec(rng);
+        let space = spec.space();
+        let bdd = BddSpace::new(&space);
+        let compiled = spec.compile();
+        let transitions: Vec<SymbolicTransition> = compiled
+            .transitions()
+            .iter()
+            .map(|t| SymbolicTransition::from_det(&bdd, t))
+            .collect();
+        let init = SymbolicPredicate::from_explicit(&bdd, compiled.init());
+        let si = symbolic_strongest_invariant(&transitions, &init);
+        assert_eq!(si.to_explicit(), *compiled.si());
+    });
+}
+
+// ---------------------------------------------------------------------
+// Knowledge: K_V over random views and SIs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn random_knowledge_agrees() {
+    check("bdd_knowledge", 100, |rng| {
+        let (space, bdd, (p, sp), _) = random_setup(rng);
+        let si = pred_from_mask(&space, rng.next_u64() | 1);
+        let ssi = SymbolicPredicate::from_explicit(&bdd, &si);
+        let views = vec![("P".to_owned(), random_var_set(rng, &space))];
+        let explicit = KnowledgeOperator::with_si(&space, views.clone(), si.clone());
+        let symbolic = SymbolicKnowledge::with_si(&bdd, views, &ssi);
+        assert_eq!(
+            symbolic.knows("P", &sp).unwrap().to_explicit(),
+            explicit.knows("P", &p).unwrap()
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// KBP iteration on random knowledge-free programs (eq. 25 degenerates to
+// one SI computation, so iterate must agree immediately).
+// ---------------------------------------------------------------------
+
+#[test]
+fn random_kbp_iteration_agrees() {
+    check("bdd_kbp_iterate", 100, |rng| {
+        let spec = program_spec(rng);
+        let program = spec.build_program();
+        let explicit = Kbp::new(program.clone());
+        let symbolic = SymbolicKbp::from_program(&program).unwrap();
+        let x = pred_from_mask(program.space(), rng.next_u64() | 1);
+        let sx = SymbolicPredicate::from_explicit(symbolic.space(), &x);
+        assert_eq!(
+            symbolic.iterate(&sx).unwrap().to_explicit(),
+            explicit.iterate(&x).unwrap()
+        );
+        assert_eq!(
+            symbolic.is_solution(&sx).unwrap(),
+            explicit.is_solution(&x).unwrap()
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: no solution; the iteration cycles with period two on both
+// backends, and every candidate is refuted symbolically too.
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure1_agrees_across_backends() {
+    let kbp = figure1().unwrap();
+    let sym = SymbolicKbp::from_program(kbp.program()).unwrap();
+    match (
+        kbp.solve_iterative(32).unwrap(),
+        sym.solve_iterative(32).unwrap(),
+    ) {
+        (IterativeOutcome::Cycle { period: ep, .. }, SymbolicOutcome::Cycle { period: sp, .. }) => {
+            assert_eq!(ep, 2);
+            assert_eq!(sp, 2);
+        }
+        other => panic!("expected cycles on both backends, got {other:?}"),
+    }
+    // All 8 candidates of the exhaustive search are refuted symbolically.
+    let space = kbp.program().space().clone();
+    let init = kbp.program().init().clone();
+    let free: Vec<u64> = init.negate().iter().collect();
+    for mask in 0u64..8 {
+        let candidate = Predicate::from_indices(
+            &space,
+            init.iter().chain(
+                free.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &s)| s),
+            ),
+        );
+        let sc = SymbolicPredicate::from_explicit(sym.space(), &candidate);
+        assert!(!sym.is_solution(&sc).unwrap());
+        assert_eq!(
+            sym.is_solution(&sc).unwrap(),
+            kbp.is_solution(&candidate).unwrap()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: the unique solutions per init, and the non-monotonicity,
+// reproduce symbolically.
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure2_non_monotonicity_reproduces_symbolically() {
+    let mut solutions = Vec::new();
+    for init in ["~y", "~y /\\ x"] {
+        let kbp = figure2(init).unwrap();
+        let explicit = kbp
+            .solve_exhaustive(16)
+            .unwrap()
+            .strongest()
+            .unwrap()
+            .clone();
+        let sym = SymbolicKbp::from_program(kbp.program()).unwrap();
+        let outcome = sym.solve_iterative(32).unwrap();
+        let solution = outcome.solution().expect("figure 2 iteration converges");
+        assert_eq!(solution.to_explicit(), explicit, "init = {init}");
+        assert!(sym.is_solution(solution).unwrap());
+        solutions.push(solution.clone());
+    }
+    // Strengthening init weakened the solution: x does not entail ¬y.
+    // (The two solutions live in different BddSpaces — one per KBP — so
+    // the comparison goes through the shared explicit space.)
+    let (weak, strong) = (&solutions[0], &solutions[1]);
+    assert!(
+        !strong.to_explicit().entails(&weak.to_explicit()),
+        "SI is not monotonic in init — and the symbolic backend sees it"
+    );
+}
+
+// ---------------------------------------------------------------------
+// §6 sequence transmission: invariants (61)–(62) of the standard model
+// agree row-by-row across backends (Figures 3/4).
+// ---------------------------------------------------------------------
+
+#[test]
+fn seqtrans_61_62_agree_across_backends() {
+    let (model, compiled) = models::standard_2_2();
+    let sym = SymbolicStandard::from_compiled(model, compiled);
+    assert_eq!(&sym.si().to_explicit(), compiled.si());
+    let symbolic = validate_61_62_symbolic(model, &sym);
+    assert!(symbolic.all_hold(), "failures: {:?}", symbolic.failures());
+    let explicit = knowledge_pt::seqtrans::knowledge_preds::validate_soundness(model, compiled);
+    for ob in &symbolic.obligations {
+        let row = explicit
+            .obligations
+            .iter()
+            .find(|e| e.id == ob.id)
+            .expect("explicit report carries the same obligation id");
+        assert_eq!(row.holds, ob.holds, "{} disagrees across backends", ob.id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: the symbolic backend solves a KBP instance the explicit
+// exhaustive solver rejects with SearchTooLarge (≥ 64 free states).
+// ---------------------------------------------------------------------
+
+#[test]
+fn symbolic_solver_handles_search_too_large_instances() {
+    let space = StateSpace::builder()
+        .nat_var("i", 80)
+        .unwrap()
+        .bool_var("done")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("escape", &space)
+        .init_str("i = 0 && !done")
+        .unwrap()
+        .process("P", ["i"])
+        .unwrap()
+        .statement(
+            Statement::new("inc")
+                .guard_str("i < 79")
+                .unwrap()
+                .assign_str("i", "i + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("finish")
+                .guard_str("K{P}(i >= 40)")
+                .unwrap()
+                .assign_str("done", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+
+    let explicit = Kbp::new(program.clone());
+    let free = explicit.program().init().negate().count();
+    assert!(
+        free >= 64,
+        "the instance must exceed the 64-bit subset mask"
+    );
+    match explicit.solve_exhaustive(u64::MAX) {
+        Err(CoreError::SearchTooLarge { free_states, .. }) => assert_eq!(free_states, free),
+        other => panic!("expected SearchTooLarge, got {other:?}"),
+    }
+
+    let sym = SymbolicKbp::from_program(&program).unwrap();
+    match sym.solve_iterative(64).unwrap() {
+        SymbolicOutcome::Converged { solution, .. } => {
+            assert!(sym.is_solution(&solution).unwrap());
+            // done=0 at every i (80 states) plus done=1 once the
+            // knowledge guard opens at i ≥ 40 (40 states).
+            assert_eq!(solution.count(), 120);
+        }
+        other => panic!("expected convergence, got {other:?}"),
+    }
+}
