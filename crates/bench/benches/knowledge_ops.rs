@@ -28,7 +28,7 @@ fn setup(nvars: usize, dom: u64) -> (std::sync::Arc<StateSpace>, KnowledgeOperat
     ];
     let si = Predicate::from_fn(&space, |s| s % 7 != 0);
     let p = Predicate::from_fn(&space, |s| s % 3 == 1);
-    let op = KnowledgeOperator::with_si(&space, views, si);
+    let op = KnowledgeOperator::with_si(&space, views, si).unwrap();
     (space, op, p)
 }
 

@@ -115,12 +115,12 @@ fn knowledge_cases(c: &mut Criterion) {
     ];
     let si = Predicate::from_fn(&space, |s| s % 7 != 0);
     let p = Predicate::from_fn(&space, |s| s % 3 == 1);
-    let op = KnowledgeOperator::with_si(&space, views.clone(), si.clone());
+    let op = KnowledgeOperator::with_si(&space, views.clone(), si.clone()).unwrap();
     let mut group = c.benchmark_group("knowledge");
     group.bench_function("knows_cold/65536states", |b| {
         b.iter(|| {
             // A fresh context every iteration: the unmemoized path.
-            let cold = KnowledgeOperator::with_si(&space, views.clone(), si.clone());
+            let cold = KnowledgeOperator::with_si(&space, views.clone(), si.clone()).unwrap();
             cold.knows("P1", &p).unwrap()
         })
     });
@@ -223,11 +223,15 @@ fn parallel_cases(c: &mut Criterion) {
     let si = Predicate::from_fn(&kspace, |s| s % 7 != 0);
     let p = Predicate::from_fn(&kspace, |s| s % 3 == 1);
     group.bench_function("knows_all_par/8views_65536states", |b| {
-        b.iter(|| KnowledgeContext::new(&kspace, views.clone(), si.clone()).knows_all(&p))
+        b.iter(|| {
+            KnowledgeContext::new(&kspace, views.clone(), si.clone())
+                .unwrap()
+                .knows_all(&p)
+        })
     });
     group.bench_function("knows_all_serial/8views_65536states", |b| {
         b.iter(|| {
-            let ctx = KnowledgeContext::new(&kspace, views.clone(), si.clone());
+            let ctx = KnowledgeContext::new(&kspace, views.clone(), si.clone()).unwrap();
             views
                 .iter()
                 .map(|(_, v)| ctx.knows_view(*v, &p))

@@ -8,9 +8,9 @@
 //!   durations, pool work distribution, and every verdict with its
 //!   witnesses.
 //! * `obs_report --validate <trace.jsonl>` — every line must parse as a
-//!   JSON object with `ts_us`/`kind`, and the trace must cover the five
+//!   JSON object with `ts_us`/`kind`, and the trace must cover the six
 //!   instrumented subsystems (`fixpoint`, `cache`, `pool`, `solver`,
-//!   `bdd`). Exits non-zero otherwise.
+//!   `bdd`, `lint`). Exits non-zero otherwise.
 //! * `obs_report --bench` — writes `BENCH_obs.json` (`KPT_BENCH_JSON`
 //!   overrides; `KPT_BENCH_FAST=1` shrinks samples): the
 //!   disabled-observability overhead cases plus the instrumented hot paths
@@ -25,7 +25,7 @@ use kpt_obs::{parse_json, JsonValue};
 
 /// Every trace must contain at least one event whose kind starts with each
 /// of these prefixes — one per instrumented subsystem.
-const REQUIRED_KIND_PREFIXES: [&str; 5] = ["fixpoint", "cache", "pool", "solver", "bdd"];
+const REQUIRED_KIND_PREFIXES: [&str; 6] = ["fixpoint", "cache", "pool", "solver", "bdd", "lint"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -272,7 +272,7 @@ fn run_bench() -> ExitCode {
         ];
         let si = Predicate::from_fn(&space, |s| s % 7 != 0);
         let p = Predicate::from_fn(&space, |s| s % 3 == 1);
-        let op = KnowledgeOperator::with_si(&space, views, si);
+        let op = KnowledgeOperator::with_si(&space, views, si).unwrap();
         let _ = op.knows("P1", &p).unwrap();
         group.bench_function("knows_warm/65536states", |b| {
             b.iter(|| op.knows("P1", &p).unwrap())

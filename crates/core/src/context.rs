@@ -27,6 +27,8 @@ use kpt_state::{forall_var, Predicate, StateSpace, VarId, VarSet};
 use kpt_testkit::pool;
 use kpt_unity::CompiledProgram;
 
+use crate::error::CoreError;
+
 /// Cached state for evaluating the knowledge operator of eq. (13) against a
 /// fixed strongest invariant and a fixed set of process views.
 #[derive(Debug)]
@@ -57,7 +59,29 @@ pub const DEFAULT_MEMO_CAP: usize = 4096;
 
 impl KnowledgeContext {
     /// Build a context with an explicit (candidate) strongest invariant.
-    pub fn new(space: &Arc<StateSpace>, views: Vec<(String, VarSet)>, si: Predicate) -> Self {
+    ///
+    /// Every declared view must lie inside the space: a view bit naming a
+    /// variable that does not exist would make the eq. (6) `wcyl`
+    /// quantification sweep the wrong complement and *silently* compute
+    /// wrong knowledge.
+    ///
+    /// # Errors
+    /// [`CoreError::ViewOutsideSpace`] when a view names variables absent
+    /// from `space`.
+    pub fn new(
+        space: &Arc<StateSpace>,
+        views: Vec<(String, VarSet)>,
+        si: Predicate,
+    ) -> Result<Self, CoreError> {
+        let all = space.all_vars();
+        for (process, view) in &views {
+            if !view.is_subset(all) {
+                return Err(CoreError::ViewOutsideSpace {
+                    process: process.clone(),
+                    extra: view.difference(all),
+                });
+            }
+        }
         let not_si = si.negate();
         let ctx = KnowledgeContext {
             space: Arc::clone(space),
@@ -75,7 +99,7 @@ impl KnowledgeContext {
         for (_, view) in ctx.views.clone() {
             ctx.sweep_order(view);
         }
-        ctx
+        Ok(ctx)
     }
 
     /// Build from a compiled program: views are its declared processes,
@@ -90,6 +114,7 @@ impl KnowledgeContext {
                 .collect(),
             program.si().clone(),
         )
+        .expect("a compiled program's process views lie in its own space")
     }
 
     /// The state space.
@@ -368,10 +393,40 @@ mod tests {
     }
 
     #[test]
+    fn view_outside_space_is_a_typed_error() {
+        let s = space();
+        // A view built against a *larger* space: its high bit names a
+        // variable `s` does not have.
+        let bigger = StateSpace::builder()
+            .bool_var("a")
+            .unwrap()
+            .nat_var("n", 3)
+            .unwrap()
+            .bool_var("b")
+            .unwrap()
+            .bool_var("ghost")
+            .unwrap()
+            .build()
+            .unwrap();
+        let bad = bigger.var_set(["b", "ghost"]).unwrap();
+        let err = KnowledgeContext::new(&s, vec![("X".to_owned(), bad)], Predicate::tt(&s))
+            .expect_err("a view outside the space must be rejected");
+        match &err {
+            CoreError::ViewOutsideSpace { process, extra } => {
+                assert_eq!(process, "X");
+                // Only the ghost bit is outside; `b` itself is fine.
+                assert_eq!(extra.iter().count(), 1);
+            }
+            other => panic!("expected ViewOutsideSpace, got {other:?}"),
+        }
+        assert!(err.to_string().contains("process `X`"));
+    }
+
+    #[test]
     fn memo_hits_on_repeated_queries() {
         let s = space();
         let si = Predicate::from_fn(&s, |i| i % 3 != 0);
-        let ctx = KnowledgeContext::new(&s, views(&s), si);
+        let ctx = KnowledgeContext::new(&s, views(&s), si).unwrap();
         let p = Predicate::from_fn(&s, |i| i % 2 == 0);
         let first = ctx.knows("A", &p).unwrap();
         let again = ctx.knows("A", &p).unwrap();
@@ -387,7 +442,7 @@ mod tests {
     #[test]
     fn cache_stats_track_hit_miss_and_eviction_transitions() {
         let s = space();
-        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
+        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s)).unwrap();
         ctx.set_memo_cap(2);
         let v = s.var_set(["a"]).unwrap();
         let p0 = Predicate::from_fn(&s, |i| i % 2 == 0);
@@ -426,11 +481,11 @@ mod tests {
         // before the final gather; results must still be correct.
         let s = space();
         let si = Predicate::from_fn(&s, |i| i % 3 != 0);
-        let ctx = KnowledgeContext::new(&s, views(&s), si.clone());
+        let ctx = KnowledgeContext::new(&s, views(&s), si.clone()).unwrap();
         ctx.set_memo_cap(1);
         let view_list: Vec<VarSet> = views(&s).iter().map(|(_, v)| *v).collect();
         let p = Predicate::from_fn(&s, |i| i % 2 == 0);
-        let reference = KnowledgeContext::new(&s, views(&s), si);
+        let reference = KnowledgeContext::new(&s, views(&s), si).unwrap();
         let want: Vec<Predicate> = view_list
             .iter()
             .map(|&v| reference.knows_view(v, &p))
@@ -442,7 +497,7 @@ mod tests {
     #[test]
     fn sweep_order_is_complement_sorted_by_domain() {
         let s = space();
-        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
+        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s)).unwrap();
         let view = s.var_set(["a"]).unwrap();
         let order = ctx.sweep_order(view);
         // Complement of {a} is {n, b}; b (size 2) sorts before n (size 3).
@@ -455,7 +510,7 @@ mod tests {
     #[test]
     fn unknown_process_errors() {
         let s = space();
-        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
+        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s)).unwrap();
         assert!(ctx.knows("nobody", &Predicate::tt(&s)).is_err());
     }
 
@@ -465,7 +520,7 @@ mod tests {
         let si = Predicate::from_fn(&s, |i| i % 3 != 0);
         let p = Predicate::from_fn(&s, |i| i % 2 == 0);
         // Serial reference on its own context.
-        let serial_ctx = KnowledgeContext::new(&s, views(&s), si.clone());
+        let serial_ctx = KnowledgeContext::new(&s, views(&s), si.clone()).unwrap();
         let expect: Vec<(String, Predicate)> = views(&s)
             .into_iter()
             .map(|(name, view)| {
@@ -474,7 +529,7 @@ mod tests {
             })
             .collect();
         for threads in [1, 2, 4] {
-            let ctx = KnowledgeContext::new(&s, views(&s), si.clone());
+            let ctx = KnowledgeContext::new(&s, views(&s), si.clone()).unwrap();
             let view_list: Vec<VarSet> = views(&s).iter().map(|(_, v)| *v).collect();
             let batch = ctx.knows_batch_with(threads, &view_list, &p);
             for (((name, want), got), view) in expect.iter().zip(&batch).zip(&view_list) {
@@ -487,14 +542,14 @@ mod tests {
             }
         }
         // The convenience form pairs names with views in declaration order.
-        let ctx = KnowledgeContext::new(&s, views(&s), si);
+        let ctx = KnowledgeContext::new(&s, views(&s), si).unwrap();
         assert_eq!(ctx.knows_all(&p), expect);
     }
 
     #[test]
     fn knows_batch_deduplicates_repeated_views() {
         let s = space();
-        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s));
+        let ctx = KnowledgeContext::new(&s, views(&s), Predicate::tt(&s)).unwrap();
         let v = s.var_set(["a"]).unwrap();
         let p = Predicate::from_fn(&s, |i| i % 5 == 0);
         let out = ctx.knows_batch(&[v, v, v], &p);

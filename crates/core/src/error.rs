@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use kpt_logic::EvalError;
+use kpt_state::VarSet;
 use kpt_unity::UnityError;
 
 /// Errors from knowledge operators and KBP solvers.
@@ -14,6 +15,17 @@ pub enum CoreError {
     Unity(UnityError),
     /// A knowledge query named an undeclared process.
     UnknownProcess(String),
+    /// A declared process view contains variables that do not exist in the
+    /// state space the knowledge context was built over. Computing eq. (13)
+    /// with such a view would silently quantify over the wrong complement,
+    /// so construction refuses it instead.
+    ViewOutsideSpace {
+        /// The process whose view is malformed.
+        process: String,
+        /// The offending view bits (variable ids with no meaning in the
+        /// space).
+        extra: VarSet,
+    },
     /// The exhaustive KBP solver was asked to enumerate more candidates
     /// than its limit allows.
     SearchTooLarge {
@@ -30,6 +42,15 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Unity(e) => write!(f, "{e}"),
             CoreError::UnknownProcess(name) => write!(f, "unknown process `{name}`"),
+            CoreError::ViewOutsideSpace { process, extra } => {
+                let ids: Vec<String> = extra.iter().map(|v| v.index().to_string()).collect();
+                write!(
+                    f,
+                    "view of process `{process}` names variable id(s) {{{}}} absent from the \
+                     state space",
+                    ids.join(", ")
+                )
+            }
             CoreError::SearchTooLarge { free_states, limit } => write!(
                 f,
                 "exhaustive search over 2^{free_states} candidates exceeds limit 2^{limit}; \

@@ -136,7 +136,7 @@ impl Kbp {
     pub fn compile_at(&self, x: &Predicate) -> Result<CompiledProgram, CoreError> {
         // One shared knowledge context per candidate: every guard of every
         // statement evaluates its K{i} subterms through the same memo.
-        let op = KnowledgeOperator::with_si(self.program.space(), self.views.clone(), x.clone());
+        let op = KnowledgeOperator::with_si(self.program.space(), self.views.clone(), x.clone())?;
         let f = op.knowledge_fn();
         Ok(self.program.compile_with_knowledge(f.as_ref())?)
     }

@@ -22,6 +22,7 @@ use kpt_transformers::{gfp, Transformer};
 use kpt_unity::CompiledProgram;
 
 use crate::context::KnowledgeContext;
+use crate::error::CoreError;
 
 /// The knowledge operator of eq. (13) for a fixed strongest invariant and a
 /// set of process views.
@@ -68,10 +69,18 @@ impl KnowledgeOperator {
     }
 
     /// Build with an explicit (candidate) strongest invariant.
-    pub fn with_si(space: &Arc<StateSpace>, views: Vec<(String, VarSet)>, si: Predicate) -> Self {
-        KnowledgeOperator {
-            ctx: Arc::new(KnowledgeContext::new(space, views, si)),
-        }
+    ///
+    /// # Errors
+    /// [`CoreError::ViewOutsideSpace`] when a view names variables absent
+    /// from `space` (see [`KnowledgeContext::new`]).
+    pub fn with_si(
+        space: &Arc<StateSpace>,
+        views: Vec<(String, VarSet)>,
+        si: Predicate,
+    ) -> Result<Self, CoreError> {
+        Ok(KnowledgeOperator {
+            ctx: Arc::new(KnowledgeContext::new(space, views, si)?),
+        })
     }
 
     /// Wrap an existing shared context.
@@ -372,8 +381,10 @@ mod tests {
                 if !si_small.entails(si_big) {
                     continue;
                 }
-                let k_big = KnowledgeOperator::with_si(&space, views.clone(), si_big.clone());
-                let k_small = KnowledgeOperator::with_si(&space, views.clone(), si_small.clone());
+                let k_big =
+                    KnowledgeOperator::with_si(&space, views.clone(), si_big.clone()).unwrap();
+                let k_small =
+                    KnowledgeOperator::with_si(&space, views.clone(), si_small.clone()).unwrap();
                 for p in preds.iter().step_by(7) {
                     let kb = k_big.knows("P0", p).unwrap();
                     let ks = k_small.knows("P0", p).unwrap();
@@ -527,7 +538,7 @@ mod tests {
             ("B".to_owned(), space.var_set(["b"]).unwrap()),
         ];
         let si = Predicate::tt(&space);
-        let k = KnowledgeOperator::with_si(&space, views, si);
+        let k = KnowledgeOperator::with_si(&space, views, si).unwrap();
         for p in all_preds(&space) {
             assert_eq!(k.distributed(&["A", "B"], &p).unwrap(), p);
         }

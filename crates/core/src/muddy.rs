@@ -198,6 +198,7 @@ mod tests {
             .map(|p| (p.name().to_owned(), p.view()))
             .collect();
         KnowledgeOperator::with_si(kbp.program().space(), views, solution.clone())
+            .expect("views drawn from the KBP's own space")
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! `kpt_lint` — run the static analyzer over every in-tree model.
+//!
+//! Usage: `kpt_lint [--json] [--no-symbolic] [NAME ...]`
+//!
+//! With no `NAME` arguments every registered model is linted. `--json`
+//! prints one JSON array of lint reports instead of the human summary;
+//! `--no-symbolic` restricts the run to the declaration and view passes.
+//!
+//! The exit code encodes the expectation baked into the registry: the
+//! healthy models must be clean and Figure 1 must carry exactly its
+//! eq. (25) circularity warning (`KPT009`). Any other finding — or a
+//! missing expected one — exits nonzero, which is what CI asserts.
+
+use std::process::ExitCode;
+
+use kpt_lint::{lint_program_with, LintOptions, LintReport};
+use kpt_seqtrans::{figure3_kbp, ModelOptions, StandardModel};
+use kpt_unity::Program;
+
+struct Case {
+    name: &'static str,
+    program: Program,
+    /// The exact diagnostic codes this model is expected to produce.
+    expected: &'static [&'static str],
+}
+
+fn registry() -> Vec<Case> {
+    let model = StandardModel::build(2, 2, ModelOptions::default()).expect("standard model builds");
+    vec![
+        // Figure 1 is the paper's no-solution counterexample; the linter
+        // must flag its knowledge circularity and nothing else.
+        Case {
+            name: "figure1",
+            program: kpt_core::figure1()
+                .expect("figure1 builds")
+                .program()
+                .clone(),
+            expected: &["KPT009"],
+        },
+        Case {
+            name: "figure2-weak",
+            program: kpt_core::figure2("~y")
+                .expect("figure2 builds")
+                .program()
+                .clone(),
+            expected: &[],
+        },
+        Case {
+            name: "figure2-strong",
+            program: kpt_core::figure2("~y /\\ x")
+                .expect("figure2 builds")
+                .program()
+                .clone(),
+            expected: &[],
+        },
+        Case {
+            name: "muddy-children-2",
+            program: kpt_core::muddy_children_n(2)
+                .expect("muddy children builds")
+                .program()
+                .clone(),
+            expected: &[],
+        },
+        Case {
+            name: "muddy-children-2-memory",
+            program: kpt_core::muddy_children_with_memory_n(2)
+                .expect("muddy children builds")
+                .program()
+                .clone(),
+            expected: &[],
+        },
+        Case {
+            name: "seqtrans-fig3-2x2",
+            program: figure3_kbp(&model)
+                .expect("figure 3 KBP builds")
+                .program()
+                .clone(),
+            expected: &[],
+        },
+        Case {
+            name: "seqtrans-std-2x2",
+            program: model.program().clone(),
+            expected: &[],
+        },
+        Case {
+            name: "bdd-escape",
+            program: escape_hatch_program(),
+            expected: &[],
+        },
+    ]
+}
+
+/// The 159-free-state instance from the symbolic-backend report: too large
+/// for the exhaustive solver's subset mask, routine for the BDD engine —
+/// and for the linter, whose symbolic pass runs on exactly this scale.
+fn escape_hatch_program() -> Program {
+    use kpt_state::StateSpace;
+    use kpt_unity::Statement;
+    let space = StateSpace::builder()
+        .nat_var("i", 80)
+        .unwrap()
+        .bool_var("done")
+        .unwrap()
+        .build()
+        .unwrap();
+    Program::builder("bdd-escape", &space)
+        .init_str("i = 0 && !done")
+        .unwrap()
+        .process("P", ["i"])
+        .unwrap()
+        .statement(
+            Statement::new("inc")
+                .guard_str("i < 79")
+                .unwrap()
+                .assign_str("i", "i + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("finish")
+                .guard_str("K{P}(i >= 40)")
+                .unwrap()
+                .assign_str("done", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn print_human(case: &Case, report: &LintReport, ok: bool) {
+    let verdict = if ok { "ok" } else { "UNEXPECTED" };
+    println!(
+        "== {} ({} finding{}, {}) ==",
+        case.name,
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        verdict
+    );
+    if report.diagnostics.is_empty() {
+        println!("   clean");
+    }
+    for d in &report.diagnostics {
+        println!("   {d}");
+    }
+    if !ok {
+        println!("   expected codes: {:?}", case.expected);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut options = LintOptions::default();
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--no-symbolic" => options.symbolic = false,
+            "--help" | "-h" => {
+                println!("usage: kpt_lint [--json] [--no-symbolic] [NAME ...]");
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_owned()),
+        }
+    }
+
+    let cases: Vec<Case> = registry()
+        .into_iter()
+        .filter(|c| names.is_empty() || names.iter().any(|n| n == c.name))
+        .collect();
+    if cases.is_empty() {
+        eprintln!("no model matches {names:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut all_ok = true;
+    let mut reports = Vec::new();
+    for case in &cases {
+        let report = lint_program_with(&case.program, &options);
+        let codes: Vec<&str> = report.codes().iter().map(|c| c.code()).collect();
+        // Without the symbolic pass the symbolic-only expectations (KPT007
+        // onwards) cannot fire; don't hold the run to them.
+        let expected: Vec<&str> = case
+            .expected
+            .iter()
+            .copied()
+            .filter(|c| report.symbolic_ran || *c < "KPT007")
+            .collect();
+        let ok = codes == expected;
+        all_ok &= ok;
+        if !json {
+            print_human(case, &report, ok);
+        }
+        reports.push(report);
+    }
+
+    if json {
+        let items: Vec<String> = reports.iter().map(LintReport::to_json).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        println!(
+            "{} model{} linted; {}",
+            cases.len(),
+            if cases.len() == 1 { "" } else { "s" },
+            if all_ok {
+                "all findings as expected"
+            } else {
+                "UNEXPECTED findings present"
+            }
+        );
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

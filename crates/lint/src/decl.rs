@@ -1,0 +1,273 @@
+//! Depth 1 — declaration-level checks (`KPT001`-`KPT004`).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use kpt_logic::{Expr, Formula};
+use kpt_state::{witness_state, StateSpace};
+use kpt_unity::{Guard, Program, Statement};
+
+use crate::erase::{expr_idents, guard_over_approx};
+use crate::{Diagnostic, DiagnosticCode};
+
+/// Semantic range scanning is skipped above this many states — the
+/// declaration pass must stay cheap on the symbolic-scale instances.
+const MAX_SCAN_STATES: u64 = 1 << 20;
+
+/// Run the declaration-level checks.
+pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let space = program.space();
+
+    // KPT004: empty init means SI = sst.init = ff — every invariant and
+    // every knowledge fact holds vacuously.
+    if program.init().is_false() {
+        diags.push(Diagnostic::program_level(
+            DiagnosticCode::EmptyInit,
+            "initial condition is unsatisfiable: SI is empty and every \
+             property holds vacuously",
+        ));
+    }
+
+    let mut seen_names: BTreeSet<&str> = BTreeSet::new();
+    for stmt in program.statements() {
+        // KPT003a: duplicate statement names (the builder rejects these,
+        // but the check keeps the analyzer self-contained).
+        if !seen_names.insert(stmt.name()) {
+            diags.push(Diagnostic::on_statement(
+                DiagnosticCode::ShadowedName,
+                stmt.name(),
+                "duplicate statement name",
+            ));
+        }
+        // KPT003b: a parameter shadowing a program variable silently wins
+        // during compilation — guards read the constant, not the state.
+        let mut params: Vec<&String> = stmt.params().keys().collect();
+        params.sort();
+        for p in params {
+            if space.var(p).is_ok() {
+                diags.push(Diagnostic::on_statement(
+                    DiagnosticCode::ShadowedName,
+                    stmt.name(),
+                    format!(
+                        "parameter `{p}` shadows the program variable of the same \
+                         name; guards and updates read the parameter"
+                    ),
+                ));
+            }
+        }
+
+        let had_unknowns = check_identifiers(space, stmt, diags);
+        if !had_unknowns {
+            check_update_ranges(space, stmt, diags);
+        }
+    }
+}
+
+/// KPT001 over one statement's guard and assignments. Returns whether any
+/// unknown identifier was found (suppressing the semantic range scan).
+fn check_identifiers(
+    space: &Arc<StateSpace>,
+    stmt: &Statement,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let before = diags.len();
+    if let Guard::Formula(f) = stmt.guard() {
+        check_formula(space, stmt.params(), f, stmt, "guard", diags);
+    }
+    for (target, rhs) in stmt.assignments() {
+        if space.var(target).is_err() {
+            diags.push(Diagnostic::on_statement(
+                DiagnosticCode::UnknownIdentifier,
+                stmt.name(),
+                format!("assignment target `{target}` is not a variable of the state space"),
+            ));
+            continue;
+        }
+        // Mirror the compiler: a bare identifier RHS may be a parameter, a
+        // variable, or an enum label of the *target's* domain; identifiers
+        // inside arithmetic must be parameters or variables.
+        let target_var = space.var(target).expect("checked above");
+        if let Expr::Ident(name) = rhs {
+            let ok = stmt.params().contains_key(name)
+                || space.var(name).is_ok()
+                || space.domain(target_var).label_code(name).is_some();
+            if !ok {
+                report_unknown(diags, stmt, name, &format!("assignment to `{target}`"));
+            }
+        } else {
+            let mut ids = BTreeSet::new();
+            expr_idents(rhs, &mut ids);
+            for name in ids {
+                if !stmt.params().contains_key(&name) && space.var(&name).is_err() {
+                    report_unknown(diags, stmt, &name, &format!("assignment to `{target}`"));
+                }
+            }
+        }
+    }
+    diags.len() > before
+        && diags[before..]
+            .iter()
+            .any(|d| d.code == DiagnosticCode::UnknownIdentifier)
+}
+
+fn report_unknown(diags: &mut Vec<Diagnostic>, stmt: &Statement, name: &str, context: &str) {
+    diags.push(Diagnostic::on_statement(
+        DiagnosticCode::UnknownIdentifier,
+        stmt.name(),
+        format!(
+            "identifier `{name}` in the {context} is neither a state-space \
+                 variable, a parameter, nor a resolvable enum label"
+        ),
+    ));
+}
+
+/// How one side of a comparison resolves (mirrors the evaluator).
+enum Side {
+    /// Every identifier is a parameter or variable.
+    Resolved,
+    /// A bare identifier that is neither — may still be an enum label.
+    BareUnknown(String),
+    /// A compound expression containing an unresolved identifier.
+    Unknown(String),
+}
+
+fn resolve_side(space: &StateSpace, params: &HashMap<String, i64>, e: &Expr) -> Side {
+    if let Expr::Ident(name) = e {
+        if params.contains_key(name) || space.var(name).is_ok() {
+            return Side::Resolved;
+        }
+        return Side::BareUnknown(name.clone());
+    }
+    let mut ids = BTreeSet::new();
+    expr_idents(e, &mut ids);
+    for name in ids {
+        if !params.contains_key(&name) && space.var(&name).is_err() {
+            return Side::Unknown(name);
+        }
+    }
+    Side::Resolved
+}
+
+/// Whether `peer` is a bare space variable whose domain has `label`
+/// (the evaluator's enum-label fallback for the other comparison side).
+fn peer_resolves_label(
+    space: &StateSpace,
+    params: &HashMap<String, i64>,
+    peer: &Expr,
+    label: &str,
+) -> bool {
+    if let Expr::Ident(name) = peer {
+        if !params.contains_key(name) {
+            if let Ok(v) = space.var(name) {
+                return space.domain(v).label_code(label).is_some();
+            }
+        }
+    }
+    false
+}
+
+fn check_formula(
+    space: &Arc<StateSpace>,
+    params: &HashMap<String, i64>,
+    f: &Formula,
+    stmt: &Statement,
+    context: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match f {
+        Formula::Const(_) => {}
+        Formula::BoolVar(name) => {
+            if !params.contains_key(name) && space.var(name).is_err() {
+                report_unknown(diags, stmt, name, context);
+            }
+        }
+        Formula::Cmp(_, lhs, rhs) => {
+            let l = resolve_side(space, params, lhs);
+            let r = resolve_side(space, params, rhs);
+            match (l, r) {
+                (Side::Resolved, Side::Resolved) => {}
+                (Side::BareUnknown(n), Side::Resolved) => {
+                    if !peer_resolves_label(space, params, rhs, &n) {
+                        report_unknown(diags, stmt, &n, context);
+                    }
+                }
+                (Side::Resolved, Side::BareUnknown(n)) => {
+                    if !peer_resolves_label(space, params, lhs, &n) {
+                        report_unknown(diags, stmt, &n, context);
+                    }
+                }
+                (l, r) => {
+                    for side in [l, r] {
+                        if let Side::BareUnknown(n) | Side::Unknown(n) = side {
+                            report_unknown(diags, stmt, &n, context);
+                        }
+                    }
+                }
+            }
+        }
+        Formula::Not(g) => check_formula(space, params, g, stmt, context, diags),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            check_formula(space, params, a, stmt, context, diags);
+            check_formula(space, params, b, stmt, context, diags);
+        }
+        Formula::Forall(name, body) | Formula::Exists(name, body) => {
+            // The evaluator quantifies over the named *program variable*'s
+            // domain, so the binder itself must name a variable.
+            if space.var(name).is_err() {
+                report_unknown(diags, stmt, name, &format!("{context} (quantifier binder)"));
+            }
+            check_formula(space, params, body, stmt, context, diags);
+        }
+        Formula::Knows(_, body) => {
+            // Process existence is the view pass's KPT006; the body is
+            // ordinary syntax.
+            check_formula(space, params, body, stmt, context, diags);
+        }
+    }
+}
+
+/// KPT002: scan the guard-enabled states (knowledge erased, so an
+/// over-approximation of every solution's enabled set) and evaluate each
+/// assignment; any value outside the target domain is a finding with the
+/// offending state as witness.
+fn check_update_ranges(space: &Arc<StateSpace>, stmt: &Statement, diags: &mut Vec<Diagnostic>) {
+    if stmt.assignments().is_empty() || space.num_states() > MAX_SCAN_STATES {
+        return;
+    }
+    let Some(enabled) = guard_over_approx(space, stmt) else {
+        return;
+    };
+    for (target, rhs) in stmt.assignments() {
+        let Ok(var) = space.var(target) else { continue };
+        let dom = space.domain(var).clone();
+        for state in enabled.iter() {
+            let val = eval_rhs(space, stmt, &dom, rhs, state);
+            let Some(val) = val else { break };
+            if val < 0 || !dom.contains(val as u64) {
+                diags.push(
+                    Diagnostic::on_statement(
+                        DiagnosticCode::UpdateOutOfRange,
+                        stmt.name(),
+                        format!(
+                            "`{target} := {rhs:?}` evaluates to {val}, outside the \
+                             domain of `{target}` (size {}), at a guard-enabled state",
+                            dom.size()
+                        ),
+                    )
+                    .with_witnesses(vec![witness_state(space, state)]),
+                );
+                break;
+            }
+        }
+    }
+}
+
+fn eval_rhs(
+    space: &StateSpace,
+    stmt: &Statement,
+    dom: &kpt_state::Domain,
+    rhs: &Expr,
+    state: u64,
+) -> Option<i64> {
+    crate::erase::eval_assign_rhs(space, stmt.params(), |l| dom.label_code(l), rhs, state)
+}

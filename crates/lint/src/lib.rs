@@ -1,0 +1,484 @@
+//! # kpt-lint
+//!
+//! A static-analysis pass over [`kpt_unity::Program`]s and
+//! [`kpt_core::Kbp`]s that runs *before* any eq. (25) solver and reports
+//! the bug classes the paper warns about — most prominently the Figure-1
+//! circularity (a knowledge guard whose consequences rewrite the very fact
+//! it tests, so the fixpoint equation may have **no solution**).
+//!
+//! Three depths of checks, each a module:
+//!
+//! 1. [`decl`] — declaration-level: identifiers missing from the state
+//!    space, updates that can write outside a variable's domain, duplicate
+//!    or variable-shadowing names, empty/unsatisfiable `init`.
+//! 2. [`view`] — view-soundness: a statement guarded by `K{i}(..)` whose
+//!    *objective* guard atoms or update right-hand sides read variables
+//!    outside process `i`'s view (the "acts on what it cannot know" class),
+//!    plus undeclared processes in knowledge atoms.
+//! 3. [`symbolic`] — semantic checks through the `kpt-bdd` backend against
+//!    the strongest invariant of the *knowledge-erased* over-approximation:
+//!    guards unsatisfiable under `SI` (dead code), write-write races on
+//!    overlapping guards, and the eq.-25 knowledge-circularity analysis.
+//!
+//! The knowledge erasure is sound by eq. (14) (`[K_i p ⇒ p]`): replacing a
+//! positive `K{i}(φ)` by `φ` and a negative one by `ff` only *weakens*
+//! guards, so the erased program's `SI` contains the `SI` of every solution
+//! of the KBP — a statement dead under the erased `SI` is dead under every
+//! solution.
+//!
+//! Every diagnostic carries a stable code (`KPT001`…), a severity, the
+//! offending statement, and — where a concrete state demonstrates the
+//! problem — witness states. [`LintReport::to_json`] emits a
+//! machine-readable form for CI; the `kpt_lint` bin runs the pass over
+//! every in-tree model.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use kpt_core::Kbp;
+use kpt_obs::WitnessState;
+use kpt_unity::Program;
+
+mod decl;
+mod erase;
+mod symbolic;
+mod view;
+
+pub use erase::erase_knowledge;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is malformed; solving it is meaningless or will fail.
+    Error,
+    /// The program is well-formed but exhibits a pattern the paper warns
+    /// about (dead code, races, possible non-existence of solutions).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. The numeric part never changes meaning; new
+/// checks append new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagnosticCode {
+    /// `KPT001` — a guard or update references an identifier that is
+    /// neither a state-space variable, a statement parameter, nor an enum
+    /// label resolvable in its context.
+    UnknownIdentifier,
+    /// `KPT002` — an assignment can write a value outside the target
+    /// variable's domain at some guard-enabled state.
+    UpdateOutOfRange,
+    /// `KPT003` — duplicate statement names, or a statement parameter that
+    /// shadows a program variable (the parameter silently wins).
+    ShadowedName,
+    /// `KPT004` — the initial condition is unsatisfiable; `SI = sst.init`
+    /// is empty and every property holds vacuously.
+    EmptyInit,
+    /// `KPT005` — a statement guarded by `K{i}(..)` objectively reads
+    /// variables outside process `i`'s view.
+    ViewViolation,
+    /// `KPT006` — a knowledge atom `K{p}(..)` names an undeclared process.
+    UnknownProcess,
+    /// `KPT007` — a guard is unsatisfiable under the strongest invariant of
+    /// the knowledge-erased over-approximation: the statement can never
+    /// execute in any solution.
+    DeadGuard,
+    /// `KPT008` — two statements write conflicting values to the same
+    /// variable and their guards overlap under `SI`.
+    WriteRace,
+    /// `KPT009` — the Figure-1 pattern: a knowledge guard `K_i φ` enables
+    /// updates that establish/destroy `φ` itself, so the eq. (25) fixpoint
+    /// may have no solution.
+    KnowledgeCircularity,
+}
+
+impl DiagnosticCode {
+    /// The stable `KPTnnn` code string.
+    pub fn code(self) -> &'static str {
+        match self {
+            DiagnosticCode::UnknownIdentifier => "KPT001",
+            DiagnosticCode::UpdateOutOfRange => "KPT002",
+            DiagnosticCode::ShadowedName => "KPT003",
+            DiagnosticCode::EmptyInit => "KPT004",
+            DiagnosticCode::ViewViolation => "KPT005",
+            DiagnosticCode::UnknownProcess => "KPT006",
+            DiagnosticCode::DeadGuard => "KPT007",
+            DiagnosticCode::WriteRace => "KPT008",
+            DiagnosticCode::KnowledgeCircularity => "KPT009",
+        }
+    }
+
+    /// The severity every finding of this code carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticCode::UnknownIdentifier
+            | DiagnosticCode::UpdateOutOfRange
+            | DiagnosticCode::EmptyInit
+            | DiagnosticCode::ViewViolation
+            | DiagnosticCode::UnknownProcess => Severity::Error,
+            DiagnosticCode::ShadowedName
+            | DiagnosticCode::DeadGuard
+            | DiagnosticCode::WriteRace
+            | DiagnosticCode::KnowledgeCircularity => Severity::Warning,
+        }
+    }
+
+    /// The paper definition/figure the check guards against.
+    pub fn paper_ref(self) -> &'static str {
+        match self {
+            DiagnosticCode::UnknownIdentifier => "§2 (fixed finite state space)",
+            DiagnosticCode::UpdateOutOfRange => "§2 (finite variable domains)",
+            DiagnosticCode::ShadowedName => "§4 (statement well-formedness)",
+            DiagnosticCode::EmptyInit => "eq. (2)/(25): SI = sst.init",
+            DiagnosticCode::ViewViolation => "§3 (views), Figures 3-4",
+            DiagnosticCode::UnknownProcess => "§3 (process views)",
+            DiagnosticCode::DeadGuard => "eq. (2) (dead under SI)",
+            DiagnosticCode::WriteRace => "§2 (UNITY interleaving)",
+            DiagnosticCode::KnowledgeCircularity => "eq. (25), Figure 1",
+        }
+    }
+}
+
+impl fmt::Display for DiagnosticCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagnosticCode,
+    /// The statement the finding is anchored to, if any.
+    pub statement: Option<String>,
+    /// Human-readable description of the defect.
+    pub message: String,
+    /// Concrete states demonstrating the problem (empty for purely
+    /// syntactic findings).
+    pub witnesses: Vec<WitnessState>,
+}
+
+impl Diagnostic {
+    /// A finding with no anchored statement or witnesses.
+    pub fn program_level(code: DiagnosticCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            statement: None,
+            message: message.into(),
+            witnesses: Vec::new(),
+        }
+    }
+
+    /// A finding anchored to a statement.
+    pub fn on_statement(
+        code: DiagnosticCode,
+        statement: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            statement: Some(statement.into()),
+            message: message.into(),
+            witnesses: Vec::new(),
+        }
+    }
+
+    /// Attach witness states.
+    #[must_use]
+    pub fn with_witnesses(mut self, witnesses: Vec<WitnessState>) -> Self {
+        self.witnesses = witnesses;
+        self
+    }
+
+    /// The severity of this finding (derived from its code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity(), self.code.code())?;
+        if let Some(s) = &self.statement {
+            write!(f, " statement `{s}`")?;
+        }
+        write!(f, ": {} ({})", self.message, self.code.paper_ref())?;
+        for w in &self.witnesses {
+            write!(f, "\n    witness {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Which passes to run.
+#[derive(Debug, Clone, Copy)]
+pub struct LintOptions {
+    /// Run the depth-3 symbolic checks (KPT007-KPT009). The declaration
+    /// and view passes always run.
+    pub symbolic: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions { symbolic: true }
+    }
+}
+
+/// The result of linting one program.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// The program's name.
+    pub program: String,
+    /// All findings, in pass order (decl, view, symbolic).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether the symbolic pass ran (it is skipped when the declaration
+    /// pass already found errors — the erased program would not compile).
+    pub symbolic_ran: bool,
+}
+
+impl LintReport {
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    }
+
+    /// The distinct codes present, sorted.
+    pub fn codes(&self) -> Vec<DiagnosticCode> {
+        let set: BTreeSet<DiagnosticCode> = self.diagnostics.iter().map(|d| d.code).collect();
+        set.into_iter().collect()
+    }
+
+    /// Whether some finding carries `code`.
+    pub fn has(&self, code: DiagnosticCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Machine-readable JSON (one object; `kpt_lint --json` emits an array
+    /// of these). Self-contained — no external serializer.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"program\":");
+        json_string(&mut out, &self.program);
+        out.push_str(",\"clean\":");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        out.push_str(",\"symbolic_ran\":");
+        out.push_str(if self.symbolic_ran { "true" } else { "false" });
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":");
+            json_string(&mut out, d.code.code());
+            out.push_str(",\"severity\":");
+            json_string(&mut out, &d.severity().to_string());
+            out.push_str(",\"statement\":");
+            match &d.statement {
+                Some(s) => json_string(&mut out, s),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"message\":");
+            json_string(&mut out, &d.message);
+            out.push_str(",\"paper_ref\":");
+            json_string(&mut out, d.code.paper_ref());
+            out.push_str(",\"witnesses\":[");
+            for (j, w) in d.witnesses.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, &w.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lint {}: {} finding(s) ({} error(s), {} warning(s)){}",
+            self.program,
+            self.diagnostics.len(),
+            self.error_count(),
+            self.warning_count(),
+            if self.symbolic_ran {
+                ""
+            } else {
+                " [symbolic pass skipped]"
+            }
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Lint a program with the default options (all passes).
+pub fn lint_program(program: &Program) -> LintReport {
+    lint_program_with(program, &LintOptions::default())
+}
+
+/// Lint a program.
+///
+/// The declaration and view passes are purely syntactic. The symbolic pass
+/// computes the strongest invariant of the knowledge-erased
+/// over-approximation through `kpt-bdd` and is skipped (with
+/// `symbolic_ran = false`) when the earlier passes report errors — the
+/// erased program would not compile — or when `options.symbolic` is off.
+pub fn lint_program_with(program: &Program, options: &LintOptions) -> LintReport {
+    let mut span = kpt_obs::span("lint.program");
+    kpt_obs::counter!("lint.runs").incr();
+    let mut diagnostics = Vec::new();
+    {
+        let _pass = kpt_obs::span("lint.pass.decl");
+        decl::check(program, &mut diagnostics);
+    }
+    {
+        let _pass = kpt_obs::span("lint.pass.view");
+        view::check(program, &mut diagnostics);
+    }
+    let errors_so_far = diagnostics
+        .iter()
+        .any(|d: &Diagnostic| d.severity() == Severity::Error);
+    let symbolic_ran = options.symbolic && !errors_so_far;
+    if symbolic_ran {
+        let _pass = kpt_obs::span("lint.pass.symbolic");
+        symbolic::check(program, &mut diagnostics);
+    }
+    kpt_obs::counter!("lint.findings").add(diagnostics.len() as u64);
+    span.field("program", program.name())
+        .field("findings", diagnostics.len() as u64);
+    LintReport {
+        program: program.name().to_owned(),
+        diagnostics,
+        symbolic_ran,
+    }
+}
+
+/// Lint a knowledge-based protocol (its underlying program).
+pub fn lint_kbp(kbp: &Kbp) -> LintReport {
+    lint_program(kbp.program())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_state::StateSpace;
+    use kpt_unity::Statement;
+
+    #[test]
+    fn clean_program_yields_empty_report_and_valid_json() {
+        let space = StateSpace::builder()
+            .bool_var("x")
+            .unwrap()
+            .build()
+            .unwrap();
+        let program = Program::builder("clean", &space)
+            .init_str("~x")
+            .unwrap()
+            .statement(
+                Statement::new("set")
+                    .guard_str("~x")
+                    .unwrap()
+                    .assign_str("x", "1")
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let report = lint_program(&program);
+        assert!(report.is_clean(), "unexpected findings: {report}");
+        assert!(report.symbolic_ran);
+        let json = report.to_json();
+        let v = kpt_obs::parse_json(&json).expect("report JSON parses");
+        assert_eq!(
+            v.get("program").and_then(kpt_obs::JsonValue::as_str),
+            Some("clean")
+        );
+        assert_eq!(
+            v.get("clean").and_then(kpt_obs::JsonValue::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut out = String::new();
+        json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn codes_are_stable_and_ordered() {
+        use DiagnosticCode::*;
+        let all = [
+            UnknownIdentifier,
+            UpdateOutOfRange,
+            ShadowedName,
+            EmptyInit,
+            ViewViolation,
+            UnknownProcess,
+            DeadGuard,
+            WriteRace,
+            KnowledgeCircularity,
+        ];
+        let codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+        assert_eq!(
+            codes,
+            [
+                "KPT001", "KPT002", "KPT003", "KPT004", "KPT005", "KPT006", "KPT007", "KPT008",
+                "KPT009"
+            ]
+        );
+        for c in all {
+            assert!(!c.paper_ref().is_empty());
+        }
+    }
+}

@@ -388,11 +388,13 @@ impl StandardModel {
         };
         let cached = self.k_op.get_or_init(|| {
             KnowledgeOperator::with_si(&self.space, views(), compiled.si().clone())
+                .expect("views drawn from the model's own space")
         });
         if cached.si() == compiled.si() {
             cached.clone()
         } else {
             KnowledgeOperator::with_si(&self.space, views(), compiled.si().clone())
+                .expect("views drawn from the model's own space")
         }
     }
 

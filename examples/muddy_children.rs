@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|p| (p.name().to_owned(), p.view()))
         .collect();
-    let op = KnowledgeOperator::with_si(&space, views, solution.clone());
+    let op = KnowledgeOperator::with_si(&space, views, solution.clone()).unwrap();
     let mud0 = Predicate::var_is_true(&space, space.var("mud0")?);
     let k0 = op.knows("C0", &mud0)?;
     let at_r0 = EvalContext::new(&space).eval(&parse_formula("mud0 /\\ mud1 /\\ round = 0")?)?;
@@ -89,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|p| (p.name().to_owned(), p.view()))
         .collect();
-    let mem_op = KnowledgeOperator::with_si(&mem_space, mem_views, mem_solution.clone());
+    let mem_op = KnowledgeOperator::with_si(&mem_space, mem_views, mem_solution.clone()).unwrap();
     let mem_mud0 = Predicate::var_is_true(&mem_space, mem_space.var("mud0")?);
     let mem_knows = mem_op
         .knows("C0", &mem_mud0)?

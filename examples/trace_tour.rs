@@ -78,7 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &kspace,
         views,
         Predicate::from_fn(&kspace, |s| s % 5 != 0),
-    );
+    )
+    .unwrap();
     let p = Predicate::from_fn(&kspace, |s| s % 3 == 0);
     let view_sets: Vec<VarSet> = ctx.views().iter().map(|(_, v)| *v).collect();
     let batch = ctx.knows_batch_with(2, &view_sets, &p);

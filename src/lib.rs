@@ -28,6 +28,7 @@
 //! | [`unity`] (`kpt-unity`) | UNITY programs, property deciders, leads-to model checker, certificate-producing proof kernel, fair execution |
 //! | [`core`] (`kpt-core`) | `wcyl`, the knowledge operator `K_i` (+ `E_G`, `C_G`, `D_G`), knowledge-based protocols and the eq. (25) solvers, the Figure 1/2 counterexamples, run-semantics equivalence |
 //! | [`bdd`] (`kpt-bdd`) | in-tree ROBDD engine: symbolic predicates, relational `sp`/`wp`, symbolic `SI` and `K_i`, and the symbolic KBP solver for instances the explicit search rejects |
+//! | [`lint`] (`kpt-lint`) | pre-solve static analyzer: declaration, view-soundness, and symbolic diagnostics (`KPT001`-`KPT009`) with paper cross-references |
 //! | [`channel`] (`kpt-channel`) | faulty channels (loss / duplication / detectable corruption) for simulation |
 //! | [`seqtrans`] (`kpt-seqtrans`) | the §6 sequence-transmission study: Figure-3 KBP, Figure-4 standard protocol, knowledge-predicate validation, proof replay, simulators, alternating-bit and Stenning refinements |
 //!
@@ -65,6 +66,7 @@
 pub use kpt_bdd as bdd;
 pub use kpt_channel as channel;
 pub use kpt_core as core;
+pub use kpt_lint as lint;
 pub use kpt_logic as logic;
 pub use kpt_obs as obs;
 pub use kpt_seqtrans as seqtrans;
@@ -82,6 +84,9 @@ pub mod prelude {
     pub use kpt_core::{
         figure1, figure2, semantics_agree, view_knowledge, wcyl, IterativeOutcome, Kbp,
         KnowledgeOperator, SolutionSet,
+    };
+    pub use kpt_lint::{
+        lint_kbp, lint_program, Diagnostic, DiagnosticCode, LintOptions, LintReport, Severity,
     };
     pub use kpt_logic::{parse_expr, parse_formula, EvalContext, Expr, Formula};
     pub use kpt_state::{

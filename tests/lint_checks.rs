@@ -1,0 +1,431 @@
+//! Seeded-defect suite for the `kpt-lint` static analyzer.
+//!
+//! One deliberately broken program variant per diagnostic code, each
+//! asserting that *exactly* that code fires — plus zero-findings checks
+//! over every healthy in-tree model (the Figure 2 variants, muddy
+//! children, the §6 standard protocol and Figure-3 KBP, and the
+//! symbolic-scale escape-hatch instance). Figure 1 is the one model that
+//! is *supposed* to be flagged: its eq. (25) circularity (`KPT009`).
+
+use knowledge_pt::prelude::*;
+use knowledge_pt::seqtrans::{figure3_kbp, ModelOptions, StandardModel};
+
+/// Codes of a report, as stable strings, in emission order.
+fn codes(report: &LintReport) -> Vec<&'static str> {
+    report.codes().iter().map(|c| c.code()).collect()
+}
+
+fn lint_codes(program: &Program) -> Vec<&'static str> {
+    codes(&knowledge_pt::lint::lint_program(program))
+}
+
+// ---------------------------------------------------------------- seeded
+
+#[test]
+fn kpt001_unknown_identifier() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("seed-001", &space)
+        .init_str("~x")
+        .unwrap()
+        .statement(
+            Statement::new("s")
+                .guard_str("ghost")
+                .unwrap()
+                .assign_str("x", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let report = knowledge_pt::lint::lint_program(&program);
+    assert_eq!(codes(&report), ["KPT001"]);
+    assert_eq!(report.error_count(), 1);
+    // Errors in the cheap passes suppress the symbolic pass.
+    assert!(!report.symbolic_ran);
+}
+
+#[test]
+fn kpt001_unknown_assignment_target() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("seed-001b", &space)
+        .init_str("~x")
+        .unwrap()
+        .statement(Statement::new("s").assign_str("phantom", "1").unwrap())
+        .build()
+        .unwrap();
+    assert_eq!(lint_codes(&program), ["KPT001"]);
+}
+
+#[test]
+fn kpt002_update_out_of_range() {
+    let space = StateSpace::builder()
+        .nat_var("i", 4)
+        .unwrap()
+        .build()
+        .unwrap();
+    // `i := i + 1` with no guard overflows the domain at i = 3.
+    let program = Program::builder("seed-002", &space)
+        .init_str("i = 0")
+        .unwrap()
+        .statement(Statement::new("inc").assign_str("i", "i + 1").unwrap())
+        .build()
+        .unwrap();
+    let report = knowledge_pt::lint::lint_program(&program);
+    assert_eq!(codes(&report), ["KPT002"]);
+    // The finding carries the offending state as a witness.
+    let d = &report.diagnostics[0];
+    assert_eq!(d.witnesses.len(), 1);
+    assert!(d.witnesses[0]
+        .assignment
+        .iter()
+        .any(|(var, val)| var == "i" && val == "3"));
+}
+
+#[test]
+fn kpt003_param_shadows_variable() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .bool_var("y")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("seed-003", &space)
+        .init_str("~x /\\ ~y")
+        .unwrap()
+        .statement(
+            Statement::new("s")
+                .param("x", 1)
+                .guard_str("x = 1")
+                .unwrap()
+                .assign_str("y", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let report = knowledge_pt::lint::lint_program(&program);
+    assert_eq!(codes(&report), ["KPT003"]);
+    // A shadowing warning still lets the symbolic pass run.
+    assert!(report.symbolic_ran);
+}
+
+#[test]
+fn kpt004_empty_init() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("seed-004", &space)
+        .init_str("x /\\ ~x")
+        .unwrap()
+        .statement(
+            Statement::new("s")
+                .guard_str("x")
+                .unwrap()
+                .assign_str("x", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(lint_codes(&program), ["KPT004"]);
+}
+
+#[test]
+fn kpt005_guard_reads_outside_view() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .bool_var("z")
+        .unwrap()
+        .build()
+        .unwrap();
+    // P0 sees only x, but its knowledge-guarded statement also tests z.
+    let program = Program::builder("seed-005", &space)
+        .init_str("~x /\\ ~z")
+        .unwrap()
+        .process("P0", ["x"])
+        .unwrap()
+        .statement(
+            Statement::new("s")
+                .guard_str("K{P0}(x) /\\ z")
+                .unwrap()
+                .assign_str("x", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(lint_codes(&program), ["KPT005"]);
+}
+
+#[test]
+fn kpt005_update_reads_outside_view() {
+    let space = StateSpace::builder()
+        .nat_var("a", 3)
+        .unwrap()
+        .nat_var("b", 3)
+        .unwrap()
+        .build()
+        .unwrap();
+    // The guard is view-sound but the update copies a variable P0 cannot
+    // see. Writing outside the view is fine; *reading* is not.
+    let program = Program::builder("seed-005b", &space)
+        .init_str("a = 0 /\\ b = 0")
+        .unwrap()
+        .process("P0", ["a"])
+        .unwrap()
+        .statement(
+            Statement::new("copy")
+                .guard_str("K{P0}(a = 0)")
+                .unwrap()
+                .assign_str("a", "b")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(lint_codes(&program), ["KPT005"]);
+}
+
+#[test]
+fn kpt006_unknown_process() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("seed-006", &space)
+        .init_str("~x")
+        .unwrap()
+        .statement(
+            Statement::new("s")
+                .guard_str("K{Nobody}(x)")
+                .unwrap()
+                .assign_str("x", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(lint_codes(&program), ["KPT006"]);
+}
+
+#[test]
+fn kpt007_dead_guard() {
+    let space = StateSpace::builder()
+        .nat_var("i", 4)
+        .unwrap()
+        .build()
+        .unwrap();
+    // `i` never reaches 5 (it is not even in the domain), so the guard is
+    // unsatisfiable within the strongest invariant.
+    let program = Program::builder("seed-007", &space)
+        .init_str("i = 0")
+        .unwrap()
+        .statement(
+            Statement::new("inc")
+                .guard_str("i < 3")
+                .unwrap()
+                .assign_str("i", "i + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("dead")
+                .guard_str("i = 5")
+                .unwrap()
+                .assign_str("i", "0")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let report = knowledge_pt::lint::lint_program(&program);
+    assert_eq!(codes(&report), ["KPT007"]);
+    assert_eq!(report.diagnostics[0].statement.as_deref(), Some("dead"));
+}
+
+#[test]
+fn kpt007_requires_the_symbolic_pass() {
+    let space = StateSpace::builder()
+        .nat_var("i", 4)
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("seed-007b", &space)
+        .init_str("i = 0")
+        .unwrap()
+        .statement(
+            Statement::new("dead")
+                .guard_str("i = 3")
+                .unwrap()
+                .assign_str("i", "0")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let opts = LintOptions { symbolic: false };
+    let report = knowledge_pt::lint::lint_program_with(&program, &opts);
+    assert!(!report.symbolic_ran);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn kpt008_write_write_race() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .build()
+        .unwrap();
+    // Two unconditional statements drive x to different values: the final
+    // state depends on the scheduler.
+    let program = Program::builder("seed-008", &space)
+        .init_str("~x")
+        .unwrap()
+        .statement(Statement::new("set").assign_str("x", "1").unwrap())
+        .statement(Statement::new("clear").assign_str("x", "0").unwrap())
+        .build()
+        .unwrap();
+    let report = knowledge_pt::lint::lint_program(&program);
+    assert_eq!(codes(&report), ["KPT008"]);
+    assert_eq!(report.diagnostics[0].witnesses.len(), 1);
+}
+
+#[test]
+fn kpt009_figure1_circularity() {
+    // The paper's Figure 1: `grant` is guarded by K₀(¬x) while `take` —
+    // enabled by grant's own write — sets x. Eq. (25) is non-monotone and
+    // the protocol provably has no solution; the linter flags exactly
+    // this.
+    let kbp = figure1().unwrap();
+    let report = knowledge_pt::lint::lint_kbp(&kbp);
+    assert_eq!(codes(&report), ["KPT009"]);
+    assert_eq!(report.diagnostics[0].statement.as_deref(), Some("grant"));
+    assert_eq!(report.warning_count(), 1);
+    assert_eq!(report.error_count(), 0);
+}
+
+// --------------------------------------------------------------- healthy
+
+#[test]
+fn healthy_models_are_clean() {
+    let mut programs: Vec<(String, Program)> = Vec::new();
+    for init in ["~y", "~y /\\ x"] {
+        programs.push((
+            format!("figure2[{init}]"),
+            figure2(init).unwrap().program().clone(),
+        ));
+    }
+    programs.push((
+        "muddy".into(),
+        knowledge_pt::core::muddy_children_n(2)
+            .unwrap()
+            .program()
+            .clone(),
+    ));
+    programs.push((
+        "muddy+memory".into(),
+        knowledge_pt::core::muddy_children_with_memory_n(2)
+            .unwrap()
+            .program()
+            .clone(),
+    ));
+    let model = StandardModel::build(2, 2, ModelOptions::default()).unwrap();
+    programs.push(("seqtrans-std".into(), model.program().clone()));
+    programs.push((
+        "seqtrans-fig3".into(),
+        figure3_kbp(&model).unwrap().program().clone(),
+    ));
+
+    for (name, program) in &programs {
+        let report = knowledge_pt::lint::lint_program(program);
+        assert!(report.is_clean(), "{name} must lint clean, got: {report}");
+        assert!(report.symbolic_ran, "{name} must reach the symbolic pass");
+    }
+}
+
+#[test]
+fn escape_hatch_model_is_clean() {
+    // The 159-free-state instance the exhaustive solver rejects: the
+    // linter's symbolic pass must still handle it (and find nothing).
+    let space = StateSpace::builder()
+        .nat_var("i", 80)
+        .unwrap()
+        .bool_var("done")
+        .unwrap()
+        .build()
+        .unwrap();
+    let program = Program::builder("bdd-escape", &space)
+        .init_str("i = 0 && !done")
+        .unwrap()
+        .process("P", ["i"])
+        .unwrap()
+        .statement(
+            Statement::new("inc")
+                .guard_str("i < 79")
+                .unwrap()
+                .assign_str("i", "i + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("finish")
+                .guard_str("K{P}(i >= 40)")
+                .unwrap()
+                .assign_str("done", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let report = knowledge_pt::lint::lint_program(&program);
+    assert!(report.is_clean(), "escape hatch: {report}");
+    assert!(report.symbolic_ran);
+}
+
+// ------------------------------------------------------------- reporting
+
+#[test]
+fn report_json_round_trips_through_the_obs_parser() {
+    let report = knowledge_pt::lint::lint_kbp(&figure1().unwrap());
+    let json = report.to_json();
+    let value = knowledge_pt::obs::parse_json(&json).expect("valid JSON");
+    assert_eq!(
+        value.get("program").and_then(|v| v.as_str()),
+        Some("figure1")
+    );
+    let diags = value
+        .get("diagnostics")
+        .and_then(|v| v.as_array())
+        .expect("diagnostics array");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].get("code").and_then(|v| v.as_str()),
+        Some("KPT009")
+    );
+    assert_eq!(
+        diags[0].get("paper_ref").and_then(|v| v.as_str()),
+        Some("eq. (25), Figure 1")
+    );
+}
+
+#[test]
+fn every_code_has_severity_and_paper_reference() {
+    use knowledge_pt::lint::DiagnosticCode::*;
+    for code in [
+        UnknownIdentifier,
+        UpdateOutOfRange,
+        ShadowedName,
+        EmptyInit,
+        ViewViolation,
+        UnknownProcess,
+        DeadGuard,
+        WriteRace,
+        KnowledgeCircularity,
+    ] {
+        assert!(code.code().starts_with("KPT"));
+        assert!(!code.paper_ref().is_empty());
+        let _ = code.severity();
+    }
+}

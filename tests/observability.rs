@@ -49,7 +49,7 @@ fn traced_run_emits_valid_jsonl_covering_all_subsystems() {
             .unwrap();
         let views = vec![("P".to_owned(), VarSet::from_vars(space.vars().take(1)))];
         let si = Predicate::tt(&space);
-        let ctx = KnowledgeContext::new(&space, views, si);
+        let ctx = KnowledgeContext::new(&space, views, si).unwrap();
         let view = ctx.views()[0].1;
         let p = Predicate::from_fn(&space, |s| s % 2 == 0);
         let _ = ctx.knows_view(view, &p); // miss
