@@ -37,6 +37,19 @@ pub enum BddError {
         /// Enumeration limit.
         limit: u64,
     },
+    /// A bounded symbolic fixpoint exceeded its live-node budget before
+    /// converging (see `symbolic_sst_bounded`). The budget is checked at
+    /// every round's safe point, *after* any configured garbage collection
+    /// or reordering ran — so an engine whose policies keep the working set
+    /// small can finish inside a budget a grow-only engine exhausts.
+    NodeBudgetExceeded {
+        /// Live internal nodes when the budget tripped.
+        nodes: usize,
+        /// The configured live-node budget.
+        budget: usize,
+        /// Frontier rounds completed before tripping.
+        rounds: u64,
+    },
     /// A guard-enabled state assigns a value outside the target variable's
     /// domain — the symbolic mirror of `UnityError::UpdateOutOfRange`.
     UpdateOutOfRange {
@@ -73,6 +86,15 @@ impl fmt::Display for BddError {
                 f,
                 "statement `{statement}`: opaque update needs a {states}-state \
                  explicit sweep, above the enumeration limit {limit}"
+            ),
+            BddError::NodeBudgetExceeded {
+                nodes,
+                budget,
+                rounds,
+            } => write!(
+                f,
+                "symbolic fixpoint exceeded its node budget after {rounds} \
+                 rounds: {nodes} live nodes, budget {budget}"
             ),
             BddError::UpdateOutOfRange {
                 statement,

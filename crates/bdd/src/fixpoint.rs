@@ -3,12 +3,23 @@
 //!
 //! Each round images only the *frontier* (states discovered last round),
 //! exactly like `kpt_transformers::sst_frontier`, but the image is a
-//! relational product instead of a bitset scatter. Convergence is the O(1)
-//! root-id comparison that restricted canonical roots buy.
+//! relational product instead of a bitset scatter — early-quantified over
+//! the conjunctive partition when the relation has one. Convergence is the
+//! O(1) root-id comparison that restricted canonical roots buy.
+//!
+//! The end of every round is a *safe point*: no recursion is in flight, and
+//! every intermediate the loop still needs (`reached`, the frontier, the
+//! relation roots) is handed to [`Manager::checkpoint`] as a temporary
+//! root. That is where the configured garbage collection and dynamic
+//! reordering policies run, and where [`symbolic_sst_bounded`] measures its
+//! live-node budget — after cleanup, so engines whose policies shrink the
+//! working set can finish inside budgets a grow-only engine exhausts.
 
+use crate::error::BddError;
 use crate::manager::{Manager, NodeId, FALSE};
 use crate::predicate::SymbolicPredicate;
-use crate::transition::SymbolicTransition;
+use crate::space::BddSpace;
+use crate::transition::{ImageRel, SymbolicTransition};
 
 /// Round-by-round behaviour of one symbolic fixpoint run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +44,29 @@ pub fn symbolic_sst_with_stats(
     p: &SymbolicPredicate,
     transitions: &[SymbolicTransition],
 ) -> (SymbolicPredicate, SymbolicFixpointStats) {
+    let (si, stats) = run_sst(p, transitions, usize::MAX).expect("unbounded sst cannot trip");
+    (si, stats)
+}
+
+/// [`symbolic_sst`] under a live-node budget: fails with
+/// [`BddError::NodeBudgetExceeded`] if, after any round's garbage
+/// collection and reordering, more than `max_live_nodes` internal nodes
+/// remain allocated. This is the honest way to compare engine
+/// configurations: the budget bounds *memory*, and only configurations
+/// whose policies keep the diagrams small converge inside it.
+pub fn symbolic_sst_bounded(
+    p: &SymbolicPredicate,
+    transitions: &[SymbolicTransition],
+    max_live_nodes: usize,
+) -> Result<(SymbolicPredicate, SymbolicFixpointStats), BddError> {
+    run_sst(p, transitions, max_live_nodes)
+}
+
+fn run_sst(
+    p: &SymbolicPredicate,
+    transitions: &[SymbolicTransition],
+    max_live_nodes: usize,
+) -> Result<(SymbolicPredicate, SymbolicFixpointStats), BddError> {
     let space = p.space();
     for t in transitions {
         assert!(
@@ -43,14 +77,17 @@ pub fn symbolic_sst_with_stats(
     let mut span = kpt_obs::span("bdd.fixpoint");
     kpt_obs::counter!("bdd.fixpoint.runs").incr();
     let mut mgr = space.lock();
-    let rels: Vec<NodeId> = transitions.iter().map(|t| t.rel()).collect();
-    let (root, stats) = sst_raw(space, &mut mgr, p.root(), &rels);
+    let rels: Vec<ImageRel<'_>> = transitions.iter().map(|t| t.image_rel()).collect();
+    let out = sst_raw_bounded(space, &mut mgr, p.root(), &rels, max_live_nodes);
     drop(mgr);
+    let (root, stats) = out?;
     kpt_obs::histogram!("bdd.si.nodes").record(stats.nodes as u64);
     span.field("rounds", stats.rounds);
     span.field("nodes", stats.nodes as u64);
     span.finish();
-    (SymbolicPredicate::new(space, root), stats)
+    let si = SymbolicPredicate::new(space, root);
+    space.lock().release_root(root); // the loop's own reference, now covered by `si`
+    Ok((si, stats))
 }
 
 /// The paper's `SI`: `sst` of the initial condition.
@@ -61,38 +98,79 @@ pub fn symbolic_strongest_invariant(
     symbolic_sst(init, transitions)
 }
 
-/// Core frontier loop over raw relation roots, shared with the KBP solver;
-/// the caller holds the manager lock.
+/// Core frontier loop over relation views, shared with the KBP solver; the
+/// caller holds the manager lock.
 pub(crate) fn sst_raw(
-    space: &crate::space::BddSpace,
+    space: &BddSpace,
     mgr: &mut Manager,
     init: NodeId,
-    rels: &[NodeId],
+    rels: &[ImageRel<'_>],
 ) -> (NodeId, SymbolicFixpointStats) {
+    sst_raw_bounded(space, mgr, init, rels, usize::MAX).expect("unbounded sst cannot trip")
+}
+
+/// On success the returned root carries **one external root reference**
+/// owned by the caller (released once the caller has taken its own).
+/// Holding real roots — not just checkpoint temporaries — on the loop's
+/// working set is what makes `reached`/`frontier` count as *live*, so the
+/// GC dead-fraction, the sifting trigger, and the node budget all see the
+/// fixpoint's actual memory.
+pub(crate) fn sst_raw_bounded(
+    space: &BddSpace,
+    mgr: &mut Manager,
+    init: NodeId,
+    rels: &[ImageRel<'_>],
+    max_live_nodes: usize,
+) -> Result<(NodeId, SymbolicFixpointStats), BddError> {
+    let mut temps: Vec<NodeId> = vec![init];
+    for rel in rels {
+        rel.push_temp_roots(&mut temps);
+    }
     let mut reached = init;
     let mut frontier = init;
+    mgr.add_root(reached);
+    mgr.add_root(frontier);
     let mut rounds = 0u64;
     while frontier != FALSE {
         rounds += 1;
         kpt_obs::counter!("bdd.fixpoint.rounds").incr();
         let mut image = FALSE;
-        for &rel in rels {
-            let conj = mgr.and(frontier, rel);
-            let img = mgr.exists(conj, space.cur_levels());
-            let img = space.shift_to_cur(mgr, img);
+        for rel in rels {
+            let img = rel.image(space, mgr, frontier);
             image = mgr.or(image, img);
         }
         let not_reached = mgr.not(reached);
-        frontier = mgr.and(image, not_reached);
-        reached = mgr.or(reached, frontier);
+        let new_frontier = mgr.and(image, not_reached);
+        let new_reached = mgr.or(reached, new_frontier);
+        mgr.add_root(new_frontier);
+        mgr.add_root(new_reached);
+        mgr.release_root(frontier);
+        mgr.release_root(reached);
+        frontier = new_frontier;
+        reached = new_reached;
+        // Safe point: no recursion in flight, the working set rooted.
+        // GC and sifting run here if their policies say so.
+        mgr.checkpoint(&temps);
+        let live = mgr.live_nodes();
+        if live > max_live_nodes {
+            mgr.release_root(frontier);
+            mgr.release_root(reached);
+            return Err(BddError::NodeBudgetExceeded {
+                nodes: live,
+                budget: max_live_nodes,
+                rounds,
+            });
+        }
     }
+    mgr.release_root(frontier); // the FALSE terminal: a no-op
     let nodes = mgr.reachable_nodes(reached);
-    (reached, SymbolicFixpointStats { rounds, nodes })
+    Ok((reached, SymbolicFixpointStats { rounds, nodes }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manager::{BddConfig, GcPolicy};
     use crate::space::BddSpace;
     use kpt_state::StateSpace;
 
@@ -139,5 +217,67 @@ mod tests {
         assert_eq!(si.count(), 6); // 0..=5
                                    // Running sst again from SI is a no-op (canonical equality).
         assert_eq!(symbolic_sst(&si, std::slice::from_ref(&dec)), si);
+    }
+
+    #[test]
+    fn bounded_sst_trips_on_tiny_budget_and_passes_on_a_real_one() {
+        let space = StateSpace::builder()
+            .nat_var("i", 32)
+            .unwrap()
+            .build()
+            .unwrap();
+        let bdd = BddSpace::new(&space);
+        let i = space.var("i").unwrap();
+        let guard = SymbolicPredicate::from_var_fn(&bdd, i, |x| x < 31);
+        let inc = SymbolicTransition::builder(&bdd)
+            .guard(&guard)
+            .assign(i, &[i], |v| v[0] + 1)
+            .build()
+            .unwrap();
+        let init = SymbolicPredicate::var_eq(&bdd, i, 0);
+        let err = symbolic_sst_bounded(&init, std::slice::from_ref(&inc), 1).unwrap_err();
+        assert!(matches!(
+            err,
+            BddError::NodeBudgetExceeded { budget: 1, .. }
+        ));
+        let (si, _) = symbolic_sst_bounded(&init, std::slice::from_ref(&inc), 1 << 20).unwrap();
+        assert_eq!(si.count(), 32);
+    }
+
+    #[test]
+    fn gc_during_fixpoint_leaves_the_answer_intact() {
+        // An aggressive GC policy sweeps at every round's checkpoint; the
+        // fixpoint and its statistics must not change.
+        let space = StateSpace::builder()
+            .nat_var("i", 24)
+            .unwrap()
+            .build()
+            .unwrap();
+        let serial = BddSpace::with_config(&space, BddConfig::serial());
+        let swept = BddSpace::with_config(
+            &space,
+            BddConfig {
+                gc: GcPolicy::OnGrowth {
+                    min_nodes: 1,
+                    dead_percent: 0,
+                },
+                ..BddConfig::serial()
+            },
+        );
+        let i = space.var("i").unwrap();
+        let mut results = Vec::new();
+        for bdd in [&serial, &swept] {
+            let guard = SymbolicPredicate::from_var_fn(bdd, i, |x| x < 23);
+            let inc = SymbolicTransition::builder(bdd)
+                .guard(&guard)
+                .assign(i, &[i], |v| v[0] + 1)
+                .build()
+                .unwrap();
+            let init = SymbolicPredicate::var_eq(bdd, i, 2);
+            let (si, stats) = symbolic_sst_with_stats(&init, std::slice::from_ref(&inc));
+            results.push((si.count(), si.to_explicit(), stats.rounds));
+        }
+        assert_eq!(results[0], results[1]);
+        assert!(swept.gc_stats().runs > 0, "aggressive policy must sweep");
     }
 }

@@ -10,10 +10,16 @@
 //! update relation (from the assignments' support, never the full state
 //! space, unless an opaque `update_with` closure forces a bounded explicit
 //! sweep) and a `bad` set of pre-states whose assignment goes out of
-//! range. Per candidate only the knowledge guards are re-evaluated; the
-//! relation is reassembled as `ite(guard, update, identity)` and checked
-//! against `bad`, mirroring `UnityError::UpdateOutOfRange` on enabled
-//! states exactly.
+//! range. The update stays *conjunctively partitioned* — one small BDD per
+//! assignment plus identity and domain parts — so per candidate only the
+//! knowledge guards are re-evaluated, checked against `bad` (mirroring
+//! `UnityError::UpdateOutOfRange` on enabled states exactly), and paired
+//! with the partition for early-quantified fixpoint images; the monolithic
+//! `ite(guard, update, identity)` relation is never materialised.
+//!
+//! Everything the solver holds across fixpoint rounds — the initial set,
+//! static guards, `bad` sets, partition parts, and the SI cache's keys and
+//! values — is rooted against garbage collection and released on drop.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -29,7 +35,9 @@ use crate::knowledge::SymbolicKnowledge;
 use crate::manager::{Manager, NodeId, FALSE, TRUE};
 use crate::predicate::SymbolicPredicate;
 use crate::space::BddSpace;
-use crate::transition::{OPAQUE_ENUM_MAX, SUPPORT_ENUM_MAX};
+use crate::transition::{
+    ImageRel, Part, PartSet, SymbolicTransition, OPAQUE_ENUM_MAX, SUPPORT_ENUM_MAX,
+};
 
 /// Memoized `candidate → SI` pairs before a clear-on-full eviction;
 /// matches `kpt_core::Kbp`'s cache capacity.
@@ -37,10 +45,13 @@ const SI_CACHE_CAP: usize = 4096;
 
 #[derive(Default)]
 struct SiCache {
+    /// `candidate → SI`. Both sides are rooted while the entry lives, so
+    /// no GC sweep can free (or recycle the id of) either one.
     map: HashMap<NodeId, NodeId>,
     hits: u64,
     misses: u64,
     evictions: u64,
+    inserts: u64,
 }
 
 /// How a statement's guard is obtained per candidate.
@@ -55,8 +66,9 @@ enum GuardSpec {
 struct SymStatement {
     name: String,
     guard: GuardSpec,
-    /// Update relation on guard-enabled states (both copies in-domain).
-    upd_rel: NodeId,
+    /// Update relation on guard-enabled states (both copies in-domain),
+    /// kept as a conjunctive partition with early-quantification schedules.
+    parts: PartSet,
     /// Pre-states where some assignment evaluates outside its target's
     /// domain — an error iff the guard enables any of them.
     bad: NodeId,
@@ -136,16 +148,27 @@ impl SymbolicKbp {
             .map(|p| (p.name().to_owned(), p.view()))
             .collect();
         let mut statements = Vec::new();
+        let init;
         {
             let mut mgr = space.lock();
             for stmt in program.statements() {
-                statements.push(translate_statement(&space, &mut mgr, program, stmt)?);
+                let stmt = translate_statement(&space, &mut mgr, program, stmt)?;
+                // Everything a statement holds across fixpoint rounds must
+                // survive any GC sweep at a round checkpoint.
+                if let GuardSpec::Static(g) = stmt.guard {
+                    mgr.add_root(g);
+                }
+                mgr.add_root(stmt.bad);
+                let mut roots = Vec::new();
+                stmt.parts.roots(&mut roots);
+                for r in roots {
+                    mgr.add_root(r);
+                }
+                statements.push(stmt);
             }
+            init = space.encode_explicit_raw(&mut mgr, program.init());
+            mgr.add_root(init);
         }
-        let init = {
-            let mut mgr = space.lock();
-            space.encode_explicit_raw(&mut mgr, program.init())
-        };
         Ok(SymbolicKbp {
             program: program.clone(),
             space,
@@ -212,7 +235,7 @@ impl SymbolicKbp {
             &SymbolicPredicate::new(&self.space, x),
         );
         let mut mgr = self.space.lock();
-        let mut rels = Vec::with_capacity(self.statements.len());
+        let mut guards = Vec::with_capacity(self.statements.len());
         for stmt in &self.statements {
             let guard = match &stmt.guard {
                 GuardSpec::Static(g) => *g,
@@ -231,17 +254,36 @@ impl SymbolicKbp {
                 let witness = self.space.decode_cur_path(&path);
                 return Err(self.out_of_range_at(stmt, witness));
             }
-            let rel = mgr.ite(guard, stmt.upd_rel, self.space.identity_root());
-            rels.push(rel);
+            guards.push(guard);
         }
+        // The monolithic `ite(guard, update, identity)` relation is never
+        // built: each statement enters the fixpoint as its guard plus
+        // partition (the identity else-branch cannot add states to a
+        // reachability closure, so the frontier sequence is unchanged).
+        let rels: Vec<ImageRel<'_>> = self
+            .statements
+            .iter()
+            .zip(&guards)
+            .map(|(stmt, &guard)| ImageRel::Parts {
+                guard,
+                set: &stmt.parts,
+            })
+            .collect();
         let (si, _) = sst_raw(&self.space, &mut mgr, self.init, &rels);
-        drop(mgr);
         let mut cache = self.si_cache.lock().expect("SI cache poisoned");
         if cache.map.len() >= SI_CACHE_CAP {
+            for (&k, &v) in cache.map.iter() {
+                mgr.release_root(k);
+                mgr.release_root(v);
+            }
             cache.map.clear();
             cache.evictions += 1;
             kpt_obs::counter!("bdd.kbp.si_cache.evictions").incr();
         }
+        mgr.add_root(x);
+        // `si` arrives from `sst_raw` already carrying one root reference;
+        // the cache adopts it rather than adding a second.
+        cache.inserts += 1;
         cache.map.insert(x, si);
         Ok(si)
     }
@@ -273,20 +315,24 @@ impl SymbolicKbp {
     pub fn solve_iterative(&self, max_iterations: usize) -> Result<SymbolicOutcome, BddError> {
         let mut span = kpt_obs::span("bdd.solver.iterative");
         kpt_obs::counter!("bdd.solver.iterative.runs").incr();
-        let mut x = self.init;
-        let mut seen: Vec<NodeId> = vec![x];
+        // Candidates are held as RAII handles so GC sweeps inside later
+        // iterations can never free (or recycle the ids of) earlier ones —
+        // cycle detection is still O(1) root comparison.
+        let mut x = self.init();
+        let mut seen: Vec<SymbolicPredicate> = vec![x.clone()];
         for k in 0..max_iterations {
-            let next = self.iterate_root(x)?;
+            let next_root = self.iterate_root(x.root())?;
+            let next = SymbolicPredicate::new(&self.space, next_root);
             if next == x {
                 span.field("outcome", "converged");
                 span.field("iterations", (k + 1) as u64);
                 span.finish();
                 return Ok(SymbolicOutcome::Converged {
-                    solution: SymbolicPredicate::new(&self.space, x),
+                    solution: x,
                     iterations: k + 1,
                 });
             }
-            if let Some(pos) = seen.iter().position(|&p| p == next) {
+            if let Some(pos) = seen.iter().position(|p| *p == next) {
                 span.field("outcome", "cycle");
                 span.field("period", (seen.len() - pos) as u64);
                 span.finish();
@@ -295,7 +341,7 @@ impl SymbolicKbp {
                     entered_after: pos,
                 });
             }
-            seen.push(next);
+            seen.push(next.clone());
             x = next;
         }
         span.field("outcome", "inconclusive");
@@ -306,6 +352,58 @@ impl SymbolicKbp {
         })
     }
 
+    /// The translated relation of one named statement as a standalone
+    /// [`SymbolicTransition`], with knowledge guards (if any) evaluated at
+    /// the candidate invariant `x` — conjunctively partitioned exactly as
+    /// the solver's fixpoints consume it. Benchmarks use this to compare
+    /// the partitioned products against [`SymbolicTransition::monolithic`]
+    /// on real registry models.
+    ///
+    /// # Errors
+    /// [`BddError::Eval`] with `UnknownProcess` for an unknown statement
+    /// name, plus any guard evaluation failure.
+    pub fn statement_transition(
+        &self,
+        name: &str,
+        x: &SymbolicPredicate,
+    ) -> Result<SymbolicTransition, BddError> {
+        let stmt = self
+            .statements
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| {
+                BddError::Eval(kpt_logic::EvalError::UnknownIdentifier(name.to_owned()))
+            })?;
+        // A knowledge operator must be built before the manager lock is
+        // taken (its constructor locks too).
+        let knowledge = match &stmt.guard {
+            GuardSpec::Knowledge(_) => Some(SymbolicKnowledge::with_si(
+                &self.space,
+                self.views.clone(),
+                x,
+            )),
+            GuardSpec::Static(_) => None,
+        };
+        let mut mgr = self.space.lock();
+        let guard = match &stmt.guard {
+            GuardSpec::Static(g) => *g,
+            GuardSpec::Knowledge(f) => {
+                let ctx = SymbolicEvalContext::new(&self.space)
+                    .with_params(&stmt.params)
+                    .with_knowledge(knowledge.as_ref().expect("built above"));
+                ctx.eval_raw(&mut mgr, f)?
+            }
+        };
+        let set = stmt.parts.clone();
+        Ok(SymbolicTransition::from_parts(
+            &self.space,
+            &mut mgr,
+            guard,
+            true,
+            set,
+        ))
+    }
+
     /// SI-cache behaviour (`bdd.kbp.si_cache.*` counters aggregate the
     /// same numbers process-wide).
     pub fn cache_stats(&self) -> kpt_obs::CacheStats {
@@ -314,7 +412,33 @@ impl SymbolicKbp {
             hits: cache.hits,
             misses: cache.misses,
             evictions: cache.evictions,
+            inserts: cache.inserts,
             entries: cache.map.len(),
+        }
+    }
+}
+
+impl Drop for SymbolicKbp {
+    fn drop(&mut self) {
+        // `BddSpace::release_root` tolerates a poisoned lock, so this never
+        // panics in drop (the roots just leak).
+        self.space.release_root(self.init);
+        for stmt in &self.statements {
+            if let GuardSpec::Static(g) = stmt.guard {
+                self.space.release_root(g);
+            }
+            self.space.release_root(stmt.bad);
+            let mut roots = Vec::new();
+            stmt.parts.roots(&mut roots);
+            for r in roots {
+                self.space.release_root(r);
+            }
+        }
+        if let Ok(cache) = self.si_cache.lock() {
+            for (&k, &v) in cache.map.iter() {
+                self.space.release_root(k);
+                self.space.release_root(v);
+            }
         }
     }
 }
@@ -363,7 +487,7 @@ fn translate_statement(
                 > SUPPORT_ENUM_MAX
         });
 
-    let (upd_rel, bad) = if needs_explicit {
+    let (parts, bad) = if needs_explicit {
         translate_update_explicit(space, mgr, stmt, &assigns)?
     } else {
         translate_update_symbolic(space, mgr, &assigns)
@@ -372,10 +496,39 @@ fn translate_statement(
     Ok(SymStatement {
         name: stmt.name().to_owned(),
         guard,
-        upd_rel,
+        parts,
         bad,
         assigns,
         params: stmt.params().clone(),
+    })
+}
+
+/// The domain-constraint part both translations start from (skipped when
+/// every bit pattern is valid).
+fn domain_part(space: &Arc<BddSpace>, mgr: &mut Manager) -> Option<Part> {
+    let st_space = space.space();
+    let root = {
+        let c = space.domain_ok_cur();
+        let n = space.domain_ok_nxt();
+        mgr.and(c, n)
+    };
+    if root == TRUE {
+        return None;
+    }
+    let mut cur_supp = Vec::new();
+    for v in st_space.vars() {
+        let levels = space.var_cur_levels(v);
+        let nbits = levels.len() as u32;
+        if nbits > 0 && st_space.domain(v).size() != 1u64 << nbits {
+            cur_supp.extend(levels);
+        }
+    }
+    cur_supp.sort_unstable();
+    let nxt_supp: Vec<u32> = cur_supp.iter().map(|&l| l + 1).collect();
+    Some(Part {
+        root,
+        cur_supp,
+        nxt_supp,
     })
 }
 
@@ -429,19 +582,18 @@ fn compile_expr_inner(
 /// Symbolic update translation: per assignment, enumerate the support's
 /// value combinations (never the full space). Duplicate targets follow
 /// UNITY's in-order overwrite — the last assignment wins the relation,
-/// every assignment contributes to the `bad` set.
+/// every assignment contributes to the `bad` set. The result is a
+/// conjunctive partition: domain part, one part per effective assignment,
+/// one identity part per untouched variable.
 fn translate_update_symbolic(
     space: &Arc<BddSpace>,
     mgr: &mut Manager,
     assigns: &[(VarId, CExpr)],
-) -> (NodeId, NodeId) {
+) -> (PartSet, NodeId) {
     let st_space = space.space();
     let mut bad = FALSE;
-    let mut update = {
-        let c = space.domain_ok_cur();
-        let n = space.domain_ok_nxt();
-        mgr.and(c, n)
-    };
+    let mut parts: Vec<Part> = Vec::new();
+    parts.extend(domain_part(space, mgr));
     let mut assigned = vec![false; st_space.num_vars()];
     for (idx, (target, ce)) in assigns.iter().enumerate() {
         assigned[target.index()] = true;
@@ -474,32 +626,57 @@ fn translate_update_symbolic(
             }
         }
         if effective {
-            update = mgr.and(update, rel_t);
+            let mut cur_supp: Vec<u32> =
+                vars.iter().flat_map(|v| space.var_cur_levels(*v)).collect();
+            cur_supp.sort_unstable();
+            cur_supp.dedup();
+            let nxt_supp: Vec<u32> = space
+                .var_cur_levels(*target)
+                .into_iter()
+                .map(|l| l + 1)
+                .collect();
+            parts.push(Part {
+                root: rel_t,
+                cur_supp,
+                nxt_supp,
+            });
         }
     }
     for v in st_space.vars() {
         if assigned[v.index()] {
             continue;
         }
-        for level in space.var_cur_levels(v) {
+        let levels = space.var_cur_levels(v);
+        if levels.is_empty() {
+            continue;
+        }
+        let mut same_all = TRUE;
+        for &level in levels.iter().rev() {
             let c = mgr.literal(level);
             let n = mgr.literal(level + 1);
             let same = mgr.iff(c, n);
-            update = mgr.and(update, same);
+            same_all = mgr.and(same_all, same);
         }
+        let nxt_supp: Vec<u32> = levels.iter().map(|&l| l + 1).collect();
+        parts.push(Part {
+            root: same_all,
+            cur_supp: levels,
+            nxt_supp,
+        });
     }
-    (update, bad)
+    (PartSet::new(space, parts), bad)
 }
 
 /// Explicit fallback for opaque `update_with` closures (or oversized
 /// supports): sweep every state once, building pair cubes. Bounded by
-/// [`OPAQUE_ENUM_MAX`].
+/// [`OPAQUE_ENUM_MAX`]. The result is a single full-support part — there
+/// is no structure to partition along.
 fn translate_update_explicit(
     space: &Arc<BddSpace>,
     mgr: &mut Manager,
     stmt: &kpt_unity::Statement,
     assigns: &[(VarId, CExpr)],
-) -> Result<(NodeId, NodeId), BddError> {
+) -> Result<(PartSet, NodeId), BddError> {
     let st_space = space.space();
     let n = st_space.num_states();
     if n > OPAQUE_ENUM_MAX {
@@ -533,7 +710,12 @@ fn translate_update_explicit(
         .map(|s| space.state_cube(mgr, s, false))
         .collect();
     let bad = or_tree(mgr, bad_cubes);
-    Ok((upd_rel, bad))
+    let part = Part {
+        root: upd_rel,
+        cur_supp: space.cur_levels().to_vec(),
+        nxt_supp: space.nxt_levels().to_vec(),
+    };
+    Ok((PartSet::new(space, vec![part]), bad))
 }
 
 fn or_tree(mgr: &mut Manager, mut layer: Vec<NodeId>) -> NodeId {
@@ -628,6 +810,30 @@ mod tests {
         let after = symbolic.cache_stats();
         assert_eq!(a, b);
         assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn statement_transitions_match_their_monolithic_form() {
+        let program = knowledge_program();
+        let symbolic = SymbolicKbp::from_program(&program).unwrap();
+        let x = symbolic.iterate(&symbolic.init()).unwrap();
+        for name in ["inc", "finish"] {
+            let t = symbolic.statement_transition(name, &x).unwrap();
+            assert!(t.num_parts() > 1, "{name} should stay partitioned");
+            let mono = t.monolithic();
+            for mask in [0b0101u64, 0b0011, 0b1111] {
+                let p = SymbolicPredicate::from_explicit(
+                    symbolic.space(),
+                    &kpt_state::Predicate::from_indices(
+                        program.space(),
+                        (0..8).filter(|s| mask >> s & 1 == 1),
+                    ),
+                );
+                assert_eq!(t.sp(&p), mono.sp(&p), "{name} sp diverges");
+                assert_eq!(t.wp(&p), mono.wp(&p), "{name} wp diverges");
+            }
+        }
+        assert!(symbolic.statement_transition("nope", &x).is_err());
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! Mirrors `kpt_core::KnowledgeContext`: same memo shape (clear-on-full at
 //! the same capacity), same counters under a `bdd.` prefix, same exit
 //! breadcrumb event when tracing is live.
+//!
+//! The operator roots its `SI` and `¬SI` BDDs for its lifetime, but memo
+//! *values* are deliberately unrooted — the memo instead records the
+//! manager's GC epoch and drops itself wholesale when a sweep has run
+//! since it was filled (stale node ids must never escape).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,9 +36,12 @@ pub struct SymbolicKnowledge {
     si: NodeId,
     not_si: NodeId,
     memo: Mutex<HashMap<(VarSet, NodeId), NodeId>>,
+    /// GC epoch the memo's entries were computed in.
+    memo_epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    inserts: AtomicU64,
 }
 
 impl std::fmt::Debug for SymbolicKnowledge {
@@ -58,6 +66,9 @@ impl SymbolicKnowledge {
             let d = space.domain_ok_cur();
             mgr.and(n, d)
         };
+        mgr.add_root(si.root());
+        mgr.add_root(not_si);
+        let epoch = mgr.epoch();
         drop(mgr);
         SymbolicKnowledge {
             space: Arc::clone(space),
@@ -65,9 +76,11 @@ impl SymbolicKnowledge {
             si: si.root(),
             not_si,
             memo: Mutex::new(HashMap::new()),
+            memo_epoch: AtomicU64::new(epoch),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +124,12 @@ impl SymbolicKnowledge {
     /// Core computation with the manager lock already held (the symbolic
     /// formula evaluator calls this mid-traversal).
     pub(crate) fn knows_view_raw(&self, mgr: &mut Manager, view: VarSet, p: NodeId) -> NodeId {
+        // Memo values are unrooted node ids: if a GC sweep has run since
+        // the memo was filled, every entry is suspect — drop them all.
+        let epoch = mgr.epoch();
+        if self.memo_epoch.swap(epoch, Ordering::Relaxed) != epoch {
+            self.memo.lock().expect("knowledge memo poisoned").clear();
+        }
         let key = (view, p);
         if let Some(&r) = self.memo.lock().expect("knowledge memo poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -131,16 +150,20 @@ impl SymbolicKnowledge {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             kpt_obs::counter!("bdd.knowledge.cache.evictions").incr();
         }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         memo.insert(key, r);
         r
     }
 
-    /// Memo behaviour of this operator instance.
+    /// Memo behaviour of this operator instance. `inserts` counts lifetime
+    /// insertions, so hit-rate arithmetic stays meaningful after
+    /// clear-on-full or GC-epoch invalidation shrinks `entries`.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
             entries: self.memo.lock().expect("knowledge memo poisoned").len(),
         }
     }
@@ -148,6 +171,8 @@ impl SymbolicKnowledge {
 
 impl Drop for SymbolicKnowledge {
     fn drop(&mut self) {
+        self.space.release_root(self.si);
+        self.space.release_root(self.not_si);
         if !kpt_obs::trace_enabled() {
             return;
         }

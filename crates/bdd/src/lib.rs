@@ -47,11 +47,13 @@ mod transition;
 
 pub use error::BddError;
 pub use fixpoint::{
-    symbolic_sst, symbolic_sst_with_stats, symbolic_strongest_invariant, SymbolicFixpointStats,
+    symbolic_sst, symbolic_sst_bounded, symbolic_sst_with_stats, symbolic_strongest_invariant,
+    SymbolicFixpointStats,
 };
 pub use formula::SymbolicEvalContext;
 pub use kbp::{SymbolicKbp, SymbolicOutcome};
 pub use knowledge::SymbolicKnowledge;
+pub use manager::{BddConfig, GcPolicy, GcStats, ReorderPolicy, ReorderStats};
 pub use predicate::SymbolicPredicate;
 pub use space::BddSpace;
 pub use traits::PredicateOps;

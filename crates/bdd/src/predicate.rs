@@ -13,10 +13,28 @@ use crate::space::BddSpace;
 /// current-state levels. Combined with hash-consing this makes equality a
 /// root-id comparison — `p == q` is O(1) and exact, which the symbolic
 /// fixpoints and the KBP cycle detector rely on.
-#[derive(Clone)]
+///
+/// The value is an RAII root handle: constructing it pins the root against
+/// garbage collection, cloning adds a reference, and dropping releases it.
 pub struct SymbolicPredicate {
     space: Arc<BddSpace>,
     root: NodeId,
+}
+
+impl Clone for SymbolicPredicate {
+    fn clone(&self) -> Self {
+        self.space.lock().add_root(self.root);
+        SymbolicPredicate {
+            space: Arc::clone(&self.space),
+            root: self.root,
+        }
+    }
+}
+
+impl Drop for SymbolicPredicate {
+    fn drop(&mut self) {
+        self.space.release_root(self.root);
+    }
 }
 
 impl std::fmt::Debug for SymbolicPredicate {
@@ -43,7 +61,10 @@ impl std::hash::Hash for SymbolicPredicate {
 }
 
 impl SymbolicPredicate {
+    /// Wrap a computed root as an owned handle. Takes the manager lock to
+    /// pin the root — the caller must have released its guard.
     pub(crate) fn new(space: &Arc<BddSpace>, root: NodeId) -> Self {
+        space.lock().add_root(root);
         SymbolicPredicate {
             space: Arc::clone(space),
             root,

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use kpt_obs::Field;
 use kpt_state::{Predicate, StateSpace, VarId};
 
-use crate::manager::{Manager, NodeId, FALSE, TRUE};
+use crate::manager::{BddConfig, GcStats, Manager, NodeId, ReorderStats, FALSE, TRUE};
 
 /// Bit layout of one program variable inside a [`BddSpace`].
 #[derive(Debug, Clone, Copy)]
@@ -77,9 +77,17 @@ fn nbits_for(size: u64) -> u32 {
 }
 
 impl BddSpace {
-    /// Bit-blast `space`. The manager starts with only the domain
+    /// Bit-blast `space` with the default engine configuration (GC on,
+    /// reordering off). The manager starts with only the domain
     /// constraints and the identity relation allocated.
     pub fn new(space: &Arc<StateSpace>) -> Arc<BddSpace> {
+        Self::with_config(space, BddConfig::default())
+    }
+
+    /// Bit-blast `space` with explicit garbage-collection and reordering
+    /// policies (see [`BddConfig`]); `BddConfig::serial()` reproduces the
+    /// grow-only fixed-order engine the differential suites pin against.
+    pub fn with_config(space: &Arc<StateSpace>, config: BddConfig) -> Arc<BddSpace> {
         let mut bits = Vec::with_capacity(space.num_vars());
         let mut bit_owner = Vec::new();
         let mut offset = 0u32;
@@ -94,7 +102,10 @@ impl BddSpace {
         let cur_levels: Vec<u32> = (0..offset).map(|b| 2 * b).collect();
         let nxt_levels: Vec<u32> = (0..offset).map(|b| 2 * b + 1).collect();
 
-        let mut mgr = Manager::new();
+        let mut mgr = Manager::with_config(config);
+        // Declare every level up front so the order covers all
+        // current/next groups before any sifting can run.
+        mgr.register_levels(2 * offset as usize);
         let mut domain_ok_cur = TRUE;
         let mut domain_ok_nxt = TRUE;
         for (i, v) in space.vars().enumerate() {
@@ -115,6 +126,11 @@ impl BddSpace {
             let same = mgr.iff(c, n);
             identity = mgr.and(identity, same);
         }
+        // The space owns these for its whole lifetime: root them so no
+        // sweep can reclaim them.
+        mgr.add_root(domain_ok_cur);
+        mgr.add_root(domain_ok_nxt);
+        mgr.add_root(identity);
 
         Arc::new(BddSpace {
             space: Arc::clone(space),
@@ -139,24 +155,71 @@ impl BddSpace {
         self.bit_owner.len() as u32
     }
 
-    /// Total nodes allocated in the shared manager (terminals included).
+    /// Total nodes allocated in the shared manager (terminals included,
+    /// freed slots not).
     pub fn node_count(&self) -> usize {
         self.lock().num_nodes()
     }
 
-    /// `ite` memo behaviour of the shared manager.
+    /// Internal nodes still reachable from some root (sweepable garbage
+    /// excluded).
+    pub fn live_node_count(&self) -> usize {
+        self.lock().live_nodes()
+    }
+
+    /// High-water mark of allocated internal nodes — what node budgets are
+    /// measured against.
+    pub fn peak_node_count(&self) -> usize {
+        self.lock().peak_nodes()
+    }
+
+    /// Garbage-collection behaviour of the shared manager so far.
+    pub fn gc_stats(&self) -> GcStats {
+        self.lock().gc_stats()
+    }
+
+    /// Dynamic-reordering behaviour of the shared manager so far.
+    pub fn reorder_stats(&self) -> ReorderStats {
+        self.lock().reorder_stats()
+    }
+
+    /// Run a sweep right now, regardless of policy. Safe at any point where
+    /// no symbolic operation is mid-flight (the lock guarantees that).
+    pub fn gc_now(&self) {
+        self.lock().gc(&[]);
+    }
+
+    /// Run a sifting pass right now, regardless of policy. Everything held
+    /// by a live predicate/relation survives; the variable order afterwards
+    /// is the best the pass found.
+    pub fn reorder_now(&self) {
+        self.lock().sift(&[]);
+    }
+
+    /// `ite` memo behaviour of the shared manager. `inserts` counts
+    /// lifetime insertions, so hit-rate arithmetic stays meaningful after
+    /// clear-on-full or GC purges shrink `entries`.
     pub fn ite_cache_stats(&self) -> kpt_obs::CacheStats {
-        let (hits, misses, evictions, entries) = self.lock().ite_cache_stats();
+        let (hits, misses, evictions, inserts, entries) = self.lock().ite_cache_stats();
         kpt_obs::CacheStats {
             hits,
             misses,
             evictions,
+            inserts,
             entries,
         }
     }
 
     pub(crate) fn lock(&self) -> MutexGuard<'_, Manager> {
         self.mgr.lock().expect("BDD manager poisoned")
+    }
+
+    /// Release one external root reference. Tolerates a poisoned lock so
+    /// RAII handle `Drop` impls never panic (the root just leaks).
+    pub(crate) fn release_root(&self, root: NodeId) {
+        if let Ok(mut mgr) = self.mgr.lock() {
+            mgr.release_root(root);
+        }
     }
 
     pub(crate) fn cur_levels(&self) -> &[u32] {
@@ -202,50 +265,33 @@ impl BddSpace {
     }
 
     /// Cube fixing variable `v` to `value` on the current (`next = false`)
-    /// or next (`next = true`) levels. Built MSB-down so children always
-    /// have greater levels.
+    /// or next (`next = true`) levels. `Manager::cube` orders the chain by
+    /// the *current* variable order, so this is sound after any sift.
     pub(crate) fn value_cube(&self, mgr: &mut Manager, v: VarId, value: u64, next: bool) -> NodeId {
         debug_assert!(self.space.domain(v).contains(value), "value in domain");
         let vb = self.bits[v.index()];
-        let mut acc = TRUE;
-        for k in (0..vb.nbits).rev() {
-            let level = 2 * (vb.offset + k) + u32::from(next);
-            acc = if value >> k & 1 == 1 {
-                mgr.make_node(level, FALSE, acc)
-            } else {
-                mgr.make_node(level, acc, FALSE)
-            };
-        }
-        acc
+        let mut lits: Vec<(u32, bool)> = (0..vb.nbits)
+            .map(|k| (2 * (vb.offset + k) + u32::from(next), value >> k & 1 == 1))
+            .collect();
+        mgr.cube(&mut lits)
     }
 
     /// Cube fixing every variable: one fully specified state on one copy.
     pub(crate) fn state_cube(&self, mgr: &mut Manager, state: u64, next: bool) -> NodeId {
-        let mut acc = TRUE;
-        for b in (0..self.bit_owner.len() as u32).rev() {
-            let level = 2 * b + u32::from(next);
-            acc = if self.state_bit(state, b) {
-                mgr.make_node(level, FALSE, acc)
-            } else {
-                mgr.make_node(level, acc, FALSE)
-            };
-        }
-        acc
+        let mut lits: Vec<(u32, bool)> = (0..self.bit_owner.len() as u32)
+            .map(|b| (2 * b + u32::from(next), self.state_bit(state, b)))
+            .collect();
+        mgr.cube(&mut lits)
     }
 
     /// Cube fixing one transition `s → t` across both copies.
     pub(crate) fn pair_cube(&self, mgr: &mut Manager, s: u64, t: u64) -> NodeId {
-        let mut acc = TRUE;
-        for b in (0..self.bit_owner.len() as u32).rev() {
-            for (state, level) in [(t, 2 * b + 1), (s, 2 * b)] {
-                acc = if self.state_bit(state, b) {
-                    mgr.make_node(level, FALSE, acc)
-                } else {
-                    mgr.make_node(level, acc, FALSE)
-                };
-            }
+        let mut lits: Vec<(u32, bool)> = Vec::with_capacity(2 * self.bit_owner.len());
+        for b in 0..self.bit_owner.len() as u32 {
+            lits.push((2 * b, self.state_bit(s, b)));
+            lits.push((2 * b + 1, self.state_bit(t, b)));
         }
-        acc
+        mgr.cube(&mut lits)
     }
 
     /// Bit `b` of the bit-blasted encoding of explicit state `state`.
@@ -360,7 +406,7 @@ impl Drop for BddSpace {
             return;
         }
         let mgr = self.mgr.get_mut().expect("BDD manager poisoned");
-        let (hits, misses, evictions, entries) = mgr.ite_cache_stats();
+        let (hits, misses, evictions, inserts, entries) = mgr.ite_cache_stats();
         if hits + misses == 0 {
             return;
         }
@@ -369,11 +415,25 @@ impl Drop for BddSpace {
             "bdd.cache",
             &[
                 ("nodes", Field::U64(mgr.num_nodes() as u64)),
+                ("nodes_peak", Field::U64(mgr.peak_nodes() as u64)),
                 ("ite_hits", Field::U64(hits)),
                 ("ite_misses", Field::U64(misses)),
                 ("ite_evictions", Field::U64(evictions)),
+                ("ite_inserts", Field::U64(inserts)),
                 ("ite_entries", Field::U64(entries as u64)),
                 ("ite_hit_ratio", Field::F64(hits as f64 / total)),
+            ],
+        );
+        let gc = mgr.gc_stats();
+        let ro = mgr.reorder_stats();
+        kpt_obs::event(
+            "bdd.gc",
+            &[
+                ("runs", Field::U64(gc.runs)),
+                ("freed", Field::U64(gc.freed)),
+                ("epoch", Field::U64(gc.epoch)),
+                ("reorder_runs", Field::U64(ro.runs)),
+                ("reorder_swaps", Field::U64(ro.swaps)),
             ],
         );
     }

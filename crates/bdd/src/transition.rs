@@ -1,13 +1,26 @@
 //! Transition relations as BDDs over the interleaved current/next levels,
 //! with `sp`/`wp` as relational products.
+//!
+//! # Partitioned relations and early quantification
+//!
+//! A relation built from a guarded multiple-assignment statement is kept
+//! *conjunctively partitioned*: one small BDD per assignment (plus one per
+//! untouched variable's identity constraint and one for the domain
+//! constraints), never conjoined into a monolithic `R(cur, nxt)`. The
+//! relational products walk the partition with the manager's `and_exists`
+//! kernel, quantifying each level out at its *last occurrence* across the
+//! parts — so intermediate products stay close to the size of the final
+//! image instead of the size of the full relation. The partitioned and
+//! monolithic forms denote the same relation, so every product yields the
+//! same canonical root either way; the differential suites pin that.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use kpt_state::VarId;
 use kpt_transformers::DetTransition;
 
 use crate::error::BddError;
-use crate::manager::{Manager, NodeId, FALSE};
+use crate::manager::{Manager, NodeId, FALSE, TRUE};
 use crate::predicate::SymbolicPredicate;
 use crate::space::BddSpace;
 
@@ -19,39 +32,328 @@ pub(crate) const SUPPORT_ENUM_MAX: u64 = 1 << 16;
 /// translation of an opaque update function.
 pub(crate) const OPAQUE_ENUM_MAX: u64 = 1 << 20;
 
+/// One conjunct of a partitioned relation, with its declared support
+/// (a superset of the true support is sound; a subset is not).
+#[derive(Clone)]
+pub(crate) struct Part {
+    pub(crate) root: NodeId,
+    /// Current-state levels in the part's support, sorted ascending.
+    pub(crate) cur_supp: Vec<u32>,
+    /// Next-state levels in the part's support, sorted ascending.
+    pub(crate) nxt_supp: Vec<u32>,
+}
+
+/// Early-quantification schedule for one sweep direction: `pre` is
+/// quantified before the first conjunction, `dying[i]` right after part
+/// `i` (its levels' last occurrence).
+#[derive(Clone)]
+struct Schedule {
+    pre: Vec<u32>,
+    dying: Vec<Vec<u32>>,
+}
+
+fn schedule(parts: &[Part], all_levels: &[u32], supp: impl Fn(&Part) -> &[u32]) -> Schedule {
+    let mut last: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for (i, part) in parts.iter().enumerate() {
+        for &l in supp(part) {
+            last.insert(l, i);
+        }
+    }
+    let mut pre = Vec::new();
+    let mut dying = vec![Vec::new(); parts.len()];
+    for &l in all_levels {
+        match last.get(&l) {
+            None => pre.push(l),
+            Some(&i) => dying[i].push(l),
+        }
+    }
+    for d in &mut dying {
+        d.sort_unstable();
+    }
+    pre.sort_unstable();
+    Schedule { pre, dying }
+}
+
+/// A conjunctive partition with precomputed early-quantification schedules
+/// for both product directions (`sp` sweeps current levels, `wp` next).
+#[derive(Clone)]
+pub(crate) struct PartSet {
+    parts: Vec<Part>,
+    cur_sched: Schedule,
+    nxt_sched: Schedule,
+}
+
+impl PartSet {
+    pub(crate) fn new(space: &BddSpace, parts: Vec<Part>) -> Self {
+        let cur_sched = schedule(&parts, space.cur_levels(), |p| &p.cur_supp);
+        let nxt_sched = schedule(&parts, space.nxt_levels(), |p| &p.nxt_supp);
+        PartSet {
+            parts,
+            cur_sched,
+            nxt_sched,
+        }
+    }
+
+    pub(crate) fn roots(&self, out: &mut Vec<NodeId>) {
+        out.extend(self.parts.iter().map(|p| p.root));
+    }
+
+    /// `∃cur. from ∧ guard ∧ ∏parts`, renamed onto the current levels —
+    /// the enabled branch of `sp` (the caller adds the else branch).
+    pub(crate) fn image_raw(
+        &self,
+        space: &BddSpace,
+        mgr: &mut Manager,
+        from: NodeId,
+        guard: NodeId,
+    ) -> NodeId {
+        let enabled = mgr.and(from, guard);
+        let mut work = mgr.exists(enabled, &self.cur_sched.pre);
+        for (part, dying) in self.parts.iter().zip(&self.cur_sched.dying) {
+            if work == FALSE {
+                return FALSE;
+            }
+            work = mgr.and_exists(work, part.root, dying);
+        }
+        space.shift_to_cur(mgr, work)
+    }
+
+    /// `∃nxt. ∏parts ∧ escape`, where `escape` is a next-state-levels
+    /// function (typically `¬p'`) — the escape set of `wp`, before the
+    /// guard is applied.
+    pub(crate) fn pre_escape_raw(&self, mgr: &mut Manager, escape: NodeId) -> NodeId {
+        let mut work = mgr.exists(escape, &self.nxt_sched.pre);
+        for (part, dying) in self.parts.iter().zip(&self.nxt_sched.dying) {
+            if work == FALSE {
+                return FALSE;
+            }
+            work = mgr.and_exists(work, part.root, dying);
+        }
+        work
+    }
+
+    /// Materialise the monolithic conjunction of all parts.
+    pub(crate) fn product(&self, mgr: &mut Manager) -> NodeId {
+        let mut acc = TRUE;
+        for part in &self.parts {
+            acc = mgr.and(acc, part.root);
+        }
+        acc
+    }
+}
+
+/// One relation as the fixpoints consume it: either a monolithic
+/// `R(cur, nxt)` or a guard plus conjunctive partition.
+pub(crate) enum ImageRel<'a> {
+    Mono(NodeId),
+    Parts { guard: NodeId, set: &'a PartSet },
+}
+
+impl ImageRel<'_> {
+    /// Forward image on the current levels. For a partitioned relation
+    /// this is the enabled branch only — the else/stutter branch never
+    /// adds states to a reachability fixpoint.
+    pub(crate) fn image(&self, space: &BddSpace, mgr: &mut Manager, from: NodeId) -> NodeId {
+        match self {
+            ImageRel::Mono(rel) => {
+                let conj = mgr.and(from, *rel);
+                let img = mgr.exists(conj, space.cur_levels());
+                space.shift_to_cur(mgr, img)
+            }
+            ImageRel::Parts { guard, set } => set.image_raw(space, mgr, from, *guard),
+        }
+    }
+
+    /// Everything a GC sweep at a fixpoint safe point must keep alive.
+    pub(crate) fn push_temp_roots(&self, out: &mut Vec<NodeId>) {
+        match self {
+            ImageRel::Mono(rel) => out.push(*rel),
+            ImageRel::Parts { guard, set } => {
+                out.push(*guard);
+                set.roots(out);
+            }
+        }
+    }
+}
+
+enum Repr {
+    Mono(NodeId),
+    Parts {
+        guard: NodeId,
+        /// When true, states failing the guard take the identity step
+        /// (UNITY's "no effect" semantics).
+        has_else: bool,
+        set: PartSet,
+    },
+}
+
 /// A total transition relation `R(cur, nxt)` over a [`BddSpace`].
 ///
 /// The relation always implies both copies' domain constraints, so the
-/// relational products below stay restricted.
-#[derive(Clone)]
+/// relational products below stay restricted. Like
+/// [`SymbolicPredicate`], the value is an RAII root handle: its BDD roots
+/// are pinned against garbage collection for its lifetime.
 pub struct SymbolicTransition {
     space: Arc<BddSpace>,
-    rel: NodeId,
+    repr: Repr,
+    /// Lazily materialised monolithic relation (rooted once set).
+    mono: OnceLock<NodeId>,
 }
 
 impl std::fmt::Debug for SymbolicTransition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SymbolicTransition")
             .field("nodes", &self.node_count())
+            .field("parts", &self.num_parts())
             .finish()
+    }
+}
+
+impl Clone for SymbolicTransition {
+    fn clone(&self) -> Self {
+        let mut mgr = self.space.lock();
+        let repr = match &self.repr {
+            Repr::Mono(rel) => {
+                mgr.add_root(*rel);
+                Repr::Mono(*rel)
+            }
+            Repr::Parts {
+                guard,
+                has_else,
+                set,
+            } => {
+                mgr.add_root(*guard);
+                for p in &set.parts {
+                    mgr.add_root(p.root);
+                }
+                Repr::Parts {
+                    guard: *guard,
+                    has_else: *has_else,
+                    set: set.clone(),
+                }
+            }
+        };
+        let mono = OnceLock::new();
+        if let Some(&m) = self.mono.get() {
+            if !matches!(repr, Repr::Mono(_)) {
+                mgr.add_root(m);
+            }
+            let _ = mono.set(m);
+        }
+        drop(mgr);
+        SymbolicTransition {
+            space: Arc::clone(&self.space),
+            repr,
+            mono,
+        }
+    }
+}
+
+impl Drop for SymbolicTransition {
+    fn drop(&mut self) {
+        match &self.repr {
+            Repr::Mono(rel) => self.space.release_root(*rel),
+            Repr::Parts { guard, set, .. } => {
+                self.space.release_root(*guard);
+                for p in &set.parts {
+                    self.space.release_root(p.root);
+                }
+                if let Some(&m) = self.mono.get() {
+                    self.space.release_root(m);
+                }
+            }
+        }
     }
 }
 
 impl SymbolicTransition {
     pub(crate) fn from_root(space: &Arc<BddSpace>, rel: NodeId) -> Self {
+        space.lock().add_root(rel);
+        let mono = OnceLock::new();
+        let _ = mono.set(rel);
         SymbolicTransition {
             space: Arc::clone(space),
-            rel,
+            repr: Repr::Mono(rel),
+            mono,
         }
     }
 
+    pub(crate) fn from_parts(
+        space: &Arc<BddSpace>,
+        mgr: &mut Manager,
+        guard: NodeId,
+        has_else: bool,
+        set: PartSet,
+    ) -> Self {
+        mgr.add_root(guard);
+        for p in &set.parts {
+            mgr.add_root(p.root);
+        }
+        SymbolicTransition {
+            space: Arc::clone(space),
+            repr: Repr::Parts {
+                guard,
+                has_else,
+                set,
+            },
+            mono: OnceLock::new(),
+        }
+    }
+
+    /// The monolithic relation root, materialising (and caching) it for a
+    /// partitioned transition. Bridges and differential checks use this;
+    /// the products themselves never do.
     pub(crate) fn rel(&self) -> NodeId {
-        self.rel
+        if let Some(&m) = self.mono.get() {
+            return m;
+        }
+        let Repr::Parts {
+            guard,
+            has_else,
+            set,
+        } = &self.repr
+        else {
+            unreachable!("monolithic repr always has mono set");
+        };
+        let mut mgr = self.space.lock();
+        let update = set.product(&mut mgr);
+        let rel = if *has_else {
+            let id = self.space.identity_root();
+            mgr.ite(*guard, update, id)
+        } else {
+            update
+        };
+        mgr.add_root(rel);
+        drop(mgr);
+        *self.mono.get_or_init(|| rel)
+    }
+
+    pub(crate) fn image_rel(&self) -> ImageRel<'_> {
+        match &self.repr {
+            Repr::Mono(rel) => ImageRel::Mono(*rel),
+            Repr::Parts { guard, set, .. } => ImageRel::Parts { guard: *guard, set },
+        }
     }
 
     /// The symbolic space the relation ranges over.
     pub fn space(&self) -> &Arc<BddSpace> {
         &self.space
+    }
+
+    /// Number of conjunctive parts (1 for a monolithic relation).
+    pub fn num_parts(&self) -> usize {
+        match &self.repr {
+            Repr::Mono(_) => 1,
+            Repr::Parts { set, .. } => set.parts.len(),
+        }
+    }
+
+    /// A monolithic copy of this relation: same denotation, single-BDD
+    /// representation (the PR-4 engine's form, kept for differential
+    /// benchmarking against the partitioned products).
+    #[must_use]
+    pub fn monolithic(&self) -> SymbolicTransition {
+        SymbolicTransition::from_root(&self.space, self.rel())
     }
 
     /// The identity relation (every valid state steps to itself).
@@ -91,6 +393,7 @@ impl SymbolicTransition {
 
     /// Start a guarded multiple-assignment relation without materializing
     /// anything explicit — the scaling path for spaces no bitset can hold.
+    /// The built relation is conjunctively partitioned.
     pub fn builder(space: &Arc<BddSpace>) -> SymbolicTransitionBuilder {
         SymbolicTransitionBuilder {
             space: Arc::clone(space),
@@ -100,7 +403,9 @@ impl SymbolicTransition {
     }
 
     /// Strongest postcondition as a relational product:
-    /// `sp.p = (∃cur : p ∧ R)` renamed back onto the current levels.
+    /// `sp.p = (∃cur : p ∧ R)` renamed back onto the current levels. For a
+    /// partitioned relation the product runs early-quantified over the
+    /// parts and the stutter branch is added as `p ∧ ¬guard`.
     #[must_use]
     pub fn sp(&self, p: &SymbolicPredicate) -> SymbolicPredicate {
         let mut mgr = self.space.lock();
@@ -110,34 +415,88 @@ impl SymbolicTransition {
     }
 
     pub(crate) fn sp_raw(&self, mgr: &mut Manager, p: NodeId) -> NodeId {
-        let conj = mgr.and(p, self.rel);
-        let img = mgr.exists(conj, self.space.cur_levels());
-        self.space.shift_to_cur(mgr, img)
+        match &self.repr {
+            Repr::Mono(rel) => {
+                let conj = mgr.and(p, *rel);
+                let img = mgr.exists(conj, self.space.cur_levels());
+                self.space.shift_to_cur(mgr, img)
+            }
+            Repr::Parts {
+                guard,
+                has_else,
+                set,
+            } => {
+                let img = set.image_raw(&self.space, mgr, p, *guard);
+                if *has_else {
+                    let ng = mgr.not(*guard);
+                    let stay = mgr.and(p, ng);
+                    mgr.or(img, stay)
+                } else {
+                    img
+                }
+            }
+        }
     }
 
     /// Weakest precondition of a total deterministic relation:
-    /// `wp.p = ¬(∃nxt : R ∧ ¬p')`, restricted to the valid states.
+    /// `wp.p = ¬(∃nxt : R ∧ ¬p')`, restricted to the valid states. The
+    /// partitioned form computes the escape set early-quantified and folds
+    /// the guard in afterwards: `¬(g ∧ ∃nxt(U ∧ ¬p')) ∧ (g ∨ p) ∧ dom`.
     #[must_use]
     pub fn wp(&self, p: &SymbolicPredicate) -> SymbolicPredicate {
         let mut mgr = self.space.lock();
-        let p_next = {
-            let shifted = self.space.shift_to_next(&mut mgr, p.root());
-            mgr.not(shifted)
-        };
-        let escapes = mgr.and(self.rel, p_next);
-        let ex = mgr.exists(escapes, self.space.nxt_levels());
-        let safe = mgr.not(ex);
-        let root = {
-            let d = self.space.domain_ok_cur();
-            mgr.and(safe, d)
-        };
+        let root = self.wp_raw(&mut mgr, p.root());
         drop(mgr);
         SymbolicPredicate::new(&self.space, root)
     }
 
-    /// Reachable ROBDD nodes of the relation.
+    pub(crate) fn wp_raw(&self, mgr: &mut Manager, p: NodeId) -> NodeId {
+        let not_p_next = {
+            let shifted = self.space.shift_to_next(mgr, p);
+            mgr.not(shifted)
+        };
+        match &self.repr {
+            Repr::Mono(rel) => {
+                let escapes = mgr.and(*rel, not_p_next);
+                let ex = mgr.exists(escapes, self.space.nxt_levels());
+                let safe = mgr.not(ex);
+                let d = self.space.domain_ok_cur();
+                mgr.and(safe, d)
+            }
+            Repr::Parts {
+                guard,
+                has_else,
+                set,
+            } => {
+                let escape = set.pre_escape_raw(mgr, not_p_next);
+                let bad = mgr.and(*guard, escape);
+                let safe = mgr.not(bad);
+                let d = self.space.domain_ok_cur();
+                let base = mgr.and(safe, d);
+                if *has_else {
+                    let gp = mgr.or(*guard, p);
+                    mgr.and(base, gp)
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Reachable ROBDD nodes of the relation — summed over the parts for a
+    /// partitioned transition (the memory actually held).
     pub fn node_count(&self) -> usize {
-        self.space.lock().reachable_nodes(self.rel)
+        let mgr = self.space.lock();
+        match &self.repr {
+            Repr::Mono(rel) => mgr.reachable_nodes(*rel),
+            Repr::Parts { guard, set, .. } => {
+                set.parts
+                    .iter()
+                    .map(|p| mgr.reachable_nodes(p.root))
+                    .sum::<usize>()
+                    + mgr.reachable_nodes(*guard)
+            }
+        }
     }
 }
 
@@ -145,7 +504,7 @@ type AssignFn = Box<dyn Fn(&[u64]) -> u64>;
 
 /// Builder for a guarded, simultaneous multiple-assignment relation,
 /// translated assignment-by-assignment from support enumerations (never
-/// touching the full state space).
+/// touching the full state space) into a conjunctive partition.
 pub struct SymbolicTransitionBuilder {
     space: Arc<BddSpace>,
     guard: Option<NodeId>,
@@ -176,20 +535,43 @@ impl SymbolicTransitionBuilder {
         self
     }
 
-    /// Finish the relation: `ite(guard, update, identity)` conjoined with
-    /// both domain constraints. Support combinations unreachable under the
-    /// guard are skipped, so guard-protected assignments may go out of
-    /// range without error — UNITY's enabled-states-only semantics.
+    /// Finish the relation, kept as one conjunctive part per assignment
+    /// (plus identity parts for untouched variables and one for the domain
+    /// constraints). Denotationally this is `ite(guard, update, identity)`
+    /// conjoined with both domain constraints, exactly as the monolithic
+    /// engine built it. Support combinations unreachable under the guard
+    /// are skipped, so guard-protected assignments may go out of range
+    /// without error — UNITY's enabled-states-only semantics.
     pub fn build(self) -> Result<SymbolicTransition, BddError> {
         let space = &self.space;
         let st_space = space.space();
         let mut mgr = space.lock();
         let enabled_root = self.guard.unwrap_or_else(|| space.domain_ok_cur());
-        let mut update = {
+        let mut parts: Vec<Part> = Vec::new();
+        // Domain constraints on both copies, scheduled first so their
+        // levels die at their other occurrences.
+        {
             let c = space.domain_ok_cur();
             let n = space.domain_ok_nxt();
-            mgr.and(c, n)
-        };
+            let root = mgr.and(c, n);
+            if root != TRUE {
+                let mut cur_supp = Vec::new();
+                for v in st_space.vars() {
+                    let levels = space.var_cur_levels(v);
+                    let nbits = levels.len() as u32;
+                    if nbits > 0 && st_space.domain(v).size() != 1u64 << nbits {
+                        cur_supp.extend(levels);
+                    }
+                }
+                cur_supp.sort_unstable();
+                let nxt_supp: Vec<u32> = cur_supp.iter().map(|&l| l + 1).collect();
+                parts.push(Part {
+                    root,
+                    cur_supp,
+                    nxt_supp,
+                });
+            }
+        }
         let mut assigned = vec![false; st_space.num_vars()];
         for (target, support, f) in &self.assigns {
             assigned[target.index()] = true;
@@ -214,7 +596,7 @@ impl SymbolicTransitionBuilder {
                     *slot = rest % size;
                     rest /= size;
                 }
-                let mut support_cube = crate::manager::TRUE;
+                let mut support_cube = TRUE;
                 for (v, x) in support.iter().zip(values.iter()) {
                     let c = space.value_cube(&mut mgr, *v, *x, false);
                     support_cube = mgr.and(support_cube, c);
@@ -238,29 +620,52 @@ impl SymbolicTransitionBuilder {
                 let cube = mgr.and(support_cube, tgt);
                 rel_t = mgr.or(rel_t, cube);
             }
-            update = mgr.and(update, rel_t);
+            let mut cur_supp: Vec<u32> = support
+                .iter()
+                .flat_map(|v| space.var_cur_levels(*v))
+                .collect();
+            cur_supp.sort_unstable();
+            cur_supp.dedup();
+            let nxt_supp: Vec<u32> = space
+                .var_cur_levels(*target)
+                .into_iter()
+                .map(|l| l + 1)
+                .collect();
+            parts.push(Part {
+                root: rel_t,
+                cur_supp,
+                nxt_supp,
+            });
         }
-        // Unassigned variables keep their value bit-for-bit.
+        // Unassigned variables keep their value bit-for-bit, one identity
+        // part per variable.
         for v in st_space.vars() {
             if assigned[v.index()] {
                 continue;
             }
-            for level in space.var_cur_levels(v) {
+            let levels = space.var_cur_levels(v);
+            if levels.is_empty() {
+                continue; // singleton domain: nothing to preserve
+            }
+            let mut same_all = TRUE;
+            for &level in levels.iter().rev() {
                 let c = mgr.literal(level);
                 let n = mgr.literal(level + 1);
                 let same = mgr.iff(c, n);
-                update = mgr.and(update, same);
+                same_all = mgr.and(same_all, same);
             }
+            let nxt_supp: Vec<u32> = levels.iter().map(|&l| l + 1).collect();
+            parts.push(Part {
+                root: same_all,
+                cur_supp: levels,
+                nxt_supp,
+            });
         }
-        let rel = match self.guard {
-            None => update,
-            Some(g) => {
-                let id = space.identity_root();
-                mgr.ite(g, update, id)
-            }
-        };
+        let has_else = self.guard.is_some();
+        let set = PartSet::new(space, parts);
+        let t = SymbolicTransition::from_parts(space, &mut mgr, enabled_root, has_else, set);
         drop(mgr);
-        Ok(SymbolicTransition::from_root(space, rel))
+        Ok(t)
     }
 }
 
@@ -332,7 +737,34 @@ mod tests {
             }
         });
         let bridged = SymbolicTransition::from_det(&bdd, &det);
+        assert!(built.num_parts() > 1, "builder should partition");
         assert_eq!(built.rel(), bridged.rel());
+        // The partitioned products land on the same canonical roots as the
+        // monolithic ones.
+        let mono = built.monolithic();
+        for target in 0..5u64 {
+            let p = SymbolicPredicate::from_var_fn(&bdd, i, |x| x == target);
+            assert_eq!(built.sp(&p), mono.sp(&p));
+            assert_eq!(built.wp(&p), mono.wp(&p));
+            assert_eq!(built.sp(&p), bridged.sp(&p));
+            assert_eq!(built.wp(&p), bridged.wp(&p));
+        }
+    }
+
+    #[test]
+    fn unguarded_builder_partition_agrees_with_monolithic() {
+        let (space, bdd) = setup();
+        let i = space.var("i").unwrap();
+        let built = SymbolicTransition::builder(&bdd)
+            .assign(i, &[i], |v| (v[0] + 2) % 5)
+            .build()
+            .unwrap();
+        let mono = built.monolithic();
+        for target in 0..5u64 {
+            let p = SymbolicPredicate::from_var_fn(&bdd, i, |x| x == target);
+            assert_eq!(built.sp(&p), mono.sp(&p));
+            assert_eq!(built.wp(&p), mono.wp(&p));
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use kpt_state::StateSpace;
 use kpt_testkit::{Config, Criterion};
 use kpt_unity::{Program, Statement};
 
-/// The 159-free-state instance from `bdd_report`: exhaustive solving is
+/// The 159-free-state instance from `bdd_summary`: exhaustive solving is
 /// impossible, but the linter's symbolic pass handles it routinely.
 fn escape_hatch_program() -> Program {
     let space = StateSpace::builder()

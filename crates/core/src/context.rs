@@ -49,6 +49,7 @@ pub struct KnowledgeContext {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    inserts: AtomicU64,
 }
 
 /// Default [`KnowledgeContext`] memo capacity. Each entry pins two
@@ -94,6 +95,7 @@ impl KnowledgeContext {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
         };
         // Seed the sweep orders for the declared process views up front.
         for (_, view) in ctx.views.clone() {
@@ -202,6 +204,7 @@ impl KnowledgeContext {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             kpt_obs::counter!("knowledge.cache.evictions").incr();
         }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
         memo.insert(key, value);
     }
 
@@ -318,12 +321,15 @@ impl KnowledgeContext {
     }
 
     /// Full cache behaviour of the `K p` memo: hits, misses, clear-on-full
-    /// evictions, and the current entry count.
+    /// evictions, lifetime inserts, and the current entry count. `inserts`
+    /// is not reset by an eviction, so hit-rate reporting can use totals
+    /// rather than the post-clear map size.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
             entries: self.memo.lock().expect("knowledge memo poisoned").len(),
         }
     }
@@ -473,6 +479,9 @@ mod tests {
         let _ = ctx.knows_view(v, &p0);
         let st = ctx.cache_stats();
         assert_eq!((st.hits, st.misses, st.evictions, st.entries), (1, 4, 1, 2));
+        // Lifetime inserts survive the clear: four misses, four inserts,
+        // even though only two entries remain after the eviction.
+        assert_eq!(st.inserts, 4);
     }
 
     #[test]

@@ -50,6 +50,7 @@ struct SiCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    inserts: u64,
 }
 
 impl SiCache {
@@ -60,6 +61,7 @@ impl SiCache {
             self.evictions += 1;
             kpt_obs::counter!("kbp.si_cache.evictions").incr();
         }
+        self.inserts += 1;
         self.map.insert(candidate, si);
     }
 }
@@ -202,6 +204,7 @@ impl Kbp {
             hits: cache.hits,
             misses: cache.misses,
             evictions: cache.evictions,
+            inserts: cache.inserts,
             entries: cache.map.len(),
         }
     }

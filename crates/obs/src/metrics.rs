@@ -151,6 +151,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Times the memo was cleared because it reached capacity.
     pub evictions: u64,
+    /// Entries inserted over the memo's lifetime. Unlike `entries`, this
+    /// survives clear-on-full eviction, so hit-rate style derived metrics
+    /// stay meaningful after a clear.
+    pub inserts: u64,
     /// Entries currently memoized.
     pub entries: usize,
 }
@@ -347,6 +351,7 @@ mod tests {
             hits: 3,
             misses: 1,
             evictions: 0,
+            inserts: 1,
             entries: 4,
         };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);

@@ -5,7 +5,7 @@
 //! symbolic frontier fixpoint, and the §6.3 invariant obligations
 //! (61)–(62) are re-checked through the symbolic knowledge machinery. The
 //! differential suite asserts bit-exact agreement with the explicit
-//! backend on small instances; the `bdd_report` bench bin scales the same
+//! backend on small instances; the `bdd_summary` bench bin scales the same
 //! construction to instances where the explicit bitset sweep dominates.
 
 use std::sync::Arc;

@@ -43,10 +43,28 @@ fn words_for(n: u64) -> usize {
 }
 
 impl Predicate {
+    /// Largest space an explicit predicate can be materialized over.
+    ///
+    /// One bit per state keeps a single predicate under 512 MiB. Spaces
+    /// may declare up to [`StateSpace::MAX_STATES`] states, but beyond
+    /// this cap only the symbolic (ROBDD) backend can represent their
+    /// predicates.
+    pub const MAX_EXPLICIT_STATES: u64 = 1 << 32;
+
     // ----- constructors ---------------------------------------------------
 
     /// The predicate `false` (empty set of states).
+    ///
+    /// # Panics
+    /// If the space exceeds [`Predicate::MAX_EXPLICIT_STATES`] — such
+    /// spaces are symbolic-backend-only.
     pub fn ff(space: &Arc<StateSpace>) -> Predicate {
+        assert!(
+            space.num_states() <= Predicate::MAX_EXPLICIT_STATES,
+            "the explicit bitset backend is capped at 2^32 states ({} declared); \
+             use the symbolic (kpt-bdd) backend for this space",
+            space.num_states()
+        );
         Predicate {
             space: Arc::clone(space),
             bits: vec![0u64; words_for(space.num_states())].into_boxed_slice(),
@@ -718,5 +736,16 @@ mod tests {
         assert_eq!(p.negate().count(), 100);
         assert!(p.or(&p.negate()).everywhere());
         assert!(p.and(&p.negate()).is_false());
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit bitset backend is capped")]
+    fn explicit_predicates_refuse_symbolic_only_spaces() {
+        let mut b = StateSpace::builder();
+        for i in 0..48 {
+            b = b.bool_var(&format!("x{i}")).unwrap();
+        }
+        let s = b.build().unwrap();
+        let _ = Predicate::ff(&s);
     }
 }

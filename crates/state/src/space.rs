@@ -172,11 +172,15 @@ pub struct StateSpace {
 }
 
 impl StateSpace {
-    /// Maximum number of global states supported per space.
+    /// Maximum number of global states a space may *declare*.
     ///
-    /// Predicates are bitsets of this many bits, so the cap keeps a single
-    /// predicate under 512 MiB.
-    pub const MAX_STATES: u64 = 1 << 32;
+    /// A space this large is only usable through the symbolic (ROBDD)
+    /// backend; the explicit bitset backend additionally caps
+    /// materialization at [`Predicate::MAX_EXPLICIT_STATES`] states
+    /// (one bit per state).
+    ///
+    /// [`Predicate::MAX_EXPLICIT_STATES`]: crate::Predicate::MAX_EXPLICIT_STATES
+    pub const MAX_STATES: u64 = 1 << 63;
 
     /// Maximum number of variables per space (the [`VarSet`] mask width).
     pub const MAX_VARS: usize = 64;
@@ -606,12 +610,28 @@ mod tests {
     #[test]
     fn too_large_space_rejected() {
         let r = StateSpace::builder()
-            .nat_var("a", 1 << 20)
+            .nat_var("a", 1 << 22)
             .unwrap()
-            .nat_var("b", 1 << 20)
+            .nat_var("b", 1 << 22)
+            .unwrap()
+            .nat_var("c", 1 << 22)
             .unwrap()
             .build();
         assert!(matches!(r, Err(SpaceError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn huge_spaces_declare_beyond_the_explicit_cap() {
+        use crate::Predicate;
+        // 2^48 states: declarable (for the symbolic backend), but far past
+        // what any bitset predicate can hold.
+        let mut b = StateSpace::builder();
+        for i in 0..48 {
+            b = b.bool_var(&format!("x{i}")).unwrap();
+        }
+        let s = b.build().unwrap();
+        assert_eq!(s.num_states(), 1 << 48);
+        assert!(s.num_states() > Predicate::MAX_EXPLICIT_STATES);
     }
 
     #[test]

@@ -77,8 +77,9 @@ pub use kpt_unity as unity;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use kpt_bdd::{
-        symbolic_strongest_invariant, BddSpace, PredicateOps, SymbolicKbp, SymbolicKnowledge,
-        SymbolicOutcome, SymbolicPredicate, SymbolicTransition,
+        symbolic_sst_bounded, symbolic_strongest_invariant, BddConfig, BddError, BddSpace,
+        GcPolicy, PredicateOps, ReorderPolicy, SymbolicKbp, SymbolicKnowledge, SymbolicOutcome,
+        SymbolicPredicate, SymbolicTransition,
     };
     pub use kpt_channel::{ChannelStats, Delivery, FaultConfig, FaultyChannel};
     pub use kpt_core::{

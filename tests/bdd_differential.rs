@@ -270,6 +270,236 @@ fn seqtrans_61_62_agree_across_backends() {
 }
 
 // ---------------------------------------------------------------------
+// Engine configurations: aggressive GC and low-trigger sifting must land
+// on results bit-identical to the serial PR-4 engine (GC and reordering
+// disabled) and to the explicit backend, op by op.
+// ---------------------------------------------------------------------
+
+/// The serial PR-4 engine plus every optimisation toggle, with thresholds
+/// low enough that the tiny random spaces actually sweep and sift.
+fn engine_configs() -> Vec<(&'static str, BddConfig)> {
+    let gc = GcPolicy::OnGrowth {
+        min_nodes: 1,
+        dead_percent: 0,
+    };
+    let sift = ReorderPolicy::SiftOnGrowth {
+        trigger_nodes: 64,
+        max_growth_percent: 20,
+    };
+    vec![
+        ("serial", BddConfig::serial()),
+        (
+            "gc",
+            BddConfig {
+                gc,
+                ..BddConfig::serial()
+            },
+        ),
+        (
+            "sift",
+            BddConfig {
+                reorder: sift,
+                ..BddConfig::serial()
+            },
+        ),
+        ("gc+sift", BddConfig { gc, reorder: sift }),
+    ]
+}
+
+#[test]
+fn random_engine_configs_agree() {
+    check("bdd_engine_configs", 100, |rng| {
+        let spec = program_spec(rng);
+        let space = spec.space();
+        let compiled = spec.compile();
+        let p = pred_from_mask(&space, rng.next_u64());
+        let q = pred_from_mask(&space, rng.next_u64());
+        let vars = random_var_set(rng, &space);
+        let explicit_si = compiled.si();
+        for (name, config) in engine_configs() {
+            let bdd = BddSpace::with_config(&space, config);
+            let sp = SymbolicPredicate::from_explicit(&bdd, &p);
+            let sq = SymbolicPredicate::from_explicit(&bdd, &q);
+            assert_eq!(sp.and(&sq).to_explicit(), p.and(&q), "{name} and");
+            assert_eq!(sp.negate().to_explicit(), p.negate(), "{name} not");
+            assert_eq!(
+                sp.exists_vars(vars).to_explicit(),
+                exists_set(&p, vars),
+                "{name} exists"
+            );
+            assert_eq!(
+                sp.forall_vars(vars).to_explicit(),
+                forall_set(&p, vars),
+                "{name} forall"
+            );
+            let transitions: Vec<SymbolicTransition> = compiled
+                .transitions()
+                .iter()
+                .map(|t| SymbolicTransition::from_det(&bdd, t))
+                .collect();
+            for (sym, det) in transitions.iter().zip(compiled.transitions()) {
+                assert_eq!(sym.sp(&sp).to_explicit(), det.sp(&p), "{name} sp");
+                assert_eq!(sym.wp(&sp).to_explicit(), det.wp(&p), "{name} wp");
+            }
+            let init = SymbolicPredicate::from_explicit(&bdd, compiled.init());
+            let si = symbolic_strongest_invariant(&transitions, &init);
+            assert_eq!(si.to_explicit(), *explicit_si, "{name} SI");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Partitioned relations with early quantification: the builder's
+// conjunctive partition must land on the same canonical roots as its own
+// monolithic materialisation (pinning the `and_exists` kernel against
+// conjoin-then-quantify) and the same explicit predicates as the bitset
+// backend, for sp, wp, and SI.
+// ---------------------------------------------------------------------
+
+#[test]
+fn random_partitioned_relations_agree() {
+    check("bdd_partitioned", 100, |rng| {
+        let spec = program_spec(rng);
+        let space = spec.space();
+        let bdd = BddSpace::new(&space);
+        let nvars = spec.domains.len();
+        let mut parted = Vec::new();
+        let mut dets = Vec::new();
+        for &(gmask, var, kind) in &spec.statements {
+            let guard = pred_from_mask(&space, gmask);
+            let v = space.var(&format!("v{var}")).unwrap();
+            let dom = space.domain(v).size();
+            let w = space.var(&format!("v{}", (var + 1) % nvars)).unwrap();
+            let sym_guard = SymbolicPredicate::from_explicit(&bdd, &guard);
+            let builder = SymbolicTransition::builder(&bdd).guard(&sym_guard);
+            let built = match kind {
+                common::UpdateKind::Const(c) => builder.assign(v, &[], move |_| c % dom).build(),
+                common::UpdateKind::Incr => {
+                    builder.assign(v, &[v], move |x| (x[0] + 1) % dom).build()
+                }
+                common::UpdateKind::Copy(_) => builder.assign(v, &[w], move |x| x[0] % dom).build(),
+            }
+            .unwrap();
+            assert!(built.num_parts() > 1, "builder should partition");
+            let g2 = guard.clone();
+            let sp2 = Arc::clone(&space);
+            let det = knowledge_pt::transformers::DetTransition::from_fn(&space, move |s| {
+                if !g2.holds(s) {
+                    return s;
+                }
+                let val = match kind {
+                    common::UpdateKind::Const(c) => c % dom,
+                    common::UpdateKind::Incr => (sp2.value(s, v) + 1) % dom,
+                    common::UpdateKind::Copy(_) => sp2.value(s, w) % dom,
+                };
+                sp2.with_value(s, v, val)
+            });
+            parted.push(built);
+            dets.push(det);
+        }
+        let p = pred_from_mask(&space, rng.next_u64());
+        let sp = SymbolicPredicate::from_explicit(&bdd, &p);
+        for (built, det) in parted.iter().zip(&dets) {
+            let mono = built.monolithic();
+            // Canonical-root equality: the early-quantified partition and
+            // the monolithic product compute the very same BDD.
+            assert_eq!(built.sp(&sp), mono.sp(&sp));
+            assert_eq!(built.wp(&sp), mono.wp(&sp));
+            assert_eq!(built.sp(&sp).to_explicit(), det.sp(&p));
+            assert_eq!(built.wp(&sp).to_explicit(), det.wp(&p));
+        }
+        let init = pred_from_mask(&space, rng.next_u64() | 1);
+        let sinit = SymbolicPredicate::from_explicit(&bdd, &init);
+        let si = symbolic_strongest_invariant(&parted, &sinit);
+        let (esi, _) = knowledge_pt::transformers::sst_frontier_with_stats(&dets, &init);
+        assert_eq!(si.to_explicit(), esi);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Worst-case variable order: ⋀ (aᵢ ↔ bᵢ) with the a and b blocks
+// separated is the classic exponential family. A reachability fixpoint
+// that converges on it exhausts a node budget under the fixed declared
+// order, and passes the same budget — with the same answer — once
+// dynamic sifting is enabled.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sifting_passes_a_node_budget_the_fixed_order_exhausts() {
+    const N: usize = 12; // pairs; 24 booleans, 2^24 states
+    const BUDGET: usize = 3_000;
+    let mut b = StateSpace::builder();
+    for i in 0..N {
+        b = b.bool_var(&format!("a{i}")).unwrap();
+    }
+    for i in 0..N {
+        b = b.bool_var(&format!("b{i}")).unwrap();
+    }
+    let space = b.build().unwrap();
+
+    let run = |config: BddConfig, budget: usize| {
+        let bdd = BddSpace::with_config(&space, config);
+        let transitions: Vec<SymbolicTransition> = (0..N)
+            .map(|i| {
+                let a = space.var(&format!("a{i}")).unwrap();
+                let bv = space.var(&format!("b{i}")).unwrap();
+                let ga = SymbolicPredicate::var_eq(&bdd, a, 0);
+                let gb = SymbolicPredicate::var_eq(&bdd, bv, 0);
+                SymbolicTransition::builder(&bdd)
+                    .guard(&ga.and(&gb))
+                    .assign(a, &[], |_| 1)
+                    .assign(bv, &[], |_| 1)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let init = (0..N).fold(SymbolicPredicate::tt(&bdd), |acc, i| {
+            let a = space.var(&format!("a{i}")).unwrap();
+            let bv = space.var(&format!("b{i}")).unwrap();
+            acc.and(&SymbolicPredicate::var_eq(&bdd, a, 0))
+                .and(&SymbolicPredicate::var_eq(&bdd, bv, 0))
+        });
+        let out = symbolic_sst_bounded(&init, &transitions, budget);
+        (bdd, out)
+    };
+
+    // The serial engine blows past the budget on the way to the fixpoint.
+    let (_, serial) = run(BddConfig::serial(), BUDGET);
+    let err = serial.expect_err("fixed order must exhaust the budget");
+    assert!(matches!(err, BddError::NodeBudgetExceeded { .. }), "{err}");
+
+    // Sifting repairs the order mid-fixpoint and finishes inside it.
+    let sift_config = BddConfig {
+        reorder: ReorderPolicy::SiftOnGrowth {
+            trigger_nodes: 512,
+            max_growth_percent: 20,
+        },
+        ..BddConfig::serial()
+    };
+    let (sifted_space, sifted) = run(sift_config, BUDGET);
+    let (si, _) = sifted.expect("sifting must fit the budget");
+    assert!(sifted_space.reorder_stats().runs > 0, "sifting must run");
+    // Exactly the pair-equal states are reachable: 2^N of them.
+    assert_eq!(si.count(), 1 << N);
+
+    // Bit-identical to the serial engine: rerun serial without the budget
+    // and compare membership on a state sample (the space is too large
+    // for a full explicit materialisation to be worth it here).
+    let (_, unbounded) = run(BddConfig::serial(), usize::MAX);
+    let (serial_si, _) = unbounded.expect("unbounded serial run converges");
+    assert_eq!(serial_si.count(), si.count());
+    let mut rng = Rng::seed_from_u64(0xbdd5117);
+    for _ in 0..1_000 {
+        let s = rng.below(space.num_states());
+        assert_eq!(
+            serial_si.holds(s),
+            si.holds(s),
+            "membership diverges at {s}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Acceptance: the symbolic backend solves a KBP instance the explicit
 // exhaustive solver rejects with SearchTooLarge (≥ 64 free states).
 // ---------------------------------------------------------------------
