@@ -32,7 +32,7 @@ use crate::error::BddError;
 use crate::fixpoint::sst_raw;
 use crate::formula::{CExpr, SymbolicEvalContext};
 use crate::knowledge::SymbolicKnowledge;
-use crate::manager::{Manager, NodeId, FALSE, TRUE};
+use crate::manager::{BddConfig, Manager, NodeId, FALSE, TRUE};
 use crate::predicate::SymbolicPredicate;
 use crate::space::BddSpace;
 use crate::transition::{
@@ -141,7 +141,19 @@ impl SymbolicKbp {
     /// [`BddError`] when a statement cannot be translated (unknown
     /// identifiers, unbounded supports over a too-large space, …).
     pub fn from_program(program: &Program) -> Result<Self, BddError> {
-        let space = BddSpace::new(program.space());
+        Self::from_program_with(program, BddConfig::default())
+    }
+
+    /// [`SymbolicKbp::from_program`] with an explicit engine
+    /// configuration — `BddConfig::serial()` for the grow-only
+    /// fixed-order engine, or a `SiftOnGrowth` reorder policy to exercise
+    /// GC and dynamic reordering; the differential fuzz oracle runs both
+    /// against the explicit solver.
+    ///
+    /// # Errors
+    /// As for [`SymbolicKbp::from_program`].
+    pub fn from_program_with(program: &Program, config: BddConfig) -> Result<Self, BddError> {
+        let space = BddSpace::with_config(program.space(), config);
         let views = program
             .processes()
             .iter()

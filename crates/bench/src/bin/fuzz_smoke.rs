@@ -1,0 +1,284 @@
+//! Bounded differential-fuzz smoke run for CI: replays the committed
+//! corpus seeds and then pushes `KPT_FUZZ_CASES` (default 500) freshly
+//! generated textual programs through the three-way oracle — explicit
+//! engine vs serial BDD vs gc+sift BDD, plus the knowledge-erased eq. (14)
+//! soundness leg. Divergences and panics are collected (not fail-fast)
+//! into a findings artifact and the process exits nonzero if any survive.
+//!
+//! Usage: `cargo run --release -p kpt-bench --bin fuzz_smoke`
+//! (`KPT_FUZZ_CASES` sets the random-case count, `KPT_PROP_SEED` replays
+//! a specific campaign, `KPT_FUZZ_JSON` overrides the artifact path).
+
+use std::panic::{self, AssertUnwindSafe};
+
+use kpt_bdd::{BddConfig, GcPolicy, ReorderPolicy, SymbolicKbp, SymbolicOutcome};
+use kpt_core::{IterativeOutcome, Kbp};
+use kpt_lint::erased_program;
+use kpt_testkit::genprog::{gen_program, GenConfig};
+use kpt_testkit::Rng;
+use kpt_unity::{parse_program, Program};
+
+const MAX_ITERS: usize = 32;
+
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "figure1",
+        include_str!("../../../../tests/corpus/figure1.kpt"),
+    ),
+    (
+        "enum_labels",
+        include_str!("../../../../tests/corpus/enum_labels.kpt"),
+    ),
+    (
+        "counter_knowledge",
+        include_str!("../../../../tests/corpus/counter_knowledge.kpt"),
+    ),
+    (
+        "parallel_swap",
+        include_str!("../../../../tests/corpus/parallel_swap.kpt"),
+    ),
+    (
+        "nested_knowledge",
+        include_str!("../../../../tests/corpus/nested_knowledge.kpt"),
+    ),
+    (
+        "plain_counter",
+        include_str!("../../../../tests/corpus/plain_counter.kpt"),
+    ),
+];
+
+/// An engine-agnostic view of an eq. (25) iteration outcome.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Converged(Vec<u64>, usize),
+    Cycle { period: usize, entered_after: usize },
+    Inconclusive,
+}
+
+struct Finding {
+    case: String,
+    detail: String,
+}
+
+fn explicit_outcome(kbp: &Kbp) -> Result<Outcome, String> {
+    match kbp
+        .solve_iterative(MAX_ITERS)
+        .map_err(|e| format!("explicit solver: {e}"))?
+    {
+        IterativeOutcome::Converged {
+            solution,
+            iterations,
+        } => {
+            if !kbp
+                .is_solution(&solution)
+                .map_err(|e| format!("explicit is_solution: {e}"))?
+            {
+                return Err("explicit fixpoint fails its own is_solution check".to_owned());
+            }
+            Ok(Outcome::Converged(solution.iter().collect(), iterations))
+        }
+        IterativeOutcome::Cycle {
+            period,
+            entered_after,
+        } => Ok(Outcome::Cycle {
+            period,
+            entered_after,
+        }),
+        IterativeOutcome::Inconclusive { .. } => Ok(Outcome::Inconclusive),
+    }
+}
+
+fn symbolic_outcome(program: &Program, config: BddConfig) -> Result<Outcome, String> {
+    let symbolic = SymbolicKbp::from_program_with(program, config)
+        .map_err(|e| format!("symbolic translation: {e}"))?;
+    match symbolic
+        .solve_iterative(MAX_ITERS)
+        .map_err(|e| format!("symbolic solver: {e}"))?
+    {
+        SymbolicOutcome::Converged {
+            solution,
+            iterations,
+        } => {
+            if !symbolic
+                .is_solution(&solution)
+                .map_err(|e| format!("symbolic is_solution: {e}"))?
+            {
+                return Err("symbolic fixpoint fails its own is_solution check".to_owned());
+            }
+            Ok(Outcome::Converged(
+                solution.to_explicit().iter().collect(),
+                iterations,
+            ))
+        }
+        SymbolicOutcome::Cycle {
+            period,
+            entered_after,
+        } => Ok(Outcome::Cycle {
+            period,
+            entered_after,
+        }),
+        SymbolicOutcome::Inconclusive { .. } => Ok(Outcome::Inconclusive),
+    }
+}
+
+fn gc_sift_config() -> BddConfig {
+    BddConfig {
+        gc: GcPolicy::OnGrowth {
+            min_nodes: 256,
+            dead_percent: 10,
+        },
+        reorder: ReorderPolicy::SiftOnGrowth {
+            trigger_nodes: 128,
+            max_growth_percent: 20,
+        },
+    }
+}
+
+/// The three-way oracle, non-panicking: any divergence comes back as a
+/// description for the findings artifact.
+fn oracle(src: &str) -> Result<(), String> {
+    let (_space, program) = parse_program(src).map_err(|e| format!("parse: {}", e.render(src)))?;
+
+    let kbp = Kbp::new(program.clone());
+    let explicit = explicit_outcome(&kbp)?;
+    let serial = symbolic_outcome(&program, BddConfig::serial())?;
+    if explicit != serial {
+        return Err(format!(
+            "explicit vs serial-BDD diverged: {explicit:?} vs {serial:?}"
+        ));
+    }
+    let gc_sift = symbolic_outcome(&program, gc_sift_config())?;
+    if explicit != gc_sift {
+        return Err(format!(
+            "explicit vs gc+sift-BDD diverged: {explicit:?} vs {gc_sift:?}"
+        ));
+    }
+
+    let erased = erased_program(&program).map_err(|e| format!("erasure: {e}"))?;
+    let erased_si = erased
+        .compile()
+        .map_err(|e| format!("erased compile: {e}"))?
+        .si()
+        .clone();
+    let symbolic_erased = match symbolic_outcome(&erased, BddConfig::serial())? {
+        Outcome::Converged(states, _) => Outcome::Converged(states, 1),
+        other => other,
+    };
+    let explicit_erased = Outcome::Converged(erased_si.iter().collect(), 1);
+    if explicit_erased != symbolic_erased {
+        return Err(format!(
+            "erased-program SI diverged: {explicit_erased:?} vs {symbolic_erased:?}"
+        ));
+    }
+    if let Outcome::Converged(states, _) = &explicit {
+        for &st in states {
+            if !erased_si.holds(st) {
+                return Err(format!(
+                    "state {st} solves the KBP but escapes the erased SI (eq. 14 violated)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run the oracle with panics converted into findings, so one bad case
+/// cannot abort the campaign.
+fn run_case(name: &str, src: &str, findings: &mut Vec<Finding>) {
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| oracle(src)));
+    let detail = match outcome {
+        Ok(Ok(())) => return,
+        Ok(Err(detail)) => detail,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            format!("panic: {msg}")
+        }
+    };
+    findings.push(Finding {
+        case: name.to_owned(),
+        detail: format!("{detail}\nsource:\n{src}"),
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let cases: usize = std::env::var("KPT_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let seed: u64 = std::env::var("KPT_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED_F00D);
+    let json_path =
+        std::env::var("KPT_FUZZ_JSON").unwrap_or_else(|_| "FUZZ_findings.json".to_owned());
+
+    // The oracle's engines never panic on valid-by-construction input; a
+    // panic here IS a finding, so silence the default hook's noise and
+    // report through the artifact instead.
+    let default_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let mut findings = Vec::new();
+    for (name, src) in CORPUS {
+        run_case(&format!("corpus:{name}"), src, &mut findings);
+    }
+
+    let config = GenConfig::default();
+    let mut rng = Rng::seed_from_u64(seed);
+    for i in 0..cases {
+        let src = gen_program(&mut rng, &config);
+        run_case(&format!("gen:{seed:#x}/{i}"), &src, &mut findings);
+    }
+
+    panic::set_hook(default_hook);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"corpus_cases\": {},\n", CORPUS.len()));
+    json.push_str(&format!("  \"generated_cases\": {cases},\n"));
+    json.push_str(&format!("  \"findings_count\": {},\n", findings.len()));
+    json.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"detail\": \"{}\"}}{}\n",
+            json_escape(&f.case),
+            json_escape(&f.detail),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write findings artifact");
+
+    println!(
+        "fuzz smoke: {} corpus + {cases} generated cases, {} finding(s); report: {json_path}",
+        CORPUS.len(),
+        findings.len()
+    );
+    for f in &findings {
+        eprintln!("\nFINDING [{}]\n{}", f.case, f.detail);
+    }
+    if !findings.is_empty() {
+        std::process::exit(1);
+    }
+}

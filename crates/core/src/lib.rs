@@ -58,6 +58,7 @@ mod knowledge;
 mod muddy;
 mod runs_equiv;
 mod wcyl;
+mod zoo;
 
 pub use context::KnowledgeContext;
 pub use error::CoreError;
@@ -69,3 +70,7 @@ pub use muddy::{
 };
 pub use runs_equiv::{semantics_agree, view_knowledge, Disagreement};
 pub use wcyl::{wcyl, WcylTransformer};
+pub use zoo::{
+    attacking_generals_kpt, cache_coherence_kpt, dining_cryptographers_kpt, load_kpt,
+    muddy_children_kpt, zoo, ZooEntry,
+};

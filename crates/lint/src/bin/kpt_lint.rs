@@ -26,7 +26,7 @@ struct Case {
 
 fn registry() -> Vec<Case> {
     let model = StandardModel::build(2, 2, ModelOptions::default()).expect("standard model builds");
-    vec![
+    let mut cases = vec![
         // Figure 1 is the paper's no-solution counterexample; the linter
         // must flag its knowledge circularity and nothing else.
         Case {
@@ -87,7 +87,17 @@ fn registry() -> Vec<Case> {
             program: escape_hatch_program(),
             expected: &[],
         },
-    ]
+    ];
+    // The scenario zoo: textual `.kpt` models, each with its lint verdict
+    // baked in next to the source (see `kpt_core::zoo`).
+    for e in kpt_core::zoo().expect("zoo sources parse") {
+        cases.push(Case {
+            name: e.name,
+            program: e.kbp.program().clone(),
+            expected: e.expected_lint,
+        });
+    }
+    cases
 }
 
 /// The 159-free-state instance from the symbolic-backend report: too large

@@ -3,11 +3,11 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use kpt_logic::{Expr, Formula};
+use kpt_logic::{EvalError, Expr, Formula};
 use kpt_state::{witness_state, StateSpace};
 use kpt_unity::{Guard, Program, Statement};
 
-use crate::erase::{expr_idents, guard_over_approx};
+use crate::erase::guard_over_approx;
 use crate::{Diagnostic, DiagnosticCode};
 
 /// Semantic range scanning is skipped above this many states — the
@@ -85,7 +85,9 @@ fn check_identifiers(
         }
         // Mirror the compiler: a bare identifier RHS may be a parameter, a
         // variable, or an enum label of the *target's* domain; identifiers
-        // inside arithmetic must be parameters or variables.
+        // inside arithmetic must be parameters or variables. Exactly the
+        // first unresolvable name (in expression order) is reported — the
+        // same name the compiler's error carries.
         let target_var = space.var(target).expect("checked above");
         if let Expr::Ident(name) = rhs {
             let ok = stmt.params().contains_key(name)
@@ -94,14 +96,8 @@ fn check_identifiers(
             if !ok {
                 report_unknown(diags, stmt, name, &format!("assignment to `{target}`"));
             }
-        } else {
-            let mut ids = BTreeSet::new();
-            expr_idents(rhs, &mut ids);
-            for name in ids {
-                if !stmt.params().contains_key(&name) && space.var(&name).is_err() {
-                    report_unknown(diags, stmt, &name, &format!("assignment to `{target}`"));
-                }
-            }
+        } else if let Some(name) = first_unresolved(space, stmt.params(), rhs) {
+            report_unknown(diags, stmt, &name, &format!("assignment to `{target}`"));
         }
     }
     diags.len() > before
@@ -111,12 +107,16 @@ fn check_identifiers(
 }
 
 fn report_unknown(diags: &mut Vec<Diagnostic>, stmt: &Statement, name: &str, context: &str) {
+    // The message leads with the evaluator's exact phrase (and witness
+    // identifier) so a lint finding and the runtime `EvalError` for the
+    // same program name the same culprit the same way.
     diags.push(Diagnostic::on_statement(
         DiagnosticCode::UnknownIdentifier,
         stmt.name(),
         format!(
-            "identifier `{name}` in the {context} is neither a state-space \
-                 variable, a parameter, nor a resolvable enum label"
+            "{} in the {context}: neither a state-space variable, a \
+             parameter, nor a resolvable enum label",
+            EvalError::unknown_identifier_message(name)
         ),
     ));
 }
@@ -138,14 +138,24 @@ fn resolve_side(space: &StateSpace, params: &HashMap<String, i64>, e: &Expr) -> 
         }
         return Side::BareUnknown(name.clone());
     }
-    let mut ids = BTreeSet::new();
-    expr_idents(e, &mut ids);
-    for name in ids {
-        if !params.contains_key(&name) && space.var(&name).is_err() {
-            return Side::Unknown(name);
+    match first_unresolved(space, params, e) {
+        Some(name) => Side::Unknown(name),
+        None => Side::Resolved,
+    }
+}
+
+/// The first identifier (in left-to-right expression order — the order the
+/// evaluator's compiler visits) that is neither a parameter nor a variable.
+fn first_unresolved(space: &StateSpace, params: &HashMap<String, i64>, e: &Expr) -> Option<String> {
+    match e {
+        Expr::Const(_) => None,
+        Expr::Ident(name) => {
+            (!params.contains_key(name) && space.var(name).is_err()).then(|| name.clone())
+        }
+        Expr::Add(a, b) | Expr::Sub(a, b) => {
+            first_unresolved(space, params, a).or_else(|| first_unresolved(space, params, b))
         }
     }
-    Side::Resolved
 }
 
 /// Whether `peer` is a bare space variable whose domain has `label`
@@ -196,12 +206,13 @@ fn check_formula(
                         report_unknown(diags, stmt, &n, context);
                     }
                 }
-                (l, r) => {
-                    for side in [l, r] {
-                        if let Side::BareUnknown(n) | Side::Unknown(n) = side {
-                            report_unknown(diags, stmt, &n, context);
-                        }
-                    }
+                // Like the evaluator, exactly the leftmost unresolved
+                // identifier is reported (lhs side first).
+                (Side::BareUnknown(n) | Side::Unknown(n), _) => {
+                    report_unknown(diags, stmt, &n, context);
+                }
+                (Side::Resolved, Side::Unknown(n)) => {
+                    report_unknown(diags, stmt, &n, context);
                 }
             }
         }
@@ -270,4 +281,99 @@ fn eval_rhs(
     state: u64,
 ) -> Option<i64> {
     crate::erase::eval_assign_rhs(space, stmt.params(), |l| dom.label_code(l), rhs, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpt_logic::{parse_formula, EvalContext};
+    use kpt_unity::Program;
+
+    /// KPT001 names exactly the identifier the evaluator's `EvalError`
+    /// names for the same formula, with the same message prefix — one
+    /// finding per comparison, leftmost witness, lhs side first.
+    #[test]
+    fn kpt001_matches_the_evaluator_witness_and_message() {
+        let space = StateSpace::builder()
+            .nat_var("i", 4)
+            .unwrap()
+            .enum_var("z", ["bot", "m0"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let ctx = EvalContext::new(&space);
+        for guard in [
+            "ghost1 = ghost2",
+            "i + ghost1 = ghost2",
+            "i = ghost2 + ghost3",
+            "m0 + 1 = z",
+        ] {
+            let f = parse_formula(guard).unwrap();
+            let Err(EvalError::UnknownIdentifier(witness)) = ctx.eval(&f) else {
+                panic!("`{guard}` should fail to evaluate");
+            };
+            let program = Program::builder("t", &space)
+                .init_str("i = 0")
+                .unwrap()
+                .statement(
+                    Statement::new("s")
+                        .guard_formula(f.clone())
+                        .assign_str("i", "0")
+                        .unwrap(),
+                )
+                .build()
+                .unwrap();
+            let mut diags = Vec::new();
+            check(&program, &mut diags);
+            let found: Vec<&Diagnostic> = diags
+                .iter()
+                .filter(|d| d.code == DiagnosticCode::UnknownIdentifier)
+                .collect();
+            assert_eq!(found.len(), 1, "`{guard}` gave {found:?}");
+            assert!(
+                found[0]
+                    .message
+                    .starts_with(&EvalError::unknown_identifier_message(&witness)),
+                "`{guard}`: lint said {:?} but the evaluator names `{witness}`",
+                found[0].message
+            );
+        }
+    }
+
+    /// The enum-label fallback stays available to bare identifiers: lint
+    /// is silent exactly where the evaluator succeeds.
+    #[test]
+    fn kpt001_accepts_what_the_evaluator_accepts() {
+        let space = StateSpace::builder()
+            .nat_var("i", 4)
+            .unwrap()
+            .enum_var("z", ["bot", "m0"])
+            .unwrap()
+            .build()
+            .unwrap();
+        let ctx = EvalContext::new(&space);
+        for guard in ["z = m0", "m0 = z", "i + 1 = i"] {
+            let f = parse_formula(guard).unwrap();
+            assert!(ctx.eval(&f).is_ok(), "`{guard}` should evaluate");
+            let program = Program::builder("t", &space)
+                .init_str("i = 0")
+                .unwrap()
+                .statement(
+                    Statement::new("s")
+                        .guard_formula(f)
+                        .assign_str("i", "0")
+                        .unwrap(),
+                )
+                .build()
+                .unwrap();
+            let mut diags = Vec::new();
+            check(&program, &mut diags);
+            assert!(
+                !diags
+                    .iter()
+                    .any(|d| d.code == DiagnosticCode::UnknownIdentifier),
+                "`{guard}` gave {diags:?}"
+            );
+        }
+    }
 }

@@ -44,7 +44,7 @@ mod erase;
 mod symbolic;
 mod view;
 
-pub use erase::erase_knowledge;
+pub use erase::{erase_knowledge, erased_program};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

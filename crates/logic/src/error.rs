@@ -3,13 +3,55 @@
 use std::error::Error;
 use std::fmt;
 
-/// A syntax error produced by [`crate::parse_formula`].
+/// A syntax error produced by [`crate::parse_formula`],
+/// [`crate::parse_expr`] or [`crate::parse_program_ast`], carrying a byte
+/// span into the source text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset in the input at which the error was detected.
     pub offset: usize,
+    /// Length, in bytes, of the offending span (`0` for a point error,
+    /// e.g. unexpected end of input).
+    pub len: usize,
     /// Human-readable description.
     pub message: String,
+}
+
+impl ParseError {
+    /// A point error at `offset`.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            len: 0,
+            message: message.into(),
+        }
+    }
+
+    /// An error covering `len` bytes starting at `offset`.
+    pub fn spanned(offset: usize, len: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            len,
+            message: message.into(),
+        }
+    }
+
+    /// Render the error against its source text: the message, the 1-based
+    /// line/column position, the offending source line, and a caret marker
+    /// under the span.
+    ///
+    /// ```
+    /// use kpt_logic::parse_formula;
+    /// let src = "a /\\ @";
+    /// let e = parse_formula(src).unwrap_err();
+    /// let r = e.render(src);
+    /// assert!(r.contains("line 1, column 6"), "{r}");
+    /// assert!(r.contains('^'), "{r}");
+    /// ```
+    #[must_use]
+    pub fn render(&self, src: &str) -> String {
+        render_span(src, self.offset, self.len, &self.message)
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -19,6 +61,52 @@ impl fmt::Display for ParseError {
 }
 
 impl Error for ParseError {}
+
+/// Render a diagnostic message anchored to the byte span
+/// `offset..offset + len` of `src`, in the familiar compiler layout:
+///
+/// ```text
+/// unknown domain `float`
+///  --> line 3, column 7
+///   |
+/// 3 |   x : float
+///   |       ^^^^^
+/// ```
+///
+/// Offsets past the end of the source point just after the last line
+/// (unexpected end of input). Columns are 1-based byte columns.
+#[must_use]
+pub fn render_span(src: &str, offset: usize, len: usize, message: &str) -> String {
+    let offset = offset.min(src.len());
+    // Locate the line containing `offset`.
+    let line_start = src[..offset].rfind('\n').map_or(0, |p| p + 1);
+    let line_end = src[offset..].find('\n').map_or(src.len(), |p| offset + p);
+    let line_no = src[..offset].matches('\n').count() + 1;
+    let col = offset - line_start + 1;
+    let line = &src[line_start..line_end];
+
+    let gutter = line_no.to_string().len();
+    let mut out = String::new();
+    out.push_str(message);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:gw$}--> line {line_no}, column {col}\n",
+        ' ',
+        gw = gutter
+    ));
+    out.push_str(&format!("{:gw$} |\n", ' ', gw = gutter));
+    out.push_str(&format!("{line_no} | {line}\n"));
+    let caret_width = len.clamp(1, line_end.saturating_sub(offset).max(1));
+    out.push_str(&format!(
+        "{:gw$} | {:pad$}{}",
+        ' ',
+        "",
+        "^".repeat(caret_width),
+        gw = gutter,
+        pad = col - 1
+    ));
+    out
+}
 
 /// An error produced while evaluating a [`crate::Formula`] over a state
 /// space.
@@ -39,11 +127,21 @@ pub enum EvalError {
     KnowledgeUnavailable,
 }
 
+impl EvalError {
+    /// The canonical message for an unresolvable identifier. kpt-lint's
+    /// `KPT001` uses the same prefix so a program that fails to evaluate
+    /// and its lint report name the identifier identically.
+    #[must_use]
+    pub fn unknown_identifier_message(name: &str) -> String {
+        format!("unknown identifier `{name}`")
+    }
+}
+
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnknownIdentifier(name) => {
-                write!(f, "unknown identifier `{name}`")
+                write!(f, "{}", EvalError::unknown_identifier_message(name))
             }
             EvalError::UnknownProcess(name) => write!(f, "unknown process `{name}`"),
             EvalError::Type(msg) => write!(f, "type error: {msg}"),
@@ -64,11 +162,43 @@ mod tests {
     fn display() {
         let e = ParseError {
             offset: 3,
+            len: 1,
             message: "expected `)`".into(),
         };
         assert_eq!(e.to_string(), "parse error at byte 3: expected `)`");
         assert!(EvalError::UnknownProcess("S".into())
             .to_string()
             .contains("`S`"));
+    }
+
+    #[test]
+    fn render_points_at_the_line() {
+        let src = "program p\ndeclare\n  x : float\n";
+        let e = ParseError::spanned(24, 5, "unknown domain `float`".to_owned());
+        let r = e.render(src);
+        assert!(r.contains("line 3, column 7"), "{r}");
+        assert!(r.contains("  x : float"), "{r}");
+        assert!(r.contains("^^^^^"), "{r}");
+        assert!(r.starts_with("unknown domain `float`"), "{r}");
+    }
+
+    #[test]
+    fn render_at_end_of_input() {
+        let src = "a /\\";
+        let r = render_span(src, src.len(), 0, "expected expression");
+        assert!(r.contains("line 1, column 5"), "{r}");
+        assert!(r.contains('^'), "{r}");
+    }
+
+    #[test]
+    fn render_clamps_past_end() {
+        let r = render_span("ab", 99, 4, "m");
+        assert!(r.contains("line 1, column 3"), "{r}");
+    }
+
+    #[test]
+    fn eval_message_helper_matches_display() {
+        let e = EvalError::UnknownIdentifier("foo".into());
+        assert_eq!(e.to_string(), EvalError::unknown_identifier_message("foo"));
     }
 }

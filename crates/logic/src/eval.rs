@@ -177,20 +177,7 @@ impl<'a> EvalContext<'a> {
                 }
             }
             Formula::Cmp(op, lhs, rhs) => {
-                let l = self.compile(lhs);
-                let r = self.compile(rhs);
-                let (l, r) = match (l, r) {
-                    (Ok(l), Ok(r)) => (l, r),
-                    (Err(name), Ok(r)) => {
-                        let code = self.resolve_label(&name, &r)?;
-                        (CExpr::Const(code), r)
-                    }
-                    (Ok(l), Err(name)) => {
-                        let code = self.resolve_label(&name, &l)?;
-                        (l, CExpr::Const(code))
-                    }
-                    (Err(name), Err(_)) => return Err(EvalError::UnknownIdentifier(name)),
-                };
+                let (l, r) = self.compile_cmp_sides(lhs, rhs)?;
                 Ok(op.apply(l.eval(self.space, state), r.eval(self.space, state)))
             }
             Formula::Not(g) => Ok(!self.holds_at(g, state)?),
@@ -227,26 +214,38 @@ impl<'a> EvalContext<'a> {
     }
 
     fn eval_cmp(&self, op: CmpOp, lhs: &Expr, rhs: &Expr) -> Result<Predicate, EvalError> {
-        let l = self.compile(lhs);
-        let r = self.compile(rhs);
-        let (l, r) = match (l, r) {
-            (Ok(l), Ok(r)) => (l, r),
-            // One side is an unresolved bare identifier: try to read it as
-            // an enum label of the other side's variable.
-            (Err(name), Ok(r)) => {
-                let code = self.resolve_label(&name, &r)?;
-                (CExpr::Const(code), r)
-            }
-            (Ok(l), Err(name)) => {
-                let code = self.resolve_label(&name, &l)?;
-                (l, CExpr::Const(code))
-            }
-            (Err(name), Err(_)) => return Err(EvalError::UnknownIdentifier(name)),
-        };
+        let (l, r) = self.compile_cmp_sides(lhs, rhs)?;
         let space = self.space;
         Ok(Predicate::from_fn(space, |idx| {
             op.apply(l.eval(space, idx), r.eval(space, idx))
         }))
+    }
+
+    /// Compile the two sides of a comparison, applying the enum-label
+    /// fallback: an unresolved side may be read as an enum label of the
+    /// other side's variable, but **only** when it is a *bare* identifier.
+    /// A compound side with an unresolved identifier never label-resolves —
+    /// `q + 1` has no reading as a label even when `q` names one. (The
+    /// pre-fuzzing fallback silently collapsed `(q + 1) = z` to
+    /// `code(q) = z`; kpt-lint's `KPT001` mirrors this function exactly.)
+    ///
+    /// On failure, exactly the leftmost unresolvable identifier (left side
+    /// first, in expression order within a side) is reported.
+    fn compile_cmp_sides(&self, lhs: &Expr, rhs: &Expr) -> Result<(CExpr, CExpr), EvalError> {
+        let l = self.compile(lhs);
+        let r = self.compile(rhs);
+        match (l, r) {
+            (Ok(l), Ok(r)) => Ok((l, r)),
+            (Err(name), Ok(r)) if matches!(lhs, Expr::Ident(_)) => {
+                let code = self.resolve_label(&name, &r)?;
+                Ok((CExpr::Const(code), r))
+            }
+            (Ok(l), Err(name)) if matches!(rhs, Expr::Ident(_)) => {
+                let code = self.resolve_label(&name, &l)?;
+                Ok((l, CExpr::Const(code)))
+            }
+            (Err(name), _) | (_, Err(name)) => Err(EvalError::UnknownIdentifier(name)),
+        }
     }
 
     fn resolve_label(&self, label: &str, peer: &CExpr) -> Result<i64, EvalError> {
@@ -328,6 +327,39 @@ mod tests {
 
     fn eval(s: &str, ctx: &EvalContext) -> Predicate {
         ctx.eval(&parse_formula(s).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compound_sides_never_label_resolve() {
+        // Regression (found preparing the differential fuzz campaign): the
+        // enum-label fallback used to fire for *compound* sides too, so
+        // `(m0 + 1) = z` silently evaluated as `code(m0) = z`, dropping the
+        // `+ 1`. Only a bare identifier may read as a label.
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        assert_eq!(eval("z = m0", &ctx).count(), 32); // bare: fine
+        for bad in ["(m0 + 1) = z", "z = m0 + 1", "m0 - 0 = z"] {
+            let e = ctx.eval(&parse_formula(bad).unwrap()).unwrap_err();
+            assert_eq!(e, EvalError::UnknownIdentifier("m0".into()), "{bad}: {e}");
+            // The single-state evaluator agrees.
+            let e2 = ctx.holds_at(&parse_formula(bad).unwrap(), 0).unwrap_err();
+            assert_eq!(e, e2, "{bad}");
+        }
+    }
+
+    #[test]
+    fn leftmost_unresolved_identifier_is_reported() {
+        let sp = space();
+        let ctx = EvalContext::new(&sp);
+        for (src, name) in [
+            ("ghost1 = ghost2", "ghost1"),
+            ("ghost1 + 1 = ghost2", "ghost1"),
+            ("i = ghost2 + ghost3", "ghost2"),
+            ("i + ghost9 = ghost2", "ghost9"),
+        ] {
+            let e = ctx.eval(&parse_formula(src).unwrap()).unwrap_err();
+            assert_eq!(e, EvalError::UnknownIdentifier(name.into()), "{src}");
+        }
     }
 
     #[test]

@@ -53,8 +53,12 @@ mod display;
 mod error;
 mod eval;
 mod parser;
+pub mod surface;
 
 pub use ast::{CmpOp, Expr, Formula};
-pub use error::{EvalError, ParseError};
+pub use error::{render_span, EvalError, ParseError};
 pub use eval::{EvalContext, KnowledgeFn};
 pub use parser::{parse_expr, parse_formula};
+pub use surface::{
+    parse_program_ast, DeclAst, DomainAst, ProcessAst, ProgramAst, Span, StatementAst,
+};

@@ -19,20 +19,31 @@
 //! cmpop    := "=" | "!=" | "<" | "<=" | ">" | ">="
 //! ```
 //!
+//! `//` starts a comment running to the end of the line. The same lexer
+//! also serves the whole-program surface syntax (see [`crate::surface`]),
+//! which adds the punctuation `[` `]` `,` `:` `:=` and the single `|`
+//! statement separator; those tokens are rejected by the formula grammar.
+//!
 //! Example: `K{S}(K{R}(xk = a)) \/ ~(i = k /\ y = a)`.
 
 use crate::ast::{CmpOp, Expr, Formula};
 use crate::error::ParseError;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     Number(i64),
     LParen,
     RParen,
     LBrace,
     RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
     ColonColon,
+    Assign,
+    Bar,
     Plus,
     Minus,
     Not,
@@ -48,13 +59,35 @@ enum Tok {
     KwK,
 }
 
-struct Lexer<'a> {
+/// A token with its byte span in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct STok {
+    pub(crate) start: usize,
+    pub(crate) end: usize,
+    pub(crate) tok: Tok,
+}
+
+/// Identifiers with structural meaning in the whole-program surface syntax.
+/// They are ordinary identifiers to [`parse_formula`], but the program
+/// parser sets [`Parser::reserved`] so that formulas and expressions inside
+/// a program cannot absorb a section or statement keyword.
+pub(crate) const RESERVED: &[&str] = &[
+    "program",
+    "declare",
+    "processes",
+    "init",
+    "assign",
+    "skip",
+    "if",
+];
+
+pub(crate) struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Self {
+    pub(crate) fn new(src: &'a str) -> Self {
         Lexer {
             src: src.as_bytes(),
             pos: 0,
@@ -62,70 +95,89 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            offset: self.pos,
-            message: message.into(),
-        }
+        ParseError::spanned(self.pos, 1, message)
     }
 
-    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+    pub(crate) fn tokens(mut self) -> Result<Vec<STok>, ParseError> {
         let mut out = Vec::new();
         while self.pos < self.src.len() {
             let start = self.pos;
             let c = self.src[self.pos];
-            match c {
+            let tok = match c {
                 b' ' | b'\t' | b'\n' | b'\r' => {
                     self.pos += 1;
                     continue;
                 }
                 b'(' => {
                     self.pos += 1;
-                    out.push((start, Tok::LParen));
+                    Tok::LParen
                 }
                 b')' => {
                     self.pos += 1;
-                    out.push((start, Tok::RParen));
+                    Tok::RParen
                 }
                 b'{' => {
                     self.pos += 1;
-                    out.push((start, Tok::LBrace));
+                    Tok::LBrace
                 }
                 b'}' => {
                     self.pos += 1;
-                    out.push((start, Tok::RBrace));
+                    Tok::RBrace
+                }
+                b'[' => {
+                    self.pos += 1;
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.pos += 1;
+                    Tok::RBracket
+                }
+                b',' => {
+                    self.pos += 1;
+                    Tok::Comma
                 }
                 b'+' => {
                     self.pos += 1;
-                    out.push((start, Tok::Plus));
+                    Tok::Plus
                 }
                 b'-' => {
                     self.pos += 1;
-                    out.push((start, Tok::Minus));
+                    Tok::Minus
                 }
                 b'~' => {
                     self.pos += 1;
-                    out.push((start, Tok::Not));
+                    Tok::Not
                 }
                 b':' => {
                     if self.peek_is(1, b':') {
                         self.pos += 2;
-                        out.push((start, Tok::ColonColon));
+                        Tok::ColonColon
+                    } else if self.peek_is(1, b'=') {
+                        self.pos += 2;
+                        Tok::Assign
                     } else {
-                        return Err(self.error("expected `::`"));
+                        self.pos += 1;
+                        Tok::Colon
                     }
                 }
                 b'/' => {
                     if self.peek_is(1, b'\\') {
                         self.pos += 2;
-                        out.push((start, Tok::And));
+                        Tok::And
+                    } else if self.peek_is(1, b'/') {
+                        // Comment to end of line.
+                        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                            self.pos += 1;
+                        }
+                        continue;
                     } else {
-                        return Err(self.error("expected `/\\`"));
+                        return Err(self.error("expected `/\\` or a `//` comment"));
                     }
                 }
                 b'\\' => {
                     if self.peek_is(1, b'/') {
                         self.pos += 2;
-                        out.push((start, Tok::Or));
+                        Tok::Or
                     } else {
                         return Err(self.error("expected `\\/`"));
                     }
@@ -133,7 +185,7 @@ impl<'a> Lexer<'a> {
                 b'&' => {
                     if self.peek_is(1, b'&') {
                         self.pos += 2;
-                        out.push((start, Tok::And));
+                        Tok::And
                     } else {
                         return Err(self.error("expected `&&`"));
                     }
@@ -141,48 +193,49 @@ impl<'a> Lexer<'a> {
                 b'|' => {
                     if self.peek_is(1, b'|') {
                         self.pos += 2;
-                        out.push((start, Tok::Or));
+                        Tok::Or
                     } else {
-                        return Err(self.error("expected `||`"));
+                        self.pos += 1;
+                        Tok::Bar
                     }
                 }
                 b'=' => {
                     if self.peek_is(1, b'>') {
                         self.pos += 2;
-                        out.push((start, Tok::Implies));
+                        Tok::Implies
                     } else {
                         self.pos += 1;
-                        out.push((start, Tok::Cmp(CmpOp::Eq)));
+                        Tok::Cmp(CmpOp::Eq)
                     }
                 }
                 b'!' => {
                     if self.peek_is(1, b'=') {
                         self.pos += 2;
-                        out.push((start, Tok::Cmp(CmpOp::Ne)));
+                        Tok::Cmp(CmpOp::Ne)
                     } else {
                         self.pos += 1;
-                        out.push((start, Tok::Not));
+                        Tok::Not
                     }
                 }
                 b'<' => {
                     if self.peek_is(1, b'=') && self.peek_is(2, b'>') {
                         self.pos += 3;
-                        out.push((start, Tok::Iff));
+                        Tok::Iff
                     } else if self.peek_is(1, b'=') {
                         self.pos += 2;
-                        out.push((start, Tok::Cmp(CmpOp::Le)));
+                        Tok::Cmp(CmpOp::Le)
                     } else {
                         self.pos += 1;
-                        out.push((start, Tok::Cmp(CmpOp::Lt)));
+                        Tok::Cmp(CmpOp::Lt)
                     }
                 }
                 b'>' => {
                     if self.peek_is(1, b'=') {
                         self.pos += 2;
-                        out.push((start, Tok::Cmp(CmpOp::Ge)));
+                        Tok::Cmp(CmpOp::Ge)
                     } else {
                         self.pos += 1;
-                        out.push((start, Tok::Cmp(CmpOp::Gt)));
+                        Tok::Cmp(CmpOp::Gt)
                     }
                 }
                 b'0'..=b'9' => {
@@ -192,11 +245,11 @@ impl<'a> Lexer<'a> {
                     }
                     let text = std::str::from_utf8(&self.src[self.pos..end])
                         .expect("digits are valid utf-8");
-                    let n: i64 = text
-                        .parse()
-                        .map_err(|_| self.error("integer literal too large"))?;
+                    let n: i64 = text.parse().map_err(|_| {
+                        ParseError::spanned(start, end - start, "integer literal too large")
+                    })?;
                     self.pos = end;
-                    out.push((start, Tok::Number(n)));
+                    Tok::Number(n)
                 }
                 c if c.is_ascii_alphabetic() || c == b'_' => {
                     let mut end = self.pos;
@@ -211,20 +264,24 @@ impl<'a> Lexer<'a> {
                         .expect("checked ascii")
                         .to_owned();
                     self.pos = end;
-                    let tok = match text.as_str() {
+                    match text.as_str() {
                         "true" => Tok::KwTrue,
                         "false" => Tok::KwFalse,
                         "forall" => Tok::KwForall,
                         "exists" => Tok::KwExists,
                         "K" => Tok::KwK,
                         _ => Tok::Ident(text),
-                    };
-                    out.push((start, tok));
+                    }
                 }
                 other => {
                     return Err(self.error(format!("unexpected character `{}`", other as char)))
                 }
-            }
+            };
+            out.push(STok {
+                start,
+                end: self.pos,
+                tok,
+            });
         }
         Ok(out)
     }
@@ -234,47 +291,78 @@ impl<'a> Lexer<'a> {
     }
 }
 
-struct Parser {
-    toks: Vec<(usize, Tok)>,
-    pos: usize,
+pub(crate) struct Parser {
+    toks: Vec<STok>,
+    pub(crate) pos: usize,
     len: usize,
+    /// Whether the structural keywords of the program syntax are barred
+    /// from identifier positions in formulas and expressions.
+    pub(crate) reserved: bool,
 }
 
 impl Parser {
-    fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(_, t)| t)
+    pub(crate) fn new(toks: Vec<STok>, len: usize) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            len,
+            reserved: false,
+        }
     }
 
-    fn next(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+    pub(crate) fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    pub(crate) fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
     }
 
-    fn offset(&self) -> usize {
-        self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.len)
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
     }
 
-    fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            offset: self.offset(),
-            message: message.into(),
-        }
+    /// The span of the token at the cursor (a point at end of input).
+    pub(crate) fn span(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .map_or((self.len, 0), |t| (t.start, t.end - t.start))
     }
 
-    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+    /// The span of the most recently consumed token.
+    pub(crate) fn prev_span(&self) -> (usize, usize) {
+        let i = self.pos.saturating_sub(1);
+        self.toks
+            .get(i)
+            .map_or((self.len, 0), |t| (t.start, t.end - t.start))
+    }
+
+    pub(crate) fn error(&self, message: impl Into<String>) -> ParseError {
+        let (offset, len) = self.span();
+        ParseError::spanned(offset, len, message)
+    }
+
+    pub(crate) fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
         match self.next() {
             Some(ref t) if t == want => Ok(()),
-            _ => {
-                self.pos = self.pos.saturating_sub(1);
+            Some(_) => {
+                self.pos -= 1;
                 Err(self.error(format!("expected {what}")))
             }
+            None => Err(self.error(format!("expected {what}"))),
         }
     }
 
-    fn formula(&mut self) -> Result<Formula, ParseError> {
+    /// Whether `name` is barred from identifier positions here.
+    fn is_reserved(&self, name: &str) -> bool {
+        self.reserved && RESERVED.contains(&name)
+    }
+
+    pub(crate) fn formula(&mut self) -> Result<Formula, ParseError> {
         match self.peek() {
             Some(Tok::KwForall) | Some(Tok::KwExists) => {
                 let universal = matches!(self.next(), Some(Tok::KwForall));
@@ -417,7 +505,7 @@ impl Parser {
         }
     }
 
-    fn expr(&mut self) -> Result<Expr, ParseError> {
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.term()?;
         loop {
             match self.peek() {
@@ -435,6 +523,13 @@ impl Parser {
     }
 
     fn term(&mut self) -> Result<Expr, ParseError> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if self.is_reserved(name) {
+                return Err(self.error(format!(
+                    "keyword `{name}` cannot be used as an identifier here"
+                )));
+            }
+        }
         match self.next() {
             Some(Tok::Number(n)) => Ok(Expr::Const(n)),
             Some(Tok::Ident(name)) => Ok(Expr::Ident(name)),
@@ -454,7 +549,7 @@ impl Parser {
 /// Parse a formula from concrete syntax.
 ///
 /// # Errors
-/// Returns a [`ParseError`] with a byte offset on malformed input.
+/// Returns a [`ParseError`] with a byte span on malformed input.
 ///
 /// # Examples
 /// ```
@@ -464,13 +559,9 @@ impl Parser {
 /// ```
 pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
     let toks = Lexer::new(input).tokens()?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        len: input.len(),
-    };
+    let mut p = Parser::new(toks, input.len());
     let f = p.formula()?;
-    if p.pos != p.toks.len() {
+    if !p.at_end() {
         return Err(p.error("unexpected trailing input"));
     }
     Ok(f)
@@ -480,7 +571,7 @@ pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
 /// assignment) from concrete syntax.
 ///
 /// # Errors
-/// Returns a [`ParseError`] with a byte offset on malformed input.
+/// Returns a [`ParseError`] with a byte span on malformed input.
 ///
 /// # Examples
 /// ```
@@ -489,13 +580,9 @@ pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
 /// ```
 pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
     let toks = Lexer::new(input).tokens()?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        len: input.len(),
-    };
+    let mut p = Parser::new(toks, input.len());
     let e = p.expr()?;
-    if p.pos != p.toks.len() {
+    if !p.at_end() {
         return Err(p.error("unexpected trailing input"));
     }
     Ok(e)
@@ -642,10 +729,41 @@ mod tests {
             "forall :: x",
             "@",
             "a b",
+            "a [",
+            "x := 1",
+            "a : b",
+            "a , b",
         ] {
             let e = parse_formula(bad).unwrap_err();
             assert!(e.offset <= bad.len(), "{bad}: offset {}", e.offset);
+            assert!(
+                e.offset + e.len <= bad.len().max(e.offset + 1),
+                "{bad}: span {}+{}",
+                e.offset,
+                e.len
+            );
         }
+    }
+
+    #[test]
+    fn error_spans_cover_the_token() {
+        // `longident` after `a` is the offending token; the span covers it.
+        let e = parse_formula("a longident").unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert_eq!(e.len, "longident".len());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(parse("a /\\ b // trailing"), parse("a /\\ b"));
+        assert_eq!(parse("// leading\n a"), Formula::bool_var("a"));
+    }
+
+    #[test]
+    fn reserved_words_are_plain_idents_in_formula_mode() {
+        // Backwards compatibility: `parse_formula` has no reserved words.
+        assert_eq!(parse("assign"), Formula::bool_var("assign"));
+        assert_eq!(parse("skip = 1"), Formula::var_eq("skip", 1));
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! The whole-program surface syntax: a spanned AST and parser for textual
+//! UNITY-with-knowledge programs.
+//!
+//! This module is purely syntactic — it produces a [`ProgramAst`] whose
+//! guards and initial condition are ordinary [`Formula`]s (possibly with
+//! `K{i}(..)` modalities). Elaboration into a state space and a semantic
+//! program lives in `kpt-unity` (`parse_program`), keeping this crate free
+//! of a `kpt-state` dependency.
+//!
+//! ## Grammar
+//!
+//! ```text
+//! program    := "program" ident
+//!               "declare" decl*
+//!               ["processes" proc*]
+//!               ["init" formula]
+//!               "assign" stmt ( sep? stmt )*
+//! decl       := ident ":" domain
+//! domain     := "boolean" | "bool" | "nat" "<" number ">" | "nat" number
+//!             | "{" ident ("," ident)* "}"
+//! proc       := ident "=" "{" [ident ("," ident)*] "}"
+//! sep        := "[]" | "|"
+//! stmt       := ident ":" body ["if" formula]
+//! body       := "skip" | assign ("||" assign)*
+//! assign     := ident ":=" expr
+//! ```
+//!
+//! Formulas and expressions use the concrete syntax of [`crate::parse_formula`];
+//! `//` comments run to end of line. The section words `program`, `declare`,
+//! `processes`, `init`, `assign` and the statement words `skip`, `if` are
+//! reserved inside a program source (they cannot name variables, labels or
+//! statements), which is what lets the newline-insensitive parser find the
+//! end of a formula.
+
+use std::fmt;
+
+use crate::ast::{Expr, Formula};
+use crate::error::ParseError;
+use crate::parser::{Lexer, Parser, Tok, RESERVED};
+
+/// A byte span `start..start + len` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl Span {
+    /// The span `start..end`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            len: end.saturating_sub(start),
+        }
+    }
+}
+
+/// A parsed (but not yet elaborated) program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramAst {
+    /// Program name.
+    pub name: String,
+    /// Span of the name token.
+    pub name_span: Span,
+    /// Variable declarations, in order.
+    pub decls: Vec<DeclAst>,
+    /// Process declarations, in order (may be empty).
+    pub processes: Vec<ProcessAst>,
+    /// The initial condition, if an `init` section was given.
+    pub init: Option<Formula>,
+    /// Span of the init formula (empty when `init` is `None`).
+    pub init_span: Span,
+    /// The statements, in order.
+    pub statements: Vec<StatementAst>,
+}
+
+/// One `name : domain` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeclAst {
+    /// Variable name.
+    pub name: String,
+    /// Declared domain.
+    pub domain: DomainAst,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A syntactic domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainAst {
+    /// `boolean` (or `bool`).
+    Bool,
+    /// `nat<N>` (or `nat N`): values `0..N`.
+    Nat(u64),
+    /// `{label, label, …}`.
+    Enum(Vec<String>),
+}
+
+/// One `Name = {vars}` process declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessAst {
+    /// Process name.
+    pub name: String,
+    /// The view: names of the variables this process observes.
+    pub vars: Vec<String>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// One `name: assignments [if guard]` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatementAst {
+    /// Statement name.
+    pub name: String,
+    /// Simultaneous assignments (empty means `skip`).
+    pub assigns: Vec<(String, Expr)>,
+    /// The guard formula, if any (`None` means always enabled).
+    pub guard: Option<Formula>,
+    /// Span of the whole statement.
+    pub span: Span,
+}
+
+/// Parse a textual program into its spanned AST.
+///
+/// # Errors
+/// A [`ParseError`] with a byte span on malformed input; render it against
+/// the source with [`ParseError::render`].
+///
+/// # Examples
+/// ```
+/// use kpt_logic::parse_program_ast;
+/// let ast = parse_program_ast(
+///     "program p\ndeclare\n  x : boolean\nassign\n  s: x := 1 if ~x\n",
+/// )
+/// .unwrap();
+/// assert_eq!(ast.name, "p");
+/// assert_eq!(ast.statements.len(), 1);
+/// ```
+pub fn parse_program_ast(src: &str) -> Result<ProgramAst, ParseError> {
+    let toks = Lexer::new(src).tokens()?;
+    let mut p = Parser::new(toks, src.len());
+    p.reserved = true;
+    let ast = program(&mut p)?;
+    if !p.at_end() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(ast)
+}
+
+/// Whether the parser is looking at the given structural keyword.
+fn at_keyword(p: &Parser, word: &str) -> bool {
+    matches!(p.peek(), Some(Tok::Ident(n)) if n == word)
+}
+
+fn expect_keyword(p: &mut Parser, word: &str) -> Result<(), ParseError> {
+    if at_keyword(p, word) {
+        p.next();
+        Ok(())
+    } else {
+        Err(p.error(format!("expected `{word}`")))
+    }
+}
+
+/// Consume a non-reserved identifier.
+fn name(p: &mut Parser, what: &str) -> Result<(String, Span), ParseError> {
+    match p.peek() {
+        Some(Tok::Ident(n)) if !RESERVED.contains(&n.as_str()) => {
+            let n = n.clone();
+            let (start, len) = p.span();
+            p.next();
+            Ok((n, Span { start, len }))
+        }
+        Some(Tok::Ident(n)) => Err(p.error(format!("keyword `{n}` cannot be used as {what}"))),
+        _ => Err(p.error(format!("expected {what}"))),
+    }
+}
+
+fn program(p: &mut Parser) -> Result<ProgramAst, ParseError> {
+    expect_keyword(p, "program")?;
+    let (pname, name_span) = name(p, "the program name")?;
+
+    // Later sections begin with one of these words; any other identifier
+    // starts another item of the current section.
+    const SECTIONS: &[&str] = &["processes", "init", "assign"];
+
+    expect_keyword(p, "declare")?;
+    let mut decls = Vec::new();
+    while let Some(Tok::Ident(n)) = p.peek() {
+        if SECTIONS.contains(&n.as_str()) {
+            break;
+        }
+        decls.push(decl(p)?);
+    }
+
+    let mut processes = Vec::new();
+    if at_keyword(p, "processes") {
+        p.next();
+        while let Some(Tok::Ident(n)) = p.peek() {
+            if SECTIONS.contains(&n.as_str()) {
+                break;
+            }
+            processes.push(process(p)?);
+        }
+    }
+
+    let mut init = None;
+    let mut init_span = Span::default();
+    if at_keyword(p, "init") {
+        p.next();
+        if !at_keyword(p, "assign") {
+            let (start, _) = p.span();
+            init = Some(p.formula()?);
+            let (pstart, plen) = p.prev_span();
+            init_span = Span::new(start, pstart + plen);
+        }
+    }
+
+    expect_keyword(p, "assign")?;
+    let mut statements = Vec::new();
+    loop {
+        // Optional separators: `[]` or `|`.
+        match p.peek() {
+            Some(Tok::LBracket) => {
+                p.next();
+                p.expect(&Tok::RBracket, "`]` of the `[]` separator")?;
+            }
+            Some(Tok::Bar) => {
+                p.next();
+            }
+            _ => {}
+        }
+        if p.at_end() {
+            break;
+        }
+        statements.push(statement(p)?);
+    }
+
+    Ok(ProgramAst {
+        name: pname,
+        name_span,
+        decls,
+        processes,
+        init,
+        init_span,
+        statements,
+    })
+}
+
+fn decl(p: &mut Parser) -> Result<DeclAst, ParseError> {
+    let (vname, vspan) = name(p, "a variable name")?;
+    p.expect(&Tok::Colon, "`:` between the variable name and its domain")?;
+    let domain = domain(p)?;
+    let (pstart, plen) = p.prev_span();
+    Ok(DeclAst {
+        name: vname,
+        domain,
+        span: Span::new(vspan.start, pstart + plen),
+    })
+}
+
+fn domain(p: &mut Parser) -> Result<DomainAst, ParseError> {
+    match p.peek().cloned() {
+        Some(Tok::Ident(n)) if n == "boolean" || n == "bool" => {
+            p.next();
+            Ok(DomainAst::Bool)
+        }
+        Some(Tok::Ident(n)) if n == "nat" => {
+            p.next();
+            // `nat<N>` or `nat N`. `<` lexes as the comparison operator.
+            let angled = matches!(p.peek(), Some(Tok::Cmp(crate::CmpOp::Lt)));
+            if angled {
+                p.next();
+            }
+            let size = match p.peek() {
+                Some(&Tok::Number(n)) if n >= 0 => {
+                    p.next();
+                    n as u64
+                }
+                _ => return Err(p.error("expected a size after `nat`")),
+            };
+            if angled {
+                match p.peek() {
+                    Some(Tok::Cmp(crate::CmpOp::Gt)) => {
+                        p.next();
+                    }
+                    _ => return Err(p.error("expected `>` closing `nat<N>`")),
+                }
+            }
+            Ok(DomainAst::Nat(size))
+        }
+        Some(Tok::LBrace) => {
+            let (lb_start, _) = p.span();
+            p.next();
+            let mut labels = Vec::new();
+            loop {
+                match p.peek() {
+                    Some(Tok::RBrace) => {
+                        p.next();
+                        break;
+                    }
+                    _ => {
+                        if !labels.is_empty() {
+                            p.expect(&Tok::Comma, "`,` between enum labels")?;
+                        }
+                        let (l, _) = name(p, "an enum label")?;
+                        labels.push(l);
+                    }
+                }
+            }
+            if labels.is_empty() {
+                let (pstart, plen) = p.prev_span();
+                return Err(ParseError::spanned(
+                    lb_start,
+                    pstart + plen - lb_start,
+                    "empty enum domain",
+                ));
+            }
+            Ok(DomainAst::Enum(labels))
+        }
+        _ => Err(p.error(
+            "expected a domain: `boolean`, `nat<N>`, or `{label, ...}` \
+             (`name : domain`)",
+        )),
+    }
+}
+
+fn process(p: &mut Parser) -> Result<ProcessAst, ParseError> {
+    let (pname, pspan) = name(p, "a process name")?;
+    match p.peek() {
+        Some(Tok::Cmp(crate::CmpOp::Eq)) => {
+            p.next();
+        }
+        _ => return Err(p.error("expected `=` in `Name = {vars}`")),
+    }
+    p.expect(&Tok::LBrace, "`{` opening the process view")?;
+    let mut vars = Vec::new();
+    loop {
+        match p.peek() {
+            Some(Tok::RBrace) => {
+                p.next();
+                break;
+            }
+            _ => {
+                if !vars.is_empty() {
+                    p.expect(&Tok::Comma, "`,` between view variables")?;
+                }
+                let (v, _) = name(p, "a view variable name")?;
+                vars.push(v);
+            }
+        }
+    }
+    let (pstart, plen) = p.prev_span();
+    Ok(ProcessAst {
+        name: pname,
+        vars,
+        span: Span::new(pspan.start, pstart + plen),
+    })
+}
+
+fn statement(p: &mut Parser) -> Result<StatementAst, ParseError> {
+    let (sname, sspan) = name(p, "a statement name")?;
+    p.expect(&Tok::Colon, "`:` after the statement name")?;
+    let mut assigns = Vec::new();
+    if at_keyword(p, "skip") {
+        p.next();
+    } else {
+        loop {
+            let (target, _) = name(p, "an assignment target (`var := expr`)")?;
+            p.expect(&Tok::Assign, "`:=` in `var := expr`")?;
+            let rhs = p.expr()?;
+            assigns.push((target, rhs));
+            if p.peek() == Some(&Tok::Or) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+    let guard = if at_keyword(p, "if") {
+        p.next();
+        Some(p.formula()?)
+    } else {
+        None
+    };
+    let (pstart, plen) = p.prev_span();
+    Ok(StatementAst {
+        name: sname,
+        assigns,
+        guard,
+        span: Span::new(sspan.start, pstart + plen),
+    })
+}
+
+impl fmt::Display for DomainAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainAst::Bool => write!(f, "boolean"),
+            DomainAst::Nat(n) => write!(f, "nat<{n}>"),
+            DomainAst::Enum(labels) => write!(f, "{{{}}}", labels.join(", ")),
+        }
+    }
+}
+
+impl fmt::Display for StatementAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        if self.assigns.is_empty() {
+            write!(f, "skip")?;
+        } else {
+            for (i, (v, e)) in self.assigns.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " || ")?;
+                }
+                write!(f, "{v} := {e}")?;
+            }
+        }
+        if let Some(g) = &self.guard {
+            write!(f, " if {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ProgramAst {
+    /// Render the canonical surface form: `parse_program_ast` of the output
+    /// yields an AST that displays identically (the display is a fixpoint
+    /// of parse ∘ display).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {}", self.name)?;
+        writeln!(f, "declare")?;
+        for d in &self.decls {
+            writeln!(f, "  {} : {}", d.name, d.domain)?;
+        }
+        if !self.processes.is_empty() {
+            writeln!(f, "processes")?;
+            for pr in &self.processes {
+                writeln!(f, "  {} = {{{}}}", pr.name, pr.vars.join(", "))?;
+            }
+        }
+        if let Some(init) = &self.init {
+            writeln!(f, "init")?;
+            writeln!(f, "  {init}")?;
+        }
+        writeln!(f, "assign")?;
+        for (i, s) in self.statements.iter().enumerate() {
+            let lead = if i == 0 { "   " } else { " []" };
+            writeln!(f, "{lead} {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1: &str = "\
+program figure1
+declare
+  shared : boolean
+  x : boolean
+processes
+  P0 = {shared}
+  P1 = {shared, x}
+init
+  ~shared /\\ ~x
+assign
+    grant: shared := 1 if K{P0}(~x)
+ [] take: x := 1 || shared := 0 if shared
+";
+
+    #[test]
+    fn parses_figure1_ast() {
+        let ast = parse_program_ast(FIGURE1).unwrap();
+        assert_eq!(ast.name, "figure1");
+        assert_eq!(ast.decls.len(), 2);
+        assert_eq!(ast.processes.len(), 2);
+        assert!(ast.init.is_some());
+        assert_eq!(ast.statements.len(), 2);
+        assert_eq!(ast.statements[1].assigns.len(), 2);
+        assert!(ast.statements[0]
+            .guard
+            .as_ref()
+            .unwrap()
+            .mentions_knowledge());
+    }
+
+    #[test]
+    fn display_is_a_parse_fixpoint() {
+        let ast = parse_program_ast(FIGURE1).unwrap();
+        let printed = ast.to_string();
+        assert_eq!(printed, FIGURE1);
+        let again = parse_program_ast(&printed).unwrap();
+        assert_eq!(again.to_string(), printed);
+    }
+
+    #[test]
+    fn newline_insensitive_and_commented() {
+        let src = "program p // name\ndeclare x : nat 3 y : {lo, hi}\n\
+                   init x = 0 /\\ y = lo assign s: x := x + 1 if x < 2\n\
+                   | t: y := hi if x = 2";
+        let ast = parse_program_ast(src).unwrap();
+        assert_eq!(ast.decls.len(), 2);
+        assert_eq!(
+            ast.decls[1].domain,
+            DomainAst::Enum(vec!["lo".into(), "hi".into()])
+        );
+        assert_eq!(ast.statements.len(), 2);
+    }
+
+    #[test]
+    fn statement_spans_cover_their_text() {
+        let ast = parse_program_ast(FIGURE1).unwrap();
+        let s = &ast.statements[0];
+        let text = &FIGURE1[s.span.start..s.span.start + s.span.len];
+        assert_eq!(text, "grant: shared := 1 if K{P0}(~x)");
+    }
+
+    #[test]
+    fn decl_spans_cover_their_text() {
+        let ast = parse_program_ast(FIGURE1).unwrap();
+        let d = &ast.decls[0];
+        let text = &FIGURE1[d.span.start..d.span.start + d.span.len];
+        assert_eq!(text, "shared : boolean");
+    }
+
+    #[test]
+    fn guardless_and_skip_statements() {
+        let src = "program p\ndeclare\n  x : bool\nassign\n  a: skip\n  b: x := 1\n";
+        let ast = parse_program_ast(src).unwrap();
+        assert!(ast.statements[0].assigns.is_empty());
+        assert!(ast.statements[0].guard.is_none());
+        assert_eq!(ast.statements[1].assigns.len(), 1);
+    }
+
+    #[test]
+    fn empty_init_section_is_allowed() {
+        let src = "program p\ndeclare\n  x : bool\ninit\nassign\n  a: skip\n";
+        let ast = parse_program_ast(src).unwrap();
+        assert!(ast.init.is_none());
+    }
+
+    #[test]
+    fn errors_point_at_the_problem() {
+        for (src, needle) in [
+            ("declare", "expected `program`"),
+            ("program p\n  x : bool", "expected `declare`"),
+            ("program p\ndeclare\n  x bool", "`:` between"),
+            ("program p\ndeclare\n  x : float", "expected a domain"),
+            ("program p\ndeclare\n  x : {}", "empty enum"),
+            ("program p\ndeclare\n  x : nat", "expected a size"),
+            ("program p\ndeclare\n  x : bool\nprocesses\n  P {x}", "`=`"),
+            (
+                "program p\ndeclare\n  x : bool\nassign\n  s x := 1",
+                "`:` after the statement name",
+            ),
+            ("program p\ndeclare\n  x : bool\nassign\n  s: x = 1", "`:=`"),
+            (
+                "program p\ndeclare\n  if : bool\nassign\n  s: skip",
+                "keyword `if`",
+            ),
+        ] {
+            let e = parse_program_ast(src).unwrap_err();
+            assert!(e.to_string().contains(needle), "`{src}` gave: {e}");
+            assert!(e.offset <= src.len(), "`{src}`: offset {}", e.offset);
+            // The span renders without panicking.
+            let _ = e.render(src);
+        }
+    }
+
+    #[test]
+    fn reserved_words_cannot_leak_into_formulas() {
+        // Without reservation the init formula would swallow `assign` as a
+        // boolean atom and the statement section would be missing.
+        let src = "program p\ndeclare\n  x : bool\ninit\n  x /\\ assign\nassign\n  s: skip\n";
+        let e = parse_program_ast(src).unwrap_err();
+        assert!(e.to_string().contains("keyword `assign`"), "{e}");
+    }
+}

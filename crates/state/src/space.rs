@@ -449,23 +449,29 @@ impl StateSpaceBuilder {
     /// [`SpaceError::TooLarge`] if the product of domain sizes exceeds
     /// [`StateSpace::MAX_STATES`].
     pub fn build(self) -> Result<Arc<StateSpace>, SpaceError> {
-        let mut stride = 1u64;
+        // Count states in u128 so the error can report the real (saturated)
+        // product even when it no longer fits a u64: every stride stored in
+        // a VarInfo is a prefix product that passed the cap check, so the
+        // u64 stride arithmetic below can never wrap.
+        let mut states: u128 = 1;
         let mut infos = Vec::with_capacity(self.vars.len());
         for (name, domain) in self.vars {
             let size = domain.size();
             infos.push(VarInfo {
                 name,
                 domain,
-                stride,
+                stride: states as u64,
             });
-            stride = stride
-                .checked_mul(size)
-                .filter(|&s| s <= StateSpace::MAX_STATES)
-                .ok_or(SpaceError::TooLarge { states: u64::MAX })?;
+            states = states.saturating_mul(u128::from(size));
+            if states > u128::from(StateSpace::MAX_STATES) {
+                return Err(SpaceError::TooLarge {
+                    states: u64::try_from(states).unwrap_or(u64::MAX),
+                });
+            }
         }
         Ok(Arc::new(StateSpace {
             vars: infos,
-            num_states: stride,
+            num_states: states as u64,
         }))
     }
 }
@@ -484,6 +490,54 @@ mod tests {
             .unwrap()
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn state_count_exactly_at_the_cap_builds() {
+        // 63 booleans: exactly MAX_STATES = 2^63 states. The cap is
+        // inclusive — this is the largest declarable space.
+        let mut b = StateSpace::builder();
+        for k in 0..63 {
+            b = b.bool_var(&format!("v{k}")).unwrap();
+        }
+        let space = b.build().unwrap();
+        assert_eq!(space.num_states(), StateSpace::MAX_STATES);
+    }
+
+    #[test]
+    fn state_count_just_over_the_cap_reports_the_product() {
+        // 2^62 * 3 states: over the cap but still within u64, so the typed
+        // error reports the exact product rather than a placeholder.
+        let mut b = StateSpace::builder();
+        for k in 0..62 {
+            b = b.bool_var(&format!("v{k}")).unwrap();
+        }
+        let err = b.nat_var("n", 3).unwrap().build().unwrap_err();
+        assert_eq!(
+            err,
+            SpaceError::TooLarge {
+                states: 3 * (1u64 << 62)
+            }
+        );
+    }
+
+    #[test]
+    fn state_count_overflowing_u64_saturates() {
+        // 64 booleans: 2^64 states overflows u64 entirely; the reported
+        // count saturates instead of wrapping to a small number.
+        let mut b = StateSpace::builder();
+        for k in 0..64 {
+            b = b.bool_var(&format!("v{k}")).unwrap();
+        }
+        let err = b.build().unwrap_err();
+        assert_eq!(err, SpaceError::TooLarge { states: u64::MAX });
+        // A single enormous domain takes the same path.
+        let err = StateSpace::builder()
+            .nat_var("n", u64::MAX)
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::TooLarge { states: u64::MAX });
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Random *textual* UNITY-with-knowledge programs and formulas, for the
+//! differential fuzzing campaign and the parser round-trip properties.
+//!
+//! Everything is emitted as surface-syntax source text (this crate knows
+//! nothing of the AST types), and programs are **valid by construction**:
+//!
+//! * every identifier resolves — assignment right-hand sides use only
+//!   declared variables, in-domain constants and the target's own enum
+//!   labels;
+//! * the initial condition pins a subset of variables to concrete values,
+//!   so it is always satisfiable;
+//! * arithmetic updates are range-guarded (`v < max` before `v := v + 1`),
+//!   so no reachable state can push a variable out of its domain;
+//! * state spaces stay tiny (≤ a few hundred states), so explicit and
+//!   symbolic engines can both be run on every case.
+//!
+//! Knowledge guards `K{P}(..)` are generated with bounded probability;
+//! the resulting KBPs may legitimately have no eq. (25) solution (the
+//! Figure 1 pattern) — callers must treat "no solution" as a comparable
+//! outcome, not a failure.
+
+use std::fmt::Write as _;
+
+use crate::Rng;
+
+/// Tuning knobs for [`gen_program`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of declared variables (at least 2 are drawn).
+    pub max_vars: usize,
+    /// Maximum number of statements (at least 1 is drawn).
+    pub max_statements: usize,
+    /// Probability that a statement's guard includes a random formula on
+    /// top of its range-protection conjuncts.
+    pub guard_probability: f64,
+    /// Probability that a generated sub-formula is a knowledge test.
+    pub knowledge_probability: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_vars: 4,
+            max_statements: 4,
+            guard_probability: 0.8,
+            knowledge_probability: 0.25,
+        }
+    }
+}
+
+const LABEL_POOL: &[&str] = &["red", "green", "blue", "amber", "violet"];
+
+/// A declared variable, as the generator sees it.
+struct GVar {
+    name: String,
+    /// Domain size (2 for booleans).
+    size: u64,
+    /// Enum labels, if the variable is an enumeration.
+    labels: Option<Vec<&'static str>>,
+    /// Whether the variable was declared `boolean`.
+    is_bool: bool,
+}
+
+fn gen_vars(rng: &mut Rng, config: &GenConfig) -> Vec<GVar> {
+    let n = rng.gen_range_usize(2..config.max_vars.max(2) + 1);
+    (0..n)
+        .map(|i| {
+            let name = format!("v{i}");
+            match rng.below(3) {
+                0 => GVar {
+                    name,
+                    size: 2,
+                    labels: None,
+                    is_bool: true,
+                },
+                1 => {
+                    let size = rng.gen_range(2..5);
+                    GVar {
+                        name,
+                        size,
+                        labels: None,
+                        is_bool: false,
+                    }
+                }
+                _ => {
+                    let k = rng.gen_range_usize(2..4);
+                    let mut pool: Vec<&'static str> = LABEL_POOL.to_vec();
+                    rng.shuffle(&mut pool);
+                    pool.truncate(k);
+                    GVar {
+                        name,
+                        size: k as u64,
+                        labels: Some(pool),
+                        is_bool: false,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// A reference to a value of `v`'s domain, as source text.
+fn gen_value(rng: &mut Rng, v: &GVar) -> String {
+    match &v.labels {
+        Some(labels) => labels[rng.gen_range_usize(0..labels.len())].to_owned(),
+        None => rng.below(v.size).to_string(),
+    }
+}
+
+/// A comparison or boolean atom over the declared variables.
+fn gen_atom(rng: &mut Rng, vars: &[GVar]) -> String {
+    let v = &vars[rng.gen_range_usize(0..vars.len())];
+    if v.is_bool && rng.gen_bool(0.4) {
+        return if rng.gen_bool(0.5) {
+            v.name.clone()
+        } else {
+            format!("~{}", v.name)
+        };
+    }
+    let op = if v.labels.is_some() {
+        // Order comparisons against labels read badly; stick to (in)equality.
+        ["=", "!="][rng.gen_range_usize(0..2)]
+    } else {
+        ["=", "!=", "<", "<=", ">", ">="][rng.gen_range_usize(0..6)]
+    };
+    format!("{} {op} {}", v.name, gen_value(rng, v))
+}
+
+fn gen_formula_over(
+    rng: &mut Rng,
+    vars: &[GVar],
+    processes: &[String],
+    knowledge_probability: f64,
+    depth: usize,
+) -> String {
+    if depth > 0 && !processes.is_empty() && rng.gen_bool(knowledge_probability) {
+        let p = &processes[rng.gen_range_usize(0..processes.len())];
+        let body = gen_formula_over(rng, vars, processes, knowledge_probability / 2.0, depth - 1);
+        return format!("K{{{p}}}({body})");
+    }
+    if depth == 0 || rng.gen_bool(0.4) {
+        return gen_atom(rng, vars);
+    }
+    match rng.below(5) {
+        0 => {
+            let a = gen_formula_over(rng, vars, processes, knowledge_probability, depth - 1);
+            format!("~({a})")
+        }
+        n => {
+            let op = [" /\\ ", " \\/ ", " => ", " <=> "][n as usize - 1];
+            let a = gen_formula_over(rng, vars, processes, knowledge_probability, depth - 1);
+            let b = gen_formula_over(rng, vars, processes, knowledge_probability, depth - 1);
+            format!("({a}){op}({b})")
+        }
+    }
+}
+
+/// A random standalone formula over free identifiers `x`, `y`, `z` and a
+/// process `P` — for parser round-trip properties (nothing needs to
+/// resolve, so the shape space is wider than [`gen_program`] guards).
+pub fn gen_formula(rng: &mut Rng) -> String {
+    let vars = [
+        GVar {
+            name: "x".to_owned(),
+            size: 2,
+            labels: None,
+            is_bool: true,
+        },
+        GVar {
+            name: "y".to_owned(),
+            size: 4,
+            labels: None,
+            is_bool: false,
+        },
+        GVar {
+            name: "z".to_owned(),
+            size: 3,
+            labels: Some(vec!["red", "green", "blue"]),
+            is_bool: false,
+        },
+    ];
+    let procs = ["P".to_owned()];
+    gen_formula_over(rng, &vars, &procs, 0.3, 3)
+}
+
+/// Generate one random textual program (see the module docs for the
+/// validity guarantees). The same seed always yields the same source.
+pub fn gen_program(rng: &mut Rng, config: &GenConfig) -> String {
+    let vars = gen_vars(rng, config);
+    let mut s = String::new();
+    let _ = writeln!(s, "program fuzz");
+    s.push_str("declare\n");
+    for v in &vars {
+        let domain = match &v.labels {
+            Some(labels) => format!("{{{}}}", labels.join(", ")),
+            None if v.is_bool => "boolean".to_owned(),
+            None => format!("nat<{}>", v.size),
+        };
+        let _ = writeln!(s, "  {} : {domain}", v.name);
+    }
+
+    // Processes: one or two, each viewing a random non-empty subset.
+    let nproc = rng.gen_range_usize(1..3);
+    let processes: Vec<String> = (0..nproc).map(|i| format!("P{i}")).collect();
+    s.push_str("processes\n");
+    for p in &processes {
+        let mut view: Vec<&str> = vars
+            .iter()
+            .filter(|_| rng.gen_bool(0.6))
+            .map(|v| v.name.as_str())
+            .collect();
+        if view.is_empty() {
+            view.push(vars[rng.gen_range_usize(0..vars.len())].name.as_str());
+        }
+        let _ = writeln!(s, "  {p} = {{{}}}", view.join(", "));
+    }
+
+    // Init: pin the first variable (satisfiability) and others at random.
+    s.push_str("init\n");
+    let mut conj: Vec<String> = Vec::new();
+    for (i, v) in vars.iter().enumerate() {
+        if i == 0 || rng.gen_bool(0.6) {
+            conj.push(format!("{} = {}", v.name, gen_value(rng, v)));
+        }
+    }
+    let _ = writeln!(s, "  {}", conj.join(" /\\ "));
+
+    s.push_str("assign\n");
+    let nstmt = rng.gen_range_usize(1..config.max_statements.max(1) + 1);
+    for si in 0..nstmt {
+        let lead = if si == 0 { "  " } else { "  [] " };
+        // Distinct targets for the parallel assignment.
+        let mut order: Vec<usize> = (0..vars.len()).collect();
+        rng.shuffle(&mut order);
+        let ntarget = rng.gen_range_usize(1..3.min(vars.len() + 1));
+        let mut assigns: Vec<String> = Vec::new();
+        let mut range_guards: Vec<String> = Vec::new();
+        for &vi in order.iter().take(ntarget) {
+            let v = &vars[vi];
+            let rhs = if v.labels.is_some() || v.is_bool {
+                gen_value(rng, v)
+            } else {
+                match rng.below(4) {
+                    // Guarded increment/decrement keep the value in range.
+                    0 => {
+                        range_guards.push(format!("{} < {}", v.name, v.size - 1));
+                        format!("{} + 1", v.name)
+                    }
+                    1 => {
+                        range_guards.push(format!("{} > 0", v.name));
+                        format!("{} - 1", v.name)
+                    }
+                    // Copying a no-larger domain cannot leave the range.
+                    2 if vars.iter().any(|w| w.size <= v.size && w.labels.is_none()) => {
+                        let smaller: Vec<&GVar> = vars
+                            .iter()
+                            .filter(|w| w.size <= v.size && w.labels.is_none())
+                            .collect();
+                        smaller[rng.gen_range_usize(0..smaller.len())].name.clone()
+                    }
+                    _ => gen_value(rng, v),
+                }
+            };
+            assigns.push(format!("{} := {rhs}", v.name));
+        }
+        let mut guards = range_guards;
+        if rng.gen_bool(config.guard_probability) {
+            guards.push(format!(
+                "({})",
+                gen_formula_over(rng, &vars, &processes, config.knowledge_probability, 2)
+            ));
+        }
+        let tail = if guards.is_empty() {
+            String::new()
+        } else {
+            format!(" if {}", guards.join(" /\\ "))
+        };
+        let _ = writeln!(s, "{lead}s{si}: {}{tail}", assigns.join(" || "));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GenConfig::default();
+        let a = gen_program(&mut Rng::seed_from_u64(42), &config);
+        let b = gen_program(&mut Rng::seed_from_u64(42), &config);
+        assert_eq!(a, b);
+        assert_ne!(a, gen_program(&mut Rng::seed_from_u64(43), &config));
+    }
+
+    #[test]
+    fn programs_have_every_section() {
+        let config = GenConfig::default();
+        for seed in 0..50 {
+            let src = gen_program(&mut Rng::seed_from_u64(seed), &config);
+            for section in ["program fuzz", "declare", "processes", "init", "assign"] {
+                assert!(src.contains(section), "seed {seed}:\n{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn formulas_are_nonempty_and_deterministic() {
+        let a = gen_formula(&mut Rng::seed_from_u64(7));
+        let b = gen_formula(&mut Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn state_spaces_stay_small() {
+        let config = GenConfig::default();
+        for seed in 0..100 {
+            let src = gen_program(&mut Rng::seed_from_u64(seed), &config);
+            // Worst case: 4 variables of size ≤ 4 ⇒ 256 states. The cheap
+            // proxy here is the declaration count.
+            assert!(src.lines().filter(|l| l.contains(" : ")).count() <= 4);
+        }
+    }
+}

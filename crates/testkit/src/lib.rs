@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod bench;
+pub mod genprog;
 pub mod pool;
 mod prop;
 mod rng;

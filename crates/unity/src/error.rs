@@ -46,6 +46,50 @@ pub enum UnityError {
     UnknownProcess(String),
     /// A statement name was declared twice.
     DuplicateStatement(String),
+    /// An error anchored to a byte span of a textual program source —
+    /// produced by [`crate::parse_program`] so elaboration failures point
+    /// at the offending declaration, process, init formula, or statement.
+    At {
+        /// Byte offset of the offending construct in the source.
+        offset: usize,
+        /// Span length in bytes.
+        len: usize,
+        /// The underlying error.
+        source: Box<UnityError>,
+    },
+}
+
+impl UnityError {
+    /// Anchor `e` to the byte span `offset..offset + len` of a program
+    /// source (idempotent: an already-anchored error keeps its span).
+    #[must_use]
+    pub fn at(offset: usize, len: usize, e: impl Into<UnityError>) -> Self {
+        match e.into() {
+            spanned @ UnityError::At { .. } => spanned,
+            inner => UnityError::At {
+                offset,
+                len,
+                source: Box::new(inner),
+            },
+        }
+    }
+
+    /// Render the error against the program source it arose from: spanned
+    /// errors ([`UnityError::At`], [`UnityError::Parse`]) get the caret
+    /// layout of [`kpt_logic::render_span`]; everything else is the plain
+    /// [`fmt::Display`] text.
+    #[must_use]
+    pub fn render(&self, src: &str) -> String {
+        match self {
+            UnityError::At {
+                offset,
+                len,
+                source,
+            } => kpt_logic::render_span(src, *offset, *len, &source.to_string()),
+            UnityError::Parse(e) => e.render(src),
+            other => other.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for UnityError {
@@ -77,6 +121,9 @@ impl fmt::Display for UnityError {
             UnityError::DuplicateStatement(name) => {
                 write!(f, "statement `{name}` declared twice")
             }
+            UnityError::At {
+                offset, source, ..
+            } => write!(f, "{source} (at byte {offset})"),
         }
     }
 }
@@ -87,6 +134,7 @@ impl Error for UnityError {
             UnityError::Space(e) => Some(e),
             UnityError::Parse(e) => Some(e),
             UnityError::Eval(e) => Some(e),
+            UnityError::At { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

@@ -1,7 +1,8 @@
 //! Parsing whole UNITY programs from the paper's textual notation.
 //!
-//! [`parse_program`] accepts the layout produced by [`Program`]'s
-//! `Display` (modulo semantic-only parts) and the paper's figures:
+//! [`parse_program`] runs the token-based surface parser of
+//! [`kpt_logic::parse_program_ast`] and then *elaborates* the spanned AST
+//! into a [`StateSpace`] and a [`Program`]:
 //!
 //! ```text
 //! program figure1
@@ -19,205 +20,117 @@
 //! ```
 //!
 //! Domains: `boolean`/`bool`, `nat<N>`/`nat N`, `{label, label, …}`.
-//! Statement separators `[]` (or `|`) at line starts are optional.
-//! Guards and expressions use the `kpt-logic` concrete syntax, including
-//! knowledge modalities — parsed programs may be knowledge-based
-//! protocols.
+//! Statement separators `[]` (or `|`) are optional. Guards and expressions
+//! use the `kpt-logic` concrete syntax, including knowledge modalities —
+//! parsed programs may be knowledge-based protocols. `//` comments run to
+//! end of line.
+//!
+//! Both syntax errors and elaboration failures (duplicate variables, a
+//! state count over [`StateSpace::MAX_STATES`], unknown view variables,
+//! unevaluable init formulas, duplicate statement names) carry the byte
+//! span of the offending construct — [`UnityError::render`] produces a
+//! caret diagnostic against the source. Errors that only arise when the
+//! program is *compiled* (unknown identifiers in guards, out-of-range
+//! updates) are reported by [`Program::compile`], without spans.
 
 use std::sync::Arc;
 
-use kpt_logic::{parse_expr, parse_formula, ParseError};
-use kpt_state::{StateSpace, StateSpaceBuilder};
+use kpt_logic::{parse_program_ast, DomainAst, ProgramAst, Span};
+use kpt_state::{SpaceError, StateSpace};
 
 use crate::program::Program;
 use crate::statement::Statement;
 use crate::UnityError;
 
-fn err(line_no: usize, message: impl Into<String>) -> UnityError {
-    UnityError::Parse(ParseError {
-        offset: line_no,
-        message: format!("line {line_no}: {}", message.into()),
-    })
-}
-
 /// Parse a program (and its state space) from the textual notation.
 ///
 /// # Errors
-/// A [`UnityError::Parse`] (with the line number in the offset) on
-/// malformed input, or any program-construction error.
+/// A spanned [`UnityError`] on malformed input or any
+/// program-construction error; render against the source with
+/// [`UnityError::render`].
 pub fn parse_program(src: &str) -> Result<(Arc<StateSpace>, Program), UnityError> {
-    #[derive(PartialEq, Clone, Copy)]
-    enum Section {
-        Preamble,
-        Declare,
-        Processes,
-        Init,
-        Assign,
-    }
+    let ast = parse_program_ast(src).map_err(UnityError::Parse)?;
+    elaborate_program(&ast)
+}
 
-    let mut name = "unnamed".to_owned();
-    let mut section = Section::Preamble;
-    let mut decls: Vec<(String, DomainSpec)> = Vec::new();
-    let mut processes: Vec<(String, Vec<String>)> = Vec::new();
-    let mut init_lines: Vec<String> = Vec::new();
-    let mut stmt_lines: Vec<(usize, String)> = Vec::new();
+/// Elaborate a surface AST into a state space and a program, anchoring
+/// every failure to the span of the construct that caused it.
+///
+/// # Errors
+/// [`UnityError::At`] wrapping the underlying space/eval/program error.
+pub fn elaborate_program(ast: &ProgramAst) -> Result<(Arc<StateSpace>, Program), UnityError> {
+    let span_err = |span: Span, e: UnityError| UnityError::at(span.start, span.len, e);
 
-    for (idx, raw) in src.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.split("//").next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        match line {
-            "declare" => {
-                section = Section::Declare;
-                continue;
-            }
-            "processes" => {
-                section = Section::Processes;
-                continue;
-            }
-            "init" => {
-                section = Section::Init;
-                continue;
-            }
-            "assign" => {
-                section = Section::Assign;
-                continue;
-            }
-            _ => {}
-        }
-        if let Some(rest) = line.strip_prefix("program ") {
-            name = rest.trim().to_owned();
-            continue;
-        }
-        match section {
-            Section::Preamble => return Err(err(line_no, "expected `program <name>`")),
-            Section::Declare => decls.push(parse_decl(line, line_no)?),
-            Section::Processes => processes.push(parse_process(line, line_no)?),
-            Section::Init => init_lines.push(line.to_owned()),
-            Section::Assign => {
-                let body = line
-                    .strip_prefix("[]")
-                    .or_else(|| line.strip_prefix('|'))
-                    .unwrap_or(line)
-                    .trim();
-                stmt_lines.push((line_no, body.to_owned()));
-            }
-        }
-    }
-
-    // Build the space.
-    let mut builder: StateSpaceBuilder = StateSpace::builder();
-    for (var, dom) in &decls {
-        builder = match dom {
-            DomainSpec::Bool => builder.bool_var(var)?,
-            DomainSpec::Nat(n) => builder.nat_var(var, *n)?,
-            DomainSpec::Enum(labels) => builder.enum_var(var, labels.iter().map(String::as_str))?,
+    // Declarations. The state count is tracked per declaration (in u128,
+    // mirroring the builder's own checked arithmetic) so a `TooLarge`
+    // failure points at the declaration that crossed the cap and reports
+    // the saturated product.
+    let mut states: u128 = 1;
+    let mut builder = StateSpace::builder();
+    for d in &ast.decls {
+        let size = match &d.domain {
+            DomainAst::Bool => 2,
+            DomainAst::Nat(n) => *n,
+            DomainAst::Enum(labels) => labels.len() as u64,
         };
+        states = states.saturating_mul(u128::from(size));
+        if states > u128::from(StateSpace::MAX_STATES) {
+            return Err(span_err(
+                d.span,
+                SpaceError::TooLarge {
+                    states: u64::try_from(states).unwrap_or(u64::MAX),
+                }
+                .into(),
+            ));
+        }
+        builder = match &d.domain {
+            DomainAst::Bool => builder.bool_var(&d.name),
+            DomainAst::Nat(n) => builder.nat_var(&d.name, *n),
+            DomainAst::Enum(labels) => builder.enum_var(&d.name, labels.iter().map(String::as_str)),
+        }
+        .map_err(|e| span_err(d.span, e.into()))?;
     }
-    let space = builder.build()?;
+    let space = builder
+        .build()
+        .map_err(|e| span_err(ast.name_span, e.into()))?;
 
-    // Build the program.
-    let mut pb = Program::builder(&name, &space);
-    for (pname, vars) in &processes {
-        pb = pb.process(pname, vars.iter().map(String::as_str))?;
+    // Processes.
+    let mut pb = Program::builder(&ast.name, &space);
+    for pr in &ast.processes {
+        pb = pb
+            .process(&pr.name, pr.vars.iter().map(String::as_str))
+            .map_err(|e| span_err(pr.span, e))?;
     }
-    if !init_lines.is_empty() {
-        let joined = init_lines.join(" ");
-        pb = pb.init_str(&joined)?;
+
+    // Init (evaluated eagerly — unknown identifiers surface here, with the
+    // span of the init formula).
+    if let Some(init) = &ast.init {
+        pb = pb
+            .init_formula(init)
+            .map_err(|e| span_err(ast.init_span, e))?;
     }
-    for (line_no, body) in &stmt_lines {
-        pb = pb.statement(parse_statement(body, *line_no)?);
+
+    // Statements.
+    for s in &ast.statements {
+        let mut stmt = Statement::new(&s.name);
+        for (target, rhs) in &s.assigns {
+            stmt = stmt.assign(target, rhs.clone());
+        }
+        if let Some(g) = &s.guard {
+            stmt = stmt.guard_formula(g.clone());
+        }
+        pb = pb.statement(stmt);
     }
-    let program = pb.build()?;
+    let program = pb.build().map_err(|e| {
+        if let UnityError::DuplicateStatement(name) = &e {
+            // Anchor to the *second* statement with that name.
+            if let Some(dup) = ast.statements.iter().filter(|s| &s.name == name).nth(1) {
+                return span_err(dup.span, e.clone());
+            }
+        }
+        e
+    })?;
     Ok((space, program))
-}
-
-enum DomainSpec {
-    Bool,
-    Nat(u64),
-    Enum(Vec<String>),
-}
-
-fn parse_decl(line: &str, line_no: usize) -> Result<(String, DomainSpec), UnityError> {
-    let (var, dom) = line
-        .split_once(':')
-        .ok_or_else(|| err(line_no, "expected `name : domain`"))?;
-    let var = var.trim().to_owned();
-    let dom = dom.trim();
-    let spec = if dom == "boolean" || dom == "bool" {
-        DomainSpec::Bool
-    } else if let Some(rest) = dom.strip_prefix("nat") {
-        let digits = rest
-            .trim()
-            .trim_start_matches('<')
-            .trim_end_matches('>')
-            .trim();
-        let n: u64 = digits
-            .parse()
-            .map_err(|_| err(line_no, format!("bad nat size `{digits}`")))?;
-        DomainSpec::Nat(n)
-    } else if dom.starts_with('{') && dom.ends_with('}') {
-        let labels: Vec<String> = dom[1..dom.len() - 1]
-            .split(',')
-            .map(|l| l.trim().to_owned())
-            .filter(|l| !l.is_empty())
-            .collect();
-        if labels.is_empty() {
-            return Err(err(line_no, "empty enum domain"));
-        }
-        DomainSpec::Enum(labels)
-    } else {
-        return Err(err(line_no, format!("unknown domain `{dom}`")));
-    };
-    Ok((var, spec))
-}
-
-fn parse_process(line: &str, line_no: usize) -> Result<(String, Vec<String>), UnityError> {
-    let (pname, rest) = line
-        .split_once('=')
-        .ok_or_else(|| err(line_no, "expected `Name = {vars}`"))?;
-    let rest = rest.trim();
-    if !(rest.starts_with('{') && rest.ends_with('}')) {
-        return Err(err(line_no, "expected a brace-delimited variable set"));
-    }
-    let vars: Vec<String> = rest[1..rest.len() - 1]
-        .split(',')
-        .map(|v| v.trim().to_owned())
-        .filter(|v| !v.is_empty())
-        .collect();
-    Ok((pname.trim().to_owned(), vars))
-}
-
-fn parse_statement(body: &str, line_no: usize) -> Result<Statement, UnityError> {
-    let (sname, rest) = body
-        .split_once(':')
-        .ok_or_else(|| err(line_no, "expected `name: assignments [if guard]`"))?;
-    let rest = rest.trim();
-    // Split off the guard: the LAST top-level ` if ` (assignment RHSes
-    // never contain `if` in this notation).
-    let (updates, guard) = match rest.rfind(" if ") {
-        Some(pos) => (&rest[..pos], Some(rest[pos + 4..].trim())),
-        None => (rest, None),
-    };
-    let mut stmt = Statement::new(sname.trim());
-    let updates = updates.trim();
-    if updates != "skip" && !updates.is_empty() {
-        for assign in updates.split("||") {
-            let (var, expr) = assign
-                .split_once(":=")
-                .ok_or_else(|| err(line_no, "expected `var := expr`"))?;
-            stmt = stmt.assign(
-                var.trim(),
-                parse_expr(expr.trim()).map_err(UnityError::Parse)?,
-            );
-        }
-    }
-    if let Some(g) = guard {
-        stmt = stmt.guard_formula(parse_formula(g).map_err(UnityError::Parse)?);
-    }
-    Ok(stmt)
 }
 
 #[cfg(test)]
@@ -326,27 +239,84 @@ assign
     }
 
     #[test]
-    fn error_reporting_carries_line_numbers() {
+    fn error_reporting_carries_spans() {
         for (src, needle) in [
-            ("declare\n  x : bool", "program"),
-            ("program p\ndeclare\n  x bool", "name : domain"),
-            ("program p\ndeclare\n  x : float", "unknown domain"),
+            ("declare\n  x : bool", "expected `program`"),
+            ("program p\ndeclare\n  x bool", "`:` between"),
+            ("program p\ndeclare\n  x : float", "expected a domain"),
             ("program p\ndeclare\n  x : {}", "empty enum"),
-            ("program p\nprocesses\n  P {x}", "Name = {vars}"),
-            // `s x := 1` splits at the `:` of `:=`, so the assignment
-            // parse is what fails.
+            ("program p\ndeclare\n  x : bool\nprocesses\n  P {x}", "`=`"),
             (
                 "program p\ndeclare\n  x : bool\nassign\n  s x := 1",
-                "var := expr",
+                "`:` after the statement name",
             ),
-            (
-                "program p\ndeclare\n  x : bool\nassign\n  s: x = 1",
-                "var := expr",
-            ),
+            ("program p\ndeclare\n  x : bool\nassign\n  s: x = 1", "`:=`"),
         ] {
             let e = parse_program(src).unwrap_err();
             assert!(e.to_string().contains(needle), "`{src}` gave: {e}");
+            // The span is a real byte position into the source and the
+            // caret rendering shows the offending line.
+            let r = e.render(src);
+            assert!(r.contains('^'), "`{src}` rendered: {r}");
         }
+    }
+
+    #[test]
+    fn elaboration_errors_are_spanned() {
+        // Duplicate variable: the error points at the second declaration.
+        let src = "program p\ndeclare\n  x : bool\n  x : nat<3>\nassign\n  s: skip\n";
+        let e = parse_program(src).unwrap_err();
+        let UnityError::At { offset, len, .. } = &e else {
+            panic!("expected a spanned error, got {e}");
+        };
+        assert_eq!(&src[*offset..*offset + *len], "x : nat<3>");
+        assert!(e.render(src).contains("^^^"), "{}", e.render(src));
+
+        // Unknown view variable: points at the process declaration.
+        let src = "program p\ndeclare\n  x : bool\nprocesses\n  P = {y}\nassign\n  s: skip\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(matches!(e, UnityError::At { .. }), "{e}");
+        assert!(e.render(src).contains("P = {y}"), "{}", e.render(src));
+
+        // Unevaluable init: points at the init formula.
+        let src = "program p\ndeclare\n  x : bool\ninit\n  nope\nassign\n  s: skip\n";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.to_string().contains("unknown identifier `nope`"), "{e}");
+        assert!(e.render(src).contains("nope"), "{}", e.render(src));
+
+        // Duplicate statement name: points at the second statement.
+        let src = "program p\ndeclare\n  x : bool\nassign\n  s: skip\n  s: x := 1\n";
+        let e = parse_program(src).unwrap_err();
+        let UnityError::At { offset, len, .. } = &e else {
+            panic!("expected a spanned error, got {e}");
+        };
+        assert_eq!(&src[*offset..*offset + *len], "s: x := 1");
+    }
+
+    #[test]
+    fn too_large_declaration_is_spanned_with_the_product() {
+        // 2^62 booleans … too many variables; instead cross the cap with
+        // nat domains: 2^32 * 2^32 = 2^64 saturates.
+        let src =
+            "program p\ndeclare\n  a : nat<4294967296>\n  b : nat<4294967296>\nassign\n  s: skip\n";
+        let e = parse_program(src).unwrap_err();
+        let UnityError::At {
+            offset,
+            len,
+            source,
+            ..
+        } = &e
+        else {
+            panic!("expected a spanned error, got {e}");
+        };
+        assert_eq!(&src[*offset..*offset + *len], "b : nat<4294967296>");
+        assert!(
+            matches!(
+                source.as_ref(),
+                UnityError::Space(SpaceError::TooLarge { states: u64::MAX })
+            ),
+            "{source}"
+        );
     }
 
     #[test]

@@ -83,11 +83,12 @@ pub mod prelude {
     };
     pub use kpt_channel::{ChannelStats, Delivery, FaultConfig, FaultyChannel};
     pub use kpt_core::{
-        figure1, figure2, semantics_agree, view_knowledge, wcyl, IterativeOutcome, Kbp,
-        KnowledgeOperator, SolutionSet,
+        figure1, figure2, load_kpt, muddy_children_kpt, semantics_agree, view_knowledge, wcyl, zoo,
+        IterativeOutcome, Kbp, KnowledgeOperator, SolutionSet, ZooEntry,
     };
     pub use kpt_lint::{
-        lint_kbp, lint_program, Diagnostic, DiagnosticCode, LintOptions, LintReport, Severity,
+        erased_program, lint_kbp, lint_program, Diagnostic, DiagnosticCode, LintOptions,
+        LintReport, Severity,
     };
     pub use kpt_logic::{parse_expr, parse_formula, EvalContext, Expr, Formula};
     pub use kpt_state::{
@@ -98,8 +99,8 @@ pub mod prelude {
         sp_union, sst, strongest_invariant, DetTransition, FnTransformer, Transformer,
     };
     pub use kpt_unity::{
-        execute, leads_to, reachable, CompiledProgram, Program, ProofContext, Property, RandomFair,
-        RoundRobin, Statement, Thm,
+        execute, leads_to, parse_program, reachable, CompiledProgram, Program, ProofContext,
+        Property, RandomFair, RoundRobin, Statement, Thm, UnityError,
     };
 }
 
