@@ -74,17 +74,12 @@ fn run_sst(
             "transition from a different BDD space"
         );
     }
-    let mut span = kpt_obs::span("bdd.fixpoint");
-    kpt_obs::counter!("bdd.fixpoint.runs").incr();
     let mut mgr = space.lock();
     let rels: Vec<ImageRel<'_>> = transitions.iter().map(|t| t.image_rel()).collect();
     let out = sst_raw_bounded(space, &mut mgr, p.root(), &rels, max_live_nodes);
     drop(mgr);
     let (root, stats) = out?;
     kpt_obs::histogram!("bdd.si.nodes").record(stats.nodes as u64);
-    span.field("rounds", stats.rounds);
-    span.field("nodes", stats.nodes as u64);
-    span.finish();
     let si = SymbolicPredicate::new(space, root);
     space.lock().release_root(root); // the loop's own reference, now covered by `si`
     Ok((si, stats))
@@ -122,6 +117,9 @@ pub(crate) fn sst_raw_bounded(
     rels: &[ImageRel<'_>],
     max_live_nodes: usize,
 ) -> Result<(NodeId, SymbolicFixpointStats), BddError> {
+    let mut span = kpt_obs::span("bdd.fixpoint");
+    let traced = span.is_live();
+    kpt_obs::counter!("bdd.fixpoint.runs").incr();
     let mut temps: Vec<NodeId> = vec![init];
     for rel in rels {
         rel.push_temp_roots(&mut temps);
@@ -152,9 +150,25 @@ pub(crate) fn sst_raw_bounded(
         // GC and sifting run here if their policies say so.
         mgr.checkpoint(&temps);
         let live = mgr.live_nodes();
+        if traced {
+            // The streaming primitive long solves expose to watchers
+            // (and, eventually, kpt-server clients): one event per round
+            // with the sizes that predict how far convergence is.
+            kpt_obs::event(
+                "bdd.fixpoint.progress",
+                &[
+                    ("round", rounds.into()),
+                    ("frontier_nodes", mgr.reachable_nodes(frontier).into()),
+                    ("reached_nodes", mgr.reachable_nodes(reached).into()),
+                    ("live_nodes", live.into()),
+                ],
+            );
+        }
         if live > max_live_nodes {
             mgr.release_root(frontier);
             mgr.release_root(reached);
+            span.field("rounds", rounds);
+            span.field("outcome", "budget_exceeded");
             return Err(BddError::NodeBudgetExceeded {
                 nodes: live,
                 budget: max_live_nodes,
@@ -164,6 +178,9 @@ pub(crate) fn sst_raw_bounded(
     }
     mgr.release_root(frontier); // the FALSE terminal: a no-op
     let nodes = mgr.reachable_nodes(reached);
+    span.field("rounds", rounds);
+    span.field("nodes", nodes as u64);
+    span.finish();
     Ok((reached, SymbolicFixpointStats { rounds, nodes }))
 }
 

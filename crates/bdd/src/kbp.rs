@@ -335,6 +335,18 @@ impl SymbolicKbp {
         for k in 0..max_iterations {
             let next_root = self.iterate_root(x.root())?;
             let next = SymbolicPredicate::new(&self.space, next_root);
+            if span.is_live() {
+                // One progress event per eq. (25) iteration: the candidate
+                // sizes stream out while the solve is still running.
+                kpt_obs::event(
+                    "bdd.solver.progress",
+                    &[
+                        ("iteration", (k + 1).into()),
+                        ("candidate_states", next.count().into()),
+                        ("converged", (next == x).into()),
+                    ],
+                );
+            }
             if next == x {
                 span.field("outcome", "converged");
                 span.field("iterations", (k + 1) as u64);

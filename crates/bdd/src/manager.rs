@@ -815,13 +815,41 @@ impl Manager {
     /// A safe point: no operation recursion is in flight, and everything
     /// the caller still needs that is not root-referenced is listed in
     /// `temp_roots`. Runs a sifting pass or a GC sweep if their policies
-    /// trigger; otherwise a no-op.
+    /// trigger; otherwise a no-op. Every checkpoint samples the resource
+    /// gauges, so a traced run sees the engine's memory between rounds,
+    /// not just at the end.
     pub(crate) fn checkpoint(&mut self, temp_roots: &[NodeId]) {
         match self.reorder {
             ReorderPolicy::SiftOnGrowth { .. } if self.live_nodes() >= self.next_reorder_at => {
                 self.sift(temp_roots);
             }
             _ => self.maybe_gc(temp_roots),
+        }
+        self.sample_gauges("checkpoint");
+    }
+
+    /// Refresh the `bdd.*` resource gauges and, when traced, emit one
+    /// `bdd.gauge` sample event tagged with the safe-point phase
+    /// (`"checkpoint"`, `"gc.pre"`, `"gc.post"`, `"sift.post"`). The
+    /// gauge stores are three relaxed atomics; the event costs only when
+    /// a trace sink is live.
+    fn sample_gauges(&self, phase: &str) {
+        let live = self.live_nodes() as u64;
+        let rows = self.unique.len() as u64;
+        let memo = self.ite_cache.len() as u64;
+        kpt_obs::gauge!("bdd.nodes.live").set(live);
+        kpt_obs::gauge!("bdd.unique.rows").set(rows);
+        kpt_obs::gauge!("bdd.ite.memo.entries").set(memo);
+        if kpt_obs::trace_enabled() {
+            kpt_obs::event(
+                "bdd.gauge",
+                &[
+                    ("phase", phase.into()),
+                    ("live_nodes", live.into()),
+                    ("unique_rows", rows.into()),
+                    ("memo_entries", memo.into()),
+                ],
+            );
         }
     }
 
@@ -843,6 +871,7 @@ impl Manager {
     /// Unconditional sweep with the given temporary roots.
     pub(crate) fn gc(&mut self, temp_roots: &[NodeId]) {
         let _span = kpt_obs::span("bdd.gc");
+        self.sample_gauges("gc.pre");
         for &r in temp_roots {
             self.inc_rc(r);
         }
@@ -850,6 +879,7 @@ impl Manager {
         for &r in temp_roots {
             self.dec_rc(r);
         }
+        self.sample_gauges("gc.post");
     }
 
     /// Free every dead node and purge memo entries that mention one.
@@ -941,6 +971,7 @@ impl Manager {
         for &r in temp_roots {
             self.dec_rc(r);
         }
+        self.sample_gauges("sift.post");
     }
 
     fn rebuild_level_nodes(&mut self) {

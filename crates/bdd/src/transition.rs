@@ -107,6 +107,7 @@ impl PartSet {
         from: NodeId,
         guard: NodeId,
     ) -> NodeId {
+        let _span = kpt_obs::span("bdd.and_exists");
         let enabled = mgr.and(from, guard);
         let mut work = mgr.exists(enabled, &self.cur_sched.pre);
         for (part, dying) in self.parts.iter().zip(&self.cur_sched.dying) {
@@ -122,6 +123,7 @@ impl PartSet {
     /// function (typically `¬p'`) — the escape set of `wp`, before the
     /// guard is applied.
     pub(crate) fn pre_escape_raw(&self, mgr: &mut Manager, escape: NodeId) -> NodeId {
+        let _span = kpt_obs::span("bdd.and_exists");
         let mut work = mgr.exists(escape, &self.nxt_sched.pre);
         for (part, dying) in self.parts.iter().zip(&self.nxt_sched.dying) {
             if work == FALSE {
@@ -154,6 +156,7 @@ impl ImageRel<'_> {
     /// this is the enabled branch only — the else/stutter branch never
     /// adds states to a reachability fixpoint.
     pub(crate) fn image(&self, space: &BddSpace, mgr: &mut Manager, from: NodeId) -> NodeId {
+        let _span = kpt_obs::span("bdd.sp");
         match self {
             ImageRel::Mono(rel) => {
                 let conj = mgr.and(from, *rel);
@@ -415,6 +418,7 @@ impl SymbolicTransition {
     }
 
     pub(crate) fn sp_raw(&self, mgr: &mut Manager, p: NodeId) -> NodeId {
+        let _span = kpt_obs::span("bdd.sp");
         match &self.repr {
             Repr::Mono(rel) => {
                 let conj = mgr.and(p, *rel);
@@ -451,6 +455,7 @@ impl SymbolicTransition {
     }
 
     pub(crate) fn wp_raw(&self, mgr: &mut Manager, p: NodeId) -> NodeId {
+        let _span = kpt_obs::span("bdd.wp");
         let not_p_next = {
             let shifted = self.space.shift_to_next(mgr, p);
             mgr.not(shifted)

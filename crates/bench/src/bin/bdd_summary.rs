@@ -11,7 +11,7 @@
 //! shorter smoke configuration).
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use kpt_bdd::{
     symbolic_sst_bounded, symbolic_sst_with_stats, symbolic_strongest_invariant, BddConfig,
@@ -21,7 +21,7 @@ use kpt_bdd::{
 use kpt_core::{CoreError, Kbp};
 use kpt_seqtrans::{ModelOptions, StandardModel, SymbolicStandard};
 use kpt_state::{Predicate, StateSpace};
-use kpt_testkit::{Config, Criterion};
+use kpt_testkit::Criterion;
 use kpt_transformers::sst_frontier_with_stats;
 use kpt_unity::{Program, Statement};
 
@@ -455,22 +455,7 @@ fn engine_cases(c: &mut Criterion, fast: bool) {
 }
 
 fn main() {
-    let fast = std::env::var("KPT_BENCH_FAST")
-        .map(|v| v != "0")
-        .unwrap_or(false);
-    let config = Config {
-        sample_size: if fast { 10 } else { 20 },
-        target_sample_time: if fast {
-            Duration::from_micros(500)
-        } else {
-            Duration::from_millis(2)
-        },
-        warmup_samples: if fast { 1 } else { 2 },
-        filter: None,
-        json_path: Some(
-            std::env::var("KPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_bdd.json".to_owned()),
-        ),
-    };
+    let (config, fast) = kpt_bench::report_config("BENCH_bdd.json", 10, 20);
     let mut c = Criterion::with_config(config);
     op_cases(&mut c);
     let rows = seqtrans_cases(&mut c, fast);

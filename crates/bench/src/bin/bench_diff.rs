@@ -1,0 +1,113 @@
+//! Compare two `BENCH_*.json` snapshots and gate on regressions.
+//!
+//! Usage: `bench_diff <baseline.json> <new.json> [--warn-timing]`
+//!
+//! Exit codes:
+//!
+//! * `0` — clean: every baseline case is present and within its
+//!   variance-aware threshold (see `kpt_bench::diff_snapshots`);
+//! * `1` — at least one case's median regressed past its threshold
+//!   (downgraded to a warning by `--warn-timing`, for CI runners whose
+//!   wall clocks are too noisy to hard-fail on);
+//! * `2` — schema drift: a snapshot is unreadable/malformed, or a
+//!   baseline case disappeared from the new snapshot. Never downgraded —
+//!   drift means the benchmarks themselves changed and the committed
+//!   baseline must be regenerated.
+
+use std::process::ExitCode;
+
+use kpt_bench::{diff_snapshots, parse_bench_json, BenchCase};
+
+fn load(path: &str) -> Result<Vec<BenchCase>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_bench_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let warn_timing = args.iter().any(|a| a == "--warn-timing");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <new.json> [--warn-timing]");
+        return ExitCode::from(2);
+    };
+
+    let baseline = match load(baseline_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_diff: schema drift: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let new = match load(new_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_diff: schema drift: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = diff_snapshots(&baseline, &new);
+
+    println!(
+        "bench_diff: {} vs {}: {} shared case(s), {} missing, {} added",
+        baseline_path,
+        new_path,
+        report.cases.len(),
+        report.missing.len(),
+        report.added.len()
+    );
+    for diff in &report.cases {
+        let marker = if diff.regressed {
+            "REGRESSED"
+        } else if diff.ratio < 1.0 / diff.threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<9} {}: {} -> {} ({:.2}x, threshold {:.2}x)",
+            marker,
+            diff.name,
+            fmt_ns(diff.old_median_ns),
+            fmt_ns(diff.new_median_ns),
+            diff.ratio,
+            diff.threshold
+        );
+    }
+    for name in &report.added {
+        println!("  added     {name} (not in baseline; regenerate to track)");
+    }
+
+    if !report.missing.is_empty() {
+        for name in &report.missing {
+            eprintln!("bench_diff: schema drift: baseline case `{name}` missing from {new_path}");
+        }
+        eprintln!("bench_diff: regenerate the committed baseline to match the current bench set");
+        return ExitCode::from(2);
+    }
+
+    let regressions = report.regressions().count();
+    if regressions > 0 {
+        let msg = format!("{regressions} case(s) regressed past their threshold");
+        if warn_timing {
+            eprintln!("bench_diff: WARNING (suppressed by --warn-timing): {msg}");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("bench_diff: {msg}");
+        return ExitCode::from(1);
+    }
+
+    println!("bench_diff: clean");
+    ExitCode::SUCCESS
+}

@@ -204,21 +204,7 @@ fn run_case(name: &str, src: &str, findings: &mut Vec<Finding>) {
     });
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use kpt_bench::json_escape;
 
 fn main() {
     let cases: usize = std::env::var("KPT_FUZZ_CASES")

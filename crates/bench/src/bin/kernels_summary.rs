@@ -7,12 +7,10 @@
 //! (`KPT_BENCH_JSON` overrides the output path, `KPT_BENCH_FAST=1` runs a
 //! shorter smoke configuration).
 
-use std::time::Duration;
-
 use kpt_state::{
     forall_set, forall_set_naive, forall_var, forall_var_naive, Predicate, StateSpace,
 };
-use kpt_testkit::{Config, Criterion};
+use kpt_testkit::Criterion;
 use kpt_transformers::{
     sp_union, sst_frontier_with_stats, sst_with_stats, DetTransition, FnTransformer,
 };
@@ -242,22 +240,7 @@ fn parallel_cases(c: &mut Criterion) {
 }
 
 fn main() {
-    let fast = std::env::var("KPT_BENCH_FAST")
-        .map(|v| v != "0")
-        .unwrap_or(false);
-    let config = Config {
-        sample_size: if fast { 10 } else { 20 },
-        target_sample_time: if fast {
-            Duration::from_micros(500)
-        } else {
-            Duration::from_millis(2)
-        },
-        warmup_samples: if fast { 1 } else { 2 },
-        filter: None,
-        json_path: Some(
-            std::env::var("KPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_owned()),
-        ),
-    };
+    let (config, _fast) = kpt_bench::report_config("BENCH_kernels.json", 10, 20);
     let mut c = Criterion::with_config(config);
     quantifier_cases(&mut c);
     fixpoint_cases(&mut c);

@@ -8,12 +8,12 @@
 //! (`KPT_BENCH_JSON` overrides the output path, `KPT_BENCH_FAST=1` runs a
 //! shorter smoke configuration).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use kpt_lint::{lint_program, lint_program_with, LintOptions};
 use kpt_seqtrans::{figure3_kbp, ModelOptions, StandardModel};
 use kpt_state::StateSpace;
-use kpt_testkit::{Config, Criterion};
+use kpt_testkit::Criterion;
 use kpt_unity::{Program, Statement};
 
 /// The 159-free-state instance from `bdd_summary`: exhaustive solving is
@@ -71,23 +71,8 @@ fn models() -> Vec<(&'static str, Program)> {
 }
 
 fn main() {
-    let fast = std::env::var("KPT_BENCH_FAST")
-        .map(|v| v != "0")
-        .unwrap_or(false);
-    let config_samples = if fast { 5 } else { 15 };
-    let config = Config {
-        sample_size: config_samples,
-        target_sample_time: if fast {
-            Duration::from_micros(500)
-        } else {
-            Duration::from_millis(2)
-        },
-        warmup_samples: if fast { 1 } else { 2 },
-        filter: None,
-        json_path: Some(
-            std::env::var("KPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_lint.json".to_owned()),
-        ),
-    };
+    let (config, _fast) = kpt_bench::report_config("BENCH_lint.json", 5, 15);
+    let config_samples = config.sample_size;
     let mut c = Criterion::with_config(config);
 
     let cases = models();

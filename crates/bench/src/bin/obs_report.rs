@@ -8,9 +8,14 @@
 //!   durations, pool work distribution, and every verdict with its
 //!   witnesses.
 //! * `obs_report --validate <trace.jsonl>` — every line must parse as a
-//!   JSON object with `ts_us`/`kind`, and the trace must cover the six
+//!   JSON object with `ts_us`/`kind`, the trace must cover the six
 //!   instrumented subsystems (`fixpoint`, `cache`, `pool`, `solver`,
-//!   `bdd`, `lint`). Exits non-zero otherwise.
+//!   `bdd`, `lint`), span events must carry `span_id`, and any
+//!   `trace.dropped` ring-overflow markers must carry their running
+//!   `dropped` count. Exits non-zero otherwise.
+//! * `obs_report --flame <trace.jsonl> [out.folded]` — reconstruct the
+//!   span tree from the trace and emit flamegraph.pl-compatible collapsed
+//!   stacks (`a;b;c self_µs` per line) to the output file, or stdout.
 //! * `obs_report --bench` — writes `BENCH_obs.json` (`KPT_BENCH_JSON`
 //!   overrides; `KPT_BENCH_FAST=1` shrinks samples): the
 //!   disabled-observability overhead cases plus the instrumented hot paths
@@ -19,7 +24,6 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use std::time::Duration;
 
 use kpt_obs::{parse_json, JsonValue};
 
@@ -38,9 +42,19 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("--flame") => match args.get(1) {
+            Some(path) => flame(path, args.get(2).map(String::as_str)),
+            None => {
+                eprintln!("usage: obs_report --flame <trace.jsonl> [out.folded]");
+                ExitCode::FAILURE
+            }
+        },
         Some(path) if !path.starts_with('-') => summarize(path),
         _ => {
-            eprintln!("usage: obs_report <trace.jsonl> | --validate <trace.jsonl> | --bench");
+            eprintln!(
+                "usage: obs_report <trace.jsonl> | --validate <trace.jsonl> \
+                 | --flame <trace.jsonl> [out.folded] | --bench"
+            );
             ExitCode::FAILURE
         }
     }
@@ -96,10 +110,92 @@ fn validate(path: &str) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Span schema: every event with a duration is a closed span and must
+    // carry its process-unique id.
+    for e in &events {
+        if e.get("dur_us").is_some() && e.get("span_id").and_then(JsonValue::as_u64).is_none() {
+            eprintln!(
+                "INVALID: {path}: span event `{}` has dur_us but no span_id",
+                e.get("kind").and_then(JsonValue::as_str).unwrap_or("?")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    // Ring-overflow accounting must be surfaced in-band: each
+    // `trace.dropped` marker carries the running drop count.
+    let mut dropped = 0u64;
+    for e in &events {
+        if e.get("kind").and_then(JsonValue::as_str) == Some("trace.dropped") {
+            match e.get("dropped").and_then(JsonValue::as_u64) {
+                Some(n) => dropped = dropped.max(n),
+                None => {
+                    eprintln!("INVALID: {path}: trace.dropped marker without a `dropped` count");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let drop_note = if dropped > 0 {
+        format!(" ({dropped} ring-dropped events surfaced)")
+    } else {
+        String::new()
+    };
     println!(
-        "OK: {path} — {} well-formed events covering all required subsystems",
+        "OK: {path} — {} well-formed events covering all required subsystems{drop_note}",
         events.len()
     );
+    ExitCode::SUCCESS
+}
+
+/// Rebuild [`kpt_obs::SpanRecord`]s from parsed JSONL events (one-shot
+/// events carry no `span_id` and are skipped).
+fn json_span_records(events: &[JsonValue]) -> Vec<kpt_obs::SpanRecord> {
+    events
+        .iter()
+        .filter_map(|e| {
+            Some(kpt_obs::SpanRecord {
+                id: e.get("span_id").and_then(JsonValue::as_u64)?,
+                parent: e.get("parent_id").and_then(JsonValue::as_u64),
+                kind: e.get("kind").and_then(JsonValue::as_str)?.to_owned(),
+                dur_us: e.get("dur_us").and_then(JsonValue::as_f64)?,
+            })
+        })
+        .collect()
+}
+
+/// Reconstruct the span tree and emit collapsed stacks for flamegraph.pl.
+fn flame(path: &str, out: Option<&str>) -> ExitCode {
+    let events = match parse_trace(path) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = json_span_records(&events);
+    if records.is_empty() {
+        eprintln!("error: {path} contains no closed spans (was the run traced?)");
+        return ExitCode::FAILURE;
+    }
+    let stacks = kpt_obs::folded_stacks(&records);
+    let mut text = String::new();
+    for (stack, weight) in &stacks {
+        text.push_str(&format!("{stack} {weight}\n"));
+    }
+    match out {
+        Some(out_path) => {
+            if let Err(e) = std::fs::write(out_path, &text) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} folded stack(s) from {} span(s) to {out_path}",
+                stacks.len(),
+                records.len()
+            );
+        }
+        None => print!("{text}"),
+    }
     ExitCode::SUCCESS
 }
 
@@ -144,6 +240,49 @@ fn summarize(path: &str) -> ExitCode {
             ("-".to_owned(), "-".to_owned())
         };
         println!("{kind:<24} {:>8} {total_ms:>14} {mean_us:>12}", s.count);
+    }
+
+    // Span-tree attribution: per-label wall-clock excluding children.
+    let records = json_span_records(&events);
+    if !records.is_empty() {
+        let aggs = kpt_obs::aggregate_spans(&records);
+        println!("\nspan self-time (top {} labels):", aggs.len().min(12));
+        println!(
+            "{:<24} {:>7} {:>14} {:>14}",
+            "label", "calls", "total_us", "self_us"
+        );
+        for a in aggs.iter().take(12) {
+            println!(
+                "{:<24} {:>7} {:>14.1} {:>14.1}",
+                a.label, a.calls, a.total_us, a.self_us
+            );
+        }
+    }
+
+    // BDD resource gauges sampled at manager safe points.
+    let gauges: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| e.get("kind").and_then(JsonValue::as_str) == Some("bdd.gauge"))
+        .collect();
+    if !gauges.is_empty() {
+        println!("\nbdd gauge samples:");
+        println!(
+            "{:<12} {:>12} {:>12} {:>12}",
+            "phase", "live_nodes", "unique_rows", "memo"
+        );
+        for e in &gauges {
+            println!(
+                "{:<12} {:>12} {:>12} {:>12}",
+                e.get("phase").and_then(JsonValue::as_str).unwrap_or("?"),
+                e.get("live_nodes").and_then(JsonValue::as_u64).unwrap_or(0),
+                e.get("unique_rows")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+                e.get("memo_entries")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0)
+            );
+        }
     }
 
     // Pool work distribution, if any pool.map events carry it.
@@ -202,25 +341,10 @@ fn summarize(path: &str) -> ExitCode {
 /// JSON shape as `BENCH_kernels.json`.
 fn run_bench() -> ExitCode {
     use kpt_state::{Predicate, StateSpace, VarSet};
-    use kpt_testkit::{Config, Criterion};
+    use kpt_testkit::Criterion;
     use kpt_transformers::{sst_frontier_with_stats, DetTransition};
 
-    let fast = std::env::var("KPT_BENCH_FAST")
-        .map(|v| v != "0")
-        .unwrap_or(false);
-    let config = Config {
-        sample_size: if fast { 10 } else { 20 },
-        target_sample_time: if fast {
-            Duration::from_micros(500)
-        } else {
-            Duration::from_millis(2)
-        },
-        warmup_samples: if fast { 1 } else { 2 },
-        filter: None,
-        json_path: Some(
-            std::env::var("KPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_obs.json".to_owned()),
-        ),
-    };
+    let (config, _fast) = kpt_bench::report_config("BENCH_obs.json", 10, 20);
     // The whole point is measuring the *disabled* path.
     kpt_obs::disable_trace();
     let mut c = Criterion::with_config(config);

@@ -7,11 +7,11 @@
 //! (`KPT_BENCH_JSON` overrides the output path, `KPT_BENCH_FAST=1` runs a
 //! shorter smoke configuration).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use kpt_bdd::{SymbolicKbp, SymbolicOutcome};
 use kpt_core::{load_kpt, muddy_children_kpt, zoo, IterativeOutcome, Kbp};
-use kpt_testkit::{Config, Criterion};
+use kpt_testkit::Criterion;
 
 const MAX_ITERS: usize = 64;
 
@@ -57,23 +57,8 @@ fn symbolic_solve(kbp: &Kbp) -> SymbolicOutcome {
 }
 
 fn main() {
-    let fast = std::env::var("KPT_BENCH_FAST")
-        .map(|v| v != "0")
-        .unwrap_or(false);
-    let config_samples = if fast { 3 } else { 10 };
-    let config = Config {
-        sample_size: config_samples,
-        target_sample_time: if fast {
-            Duration::from_micros(500)
-        } else {
-            Duration::from_millis(2)
-        },
-        warmup_samples: if fast { 1 } else { 2 },
-        filter: None,
-        json_path: Some(
-            std::env::var("KPT_BENCH_JSON").unwrap_or_else(|_| "BENCH_zoo.json".to_owned()),
-        ),
-    };
+    let (config, _fast) = kpt_bench::report_config("BENCH_zoo.json", 3, 10);
+    let config_samples = config.sample_size;
     let mut c = Criterion::with_config(config);
 
     let cases = scenarios();

@@ -206,6 +206,9 @@ impl KnowledgeContext {
         }
         self.inserts.fetch_add(1, Ordering::Relaxed);
         memo.insert(key, value);
+        // Resource gauge: the live entry count, refreshed on the only path
+        // that changes it upward and reset to zero by clear-on-full above.
+        kpt_obs::gauge!("knowledge.cache.entries").set(memo.len() as u64);
     }
 
     /// `K p` by eq. (13) for an explicit view, memoized:

@@ -407,6 +407,18 @@ impl Kbp {
         let mut seen: Vec<Predicate> = vec![x.clone()];
         for k in 0..max_iterations {
             let next = self.iterate(&x)?;
+            if span.is_live() {
+                // Stream one progress event per eq. (25) iteration so long
+                // solves are observable while they run.
+                kpt_obs::event(
+                    "solver.progress",
+                    &[
+                        ("iteration", (k + 1).into()),
+                        ("candidate_states", next.count().into()),
+                        ("converged", (next == x).into()),
+                    ],
+                );
+            }
             if next == x {
                 // Fixpoint of the iteration — i.e. a genuine solution.
                 span.field("outcome", "converged");

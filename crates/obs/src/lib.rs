@@ -12,9 +12,17 @@
 //! * **Traces** ([`span`], [`event`], [`trace_to_file`]) — structured
 //!   events with monotonic timestamps, kept in a bounded ring buffer and
 //!   (when `KPT_TRACE=<path>` is set, or a sink is installed
-//!   programmatically) appended as JSON Lines. When tracing is disabled —
-//!   the default — every entry point is a single relaxed atomic load and
-//!   a branch: no clock reads, no allocation, no locks.
+//!   programmatically) appended as JSON Lines. Live spans carry span and
+//!   parent ids maintained on a thread-local span stack, so a trace is a
+//!   real call tree; ring overflow is counted (`trace.dropped_events`)
+//!   and marked in-band instead of being silent. When tracing is
+//!   disabled — the default — every entry point is a single relaxed
+//!   atomic load and a branch: no clock reads, no allocation, no locks.
+//! * **Profiles** ([`profile_to_file`], `KPT_PROFILE=<path>`,
+//!   [`aggregate_spans`], [`folded_stacks`]) — exact self-time
+//!   attribution over the span tree, exported in the flamegraph.pl
+//!   collapsed-stack format and aggregatable per label (self vs. total
+//!   time, call counts) from any recorded trace.
 //! * **Verdicts** ([`Verdict`], [`WitnessState`]) — the structured
 //!   explanation attached to failed proof obligations and no-solution
 //!   outcomes: instead of a bare `false`, a verdict names concrete
@@ -30,16 +38,21 @@
 
 mod json;
 mod metrics;
+mod profile;
 mod trace;
 mod verdict;
 
 pub use json::{parse_json, JsonError, JsonValue};
 pub use metrics::{
-    counter, histogram, metrics_snapshot, reset_metrics, CacheStats, Counter, Histogram,
-    HistogramSnapshot, Metric, MetricValue,
+    counter, gauge, histogram, metrics_snapshot, reset_metrics, CacheStats, Counter, Gauge,
+    Histogram, HistogramSnapshot, Metric, MetricValue,
+};
+pub use profile::{
+    aggregate_spans, disable_profile, flush_profile, folded_stacks, profile_path, profile_to_file,
+    span_records, SpanAggregate, SpanRecord,
 };
 pub use trace::{
-    disable_trace, event, recent_events, span, trace_enabled, trace_path, trace_to_file,
-    trace_to_ring, Event, Field, Span,
+    disable_trace, dropped_events, event, recent_events, span, trace_enabled, trace_path,
+    trace_to_file, trace_to_ring, Event, Field, Span,
 };
 pub use verdict::{report_verdict, Verdict, WitnessState};

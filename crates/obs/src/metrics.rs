@@ -1,12 +1,18 @@
-//! The global metrics registry: named atomic counters and histograms.
+//! The global metrics registry: named atomic counters, gauges, and
+//! histograms.
 //!
 //! Names are `&'static str` in dotted-path form (`"pool.steals"`,
 //! `"fixpoint.frontier.rounds"`); the README's metric glossary documents
 //! every name the workspace emits. Handles returned by [`counter`] /
-//! [`histogram`] are `&'static` and therefore free to stash in call-site
-//! `static`s — the [`counter!`]/[`histogram!`] macros do exactly that, so
-//! the registry's `Mutex` is taken once per call site per process while
-//! the hot path is a single relaxed atomic RMW.
+//! [`gauge`] / [`histogram`] are `&'static` and therefore free to stash in
+//! call-site `static`s — the [`counter!`]/[`gauge!`]/[`histogram!`] macros
+//! do exactly that, so the registry's `Mutex` is taken once per call site
+//! per process while the hot path is a single relaxed atomic RMW.
+//!
+//! Counters only go up; **gauges** are point-in-time resource levels
+//! (live BDD nodes, memo entries, queue depths) sampled at natural safe
+//! points and overwritten in place — the last write wins, and
+//! [`Gauge::maximize`] keeps a high-water mark where sampling is sparse.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,6 +36,36 @@ impl Counter {
     }
 
     /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time resource level: set (or max-merged) at sampling safe
+/// points, read whole. Unlike a [`Counter`] it goes both ways — a gauge
+/// wired to the BDD manager's live-node count drops after every GC sweep.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrite the gauge with the current level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` is higher (high-water marks).
+    #[inline]
+    pub fn maximize(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
     #[inline]
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -173,6 +209,7 @@ impl CacheStats {
 
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
 }
 
@@ -180,6 +217,7 @@ fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
     })
 }
@@ -191,6 +229,13 @@ pub fn counter(name: &'static str) -> &'static Counter {
         .counters
         .lock()
         .expect("metrics registry poisoned");
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The gauge registered under `name`, created on first use. Prefer the
+/// [`gauge!`] macro, which caches the returned handle at the call site.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut map = registry().gauges.lock().expect("metrics registry poisoned");
     map.entry(name).or_insert_with(|| Box::leak(Box::default()))
 }
 
@@ -216,6 +261,17 @@ macro_rules! counter {
     }};
 }
 
+/// The gauge registered under a name, with the handle cached in a
+/// call-site `static` (see [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __KPT_OBS_GAUGE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__KPT_OBS_GAUGE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
 /// The histogram registered under a name, with the handle cached in a
 /// call-site `static` (see [`counter!`]).
 #[macro_export]
@@ -236,17 +292,19 @@ pub struct Metric {
     pub value: MetricValue,
 }
 
-/// A counter total or histogram snapshot.
+/// A counter total, gauge level, or histogram snapshot.
 #[derive(Debug, Clone)]
 pub enum MetricValue {
     /// Counter total.
     Counter(u64),
+    /// Gauge level (last sample).
+    Gauge(u64),
     /// Histogram snapshot.
     Histogram(HistogramSnapshot),
 }
 
-/// Every registered metric, sorted by name (counters and histograms
-/// interleaved).
+/// Every registered metric, sorted by name (counters, gauges, and
+/// histograms interleaved).
 pub fn metrics_snapshot() -> Vec<Metric> {
     let reg = registry();
     let mut out: Vec<Metric> = Vec::new();
@@ -259,6 +317,12 @@ pub fn metrics_snapshot() -> Vec<Metric> {
         out.push(Metric {
             name,
             value: MetricValue::Counter(c.get()),
+        });
+    }
+    for (name, g) in reg.gauges.lock().expect("metrics registry poisoned").iter() {
+        out.push(Metric {
+            name,
+            value: MetricValue::Gauge(g.get()),
         });
     }
     for (name, h) in reg
@@ -287,6 +351,14 @@ pub fn reset_metrics() {
         .values()
     {
         c.reset();
+    }
+    for g in reg
+        .gauges
+        .lock()
+        .expect("metrics registry poisoned")
+        .values()
+    {
+        g.reset();
     }
     for h in reg
         .histograms
@@ -343,6 +415,26 @@ mod tests {
         assert!(s.buckets.contains(&(4, 2)));
         assert!(s.buckets.contains(&(1024, 1)));
         assert!((s.mean() - 201.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_maximize() {
+        let g = gauge("test.metrics.gauge");
+        g.set(40);
+        g.set(7);
+        assert_eq!(g.get(), 7, "set overwrites — gauges go down too");
+        g.maximize(3);
+        assert_eq!(g.get(), 7);
+        g.maximize(19);
+        assert_eq!(g.get(), 19);
+        assert!(std::ptr::eq(g, gauge("test.metrics.gauge")));
+        let cached = gauge!("test.metrics.gauge.macro");
+        cached.set(5);
+        assert!(std::ptr::eq(cached, gauge!("test.metrics.gauge.macro")));
+        let snap = metrics_snapshot();
+        assert!(snap
+            .iter()
+            .any(|m| m.name == "test.metrics.gauge" && matches!(m.value, MetricValue::Gauge(19))));
     }
 
     #[test]

@@ -9,30 +9,60 @@
 //! line, written with a single `write` syscall so concurrent test
 //! processes tracing to the same `KPT_TRACE` path interleave whole lines.
 //!
+//! ## Hierarchical spans
+//!
+//! Live spans carry a process-unique `span_id` and the `parent_id` of the
+//! innermost live span open on the same thread, maintained on a
+//! thread-local span stack. Closed-span events therefore encode a real
+//! call tree: `obs_report --flame` and the [`crate::profile`] aggregator
+//! reconstruct parent→child attribution (total vs. self time, folded
+//! flamegraph stacks) from any trace. One-shot events carry the enclosing
+//! span's id as their `parent_id`, so progress events stream with their
+//! position in the tree attached.
+//!
 //! ## The zero-overhead-when-disabled guarantee
 //!
 //! Every public entry point starts with a relaxed load of one global
 //! `AtomicBool`. When tracing is disabled (no `KPT_TRACE`, no programmatic
 //! sink) that load-and-branch is the *entire* cost: no `Instant::now`, no
-//! allocation, no lock, no formatting. `BENCH_obs.json`'s
+//! allocation, no lock, no thread-local access. `BENCH_obs.json`'s
 //! `span_overhead/disabled` case measures exactly this path.
+//!
+//! ## Overflow accounting
+//!
+//! The ring buffer is bounded; when it wraps, the overwritten event is
+//! counted in the `trace.dropped_events` counter and a `trace.dropped`
+//! marker event (carrying the running total) is emitted at wrap
+//! milestones, so overflow is visible in the trace itself instead of
+//! being silent data loss. The file sink never drops lines — but if the
+//! path turns out to be unwritable the sink warns **once** on stderr and
+//! degrades to ring-only tracing rather than failing the traced solve.
 //!
 //! ## Enabling
 //!
 //! * environment: `KPT_TRACE=/path/to/trace.jsonl` (checked once, on the
-//!   first trace call of the process; the file is opened in append mode);
+//!   first trace call of the process; the file is opened in append mode)
+//!   and/or `KPT_PROFILE=/path/to/profile.folded` (enables tracing and
+//!   the folded-stack aggregator, see [`crate::profile_to_file`]);
 //! * programmatic: [`trace_to_file`] / [`trace_to_ring`] /
 //!   [`disable_trace`], which override the environment setting and may be
 //!   called repeatedly (tests switch sinks freely).
 
+use std::cell::RefCell;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
 
+use crate::profile;
+
 /// Maximum events retained in the in-memory ring buffer.
-const RING_CAP: usize = 8192;
+pub(crate) const RING_CAP: usize = 8192;
+
+/// A `trace.dropped` marker is emitted on the first wrap and then once
+/// every this many dropped events.
+const DROP_MARK_EVERY: u64 = RING_CAP as u64;
 
 /// A typed field value attached to an event.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +151,12 @@ pub struct Event {
     pub kind: String,
     /// Span duration in microseconds; `None` for one-shot events.
     pub dur_us: Option<f64>,
+    /// Process-unique span id for closed spans; `None` for one-shot events.
+    pub span_id: Option<u64>,
+    /// Id of the innermost enclosing live span on the emitting thread (for
+    /// spans: the parent in the call tree; for one-shot events: the span
+    /// the event happened inside). `None` at the root.
+    pub parent_id: Option<u64>,
     /// Typed payload fields, in emission order.
     pub fields: Vec<(String, Field)>,
 }
@@ -141,6 +177,12 @@ impl Event {
         out.push('"');
         if let Some(d) = self.dur_us {
             out.push_str(&format!(",\"dur_us\":{d:.1}"));
+        }
+        if let Some(id) = self.span_id {
+            out.push_str(&format!(",\"span_id\":{id}"));
+        }
+        if let Some(id) = self.parent_id {
+            out.push_str(&format!(",\"parent_id\":{id}"));
         }
         for (k, v) in &self.fields {
             out.push_str(",\"");
@@ -171,10 +213,29 @@ struct SinkState {
     ring: std::collections::VecDeque<Event>,
     file: Option<File>,
     path: Option<String>,
+    /// Events overwritten by ring wraps since process start.
+    dropped: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static INIT: Once = Once::new();
+/// Next span id; 0 is reserved so ids are always nonzero.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// One-time stderr warning latch for sink I/O failures.
+static SINK_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// One live span open on this thread: its id, its kind (for folded-stack
+/// paths), and the wall-clock already attributed to finished children
+/// (total − child time = self time).
+struct OpenSpan {
+    id: u64,
+    kind: String,
+    child_us: f64,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+}
 
 fn sink() -> &'static Mutex<SinkState> {
     static SINK: OnceLock<Mutex<SinkState>> = OnceLock::new();
@@ -183,6 +244,7 @@ fn sink() -> &'static Mutex<SinkState> {
             ring: std::collections::VecDeque::new(),
             file: None,
             path: None,
+            dropped: 0,
         })
     })
 }
@@ -192,16 +254,34 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Read `KPT_TRACE` once per process; called lazily from every entry
-/// point so that plain library users need no explicit setup.
+/// Warn on stderr once per process, however many sink failures occur.
+fn warn_once(msg: std::fmt::Arguments<'_>) {
+    if !SINK_WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!("kpt-obs: {msg}");
+    }
+}
+
+/// Read `KPT_TRACE` / `KPT_PROFILE` once per process; called lazily from
+/// every entry point so that plain library users need no explicit setup.
 fn ensure_init() {
     INIT.call_once(|| {
         epoch();
         if let Ok(path) = std::env::var("KPT_TRACE") {
             if !path.is_empty() {
-                // A bad path silently leaves tracing ring-only rather than
-                // failing the traced program.
-                let _ = install_file(&path);
+                // An unwritable path degrades to ring-only tracing with a
+                // one-time warning rather than failing the traced program.
+                if let Err(e) = install_file(&path) {
+                    warn_once(format_args!(
+                        "KPT_TRACE path {path:?} is not writable ({e}); \
+                         tracing to the in-memory ring only"
+                    ));
+                }
+                ENABLED.store(true, Ordering::Release);
+            }
+        }
+        if let Ok(path) = std::env::var("KPT_PROFILE") {
+            if !path.is_empty() {
+                profile::install(&path);
                 ENABLED.store(true, Ordering::Release);
             }
         }
@@ -260,7 +340,9 @@ pub fn trace_to_ring() {
 }
 
 /// Disable tracing entirely (drops any file sink; the ring's contents are
-/// kept for [`recent_events`] until tracing is re-enabled).
+/// kept for [`recent_events`] until tracing is re-enabled). Flushes any
+/// pending folded-stack profile so short-lived programs never lose their
+/// tail.
 pub fn disable_trace() {
     ensure_init();
     let mut s = sink().lock().expect("trace sink poisoned");
@@ -268,6 +350,7 @@ pub fn disable_trace() {
     s.path = None;
     drop(s);
     ENABLED.store(false, Ordering::Release);
+    profile::flush_profile();
 }
 
 /// The most recent events (up to the ring capacity), oldest first.
@@ -282,21 +365,62 @@ pub fn recent_events() -> Vec<Event> {
         .collect()
 }
 
+/// Events overwritten by ring-buffer wraps since process start. The same
+/// total is kept in the `trace.dropped_events` counter and surfaced in
+/// `trace.dropped` marker events.
+pub fn dropped_events() -> u64 {
+    ensure_init();
+    sink().lock().expect("trace sink poisoned").dropped
+}
+
 fn emit(ev: Event) {
-    let line = {
-        let mut l = ev.to_json();
-        l.push('\n');
-        l
-    };
+    let mut line = ev.to_json();
+    line.push('\n');
     let mut s = sink().lock().expect("trace sink poisoned");
-    if s.ring.len() >= RING_CAP {
-        s.ring.pop_front();
+    let mut write_failed = false;
+    let push = |s: &mut SinkState, ev: Event, line: &str, failed: &mut bool| {
+        if s.ring.len() >= RING_CAP {
+            s.ring.pop_front();
+            s.dropped += 1;
+            crate::counter!("trace.dropped_events").incr();
+        }
+        s.ring.push_back(ev);
+        if let Some(f) = s.file.as_mut() {
+            // One write call per line: concurrent processes appending to
+            // the same trace file interleave whole lines, keeping the
+            // JSONL valid.
+            if f.write_all(line.as_bytes()).is_err() {
+                *failed = true;
+            }
+        }
+    };
+    push(&mut s, ev, &line, &mut write_failed);
+    // Surface ring overflow in the trace itself: a marker on the first
+    // wrap, then one per DROP_MARK_EVERY overwritten events. Constructed
+    // inline (never through `event`) so it cannot recurse.
+    if s.dropped > 0 && (s.dropped == 1 || s.dropped.is_multiple_of(DROP_MARK_EVERY)) {
+        let marker = Event {
+            ts_us: now_us(),
+            kind: "trace.dropped".to_owned(),
+            dur_us: None,
+            span_id: None,
+            parent_id: None,
+            fields: vec![("dropped".to_owned(), Field::U64(s.dropped))],
+        };
+        let mut mline = marker.to_json();
+        mline.push('\n');
+        push(&mut s, marker, &mline, &mut write_failed);
     }
-    s.ring.push_back(ev);
-    if let Some(f) = s.file.as_mut() {
-        // One write call per line: concurrent processes appending to the
-        // same trace file interleave whole lines, keeping the JSONL valid.
-        let _ = f.write_all(line.as_bytes());
+    if write_failed {
+        // Degrade to ring-only tracing rather than retrying a dead file
+        // descriptor on every event mid-solve.
+        let path = s.path.take();
+        s.file = None;
+        drop(s);
+        warn_once(format_args!(
+            "trace sink {path:?} failed to accept a write; \
+             continuing with the in-memory ring only"
+        ));
     }
 }
 
@@ -304,9 +428,15 @@ fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
 }
 
+/// Id of the innermost live span on this thread, if any.
+fn current_parent() -> Option<u64> {
+    SPAN_STACK.with(|st| st.borrow().last().map(|s| s.id))
+}
+
 /// Emit a one-shot event. A no-op (one atomic load) when tracing is
 /// disabled; `fields` is only evaluated by the caller, so wrap expensive
-/// payload construction in a [`trace_enabled`] check.
+/// payload construction in a [`trace_enabled`] check. The event carries
+/// the enclosing span's id as `parent_id`.
 pub fn event(kind: &str, fields: &[(&str, Field)]) {
     if !trace_enabled() {
         return;
@@ -315,6 +445,8 @@ pub fn event(kind: &str, fields: &[(&str, Field)]) {
         ts_us: now_us(),
         kind: kind.to_owned(),
         dur_us: None,
+        span_id: None,
+        parent_id: current_parent(),
         fields: fields
             .iter()
             .map(|(k, v)| ((*k).to_owned(), v.clone()))
@@ -322,9 +454,9 @@ pub fn event(kind: &str, fields: &[(&str, Field)]) {
     });
 }
 
-/// An in-flight span: emits an event carrying its wall-clock duration when
-/// dropped (or explicitly [`Span::finish`]ed). Obtained from [`span`];
-/// disabled spans are inert zero-cost shells.
+/// An in-flight span: emits an event carrying its wall-clock duration,
+/// span id, and parent id when dropped (or explicitly [`Span::finish`]ed).
+/// Obtained from [`span`]; disabled spans are inert zero-cost shells.
 #[must_use = "a span measures the scope it lives in"]
 #[derive(Debug)]
 pub struct Span {
@@ -333,6 +465,7 @@ pub struct Span {
 
 #[derive(Debug)]
 struct SpanInner {
+    id: u64,
     kind: String,
     start: Instant,
     ts_us: u64,
@@ -340,13 +473,24 @@ struct SpanInner {
 }
 
 /// Open a span of the given kind. When tracing is disabled this costs one
-/// atomic load and returns an inert span.
+/// atomic load and returns an inert span. A live span is pushed onto the
+/// thread's span stack, so spans and events opened underneath it record
+/// it as their parent.
 pub fn span(kind: &str) -> Span {
     if !trace_enabled() {
         return Span { inner: None };
     }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    SPAN_STACK.with(|st| {
+        st.borrow_mut().push(OpenSpan {
+            id,
+            kind: kind.to_owned(),
+            child_us: 0.0,
+        });
+    });
     Span {
         inner: Some(SpanInner {
+            id,
             kind: kind.to_owned(),
             start: Instant::now(),
             ts_us: now_us(),
@@ -359,6 +503,11 @@ impl Span {
     /// Whether this span is live (tracing was enabled when it opened).
     pub fn is_live(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The span's process-unique id (`None` on inert spans).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
     }
 
     /// Attach a field (no-op on inert spans).
@@ -377,15 +526,50 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(inner) = self.inner.take() {
-            let dur_us = inner.start.elapsed().as_secs_f64() * 1e6;
-            emit(Event {
-                ts_us: inner.ts_us,
-                kind: inner.kind,
-                dur_us: Some(dur_us),
-                fields: inner.fields,
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_us = inner.start.elapsed().as_secs_f64() * 1e6;
+        // Unwind this span from the thread's stack. The entry is normally
+        // the top; searching from the end also tolerates out-of-order
+        // finishes. A span finished on a different thread than it opened
+        // on simply won't be found — it then reports no parent.
+        let (parent_id, self_us, folded) = SPAN_STACK.with(|st| {
+            let mut stack = st.borrow_mut();
+            let Some(pos) = stack.iter().rposition(|s| s.id == inner.id) else {
+                return (None, dur_us, None);
+            };
+            let entry = stack.remove(pos);
+            let self_us = (dur_us - entry.child_us).max(0.0);
+            let parent_id = if pos > 0 {
+                let parent = &mut stack[pos - 1];
+                parent.child_us += dur_us;
+                Some(parent.id)
+            } else {
+                None
+            };
+            let folded = profile::profile_enabled().then(|| {
+                let mut path = String::new();
+                for anc in stack.iter().take(pos) {
+                    path.push_str(&anc.kind);
+                    path.push(';');
+                }
+                path.push_str(&entry.kind);
+                path
             });
+            (parent_id, self_us, folded)
+        });
+        if let Some(path) = folded {
+            profile::record_closed(&path, self_us);
         }
+        emit(Event {
+            ts_us: inner.ts_us,
+            kind: inner.kind,
+            dur_us: Some(dur_us),
+            span_id: Some(inner.id),
+            parent_id,
+            fields: inner.fields,
+        });
     }
 }
 
@@ -409,6 +593,7 @@ mod tests {
         event("test.noop", &[("x", Field::U64(1))]);
         let mut s = span("test.noop.span");
         assert!(!s.is_live());
+        assert!(s.id().is_none());
         s.field("y", 2u64);
         drop(s);
         assert_eq!(recent_events().len(), before);
@@ -436,13 +621,85 @@ mod tests {
         assert_eq!(e.field("n"), Some(&Field::U64(7)));
         assert_eq!(e.field("s"), Some(&Field::Str("hi".into())));
         assert!(e.dur_us.is_none());
+        assert!(e.span_id.is_none());
         let sp = evs
             .iter()
             .rev()
             .find(|e| e.kind == "test.ring.span")
             .expect("span recorded");
         assert!(sp.dur_us.is_some());
+        assert!(sp.span_id.is_some());
         assert_eq!(sp.field("items"), Some(&Field::U64(3)));
+    }
+
+    #[test]
+    fn span_stack_links_parents_and_events() {
+        let _g = guard();
+        trace_to_ring();
+        let outer = span("test.tree.outer");
+        let outer_id = outer.id().expect("live span has an id");
+        {
+            let inner = span("test.tree.inner");
+            let inner_id = inner.id().unwrap();
+            assert_ne!(inner_id, outer_id);
+            event("test.tree.progress", &[("round", Field::U64(1))]);
+            let evs = recent_events();
+            let prog = evs
+                .iter()
+                .rev()
+                .find(|e| e.kind == "test.tree.progress")
+                .unwrap();
+            // One-shot events attach to the innermost open span.
+            assert_eq!(prog.parent_id, Some(inner_id));
+        }
+        outer.finish();
+        let evs = recent_events();
+        disable_trace();
+        let inner = evs
+            .iter()
+            .rev()
+            .find(|e| e.kind == "test.tree.inner")
+            .unwrap();
+        assert_eq!(inner.parent_id, Some(outer_id));
+        let outer = evs
+            .iter()
+            .rev()
+            .find(|e| e.kind == "test.tree.outer")
+            .unwrap();
+        assert_eq!(outer.span_id, Some(outer_id));
+        assert_eq!(outer.parent_id, None);
+        // The tree round-trips through the JSONL form.
+        let parsed = crate::parse_json(&inner.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("parent_id").and_then(|v| v.as_u64()),
+            Some(outer_id)
+        );
+        assert!(parsed.get("span_id").and_then(|v| v.as_u64()).is_some());
+    }
+
+    #[test]
+    fn ring_wrap_counts_dropped_events_and_emits_marker() {
+        let _g = guard();
+        trace_to_ring();
+        let dropped_before = dropped_events();
+        let counter_before = crate::counter("trace.dropped_events").get();
+        for i in 0..(RING_CAP + 10) {
+            event("test.flood", &[("i", Field::U64(i as u64))]);
+        }
+        let dropped_after = dropped_events();
+        let evs = recent_events();
+        disable_trace();
+        assert!(
+            dropped_after >= dropped_before + 10,
+            "ring wrap uncounted: {dropped_before} -> {dropped_after}"
+        );
+        assert!(crate::counter("trace.dropped_events").get() >= counter_before + 10);
+        let marker = evs
+            .iter()
+            .rev()
+            .find(|e| e.kind == "trace.dropped")
+            .expect("trace.dropped marker in ring");
+        assert!(matches!(marker.field("dropped"), Some(&Field::U64(n)) if n > 0));
     }
 
     #[test]
@@ -451,6 +708,8 @@ mod tests {
             ts_us: 12,
             kind: "k\"ind".into(),
             dur_us: Some(3.25),
+            span_id: Some(9),
+            parent_id: Some(4),
             fields: vec![
                 ("a".into(), Field::U64(1)),
                 ("b".into(), Field::Str("x\ny".into())),
@@ -465,6 +724,8 @@ mod tests {
         let parsed = crate::parse_json(&json).expect("own output parses");
         assert_eq!(parsed.get("ts_us").and_then(|v| v.as_u64()), Some(12));
         assert_eq!(parsed.get("kind").and_then(|v| v.as_str()), Some("k\"ind"));
+        assert_eq!(parsed.get("span_id").and_then(|v| v.as_u64()), Some(9));
+        assert_eq!(parsed.get("parent_id").and_then(|v| v.as_u64()), Some(4));
         assert_eq!(parsed.get("a").and_then(|v| v.as_u64()), Some(1));
         assert_eq!(parsed.get("c").and_then(|v| v.as_bool()), Some(true));
     }
@@ -487,5 +748,15 @@ mod tests {
         }
         assert!(contents.contains("test.file.one"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_file_sink_is_rejected_not_panicked() {
+        let _g = guard();
+        // `trace_to_file` surfaces the error; the env path takes the
+        // warn-once branch instead (exercised implicitly by ensure_init).
+        let err = trace_to_file("/nonexistent-kpt-dir/trace.jsonl");
+        assert!(err.is_err());
+        disable_trace();
     }
 }

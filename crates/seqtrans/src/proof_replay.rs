@@ -49,12 +49,15 @@ impl StepTimer {
     fn record(&mut self, equation: &str) {
         kpt_obs::counter!("proof.obligations").incr();
         if let Some(last) = self.last.as_mut() {
-            let dur_us = last.elapsed().as_secs_f64() * 1e6;
+            let step_us = last.elapsed().as_secs_f64() * 1e6;
+            // Named `step_us`, not `dur_us`: in the JSONL schema a
+            // top-level `dur_us` marks a closed span (which carries a
+            // `span_id`), and this is a one-shot event.
             kpt_obs::event(
                 "proof.obligation",
                 &[
                     ("equation", kpt_obs::Field::Str(equation.to_owned())),
-                    ("dur_us", kpt_obs::Field::F64(dur_us)),
+                    ("step_us", kpt_obs::Field::F64(step_us)),
                 ],
             );
             *last = std::time::Instant::now();

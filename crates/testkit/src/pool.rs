@@ -142,7 +142,11 @@ where
     let span = kpt_obs::span("pool.map");
     let traced = span.is_live();
 
-    // One contiguous range per worker; stealing rebalances skew.
+    // One contiguous range per worker; stealing rebalances skew. The
+    // workers gauge tracks the fan-out of the most recent parallel map;
+    // the queue-depth gauge below is a high-water mark of how much work
+    // thieves saw still queued on their victims.
+    kpt_obs::gauge!("pool.workers").set(workers as u64);
     let per = (n as u64).div_ceil(workers as u64);
     let queues: Vec<Range> = (0..workers as u64)
         .map(|w| Range::new((w * per).min(n as u64), ((w + 1) * per).min(n as u64)))
@@ -187,6 +191,9 @@ where
                         .max_by_key(|&(_, len)| len);
                     match victim {
                         Some((v, len)) if len > 0 => {
+                            // Steal scans are the idle path, so the depth
+                            // sample costs nothing on busy workers.
+                            kpt_obs::gauge!("pool.queue.depth").maximize(len);
                             if let Some((lo, hi)) = queues[v].steal_back() {
                                 stats.steals += 1;
                                 run(lo, hi, &mut local, &mut stats);

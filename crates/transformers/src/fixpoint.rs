@@ -167,7 +167,17 @@ pub fn sst_frontier_with_stats(
         if traced {
             // Per-round frontier sizes are a trace-only luxury: counting a
             // bitset is a full sweep, too costly for the always-on path.
-            frontier_hist.record(frontier.count());
+            let size = frontier.count();
+            frontier_hist.record(size);
+            // One streaming progress event per propagation round, parented
+            // under this fixpoint's span.
+            kpt_obs::event(
+                "fixpoint.frontier.progress",
+                &[
+                    ("round", iterations.into()),
+                    ("frontier_states", size.into()),
+                ],
+            );
         }
         // Image of the frontier under every statement, scattered into one
         // fresh buffer; the new frontier is whatever wasn't reached before.

@@ -8,7 +8,10 @@
 //! 3. the symbolic engine with GC *and* dynamic sifting enabled.
 //!
 //! All three must report the identical eq. (25) outcome — same variant,
-//! same iteration counts, same solution state set. On top of that, the
+//! same iteration counts, same solution state set. Every generated
+//! program is additionally run through the linter's declaration + view
+//! passes (which must find no errors on valid-by-construction input).
+//! On top of that, the
 //! linter's knowledge-erased program is compiled on both backends: its
 //! `SI`s must agree bit-exactly, and by eq. (14) the erased `SI` must
 //! contain every converged solution (the sound over-approximation the
@@ -102,6 +105,22 @@ fn gc_sift_config() -> BddConfig {
 fn oracle(src: &str) {
     let (_space, program) =
         parse_program(src).unwrap_or_else(|e| panic!("{}\nsource:\n{src}", e.render(src)));
+
+    // The linter's cheap passes (declaration + view soundness) run over
+    // every generated program without panicking. The generator guarantees
+    // well-scoped declarations, so KPT001/002/003/006 would be linter (or
+    // generator) bugs; view violations are fair findings — genprog does
+    // not restrict knowledge-guarded reads to the guarding process's view.
+    let report = knowledge_pt::lint::lint_program_with(&program, &LintOptions { symbolic: false });
+    let decl_errors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code.severity() == Severity::Error && d.code != DiagnosticCode::ViewViolation)
+        .collect();
+    assert!(
+        decl_errors.is_empty(),
+        "declaration-pass errors on a generated program:\n{decl_errors:?}\nsource:\n{src}"
+    );
 
     let kbp = Kbp::new(program.clone());
     let explicit = explicit_outcome(&kbp);

@@ -12,8 +12,8 @@ use kpt_obs::{parse_json, JsonValue};
 use kpt_transformers::sst_frontier;
 use kpt_unity::explain_property;
 
-/// The four subsystems the ISSUE requires a trace to cover.
-const REQUIRED_KIND_PREFIXES: [&str; 4] = ["fixpoint", "cache", "pool", "solver"];
+/// The subsystems the ISSUE requires a trace to cover.
+const REQUIRED_KIND_PREFIXES: [&str; 5] = ["fixpoint", "cache", "pool", "solver", "bdd"];
 
 #[test]
 fn traced_run_emits_valid_jsonl_covering_all_subsystems() {
@@ -69,12 +69,22 @@ fn traced_run_emits_valid_jsonl_covering_all_subsystems() {
     let verdict = fig1.explain_solutions("figure1", &sols);
     assert!(!verdict.holds);
 
+    // bdd.*: a symbolic solve produces the hierarchical span tree
+    // (solver → fixpoint → sp/and_exists) plus manager gauge samples.
+    let muddy = kpt_core::muddy_children_n(3).unwrap();
+    let sym = SymbolicKbp::from_program(muddy.program()).unwrap();
+    assert!(matches!(
+        sym.solve_iterative(16).unwrap(),
+        SymbolicOutcome::Converged { .. }
+    ));
+
     kpt_obs::disable_trace();
 
     // Every line must parse as a JSON object with `kind` and `ts_us`, and
     // the kinds must cover all four instrumented subsystems.
     let text = std::fs::read_to_string(&path).expect("read trace file");
     let mut kinds: Vec<String> = Vec::new();
+    let mut events: Vec<JsonValue> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -91,6 +101,7 @@ fn traced_run_emits_valid_jsonl_covering_all_subsystems() {
             lineno + 1
         );
         kinds.push(kind.to_owned());
+        events.push(v);
     }
     assert!(!kinds.is_empty(), "trace file is empty");
     for prefix in REQUIRED_KIND_PREFIXES {
@@ -99,6 +110,82 @@ fn traced_run_emits_valid_jsonl_covering_all_subsystems() {
             "no event kind starting with {prefix:?} in {kinds:?}"
         );
     }
+
+    // Span schema round-trip: every closed span carries a process-unique
+    // id, and the call tree reconstructs — `bdd.fixpoint` spans nest under
+    // the symbolic solver's span.
+    let mut span_ids = std::collections::BTreeSet::new();
+    for e in &events {
+        if e.get("dur_us").is_some() {
+            let id = e
+                .get("span_id")
+                .and_then(JsonValue::as_u64)
+                .expect("span event without span_id");
+            assert!(span_ids.insert(id), "duplicate span_id {id}");
+        }
+    }
+    let solver_ids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.get("kind").and_then(JsonValue::as_str) == Some("bdd.solver.iterative"))
+        .filter_map(|e| e.get("span_id").and_then(JsonValue::as_u64))
+        .collect();
+    assert!(!solver_ids.is_empty(), "no bdd.solver.iterative span");
+    let nested = events.iter().any(|e| {
+        e.get("kind").and_then(JsonValue::as_str) == Some("bdd.fixpoint")
+            && e.get("parent_id")
+                .and_then(JsonValue::as_u64)
+                .is_some_and(|p| solver_ids.contains(&p))
+    });
+    assert!(nested, "no bdd.fixpoint span parented by the solver span");
+
+    // The reconstructed tree drives the profile exports: the folded stack
+    // for the solver's fixpoint must attribute through the solver frame.
+    let records: Vec<kpt_obs::SpanRecord> = events
+        .iter()
+        .filter_map(|e| {
+            Some(kpt_obs::SpanRecord {
+                id: e.get("span_id").and_then(JsonValue::as_u64)?,
+                parent: e.get("parent_id").and_then(JsonValue::as_u64),
+                kind: e.get("kind").and_then(JsonValue::as_str)?.to_owned(),
+                dur_us: e.get("dur_us").and_then(JsonValue::as_f64)?,
+            })
+        })
+        .collect();
+    assert!(
+        kpt_obs::folded_stacks(&records)
+            .iter()
+            .any(|(stack, _)| stack.contains("bdd.solver.iterative;bdd.fixpoint")),
+        "folded stacks miss the solver;fixpoint frame"
+    );
+    let aggregates = kpt_obs::aggregate_spans(&records);
+    let solver = aggregates
+        .iter()
+        .find(|a| a.label == "bdd.solver.iterative")
+        .expect("solver aggregate");
+    assert!(
+        solver.self_us <= solver.total_us,
+        "self-time exceeds total: {solver:?}"
+    );
+
+    // Resource gauges: manager safe points sampled live-node counts into
+    // the trace, and the gauge metric survives in the registry snapshot.
+    let gauge_event = events
+        .iter()
+        .find(|e| e.get("kind").and_then(JsonValue::as_str) == Some("bdd.gauge"))
+        .expect("no bdd.gauge event in trace");
+    assert!(
+        gauge_event
+            .get("live_nodes")
+            .and_then(JsonValue::as_u64)
+            .is_some(),
+        "bdd.gauge without live_nodes"
+    );
+    let snapshot = kpt_obs::metrics_snapshot();
+    assert!(
+        snapshot.iter().any(|m| m.name == "bdd.nodes.live"
+            && matches!(m.value, kpt_obs::MetricValue::Gauge(n) if n > 0)),
+        "bdd.nodes.live gauge missing from the metrics snapshot"
+    );
     // The failed-solution verdict made it into the trace with its witness.
     let fail_line = text
         .lines()
