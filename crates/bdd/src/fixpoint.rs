@@ -93,17 +93,6 @@ pub fn symbolic_strongest_invariant(
     symbolic_sst(init, transitions)
 }
 
-/// Core frontier loop over relation views, shared with the KBP solver; the
-/// caller holds the manager lock.
-pub(crate) fn sst_raw(
-    space: &BddSpace,
-    mgr: &mut Manager,
-    init: NodeId,
-    rels: &[ImageRel<'_>],
-) -> (NodeId, SymbolicFixpointStats) {
-    sst_raw_bounded(space, mgr, init, rels, usize::MAX).expect("unbounded sst cannot trip")
-}
-
 /// On success the returned root carries **one external root reference**
 /// owned by the caller (released once the caller has taken its own).
 /// Holding real roots — not just checkpoint temporaries — on the loop's

@@ -29,7 +29,7 @@ use kpt_state::{VarId, VarSet};
 use kpt_unity::{Guard, Program};
 
 use crate::error::BddError;
-use crate::fixpoint::sst_raw;
+use crate::fixpoint::sst_raw_bounded;
 use crate::formula::{CExpr, SymbolicEvalContext};
 use crate::knowledge::SymbolicKnowledge;
 use crate::manager::{BddConfig, Manager, NodeId, FALSE, TRUE};
@@ -219,6 +219,26 @@ impl SymbolicKbp {
         Ok(SymbolicPredicate::new(&self.space, root))
     }
 
+    /// [`SymbolicKbp::iterate`] under a live-node budget: the inner SI
+    /// fixpoint fails with [`BddError::NodeBudgetExceeded`] if more than
+    /// `max_live_nodes` nodes remain allocated after any round's safe
+    /// point — the memory bound long-running services (kpt-server) map to
+    /// a typed per-request error instead of letting one candidate eat the
+    /// manager. A budget-tripped call leaves the SI memo untouched, so a
+    /// later retry with a larger budget starts clean.
+    ///
+    /// # Errors
+    /// [`BddError::NodeBudgetExceeded`] plus everything
+    /// [`SymbolicKbp::iterate`] can return.
+    pub fn iterate_bounded(
+        &self,
+        x: &SymbolicPredicate,
+        max_live_nodes: usize,
+    ) -> Result<SymbolicPredicate, BddError> {
+        let root = self.iterate_root_bounded(x.root(), max_live_nodes)?;
+        Ok(SymbolicPredicate::new(&self.space, root))
+    }
+
     /// Is `x` a solution of eq. (25)? O(1) comparison after one iteration.
     ///
     /// # Errors
@@ -228,6 +248,10 @@ impl SymbolicKbp {
     }
 
     fn iterate_root(&self, x: NodeId) -> Result<NodeId, BddError> {
+        self.iterate_root_bounded(x, usize::MAX)
+    }
+
+    fn iterate_root_bounded(&self, x: NodeId, max_live_nodes: usize) -> Result<NodeId, BddError> {
         {
             let mut cache = self.si_cache.lock().expect("SI cache poisoned");
             if let Some(&si) = cache.map.get(&x) {
@@ -281,7 +305,7 @@ impl SymbolicKbp {
                 set: &stmt.parts,
             })
             .collect();
-        let (si, _) = sst_raw(&self.space, &mut mgr, self.init, &rels);
+        let (si, _) = sst_raw_bounded(&self.space, &mut mgr, self.init, &rels, max_live_nodes)?;
         let mut cache = self.si_cache.lock().expect("SI cache poisoned");
         if cache.map.len() >= SI_CACHE_CAP {
             for (&k, &v) in cache.map.iter() {
@@ -293,7 +317,7 @@ impl SymbolicKbp {
             kpt_obs::counter!("bdd.kbp.si_cache.evictions").incr();
         }
         mgr.add_root(x);
-        // `si` arrives from `sst_raw` already carrying one root reference;
+        // `si` arrives from `sst_raw_bounded` already carrying one root reference;
         // the cache adopts it rather than adding a second.
         cache.inserts += 1;
         cache.map.insert(x, si);
@@ -796,6 +820,24 @@ mod tests {
             )
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn bounded_iterate_trips_tiny_budgets_and_retries_clean() {
+        let program = knowledge_program();
+        let symbolic = SymbolicKbp::from_program(&program).unwrap();
+        let init = symbolic.init();
+        // A 1-node budget must trip, typed, without poisoning the memo…
+        let err = symbolic.iterate_bounded(&init, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            BddError::NodeBudgetExceeded { budget: 1, .. }
+        ));
+        // …so the same candidate under a sane budget (and the unbounded
+        // path) still agree.
+        let bounded = symbolic.iterate_bounded(&init, 1 << 20).unwrap();
+        let unbounded = symbolic.iterate(&init).unwrap();
+        assert_eq!(bounded, unbounded);
     }
 
     #[test]

@@ -28,8 +28,12 @@ use std::process::ExitCode;
 use kpt_obs::{parse_json, JsonValue};
 
 /// Every trace must contain at least one event whose kind starts with each
-/// of these prefixes — one per instrumented subsystem.
-const REQUIRED_KIND_PREFIXES: [&str; 6] = ["fixpoint", "cache", "pool", "solver", "bdd", "lint"];
+/// of these prefixes — one per instrumented subsystem. `server` covers the
+/// kpt-server request spans (`server.request`), per-iteration solve
+/// progress (`server.solve.progress`) and session-arena counters.
+const REQUIRED_KIND_PREFIXES: [&str; 7] = [
+    "fixpoint", "cache", "pool", "solver", "bdd", "lint", "server",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -72,5 +72,5 @@ pub use runs_equiv::{semantics_agree, view_knowledge, Disagreement};
 pub use wcyl::{wcyl, WcylTransformer};
 pub use zoo::{
     attacking_generals_kpt, cache_coherence_kpt, dining_cryptographers_kpt, load_kpt,
-    muddy_children_kpt, zoo, ZooEntry,
+    muddy_children_kpt, russian_cards_kpt, zoo, ZooEntry,
 };

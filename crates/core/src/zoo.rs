@@ -12,7 +12,10 @@
 //! * [`attacking_generals_kpt`] — the coordinated-attack scenario with a
 //!   nested `K{G0}(K{G1}(plan))` guard;
 //! * [`cache_coherence_kpt`] — a two-cache MSI-style protocol whose
-//!   silent flush is a knowledge test.
+//!   silent flush is a knowledge test;
+//! * [`russian_cards_kpt`] — the (3,3,1) Russian-cards deal with Alice's
+//!   Fano-plane announcement: Bob's knowledge-guarded step learns the
+//!   deal, Cath provably learns nothing.
 //!
 //! [`zoo`] loads every scenario (muddy children at n = 3) together with
 //! the lint verdict baked in for each — the `kpt_lint` registry and the
@@ -39,6 +42,14 @@ pub fn attacking_generals_kpt() -> &'static str {
 /// The cache-coherence scenario (see the module docs).
 pub fn cache_coherence_kpt() -> &'static str {
     include_str!("../models/cache_coherence.kpt")
+}
+
+/// The Russian-cards (3,3,1) scenario: Alice announces the seven Fano
+/// lines, Bob's knowledge-guarded step fires exactly when he has deduced
+/// the deal, and Cath — who sees only her own card and the public flags —
+/// never learns the holder of any card (see the model's header comment).
+pub fn russian_cards_kpt() -> &'static str {
+    include_str!("../models/russian_cards.kpt")
 }
 
 /// The textual n-child muddy-children KBP (2 ≤ n ≤ 6): the same program
@@ -160,6 +171,7 @@ pub fn zoo() -> Result<Vec<ZooEntry>, UnityError> {
             cache_coherence_kpt().to_owned(),
             &["KPT008", "KPT009"],
         )?,
+        entry("zoo-russian-cards", russian_cards_kpt().to_owned(), &[])?,
     ])
 }
 
@@ -297,6 +309,59 @@ mod tests {
         let op = operator(&kbp, &solution);
         let k = op.knows("C0", &eval(&space, "c1 = inv")).unwrap();
         assert!(solution.and(&eval(&space, "c0 = mod")).entails(&k));
+    }
+
+    #[test]
+    fn russian_cards_bob_learns_and_cath_learns_nothing() {
+        let (space, kbp) = load_kpt(russian_cards_kpt()).unwrap();
+        // 35 Alice hands × 4 consistent Cath cards, Bob's hand determined.
+        assert_eq!(kbp.program().init().count(), 140);
+        let solution = solve(&kbp);
+        let compiled = kbp.compile_at(&solution).unwrap();
+        let said = eval(&space, "said");
+        let bknows = eval(&space, "bknows");
+
+        // Once Alice's announcement is out, Bob eventually knows the deal.
+        assert!(compiled.leads_to_holds(&said, &bknows));
+        // `learn` fires on knowledge alone: announced but not-yet-learned
+        // states exist, and every announced state already carries Bob's
+        // knowledge of Alice's exact line.
+        let fano: [[usize; 3]; 7] = [
+            [0, 1, 2],
+            [0, 3, 4],
+            [0, 5, 6],
+            [1, 3, 5],
+            [1, 4, 6],
+            [2, 3, 6],
+            [2, 4, 5],
+        ];
+        let op = operator(&kbp, &solution);
+        let mut bob_knows_some_line = Predicate::ff(&space);
+        for line in fano {
+            let f = format!("a{} /\\ a{} /\\ a{}", line[0], line[1], line[2]);
+            bob_knows_some_line.or_assign(&op.knows("B", &eval(&space, &f)).unwrap());
+        }
+        let announced = solution.and(&said);
+        assert!(!announced.is_false());
+        assert!(announced.entails(&bob_knows_some_line));
+
+        // Cath's ignorance: after the announcement she never learns who
+        // holds any card she doesn't hold herself — neither an Alice card
+        // nor a Bob card.
+        for i in 0..7 {
+            let not_cath = announced.and(&eval(&space, &format!("cc != {i}")));
+            assert!(!not_cath.is_false());
+            let k_alice = op.knows("C", &eval(&space, &format!("a{i}"))).unwrap();
+            let k_bob = op.knows("C", &eval(&space, &format!("b{i}"))).unwrap();
+            assert!(
+                not_cath.and(&k_alice).is_false(),
+                "Cath must never learn Alice holds card {i}"
+            );
+            assert!(
+                not_cath.and(&k_bob).is_false(),
+                "Cath must never learn Bob holds card {i}"
+            );
+        }
     }
 
     #[test]

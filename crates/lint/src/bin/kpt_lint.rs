@@ -1,19 +1,26 @@
-//! `kpt_lint` — run the static analyzer over every in-tree model.
+//! `kpt_lint` — run the static analyzer over in-tree models or `.kpt`
+//! files.
 //!
-//! Usage: `kpt_lint [--json] [--no-symbolic] [NAME ...]`
+//! Usage: `kpt_lint [--json] [--no-symbolic] [NAME | FILE.kpt ...]`
 //!
-//! With no `NAME` arguments every registered model is linted. `--json`
+//! With no arguments every registered model is linted. An argument that
+//! names an existing file (or ends in `.kpt`) is read and linted through
+//! [`kpt_lint::lint_source`] — the same entry point kpt-server's `lint`
+//! request uses — with parse errors rendered as caret diagnostics against
+//! the source. Other arguments select registry models by name. `--json`
 //! prints one JSON array of lint reports instead of the human summary;
 //! `--no-symbolic` restricts the run to the declaration and view passes.
 //!
 //! The exit code encodes the expectation baked into the registry: the
 //! healthy models must be clean and Figure 1 must carry exactly its
 //! eq. (25) circularity warning (`KPT009`). Any other finding — or a
-//! missing expected one — exits nonzero, which is what CI asserts.
+//! missing expected one — exits nonzero, which is what CI asserts. For
+//! file arguments (no baked-in expectation) the run fails on parse
+//! errors and error-severity findings; warnings are reported but pass.
 
 use std::process::ExitCode;
 
-use kpt_lint::{lint_program_with, LintOptions, LintReport};
+use kpt_lint::{lint_program_with, lint_source, LintOptions, LintReport};
 use kpt_seqtrans::{figure3_kbp, ModelOptions, StandardModel};
 use kpt_unity::Program;
 
@@ -160,33 +167,94 @@ fn print_human(case: &Case, report: &LintReport, ok: bool) {
     }
 }
 
+/// Is this CLI argument a `.kpt` file path rather than a registry name?
+fn is_file_arg(arg: &str) -> bool {
+    arg.ends_with(".kpt") || std::path::Path::new(arg).is_file()
+}
+
+/// Lint one on-disk `.kpt` file through the shared [`lint_source`] entry
+/// point. Returns the report (when the source elaborates) and whether the
+/// file passes: parse failures and error-severity findings fail, warnings
+/// pass.
+fn lint_file(path: &str, options: &LintOptions, json: bool) -> (Option<LintReport>, bool) {
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return (None, false);
+        }
+    };
+    match lint_source(&src, options) {
+        Ok(report) => {
+            let ok = report.error_count() == 0;
+            if !json {
+                println!(
+                    "== {path} ({} finding{}, {}) ==",
+                    report.diagnostics.len(),
+                    if report.diagnostics.len() == 1 {
+                        ""
+                    } else {
+                        "s"
+                    },
+                    if ok { "ok" } else { "errors" }
+                );
+                if report.diagnostics.is_empty() {
+                    println!("   clean");
+                }
+                for d in &report.diagnostics {
+                    println!("   {d}");
+                }
+            }
+            (Some(report), ok)
+        }
+        Err(e) => {
+            // The caret rendering points at the offending span in-line.
+            eprintln!("{path}: {}", e.render(&src));
+            (None, false)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut json = false;
     let mut options = LintOptions::default();
     let mut names: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--no-symbolic" => options.symbolic = false,
             "--help" | "-h" => {
-                println!("usage: kpt_lint [--json] [--no-symbolic] [NAME ...]");
+                println!("usage: kpt_lint [--json] [--no-symbolic] [NAME | FILE.kpt ...]");
                 return ExitCode::SUCCESS;
             }
+            other if is_file_arg(other) => files.push(other.to_owned()),
             other => names.push(other.to_owned()),
         }
     }
 
-    let cases: Vec<Case> = registry()
-        .into_iter()
-        .filter(|c| names.is_empty() || names.iter().any(|n| n == c.name))
-        .collect();
-    if cases.is_empty() {
+    let cases: Vec<Case> = if names.is_empty() && !files.is_empty() {
+        Vec::new()
+    } else {
+        registry()
+            .into_iter()
+            .filter(|c| names.is_empty() || names.iter().any(|n| n == c.name))
+            .collect()
+    };
+    if cases.is_empty() && files.is_empty() {
         eprintln!("no model matches {names:?}");
         return ExitCode::FAILURE;
     }
 
     let mut all_ok = true;
     let mut reports = Vec::new();
+    for path in &files {
+        let (report, ok) = lint_file(path, &options, json);
+        all_ok &= ok;
+        if let Some(report) = report {
+            reports.push(report);
+        }
+    }
     for case in &cases {
         let report = lint_program_with(&case.program, &options);
         let codes: Vec<&str> = report.codes().iter().map(|c| c.code()).collect();
@@ -210,10 +278,11 @@ fn main() -> ExitCode {
         let items: Vec<String> = reports.iter().map(LintReport::to_json).collect();
         println!("[{}]", items.join(","));
     } else {
+        let total = cases.len() + files.len();
         println!(
             "{} model{} linted; {}",
-            cases.len(),
-            if cases.len() == 1 { "" } else { "s" },
+            total,
+            if total == 1 { "" } else { "s" },
             if all_ok {
                 "all findings as expected"
             } else {

@@ -408,6 +408,20 @@ pub fn lint_kbp(kbp: &Kbp) -> LintReport {
     lint_program(kbp.program())
 }
 
+/// Parse a textual `.kpt` source and lint the elaborated program — the
+/// one entry point shared by the `kpt_lint` CLI's file mode and
+/// kpt-server's `lint` request. Parse/elaboration failures come back as a
+/// spanned [`kpt_unity::UnityError`] (render caret diagnostics against
+/// the source with [`kpt_unity::UnityError::render`]); a program that
+/// elaborates is linted with [`lint_program_with`].
+///
+/// # Errors
+/// The frontend's [`kpt_unity::UnityError`] on malformed sources.
+pub fn lint_source(src: &str, options: &LintOptions) -> Result<LintReport, kpt_unity::UnityError> {
+    let (_, program) = kpt_unity::parse_program(src)?;
+    Ok(lint_program_with(&program, options))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

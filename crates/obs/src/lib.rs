@@ -52,7 +52,7 @@ pub use profile::{
     span_records, SpanAggregate, SpanRecord,
 };
 pub use trace::{
-    disable_trace, dropped_events, event, recent_events, span, trace_enabled, trace_path,
-    trace_to_file, trace_to_ring, Event, Field, Span,
+    disable_trace, dropped_events, event, json_escape_into, recent_events, set_trace_subscriber,
+    span, trace_enabled, trace_path, trace_to_file, trace_to_ring, Event, Field, Span, Subscriber,
 };
 pub use verdict::{report_verdict, Verdict, WitnessState};

@@ -47,12 +47,23 @@
 //! * programmatic: [`trace_to_file`] / [`trace_to_ring`] /
 //!   [`disable_trace`], which override the environment setting and may be
 //!   called repeatedly (tests switch sinks freely).
+//!
+//! ## Subscribers
+//!
+//! A process may install one programmatic subscriber
+//! ([`set_trace_subscriber`]): a callback invoked with every emitted
+//! event, on the emitting thread, *before* the event enters the ring/file
+//! sink (so the callback never contends with the sink lock). kpt-server
+//! uses this to forward `*.progress` events to the connection that owns
+//! the in-flight request. Events the callback itself emits are not
+//! re-dispatched (a thread-local re-entrancy latch), so a subscriber may
+//! freely call traced code.
 
 use std::cell::RefCell;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, Once, OnceLock};
+use std::sync::{Arc, Mutex, Once, OnceLock};
 use std::time::Instant;
 
 use crate::profile;
@@ -135,7 +146,7 @@ impl Field {
             Field::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
             Field::Str(s) => {
                 out.push('"');
-                escape_into(s, out);
+                json_escape_into(s, out);
                 out.push('"');
             }
         }
@@ -173,7 +184,7 @@ impl Event {
         out.push_str("{\"ts_us\":");
         out.push_str(&self.ts_us.to_string());
         out.push_str(",\"kind\":\"");
-        escape_into(&self.kind, &mut out);
+        json_escape_into(&self.kind, &mut out);
         out.push('"');
         if let Some(d) = self.dur_us {
             out.push_str(&format!(",\"dur_us\":{d:.1}"));
@@ -186,7 +197,7 @@ impl Event {
         }
         for (k, v) in &self.fields {
             out.push_str(",\"");
-            escape_into(k, &mut out);
+            json_escape_into(k, &mut out);
             out.push_str("\":");
             v.render_json(&mut out);
         }
@@ -195,7 +206,11 @@ impl Event {
     }
 }
 
-fn escape_into(s: &str, out: &mut String) {
+/// Append `s` to `out` as JSON string *content* (no surrounding quotes):
+/// backslash-escapes `"`/`\`, named escapes for `\n`/`\r`/`\t`, `\u`
+/// escapes for remaining control characters. Shared by the trace sink and
+/// the kpt-server wire protocol so both emit identical JSON text.
+pub fn json_escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -235,6 +250,59 @@ struct OpenSpan {
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+    /// Re-entrancy latch: set while the subscriber callback runs on this
+    /// thread, so events it emits are sunk but not re-dispatched.
+    static IN_SUBSCRIBER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The installed subscriber callback, if any: see
+/// [`set_trace_subscriber`].
+pub type Subscriber = Arc<dyn Fn(&Event) + Send + Sync>;
+
+/// Fast-path check so the disabled/no-subscriber cost stays one load.
+static SUBSCRIBER_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn subscriber_slot() -> &'static Mutex<Option<Subscriber>> {
+    static SLOT: OnceLock<Mutex<Option<Subscriber>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (`Some`) or remove (`None`) the process-wide trace subscriber.
+/// Installing one enables tracing (events must flow for the callback to
+/// see them); removing it does **not** disable tracing — call
+/// [`disable_trace`] for that, so a subscriber can come and go without
+/// clobbering a `KPT_TRACE` file sink installed next to it.
+pub fn set_trace_subscriber(sub: Option<Subscriber>) {
+    ensure_init();
+    let active = sub.is_some();
+    *subscriber_slot().lock().expect("subscriber slot poisoned") = sub;
+    SUBSCRIBER_ACTIVE.store(active, Ordering::Release);
+    if active {
+        ENABLED.store(true, Ordering::Release);
+    }
+}
+
+/// Hand `ev` to the subscriber, if one is installed and this thread is not
+/// already inside the callback.
+fn dispatch_subscriber(ev: &Event) {
+    if !SUBSCRIBER_ACTIVE.load(Ordering::Acquire) {
+        return;
+    }
+    let Some(sub) = subscriber_slot()
+        .lock()
+        .expect("subscriber slot poisoned")
+        .clone()
+    else {
+        return;
+    };
+    IN_SUBSCRIBER.with(|latch| {
+        if latch.get() {
+            return;
+        }
+        latch.set(true);
+        sub(ev);
+        latch.set(false);
+    });
 }
 
 fn sink() -> &'static Mutex<SinkState> {
@@ -374,6 +442,9 @@ pub fn dropped_events() -> u64 {
 }
 
 fn emit(ev: Event) {
+    // The subscriber sees the event before the sink lock is taken, on the
+    // emitting thread, so its own locks never nest inside the sink's.
+    dispatch_subscriber(&ev);
     let mut line = ev.to_json();
     line.push('\n');
     let mut s = sink().lock().expect("trace sink poisoned");
@@ -700,6 +771,43 @@ mod tests {
             .find(|e| e.kind == "trace.dropped")
             .expect("trace.dropped marker in ring");
         assert!(matches!(marker.field("dropped"), Some(&Field::U64(n)) if n > 0));
+    }
+
+    #[test]
+    fn subscriber_sees_events_without_reentrant_dispatch() {
+        let _g = guard();
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        set_trace_subscriber(Some(Arc::new(move |ev: &Event| {
+            // Emitting from inside the callback must sink but not recurse.
+            if ev.kind == "test.sub.outer" {
+                event("test.sub.from-callback", &[]);
+            }
+            sink.lock().unwrap().push(ev.kind.clone());
+        })));
+        assert!(trace_enabled(), "installing a subscriber enables tracing");
+        event("test.sub.outer", &[("n", Field::U64(1))]);
+        {
+            let mut sp = span("test.sub.span");
+            sp.field("x", 1u64);
+        }
+        set_trace_subscriber(None);
+        event("test.sub.after", &[]);
+        disable_trace();
+        let kinds = seen.lock().unwrap().clone();
+        assert!(kinds.contains(&"test.sub.outer".to_owned()));
+        assert!(kinds.contains(&"test.sub.span".to_owned()));
+        assert!(
+            !kinds.contains(&"test.sub.from-callback".to_owned()),
+            "callback-emitted events must not re-enter the callback"
+        );
+        assert!(
+            !kinds.contains(&"test.sub.after".to_owned()),
+            "a removed subscriber sees nothing"
+        );
+        // The callback-emitted event still reached the ring sink.
+        let all = recent_events();
+        assert!(all.iter().any(|e| e.kind == "test.sub.from-callback"));
     }
 
     #[test]

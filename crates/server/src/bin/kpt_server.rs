@@ -1,0 +1,89 @@
+//! `kpt_server` — serve the verification engines over JSON Lines.
+//!
+//! Usage: `kpt_server [--listen ADDR] [--stdio] [--workers N]
+//! [--queue N] [--max-sessions N] [--timeout-ms N]`
+//!
+//! TCP mode (default) binds `ADDR` (default `127.0.0.1:7071`; use port 0
+//! for an ephemeral port, printed on startup) and serves until a
+//! `shutdown` request. `--stdio` serves a single session on
+//! stdin/stdout — handy for piping: see the README's server quickstart.
+
+use std::process::ExitCode;
+
+use kpt_server::{run_stdio, Server, ServerConfig};
+
+fn usage() {
+    println!(
+        "usage: kpt_server [--listen ADDR] [--stdio] [--workers N] [--queue N] \
+         [--max-sessions N] [--timeout-ms N]"
+    );
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut listen = "127.0.0.1:7071".to_owned();
+    let mut stdio = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> Option<u64> {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("{name} needs a numeric argument");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => match args.next() {
+                Some(a) => listen = a,
+                None => {
+                    eprintln!("--listen needs an address");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match num("--workers") {
+                Some(v) => config.workers = v as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--queue" => match num("--queue") {
+                Some(v) => config.queue_capacity = v as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--max-sessions" => match num("--max-sessions") {
+                Some(v) => config.sessions.max_models = v as usize,
+                None => return ExitCode::FAILURE,
+            },
+            "--timeout-ms" => match num("--timeout-ms") {
+                Some(v) => config.default_timeout_ms = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if stdio {
+        run_stdio(config);
+        return ExitCode::SUCCESS;
+    }
+    match Server::bind(&listen, config) {
+        Ok(mut server) => {
+            println!("kpt-server listening on {}", server.local_addr());
+            server.wait();
+            server.shutdown();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # kpt-server: a concurrent verification service over JSON Lines
+//!
+//! The library behind the `kpt_server` binary: a zero-dependency TCP (or
+//! stdio) server exposing the workspace's verification engines — parse,
+//! lint, eq. (25) iterative solving on the explicit and symbolic
+//! backends, UNITY property checking against the solution, witnessed
+//! explanations — to concurrent clients, one JSON object per line in
+//! each direction.
+//!
+//! Three layers:
+//!
+//! * [`proto`] — the wire protocol: request schema, response frames,
+//!   error codes;
+//! * [`session`] — the arena: elaborated models cached by source text
+//!   behind `Arc`s, LRU-evicted under count and byte bounds, never
+//!   invalidating in-flight users;
+//! * [`server`] — connections, the worker pool with bounded-queue
+//!   backpressure, `*.progress` forwarding, cancellation, deadlines and
+//!   graceful drain.
+//!
+//! Results are bit-identical to direct library calls: the server's solve
+//! loop replays [`kpt_core::Kbp::solve_iterative`]'s exact iteration
+//! sequence, adding only cancellation/deadline checks between iterations
+//! (`tests/session_differential.rs` enforces this under concurrency and
+//! eviction pressure).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use proto::{codes, parse_request, verdict_json, Engine, Frame, Request, RequestKind};
+pub use server::{run_stdio, Server, ServerConfig};
+pub use session::{Model, SessionConfig, Sessions};

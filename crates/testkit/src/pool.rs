@@ -22,8 +22,19 @@
 //! Thread count resolution ([`num_threads`]): the `KPT_THREADS`
 //! environment variable if set to a positive integer, otherwise
 //! [`std::thread::available_parallelism`].
+//!
+//! Besides the scoped [`parallel_map`], this module provides [`TaskPool`]:
+//! a small *persistent* executor for long-running services (kpt-server).
+//! Independent boxed jobs are queued behind a bounded injector and drained
+//! by a fixed set of workers; [`TaskPool::try_spawn`] refuses work once
+//! the queue is full (backpressure the caller turns into a typed `busy`
+//! error), and [`TaskPool::shutdown`] drains every queued job before the
+//! workers exit (graceful drain). The current injector depth is published
+//! on the same `pool.queue.depth` gauge the stealing map samples.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of worker threads [`parallel_map`] uses: `KPT_THREADS` if set to
 /// a positive integer, else [`std::thread::available_parallelism`] (1 if
@@ -272,6 +283,179 @@ fn record_pool_map(mut span: kpt_obs::Span, items: usize, workers: usize, stats:
     }
 }
 
+/// One queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool refused a job because its queue is at capacity (or the pool
+/// is shutting down). Callers surface this as backpressure; the job is
+/// handed back untouched so it can be retried or rejected upstream.
+pub struct PoolSaturated(pub Job);
+
+impl std::fmt::Debug for PoolSaturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolSaturated(..)")
+    }
+}
+
+struct TaskPoolState {
+    queue: VecDeque<Job>,
+    /// Jobs currently executing on a worker.
+    active: usize,
+    /// No new jobs are accepted; workers exit once the queue drains.
+    shutting_down: bool,
+}
+
+struct TaskPoolShared {
+    state: Mutex<TaskPoolState>,
+    /// Signalled when a job is queued or shutdown begins.
+    work_ready: Condvar,
+    capacity: usize,
+}
+
+impl TaskPoolShared {
+    fn publish_depth(&self, depth: usize) {
+        kpt_obs::gauge!("pool.queue.depth").set(depth as u64);
+    }
+}
+
+/// A persistent fixed-size executor over the same worker budget as
+/// [`parallel_map`]: jobs go into one bounded injector queue, workers pop
+/// in FIFO order. Unlike the scoped map this pool outlives any one call —
+/// it is the dispatch substrate for long-running services.
+///
+/// Shutdown is a *drain*: [`TaskPool::shutdown`] (also run on drop) stops
+/// accepting work, lets the workers finish everything already queued, and
+/// joins them.
+pub struct TaskPool {
+    shared: Arc<TaskPoolShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TaskPool {
+    /// A pool with `workers` threads (clamped to ≥ 1) and a `capacity`-job
+    /// injector queue (clamped to ≥ 1).
+    pub fn new(workers: usize, capacity: usize) -> TaskPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(TaskPoolShared {
+            state: Mutex::new(TaskPoolState {
+                queue: VecDeque::new(),
+                active: 0,
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        kpt_obs::gauge!("pool.workers").set(workers as u64);
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        TaskPool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Queue `job`, refusing with [`PoolSaturated`] when the injector is
+    /// at capacity or the pool is shutting down. Never blocks.
+    ///
+    /// # Panics
+    /// Panics if the queue mutex was poisoned by a panicking job.
+    pub fn try_spawn(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolSaturated> {
+        let job: Job = Box::new(job);
+        let mut st = self.shared.state.lock().expect("task pool poisoned");
+        if st.shutting_down || st.queue.len() >= self.shared.capacity {
+            kpt_obs::counter!("pool.exec.rejected").incr();
+            return Err(PoolSaturated(job));
+        }
+        st.queue.push_back(job);
+        let depth = st.queue.len();
+        drop(st);
+        self.shared.publish_depth(depth);
+        kpt_obs::counter!("pool.exec.spawned").incr();
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs waiting in the injector right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("task pool poisoned")
+            .queue
+            .len()
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn active(&self) -> usize {
+        self.shared.state.lock().expect("task pool poisoned").active
+    }
+
+    /// Whether a [`TaskPool::try_spawn`] right now would be refused.
+    pub fn is_saturated(&self) -> bool {
+        let st = self.shared.state.lock().expect("task pool poisoned");
+        st.shutting_down || st.queue.len() >= self.shared.capacity
+    }
+
+    /// Graceful drain: refuse new work, run everything already queued to
+    /// completion, join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("task pool poisoned");
+            st.shutting_down = true;
+        }
+        self.shared.work_ready.notify_all();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("task pool poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &TaskPoolShared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("task pool poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.active += 1;
+                    shared.publish_depth(st.queue.len());
+                    break job;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = shared.work_ready.wait(st).expect("task pool poisoned");
+            }
+        };
+        // A panicking job must not take the worker (or the whole pool)
+        // down with it: the server maps panics to error frames upstream,
+        // and the pool just keeps serving.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let mut st = shared.state.lock().expect("task pool poisoned");
+        st.active -= 1;
+        drop(st);
+        kpt_obs::counter!("pool.exec.completed").incr();
+        if outcome.is_err() {
+            kpt_obs::counter!("pool.exec.panicked").incr();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +516,80 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn task_pool_runs_every_job() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = TaskPool::new(4, 1024);
+        for _ in 0..200 {
+            let done = Arc::clone(&done);
+            pool.try_spawn(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("queue has room");
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn task_pool_saturation_refuses_and_drain_completes() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = TaskPool::new(1, 2);
+        // One job blocks the single worker on the gate…
+        {
+            let gate = Arc::clone(&gate);
+            let done = Arc::clone(&done);
+            pool.try_spawn(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        // …wait for it to be picked up, then fill the 2-slot queue.
+        while pool.active() == 0 {
+            std::thread::yield_now();
+        }
+        for _ in 0..2 {
+            let done = Arc::clone(&done);
+            pool.try_spawn(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        assert!(pool.is_saturated());
+        let refused = pool.try_spawn(|| {});
+        assert!(refused.is_err(), "full queue must refuse work");
+        // Open the gate; shutdown must drain both queued jobs.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn task_pool_survives_panicking_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = TaskPool::new(2, 64);
+        pool.try_spawn(|| panic!("job panics, pool must not"))
+            .unwrap();
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            pool.try_spawn(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 10);
     }
 }
