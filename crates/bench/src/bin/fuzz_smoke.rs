@@ -2,7 +2,10 @@
 //! corpus seeds and then pushes `KPT_FUZZ_CASES` (default 500) freshly
 //! generated textual programs through the three-way oracle — explicit
 //! engine vs serial BDD vs gc+sift BDD, plus the knowledge-erased eq. (14)
-//! soundness leg. Divergences and panics are collected (not fail-fast)
+//! soundness leg, plus the **full lint pipeline**: a lint panic is a fuzz
+//! finding, and so is any `KPT010` interval-dead verdict the symbolic
+//! `KPT007` pass does not confirm (the `KPT010 ⊑ KPT007` soundness
+//! contract). Divergences and panics are collected (not fail-fast)
 //! into a findings artifact and the process exits nonzero if any survive.
 //!
 //! Usage: `cargo run --release -p kpt-bench --bin fuzz_smoke`
@@ -13,7 +16,7 @@ use std::panic::{self, AssertUnwindSafe};
 
 use kpt_bdd::{BddConfig, GcPolicy, ReorderPolicy, SymbolicKbp, SymbolicOutcome};
 use kpt_core::{IterativeOutcome, Kbp};
-use kpt_lint::erased_program;
+use kpt_lint::{erased_program, lint_program_with, DiagnosticCode, LintOptions};
 use kpt_testkit::genprog::{gen_program, GenConfig};
 use kpt_testkit::Rng;
 use kpt_unity::{parse_program, Program};
@@ -138,6 +141,26 @@ fn gc_sift_config() -> BddConfig {
 /// description for the findings artifact.
 fn oracle(src: &str) -> Result<(), String> {
     let (_space, program) = parse_program(src).map_err(|e| format!("parse: {}", e.render(src)))?;
+
+    // The full lint pipeline (a panic inside it is caught by run_case and
+    // becomes a finding), with the KPT010 ⊑ KPT007 soundness check: the
+    // interval pass may only kill guards the symbolic SI also kills.
+    let report = lint_program_with(&program, &LintOptions::default());
+    if report.symbolic_ran {
+        for d in &report.diagnostics {
+            if d.code == DiagnosticCode::IntervalDeadGuard
+                && !report
+                    .diagnostics
+                    .iter()
+                    .any(|e| e.code == DiagnosticCode::DeadGuard && e.statement == d.statement)
+            {
+                return Err(format!(
+                    "KPT010 fired without KPT007 on {:?} — unsound interval analysis",
+                    d.statement
+                ));
+            }
+        }
+    }
 
     let kbp = Kbp::new(program.clone());
     let explicit = explicit_outcome(&kbp)?;

@@ -1,8 +1,9 @@
 //! Static-analyzer report: wall-time of the full `kpt-lint` pipeline
-//! (declaration + view + symbolic passes) over every in-tree model, from
-//! the 8-state Figure 1 up to the 159-free-state symbolic escape-hatch
-//! instance. Writes `BENCH_lint.json` plus a per-model one-shot table on
-//! stdout.
+//! (declaration + view + dataflow + symbolic passes) over every in-tree
+//! model, from the 8-state Figure 1 up to the 159-free-state symbolic
+//! escape-hatch instance — plus the BDD-free dataflow depth on its own,
+//! which is the per-keystroke cost an editor integration would pay.
+//! Writes `BENCH_lint.json` plus a per-model one-shot table on stdout.
 //!
 //! Usage: `cargo run --release -p kpt-bench --bin lint_report`
 //! (`KPT_BENCH_JSON` overrides the output path, `KPT_BENCH_FAST=1` runs a
@@ -10,7 +11,7 @@
 
 use std::time::Instant;
 
-use kpt_lint::{lint_program, lint_program_with, LintOptions};
+use kpt_lint::{lint_program, lint_program_with, Depth, LintOptions};
 use kpt_seqtrans::{figure3_kbp, ModelOptions, StandardModel};
 use kpt_state::StateSpace;
 use kpt_testkit::Criterion;
@@ -95,7 +96,7 @@ fn main() {
     {
         // The cheap passes alone — what a save-hook or pre-commit check
         // would pay per keystroke.
-        let decl_only = LintOptions { symbolic: false };
+        let decl_only = LintOptions::fast();
         let mut group = c.benchmark_group("lint_decl_view");
         for (label, program) in &cases {
             group.bench_function(format!("lint_fast_{label}"), |b| {
@@ -103,21 +104,35 @@ fn main() {
             });
         }
     }
+    {
+        // Everything except the symbolic engine: intervals, dependency
+        // SCCs, and the reachable-information closure (KPT010-KPT012).
+        let dataflow = LintOptions::up_to(Depth::Dataflow);
+        let mut group = c.benchmark_group("lint_dataflow");
+        for (label, program) in &cases {
+            group.bench_function(format!("lint_dataflow_{label}"), |b| {
+                b.iter(|| lint_program_with(program, &dataflow))
+            });
+        }
+    }
 
     println!("\n== analyzer one-shot wall time (release) ==");
     println!(
-        "{:<14} {:>10} {:>6} {:>10} {:>9} {:>9}",
-        "model", "states", "stmts", "findings", "full ms", "fast ms"
+        "{:<14} {:>10} {:>6} {:>10} {:>9} {:>11} {:>9}",
+        "model", "states", "stmts", "findings", "full ms", "dataflow ms", "fast ms"
     );
     for (label, program) in &cases {
         let t0 = Instant::now();
         let report = lint_program(program);
         let full_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
-        let _ = lint_program_with(program, &LintOptions { symbolic: false });
+        let _ = lint_program_with(program, &LintOptions::up_to(Depth::Dataflow));
+        let dataflow_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let _ = lint_program_with(program, &LintOptions::fast());
         let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(
-            "{label:<14} {:>10} {:>6} {:>10} {full_ms:>9.3} {fast_ms:>9.3}",
+            "{label:<14} {:>10} {:>6} {:>10} {full_ms:>9.3} {dataflow_ms:>11.3} {fast_ms:>9.3}",
             program.space().num_states(),
             program.statements().len(),
             report.diagnostics.len()

@@ -165,11 +165,14 @@ pub fn zoo() -> Result<Vec<ZooEntry>, UnityError> {
         )?,
         // The two writers race for the bus and the knowledge-guarded
         // flush reacts to variables the protocol changes — both warnings
-        // are real and deliberate (see the model's header comment).
+        // are real and deliberate (see the model's header comment). The
+        // flush statements also form a genuine read/write dependency
+        // cycle, so the syntactic KPT011 pass fires alongside the
+        // symbolic KPT009.
         entry(
             "zoo-cache-coherence",
             cache_coherence_kpt().to_owned(),
-            &["KPT008", "KPT009"],
+            &["KPT008", "KPT009", "KPT011"],
         )?,
         entry("zoo-russian-cards", russian_cards_kpt().to_owned(), &[])?,
     ])

@@ -1,149 +1,46 @@
 //! `kpt_lint` — run the static analyzer over in-tree models or `.kpt`
 //! files.
 //!
-//! Usage: `kpt_lint [--json] [--no-symbolic] [NAME | FILE.kpt ...]`
+//! Usage: `kpt_lint [--json] [--depth D] [--deny CODES] [--allow CODES]
+//! [--no-symbolic] [NAME | FILE.kpt ...]`
 //!
-//! With no arguments every registered model is linted. An argument that
-//! names an existing file (or ends in `.kpt`) is read and linted through
-//! [`kpt_lint::lint_source`] — the same entry point kpt-server's `lint`
-//! request uses — with parse errors rendered as caret diagnostics against
-//! the source. Other arguments select registry models by name. `--json`
-//! prints one JSON array of lint reports instead of the human summary;
-//! `--no-symbolic` restricts the run to the declaration and view passes.
+//! With no arguments every registered model is linted — in parallel over
+//! the kpt-testkit worker pool (`KPT_THREADS` controls the width; reports
+//! stay in registry order and are bit-identical to a serial run). An
+//! argument that names an existing file (or ends in `.kpt`) is read and
+//! linted through [`kpt_lint::lint_source`] — the same entry point
+//! kpt-server's `lint` request uses — with parse errors *and* findings
+//! rendered as caret diagnostics against the source. Other arguments
+//! select registry models by name.
+//!
+//! * `--json` prints one JSON array of lint reports (spans included)
+//!   instead of the human summary.
+//! * `--depth decl|view|dataflow|symbolic` stops the pipeline after the
+//!   named pass; `full` is an alias for `symbolic`. `--no-symbolic` keeps
+//!   its historical meaning of skipping only the symbolic pass (the
+//!   dataflow pass still runs).
+//! * `--deny KPT008,KPT011` fails the run if any listed code fires, even
+//!   at warning severity; `--allow KPT003` drops the listed codes from
+//!   every report before verdicts are computed.
 //!
 //! The exit code encodes the expectation baked into the registry: the
 //! healthy models must be clean and Figure 1 must carry exactly its
-//! eq. (25) circularity warning (`KPT009`). Any other finding — or a
-//! missing expected one — exits nonzero, which is what CI asserts. For
-//! file arguments (no baked-in expectation) the run fails on parse
-//! errors and error-severity findings; warnings are reported but pass.
+//! eq. (25) circularity warnings (`KPT009` from the symbolic pass, and
+//! its syntactic shadow `KPT011` from the dataflow pass). Any other
+//! finding — or a missing expected one — exits nonzero, which is what CI
+//! asserts. Expected codes whose producing pass did not run (because of
+//! `--depth`/`--no-symbolic`) are not held against the run. For file
+//! arguments (no baked-in expectation) the run fails on parse errors,
+//! error-severity findings, and denied codes; other warnings pass.
 
 use std::process::ExitCode;
 
-use kpt_lint::{lint_program_with, lint_source, LintOptions, LintReport};
-use kpt_seqtrans::{figure3_kbp, ModelOptions, StandardModel};
-use kpt_unity::Program;
+use kpt_lint::{
+    lint_registry, lint_source, registry, Depth, DiagnosticCode, LintOptions, LintReport,
+    RegistryCase,
+};
 
-struct Case {
-    name: &'static str,
-    program: Program,
-    /// The exact diagnostic codes this model is expected to produce.
-    expected: &'static [&'static str],
-}
-
-fn registry() -> Vec<Case> {
-    let model = StandardModel::build(2, 2, ModelOptions::default()).expect("standard model builds");
-    let mut cases = vec![
-        // Figure 1 is the paper's no-solution counterexample; the linter
-        // must flag its knowledge circularity and nothing else.
-        Case {
-            name: "figure1",
-            program: kpt_core::figure1()
-                .expect("figure1 builds")
-                .program()
-                .clone(),
-            expected: &["KPT009"],
-        },
-        Case {
-            name: "figure2-weak",
-            program: kpt_core::figure2("~y")
-                .expect("figure2 builds")
-                .program()
-                .clone(),
-            expected: &[],
-        },
-        Case {
-            name: "figure2-strong",
-            program: kpt_core::figure2("~y /\\ x")
-                .expect("figure2 builds")
-                .program()
-                .clone(),
-            expected: &[],
-        },
-        Case {
-            name: "muddy-children-2",
-            program: kpt_core::muddy_children_n(2)
-                .expect("muddy children builds")
-                .program()
-                .clone(),
-            expected: &[],
-        },
-        Case {
-            name: "muddy-children-2-memory",
-            program: kpt_core::muddy_children_with_memory_n(2)
-                .expect("muddy children builds")
-                .program()
-                .clone(),
-            expected: &[],
-        },
-        Case {
-            name: "seqtrans-fig3-2x2",
-            program: figure3_kbp(&model)
-                .expect("figure 3 KBP builds")
-                .program()
-                .clone(),
-            expected: &[],
-        },
-        Case {
-            name: "seqtrans-std-2x2",
-            program: model.program().clone(),
-            expected: &[],
-        },
-        Case {
-            name: "bdd-escape",
-            program: escape_hatch_program(),
-            expected: &[],
-        },
-    ];
-    // The scenario zoo: textual `.kpt` models, each with its lint verdict
-    // baked in next to the source (see `kpt_core::zoo`).
-    for e in kpt_core::zoo().expect("zoo sources parse") {
-        cases.push(Case {
-            name: e.name,
-            program: e.kbp.program().clone(),
-            expected: e.expected_lint,
-        });
-    }
-    cases
-}
-
-/// The 159-free-state instance from the symbolic-backend report: too large
-/// for the exhaustive solver's subset mask, routine for the BDD engine —
-/// and for the linter, whose symbolic pass runs on exactly this scale.
-fn escape_hatch_program() -> Program {
-    use kpt_state::StateSpace;
-    use kpt_unity::Statement;
-    let space = StateSpace::builder()
-        .nat_var("i", 80)
-        .unwrap()
-        .bool_var("done")
-        .unwrap()
-        .build()
-        .unwrap();
-    Program::builder("bdd-escape", &space)
-        .init_str("i = 0 && !done")
-        .unwrap()
-        .process("P", ["i"])
-        .unwrap()
-        .statement(
-            Statement::new("inc")
-                .guard_str("i < 79")
-                .unwrap()
-                .assign_str("i", "i + 1")
-                .unwrap(),
-        )
-        .statement(
-            Statement::new("finish")
-                .guard_str("K{P}(i >= 40)")
-                .unwrap()
-                .assign_str("done", "1")
-                .unwrap(),
-        )
-        .build()
-        .unwrap()
-}
-
-fn print_human(case: &Case, report: &LintReport, ok: bool) {
+fn print_human(case: &RegistryCase, report: &LintReport, expected: &[&str], ok: bool) {
     let verdict = if ok { "ok" } else { "UNEXPECTED" };
     println!(
         "== {} ({} finding{}, {}) ==",
@@ -159,11 +56,21 @@ fn print_human(case: &Case, report: &LintReport, ok: bool) {
     if report.diagnostics.is_empty() {
         println!("   clean");
     }
-    for d in &report.diagnostics {
-        println!("   {d}");
+    match &case.source {
+        // Source-backed cases point carets at the offending text.
+        Some(src) if report.diagnostics.iter().any(|d| d.span.is_some()) => {
+            for line in report.render_source(src).lines() {
+                println!("   {line}");
+            }
+        }
+        _ => {
+            for d in &report.diagnostics {
+                println!("   {d}");
+            }
+        }
     }
     if !ok {
-        println!("   expected codes: {:?}", case.expected);
+        println!("   expected codes: {expected:?}");
     }
 }
 
@@ -174,9 +81,14 @@ fn is_file_arg(arg: &str) -> bool {
 
 /// Lint one on-disk `.kpt` file through the shared [`lint_source`] entry
 /// point. Returns the report (when the source elaborates) and whether the
-/// file passes: parse failures and error-severity findings fail, warnings
-/// pass.
-fn lint_file(path: &str, options: &LintOptions, json: bool) -> (Option<LintReport>, bool) {
+/// file passes: parse failures, error-severity findings, and denied codes
+/// fail; other warnings pass.
+fn lint_file(
+    path: &str,
+    options: &LintOptions,
+    filter: &CodeFilter,
+    json: bool,
+) -> (Option<LintReport>, bool) {
     let src = match std::fs::read_to_string(path) {
         Ok(src) => src,
         Err(e) => {
@@ -185,8 +97,9 @@ fn lint_file(path: &str, options: &LintOptions, json: bool) -> (Option<LintRepor
         }
     };
     match lint_source(&src, options) {
-        Ok(report) => {
-            let ok = report.error_count() == 0;
+        Ok(mut report) => {
+            filter.apply(&mut report);
+            let ok = report.error_count() == 0 && !filter.denied(&report);
             if !json {
                 println!(
                     "== {path} ({} finding{}, {}) ==",
@@ -201,8 +114,10 @@ fn lint_file(path: &str, options: &LintOptions, json: bool) -> (Option<LintRepor
                 if report.diagnostics.is_empty() {
                     println!("   clean");
                 }
-                for d in &report.diagnostics {
-                    println!("   {d}");
+                // Every lint_source diagnostic carries a span; point the
+                // caret at the construct instead of echoing the name.
+                for line in report.render_source(&src).lines() {
+                    println!("   {line}");
                 }
             }
             (Some(report), ok)
@@ -215,25 +130,92 @@ fn lint_file(path: &str, options: &LintOptions, json: bool) -> (Option<LintRepor
     }
 }
 
-fn main() -> ExitCode {
-    let mut json = false;
-    let mut options = LintOptions::default();
-    let mut names: Vec<String> = Vec::new();
-    let mut files: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--no-symbolic" => options.symbolic = false,
-            "--help" | "-h" => {
-                println!("usage: kpt_lint [--json] [--no-symbolic] [NAME | FILE.kpt ...]");
-                return ExitCode::SUCCESS;
+/// The `--deny`/`--allow` code lists.
+#[derive(Default)]
+struct CodeFilter {
+    deny: Vec<DiagnosticCode>,
+    allow: Vec<DiagnosticCode>,
+}
+
+impl CodeFilter {
+    fn parse_into(list: &mut Vec<DiagnosticCode>, arg: &str) -> Result<(), String> {
+        for code in arg.split(',').filter(|c| !c.is_empty()) {
+            match DiagnosticCode::from_code(code) {
+                Some(c) => list.push(c),
+                None => return Err(format!("unknown diagnostic code `{code}`")),
             }
-            other if is_file_arg(other) => files.push(other.to_owned()),
-            other => names.push(other.to_owned()),
+        }
+        Ok(())
+    }
+
+    /// Drop allowed codes from the report.
+    fn apply(&self, report: &mut LintReport) {
+        if !self.allow.is_empty() {
+            report.diagnostics.retain(|d| !self.allow.contains(&d.code));
         }
     }
 
-    let cases: Vec<Case> = if names.is_empty() && !files.is_empty() {
+    /// Whether the report carries a denied code.
+    fn denied(&self, report: &LintReport) -> bool {
+        report
+            .diagnostics
+            .iter()
+            .any(|d| self.deny.contains(&d.code))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut options = LintOptions::default();
+    let mut filter = CodeFilter::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag_value = |flag: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--no-symbolic" => {
+                options.symbolic = false;
+                Ok(())
+            }
+            "--depth" => flag_value("--depth")
+                .and_then(|v| v.parse::<Depth>())
+                .map(|d| options = LintOptions::up_to(d)),
+            "--deny" => {
+                flag_value("--deny").and_then(|v| CodeFilter::parse_into(&mut filter.deny, &v))
+            }
+            "--allow" => {
+                flag_value("--allow").and_then(|v| CodeFilter::parse_into(&mut filter.allow, &v))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: kpt_lint [--json] [--depth decl|view|dataflow|symbolic] \
+                     [--deny CODE,..] [--allow CODE,..] [--no-symbolic] [NAME | FILE.kpt ...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if is_file_arg(other) => {
+                files.push(other.to_owned());
+                Ok(())
+            }
+            other => {
+                names.push(other.to_owned());
+                Ok(())
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("kpt_lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let cases: Vec<RegistryCase> = if names.is_empty() && !files.is_empty() {
         Vec::new()
     } else {
         registry()
@@ -249,27 +231,36 @@ fn main() -> ExitCode {
     let mut all_ok = true;
     let mut reports = Vec::new();
     for path in &files {
-        let (report, ok) = lint_file(path, &options, json);
+        let (report, ok) = lint_file(path, &options, &filter, json);
         all_ok &= ok;
         if let Some(report) = report {
             reports.push(report);
         }
     }
-    for case in &cases {
-        let report = lint_program_with(&case.program, &options);
+    for (case, mut report) in cases.iter().zip(lint_registry(&cases, &options)) {
+        filter.apply(&mut report);
         let codes: Vec<&str> = report.codes().iter().map(|c| c.code()).collect();
-        // Without the symbolic pass the symbolic-only expectations (KPT007
-        // onwards) cannot fire; don't hold the run to them.
+        // An expected code is only held against the run when the pass
+        // that produces it actually ran under the selected depth.
         let expected: Vec<&str> = case
             .expected
             .iter()
             .copied()
-            .filter(|c| report.symbolic_ran || *c < "KPT007")
+            .filter(|c| {
+                if filter.allow.iter().any(|a| a.code() == *c) {
+                    return false;
+                }
+                match DiagnosticCode::from_code(c).map(DiagnosticCode::depth) {
+                    Some(Depth::Symbolic) => report.symbolic_ran,
+                    Some(Depth::Dataflow) => report.dataflow_ran,
+                    _ => true,
+                }
+            })
             .collect();
-        let ok = codes == expected;
+        let ok = codes == expected && !filter.denied(&report);
         all_ok &= ok;
         if !json {
-            print_human(case, &report, ok);
+            print_human(case, &report, &expected, ok);
         }
         reports.push(report);
     }

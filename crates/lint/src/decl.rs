@@ -8,7 +8,7 @@ use kpt_state::{witness_state, StateSpace};
 use kpt_unity::{Guard, Program, Statement};
 
 use crate::erase::guard_over_approx;
-use crate::{Diagnostic, DiagnosticCode};
+use crate::{Anchor, Diagnostic, DiagnosticCode};
 
 /// Semantic range scanning is skipped above this many states — the
 /// declaration pass must stay cheap on the symbolic-scale instances.
@@ -21,11 +21,14 @@ pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
     // KPT004: empty init means SI = sst.init = ff — every invariant and
     // every knowledge fact holds vacuously.
     if program.init().is_false() {
-        diags.push(Diagnostic::program_level(
-            DiagnosticCode::EmptyInit,
-            "initial condition is unsatisfiable: SI is empty and every \
-             property holds vacuously",
-        ));
+        diags.push(
+            Diagnostic::program_level(
+                DiagnosticCode::EmptyInit,
+                "initial condition is unsatisfiable: SI is empty and every \
+                 property holds vacuously",
+            )
+            .anchored(Anchor::Init),
+        );
     }
 
     let mut seen_names: BTreeSet<&str> = BTreeSet::new();
@@ -72,15 +75,18 @@ fn check_identifiers(
 ) -> bool {
     let before = diags.len();
     if let Guard::Formula(f) = stmt.guard() {
-        check_formula(space, stmt.params(), f, stmt, "guard", diags);
+        check_formula(space, stmt.params(), f, stmt, "guard", Anchor::Guard, diags);
     }
-    for (target, rhs) in stmt.assignments() {
+    for (idx, (target, rhs)) in stmt.assignments().iter().enumerate() {
         if space.var(target).is_err() {
-            diags.push(Diagnostic::on_statement(
-                DiagnosticCode::UnknownIdentifier,
-                stmt.name(),
-                format!("assignment target `{target}` is not a variable of the state space"),
-            ));
+            diags.push(
+                Diagnostic::on_statement(
+                    DiagnosticCode::UnknownIdentifier,
+                    stmt.name(),
+                    format!("assignment target `{target}` is not a variable of the state space"),
+                )
+                .anchored(Anchor::Assign(idx)),
+            );
             continue;
         }
         // Mirror the compiler: a bare identifier RHS may be a parameter, a
@@ -94,10 +100,22 @@ fn check_identifiers(
                 || space.var(name).is_ok()
                 || space.domain(target_var).label_code(name).is_some();
             if !ok {
-                report_unknown(diags, stmt, name, &format!("assignment to `{target}`"));
+                report_unknown(
+                    diags,
+                    stmt,
+                    name,
+                    &format!("assignment to `{target}`"),
+                    Anchor::Assign(idx),
+                );
             }
         } else if let Some(name) = first_unresolved(space, stmt.params(), rhs) {
-            report_unknown(diags, stmt, &name, &format!("assignment to `{target}`"));
+            report_unknown(
+                diags,
+                stmt,
+                &name,
+                &format!("assignment to `{target}`"),
+                Anchor::Assign(idx),
+            );
         }
     }
     diags.len() > before
@@ -106,19 +124,28 @@ fn check_identifiers(
             .any(|d| d.code == DiagnosticCode::UnknownIdentifier)
 }
 
-fn report_unknown(diags: &mut Vec<Diagnostic>, stmt: &Statement, name: &str, context: &str) {
+fn report_unknown(
+    diags: &mut Vec<Diagnostic>,
+    stmt: &Statement,
+    name: &str,
+    context: &str,
+    anchor: Anchor,
+) {
     // The message leads with the evaluator's exact phrase (and witness
     // identifier) so a lint finding and the runtime `EvalError` for the
     // same program name the same culprit the same way.
-    diags.push(Diagnostic::on_statement(
-        DiagnosticCode::UnknownIdentifier,
-        stmt.name(),
-        format!(
-            "{} in the {context}: neither a state-space variable, a \
-             parameter, nor a resolvable enum label",
-            EvalError::unknown_identifier_message(name)
-        ),
-    ));
+    diags.push(
+        Diagnostic::on_statement(
+            DiagnosticCode::UnknownIdentifier,
+            stmt.name(),
+            format!(
+                "{} in the {context}: neither a state-space variable, a \
+                 parameter, nor a resolvable enum label",
+                EvalError::unknown_identifier_message(name)
+            ),
+        )
+        .anchored(anchor),
+    );
 }
 
 /// How one side of a comparison resolves (mirrors the evaluator).
@@ -182,13 +209,14 @@ fn check_formula(
     f: &Formula,
     stmt: &Statement,
     context: &str,
+    anchor: Anchor,
     diags: &mut Vec<Diagnostic>,
 ) {
     match f {
         Formula::Const(_) => {}
         Formula::BoolVar(name) => {
             if !params.contains_key(name) && space.var(name).is_err() {
-                report_unknown(diags, stmt, name, context);
+                report_unknown(diags, stmt, name, context, anchor);
             }
         }
         Formula::Cmp(_, lhs, rhs) => {
@@ -198,41 +226,47 @@ fn check_formula(
                 (Side::Resolved, Side::Resolved) => {}
                 (Side::BareUnknown(n), Side::Resolved) => {
                     if !peer_resolves_label(space, params, rhs, &n) {
-                        report_unknown(diags, stmt, &n, context);
+                        report_unknown(diags, stmt, &n, context, anchor);
                     }
                 }
                 (Side::Resolved, Side::BareUnknown(n)) => {
                     if !peer_resolves_label(space, params, lhs, &n) {
-                        report_unknown(diags, stmt, &n, context);
+                        report_unknown(diags, stmt, &n, context, anchor);
                     }
                 }
                 // Like the evaluator, exactly the leftmost unresolved
                 // identifier is reported (lhs side first).
                 (Side::BareUnknown(n) | Side::Unknown(n), _) => {
-                    report_unknown(diags, stmt, &n, context);
+                    report_unknown(diags, stmt, &n, context, anchor);
                 }
                 (Side::Resolved, Side::Unknown(n)) => {
-                    report_unknown(diags, stmt, &n, context);
+                    report_unknown(diags, stmt, &n, context, anchor);
                 }
             }
         }
-        Formula::Not(g) => check_formula(space, params, g, stmt, context, diags),
+        Formula::Not(g) => check_formula(space, params, g, stmt, context, anchor, diags),
         Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
-            check_formula(space, params, a, stmt, context, diags);
-            check_formula(space, params, b, stmt, context, diags);
+            check_formula(space, params, a, stmt, context, anchor, diags);
+            check_formula(space, params, b, stmt, context, anchor, diags);
         }
         Formula::Forall(name, body) | Formula::Exists(name, body) => {
             // The evaluator quantifies over the named *program variable*'s
             // domain, so the binder itself must name a variable.
             if space.var(name).is_err() {
-                report_unknown(diags, stmt, name, &format!("{context} (quantifier binder)"));
+                report_unknown(
+                    diags,
+                    stmt,
+                    name,
+                    &format!("{context} (quantifier binder)"),
+                    anchor,
+                );
             }
-            check_formula(space, params, body, stmt, context, diags);
+            check_formula(space, params, body, stmt, context, anchor, diags);
         }
         Formula::Knows(_, body) => {
             // Process existence is the view pass's KPT006; the body is
             // ordinary syntax.
-            check_formula(space, params, body, stmt, context, diags);
+            check_formula(space, params, body, stmt, context, anchor, diags);
         }
     }
 }
@@ -248,7 +282,7 @@ fn check_update_ranges(space: &Arc<StateSpace>, stmt: &Statement, diags: &mut Ve
     let Some(enabled) = guard_over_approx(space, stmt) else {
         return;
     };
-    for (target, rhs) in stmt.assignments() {
+    for (idx, (target, rhs)) in stmt.assignments().iter().enumerate() {
         let Ok(var) = space.var(target) else { continue };
         let dom = space.domain(var).clone();
         for state in enabled.iter() {
@@ -265,6 +299,7 @@ fn check_update_ranges(space: &Arc<StateSpace>, stmt: &Statement, diags: &mut Ve
                             dom.size()
                         ),
                     )
+                    .anchored(Anchor::Assign(idx))
                     .with_witnesses(vec![witness_state(space, state)]),
                 );
                 break;

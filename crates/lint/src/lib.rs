@@ -6,7 +6,7 @@
 //! circularity (a knowledge guard whose consequences rewrite the very fact
 //! it tests, so the fixpoint equation may have **no solution**).
 //!
-//! Three depths of checks, each a module:
+//! Four depths of checks, each a module:
 //!
 //! 1. [`decl`] — declaration-level: identifiers missing from the state
 //!    space, updates that can write outside a variable's domain, duplicate
@@ -15,7 +15,14 @@
 //!    *objective* guard atoms or update right-hand sides read variables
 //!    outside process `i`'s view (the "acts on what it cannot know" class),
 //!    plus undeclared processes in knowledge atoms.
-//! 3. [`symbolic`] — semantic checks through the `kpt-bdd` backend against
+//! 3. [`dataflow`] — abstract interpretation without the BDD engine:
+//!    interval analysis proving guards constant-false (`KPT010`, an
+//!    over-approximation of the symbolic `KPT007` verdict), a
+//!    knowledge-guard dependency graph with SCC detection (`KPT011`, the
+//!    syntactic Figure-1 circularity in `O(statements)`), and
+//!    unimplementable-knowledge flow (`KPT012`, a `K{i}` guard over
+//!    variables outside `V_i`'s reachable information).
+//! 4. [`symbolic`] — semantic checks through the `kpt-bdd` backend against
 //!    the strongest invariant of the *knowledge-erased* over-approximation:
 //!    guards unsatisfiable under `SI` (dead code), write-write races on
 //!    overlapping guards, and the eq.-25 knowledge-circularity analysis.
@@ -24,27 +31,38 @@
 //! positive `K{i}(φ)` by `φ` and a negative one by `ff` only *weakens*
 //! guards, so the erased program's `SI` contains the `SI` of every solution
 //! of the KBP — a statement dead under the erased `SI` is dead under every
-//! solution.
+//! solution. The dataflow interval box in turn contains the erased `SI`
+//! (it starts from the init states and closes under every guard that is
+//! not definitely false), so `KPT010 ⊑ KPT007`: whenever the interval pass
+//! declares a guard dead, the symbolic pass agrees.
 //!
 //! Every diagnostic carries a stable code (`KPT001`…), a severity, the
 //! offending statement, and — where a concrete state demonstrates the
-//! problem — witness states. [`LintReport::to_json`] emits a
-//! machine-readable form for CI; the `kpt_lint` bin runs the pass over
-//! every in-tree model.
+//! problem — witness states. Diagnostics produced through [`lint_source`]
+//! additionally carry the byte [`Span`](kpt_logic::Span) of the offending
+//! construct (guard, assignment, init conjunct) in the original `.kpt`
+//! text, resolved through the [`kpt_unity::SourceMap`];
+//! [`LintReport::render_source`] turns them into caret diagnostics.
+//! [`LintReport::to_json`] emits a machine-readable form for CI; the
+//! `kpt_lint` bin runs the pass over every in-tree model.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::str::FromStr;
 
 use kpt_core::Kbp;
 use kpt_obs::WitnessState;
-use kpt_unity::Program;
+use kpt_unity::{Program, SourceMap};
 
+mod dataflow;
 mod decl;
 mod erase;
+mod registry;
 mod symbolic;
 mod view;
 
 pub use erase::{erase_knowledge, erased_program};
+pub use registry::{lint_registry, lint_registry_with_threads, registry, RegistryCase};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -98,9 +116,44 @@ pub enum DiagnosticCode {
     /// updates that establish/destroy `φ` itself, so the eq. (25) fixpoint
     /// may have no solution.
     KnowledgeCircularity,
+    /// `KPT010` — interval abstract interpretation proves the guard
+    /// constant-false over every reachable value box: dead code, shown
+    /// without touching the BDD engine (always implies `KPT007`).
+    IntervalDeadGuard,
+    /// `KPT011` — the statement's knowledge guard sits on a cyclic
+    /// strongly-connected component of the read/write dependency graph
+    /// that rewrites the guard's subject — the syntactic Figure-1
+    /// circularity, found in `O(statements)`.
+    KnowledgeDependencyCycle,
+    /// `KPT012` — a `K{i}` guard whose body depends on variables outside
+    /// process `i`'s reachable information (its view closed under the
+    /// program's dataflow and init correlations): no implementation of
+    /// process `i` can ever establish that knowledge.
+    UnimplementableKnowledge,
 }
 
 impl DiagnosticCode {
+    /// Every code the linter can produce, in `KPTnnn` order.
+    pub const ALL: [DiagnosticCode; 12] = [
+        DiagnosticCode::UnknownIdentifier,
+        DiagnosticCode::UpdateOutOfRange,
+        DiagnosticCode::ShadowedName,
+        DiagnosticCode::EmptyInit,
+        DiagnosticCode::ViewViolation,
+        DiagnosticCode::UnknownProcess,
+        DiagnosticCode::DeadGuard,
+        DiagnosticCode::WriteRace,
+        DiagnosticCode::KnowledgeCircularity,
+        DiagnosticCode::IntervalDeadGuard,
+        DiagnosticCode::KnowledgeDependencyCycle,
+        DiagnosticCode::UnimplementableKnowledge,
+    ];
+
+    /// Parse a `KPTnnn` code string (the CLI's `--deny`/`--allow` input).
+    pub fn from_code(code: &str) -> Option<DiagnosticCode> {
+        DiagnosticCode::ALL.into_iter().find(|c| c.code() == code)
+    }
+
     /// The stable `KPTnnn` code string.
     pub fn code(self) -> &'static str {
         match self {
@@ -113,6 +166,26 @@ impl DiagnosticCode {
             DiagnosticCode::DeadGuard => "KPT007",
             DiagnosticCode::WriteRace => "KPT008",
             DiagnosticCode::KnowledgeCircularity => "KPT009",
+            DiagnosticCode::IntervalDeadGuard => "KPT010",
+            DiagnosticCode::KnowledgeDependencyCycle => "KPT011",
+            DiagnosticCode::UnimplementableKnowledge => "KPT012",
+        }
+    }
+
+    /// The shallowest [`Depth`] whose pass can produce this code.
+    pub fn depth(self) -> Depth {
+        match self {
+            DiagnosticCode::UnknownIdentifier
+            | DiagnosticCode::UpdateOutOfRange
+            | DiagnosticCode::ShadowedName
+            | DiagnosticCode::EmptyInit => Depth::Decl,
+            DiagnosticCode::ViewViolation | DiagnosticCode::UnknownProcess => Depth::View,
+            DiagnosticCode::IntervalDeadGuard
+            | DiagnosticCode::KnowledgeDependencyCycle
+            | DiagnosticCode::UnimplementableKnowledge => Depth::Dataflow,
+            DiagnosticCode::DeadGuard
+            | DiagnosticCode::WriteRace
+            | DiagnosticCode::KnowledgeCircularity => Depth::Symbolic,
         }
     }
 
@@ -127,7 +200,10 @@ impl DiagnosticCode {
             DiagnosticCode::ShadowedName
             | DiagnosticCode::DeadGuard
             | DiagnosticCode::WriteRace
-            | DiagnosticCode::KnowledgeCircularity => Severity::Warning,
+            | DiagnosticCode::KnowledgeCircularity
+            | DiagnosticCode::IntervalDeadGuard
+            | DiagnosticCode::KnowledgeDependencyCycle
+            | DiagnosticCode::UnimplementableKnowledge => Severity::Warning,
         }
     }
 
@@ -143,6 +219,9 @@ impl DiagnosticCode {
             DiagnosticCode::DeadGuard => "eq. (2) (dead under SI)",
             DiagnosticCode::WriteRace => "§2 (UNITY interleaving)",
             DiagnosticCode::KnowledgeCircularity => "eq. (25), Figure 1",
+            DiagnosticCode::IntervalDeadGuard => "eq. (2) (dead under SI), eq. (14)",
+            DiagnosticCode::KnowledgeDependencyCycle => "eq. (25), Figure 1 (syntactic)",
+            DiagnosticCode::UnimplementableKnowledge => "§3 (views), eq. (13)",
         }
     }
 }
@@ -153,6 +232,24 @@ impl fmt::Display for DiagnosticCode {
     }
 }
 
+/// Which source construct a diagnostic points at. Anchors are set by the
+/// passes (which work on the elaborated [`Program`], spans unknown) and
+/// resolved to byte [`Span`](kpt_logic::Span)s through the
+/// [`kpt_unity::SourceMap`] when linting `.kpt` text via [`lint_source`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// The `program` header.
+    Program,
+    /// The init formula.
+    Init,
+    /// The whole anchored statement.
+    Statement,
+    /// The anchored statement's guard formula.
+    Guard,
+    /// The anchored statement's `n`-th assignment (`var := expr`).
+    Assign(usize),
+}
+
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
@@ -160,6 +257,12 @@ pub struct Diagnostic {
     pub code: DiagnosticCode,
     /// The statement the finding is anchored to, if any.
     pub statement: Option<String>,
+    /// Which construct of the program (or of [`Self::statement`]) the
+    /// finding points at.
+    pub anchor: Anchor,
+    /// The byte span of the anchored construct in the original `.kpt`
+    /// source — `Some` only for reports produced via [`lint_source`].
+    pub span: Option<kpt_logic::Span>,
     /// Human-readable description of the defect.
     pub message: String,
     /// Concrete states demonstrating the problem (empty for purely
@@ -173,6 +276,8 @@ impl Diagnostic {
         Diagnostic {
             code,
             statement: None,
+            anchor: Anchor::Program,
+            span: None,
             message: message.into(),
             witnesses: Vec::new(),
         }
@@ -187,9 +292,27 @@ impl Diagnostic {
         Diagnostic {
             code,
             statement: Some(statement.into()),
+            anchor: Anchor::Statement,
+            span: None,
             message: message.into(),
             witnesses: Vec::new(),
         }
+    }
+
+    /// A finding anchored to a statement's guard formula.
+    pub fn on_guard(
+        code: DiagnosticCode,
+        statement: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic::on_statement(code, statement, message).anchored(Anchor::Guard)
+    }
+
+    /// Re-anchor the finding at a finer construct.
+    #[must_use]
+    pub fn anchored(mut self, anchor: Anchor) -> Self {
+        self.anchor = anchor;
+        self
     }
 
     /// Attach witness states.
@@ -219,17 +342,94 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Which passes to run.
+/// The four analysis depths, shallow to deep. Mostly useful through
+/// [`LintOptions::up_to`] and the CLI's `--depth` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Depth {
+    /// Declaration-level syntax checks (KPT001-KPT004).
+    Decl,
+    /// View-soundness checks (KPT005-KPT006).
+    View,
+    /// BDD-free abstract interpretation (KPT010-KPT012).
+    Dataflow,
+    /// Symbolic checks against the erased `SI` (KPT007-KPT009).
+    Symbolic,
+}
+
+impl FromStr for Depth {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "decl" => Ok(Depth::Decl),
+            "view" => Ok(Depth::View),
+            "dataflow" => Ok(Depth::Dataflow),
+            "symbolic" | "full" => Ok(Depth::Symbolic),
+            other => Err(format!(
+                "unknown depth `{other}` (expected decl, view, dataflow, or symbolic)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Depth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Depth::Decl => write!(f, "decl"),
+            Depth::View => write!(f, "view"),
+            Depth::Dataflow => write!(f, "dataflow"),
+            Depth::Symbolic => write!(f, "symbolic"),
+        }
+    }
+}
+
+/// Which passes to run. Each depth toggles independently; the dataflow and
+/// symbolic passes additionally require that the shallower passes found no
+/// errors (a malformed program has no meaningful semantics to analyse).
 #[derive(Debug, Clone, Copy)]
 pub struct LintOptions {
-    /// Run the depth-3 symbolic checks (KPT007-KPT009). The declaration
-    /// and view passes always run.
+    /// Run the declaration-level checks (KPT001-KPT004).
+    pub decl: bool,
+    /// Run the view-soundness checks (KPT005-KPT006).
+    pub view: bool,
+    /// Run the dataflow checks (KPT010-KPT012).
+    pub dataflow: bool,
+    /// Run the symbolic checks (KPT007-KPT009).
     pub symbolic: bool,
+    /// Live-node budget for the symbolic pass's fixpoint. When the budget
+    /// trips, the symbolic findings are skipped (`symbolic_ran` stays
+    /// `false`) instead of letting the BDD engine grow without bound —
+    /// the fuzz campaign's setting.
+    pub symbolic_node_budget: Option<usize>,
 }
 
 impl Default for LintOptions {
     fn default() -> Self {
-        LintOptions { symbolic: true }
+        LintOptions {
+            decl: true,
+            view: true,
+            dataflow: true,
+            symbolic: true,
+            symbolic_node_budget: None,
+        }
+    }
+}
+
+impl LintOptions {
+    /// The cheap subset: declaration and view checks only.
+    pub fn fast() -> Self {
+        LintOptions::up_to(Depth::View)
+    }
+
+    /// Every pass at `depth` or shallower.
+    pub fn up_to(depth: Depth) -> Self {
+        LintOptions {
+            decl: true,
+            view: depth >= Depth::View,
+            dataflow: depth >= Depth::Dataflow,
+            symbolic: depth >= Depth::Symbolic,
+            symbolic_node_budget: None,
+        }
     }
 }
 
@@ -238,10 +438,14 @@ impl Default for LintOptions {
 pub struct LintReport {
     /// The program's name.
     pub program: String,
-    /// All findings, in pass order (decl, view, symbolic).
+    /// All findings, in pass order (decl, view, dataflow, symbolic).
     pub diagnostics: Vec<Diagnostic>,
+    /// Whether the dataflow pass ran (skipped when the shallower passes
+    /// report errors, or when disabled).
+    pub dataflow_ran: bool,
     /// Whether the symbolic pass ran (it is skipped when the declaration
-    /// pass already found errors — the erased program would not compile).
+    /// pass already found errors — the erased program would not compile —
+    /// or its node budget tripped).
     pub symbolic_ran: bool,
 }
 
@@ -286,6 +490,8 @@ impl LintReport {
         json_string(&mut out, &self.program);
         out.push_str(",\"clean\":");
         out.push_str(if self.is_clean() { "true" } else { "false" });
+        out.push_str(",\"dataflow_ran\":");
+        out.push_str(if self.dataflow_ran { "true" } else { "false" });
         out.push_str(",\"symbolic_ran\":");
         out.push_str(if self.symbolic_ran { "true" } else { "false" });
         out.push_str(",\"diagnostics\":[");
@@ -302,6 +508,13 @@ impl LintReport {
                 Some(s) => json_string(&mut out, s),
                 None => out.push_str("null"),
             }
+            out.push_str(",\"span\":");
+            match d.span {
+                Some(s) => {
+                    out.push_str(&format!("{{\"start\":{},\"len\":{}}}", s.start, s.len));
+                }
+                None => out.push_str("null"),
+            }
             out.push_str(",\"message\":");
             json_string(&mut out, &d.message);
             out.push_str(",\"paper_ref\":");
@@ -316,6 +529,37 @@ impl LintReport {
             out.push_str("]}");
         }
         out.push_str("]}");
+        out
+    }
+
+    /// Render every finding as a caret diagnostic against the `.kpt`
+    /// source it was produced from (via [`lint_source`] — findings without
+    /// a span fall back to their plain [`Display`](fmt::Display) form).
+    pub fn render_source(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            match d.span {
+                Some(s) => {
+                    let header = match &d.statement {
+                        Some(name) => {
+                            format!(
+                                "{} [{}] statement `{name}`: {}",
+                                d.severity(),
+                                d.code,
+                                d.message
+                            )
+                        }
+                        None => format!("{} [{}]: {}", d.severity(), d.code, d.message),
+                    };
+                    out.push_str(&kpt_logic::render_span(src, s.start, s.len, &header));
+                }
+                None => out.push_str(&d.to_string()),
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -368,30 +612,36 @@ pub fn lint_program(program: &Program) -> LintReport {
 
 /// Lint a program.
 ///
-/// The declaration and view passes are purely syntactic. The symbolic pass
-/// computes the strongest invariant of the knowledge-erased
-/// over-approximation through `kpt-bdd` and is skipped (with
-/// `symbolic_ran = false`) when the earlier passes report errors — the
-/// erased program would not compile — or when `options.symbolic` is off.
+/// The declaration and view passes are purely syntactic. The dataflow pass
+/// runs BDD-free abstract interpretation; the symbolic pass computes the
+/// strongest invariant of the knowledge-erased over-approximation through
+/// `kpt-bdd`. Both deeper passes are skipped (with `dataflow_ran` /
+/// `symbolic_ran` false) when the earlier passes report errors — the
+/// erased program would not compile — or when disabled in `options`.
 pub fn lint_program_with(program: &Program, options: &LintOptions) -> LintReport {
     let mut span = kpt_obs::span("lint.program");
     kpt_obs::counter!("lint.runs").incr();
     let mut diagnostics = Vec::new();
-    {
+    if options.decl {
         let _pass = kpt_obs::span("lint.pass.decl");
         decl::check(program, &mut diagnostics);
     }
-    {
+    if options.view {
         let _pass = kpt_obs::span("lint.pass.view");
         view::check(program, &mut diagnostics);
     }
     let errors_so_far = diagnostics
         .iter()
         .any(|d: &Diagnostic| d.severity() == Severity::Error);
-    let symbolic_ran = options.symbolic && !errors_so_far;
+    let dataflow_ran = options.dataflow && !errors_so_far;
+    if dataflow_ran {
+        let _pass = kpt_obs::span("lint.pass.dataflow");
+        dataflow::check(program, &mut diagnostics);
+    }
+    let mut symbolic_ran = options.symbolic && !errors_so_far;
     if symbolic_ran {
         let _pass = kpt_obs::span("lint.pass.symbolic");
-        symbolic::check(program, &mut diagnostics);
+        symbolic_ran = symbolic::check(program, options.symbolic_node_budget, &mut diagnostics);
     }
     kpt_obs::counter!("lint.findings").add(diagnostics.len() as u64);
     span.field("program", program.name())
@@ -399,6 +649,7 @@ pub fn lint_program_with(program: &Program, options: &LintOptions) -> LintReport
     LintReport {
         program: program.name().to_owned(),
         diagnostics,
+        dataflow_ran,
         symbolic_ran,
     }
 }
@@ -409,17 +660,39 @@ pub fn lint_kbp(kbp: &Kbp) -> LintReport {
 }
 
 /// Parse a textual `.kpt` source and lint the elaborated program — the
-/// one entry point shared by the `kpt_lint` CLI's file mode and
-/// kpt-server's `lint` request. Parse/elaboration failures come back as a
-/// spanned [`kpt_unity::UnityError`] (render caret diagnostics against
-/// the source with [`kpt_unity::UnityError::render`]); a program that
-/// elaborates is linted with [`lint_program_with`].
+/// one entry point shared by the `kpt_lint` CLI's file mode, kpt-server's
+/// `lint` request, and the fuzz campaign's lint leg. Parse/elaboration
+/// failures come back as a spanned [`kpt_unity::UnityError`] (render caret
+/// diagnostics against the source with [`kpt_unity::UnityError::render`]);
+/// a program that elaborates is linted with [`lint_program_with`] and
+/// every diagnostic's [`Anchor`] is resolved to a byte span through the
+/// [`kpt_unity::SourceMap`], ready for [`LintReport::render_source`].
 ///
 /// # Errors
 /// The frontend's [`kpt_unity::UnityError`] on malformed sources.
 pub fn lint_source(src: &str, options: &LintOptions) -> Result<LintReport, kpt_unity::UnityError> {
-    let (_, program) = kpt_unity::parse_program(src)?;
-    Ok(lint_program_with(&program, options))
+    let (_, program, map) = kpt_unity::parse_program_mapped(src)?;
+    let mut report = lint_program_with(&program, options);
+    resolve_spans(&mut report, &map);
+    Ok(report)
+}
+
+/// Resolve every diagnostic's [`Anchor`] against the source map. Anchors
+/// that point at a construct the statement does not have (a guard-anchored
+/// finding on a guardless statement, say) degrade to the statement span;
+/// statement-less findings degrade to the program header.
+fn resolve_spans(report: &mut LintReport, map: &SourceMap) {
+    for d in &mut report.diagnostics {
+        d.span = match (&d.statement, d.anchor) {
+            (_, Anchor::Init) => map.init.or(Some(map.program_name)),
+            (Some(name), anchor) => map.statement(name).map(|s| match anchor {
+                Anchor::Guard => s.guard.unwrap_or(s.span),
+                Anchor::Assign(i) => s.assigns.get(i).copied().unwrap_or(s.span),
+                _ => s.span,
+            }),
+            (None, _) => Some(map.program_name),
+        };
+    }
 }
 
 #[cfg(test)]
@@ -449,6 +722,7 @@ mod tests {
             .unwrap();
         let report = lint_program(&program);
         assert!(report.is_clean(), "unexpected findings: {report}");
+        assert!(report.dataflow_ran);
         assert!(report.symbolic_ran);
         let json = report.to_json();
         let v = kpt_obs::parse_json(&json).expect("report JSON parses");
@@ -482,17 +756,38 @@ mod tests {
             DeadGuard,
             WriteRace,
             KnowledgeCircularity,
+            IntervalDeadGuard,
+            KnowledgeDependencyCycle,
+            UnimplementableKnowledge,
         ];
         let codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         assert_eq!(
             codes,
             [
                 "KPT001", "KPT002", "KPT003", "KPT004", "KPT005", "KPT006", "KPT007", "KPT008",
-                "KPT009"
+                "KPT009", "KPT010", "KPT011", "KPT012"
             ]
         );
         for c in all {
             assert!(!c.paper_ref().is_empty());
         }
+    }
+
+    #[test]
+    fn every_code_maps_to_the_pass_that_produces_it() {
+        use DiagnosticCode::*;
+        assert_eq!(UnknownIdentifier.depth(), Depth::Decl);
+        assert_eq!(EmptyInit.depth(), Depth::Decl);
+        assert_eq!(ViewViolation.depth(), Depth::View);
+        assert_eq!(IntervalDeadGuard.depth(), Depth::Dataflow);
+        assert_eq!(KnowledgeDependencyCycle.depth(), Depth::Dataflow);
+        assert_eq!(UnimplementableKnowledge.depth(), Depth::Dataflow);
+        assert_eq!(DeadGuard.depth(), Depth::Symbolic);
+        assert_eq!(KnowledgeCircularity.depth(), Depth::Symbolic);
+        assert!(Depth::Decl < Depth::View);
+        assert!(Depth::View < Depth::Dataflow);
+        assert!(Depth::Dataflow < Depth::Symbolic);
+        assert_eq!("dataflow".parse::<Depth>().unwrap(), Depth::Dataflow);
+        assert_eq!("full".parse::<Depth>().unwrap(), Depth::Symbolic);
     }
 }

@@ -1,0 +1,239 @@
+//! The in-tree model registry and the parallel registry lint driver.
+//!
+//! Every model the repository ships — the paper figures, the muddy
+//! children, the kpt-seqtrans models, the BDD-scale escape hatch, and the
+//! textual scenario zoo — together with the exact diagnostic codes the
+//! linter is expected to produce for it. The `kpt_lint` CLI turns these
+//! expectations into its exit code and CI asserts them.
+//!
+//! [`lint_registry`] lints all cases over the kpt-testkit worker pool
+//! (`KPT_THREADS` controls the width); reports come back in registry
+//! order regardless of the thread count, and every pass is deterministic,
+//! so a parallel run is bit-identical to a serial one.
+
+use kpt_seqtrans::{figure3_kbp, ModelOptions, StandardModel};
+use kpt_unity::Program;
+
+use crate::{lint_program_with, lint_source, LintOptions, LintReport};
+
+/// One registry model and its expected lint verdict.
+pub struct RegistryCase {
+    /// Registry name (CLI selector).
+    pub name: &'static str,
+    /// The elaborated program.
+    pub program: Program,
+    /// The textual `.kpt` source, for models that have one (the zoo) —
+    /// these are linted through [`lint_source`], so their diagnostics
+    /// carry byte spans.
+    pub source: Option<String>,
+    /// The exact diagnostic codes this model is expected to produce at
+    /// full depth, sorted.
+    pub expected: &'static [&'static str],
+}
+
+/// All in-tree models with their expected verdicts.
+pub fn registry() -> Vec<RegistryCase> {
+    let model = StandardModel::build(2, 2, ModelOptions::default()).expect("standard model builds");
+    let mut cases = vec![
+        // Figure 1 is the paper's no-solution counterexample; the linter
+        // must flag its knowledge circularity — both the symbolic KPT009
+        // analysis and the syntactic KPT011 dependency cycle — and
+        // nothing else.
+        RegistryCase {
+            name: "figure1",
+            program: kpt_core::figure1()
+                .expect("figure1 builds")
+                .program()
+                .clone(),
+            source: None,
+            expected: &["KPT009", "KPT011"],
+        },
+        RegistryCase {
+            name: "figure2-weak",
+            program: kpt_core::figure2("~y")
+                .expect("figure2 builds")
+                .program()
+                .clone(),
+            source: None,
+            expected: &[],
+        },
+        RegistryCase {
+            name: "figure2-strong",
+            program: kpt_core::figure2("~y /\\ x")
+                .expect("figure2 builds")
+                .program()
+                .clone(),
+            source: None,
+            expected: &[],
+        },
+        RegistryCase {
+            name: "muddy-children-2",
+            program: kpt_core::muddy_children_n(2)
+                .expect("muddy children builds")
+                .program()
+                .clone(),
+            source: None,
+            expected: &[],
+        },
+        RegistryCase {
+            name: "muddy-children-2-memory",
+            program: kpt_core::muddy_children_with_memory_n(2)
+                .expect("muddy children builds")
+                .program()
+                .clone(),
+            source: None,
+            expected: &[],
+        },
+        RegistryCase {
+            name: "seqtrans-fig3-2x2",
+            program: figure3_kbp(&model)
+                .expect("figure 3 KBP builds")
+                .program()
+                .clone(),
+            source: None,
+            expected: &[],
+        },
+        RegistryCase {
+            name: "seqtrans-std-2x2",
+            program: model.program().clone(),
+            source: None,
+            expected: &[],
+        },
+        RegistryCase {
+            name: "bdd-escape",
+            program: escape_hatch_program(),
+            source: None,
+            expected: &[],
+        },
+    ];
+    // The scenario zoo: textual `.kpt` models, each with its lint verdict
+    // baked in next to the source (see `kpt_core::zoo`). Their sources
+    // ride along so registry lints produce spanned diagnostics.
+    for e in kpt_core::zoo().expect("zoo sources parse") {
+        cases.push(RegistryCase {
+            name: e.name,
+            program: e.kbp.program().clone(),
+            source: Some(e.source),
+            expected: e.expected_lint,
+        });
+    }
+    cases
+}
+
+/// The 159-free-state instance from the symbolic-backend report: too large
+/// for the exhaustive solver's subset mask, routine for the BDD engine —
+/// and for the linter, whose symbolic pass runs on exactly this scale.
+fn escape_hatch_program() -> Program {
+    use kpt_state::StateSpace;
+    use kpt_unity::Statement;
+    let space = StateSpace::builder()
+        .nat_var("i", 80)
+        .unwrap()
+        .bool_var("done")
+        .unwrap()
+        .build()
+        .unwrap();
+    Program::builder("bdd-escape", &space)
+        .init_str("i = 0 && !done")
+        .unwrap()
+        .process("P", ["i"])
+        .unwrap()
+        .statement(
+            Statement::new("inc")
+                .guard_str("i < 79")
+                .unwrap()
+                .assign_str("i", "i + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("finish")
+                .guard_str("K{P}(i >= 40)")
+                .unwrap()
+                .assign_str("done", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+/// Lint every case over the kpt-testkit pool (width from `KPT_THREADS`,
+/// defaulting to the core count). Reports are in registry order.
+pub fn lint_registry(cases: &[RegistryCase], options: &LintOptions) -> Vec<LintReport> {
+    kpt_testkit::pool::parallel_map(cases, |case| lint_case(case, options))
+}
+
+/// [`lint_registry`] with an explicit thread count (the determinism tests
+/// compare `threads = 1` against the default).
+pub fn lint_registry_with_threads(
+    threads: usize,
+    cases: &[RegistryCase],
+    options: &LintOptions,
+) -> Vec<LintReport> {
+    kpt_testkit::pool::parallel_map_with(threads, cases, |case| lint_case(case, options))
+}
+
+fn lint_case(case: &RegistryCase, options: &LintOptions) -> LintReport {
+    match &case.source {
+        Some(src) => lint_source(src, options).expect("registry sources elaborate"),
+        None => lint_program_with(&case.program, options),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_registry_lint_is_bit_identical_to_serial() {
+        let cases = registry();
+        let options = LintOptions::default();
+        let parallel = lint_registry(&cases, &options);
+        let serial = lint_registry_with_threads(1, &cases, &options);
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.to_json(), s.to_json(), "report for {} differs", p.program);
+        }
+    }
+
+    #[test]
+    fn registry_verdicts_hold_at_full_depth() {
+        let cases = registry();
+        let reports = lint_registry(&cases, &LintOptions::default());
+        for (case, report) in cases.iter().zip(&reports) {
+            let codes: Vec<&str> = report.codes().iter().map(|c| c.code()).collect();
+            assert_eq!(
+                codes, case.expected,
+                "{}: expected {:?}, got {report}",
+                case.name, case.expected
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_reports_both_circularity_codes() {
+        let cases = registry();
+        let fig1 = cases.iter().find(|c| c.name == "figure1").unwrap();
+        let report = lint_program_with(&fig1.program, &LintOptions::default());
+        assert!(report.has(crate::DiagnosticCode::KnowledgeCircularity));
+        assert!(report.has(crate::DiagnosticCode::KnowledgeDependencyCycle));
+    }
+
+    #[test]
+    fn zoo_cases_carry_source_spans() {
+        let cases = registry();
+        let reports = lint_registry(&cases, &LintOptions::default());
+        for (case, report) in cases.iter().zip(&reports) {
+            if case.source.is_none() {
+                continue;
+            }
+            for d in &report.diagnostics {
+                assert!(
+                    d.span.is_some(),
+                    "{}: diagnostic {} has no span",
+                    case.name,
+                    d.code
+                );
+            }
+        }
+    }
+}

@@ -10,8 +10,8 @@
 use std::collections::BTreeSet;
 
 use kpt_bdd::{
-    symbolic_strongest_invariant, BddSpace, SymbolicEvalContext, SymbolicPredicate,
-    SymbolicTransition,
+    symbolic_sst_bounded, symbolic_strongest_invariant, BddSpace, SymbolicEvalContext,
+    SymbolicPredicate, SymbolicTransition,
 };
 use kpt_logic::Formula;
 use kpt_state::{witness_state, Predicate, VarId};
@@ -27,15 +27,18 @@ const MAX_ENUM_STATES: u64 = 1 << 20;
 const MAX_OVERLAP_SAMPLES: usize = 1024;
 
 /// Run the symbolic checks. Assumes the declaration and view passes found
-/// no errors (the orchestrator skips this pass otherwise).
-pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
+/// no errors (the orchestrator skips this pass otherwise). Returns whether
+/// the pass completed — `false` only when `node_budget` tripped during the
+/// strongest-invariant fixpoint, in which case the KPT007/KPT008 findings
+/// are skipped (the syntactic KPT009 check has already run by then).
+pub fn check(program: &Program, node_budget: Option<usize>, diags: &mut Vec<Diagnostic>) -> bool {
     check_circularity(program, diags);
 
     let Ok(erased) = erased_program(program) else {
-        return;
+        return true;
     };
     let Ok(compiled) = erased.compile() else {
-        return;
+        return true;
     };
     let space = program.space();
     let bdd = BddSpace::new(space);
@@ -45,7 +48,13 @@ pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
         .map(|t| SymbolicTransition::from_det(&bdd, t))
         .collect();
     let init = SymbolicPredicate::from_explicit(&bdd, compiled.init());
-    let si = symbolic_strongest_invariant(&transitions, &init);
+    let si = match node_budget {
+        None => symbolic_strongest_invariant(&transitions, &init),
+        Some(budget) => match symbolic_sst_bounded(&init, &transitions, budget) {
+            Ok((si, _)) => si,
+            Err(_) => return false,
+        },
+    };
 
     // KPT007: a guard false everywhere in the over-approximating SI can
     // never fire in any solution of the protocol.
@@ -54,7 +63,7 @@ pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
         let g = symbolic_guard(&bdd, stmt);
         if let Some(g) = &g {
             if g.and(&si).is_false() {
-                diags.push(Diagnostic::on_statement(
+                diags.push(Diagnostic::on_guard(
                     DiagnosticCode::DeadGuard,
                     stmt.name(),
                     "guard is unsatisfiable within the strongest invariant of the \
@@ -67,6 +76,7 @@ pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
     }
 
     check_races(program, diags, &si, &guards);
+    true
 }
 
 /// The knowledge-erased guard of `stmt` as a symbolic predicate. `None`
@@ -224,7 +234,7 @@ fn check_circularity(program: &Program, diags: &mut Vec<Diagnostic>) {
                         stmts[via.expect("checked").0].name()
                     )
                 };
-                diags.push(Diagnostic::on_statement(
+                diags.push(Diagnostic::on_guard(
                     DiagnosticCode::KnowledgeCircularity,
                     stmt.name(),
                     format!(
@@ -241,7 +251,10 @@ fn check_circularity(program: &Program, diags: &mut Vec<Diagnostic>) {
 
 /// Every state variable a statement's guard reads, knowledge bodies
 /// included; `Guard::Pred` reads are detected semantically.
-fn guard_reads(space: &std::sync::Arc<kpt_state::StateSpace>, stmt: &Statement) -> BTreeSet<VarId> {
+pub(crate) fn guard_reads(
+    space: &std::sync::Arc<kpt_state::StateSpace>,
+    stmt: &Statement,
+) -> BTreeSet<VarId> {
     match stmt.guard() {
         Guard::Always => BTreeSet::new(),
         Guard::Pred(p) => pred_reads(space, p),
@@ -259,7 +272,7 @@ fn pred_reads(space: &std::sync::Arc<kpt_state::StateSpace>, p: &Predicate) -> B
 
 /// All identifiers of `f` (knowledge bodies included) that name state
 /// variables.
-fn collect_formula_vars(
+pub(crate) fn collect_formula_vars(
     space: &std::sync::Arc<kpt_state::StateSpace>,
     f: &Formula,
     out: &mut BTreeSet<VarId>,

@@ -31,7 +31,7 @@ pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
         all_knowledge_agents(f, &mut agents);
         for agent in &agents {
             if !declared.contains(agent.as_str()) {
-                diags.push(Diagnostic::on_statement(
+                diags.push(Diagnostic::on_guard(
                     DiagnosticCode::UnknownProcess,
                     stmt.name(),
                     format!(
@@ -81,7 +81,7 @@ pub fn check(program: &Program, diags: &mut Vec<Diagnostic>) {
                 .map(|n| n.as_str())
                 .collect();
             if !outside.is_empty() {
-                diags.push(Diagnostic::on_statement(
+                diags.push(Diagnostic::on_guard(
                     DiagnosticCode::ViewViolation,
                     stmt.name(),
                     format!(

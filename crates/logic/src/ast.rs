@@ -109,6 +109,18 @@ impl CmpOp {
         }
     }
 
+    /// The mirrored operator: `a op b` iff `b op.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
     /// Concrete syntax of the operator.
     pub fn symbol(self) -> &'static str {
         match self {

@@ -292,7 +292,7 @@ impl<'a> Lexer<'a> {
 }
 
 pub(crate) struct Parser {
-    toks: Vec<STok>,
+    pub(crate) toks: Vec<STok>,
     pub(crate) pos: usize,
     len: usize,
     /// Whether the structural keywords of the program syntax are barred

@@ -73,6 +73,10 @@ pub struct ProgramAst {
     pub init: Option<Formula>,
     /// Span of the init formula (empty when `init` is `None`).
     pub init_span: Span,
+    /// Spans of the top-level `/\`-conjuncts of the init formula, in
+    /// source order (a single entry equal to [`Self::init_span`] when the
+    /// init is not a top-level conjunction; empty when `init` is `None`).
+    pub init_conjunct_spans: Vec<Span>,
     /// The statements, in order.
     pub statements: Vec<StatementAst>,
 }
@@ -117,8 +121,12 @@ pub struct StatementAst {
     pub name: String,
     /// Simultaneous assignments (empty means `skip`).
     pub assigns: Vec<(String, Expr)>,
+    /// Span of each assignment (`var := expr`), parallel to `assigns`.
+    pub assign_spans: Vec<Span>,
     /// The guard formula, if any (`None` means always enabled).
     pub guard: Option<Formula>,
+    /// Span of the guard formula (without the `if` keyword), when present.
+    pub guard_span: Option<Span>,
     /// Span of the whole statement.
     pub span: Span,
 }
@@ -208,13 +216,17 @@ fn program(p: &mut Parser) -> Result<ProgramAst, ParseError> {
 
     let mut init = None;
     let mut init_span = Span::default();
+    let mut init_conjunct_spans = Vec::new();
     if at_keyword(p, "init") {
         p.next();
         if !at_keyword(p, "assign") {
             let (start, _) = p.span();
+            let tok_start = p.pos;
             init = Some(p.formula()?);
+            let tok_end = p.pos;
             let (pstart, plen) = p.prev_span();
             init_span = Span::new(start, pstart + plen);
+            init_conjunct_spans = conjunct_spans(&p.toks[tok_start..tok_end], init_span);
         }
     }
 
@@ -245,8 +257,54 @@ fn program(p: &mut Parser) -> Result<ProgramAst, ParseError> {
         processes,
         init,
         init_span,
+        init_conjunct_spans,
         statements,
     })
+}
+
+/// Split the token stream of a formula into the spans of its top-level
+/// `/\`-conjuncts. The formula grammar gives `/\` the tightest binary
+/// precedence, so a depth-0 `\/`, `=>` or `<=>` (or a quantifier, whose
+/// body extends to the right) means the formula is *not* a top-level
+/// conjunction — the whole span is returned as the single conjunct.
+fn conjunct_spans(toks: &[crate::parser::STok], whole: Span) -> Vec<Span> {
+    let mut depth = 0usize;
+    let mut cuts: Vec<usize> = Vec::new();
+    for t in toks {
+        match &t.tok {
+            Tok::LParen | Tok::LBrace => depth += 1,
+            Tok::RParen | Tok::RBrace => depth = depth.saturating_sub(1),
+            Tok::And if depth == 0 => cuts.push(t.start),
+            Tok::Or | Tok::Implies | Tok::Iff | Tok::KwForall | Tok::KwExists if depth == 0 => {
+                return vec![whole];
+            }
+            _ => {}
+        }
+    }
+    if cuts.is_empty() {
+        return vec![whole];
+    }
+    // Conjunct k runs from after cut k-1 (or the formula start) to before
+    // cut k (or the formula end); trim to the enclosed tokens' extent.
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut lo = whole.start;
+    for &cut in &cuts {
+        let hi = toks
+            .iter()
+            .filter(|t| t.start >= lo && t.end <= cut)
+            .map(|t| t.end)
+            .max()
+            .unwrap_or(cut);
+        out.push(Span::new(lo, hi));
+        lo = toks
+            .iter()
+            .filter(|t| t.start > cut)
+            .map(|t| t.start)
+            .min()
+            .unwrap_or(cut);
+    }
+    out.push(Span::new(lo, whole.start + whole.len));
+    out
 }
 
 fn decl(p: &mut Parser) -> Result<DeclAst, ParseError> {
@@ -364,14 +422,17 @@ fn statement(p: &mut Parser) -> Result<StatementAst, ParseError> {
     let (sname, sspan) = name(p, "a statement name")?;
     p.expect(&Tok::Colon, "`:` after the statement name")?;
     let mut assigns = Vec::new();
+    let mut assign_spans = Vec::new();
     if at_keyword(p, "skip") {
         p.next();
     } else {
         loop {
-            let (target, _) = name(p, "an assignment target (`var := expr`)")?;
+            let (target, tspan) = name(p, "an assignment target (`var := expr`)")?;
             p.expect(&Tok::Assign, "`:=` in `var := expr`")?;
             let rhs = p.expr()?;
+            let (pstart, plen) = p.prev_span();
             assigns.push((target, rhs));
+            assign_spans.push(Span::new(tspan.start, pstart + plen));
             if p.peek() == Some(&Tok::Or) {
                 p.next();
             } else {
@@ -379,9 +440,14 @@ fn statement(p: &mut Parser) -> Result<StatementAst, ParseError> {
             }
         }
     }
+    let mut guard_span = None;
     let guard = if at_keyword(p, "if") {
         p.next();
-        Some(p.formula()?)
+        let (gstart, _) = p.span();
+        let g = p.formula()?;
+        let (pstart, plen) = p.prev_span();
+        guard_span = Some(Span::new(gstart, pstart + plen));
+        Some(g)
     } else {
         None
     };
@@ -389,7 +455,9 @@ fn statement(p: &mut Parser) -> Result<StatementAst, ParseError> {
     Ok(StatementAst {
         name: sname,
         assigns,
+        assign_spans,
         guard,
+        guard_span,
         span: Span::new(sspan.start, pstart + plen),
     })
 }
@@ -517,6 +585,45 @@ assign
         let s = &ast.statements[0];
         let text = &FIGURE1[s.span.start..s.span.start + s.span.len];
         assert_eq!(text, "grant: shared := 1 if K{P0}(~x)");
+    }
+
+    #[test]
+    fn guard_and_assign_spans_cover_their_text() {
+        let ast = parse_program_ast(FIGURE1).unwrap();
+        let grant = &ast.statements[0];
+        let g = grant.guard_span.unwrap();
+        assert_eq!(&FIGURE1[g.start..g.start + g.len], "K{P0}(~x)");
+        let a = grant.assign_spans[0];
+        assert_eq!(&FIGURE1[a.start..a.start + a.len], "shared := 1");
+        let take = &ast.statements[1];
+        let a0 = take.assign_spans[0];
+        assert_eq!(&FIGURE1[a0.start..a0.start + a0.len], "x := 1");
+        let a1 = take.assign_spans[1];
+        assert_eq!(&FIGURE1[a1.start..a1.start + a1.len], "shared := 0");
+    }
+
+    #[test]
+    fn init_conjunct_spans_split_at_top_level_and() {
+        let ast = parse_program_ast(FIGURE1).unwrap();
+        assert_eq!(ast.init_conjunct_spans.len(), 2);
+        let c0 = ast.init_conjunct_spans[0];
+        assert_eq!(&FIGURE1[c0.start..c0.start + c0.len], "~shared");
+        let c1 = ast.init_conjunct_spans[1];
+        assert_eq!(&FIGURE1[c1.start..c1.start + c1.len], "~x");
+    }
+
+    #[test]
+    fn non_conjunctive_init_has_a_single_conjunct_span() {
+        let src =
+            "program p\ndeclare\n  x : bool\n  y : bool\ninit\n  x \\/ y\nassign\n  s: skip\n";
+        let ast = parse_program_ast(src).unwrap();
+        assert_eq!(ast.init_conjunct_spans.len(), 1);
+        assert_eq!(ast.init_conjunct_spans[0], ast.init_span);
+        // Conjunctions under a paren or a knowledge body don't split either.
+        let src2 =
+            "program p\ndeclare\n  x : bool\n  y : bool\ninit\n  (x /\\ y)\nassign\n  s: skip\n";
+        let ast2 = parse_program_ast(src2).unwrap();
+        assert_eq!(ast2.init_conjunct_spans.len(), 1);
     }
 
     #[test]

@@ -367,10 +367,14 @@ impl Exec<'_> {
     }
 
     fn lint(&self) -> Result<Frame, ExecError> {
+        // The dataflow passes always run (they are near-linear); the
+        // request flag only gates the expensive symbolic pass.
         let options = kpt_lint::LintOptions {
             symbolic: self.req.symbolic_lint,
+            ..kpt_lint::LintOptions::default()
         };
-        // Same entry point as the `kpt_lint` CLI's file mode.
+        // Same entry point as the `kpt_lint` CLI's file mode — report
+        // JSON carries per-diagnostic byte spans into the source text.
         let report = kpt_lint::lint_source(self.source(), &options)
             .map_err(|e| parse_error(self.source(), &e))?;
         let mut f = Frame::result(self.req.id, RequestKind::Lint);

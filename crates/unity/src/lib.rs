@@ -73,7 +73,9 @@ pub use exec::{execute, reachable, RandomFair, RoundRobin, Run, Scheduler};
 pub use explain::explain_property;
 pub use leadsto::{leads_to, LeadsToCounterexample, LeadsToReport, LeadsToStats};
 pub use mixed::{Implementability, MixedSpec};
-pub use parse::{elaborate_program, parse_program};
+pub use parse::{
+    elaborate_program, parse_program, parse_program_mapped, SourceMap, StatementSpans,
+};
 pub use program::{Process, Program, ProgramBuilder};
 pub use proof::{ProofContext, Property, Thm};
 pub use statement::{Guard, Statement, Update, UpdateFn};

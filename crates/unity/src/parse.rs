@@ -42,6 +42,75 @@ use crate::program::Program;
 use crate::statement::Statement;
 use crate::UnityError;
 
+/// Byte spans of one statement's source constructs, parallel to the
+/// elaborated [`Statement`] of the same name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementSpans {
+    /// Statement name (matches [`Statement::name`]).
+    pub name: String,
+    /// Span of the whole statement (`name: assigns [if guard]`).
+    pub span: Span,
+    /// Span of the guard formula, when the statement has an `if`.
+    pub guard: Option<Span>,
+    /// Span of each `var := expr`, in assignment order.
+    pub assigns: Vec<Span>,
+}
+
+/// Side-table mapping every elaborated construct back to its `.kpt`
+/// byte span, produced by [`elaborate_program`] alongside the program.
+///
+/// Diagnostics computed over the semantic [`Program`] (the lint passes in
+/// `kpt-lint`, say) can use this to render carets on the original text
+/// without re-parsing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    /// Span of the program name in the `program` header.
+    pub program_name: Span,
+    /// `(variable, span)` for each declaration, in source order.
+    pub decls: Vec<(String, Span)>,
+    /// `(process, span)` for each process declaration, in source order.
+    pub processes: Vec<(String, Span)>,
+    /// Span of the whole init formula, when present.
+    pub init: Option<Span>,
+    /// Spans of the top-level `/\`-conjuncts of the init formula (a
+    /// single entry equal to `init` when it is not a conjunction).
+    pub init_conjuncts: Vec<Span>,
+    /// Per-statement spans, in program order.
+    pub statements: Vec<StatementSpans>,
+}
+
+impl SourceMap {
+    /// Look up the spans of the statement with the given name.
+    #[must_use]
+    pub fn statement(&self, name: &str) -> Option<&StatementSpans> {
+        self.statements.iter().find(|s| s.name == name)
+    }
+
+    fn from_ast(ast: &ProgramAst) -> Self {
+        SourceMap {
+            program_name: ast.name_span,
+            decls: ast.decls.iter().map(|d| (d.name.clone(), d.span)).collect(),
+            processes: ast
+                .processes
+                .iter()
+                .map(|p| (p.name.clone(), p.span))
+                .collect(),
+            init: ast.init.as_ref().map(|_| ast.init_span),
+            init_conjuncts: ast.init_conjunct_spans.clone(),
+            statements: ast
+                .statements
+                .iter()
+                .map(|s| StatementSpans {
+                    name: s.name.clone(),
+                    span: s.span,
+                    guard: s.guard_span,
+                    assigns: s.assign_spans.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Parse a program (and its state space) from the textual notation.
 ///
 /// # Errors
@@ -49,16 +118,31 @@ use crate::UnityError;
 /// program-construction error; render against the source with
 /// [`UnityError::render`].
 pub fn parse_program(src: &str) -> Result<(Arc<StateSpace>, Program), UnityError> {
+    let (space, program, _) = parse_program_mapped(src)?;
+    Ok((space, program))
+}
+
+/// Like [`parse_program`], but also return the [`SourceMap`] tying the
+/// elaborated program back to byte spans in `src`.
+///
+/// # Errors
+/// Same as [`parse_program`].
+pub fn parse_program_mapped(
+    src: &str,
+) -> Result<(Arc<StateSpace>, Program, SourceMap), UnityError> {
     let ast = parse_program_ast(src).map_err(UnityError::Parse)?;
     elaborate_program(&ast)
 }
 
-/// Elaborate a surface AST into a state space and a program, anchoring
-/// every failure to the span of the construct that caused it.
+/// Elaborate a surface AST into a state space, a program, and the
+/// [`SourceMap`] of their spans, anchoring every failure to the span of
+/// the construct that caused it.
 ///
 /// # Errors
 /// [`UnityError::At`] wrapping the underlying space/eval/program error.
-pub fn elaborate_program(ast: &ProgramAst) -> Result<(Arc<StateSpace>, Program), UnityError> {
+pub fn elaborate_program(
+    ast: &ProgramAst,
+) -> Result<(Arc<StateSpace>, Program, SourceMap), UnityError> {
     let span_err = |span: Span, e: UnityError| UnityError::at(span.start, span.len, e);
 
     // Declarations. The state count is tracked per declaration (in u128,
@@ -130,7 +214,7 @@ pub fn elaborate_program(ast: &ProgramAst) -> Result<(Arc<StateSpace>, Program),
         }
         e
     })?;
-    Ok((space, program))
+    Ok((space, program, SourceMap::from_ast(ast)))
 }
 
 #[cfg(test)]
@@ -177,6 +261,24 @@ assign
             .statements()
             .iter()
             .any(|s| s.guard().mentions_knowledge())
+    }
+
+    #[test]
+    fn source_map_spans_point_at_the_source_text() {
+        let (_, _, map) = parse_program_mapped(FIGURE1).unwrap();
+        assert_eq!(map.decls.len(), 2);
+        assert_eq!(map.decls[0].0, "shared");
+        assert_eq!(map.init_conjuncts.len(), 2);
+        let c = map.init_conjuncts[1];
+        assert_eq!(&FIGURE1[c.start..c.start + c.len], "~x");
+        let grant = map.statement("grant").unwrap();
+        let g = grant.guard.unwrap();
+        assert_eq!(&FIGURE1[g.start..g.start + g.len], "K{P0}(~x)");
+        let take = map.statement("take").unwrap();
+        assert_eq!(take.assigns.len(), 2);
+        let a = take.assigns[1];
+        assert_eq!(&FIGURE1[a.start..a.start + a.len], "shared := 0");
+        assert!(map.statement("missing").is_none());
     }
 
     #[test]

@@ -87,8 +87,9 @@ pub mod prelude {
         IterativeOutcome, Kbp, KnowledgeOperator, SolutionSet, ZooEntry,
     };
     pub use kpt_lint::{
-        erased_program, lint_kbp, lint_program, Diagnostic, DiagnosticCode, LintOptions,
-        LintReport, Severity,
+        erased_program, lint_kbp, lint_program, lint_program_with, lint_registry, lint_source,
+        registry, Anchor, Depth, Diagnostic, DiagnosticCode, LintOptions, LintReport, RegistryCase,
+        Severity,
     };
     pub use kpt_logic::{parse_expr, parse_formula, EvalContext, Expr, Formula};
     pub use kpt_state::{

@@ -9,9 +9,12 @@
 //!
 //! All three must report the identical eq. (25) outcome — same variant,
 //! same iteration counts, same solution state set. Every generated
-//! program is additionally run through the linter's declaration + view
-//! passes (which must find no errors on valid-by-construction input).
-//! On top of that, the
+//! program is additionally run through the **full lint pipeline** — a
+//! lint panic is a fuzz finding — which must report no errors on
+//! valid-by-construction input, and whose interval dead-guard verdicts
+//! (`KPT010`) must each be confirmed by the symbolic pass (`KPT007`):
+//! the `KPT010 ⊑ KPT007` soundness direction, pinned per statement on
+//! every campaign case. On top of that, the
 //! linter's knowledge-erased program is compiled on both backends: its
 //! `SI`s must agree bit-exactly, and by eq. (14) the erased `SI` must
 //! contain every converged solution (the sound over-approximation the
@@ -106,12 +109,12 @@ fn oracle(src: &str) {
     let (_space, program) =
         parse_program(src).unwrap_or_else(|e| panic!("{}\nsource:\n{src}", e.render(src)));
 
-    // The linter's cheap passes (declaration + view soundness) run over
-    // every generated program without panicking. The generator guarantees
-    // well-scoped declarations, so KPT001/002/003/006 would be linter (or
-    // generator) bugs; view violations are fair findings — genprog does
-    // not restrict knowledge-guarded reads to the guarding process's view.
-    let report = knowledge_pt::lint::lint_program_with(&program, &LintOptions { symbolic: false });
+    // The full lint pipeline runs over every generated program without
+    // panicking. The generator guarantees well-scoped declarations, so
+    // KPT001/002/003/006 would be linter (or generator) bugs; view
+    // violations are fair findings — genprog does not restrict
+    // knowledge-guarded reads to the guarding process's view.
+    let report = knowledge_pt::lint::lint_program_with(&program, &LintOptions::default());
     let decl_errors: Vec<_> = report
         .diagnostics
         .iter()
@@ -121,6 +124,24 @@ fn oracle(src: &str) {
         decl_errors.is_empty(),
         "declaration-pass errors on a generated program:\n{decl_errors:?}\nsource:\n{src}"
     );
+    // KPT010 ⊑ KPT007: a guard the interval box proves dead must also be
+    // dead under the symbolic strongest invariant. The converse is not
+    // required — the box is a strict over-approximation.
+    if report.symbolic_ran {
+        for d in &report.diagnostics {
+            if d.code != DiagnosticCode::IntervalDeadGuard {
+                continue;
+            }
+            assert!(
+                report
+                    .diagnostics
+                    .iter()
+                    .any(|e| e.code == DiagnosticCode::DeadGuard && e.statement == d.statement),
+                "KPT010 fired without KPT007 on {:?} — unsound interval analysis:\n{src}",
+                d.statement
+            );
+        }
+    }
 
     let kbp = Kbp::new(program.clone());
     let explicit = explicit_outcome(&kbp);

@@ -5,7 +5,12 @@
 //! over every healthy in-tree model (the Figure 2 variants, muddy
 //! children, the §6 standard protocol and Figure-3 KBP, and the
 //! symbolic-scale escape-hatch instance). Figure 1 is the one model that
-//! is *supposed* to be flagged: its eq. (25) circularity (`KPT009`).
+//! is *supposed* to be flagged: its eq. (25) circularity, reported both
+//! symbolically (`KPT009`) and syntactically by the dataflow pass
+//! (`KPT011`). The dataflow codes (`KPT010`-`KPT012`) are seeded at
+//! `--depth dataflow` so the symbolic confirmations cannot mask them,
+//! and the span tests drive `.kpt` text through `lint_source` and check
+//! the caret rendering points at the guilty construct.
 
 use knowledge_pt::prelude::*;
 use knowledge_pt::seqtrans::{figure3_kbp, ModelOptions, StandardModel};
@@ -244,7 +249,10 @@ fn kpt007_dead_guard() {
         .build()
         .unwrap();
     let report = knowledge_pt::lint::lint_program(&program);
-    assert_eq!(codes(&report), ["KPT007"]);
+    // The interval pass proves the same guard dead (`i` never leaves
+    // [0, 3]), so the cheap KPT010 verdict rides along with KPT007 —
+    // the soundness direction the differential fuzz campaign pins.
+    assert_eq!(codes(&report), ["KPT007", "KPT010"]);
     assert_eq!(report.diagnostics[0].statement.as_deref(), Some("dead"));
 }
 
@@ -267,10 +275,18 @@ fn kpt007_requires_the_symbolic_pass() {
         )
         .build()
         .unwrap();
-    let opts = LintOptions { symbolic: false };
-    let report = knowledge_pt::lint::lint_program_with(&program, &opts);
+    // Below dataflow depth nothing can prove the guard dead.
+    let report = knowledge_pt::lint::lint_program_with(&program, &LintOptions::fast());
+    assert!(!report.dataflow_ran);
     assert!(!report.symbolic_ran);
     assert!(report.is_clean());
+    // The dataflow pass already catches it without the symbolic engine:
+    // `i` stays 0, so `i = 3` is interval-dead.
+    let report =
+        knowledge_pt::lint::lint_program_with(&program, &LintOptions::up_to(Depth::Dataflow));
+    assert!(report.dataflow_ran);
+    assert!(!report.symbolic_ran);
+    assert_eq!(codes(&report), ["KPT010"]);
 }
 
 #[test]
@@ -299,13 +315,162 @@ fn kpt009_figure1_circularity() {
     // The paper's Figure 1: `grant` is guarded by K₀(¬x) while `take` —
     // enabled by grant's own write — sets x. Eq. (25) is non-monotone and
     // the protocol provably has no solution; the linter flags exactly
-    // this.
+    // this — the symbolic KPT009 and its syntactic dataflow shadow
+    // KPT011, both anchored on `grant`.
     let kbp = figure1().unwrap();
     let report = knowledge_pt::lint::lint_kbp(&kbp);
-    assert_eq!(codes(&report), ["KPT009"]);
-    assert_eq!(report.diagnostics[0].statement.as_deref(), Some("grant"));
-    assert_eq!(report.warning_count(), 1);
+    assert_eq!(codes(&report), ["KPT009", "KPT011"]);
+    for d in &report.diagnostics {
+        assert_eq!(d.statement.as_deref(), Some("grant"), "{d}");
+    }
+    assert_eq!(report.warning_count(), 2);
     assert_eq!(report.error_count(), 0);
+}
+
+// -------------------------------------------------- dataflow (KPT010-012)
+
+/// Dataflow-depth options: the interval/dependency/reachability passes
+/// run, the symbolic confirmations do not — so the seeded defects below
+/// assert *exactly* their dataflow code.
+fn dataflow_codes(program: &Program) -> Vec<&'static str> {
+    codes(&knowledge_pt::lint::lint_program_with(
+        program,
+        &LintOptions::up_to(Depth::Dataflow),
+    ))
+}
+
+#[test]
+fn kpt010_interval_dead_guard() {
+    let space = StateSpace::builder()
+        .nat_var("i", 8)
+        .unwrap()
+        .build()
+        .unwrap();
+    // `i` climbs from 0 but the guard `i < 3` caps the box at [0, 3];
+    // `i = 7` can never hold, and the interval fixpoint proves it.
+    let program = Program::builder("seed-010", &space)
+        .init_str("i = 0")
+        .unwrap()
+        .statement(
+            Statement::new("step")
+                .guard_str("i < 3")
+                .unwrap()
+                .assign_str("i", "i + 1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("never")
+                .guard_str("i = 7")
+                .unwrap()
+                .assign_str("i", "0")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let report =
+        knowledge_pt::lint::lint_program_with(&program, &LintOptions::up_to(Depth::Dataflow));
+    assert_eq!(codes(&report), ["KPT010"]);
+    assert_eq!(report.diagnostics[0].statement.as_deref(), Some("never"));
+    // The full pipeline must confirm symbolically: KPT010 ⊑ KPT007.
+    let full = knowledge_pt::lint::lint_program(&program);
+    assert_eq!(codes(&full), ["KPT007", "KPT010"]);
+}
+
+#[test]
+fn kpt011_knowledge_dependency_cycle() {
+    // Figure 1 again, but the cheap pass alone: the grant/take read-write
+    // cycle is detected purely syntactically.
+    let kbp = figure1().unwrap();
+    let report =
+        knowledge_pt::lint::lint_program_with(kbp.program(), &LintOptions::up_to(Depth::Dataflow));
+    assert_eq!(codes(&report), ["KPT011"]);
+    assert!(!report.symbolic_ran);
+    assert_eq!(report.diagnostics[0].statement.as_deref(), Some("grant"));
+}
+
+#[test]
+fn kpt012_unimplementable_knowledge() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .bool_var("y")
+        .unwrap()
+        .bool_var("h")
+        .unwrap()
+        .build()
+        .unwrap();
+    // P0 observes only x. `h` is flipped by an independent statement and
+    // is neither init-correlated with x nor ever funnelled into anything
+    // P0 can see — so `K{P0}(h)` can never be established.
+    let program = Program::builder("seed-012", &space)
+        .init_str("~x /\\ ~y /\\ ~h")
+        .unwrap()
+        .process("P0", ["x"])
+        .unwrap()
+        .statement(
+            Statement::new("flip")
+                .guard_str("~h")
+                .unwrap()
+                .assign_str("h", "1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("blocked")
+                .guard_str("K{P0}(h)")
+                .unwrap()
+                .assign_str("y", "1")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(dataflow_codes(&program), ["KPT012"]);
+}
+
+#[test]
+fn kpt012_stays_silent_when_information_flows() {
+    let space = StateSpace::builder()
+        .bool_var("x")
+        .unwrap()
+        .bool_var("h")
+        .unwrap()
+        .build()
+        .unwrap();
+    // Same hidden variable, but `reveal` copies h into P0's view — the
+    // reachable-information closure picks it up and KPT012 stays silent.
+    let program = Program::builder("seed-012-ok", &space)
+        .init_str("~x /\\ ~h")
+        .unwrap()
+        .process("P0", ["x"])
+        .unwrap()
+        .statement(
+            Statement::new("flip")
+                .guard_str("~h")
+                .unwrap()
+                .assign_str("h", "1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("reveal")
+                .guard_str("h")
+                .unwrap()
+                .assign_str("x", "1")
+                .unwrap(),
+        )
+        .statement(
+            Statement::new("act")
+                .guard_str("K{P0}(h)")
+                .unwrap()
+                .assign_str("x", "0")
+                .unwrap(),
+        )
+        .build()
+        .unwrap();
+    let report =
+        knowledge_pt::lint::lint_program_with(&program, &LintOptions::up_to(Depth::Dataflow));
+    assert!(
+        !report.has(DiagnosticCode::UnimplementableKnowledge),
+        "{report}"
+    );
 }
 
 // --------------------------------------------------------------- healthy
@@ -343,6 +508,7 @@ fn healthy_models_are_clean() {
     for (name, program) in &programs {
         let report = knowledge_pt::lint::lint_program(program);
         assert!(report.is_clean(), "{name} must lint clean, got: {report}");
+        assert!(report.dataflow_ran, "{name} must run the dataflow pass");
         assert!(report.symbolic_ran, "{name} must reach the symbolic pass");
     }
 }
@@ -399,33 +565,106 @@ fn report_json_round_trips_through_the_obs_parser() {
         .get("diagnostics")
         .and_then(|v| v.as_array())
         .expect("diagnostics array");
-    assert_eq!(diags.len(), 1);
+    // Figure 1's circularity pair: the syntactic KPT011 and symbolic KPT009.
+    assert_eq!(diags.len(), 2);
+    let kpt009 = diags
+        .iter()
+        .find(|d| d.get("code").and_then(|v| v.as_str()) == Some("KPT009"))
+        .expect("KPT009 in the JSON report");
     assert_eq!(
-        diags[0].get("code").and_then(|v| v.as_str()),
-        Some("KPT009")
-    );
-    assert_eq!(
-        diags[0].get("paper_ref").and_then(|v| v.as_str()),
+        kpt009.get("paper_ref").and_then(|v| v.as_str()),
         Some("eq. (25), Figure 1")
     );
+    assert!(diags
+        .iter()
+        .any(|d| d.get("code").and_then(|v| v.as_str()) == Some("KPT011")));
 }
 
 #[test]
 fn every_code_has_severity_and_paper_reference() {
-    use knowledge_pt::lint::DiagnosticCode::*;
-    for code in [
-        UnknownIdentifier,
-        UpdateOutOfRange,
-        ShadowedName,
-        EmptyInit,
-        ViewViolation,
-        UnknownProcess,
-        DeadGuard,
-        WriteRace,
-        KnowledgeCircularity,
-    ] {
+    assert_eq!(DiagnosticCode::ALL.len(), 12);
+    for code in DiagnosticCode::ALL {
         assert!(code.code().starts_with("KPT"));
         assert!(!code.paper_ref().is_empty());
+        assert_eq!(DiagnosticCode::from_code(code.code()), Some(code));
         let _ = code.severity();
+        let _ = code.depth();
+    }
+}
+
+// ----------------------------------------------------------------- spans
+
+#[test]
+fn lint_source_diagnostics_carry_spans_and_carets() {
+    // A textual model with an interval-dead guard: `i` never exceeds 3,
+    // so `never`'s guard is provably false. Every diagnostic produced by
+    // lint_source must carry a byte span, and the caret rendering must
+    // point into the guilty guard's text.
+    let src = "\
+program span_demo
+declare
+  i : nat<8>
+init
+  i = 0
+assign
+  step: i := i + 1 if i < 3
+  [] never: i := 0 if i = 7
+";
+    let report =
+        knowledge_pt::lint::lint_source(src, &LintOptions::default()).expect("source elaborates");
+    assert!(
+        report.has(DiagnosticCode::IntervalDeadGuard),
+        "expected KPT010: {report}"
+    );
+    assert!(report.has(DiagnosticCode::DeadGuard), "expected KPT007");
+    for d in &report.diagnostics {
+        let span = d
+            .span
+            .unwrap_or_else(|| panic!("diagnostic {d} has no span"));
+        assert!(span.start + span.len <= src.len(), "span inside the source");
+    }
+    // The dead guard's span covers its source text.
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == DiagnosticCode::IntervalDeadGuard)
+        .unwrap();
+    let span = d.span.unwrap();
+    assert_eq!(&src[span.start..span.start + span.len], "i = 7");
+    // Caret rendering: the line is echoed with a marker underneath.
+    let rendered = report.render_source(src);
+    assert!(
+        rendered.contains("i = 7") && rendered.contains('^'),
+        "caret rendering points at the guard:\n{rendered}"
+    );
+}
+
+#[test]
+fn spans_survive_the_json_report() {
+    let src = "\
+program span_json
+declare
+  x : boolean
+init
+  ~x
+assign
+  never: x := 1 if x /\\ ~x
+";
+    let report =
+        knowledge_pt::lint::lint_source(src, &LintOptions::default()).expect("source elaborates");
+    assert!(!report.diagnostics.is_empty());
+    let value = knowledge_pt::obs::parse_json(&report.to_json()).expect("valid JSON");
+    let diags = value
+        .get("diagnostics")
+        .and_then(|v| v.as_array())
+        .expect("diagnostics array");
+    for d in diags {
+        let span = d.get("span").expect("span field present");
+        let start = span
+            .get("start")
+            .and_then(|v| v.as_u64())
+            .expect("span.start");
+        let len = span.get("len").and_then(|v| v.as_u64()).expect("span.len");
+        assert!((start + len) as usize <= src.len());
     }
 }

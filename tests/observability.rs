@@ -13,7 +13,7 @@ use kpt_transformers::sst_frontier;
 use kpt_unity::explain_property;
 
 /// The subsystems the ISSUE requires a trace to cover.
-const REQUIRED_KIND_PREFIXES: [&str; 5] = ["fixpoint", "cache", "pool", "solver", "bdd"];
+const REQUIRED_KIND_PREFIXES: [&str; 6] = ["fixpoint", "cache", "pool", "solver", "bdd", "lint"];
 
 #[test]
 fn traced_run_emits_valid_jsonl_covering_all_subsystems() {
@@ -61,9 +61,14 @@ fn traced_run_emits_valid_jsonl_covering_all_subsystems() {
     let doubled = kpt_testkit::pool::parallel_map_with(2, &items, |x| x * 2);
     assert_eq!(doubled[63], 126);
 
+    // lint.*: the full pipeline over Figure 1 emits per-pass spans, and
+    // the dataflow pass records its SCC/widening metrics.
+    let fig1 = figure1().unwrap();
+    let lint_report = knowledge_pt::lint::lint_kbp(&fig1);
+    assert!(lint_report.has(DiagnosticCode::KnowledgeDependencyCycle));
+
     // solver.exhaustive + verdict.fail: Figure 1 has no solution, and its
     // explanation reports the initial state as a witness.
-    let fig1 = figure1().unwrap();
     let sols = fig1.solve_exhaustive(16).unwrap();
     assert!(sols.is_empty());
     let verdict = fig1.explain_solutions("figure1", &sols);
@@ -185,6 +190,21 @@ fn traced_run_emits_valid_jsonl_covering_all_subsystems() {
         snapshot.iter().any(|m| m.name == "bdd.nodes.live"
             && matches!(m.value, kpt_obs::MetricValue::Gauge(n) if n > 0)),
         "bdd.nodes.live gauge missing from the metrics snapshot"
+    );
+    // The dataflow pass's metrics survive in the registry: Figure 1's
+    // grant/take cycle is a cyclic SCC, and every component size was
+    // recorded in the histogram.
+    assert!(
+        snapshot
+            .iter()
+            .any(|m| m.name == "lint.dataflow.cyclic_sccs"
+                && matches!(m.value, kpt_obs::MetricValue::Counter(n) if n > 0)),
+        "lint.dataflow.cyclic_sccs counter missing or zero"
+    );
+    assert!(
+        snapshot.iter().any(|m| m.name == "lint.dataflow.scc_size"
+            && matches!(&m.value, kpt_obs::MetricValue::Histogram(h) if h.count > 0)),
+        "lint.dataflow.scc_size histogram missing or empty"
     );
     // The failed-solution verdict made it into the trace with its witness.
     let fail_line = text
